@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benchmarks.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "hpo/driver.hpp"
+#include "hpo/search_space.hpp"
+#include "ml/cost_model.hpp"
+#include "runtime/runtime.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace chpo::bench {
+
+inline constexpr const char* kListing1 = R"({
+  "optimizer":  ["Adam", "SGD", "RMSprop"],
+  "num_epochs": [20, 50, 100],
+  "batch_size": [32, 64, 128]
+})";
+
+/// Shared empty dataset for cost-only (simulated) experiment tasks.
+inline const ml::Dataset& empty_dataset() {
+  static const ml::Dataset dataset{};
+  return dataset;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_reference) {
+  set_log_level(LogLevel::Warn);  // keep figure tables clean on stdout
+  std::printf("============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("============================================================\n");
+}
+
+/// Submit the full Listing-1 grid as cost-only experiment tasks.
+inline void submit_grid(rt::Runtime& runtime, const ml::WorkloadModel& workload,
+                        const rt::Constraint& constraint) {
+  const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(kListing1);
+  for (const auto& config : space.enumerate_grid()) {
+    hpo::DriverOptions options;
+    options.workload = workload;
+    options.trial_constraint = constraint;
+    runtime.submit(hpo::make_experiment_task(empty_dataset(), config, options, 0));
+  }
+}
+
+}  // namespace chpo::bench

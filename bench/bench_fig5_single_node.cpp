@@ -1,0 +1,60 @@
+// Figure 5: the 27-task MNIST grid on one MareNostrum4 node where the
+// COMPSs worker occupies half the cores (24 usable).
+//
+// Prints the quantities one reads off the paper's Paraver view: how many
+// tasks started simultaneously, which cores were reused by the three
+// queued tasks, the spread of task durations ("some taking almost half the
+// time"), and the ~207-minute makespan — plus the ASCII Gantt itself.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "trace/gantt.hpp"
+#include "trace/prv_writer.hpp"
+
+int main() {
+  using namespace chpo;
+  bench::print_header("bench_fig5_single_node", "Figure 5 (multiple tasks on a single node)");
+
+  rt::RuntimeOptions options;
+  options.cluster = cluster::marenostrum4(1);
+  options.cluster.worker_placement = cluster::WorkerPlacement::SharedCores;
+  options.cluster.worker_cores = 24;
+  options.simulate = true;
+  options.sim.execute_bodies = false;
+  rt::Runtime runtime(std::move(options));
+
+  bench::submit_grid(runtime, ml::mnist_paper_model(), rt::Constraint{.cpus = 1});
+  runtime.barrier();
+
+  const auto analysis = runtime.analyze();
+  std::printf("experiments: %zu (3 optimizers x 3 epochs x 3 batch sizes)\n",
+              analysis.task_count());
+  std::printf("usable cores: 24 of 48 (worker holds the other half)\n");
+  std::printf("tasks started at t=0: %zu   (paper: 24)\n",
+              analysis.tasks_started_together(1e-9));
+  std::printf("peak concurrency:     %zu   (paper: 24)\n", analysis.peak_concurrency());
+
+  const auto reused = analysis.reused_cores();
+  std::printf("cores reused by queued tasks: %zu   (paper: 3)\n", reused.size());
+  for (const auto& core : reused) std::printf("  physical core %u ran 2 tasks\n", core.core);
+
+  double shortest = 1e300, longest = 0;
+  for (const auto& span : analysis.spans()) {
+    shortest = std::min(shortest, span.duration());
+    longest = std::max(longest, span.duration());
+  }
+  std::printf("task durations: %s .. %s (paper: \"some taking almost half the time\")\n",
+              format_duration(shortest).c_str(), format_duration(longest).c_str());
+  std::printf("application makespan: %s   (paper: 207 minutes)\n",
+              format_duration(analysis.makespan()).c_str());
+  std::printf("mean utilisation of used cores: %.0f%%\n\n",
+              100.0 * analysis.mean_core_utilisation());
+
+  std::printf("%s", trace::render_gantt(runtime.trace().events(),
+                                        {.width = 96, .max_rows = 30})
+                        .c_str());
+  std::printf("\n%s", trace::render_parallelism_profile(runtime.trace().events(), 96, 10).c_str());
+  trace::write_prv_files("fig5_single_node", runtime.trace().events(), runtime.cluster_spec());
+  std::printf("\nParaver trace: fig5_single_node.prv/.row\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 8: CIFAR-10 hyperparameter optimisation results — the harder
+// dataset spreads configurations out and lowers absolute accuracy, which
+// is why the paper recommends random search here ("it is possible to
+// determine a good set of hyperparameters with just a few experiments").
+//
+// Runs the real (scaled-down) grid, then random search with a quarter of
+// the budget, and compares best-found accuracies.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "hpo/algorithms.hpp"
+#include "hpo/report.hpp"
+#include "ml/dataset.hpp"
+
+int main() {
+  using namespace chpo;
+  bench::print_header("bench_fig8_cifar_hpo", "Figure 8 (CIFAR10 HPO using grid search)");
+
+  rt::RuntimeOptions options;
+  cluster::NodeSpec node;
+  node.name = "local";
+  node.cpus = 4;
+  options.cluster = cluster::homogeneous(1, node);
+  rt::Runtime runtime(std::move(options));
+
+  const ml::Dataset dataset = ml::make_cifar_like(250, 100, 4242);
+  const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(bench::kListing1);
+
+  hpo::DriverOptions driver_options;
+  driver_options.trial_constraint = {.cpus = 1};
+  driver_options.epoch_divisor = 10;  // CNN training: keep it laptop-sized
+  driver_options.seed = 7;
+  hpo::HpoDriver driver(runtime, dataset, driver_options);
+  hpo::GridSearch grid(space);
+  const hpo::HpoOutcome outcome = driver.run(grid);
+
+  std::printf("%s\n", hpo::trials_table(outcome.trials).c_str());
+  std::printf("%s\n", hpo::accuracy_chart(outcome.trials, 80, 16).c_str());
+
+  double best = 0, worst = 1;
+  for (const auto& trial : outcome.trials) {
+    if (trial.failed) continue;
+    best = std::max(best, trial.result.best_val_accuracy);
+    worst = std::min(worst, trial.result.best_val_accuracy);
+  }
+  std::printf("accuracy spread: %.3f .. %.3f (harder than MNIST, wider spread)\n", worst, best);
+  std::printf("%s", hpo::outcome_summary(outcome).c_str());
+
+  // Random search with a third of the budget (paper §6.2's suggestion),
+  // averaged over 5 seeds — a single 9-trial draw is too noisy to compare.
+  double mean_best = 0;
+  constexpr int kReps = 5;
+  for (int rep = 0; rep < kReps; ++rep) {
+    rt::RuntimeOptions rs_options;
+    rs_options.cluster = cluster::homogeneous(1, node);
+    rt::Runtime rs_runtime(std::move(rs_options));
+    hpo::HpoDriver rs_driver(rs_runtime, dataset, driver_options);
+    hpo::RandomSearch random(space, 9, 101 + static_cast<std::uint64_t>(rep));
+    const hpo::HpoOutcome rs_outcome = rs_driver.run(random);
+    if (rs_outcome.best()) mean_best += rs_outcome.best()->result.final_val_accuracy;
+  }
+  mean_best /= kReps;
+  if (outcome.best())
+    std::printf("\nrandom search, 9/27 of the budget, mean best over %d seeds: %.3f\n"
+                "full grid best: %.3f -> gap %.3f (paper §2.1: random gets \"good or\n"
+                "better\" results at a fraction of grid's cost)\n",
+                kReps, mean_best, outcome.best()->result.final_val_accuracy,
+                outcome.best()->result.final_val_accuracy - mean_best);
+  return 0;
+}

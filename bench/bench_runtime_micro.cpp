@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks of the runtime's hot paths: task
+// submission + dependency analysis, scheduling, trace emission, JSON
+// parsing, the GP surrogate, and the ML kernels.
+#include <benchmark/benchmark.h>
+
+#include "hpo/gp.hpp"
+#include "hpo/search_space.hpp"
+#include "jsonlite/json.hpp"
+#include "ml/tensor.hpp"
+#include "runtime/runtime.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace chpo;
+
+void BM_TaskSubmission(benchmark::State& state) {
+  set_log_level(LogLevel::Error);
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::RuntimeOptions options;
+    options.cluster = cluster::marenostrum4(1);
+    options.simulate = true;
+    rt::Runtime runtime(std::move(options));
+    rt::TaskDef def;
+    def.name = "noop";
+    def.body = [](rt::TaskContext&) { return std::any(); };
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) runtime.submit(def);
+    state.PauseTiming();
+    runtime.barrier();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TaskSubmission)->Arg(256)->Arg(1024);
+
+void BM_SubmitAndRunSim(benchmark::State& state) {
+  set_log_level(LogLevel::Error);
+  for (auto _ : state) {
+    rt::RuntimeOptions options;
+    options.cluster = cluster::marenostrum4(2);
+    options.simulate = true;
+    rt::Runtime runtime(std::move(options));
+    rt::TaskDef def;
+    def.name = "noop";
+    def.body = [](rt::TaskContext&) { return std::any(); };
+    for (int i = 0; i < state.range(0); ++i) runtime.submit(def);
+    runtime.barrier();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SubmitAndRunSim)->Arg(256)->Arg(1024);
+
+void BM_DependencyChain(benchmark::State& state) {
+  set_log_level(LogLevel::Error);
+  for (auto _ : state) {
+    rt::RuntimeOptions options;
+    options.cluster = cluster::marenostrum4(1);
+    options.simulate = true;
+    rt::Runtime runtime(std::move(options));
+    const rt::DataId d = runtime.share(0);
+    rt::TaskDef def;
+    def.name = "chain";
+    def.body = [](rt::TaskContext&) { return std::any(); };
+    for (int i = 0; i < state.range(0); ++i)
+      runtime.submit(def, {{d, rt::Direction::InOut}});
+    runtime.barrier();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DependencyChain)->Arg(256);
+
+void BM_TraceRecord(benchmark::State& state) {
+  trace::TraceSink sink(state.range(0) != 0);
+  trace::Event event{.kind = trace::EventKind::TaskRun,
+                     .task_id = 1,
+                     .task_name = "experiment",
+                     .node = 0,
+                     .cores = {0},
+                     .t_start = 0.0,
+                     .t_end = 1.0};
+  for (auto _ : state) {
+    sink.record(event);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecord)->Arg(1)->Arg(0);  // enabled / disabled
+
+void BM_JsonParseListing1(benchmark::State& state) {
+  const std::string text = R"({
+    "optimizer": ["Adam", "SGD", "RMSprop"],
+    "num_epochs": [20, 50, 100],
+    "batch_size": [32, 64, 128]
+  })";
+  for (auto _ : state) benchmark::DoNotOptimize(json::parse(text));
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(text.size()));
+}
+BENCHMARK(BM_JsonParseListing1);
+
+void BM_GridEnumeration(benchmark::State& state) {
+  hpo::SearchSpace space;
+  json::Array values;
+  for (int i = 0; i < state.range(0); ++i) values.emplace_back(i);
+  space.add_categorical("a", values);
+  space.add_categorical("b", values);
+  space.add_categorical("c", values);
+  for (auto _ : state) benchmark::DoNotOptimize(space.enumerate_grid());
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_GridEnumeration)->Arg(3)->Arg(10);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  Rng rng(1);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = {rng.next_double(), rng.next_double(), rng.next_double()};
+    ys[i] = rng.next_double();
+  }
+  for (auto _ : state) {
+    hpo::GaussianProcess gp(0.3, 1.0, 1e-6);
+    gp.fit(xs, ys);
+    benchmark::DoNotOptimize(gp.predict({0.5, 0.5, 0.5}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GpFitPredict)->Arg(16)->Arg(64);
+
+void BM_Matmul(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ml::Tensor a = ml::Tensor::randn({n, n}, rng);
+  const ml::Tensor b = ml::Tensor::randn({n, n}, rng);
+  ml::Tensor c;
+  for (auto _ : state) {
+    ml::matmul(a, b, c, 1);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// @implement / @multinode ablation on the MinoTauro GPU cluster the paper
+// also evaluated on (2x K80 per node).
+//
+// Three ways to run the 27-experiment grid on 4 MinoTauro nodes (8 GPUs,
+// 64 cores):
+//   1. GPU-only constraint: tasks queue for the 8 GPUs, cores idle;
+//   2. CPU-only: every task falls back to cores, GPUs idle;
+//   3. @implement GPU + CPU-fallback: the runtime drains GPUs first and
+//      spills remaining tasks onto otherwise-idle cores — the "most
+//      appropriate implementation considering the resources" of §3.
+// Also demonstrates a @multinode data-parallel variant.
+#include "bench_common.hpp"
+#include "hpo/search_space.hpp"
+
+namespace {
+
+using namespace chpo;
+
+rt::TaskDef experiment_with(const ml::WorkloadModel& workload, const hpo::Config& config,
+                            bool gpu_impl, bool cpu_impl) {
+  const std::string optimizer = hpo::config_string(config, "optimizer");
+  const int epochs = static_cast<int>(hpo::config_int(config, "num_epochs"));
+  const int batch = static_cast<int>(hpo::config_int(config, "batch_size"));
+
+  rt::TaskDef def;
+  def.name = "experiment";
+  const auto gpu_cost = [workload, optimizer, epochs, batch](const rt::Placement& p,
+                                                             const cluster::NodeSpec& node) {
+    return ml::experiment_seconds(workload, optimizer, epochs, batch, p.cpu_count(),
+                                  p.gpu_count(), node);
+  };
+  const auto cpu_cost = [workload, optimizer, epochs, batch](const rt::Placement& p,
+                                                             const cluster::NodeSpec& node) {
+    return ml::experiment_seconds(workload, optimizer, epochs, batch, p.cpu_count(), 0, node);
+  };
+  if (gpu_impl) {
+    def.constraint = {.cpus = 4, .gpus = 1};
+    def.cost = gpu_cost;
+    if (cpu_impl) {
+      rt::TaskVariant cpu;
+      cpu.label = "cpu-fallback";
+      cpu.constraint = {.cpus = 8};
+      cpu.cost = cpu_cost;
+      def.variants.push_back(std::move(cpu));
+    }
+  } else {
+    def.constraint = {.cpus = 8};
+    def.cost = cpu_cost;
+  }
+  return def;
+}
+
+double run_grid(const char* space_json, bool gpu_impl, bool cpu_impl,
+                const char* scheduler = "priority") {
+  rt::RuntimeOptions options;
+  options.cluster = cluster::minotauro(4);
+  options.scheduler = scheduler;
+  options.simulate = true;
+  options.sim.execute_bodies = false;
+  rt::Runtime runtime(std::move(options));
+  const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(space_json);
+  const ml::WorkloadModel workload = ml::mnist_paper_model();
+  for (const auto& config : space.enumerate_grid())
+    runtime.submit(experiment_with(workload, config, gpu_impl, cpu_impl));
+  runtime.barrier();
+  return runtime.analyze().makespan();
+}
+
+void compare(const char* label, const char* space_json) {
+  const double gpu_only = run_grid(space_json, true, false);
+  const double cpu_only = run_grid(space_json, false, false);
+  const double both = run_grid(space_json, true, true);
+  const double cost_aware = run_grid(space_json, true, true, "cost-aware");
+  std::printf("%s\n", label);
+  std::printf("  %-30s %-14s\n", "GPU only", format_duration(gpu_only).c_str());
+  std::printf("  %-30s %-14s\n", "CPU only", format_duration(cpu_only).c_str());
+  std::printf("  %-30s %-14s\n", "@implement, greedy", format_duration(both).c_str());
+  std::printf("  %-30s %-14s\n\n", "@implement, cost-aware", format_duration(cost_aware).c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_variants", "Section 3 (@implement / @multinode decorators)");
+
+  std::printf("grids on 4 MinoTauro nodes (8 K80s, 64 cores):\n\n");
+  compare("uniform short tasks (27x 20-epoch configs):", R"({
+    "optimizer":  ["Adam", "SGD", "RMSprop"],
+    "num_epochs": [20],
+    "batch_size": [32, 48, 64, 80, 96, 112, 128, 160, 192]
+  })");
+  compare("heterogeneous tasks (the paper's 20/50/100-epoch grid):", bench::kListing1);
+  std::printf("finding: greedy @implement spill onto idle cores roughly breaks even on\n"
+              "uniform mixes (a K80 is ~20x a core, so the fallback barely keeps up) and\n"
+              "actively loses under a 10x duration spread, where a 100-epoch task can\n"
+              "strand on the slow CPU fallback instead of queueing briefly for a GPU.\n"
+              "The cost-aware policy (ours; COMPSs is availability-greedy) only spills a\n"
+              "task when the fallback is within 2x of its best option, recovering the\n"
+              "GPU-only makespan while still spilling when it genuinely helps.\n\n");
+
+  // @multinode: one data-parallel training spanning n nodes.
+  std::printf("@multinode data-parallel experiment (4 MN4 nodes):\n");
+  std::printf("%-10s %-14s\n", "nodes", "virtual time");
+  for (const unsigned nodes : {1u, 2u, 4u}) {
+    rt::RuntimeOptions options;
+    options.cluster = cluster::marenostrum4(4);
+    options.simulate = true;
+    rt::Runtime runtime(std::move(options));
+    rt::TaskDef def;
+    def.name = "distributed_training";
+    def.constraint = {.cpus = 48, .nodes = nodes};
+    def.cost = [](const rt::Placement& p, const cluster::NodeSpec& node) {
+      const ml::WorkloadModel w = ml::cifar_paper_model();
+      // Data parallelism: near-linear across nodes with a 5% sync tax/node.
+      const double single = ml::cpu_task_seconds(w, 50, 64, p.cpu_count(), node);
+      const double n = p.node_count();
+      return single / n * (1.0 + 0.05 * (n - 1));
+    };
+    runtime.submit(def);
+    runtime.barrier();
+    std::printf("%-10u %-14s\n", nodes, format_duration(runtime.analyze().makespan()).c_str());
+  }
+  return 0;
+}

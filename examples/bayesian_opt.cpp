@@ -1,0 +1,68 @@
+// The "future work" library in action (§7): model-based HPO over a mixed
+// continuous/categorical space with GP expected improvement, compared
+// against random search at the same budget, plus successive halving.
+#include <cstdio>
+
+#include "hpo/algorithms.hpp"
+#include "hpo/driver.hpp"
+#include "hpo/hyperband.hpp"
+#include "hpo/report.hpp"
+#include "ml/dataset.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  using namespace chpo;
+
+  hpo::SearchSpace space;
+  space.add_categorical("optimizer", {json::Value("Adam"), json::Value("SGD"),
+                                      json::Value("RMSprop")});
+  space.add_float("learning_rate", 1e-4, 1e-1, /*log=*/true);
+  space.add_categorical("batch_size", {json::Value(16), json::Value(32), json::Value(64)});
+
+  const ml::Dataset dataset = ml::make_mnist_like(300, 100, 77);
+  const auto run_algorithm = [&](hpo::SearchAlgorithm& algorithm) {
+    rt::RuntimeOptions options;
+    cluster::NodeSpec node;
+    node.cpus = 4;
+    options.cluster = cluster::homogeneous(1, node);
+    rt::Runtime runtime(std::move(options));
+    hpo::DriverOptions driver_options;
+    driver_options.epoch_cap = 2;
+    driver_options.seed = 3;
+    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    return driver.run(algorithm);
+  };
+
+  std::printf("== GP expected-improvement, 12 evaluations ==\n");
+  hpo::GpBayesOpt bo(space, {.max_evals = 12, .n_init = 4, .seed = 9});
+  const hpo::HpoOutcome bo_outcome = run_algorithm(bo);
+  std::printf("%s\n", hpo::trials_table(bo_outcome.trials).c_str());
+  std::printf("%s\n", hpo::outcome_summary(bo_outcome).c_str());
+
+  std::printf("== random search, same budget ==\n");
+  hpo::RandomSearch random(space, 12, 9);
+  const hpo::HpoOutcome random_outcome = run_algorithm(random);
+  std::printf("%s\n", hpo::outcome_summary(random_outcome).c_str());
+
+  std::printf("== successive halving: 9 configs, eta=3 ==\n");
+  {
+    rt::RuntimeOptions options;
+    cluster::NodeSpec node;
+    node.cpus = 4;
+    options.cluster = cluster::homogeneous(1, node);
+    rt::Runtime runtime(std::move(options));
+    hpo::HalvingOptions halving;
+    halving.initial_configs = 9;
+    halving.initial_epochs = 1;
+    halving.eta = 3.0;
+    halving.max_epochs = 9;
+    const hpo::HalvingOutcome outcome =
+        hpo::successive_halving(runtime, dataset, space, halving);
+    for (const auto& rung : outcome.rungs)
+      std::printf("rung %d: %zu trials at %d epochs\n", rung.rung, rung.trials.size(),
+                  rung.epochs);
+    std::printf("best: %s -> %.3f\n", hpo::config_brief(outcome.best_config).c_str(),
+                outcome.best_accuracy);
+  }
+  return 0;
+}

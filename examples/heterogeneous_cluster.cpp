@@ -1,0 +1,86 @@
+// Heterogeneous-cluster HPO: the paper's §3 decorators working together.
+//
+// A mixed cluster of MareNostrum4 CPU nodes and a POWER9 GPU node; each
+// experiment declares a GPU implementation plus a CPU @implement fallback,
+// so the runtime fills the V100s first and spills the remainder onto CPU
+// nodes. A final @multinode data-parallel retraining of the winning config
+// spans several CPU nodes.
+#include <cstdio>
+
+#include "hpo/driver.hpp"
+#include "hpo/search_space.hpp"
+#include "ml/cost_model.hpp"
+#include "runtime/runtime.hpp"
+#include "support/strings.hpp"
+#include "trace/gantt.hpp"
+
+int main() {
+  using namespace chpo;
+
+  // 4 MN4 CPU nodes + 1 POWER9 (4x V100).
+  rt::RuntimeOptions options;
+  options.cluster = cluster::marenostrum4(4);
+  options.cluster.nodes.push_back(cluster::power9_node());
+  options.simulate = true;
+  options.sim.execute_bodies = false;
+  rt::Runtime runtime(std::move(options));
+
+  const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(R"({
+    "optimizer":  ["Adam", "SGD", "RMSprop"],
+    "num_epochs": [20, 50, 100],
+    "batch_size": [32, 64, 128]
+  })");
+  const ml::WorkloadModel workload = ml::cifar_paper_model();
+
+  std::vector<rt::Future> results;
+  for (const auto& config : space.enumerate_grid()) {
+    const std::string optimizer = hpo::config_string(config, "optimizer");
+    const int epochs = static_cast<int>(hpo::config_int(config, "num_epochs"));
+    const int batch = static_cast<int>(hpo::config_int(config, "batch_size"));
+
+    rt::TaskDef def;
+    def.name = "experiment";
+    def.constraint = {.cpus = 8, .gpus = 1};  // primary: V100 + feeder cores
+    def.cost = [=](const rt::Placement& p, const cluster::NodeSpec& node) {
+      return ml::experiment_seconds(workload, optimizer, epochs, batch, p.cpu_count(),
+                                    p.gpu_count(), node);
+    };
+    rt::TaskVariant cpu;  // @implement fallback: a whole CPU node
+    cpu.label = "cpu";
+    cpu.constraint = {.cpus = 48};
+    cpu.cost = [=](const rt::Placement& p, const cluster::NodeSpec& node) {
+      return ml::experiment_seconds(workload, optimizer, epochs, batch, p.cpu_count(), 0, node);
+    };
+    def.variants.push_back(std::move(cpu));
+    results.push_back(runtime.submit(def));
+  }
+  runtime.barrier();
+
+  const auto analysis = runtime.analyze();
+  std::printf("27 experiments over 4 CPU nodes + 1 GPU node\n");
+  std::printf("makespan: %s, peak parallel tasks: %zu, nodes used: %zu\n",
+              format_duration(analysis.makespan()).c_str(), analysis.peak_concurrency(),
+              analysis.nodes_used());
+  for (const auto& stats : analysis.stats_by_name())
+    std::printf("task '%s': %zu runs, %s .. %s (mean %s)\n", stats.name.c_str(), stats.count,
+                format_duration(stats.min_seconds).c_str(),
+                format_duration(stats.max_seconds).c_str(),
+                format_duration(stats.mean_seconds()).c_str());
+  std::printf("\n%s\n",
+              trace::render_parallelism_profile(runtime.trace().events(), 90, 10).c_str());
+
+  // Retrain the winner across 4 CPU nodes with @multinode data parallelism.
+  rt::TaskDef retrain;
+  retrain.name = "distributed_retraining";
+  retrain.constraint = {.cpus = 48, .nodes = 4};
+  retrain.cost = [&workload](const rt::Placement& p, const cluster::NodeSpec& node) {
+    const double single = ml::cpu_task_seconds(workload, 100, 64, p.cpu_count(), node);
+    const double n = p.node_count();
+    return single / n * (1.0 + 0.05 * (n - 1));  // 5% sync tax per extra node
+  };
+  const rt::Future final_model = runtime.submit(retrain);
+  runtime.wait_on(final_model);
+  std::printf("final @multinode retraining on 4 nodes finished at %s\n",
+              format_duration(runtime.now()).c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+namespace chpo::cluster {
+
+unsigned ClusterSpec::usable_cpus(std::size_t node) const {
+  if (node >= nodes.size() || !node_usable(node)) return 0;
+  const unsigned cpus = nodes[node].cpus;
+  if (worker_placement == WorkerPlacement::SharedCores)
+    return cpus > worker_cores ? cpus - worker_cores : 0;
+  return cpus;
+}
+
+unsigned ClusterSpec::usable_gpus(std::size_t node) const {
+  if (node >= nodes.size() || !node_usable(node)) return 0;
+  return nodes[node].gpus;
+}
+
+bool ClusterSpec::node_usable(std::size_t node) const {
+  if (node >= nodes.size()) return false;
+  if (worker_placement == WorkerPlacement::DedicatedNode && node == 0) return false;
+  return true;
+}
+
+unsigned ClusterSpec::total_usable_cpus() const {
+  unsigned total = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) total += usable_cpus(i);
+  return total;
+}
+
+unsigned ClusterSpec::total_usable_gpus() const {
+  unsigned total = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) total += usable_gpus(i);
+  return total;
+}
+
+NodeSpec marenostrum4_node() {
+  return NodeSpec{.name = "mn4", .cpus = 48, .gpus = 0, .core_rate = 1.0, .gpu_rate = 0.0, .memory_gb = 96.0};
+}
+
+NodeSpec minotauro_node() {
+  // K80s are older parts: model them at a modest multiple of an MN4 core.
+  return NodeSpec{.name = "minotauro", .cpus = 16, .gpus = 2, .core_rate = 0.85, .gpu_rate = 18.0, .memory_gb = 128.0};
+}
+
+NodeSpec power9_node() {
+  // 160 hardware threads; each is weaker than an MN4 core, but 4 V100s are fast.
+  return NodeSpec{.name = "power9", .cpus = 160, .gpus = 4, .core_rate = 0.55, .gpu_rate = 45.0, .memory_gb = 512.0};
+}
+
+ClusterSpec homogeneous(std::size_t n, NodeSpec node) {
+  ClusterSpec spec;
+  spec.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeSpec copy = node;
+    copy.name += "-" + std::to_string(i);
+    spec.nodes.push_back(std::move(copy));
+  }
+  return spec;
+}
+
+ClusterSpec marenostrum4(std::size_t n_nodes) { return homogeneous(n_nodes, marenostrum4_node()); }
+
+ClusterSpec minotauro(std::size_t n_nodes) { return homogeneous(n_nodes, minotauro_node()); }
+
+ClusterSpec power9(std::size_t n_nodes) { return homogeneous(n_nodes, power9_node()); }
+
+}  // namespace chpo::cluster

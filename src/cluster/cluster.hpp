@@ -1,0 +1,82 @@
+// Cluster and resource model.
+//
+// Describes the machines the paper evaluates on — MareNostrum 4 CPU nodes,
+// MinoTauro K80 nodes and CTE-POWER9 V100 nodes — as data the scheduler and
+// the discrete-event backend consume. Nothing here executes work; it only
+// answers "what resources exist, how fast are they, and what does moving
+// data between them cost".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chpo::cluster {
+
+/// One machine in the cluster.
+struct NodeSpec {
+  std::string name;
+  unsigned cpus = 1;          ///< usable cores (before worker reservation)
+  unsigned gpus = 0;
+  double core_rate = 1.0;     ///< relative per-core compute rate (MN4 core = 1.0)
+  double gpu_rate = 30.0;     ///< relative per-GPU compute rate vs one MN4 core
+  double memory_gb = 96.0;
+};
+
+/// Interconnect + filesystem cost model used when tasks need remote data.
+struct TransferModel {
+  double latency_s = 5e-6;          ///< per-message latency
+  double bandwidth_gbps = 12.5;     ///< GB/s (≈100 Gb/s EDR InfiniBand)
+
+  /// Seconds to move `bytes` from one node to another.
+  double transfer_seconds(std::uint64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / (bandwidth_gbps * 1e9);
+  }
+};
+
+/// Where the COMPSs worker process lives. The paper's single-node runs lose
+/// half the node's cores to the worker; its multi-node runs dedicate a full
+/// extra node to it ("the first node seems empty as it is used by the
+/// worker", §6.1).
+enum class WorkerPlacement {
+  None,           ///< all cores of all nodes are usable by tasks
+  SharedCores,    ///< every node reserves `worker_cores` cores for the worker
+  DedicatedNode,  ///< node 0 is entirely reserved for the worker
+};
+
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  bool has_parallel_fs = true;  ///< GPFS-style PFS: no per-task input staging
+  TransferModel network;
+  WorkerPlacement worker_placement = WorkerPlacement::None;
+  unsigned worker_cores = 0;  ///< used when placement == SharedCores
+
+  /// Cores of `node` that tasks may occupy after worker reservation.
+  unsigned usable_cpus(std::size_t node) const;
+  unsigned usable_gpus(std::size_t node) const;
+  /// True if tasks may run on this node at all.
+  bool node_usable(std::size_t node) const;
+
+  unsigned total_usable_cpus() const;
+  unsigned total_usable_gpus() const;
+  std::size_t node_count() const { return nodes.size(); }
+};
+
+/// MareNostrum 4 compute node: 2x Intel Xeon Platinum 8160, 24 cores each.
+NodeSpec marenostrum4_node();
+
+/// MinoTauro node: 2x Xeon E5-2630 v3 8-core + 2x NVIDIA K80.
+NodeSpec minotauro_node();
+
+/// CTE-POWER9 node: 2x POWER9 (160 hardware threads) + 4x NVIDIA V100.
+NodeSpec power9_node();
+
+/// Homogeneous cluster of `n` copies of `node`.
+ClusterSpec homogeneous(std::size_t n, NodeSpec node);
+
+/// Paper presets.
+ClusterSpec marenostrum4(std::size_t n_nodes);
+ClusterSpec minotauro(std::size_t n_nodes);
+ClusterSpec power9(std::size_t n_nodes);
+
+}  // namespace chpo::cluster

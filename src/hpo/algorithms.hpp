@@ -1,0 +1,98 @@
+// Search algorithms.
+//
+// The paper implements grid search and random search on PyCOMPSs and leaves
+// "a library that puts together all key algorithms in HPO" as future work —
+// we ship that library: grid, random, Gaussian-process Bayesian
+// optimisation (expected improvement), with successive halving in
+// hyperband.hpp.
+//
+// Protocol: next() yields the next configuration to evaluate (nullopt when
+// the algorithm is finished); tell() reports a finished trial's score
+// (higher is better). Batch algorithms (grid, random) ignore tell() and can
+// be fully drained up front — that is what makes the HPO embarrassingly
+// parallel. Sequential algorithms (GP) need tell() between next() calls;
+// sequential() distinguishes the two so the driver can pick its submission
+// strategy.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpo/gp.hpp"
+#include "hpo/search_space.hpp"
+
+namespace chpo::hpo {
+
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+  virtual std::string name() const = 0;
+
+  virtual std::optional<Config> next() = 0;
+  virtual void tell(const Config& config, double score) { (void)config, (void)score; }
+
+  /// True when the algorithm must observe tell() before the following
+  /// next() to make progress (model-based methods).
+  virtual bool sequential() const { return false; }
+};
+
+/// Exhaustive grid search over a finite space (paper §2.1 / §5).
+class GridSearch : public SearchAlgorithm {
+ public:
+  explicit GridSearch(const SearchSpace& space);
+  std::string name() const override { return "grid"; }
+  std::optional<Config> next() override;
+  std::size_t total() const { return configs_.size(); }
+
+ private:
+  std::vector<Config> configs_;
+  std::size_t cursor_ = 0;
+};
+
+/// Random search (Bergstra & Bengio 2012, paper §2.1): `n` iid samples.
+class RandomSearch : public SearchAlgorithm {
+ public:
+  RandomSearch(const SearchSpace& space, std::size_t n, std::uint64_t seed);
+  std::string name() const override { return "random"; }
+  std::optional<Config> next() override;
+
+ private:
+  const SearchSpace& space_;
+  std::size_t remaining_;
+  Rng rng_;
+};
+
+/// GP surrogate + expected improvement. The first `n_init` points are
+/// random; afterwards each next() fits the GP on all told observations and
+/// maximises EI over `n_candidates` random candidate configs.
+class GpBayesOpt : public SearchAlgorithm {
+ public:
+  struct Options {
+    std::size_t max_evals = 30;
+    std::size_t n_init = 5;
+    std::size_t n_candidates = 256;
+    double lengthscale = 0.35;
+    double noise = 1e-6;
+    std::uint64_t seed = 99;
+  };
+
+  GpBayesOpt(const SearchSpace& space, Options options);
+  std::string name() const override { return "gp-ei"; }
+  std::optional<Config> next() override;
+  void tell(const Config& config, double score) override;
+  bool sequential() const override { return true; }
+
+  std::size_t observations() const { return ys_.size(); }
+
+ private:
+  const SearchSpace& space_;
+  Options options_;
+  Rng rng_;
+  std::size_t issued_ = 0;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> ys_;
+};
+
+}  // namespace chpo::hpo

@@ -1,0 +1,110 @@
+#include "hpo/baseline.hpp"
+
+#include <algorithm>
+
+#include "support/stopwatch.hpp"
+
+namespace chpo::hpo {
+
+namespace {
+
+ml::TrainConfig baseline_train_config(const Config& config, const DriverOptions& options,
+                                      int index) {
+  ml::TrainConfig tc;
+  if (config.contains("optimizer")) tc.optimizer = config_string(config, "optimizer");
+  int epochs = config.contains("num_epochs")
+                   ? static_cast<int>(config_int(config, "num_epochs"))
+                   : tc.num_epochs;
+  epochs = std::max(1, epochs / std::max(1, options.epoch_divisor));
+  if (options.epoch_cap > 0) epochs = std::min(epochs, options.epoch_cap);
+  tc.num_epochs = epochs;
+  if (config.contains("batch_size"))
+    tc.batch_size = static_cast<int>(config_int(config, "batch_size"));
+  if (config.contains("learning_rate"))
+    tc.learning_rate = static_cast<float>(config_double(config, "learning_rate"));
+  if (config.contains("lr_schedule")) tc.lr_schedule = config_string(config, "lr_schedule");
+  if (config.contains("weight_decay"))
+    tc.weight_decay = static_cast<float>(config_double(config, "weight_decay"));
+  if (config.contains("batch_norm")) tc.batch_norm = config.at("batch_norm").as_bool();
+  if (config.contains("hidden_layers"))
+    tc.hidden_layers = static_cast<int>(config_int(config, "hidden_layers"));
+  if (config.contains("hidden_units"))
+    tc.hidden_units = static_cast<int>(config_int(config, "hidden_units"));
+  if (config.contains("dropout"))
+    tc.dropout = static_cast<float>(config_double(config, "dropout"));
+  tc.seed = options.seed + static_cast<std::uint64_t>(index) * 7919ULL;
+  tc.target_accuracy = options.trial_target_accuracy;
+  tc.patience = options.trial_patience;
+  return tc;
+}
+
+double config_cost_seconds(const Config& config, const ml::WorkloadModel& workload, unsigned cpus,
+                           const cluster::NodeSpec& node) {
+  const std::string optimizer =
+      config.contains("optimizer") ? config_string(config, "optimizer") : "Adam";
+  const int epochs =
+      config.contains("num_epochs") ? static_cast<int>(config_int(config, "num_epochs")) : 10;
+  const int batch =
+      config.contains("batch_size") ? static_cast<int>(config_int(config, "batch_size")) : 32;
+  return ml::experiment_seconds(workload, optimizer, epochs, batch, cpus, 0, node);
+}
+
+}  // namespace
+
+HpoOutcome sequential_hpo(const ml::Dataset& dataset, const std::vector<Config>& configs,
+                          const DriverOptions& options) {
+  Stopwatch clock;
+  HpoOutcome outcome;
+  double best = -1.0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Trial trial;
+    trial.index = static_cast<int>(i);
+    trial.config = configs[i];
+    trial.result =
+        ml::run_experiment(dataset, baseline_train_config(configs[i], options, trial.index));
+    if (trial.result.final_val_accuracy > best) {
+      best = trial.result.final_val_accuracy;
+      outcome.best_index = trial.index;
+    }
+    outcome.trials.push_back(std::move(trial));
+    if (options.stop_on_accuracy > 0 && best >= options.stop_on_accuracy) {
+      outcome.stopped_early = true;
+      break;
+    }
+  }
+  outcome.elapsed_seconds = clock.elapsed_seconds();
+  return outcome;
+}
+
+double sequential_makespan_seconds(const std::vector<Config>& configs,
+                                   const ml::WorkloadModel& workload, unsigned cpus,
+                                   const cluster::NodeSpec& node) {
+  double total = 0.0;
+  for (const Config& c : configs) total += config_cost_seconds(c, workload, cpus, node);
+  return total;
+}
+
+double static_partition_seconds(const std::vector<Config>& configs,
+                                const ml::WorkloadModel& workload, std::size_t nodes,
+                                unsigned cpus_per_task, const cluster::NodeSpec& node) {
+  if (nodes == 0) return 0.0;
+  std::vector<double> per_node(nodes, 0.0);
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    per_node[i % nodes] += config_cost_seconds(configs[i], workload, cpus_per_task, node);
+  return *std::max_element(per_node.begin(), per_node.end());
+}
+
+double static_partition_contiguous_seconds(const std::vector<Config>& configs,
+                                           const ml::WorkloadModel& workload, std::size_t nodes,
+                                           unsigned cpus_per_task,
+                                           const cluster::NodeSpec& node) {
+  if (nodes == 0) return 0.0;
+  const std::size_t block = (configs.size() + nodes - 1) / nodes;
+  std::vector<double> per_node(nodes, 0.0);
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    per_node[std::min(i / block, nodes - 1)] +=
+        config_cost_seconds(configs[i], workload, cpus_per_task, node);
+  return *std::max_element(per_node.begin(), per_node.end());
+}
+
+}  // namespace chpo::hpo

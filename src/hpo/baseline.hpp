@@ -1,0 +1,49 @@
+// Baselines the paper's introduction motivates against.
+//
+// * sequential_hpo: "traditionally, one would just launch one training
+//   after the other" — no runtime, one config at a time on the calling
+//   thread. The comparator for every speedup claim.
+// * static_partition_seconds: the slurm-style alternative (§2.2): split the
+//   config list into fixed per-node blocks up front, no work stealing. Uses
+//   the same analytic cost model as the simulator, so its makespan is
+//   directly comparable with the runtime's dynamic scheduling — this is
+//   what quantifies "reuse of freed resources" (Figure 6b's point).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "hpo/driver.hpp"
+#include "hpo/search_space.hpp"
+#include "ml/cost_model.hpp"
+#include "ml/dataset.hpp"
+
+namespace chpo::hpo {
+
+/// Train every config serially; returns trials in order.
+HpoOutcome sequential_hpo(const ml::Dataset& dataset, const std::vector<Config>& configs,
+                          const DriverOptions& options);
+
+/// Virtual makespan of the config list under the analytic cost model when
+/// all experiments run one-after-another on `cpus` cores of `node`.
+double sequential_makespan_seconds(const std::vector<Config>& configs,
+                                   const ml::WorkloadModel& workload, unsigned cpus,
+                                   const cluster::NodeSpec& node);
+
+/// Virtual makespan when configs are dealt round-robin across nodes, each
+/// node running its share serially (`cpus_per_task` cores per experiment,
+/// no rebalancing). Round-robin interleaves the duration spectrum, so it
+/// is the *strong* static baseline.
+double static_partition_seconds(const std::vector<Config>& configs,
+                                const ml::WorkloadModel& workload, std::size_t nodes,
+                                unsigned cpus_per_task, const cluster::NodeSpec& node);
+
+/// Same, but with contiguous blocks (configs [i*k, (i+1)*k) to node i) —
+/// what a naive per-node slurm script does. Groups the heavy 100-epoch
+/// configs onto one node and pays for it.
+double static_partition_contiguous_seconds(const std::vector<Config>& configs,
+                                           const ml::WorkloadModel& workload, std::size_t nodes,
+                                           unsigned cpus_per_task,
+                                           const cluster::NodeSpec& node);
+
+}  // namespace chpo::hpo

@@ -1,0 +1,100 @@
+#include "hpo/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace chpo::hpo {
+
+json::Value trial_to_json(const Trial& trial) {
+  json::Value out;
+  out.set("index", json::Value(static_cast<std::int64_t>(trial.index)));
+  out.set("config", trial.config);
+  out.set("failed", json::Value(trial.failed));
+  if (trial.failed) {
+    out.set("failure_reason", json::Value(trial.failure_reason));
+    return out;
+  }
+  json::Array history;
+  for (const auto& epoch : trial.result.history) {
+    json::Value e;
+    e.set("epoch", json::Value(static_cast<std::int64_t>(epoch.epoch)));
+    e.set("train_loss", json::Value(epoch.train_loss));
+    e.set("train_accuracy", json::Value(epoch.train_accuracy));
+    e.set("val_accuracy", json::Value(epoch.val_accuracy));
+    history.push_back(std::move(e));
+  }
+  out.set("history", json::Value(std::move(history)));
+  out.set("final_val_accuracy", json::Value(trial.result.final_val_accuracy));
+  out.set("best_val_accuracy", json::Value(trial.result.best_val_accuracy));
+  out.set("epochs_run", json::Value(static_cast<std::int64_t>(trial.result.epochs_run)));
+  out.set("stopped_early", json::Value(trial.result.stopped_early));
+  return out;
+}
+
+Trial trial_from_json(const json::Value& value) {
+  Trial trial;
+  trial.index = static_cast<int>(value.at("index").as_int());
+  trial.config = value.at("config");
+  trial.failed = value.at("failed").as_bool();
+  if (trial.failed) {
+    if (value.contains("failure_reason"))
+      trial.failure_reason = value.at("failure_reason").as_string();
+    return trial;
+  }
+  for (const auto& e : value.at("history").as_array()) {
+    ml::EpochStats stats;
+    stats.epoch = static_cast<int>(e.at("epoch").as_int());
+    stats.train_loss = e.at("train_loss").as_double();
+    stats.train_accuracy = e.at("train_accuracy").as_double();
+    stats.val_accuracy = e.at("val_accuracy").as_double();
+    trial.result.history.push_back(stats);
+  }
+  trial.result.final_val_accuracy = value.at("final_val_accuracy").as_double();
+  trial.result.best_val_accuracy = value.at("best_val_accuracy").as_double();
+  trial.result.epochs_run = static_cast<int>(value.at("epochs_run").as_int());
+  trial.result.stopped_early = value.at("stopped_early").as_bool();
+  return trial;
+}
+
+json::Value trials_to_json(const std::vector<Trial>& trials) {
+  json::Array array;
+  array.reserve(trials.size());
+  for (const Trial& t : trials) array.push_back(trial_to_json(t));
+  json::Value out;
+  out.set("format", json::Value("chpo-checkpoint-v1"));
+  out.set("trials", json::Value(std::move(array)));
+  return out;
+}
+
+std::vector<Trial> trials_from_json(const json::Value& value) {
+  if (!value.contains("format") || value.at("format").as_string() != "chpo-checkpoint-v1")
+    throw json::JsonError("checkpoint: unknown format");
+  std::vector<Trial> out;
+  for (const auto& t : value.at("trials").as_array()) out.push_back(trial_from_json(t));
+  return out;
+}
+
+void save_checkpoint(const std::string& path, const std::vector<Trial>& trials) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    out << json::serialize_pretty(trials_to_json(trials)) << "\n";
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::vector<Trial> load_checkpoint(const std::string& path) {
+  if (!std::filesystem::exists(path)) return {};
+  return trials_from_json(json::parse_file(path));
+}
+
+const Trial* find_completed(const std::vector<Trial>& previous, const Config& config) {
+  const std::string key = json::serialize(config);
+  for (const Trial& t : previous)
+    if (!t.failed && json::serialize(t.config) == key) return &t;
+  return nullptr;
+}
+
+}  // namespace chpo::hpo

@@ -1,0 +1,37 @@
+// Trial checkpointing — application-level fault tolerance.
+//
+// The runtime retries individual task failures (§3), but a crashed *main
+// program* (login-node eviction, wall-clock limit) would otherwise lose
+// every finished experiment. A checkpoint file stores completed trials as
+// JSON; on restart the driver replays matching configs from the file
+// instead of retraining them ("continuity in case of failure", §3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpo/driver.hpp"
+#include "jsonlite/json.hpp"
+
+namespace chpo::hpo {
+
+/// Lossless-enough Trial serialization (configs, history, outcome flags).
+json::Value trial_to_json(const Trial& trial);
+Trial trial_from_json(const json::Value& value);
+
+json::Value trials_to_json(const std::vector<Trial>& trials);
+std::vector<Trial> trials_from_json(const json::Value& value);
+
+/// Atomically (write + rename) persist trials to `path`.
+void save_checkpoint(const std::string& path, const std::vector<Trial>& trials);
+
+/// Load a checkpoint; empty vector when the file does not exist. Throws
+/// json::JsonError on a corrupt file.
+std::vector<Trial> load_checkpoint(const std::string& path);
+
+/// Find a completed (non-failed) trial for `config` in `previous`, matching
+/// by serialized config equality.
+const Trial* find_completed(const std::vector<Trial>& previous, const Config& config);
+
+}  // namespace chpo::hpo

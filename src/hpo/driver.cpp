@@ -1,0 +1,275 @@
+#include "hpo/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "hpo/checkpoint.hpp"
+#include "support/log.hpp"
+
+namespace chpo::hpo {
+
+namespace {
+
+ml::TrainConfig train_config_from(const Config& config, const DriverOptions& options,
+                                  int trial_index, unsigned threads) {
+  ml::TrainConfig tc;
+  if (config.contains("optimizer")) tc.optimizer = config_string(config, "optimizer");
+  int epochs = config.contains("num_epochs")
+                   ? static_cast<int>(config_int(config, "num_epochs"))
+                   : tc.num_epochs;
+  epochs = std::max(1, epochs / std::max(1, options.epoch_divisor));
+  if (options.epoch_cap > 0) epochs = std::min(epochs, options.epoch_cap);
+  tc.num_epochs = epochs;
+  if (config.contains("batch_size"))
+    tc.batch_size = static_cast<int>(config_int(config, "batch_size"));
+  if (config.contains("learning_rate"))
+    tc.learning_rate = static_cast<float>(config_double(config, "learning_rate"));
+  if (config.contains("lr_schedule")) tc.lr_schedule = config_string(config, "lr_schedule");
+  if (config.contains("weight_decay"))
+    tc.weight_decay = static_cast<float>(config_double(config, "weight_decay"));
+  if (config.contains("batch_norm")) tc.batch_norm = config.at("batch_norm").as_bool();
+  if (config.contains("hidden_layers"))
+    tc.hidden_layers = static_cast<int>(config_int(config, "hidden_layers"));
+  if (config.contains("hidden_units"))
+    tc.hidden_units = static_cast<int>(config_int(config, "hidden_units"));
+  if (config.contains("dropout"))
+    tc.dropout = static_cast<float>(config_double(config, "dropout"));
+  tc.threads = std::max(1u, threads);
+  tc.seed = options.seed + static_cast<std::uint64_t>(trial_index) * 7919ULL;
+  tc.target_accuracy = options.trial_target_accuracy;
+  tc.patience = options.trial_patience;
+  return tc;
+}
+
+}  // namespace
+
+rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& config,
+                                 const DriverOptions& options, int trial_index) {
+  rt::TaskDef def;
+  def.name = "experiment";
+  def.constraint = options.trial_constraint;
+
+  const ml::Dataset* dataset_ptr = &dataset;
+  def.body = [dataset_ptr, config, options, trial_index](rt::TaskContext& ctx) -> std::any {
+    const ml::TrainConfig tc =
+        train_config_from(config, options, trial_index, ctx.thread_budget());
+    if (options.cv_folds > 1) {
+      // Cross-validated trial: mean fold accuracy is the score; history
+      // records one entry per fold so reports still have a curve to show.
+      const ml::CvResult cv = ml::cross_validate(*dataset_ptr, tc, options.cv_folds);
+      ml::TrainResult result;
+      for (std::size_t fold = 0; fold < cv.fold_accuracies.size(); ++fold) {
+        ml::EpochStats stats;
+        stats.epoch = static_cast<int>(fold) + 1;
+        stats.val_accuracy = cv.fold_accuracies[fold];
+        result.history.push_back(stats);
+      }
+      result.final_val_accuracy = cv.mean_accuracy;
+      result.best_val_accuracy = cv.mean_accuracy;
+      result.epochs_run = tc.num_epochs;
+      return result;
+    }
+    return ml::run_experiment(*dataset_ptr, tc);
+  };
+
+  if (options.workload) {
+    const ml::WorkloadModel workload = *options.workload;
+    const std::string optimizer =
+        config.contains("optimizer") ? config_string(config, "optimizer") : "Adam";
+    const int epochs =
+        config.contains("num_epochs") ? static_cast<int>(config_int(config, "num_epochs")) : 10;
+    const int batch =
+        config.contains("batch_size") ? static_cast<int>(config_int(config, "batch_size")) : 32;
+    def.cost = [workload, optimizer, epochs, batch](const rt::Placement& placement,
+                                                    const cluster::NodeSpec& node) {
+      return ml::experiment_seconds(workload, optimizer, epochs, batch, placement.cpu_count(),
+                                    placement.gpu_count(), node);
+    };
+  }
+  return def;
+}
+
+HpoDriver::HpoDriver(rt::Runtime& runtime, const ml::Dataset& dataset, DriverOptions options)
+    : runtime_(runtime), dataset_(dataset), options_(std::move(options)) {}
+
+HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
+  return algorithm.sequential() ? run_sequential(algorithm) : run_batch(algorithm);
+}
+
+void HpoDriver::finalise(HpoOutcome& outcome, double t0) const {
+  outcome.elapsed_seconds = runtime_.now() - t0;
+  double best = -1.0;
+  for (const Trial& t : outcome.trials) {
+    if (t.failed) continue;
+    if (t.result.final_val_accuracy > best) {
+      best = t.result.final_val_accuracy;
+      outcome.best_index = t.index;
+    }
+  }
+}
+
+namespace {
+
+/// The paper's `visualisation` task: condenses one experiment's result to
+/// a report line (accuracy trajectory), running as a task of its own.
+rt::TaskDef make_visualisation_task(const Config& config) {
+  rt::TaskDef def;
+  def.name = "visualisation";
+  const std::string brief = config_brief(config);
+  def.body = [brief](rt::TaskContext& ctx) -> std::any {
+    const auto& result = ctx.read<ml::TrainResult>(0);
+    std::string line = brief + " ->";
+    for (const auto& epoch : result.history) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, " %.3f", epoch.val_accuracy);
+      line += buf;
+    }
+    return line;
+  };
+  return def;
+}
+
+/// The final `plot` task (compss_wait_on target in Figure 2): merges all
+/// visualisation lines into one report.
+rt::TaskDef make_plot_task() {
+  rt::TaskDef def;
+  def.name = "plot";
+  def.body = [](rt::TaskContext& ctx) -> std::any {
+    std::string report = "validation accuracy per epoch, one line per experiment\n";
+    for (std::size_t i = 0; i < ctx.param_count() - 1; ++i)
+      report += ctx.read<std::string>(i) + "\n";
+    return report;
+  };
+  return def;
+}
+
+}  // namespace
+
+HpoOutcome HpoDriver::run_batch(SearchAlgorithm& algorithm) {
+  const double t0 = runtime_.now();
+  HpoOutcome outcome;
+  const std::vector<Trial> restored =
+      options_.checkpoint_path.empty() ? std::vector<Trial>{}
+                                       : load_checkpoint(options_.checkpoint_path);
+
+  // The paper's main loop: submit every experiment, then wait on results.
+  // A config found in the checkpoint is replayed instead of resubmitted.
+  struct Pending {
+    Config config;
+    std::optional<rt::Future> future;  // nullopt: restored from checkpoint
+    const Trial* restored = nullptr;
+  };
+  std::vector<Pending> submitted;
+  std::vector<rt::Future> visualised;
+  int index = 0;
+  std::size_t replayed = 0;
+  while (auto config = algorithm.next()) {
+    Pending pending;
+    pending.config = *config;
+    if (const Trial* previous = find_completed(restored, *config)) {
+      pending.restored = previous;
+      ++replayed;
+      if (options_.visualise) visualised.push_back(rt::Future{});  // keep indices aligned
+    } else {
+      const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, index);
+      const rt::Future experiment = runtime_.submit(def);
+      pending.future = experiment;
+      if (options_.visualise)
+        visualised.push_back(runtime_.submit(make_visualisation_task(*config),
+                                             {{experiment.data, rt::Direction::In}}));
+    }
+    submitted.push_back(std::move(pending));
+    ++index;
+  }
+  log_info("hpo", "{}: submitted {} experiments ({} replayed from checkpoint)",
+           algorithm.name(), submitted.size(), replayed);
+
+  for (std::size_t i = 0; i < submitted.size(); ++i) {
+    Trial trial;
+    trial.index = static_cast<int>(i);
+    trial.config = submitted[i].config;
+    if (submitted[i].restored) {
+      trial.result = submitted[i].restored->result;
+      algorithm.tell(trial.config, trial.result.final_val_accuracy);
+    } else {
+      trial.task = submitted[i].future->producer;
+      try {
+        trial.result = runtime_.wait_on_as<ml::TrainResult>(*submitted[i].future);
+        algorithm.tell(trial.config, trial.result.final_val_accuracy);
+      } catch (const rt::TaskFailedError& e) {
+        trial.failed = true;
+        trial.failure_reason = e.what();
+      }
+    }
+    outcome.trials.push_back(std::move(trial));
+    if (!options_.checkpoint_path.empty())
+      save_checkpoint(options_.checkpoint_path, outcome.trials);
+    if (options_.stop_on_accuracy > 0 && !outcome.trials.back().failed &&
+        outcome.trials.back().result.final_val_accuracy >= options_.stop_on_accuracy) {
+      outcome.stopped_early = true;
+      break;
+    }
+  }
+
+  // "When all tasks are completed, we plot the graphs" (§4): one plot task
+  // over every visualisation output that can still produce a value.
+  if (options_.visualise && !outcome.stopped_early) {
+    std::vector<rt::Param> params;
+    for (std::size_t i = 0; i < visualised.size(); ++i)
+      if (i < outcome.trials.size() && !outcome.trials[i].failed &&
+          submitted[i].future.has_value())  // checkpoint-restored: no vis task
+        params.push_back({visualised[i].data, rt::Direction::In});
+    if (!params.empty()) {
+      const rt::Future plot = runtime_.submit(make_plot_task(), params);
+      try {
+        outcome.report = runtime_.wait_on_as<std::string>(plot);
+      } catch (const rt::TaskFailedError& e) {
+        outcome.report = std::string("plot task failed: ") + e.what();
+      }
+    }
+  }
+  finalise(outcome, t0);
+  return outcome;
+}
+
+HpoOutcome HpoDriver::run_sequential(SearchAlgorithm& algorithm) {
+  const double t0 = runtime_.now();
+  HpoOutcome outcome;
+  const std::vector<Trial> restored =
+      options_.checkpoint_path.empty() ? std::vector<Trial>{}
+                                       : load_checkpoint(options_.checkpoint_path);
+  int index = 0;
+  while (auto config = algorithm.next()) {
+    Trial trial;
+    trial.index = index++;
+    trial.config = *config;
+    if (const Trial* previous = find_completed(restored, *config)) {
+      trial.result = previous->result;
+      algorithm.tell(trial.config, trial.result.final_val_accuracy);
+      outcome.trials.push_back(std::move(trial));
+      continue;
+    }
+    const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, trial.index);
+    const rt::Future future = runtime_.submit(def);
+    trial.task = future.producer;
+    try {
+      trial.result = runtime_.wait_on_as<ml::TrainResult>(future);
+      algorithm.tell(trial.config, trial.result.final_val_accuracy);
+    } catch (const rt::TaskFailedError& e) {
+      trial.failed = true;
+      trial.failure_reason = e.what();
+    }
+    outcome.trials.push_back(std::move(trial));
+    if (!options_.checkpoint_path.empty())
+      save_checkpoint(options_.checkpoint_path, outcome.trials);
+    if (options_.stop_on_accuracy > 0 && !outcome.trials.back().failed &&
+        outcome.trials.back().result.final_val_accuracy >= options_.stop_on_accuracy) {
+      outcome.stopped_early = true;
+      break;
+    }
+  }
+  finalise(outcome, t0);
+  return outcome;
+}
+
+}  // namespace chpo::hpo

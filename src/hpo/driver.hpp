@@ -1,0 +1,114 @@
+// HPO driver — the paper's application structure (Figure 2 / Listing 2).
+//
+// Turns each configuration produced by a SearchAlgorithm into an
+// `experiment` task (with the requested @constraint), submits them through
+// the runtime, synchronises with wait_on, and collects results. Batch
+// algorithms (grid/random) have all their trials submitted up front —
+// embarrassingly parallel, exactly the paper's loop; sequential algorithms
+// (GP-EI) submit one trial per observation.
+//
+// Supports the paper's two flavours of early stopping:
+//  * per-trial: TrainConfig target_accuracy/patience inside the task body;
+//  * whole-HPO: stop consuming results once a trial reaches
+//    `stop_on_accuracy` ("the process can be stopped as soon as one task
+//    achieves a specified accuracy", §6.1).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpo/algorithms.hpp"
+#include "hpo/search_space.hpp"
+#include "ml/cost_model.hpp"
+#include "ml/dataset.hpp"
+#include "ml/trainer.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo::hpo {
+
+struct Trial {
+  int index = -1;
+  Config config;
+  ml::TrainResult result;
+  bool failed = false;
+  std::string failure_reason;
+  rt::TaskId task = rt::kNoTask;
+};
+
+struct HpoOutcome {
+  std::vector<Trial> trials;
+  int best_index = -1;  ///< trial with the highest final validation accuracy
+  double elapsed_seconds = 0.0;
+  bool stopped_early = false;
+  /// Output of the final `plot` task when DriverOptions::visualise is set
+  /// (the paper's Figure 2 pipeline: experiment -> visualisation -> plot).
+  std::string report;
+
+  const Trial* best() const {
+    return best_index >= 0 ? &trials[static_cast<std::size_t>(best_index)] : nullptr;
+  }
+};
+
+struct DriverOptions {
+  /// @constraint of each experiment task.
+  rt::Constraint trial_constraint{.cpus = 1, .gpus = 0, .node_exclusive = false};
+  /// Whole-HPO early stop threshold on validation accuracy (<=0 disables).
+  double stop_on_accuracy = -1.0;
+  /// Per-trial early stopping passed into TrainConfig.
+  double trial_target_accuracy = -1.0;
+  int trial_patience = -1;
+  /// Attach a virtual cost model so the DES backend can time experiments.
+  std::optional<ml::WorkloadModel> workload;
+  /// Scale-down knobs for the real training done inside task bodies:
+  /// cap on epochs actually run (0 = honour the config) and an epoch
+  /// divisor applied first (e.g. 10 turns "100 epochs" into 10).
+  int epoch_cap = 0;
+  int epoch_divisor = 1;
+  /// k-fold cross-validation inside each experiment task (scikit-learn's
+  /// evaluation mode, §2.2). <=1 trains once on the train/test split;
+  /// otherwise the trial's accuracy is the mean across folds and its
+  /// "history" holds one entry per fold.
+  int cv_folds = 1;
+  /// Mirror the paper's application structure (Figure 2): submit a
+  /// `visualisation` task per experiment and one final `plot` task that
+  /// synchronises them all; its output lands in HpoOutcome::report.
+  bool visualise = false;
+  /// When set, completed trials are persisted here (JSON) after every
+  /// result and replayed on restart instead of retraining — application-
+  /// level fault tolerance on top of the runtime's task retries.
+  std::string checkpoint_path;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the experiment TaskDef for one config (exposed for tests and
+/// custom drivers). The body trains the reference model for the dataset;
+/// the cost closure prices the task for the simulator.
+rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& config,
+                                 const DriverOptions& options, int trial_index);
+
+class HpoDriver {
+ public:
+  /// LIFETIME: `dataset` is captured by reference into the experiment task
+  /// bodies. It must outlive the Runtime — with whole-HPO early stopping,
+  /// unfinished trials keep training on it until the runtime's destructor
+  /// drains them. Declare the dataset before the runtime.
+  HpoDriver(rt::Runtime& runtime, const ml::Dataset& dataset, DriverOptions options);
+
+  /// Run the algorithm to exhaustion (or early stop); returns all trials.
+  HpoOutcome run(SearchAlgorithm& algorithm);
+
+  const DriverOptions& options() const { return options_; }
+
+ private:
+  HpoOutcome run_batch(SearchAlgorithm& algorithm);
+  HpoOutcome run_sequential(SearchAlgorithm& algorithm);
+  void finalise(HpoOutcome& outcome, double t0) const;
+
+  rt::Runtime& runtime_;
+  const ml::Dataset& dataset_;
+  DriverOptions options_;
+};
+
+}  // namespace chpo::hpo

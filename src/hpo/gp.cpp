@@ -1,0 +1,105 @@
+#include "hpo/gp.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace chpo::hpo {
+
+GaussianProcess::GaussianProcess(double lengthscale, double signal_variance, double noise)
+    : lengthscale_(lengthscale), signal_variance_(signal_variance), noise_(noise) {
+  if (lengthscale_ <= 0 || signal_variance_ <= 0 || noise_ < 0)
+    throw std::invalid_argument("GaussianProcess: invalid hyperparameters");
+}
+
+double GaussianProcess::kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  if (a.size() != b.size()) throw std::invalid_argument("GaussianProcess: dimension mismatch");
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return signal_variance_ * std::exp(-0.5 * d2 / (lengthscale_ * lengthscale_));
+}
+
+void GaussianProcess::fit(const std::vector<std::vector<double>>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("GaussianProcess: xs/ys size mismatch or empty");
+  const std::size_t n = xs.size();
+  xs_ = xs;
+  y_mean_ = std::accumulate(ys.begin(), ys.end(), 0.0) / static_cast<double>(n);
+  mean_shifted_ys_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) mean_shifted_ys_[i] = ys[i] - y_mean_;
+
+  // K + noise*I, then in-place Cholesky (lower triangular).
+  std::vector<double> k(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(xs_[i], xs_[j]) + (i == j ? noise_ + 1e-10 : 0.0);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+  chol_.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = k[i * n + j];
+      for (std::size_t p = 0; p < j; ++p) sum -= chol_[i * n + p] * chol_[j * n + p];
+      if (i == j) {
+        if (sum <= 0.0)
+          throw std::invalid_argument("GaussianProcess: kernel matrix not positive definite");
+        chol_[i * n + i] = std::sqrt(sum);
+      } else {
+        chol_[i * n + j] = sum / chol_[j * n + j];
+      }
+    }
+  }
+  // alpha = K^{-1} y via two triangular solves.
+  alpha_ = mean_shifted_ys_;
+  for (std::size_t i = 0; i < n; ++i) {  // L z = y
+    double sum = alpha_[i];
+    for (std::size_t p = 0; p < i; ++p) sum -= chol_[i * n + p] * alpha_[p];
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {  // L^T alpha = z
+    double sum = alpha_[i];
+    for (std::size_t p = i + 1; p < n; ++p) sum -= chol_[p * n + i] * alpha_[p];
+    alpha_[i] = sum / chol_[i * n + i];
+  }
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(const std::vector<double>& x) const {
+  if (!fitted()) return Prediction{.mean = y_mean_, .variance = signal_variance_};
+  const std::size_t n = xs_.size();
+  std::vector<double> kx(n);
+  for (std::size_t i = 0; i < n; ++i) kx[i] = kernel(xs_[i], x);
+
+  Prediction out;
+  out.mean = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) out.mean += kx[i] * alpha_[i];
+
+  // v = L^{-1} kx ; var = k(x,x) - v.v
+  std::vector<double> v = kx;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = v[i];
+    for (std::size_t p = 0; p < i; ++p) sum -= chol_[i * n + p] * v[p];
+    v[i] = sum / chol_[i * n + i];
+  }
+  double vv = 0.0;
+  for (double vi : v) vv += vi * vi;
+  out.variance = std::max(kernel(x, x) - vv, 1e-12);
+  return out;
+}
+
+double expected_improvement(double mean, double variance, double best, double xi) {
+  const double sigma = std::sqrt(std::max(variance, 1e-12));
+  const double improvement = mean - best - xi;
+  const double z = improvement / sigma;
+  // Standard normal pdf / cdf.
+  const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+  const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+  return improvement * cdf + sigma * pdf;
+}
+
+}  // namespace chpo::hpo

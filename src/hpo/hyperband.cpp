@@ -1,0 +1,122 @@
+#include "hpo/hyperband.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace chpo::hpo {
+
+HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& dataset,
+                                  const SearchSpace& space, const HalvingOptions& options) {
+  if (options.initial_configs == 0)
+    throw std::invalid_argument("successive_halving: need at least one config");
+  if (options.eta <= 1.0) throw std::invalid_argument("successive_halving: eta must exceed 1");
+  if (options.initial_epochs <= 0)
+    throw std::invalid_argument("successive_halving: initial epochs must be positive");
+
+  const double t0 = runtime.now();
+  Rng rng(options.driver.seed ^ 0x4a17f1e5ULL);
+  HalvingOutcome outcome;
+
+  std::vector<Config> survivors;
+  survivors.reserve(options.initial_configs);
+  for (std::size_t i = 0; i < options.initial_configs; ++i) survivors.push_back(space.sample(rng));
+
+  int epochs = options.initial_epochs;
+  int rung_index = 0;
+  while (!survivors.empty()) {
+    // Override each config's epoch budget with the rung budget.
+    RungResult rung;
+    rung.rung = rung_index;
+    rung.epochs = epochs;
+
+    std::vector<std::pair<Config, rt::Future>> submitted;
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      Config budgeted = survivors[i];
+      budgeted.set("num_epochs", json::Value(static_cast<std::int64_t>(epochs)));
+      const rt::TaskDef def =
+          make_experiment_task(dataset, budgeted, options.driver,
+                               rung_index * 1000 + static_cast<int>(i));
+      submitted.emplace_back(std::move(budgeted), runtime.submit(def));
+    }
+    for (std::size_t i = 0; i < submitted.size(); ++i) {
+      Trial trial;
+      trial.index = static_cast<int>(i);
+      trial.config = submitted[i].first;
+      trial.task = submitted[i].second.producer;
+      try {
+        trial.result = runtime.wait_on_as<ml::TrainResult>(submitted[i].second);
+      } catch (const rt::TaskFailedError& e) {
+        trial.failed = true;
+        trial.failure_reason = e.what();
+      }
+      rung.trials.push_back(std::move(trial));
+    }
+
+    // Rank survivors by accuracy, keep the top 1/eta.
+    std::vector<const Trial*> ranked;
+    for (const Trial& t : rung.trials)
+      if (!t.failed) ranked.push_back(&t);
+    std::sort(ranked.begin(), ranked.end(), [](const Trial* a, const Trial* b) {
+      return a->result.final_val_accuracy > b->result.final_val_accuracy;
+    });
+
+    if (!ranked.empty() && ranked.front()->result.final_val_accuracy > outcome.best_accuracy) {
+      outcome.best_accuracy = ranked.front()->result.final_val_accuracy;
+      outcome.best_config = ranked.front()->config;
+    }
+    log_info("halving", "rung {}: {} trials at {} epochs, best {:.3f}", rung_index,
+             rung.trials.size(), epochs, ranked.empty() ? 0.0 : ranked.front()->result.final_val_accuracy);
+    outcome.rungs.push_back(std::move(rung));
+
+    const std::size_t keep =
+        static_cast<std::size_t>(std::floor(static_cast<double>(ranked.size()) / options.eta));
+    if (keep == 0 || epochs >= options.max_epochs) break;
+    survivors.clear();
+    for (std::size_t i = 0; i < keep; ++i) survivors.push_back(ranked[i]->config);
+    epochs = std::min(options.max_epochs,
+                      static_cast<int>(std::lround(static_cast<double>(epochs) * options.eta)));
+    ++rung_index;
+  }
+  outcome.elapsed_seconds = runtime.now() - t0;
+  return outcome;
+}
+
+HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,
+                           const SearchSpace& space, const HyperbandOptions& options) {
+  if (options.max_epochs <= 0) throw std::invalid_argument("hyperband: max_epochs must be positive");
+  if (options.eta <= 1.0) throw std::invalid_argument("hyperband: eta must exceed 1");
+
+  const double t0 = runtime.now();
+  HyperbandOutcome outcome;
+  const double r_max = static_cast<double>(options.max_epochs);
+  const int s_max = static_cast<int>(std::floor(std::log(r_max) / std::log(options.eta)));
+
+  for (int s = s_max; s >= 0; --s) {
+    // Bracket s: n = ceil((s_max+1)/(s+1) * eta^s) configs at
+    // r = R / eta^s initial epochs.
+    const double eta_s = std::pow(options.eta, s);
+    HalvingOptions bracket;
+    bracket.initial_configs = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(s_max + 1) / static_cast<double>(s + 1) * eta_s));
+    bracket.initial_epochs = std::max(1, static_cast<int>(std::floor(r_max / eta_s)));
+    bracket.eta = options.eta;
+    bracket.max_epochs = options.max_epochs;
+    bracket.driver = options.driver;
+    bracket.driver.seed = options.driver.seed + static_cast<std::uint64_t>(s) * 7907ULL;
+
+    HalvingOutcome result = successive_halving(runtime, dataset, space, bracket);
+    for (const RungResult& rung : result.rungs) outcome.total_trials += rung.trials.size();
+    if (result.best_accuracy > outcome.best_accuracy) {
+      outcome.best_accuracy = result.best_accuracy;
+      outcome.best_config = result.best_config;
+    }
+    outcome.brackets.push_back(std::move(result));
+  }
+  outcome.elapsed_seconds = runtime.now() - t0;
+  return outcome;
+}
+
+}  // namespace chpo::hpo

@@ -1,0 +1,66 @@
+// Successive halving — the multi-fidelity extension of the future-work
+// library.
+//
+// Starts `n` configurations at a small epoch budget, keeps the top 1/eta by
+// validation accuracy, multiplies the budget by eta, and repeats. Every
+// rung is a batch of independent experiment tasks, so each rung is as
+// embarrassingly parallel as the paper's grid search and runs through the
+// same Runtime.
+#pragma once
+
+#include <vector>
+
+#include "hpo/driver.hpp"
+#include "hpo/search_space.hpp"
+#include "ml/dataset.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo::hpo {
+
+struct HalvingOptions {
+  std::size_t initial_configs = 27;
+  int initial_epochs = 2;
+  double eta = 3.0;     ///< keep top 1/eta per rung, multiply budget by eta
+  int max_epochs = 54;  ///< budget ceiling
+  DriverOptions driver;  ///< constraint / workload / seed shared with trials
+};
+
+struct RungResult {
+  int rung = 0;
+  int epochs = 0;
+  std::vector<Trial> trials;  ///< all trials evaluated at this rung
+};
+
+struct HalvingOutcome {
+  std::vector<RungResult> rungs;
+  Config best_config;
+  double best_accuracy = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Run successive halving over random samples of `space`.
+HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& dataset,
+                                  const SearchSpace& space, const HalvingOptions& options);
+
+/// Full Hyperband (Li et al. 2018): runs s_max+1 successive-halving
+/// brackets trading off the number of configurations against the starting
+/// epoch budget, from the most exploratory bracket (many configs, tiny
+/// budget) to a single full-budget bracket.
+struct HyperbandOptions {
+  int max_epochs = 27;   ///< R: maximum epochs any config may receive
+  double eta = 3.0;
+  DriverOptions driver;
+};
+
+struct HyperbandOutcome {
+  std::vector<HalvingOutcome> brackets;
+  Config best_config;
+  double best_accuracy = 0.0;
+  double elapsed_seconds = 0.0;
+  std::size_t total_trials = 0;
+};
+
+HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,
+                           const SearchSpace& space, const HyperbandOptions& options);
+
+}  // namespace chpo::hpo

@@ -1,0 +1,108 @@
+#include "hpo/importance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace chpo::hpo {
+
+namespace {
+
+/// Group key for one trial's value of a hyperparameter.
+std::string value_key(const json::Value* value, const std::vector<double>& bin_edges) {
+  if (!value) return "<inactive>";
+  if (value->is_double() && !bin_edges.empty()) {
+    const double v = value->as_double();
+    std::size_t bin = 0;
+    while (bin < bin_edges.size() && v > bin_edges[bin]) ++bin;
+    return "bin" + std::to_string(bin);
+  }
+  return json::serialize(*value);
+}
+
+}  // namespace
+
+std::vector<DimensionImportance> hyperparameter_importance(const std::vector<Trial>& trials,
+                                                           const ImportanceOptions& options) {
+  std::vector<const Trial*> usable;
+  for (const Trial& t : trials)
+    if (!t.failed) usable.push_back(&t);
+  if (usable.size() < 2) return {};
+
+  double mean = 0;
+  for (const Trial* t : usable) mean += t->result.final_val_accuracy;
+  mean /= static_cast<double>(usable.size());
+  double total_variance = 0;
+  for (const Trial* t : usable) {
+    const double d = t->result.final_val_accuracy - mean;
+    total_variance += d * d;
+  }
+  total_variance /= static_cast<double>(usable.size());
+  if (total_variance <= 0) return {};
+
+  // Collect the union of hyperparameter names.
+  std::set<std::string> names;
+  for (const Trial* t : usable)
+    for (const auto& [key, value] : t->config.as_object()) names.insert(key);
+
+  std::vector<DimensionImportance> out;
+  for (const std::string& name : names) {
+    // Quantile bin edges for continuous dimensions.
+    std::vector<double> continuous_values;
+    for (const Trial* t : usable) {
+      const json::Value* v = t->config.find(name);
+      if (v && v->is_double()) continuous_values.push_back(v->as_double());
+    }
+    std::vector<double> bin_edges;
+    if (!continuous_values.empty() && options.continuous_bins > 1) {
+      std::sort(continuous_values.begin(), continuous_values.end());
+      for (std::size_t b = 1; b < options.continuous_bins; ++b) {
+        const std::size_t index = continuous_values.size() * b / options.continuous_bins;
+        bin_edges.push_back(continuous_values[std::min(index, continuous_values.size() - 1)]);
+      }
+    }
+
+    // Group by value; between-group variance of group means.
+    std::map<std::string, std::pair<double, std::size_t>> groups;  // sum, count
+    for (const Trial* t : usable) {
+      const std::string key = value_key(t->config.find(name), bin_edges);
+      auto& [sum, count] = groups[key];
+      sum += t->result.final_val_accuracy;
+      ++count;
+    }
+    double between = 0;
+    for (const auto& [key, group] : groups) {
+      const double group_mean = group.first / static_cast<double>(group.second);
+      between += static_cast<double>(group.second) * (group_mean - mean) * (group_mean - mean);
+    }
+    between /= static_cast<double>(usable.size());
+
+    out.push_back(DimensionImportance{.name = name,
+                                      .variance_share = between / total_variance,
+                                      .distinct_values = groups.size()});
+  }
+  std::sort(out.begin(), out.end(), [](const DimensionImportance& a, const DimensionImportance& b) {
+    return a.variance_share > b.variance_share;
+  });
+  return out;
+}
+
+std::string importance_table(const std::vector<DimensionImportance>& importance) {
+  std::ostringstream out;
+  out << pad_right("hyperparameter", 20) << pad_left("importance", 12)
+      << pad_left("values", 8) << "\n";
+  for (const auto& dim : importance) {
+    char share[16];
+    std::snprintf(share, sizeof share, "%.1f%%", 100.0 * dim.variance_share);
+    out << pad_right(dim.name, 20) << pad_left(share, 12)
+        << pad_left(std::to_string(dim.distinct_values), 8) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace chpo::hpo

@@ -1,0 +1,41 @@
+// Hyperparameter importance — which dimension moved the needle?
+//
+// A marginal-variance decomposition (fANOVA's first-order terms, computed
+// directly on the trial table): for each hyperparameter, group trials by
+// its value, and score the dimension by the between-group variance of the
+// mean accuracy as a fraction of the total accuracy variance. Scores do
+// not sum to 1 (interactions are unattributed); they rank dimensions.
+//
+// Continuous hyperparameters are bucketed into quantile bins first so
+// "learning_rate = 0.0123" and "0.0124" land in the same group.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpo/driver.hpp"
+
+namespace chpo::hpo {
+
+struct DimensionImportance {
+  std::string name;
+  double variance_share = 0.0;  ///< between-group variance / total variance
+  std::size_t distinct_values = 0;
+};
+
+struct ImportanceOptions {
+  /// Quantile bins for continuous (double-valued) hyperparameters.
+  std::size_t continuous_bins = 4;
+};
+
+/// Rank every hyperparameter that appears in at least one non-failed trial,
+/// most important first. Trials missing a key (inactive conditionals) form
+/// their own group. Returns empty if fewer than 2 usable trials or zero
+/// accuracy variance.
+std::vector<DimensionImportance> hyperparameter_importance(
+    const std::vector<Trial>& trials, const ImportanceOptions& options = {});
+
+/// Fixed-width rendering for reports.
+std::string importance_table(const std::vector<DimensionImportance>& importance);
+
+}  // namespace chpo::hpo

@@ -1,0 +1,55 @@
+#include "hpo/optimize.hpp"
+
+#include <stdexcept>
+
+#include "hpo/algorithms.hpp"
+#include "hpo/tpe.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo::hpo {
+
+HpoOutcome optimize(const ml::Dataset& dataset, const SearchSpace& space,
+                    const std::string& algorithm, const OptimizeOptions& options) {
+  rt::RuntimeOptions runtime_options;
+  cluster::NodeSpec node;
+  node.name = "optimize";
+  node.cpus = options.cpus_per_node;
+  runtime_options.cluster = cluster::homogeneous(options.cluster_nodes, node);
+  runtime_options.seed = options.seed;
+  rt::Runtime runtime(std::move(runtime_options));
+
+  DriverOptions driver_options;
+  driver_options.trial_constraint = {.cpus = options.trial_cpus};
+  driver_options.stop_on_accuracy = options.stop_on_accuracy;
+  driver_options.epoch_divisor = options.epoch_divisor;
+  driver_options.epoch_cap = options.epoch_cap;
+  driver_options.seed = options.seed;
+  HpoDriver driver(runtime, dataset, driver_options);
+
+  if (algorithm == "grid") {
+    GridSearch search(space);
+    return driver.run(search);
+  }
+  if (algorithm == "random") {
+    RandomSearch search(space, options.budget, options.seed);
+    return driver.run(search);
+  }
+  if (algorithm == "gp") {
+    GpBayesOpt search(space, {.max_evals = options.budget, .seed = options.seed});
+    return driver.run(search);
+  }
+  if (algorithm == "tpe") {
+    TpeSearch search(space, {.max_evals = options.budget, .seed = options.seed});
+    return driver.run(search);
+  }
+  throw std::invalid_argument("optimize: unknown algorithm '" + algorithm +
+                              "' (grid | random | gp | tpe)");
+}
+
+HpoOutcome optimize(const ml::Dataset& dataset, const std::string& space_json,
+                    const std::string& algorithm, const OptimizeOptions& options) {
+  const SearchSpace space = SearchSpace::from_json_text(space_json);
+  return optimize(dataset, space, algorithm, options);
+}
+
+}  // namespace chpo::hpo

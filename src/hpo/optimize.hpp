@@ -1,0 +1,48 @@
+// One-call HPO — the paper's future work, delivered:
+//
+//   "This library will enable the user to perform HPO over any search
+//    space by simply calling a function and specifying the algorithm."
+//
+//   auto outcome = hpo::optimize(dataset, space_json, "tpe",
+//                                {.budget = 24, .cluster_nodes = 2});
+//
+// Builds the search space, the runtime, the driver and the algorithm from
+// plain options, runs to completion, and returns the outcome. Use the
+// lower-level HpoDriver when you need custom clusters, fault injection or
+// task definitions.
+#pragma once
+
+#include <string>
+
+#include "hpo/driver.hpp"
+#include "hpo/search_space.hpp"
+#include "ml/dataset.hpp"
+
+namespace chpo::hpo {
+
+struct OptimizeOptions {
+  /// Evaluation budget for random / gp / tpe (grid ignores it).
+  std::size_t budget = 16;
+  /// Local cluster shape the runtime is built on.
+  std::size_t cluster_nodes = 1;
+  unsigned cpus_per_node = 4;
+  unsigned trial_cpus = 1;
+  /// Stop the whole HPO once any trial reaches this accuracy (<=0: off).
+  double stop_on_accuracy = -1.0;
+  /// Scale-down knobs (see DriverOptions).
+  int epoch_divisor = 1;
+  int epoch_cap = 0;
+  std::uint64_t seed = 42;
+};
+
+/// `algorithm` is one of "grid" | "random" | "gp" | "tpe".
+/// Throws std::invalid_argument for unknown algorithms and json::JsonError
+/// for malformed space definitions.
+HpoOutcome optimize(const ml::Dataset& dataset, const SearchSpace& space,
+                    const std::string& algorithm, const OptimizeOptions& options = {});
+
+/// Convenience overload parsing the Listing-1 JSON text.
+HpoOutcome optimize(const ml::Dataset& dataset, const std::string& space_json,
+                    const std::string& algorithm, const OptimizeOptions& options = {});
+
+}  // namespace chpo::hpo

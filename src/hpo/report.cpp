@@ -1,0 +1,93 @@
+#include "hpo/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace chpo::hpo {
+
+std::string trials_table(const std::vector<Trial>& trials) {
+  std::ostringstream out;
+  out << pad_right("trial", 6) << pad_right("config", 48) << pad_left("epochs", 7)
+      << pad_left("val_acc", 9) << pad_left("best", 9) << "  note\n";
+  for (const Trial& t : trials) {
+    out << pad_right(std::to_string(t.index), 6) << pad_right(config_brief(t.config), 48);
+    if (t.failed) {
+      out << pad_left("-", 7) << pad_left("-", 9) << pad_left("-", 9) << "  FAILED: "
+          << t.failure_reason << "\n";
+      continue;
+    }
+    char acc[16], best[16];
+    std::snprintf(acc, sizeof acc, "%.3f", t.result.final_val_accuracy);
+    std::snprintf(best, sizeof best, "%.3f", t.result.best_val_accuracy);
+    out << pad_left(std::to_string(t.result.epochs_run), 7) << pad_left(acc, 9)
+        << pad_left(best, 9) << (t.result.stopped_early ? "  early-stop" : "") << "\n";
+  }
+  return out.str();
+}
+
+std::string accuracy_chart(const std::vector<Trial>& trials, std::size_t width,
+                           std::size_t height) {
+  std::size_t max_epochs = 0;
+  for (const Trial& t : trials)
+    if (!t.failed) max_epochs = std::max(max_epochs, t.result.history.size());
+  if (max_epochs == 0 || height < 2) return "(no histories)\n";
+
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  static constexpr char kGlyphs[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  for (std::size_t ti = 0; ti < trials.size(); ++ti) {
+    const Trial& t = trials[ti];
+    if (t.failed) continue;
+    const char glyph = kGlyphs[ti % (sizeof(kGlyphs) - 1)];
+    for (const auto& stats : t.result.history) {
+      const double x = max_epochs > 1
+                           ? static_cast<double>(stats.epoch - 1) / static_cast<double>(max_epochs - 1)
+                           : 0.0;
+      const std::size_t col = std::min(width - 1, static_cast<std::size_t>(x * static_cast<double>(width - 1)));
+      const double acc = std::clamp(stats.val_accuracy, 0.0, 1.0);
+      const std::size_t row =
+          height - 1 - std::min(height - 1, static_cast<std::size_t>(acc * static_cast<double>(height - 1)));
+      rows[row][col] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << "validation accuracy vs epoch (one glyph per trial, 1.0 at top)\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    const double level = 1.0 - static_cast<double>(r) / static_cast<double>(height - 1);
+    char label[8];
+    std::snprintf(label, sizeof label, "%4.2f", level);
+    out << label << " |" << rows[r] << "|\n";
+  }
+  out << "      epochs 1.." << max_epochs << "\n";
+  return out.str();
+}
+
+std::string history_csv(const std::vector<Trial>& trials) {
+  std::ostringstream out;
+  out << "trial,epoch,train_loss,train_acc,val_acc\n";
+  for (const Trial& t : trials) {
+    if (t.failed) continue;
+    for (const auto& stats : t.result.history)
+      out << t.index << "," << stats.epoch << "," << stats.train_loss << ","
+          << stats.train_accuracy << "," << stats.val_accuracy << "\n";
+  }
+  return out.str();
+}
+
+std::string outcome_summary(const HpoOutcome& outcome) {
+  std::ostringstream out;
+  out << outcome.trials.size() << " trials in " << format_duration(outcome.elapsed_seconds);
+  if (outcome.stopped_early) out << " (stopped early)";
+  if (const Trial* best = outcome.best()) {
+    char acc[16];
+    std::snprintf(acc, sizeof acc, "%.3f", best->result.final_val_accuracy);
+    out << "; best: " << config_brief(best->config) << " -> val_acc " << acc;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace chpo::hpo

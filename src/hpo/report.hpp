@@ -1,0 +1,26 @@
+// Reporting and visualisation — the "plot" task at the end of the paper's
+// application (Figure 2) and the terminal analogue of Figures 7-8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpo/driver.hpp"
+
+namespace chpo::hpo {
+
+/// Per-trial summary table: config, epochs run, accuracies, early-stop flag.
+std::string trials_table(const std::vector<Trial>& trials);
+
+/// ASCII chart of validation accuracy vs epoch, one curve per trial
+/// (Figures 7 and 8). `height` rows span [0, 1] accuracy.
+std::string accuracy_chart(const std::vector<Trial>& trials, std::size_t width = 90,
+                           std::size_t height = 20);
+
+/// CSV of the epoch histories: trial,epoch,train_loss,train_acc,val_acc.
+std::string history_csv(const std::vector<Trial>& trials);
+
+/// One-line summary of an outcome (best config, accuracy, elapsed).
+std::string outcome_summary(const HpoOutcome& outcome);
+
+}  // namespace chpo::hpo

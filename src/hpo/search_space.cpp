@@ -1,0 +1,255 @@
+#include "hpo/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace chpo::hpo {
+
+std::optional<std::size_t> Dimension::cardinality() const {
+  if (const auto* cat = std::get_if<CategoricalDomain>(&domain)) return cat->values.size();
+  if (const auto* iv = std::get_if<IntDomain>(&domain))
+    return static_cast<std::size_t>(iv->max - iv->min + 1);
+  return std::nullopt;
+}
+
+SearchSpace SearchSpace::from_json(const json::Value& spec) {
+  SearchSpace space;
+  for (const auto& [name, domain_spec] : spec.as_object()) {
+    if (domain_spec.is_array()) {
+      if (domain_spec.as_array().empty())
+        throw json::JsonError("search space: dimension '" + name + "' has no values");
+      space.add_categorical(name, domain_spec.as_array());
+    } else if (domain_spec.is_object()) {
+      const std::string type = domain_spec.at("type").as_string();
+      if (type == "int") {
+        space.add_int(name, domain_spec.at("min").as_int(), domain_spec.at("max").as_int());
+      } else if (type == "float") {
+        const bool log_scale =
+            domain_spec.contains("log") && domain_spec.at("log").as_bool();
+        space.add_float(name, domain_spec.at("min").as_double(), domain_spec.at("max").as_double(),
+                        log_scale);
+      } else if (type == "categorical") {
+        if (domain_spec.at("values").as_array().empty())
+          throw json::JsonError("search space: dimension '" + name + "' has no values");
+        space.add_categorical(name, domain_spec.at("values").as_array());
+      } else {
+        throw json::JsonError("search space: unknown domain type '" + type + "'");
+      }
+      if (domain_spec.contains("condition")) {
+        const json::Value& cond = domain_spec.at("condition");
+        space.make_conditional(cond.at("parent").as_string(), cond.at("equals"));
+      }
+    } else {
+      throw json::JsonError("search space: dimension '" + name +
+                            "' must be an array or a range object");
+    }
+  }
+  if (space.size() == 0) throw json::JsonError("search space: no dimensions");
+  return space;
+}
+
+SearchSpace SearchSpace::from_json_text(std::string_view text) {
+  return from_json(json::parse(text));
+}
+
+SearchSpace SearchSpace::from_file(const std::string& path) {
+  return from_json(json::parse_file(path));
+}
+
+void SearchSpace::add_categorical(std::string name, std::vector<json::Value> values) {
+  dims_.push_back(Dimension{std::move(name), CategoricalDomain{std::move(values)}});
+}
+
+void SearchSpace::add_int(std::string name, std::int64_t min, std::int64_t max) {
+  if (min > max) throw std::invalid_argument("SearchSpace: int domain min > max");
+  dims_.push_back(Dimension{std::move(name), IntDomain{min, max}});
+}
+
+void SearchSpace::add_float(std::string name, double min, double max, bool log_scale) {
+  if (!(min < max)) throw std::invalid_argument("SearchSpace: float domain min >= max");
+  if (log_scale && min <= 0)
+    throw std::invalid_argument("SearchSpace: log-scale domain requires min > 0");
+  dims_.push_back(Dimension{std::move(name), FloatDomain{min, max, log_scale}});
+}
+
+void SearchSpace::make_conditional(const std::string& parent, json::Value value) {
+  if (dims_.empty()) throw std::logic_error("make_conditional: no dimension to condition");
+  Dimension& target = dims_.back();
+  if (target.name == parent)
+    throw std::invalid_argument("make_conditional: dimension cannot condition on itself");
+  const Dimension* parent_dim = find(parent);
+  if (!parent_dim)
+    throw std::invalid_argument("make_conditional: unknown parent '" + parent + "'");
+  const auto* cat = std::get_if<CategoricalDomain>(&parent_dim->domain);
+  if (!cat) throw std::invalid_argument("make_conditional: parent must be categorical");
+  if (std::find(cat->values.begin(), cat->values.end(), value) == cat->values.end())
+    throw std::invalid_argument("make_conditional: value not in parent's domain");
+  target.condition = Condition{.parent = parent, .equals = std::move(value)};
+}
+
+bool SearchSpace::is_active(const Dimension& dim, const Config& config) const {
+  if (!dim.condition) return true;
+  const json::Value* parent_value = config.find(dim.condition->parent);
+  return parent_value && *parent_value == dim.condition->equals;
+}
+
+const Dimension* SearchSpace::find(std::string_view name) const {
+  for (const Dimension& d : dims_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+std::optional<std::size_t> SearchSpace::grid_size() const {
+  std::size_t total = 1;
+  bool conditional = false;
+  for (const Dimension& d : dims_) {
+    const auto n = d.cardinality();
+    if (!n) return std::nullopt;
+    total *= *n;
+    conditional = conditional || d.condition.has_value();
+  }
+  // Conditional dimensions collapse combinations: count the deduplicated
+  // enumeration (spaces here are small by construction).
+  if (conditional) return enumerate_grid().size();
+  return total;
+}
+
+std::vector<Config> SearchSpace::enumerate_grid() const {
+  std::size_t total = 1;
+  for (const Dimension& d : dims_) {
+    const auto n = d.cardinality();
+    if (!n) throw std::logic_error("SearchSpace: grid enumeration requires finite dimensions only");
+    total *= *n;
+  }
+  std::vector<Config> out;
+  std::vector<std::string> seen;
+  out.reserve(total);
+  std::vector<std::size_t> index(dims_.size(), 0);
+  for (std::size_t count = 0; count < total; ++count) {
+    json::Object obj;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+      const Dimension& dim = dims_[d];
+      if (const auto* cat = std::get_if<CategoricalDomain>(&dim.domain)) {
+        obj.emplace_back(dim.name, cat->values[index[d]]);
+      } else {
+        const auto& iv = std::get<IntDomain>(dim.domain);
+        obj.emplace_back(dim.name, json::Value(iv.min + static_cast<std::int64_t>(index[d])));
+      }
+    }
+    // Strip dimensions whose condition does not hold, then deduplicate
+    // (several raw combinations collapse to one effective config).
+    Config candidate(std::move(obj));
+    json::Object filtered;
+    for (const Dimension& dim : dims_) {
+      if (!is_active(dim, candidate)) continue;
+      filtered.emplace_back(dim.name, candidate.at(dim.name));
+    }
+    Config final_config(std::move(filtered));
+    const std::string key = json::serialize(final_config);
+    if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+      seen.push_back(key);
+      out.push_back(std::move(final_config));
+    }
+    // Odometer increment, last dimension fastest.
+    for (std::size_t d = dims_.size(); d-- > 0;) {
+      if (++index[d] < *dims_[d].cardinality()) break;
+      index[d] = 0;
+    }
+  }
+  return out;
+}
+
+Config SearchSpace::sample(Rng& rng) const {
+  json::Object obj;
+  for (const Dimension& dim : dims_) {
+    if (dim.condition) {
+      const Config partial(obj);
+      if (!is_active(dim, partial)) continue;
+    }
+    if (const auto* cat = std::get_if<CategoricalDomain>(&dim.domain)) {
+      obj.emplace_back(dim.name, cat->values[rng.next_index(cat->values.size())]);
+    } else if (const auto* iv = std::get_if<IntDomain>(&dim.domain)) {
+      obj.emplace_back(dim.name, json::Value(rng.next_int(iv->min, iv->max)));
+    } else {
+      const auto& fv = std::get<FloatDomain>(dim.domain);
+      double v;
+      if (fv.log_scale) {
+        v = std::exp(rng.next_uniform(std::log(fv.min), std::log(fv.max)));
+      } else {
+        v = rng.next_uniform(fv.min, fv.max);
+      }
+      obj.emplace_back(dim.name, json::Value(v));
+    }
+  }
+  return Config(std::move(obj));
+}
+
+std::size_t SearchSpace::encoded_width() const {
+  std::size_t width = 0;
+  for (const Dimension& d : dims_) {
+    if (const auto* cat = std::get_if<CategoricalDomain>(&d.domain))
+      width += cat->values.size();
+    else
+      width += 1;
+  }
+  return width;
+}
+
+std::vector<double> SearchSpace::encode(const Config& config) const {
+  std::vector<double> x;
+  x.reserve(encoded_width());
+  for (const Dimension& dim : dims_) {
+    const json::Value* value = config.find(dim.name);
+    if (!value) {
+      // Inactive conditional dimension: zero block.
+      if (const auto* cat = std::get_if<CategoricalDomain>(&dim.domain))
+        x.insert(x.end(), cat->values.size(), 0.0);
+      else
+        x.push_back(0.0);
+      continue;
+    }
+    const json::Value& v = *value;
+    if (const auto* cat = std::get_if<CategoricalDomain>(&dim.domain)) {
+      for (const json::Value& candidate : cat->values) x.push_back(candidate == v ? 1.0 : 0.0);
+    } else if (const auto* iv = std::get_if<IntDomain>(&dim.domain)) {
+      const double span = static_cast<double>(iv->max - iv->min);
+      x.push_back(span > 0 ? (v.as_double() - static_cast<double>(iv->min)) / span : 0.0);
+    } else {
+      const auto& fv = std::get<FloatDomain>(dim.domain);
+      double t;
+      if (fv.log_scale)
+        t = (std::log(v.as_double()) - std::log(fv.min)) / (std::log(fv.max) - std::log(fv.min));
+      else
+        t = (v.as_double() - fv.min) / (fv.max - fv.min);
+      x.push_back(t);
+    }
+  }
+  return x;
+}
+
+std::string config_string(const Config& config, std::string_view key) {
+  return config.at(key).as_string();
+}
+
+std::int64_t config_int(const Config& config, std::string_view key) {
+  return config.at(key).as_int();
+}
+
+double config_double(const Config& config, std::string_view key) {
+  return config.at(key).as_double();
+}
+
+std::string config_brief(const Config& config) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [k, v] : config.as_object()) {
+    if (!first) out << " ";
+    first = false;
+    out << k << "=" << json::serialize(v);
+  }
+  return out.str();
+}
+
+}  // namespace chpo::hpo

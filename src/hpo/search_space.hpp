@@ -1,0 +1,120 @@
+// Hyperparameter search spaces.
+//
+// The paper drives HPO from a JSON file (Listing 1):
+//
+//   { "optimizer":  ["Adam", "SGD", "RMSprop"],
+//     "num_epochs": [20, 50, 100],
+//     "batch_size": [32, 64, 128] }
+//
+// An array maps to a categorical domain — that is the paper's entire
+// format. As the "future work" extension we also accept range domains:
+//
+//   { "learning_rate": {"type": "float", "min": 1e-4, "max": 1e-1, "log": true},
+//     "hidden":        {"type": "int",   "min": 16,   "max": 256} }
+//
+// A Config (one point in the space) is a JSON object mapping each
+// hyperparameter name to a concrete value, so it serializes naturally.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "jsonlite/json.hpp"
+#include "support/rng.hpp"
+
+namespace chpo::hpo {
+
+using Config = json::Value;  ///< always an Object
+
+struct CategoricalDomain {
+  std::vector<json::Value> values;
+};
+
+struct IntDomain {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+struct FloatDomain {
+  double min = 0.0;
+  double max = 0.0;
+  bool log_scale = false;
+};
+
+using Domain = std::variant<CategoricalDomain, IntDomain, FloatDomain>;
+
+/// Conditional activation: the dimension only exists when another
+/// (categorical) dimension holds a specific value — e.g. "momentum" only
+/// when optimizer == "SGD". Inactive dimensions are omitted from configs.
+struct Condition {
+  std::string parent;   ///< name of the controlling dimension
+  json::Value equals;   ///< required parent value
+};
+
+struct Dimension {
+  std::string name;
+  Domain domain;
+  std::optional<Condition> condition;
+
+  bool is_categorical() const { return std::holds_alternative<CategoricalDomain>(domain); }
+  /// Number of discrete choices; nullopt for continuous (float) domains.
+  std::optional<std::size_t> cardinality() const;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+
+  /// Parse the paper's JSON format (plus range extensions). Throws
+  /// json::JsonError on malformed input.
+  static SearchSpace from_json(const json::Value& spec);
+  static SearchSpace from_json_text(std::string_view text);
+  static SearchSpace from_file(const std::string& path);
+
+  void add_categorical(std::string name, std::vector<json::Value> values);
+  void add_int(std::string name, std::int64_t min, std::int64_t max);
+  void add_float(std::string name, double min, double max, bool log_scale = false);
+
+  /// Make the most recently added dimension conditional on
+  /// `parent == value`. The parent must be an earlier categorical
+  /// dimension containing `value`.
+  void make_conditional(const std::string& parent, json::Value value);
+
+  /// True when `dim` is active within `config` (its condition, if any,
+  /// holds on the values present in the config).
+  bool is_active(const Dimension& dim, const Config& config) const;
+
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+  std::size_t size() const { return dims_.size(); }
+  const Dimension* find(std::string_view name) const;
+
+  /// Total grid points; nullopt if any dimension is continuous.
+  std::optional<std::size_t> grid_size() const;
+
+  /// Full cross product in row-major order (first dimension slowest).
+  /// Throws std::logic_error when the space has a continuous dimension.
+  std::vector<Config> enumerate_grid() const;
+
+  /// One uniform random point.
+  Config sample(Rng& rng) const;
+
+  /// Encode a config as a flat numeric vector in [0,1]^d (one-hot for
+  /// categoricals) — the GP surrogate's input representation.
+  std::vector<double> encode(const Config& config) const;
+  std::size_t encoded_width() const;
+
+ private:
+  std::vector<Dimension> dims_;
+};
+
+/// Typed getters with clear errors for the standard keys.
+std::string config_string(const Config& config, std::string_view key);
+std::int64_t config_int(const Config& config, std::string_view key);
+double config_double(const Config& config, std::string_view key);
+/// "optimizer=Adam epochs=20 batch=32"-style display string.
+std::string config_brief(const Config& config);
+
+}  // namespace chpo::hpo

@@ -1,0 +1,165 @@
+#include "hpo/tpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chpo::hpo {
+
+namespace {
+
+/// Normalised numeric position of a config value in its dimension; for
+/// categoricals, the category index (not normalised — densities compare
+/// category identity, not distance).
+double dim_scalar(const Dimension& dim, const json::Value& v) {
+  if (const auto* cat = std::get_if<CategoricalDomain>(&dim.domain)) {
+    for (std::size_t i = 0; i < cat->values.size(); ++i)
+      if (cat->values[i] == v) return static_cast<double>(i);
+    throw std::invalid_argument("TPE: config value not in categorical domain of " + dim.name);
+  }
+  if (const auto* iv = std::get_if<IntDomain>(&dim.domain)) {
+    const double span = static_cast<double>(iv->max - iv->min);
+    return span > 0 ? (v.as_double() - static_cast<double>(iv->min)) / span : 0.0;
+  }
+  const auto& fv = std::get<FloatDomain>(dim.domain);
+  if (fv.log_scale)
+    return (std::log(v.as_double()) - std::log(fv.min)) / (std::log(fv.max) - std::log(fv.min));
+  return (v.as_double() - fv.min) / (fv.max - fv.min);
+}
+
+double gaussian_kernel(double x, double mu, double bandwidth) {
+  const double z = (x - mu) / bandwidth;
+  return std::exp(-0.5 * z * z) / (bandwidth * std::sqrt(2.0 * 3.14159265358979323846));
+}
+
+}  // namespace
+
+TpeSearch::TpeSearch(const SearchSpace& space, Options options)
+    : space_(space), options_(options), rng_(options.seed) {
+  if (options_.max_evals == 0) throw std::invalid_argument("TpeSearch: max_evals must be positive");
+  if (options_.gamma <= 0.0 || options_.gamma >= 1.0)
+    throw std::invalid_argument("TpeSearch: gamma must be in (0,1)");
+  if (options_.n_init == 0) options_.n_init = 1;
+}
+
+std::vector<double> TpeSearch::dim_values(const Config& config) const {
+  std::vector<double> out;
+  out.reserve(space_.size());
+  for (const Dimension& dim : space_.dimensions()) {
+    // Inactive conditional dimensions get a sentinel outside every domain;
+    // it matches other inactive observations and repels active ones.
+    const json::Value* value = config.find(dim.name);
+    out.push_back(value ? dim_scalar(dim, *value) : -1.0);
+  }
+  return out;
+}
+
+double TpeSearch::density(const std::vector<double>& values,
+                          const std::vector<const Observation*>& set) const {
+  if (set.empty()) return 1e-12;
+  double total = 0.0;
+  for (const Observation* obs : set) {
+    double product = 1.0;
+    for (std::size_t d = 0; d < values.size(); ++d) {
+      const Dimension& dim = space_.dimensions()[d];
+      if (dim.is_categorical()) {
+        // Aitchison-Aitken-style kernel: high mass on the matching category.
+        const std::size_t k = *dim.cardinality();
+        const double match = 0.8;
+        product *= (values[d] == obs->values[d])
+                       ? match
+                       : (1.0 - match) / std::max<double>(1.0, static_cast<double>(k - 1));
+      } else {
+        product *= gaussian_kernel(values[d], obs->values[d], options_.bandwidth);
+      }
+    }
+    total += product;
+  }
+  return std::max(total / static_cast<double>(set.size()), 1e-12);
+}
+
+Config TpeSearch::sample_from_good(const std::vector<const Observation*>& good) {
+  json::Object obj;
+  for (std::size_t d = 0; d < space_.size(); ++d) {
+    const Dimension& dim = space_.dimensions()[d];
+    if (dim.condition && !space_.is_active(dim, Config(obj))) continue;
+    const Observation* anchor = good[rng_.next_index(good.size())];
+    if (anchor->values[d] < 0.0) {
+      // Anchor had this dimension inactive: fall back to a uniform draw so
+      // the candidate stays inside the (now active) domain.
+      Config single = space_.sample(rng_);
+      if (const json::Value* v = single.find(dim.name)) obj.emplace_back(dim.name, *v);
+      continue;
+    }
+    if (const auto* cat = std::get_if<CategoricalDomain>(&dim.domain)) {
+      // With probability ~0.8 reuse the anchor's category, else explore.
+      if (rng_.next_bool(0.8)) {
+        obj.emplace_back(dim.name,
+                         cat->values[static_cast<std::size_t>(anchor->values[d])]);
+      } else {
+        obj.emplace_back(dim.name, cat->values[rng_.next_index(cat->values.size())]);
+      }
+    } else if (const auto* iv = std::get_if<IntDomain>(&dim.domain)) {
+      const double t =
+          std::clamp(rng_.next_gaussian(anchor->values[d], options_.bandwidth), 0.0, 1.0);
+      const auto value = iv->min + static_cast<std::int64_t>(std::llround(
+                                       t * static_cast<double>(iv->max - iv->min)));
+      obj.emplace_back(dim.name, json::Value(std::clamp(value, iv->min, iv->max)));
+    } else {
+      const auto& fv = std::get<FloatDomain>(dim.domain);
+      const double t =
+          std::clamp(rng_.next_gaussian(anchor->values[d], options_.bandwidth), 0.0, 1.0);
+      double value;
+      if (fv.log_scale)
+        value = std::exp(std::log(fv.min) + t * (std::log(fv.max) - std::log(fv.min)));
+      else
+        value = fv.min + t * (fv.max - fv.min);
+      // exp(log(max)) can land one ulp above max; keep the domain closed.
+      obj.emplace_back(dim.name, json::Value(std::clamp(value, fv.min, fv.max)));
+    }
+  }
+  return Config(std::move(obj));
+}
+
+std::optional<Config> TpeSearch::next() {
+  if (issued_ >= options_.max_evals) return std::nullopt;
+  ++issued_;
+
+  if (observations_.size() < options_.n_init) return space_.sample(rng_);
+
+  // Split at the gamma quantile (higher scores are better).
+  std::vector<const Observation*> ranked;
+  ranked.reserve(observations_.size());
+  for (const Observation& o : observations_) ranked.push_back(&o);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Observation* a, const Observation* b) { return a->score > b->score; });
+  const std::size_t n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(options_.gamma * static_cast<double>(ranked.size()))));
+  const std::vector<const Observation*> good(ranked.begin(),
+                                             ranked.begin() + static_cast<std::ptrdiff_t>(n_good));
+  const std::vector<const Observation*> bad(ranked.begin() + static_cast<std::ptrdiff_t>(n_good),
+                                            ranked.end());
+
+  Config best_candidate = sample_from_good(good);
+  double best_ratio = -1.0;
+  for (std::size_t i = 0; i < options_.n_candidates; ++i) {
+    Config candidate = sample_from_good(good);
+    const std::vector<double> values = dim_values(candidate);
+    const double ratio = density(values, good) / density(values, bad);
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best_candidate = std::move(candidate);
+    }
+  }
+  return best_candidate;
+}
+
+void TpeSearch::tell(const Config& config, double score) {
+  Observation obs;
+  obs.config = config;
+  obs.values = dim_values(config);
+  obs.score = score;
+  observations_.push_back(std::move(obs));
+}
+
+}  // namespace chpo::hpo

@@ -1,0 +1,58 @@
+// Tree-structured Parzen Estimator (Bergstra et al., NIPS 2011) — the
+// algorithm behind Hyperopt, which the paper's §2 discusses at length.
+//
+// Observations are split at the gamma-quantile into "good" and "bad" sets;
+// per-dimension Parzen densities l(x) (good) and g(x) (bad) are built, and
+// the next configuration maximises l(x)/g(x) over candidates sampled from
+// l. Categorical dimensions use smoothed category counts; numeric
+// dimensions use Gaussian kernels in the normalised [0,1] domain.
+#pragma once
+
+#include "hpo/algorithms.hpp"
+#include "hpo/search_space.hpp"
+
+namespace chpo::hpo {
+
+class TpeSearch : public SearchAlgorithm {
+ public:
+  struct Options {
+    std::size_t max_evals = 30;
+    std::size_t n_init = 5;       ///< random warm-up evaluations
+    double gamma = 0.25;          ///< top fraction considered "good"
+    std::size_t n_candidates = 64;
+    double bandwidth = 0.12;      ///< Gaussian kernel width in [0,1] space
+    std::uint64_t seed = 7;
+  };
+
+  TpeSearch(const SearchSpace& space, Options options);
+  std::string name() const override { return "tpe"; }
+  std::optional<Config> next() override;
+  void tell(const Config& config, double score) override;
+  bool sequential() const override { return true; }
+  std::size_t observations() const { return observations_.size(); }
+
+ private:
+  struct Observation {
+    Config config;
+    std::vector<double> values;  ///< per-dimension normalised scalars
+    double score = 0.0;
+  };
+
+  /// Per-dimension scalar in [0,1]: categorical -> index/(k-1) identity is
+  /// wrong for densities, so categoricals keep their raw index instead.
+  std::vector<double> dim_values(const Config& config) const;
+
+  /// Parzen density of candidate `values` under a set of observations.
+  double density(const std::vector<double>& values,
+                 const std::vector<const Observation*>& set) const;
+
+  Config sample_from_good(const std::vector<const Observation*>& good);
+
+  const SearchSpace& space_;
+  Options options_;
+  Rng rng_;
+  std::size_t issued_ = 0;
+  std::vector<Observation> observations_;
+};
+
+}  // namespace chpo::hpo

@@ -1,0 +1,91 @@
+#include "ml/cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chpo::ml {
+
+WorkloadModel mnist_paper_model() {
+  // Anchors: epoch_work(B) = 60000*(sample_cost + step_overhead/B).
+  // With step_overhead = 64*sample_cost the 100-epoch/B=32 task is
+  // 100 * 3 * 60000 * sample_cost = 207 min  =>  sample_cost = 6.9e-4 s.
+  // A 20-epoch/B=64 task then lands at ~27.6 min (Fig 4's ~29 min).
+  return WorkloadModel{.name = "mnist",
+                       .n_train = 60000,
+                       .sample_cost = 6.9e-4,
+                       .step_overhead = 4.42e-2,
+                       .preprocess_cost = 1.2e-4,
+                       .gpu_sample_cost = 6.0e-5,
+                       .serial_fraction = 0.04};
+}
+
+WorkloadModel cifar_paper_model() {
+  // CNN on 32x32x3: ~7x the per-sample CPU compute of the MNIST MLP.
+  // gpu_sample_cost makes the full 27-task grid on 4 V100s ≈ 53 min
+  // ("less than an hour", Fig 9); preprocess_cost makes the 1-core-per-
+  // task run CPU-bound and slower than the CPU-node MNIST experiment.
+  return WorkloadModel{.name = "cifar10",
+                       .n_train = 50000,
+                       .sample_cost = 5.0e-3,
+                       .step_overhead = 1.0e-1,
+                       .preprocess_cost = 5.0e-4,
+                       .gpu_sample_cost = 2.2e-4,
+                       .serial_fraction = 0.04};
+}
+
+double amdahl_speedup(unsigned cpus, double serial_fraction) {
+  if (cpus == 0) throw std::invalid_argument("amdahl_speedup: zero cpus");
+  const double s = std::clamp(serial_fraction, 0.0, 1.0);
+  return 1.0 / (s + (1.0 - s) / static_cast<double>(cpus));
+}
+
+namespace {
+
+double epoch_work_seconds(const WorkloadModel& w, int batch) {
+  if (batch <= 0) throw std::invalid_argument("cost model: batch must be positive");
+  const double n = static_cast<double>(w.n_train);
+  const double steps = n / static_cast<double>(batch);
+  return n * w.sample_cost + steps * w.step_overhead;
+}
+
+}  // namespace
+
+double cpu_task_seconds(const WorkloadModel& w, int epochs, int batch, unsigned cpus,
+                        const cluster::NodeSpec& node) {
+  if (epochs <= 0) throw std::invalid_argument("cost model: epochs must be positive");
+  if (cpus == 0) throw std::invalid_argument("cost model: cpu task needs >= 1 core");
+  const double work = static_cast<double>(epochs) * epoch_work_seconds(w, batch);
+  return work / (node.core_rate * amdahl_speedup(cpus, w.serial_fraction));
+}
+
+double gpu_task_seconds(const WorkloadModel& w, int epochs, int batch, unsigned cpus,
+                        unsigned gpus, const cluster::NodeSpec& node) {
+  if (epochs <= 0) throw std::invalid_argument("cost model: epochs must be positive");
+  if (batch <= 0) throw std::invalid_argument("cost model: batch must be positive");
+  if (gpus == 0) throw std::invalid_argument("cost model: gpu task needs >= 1 gpu");
+  if (node.gpu_rate <= 0) throw std::invalid_argument("cost model: node has no GPU rate");
+  const double n = static_cast<double>(w.n_train);
+  const double steps = n / static_cast<double>(batch);
+  // Data-parallel across GPUs; preprocessing pipelined on the CPU cores.
+  const double gpu_step = static_cast<double>(batch) * w.gpu_sample_cost * (30.0 / node.gpu_rate) /
+                          static_cast<double>(gpus);
+  const double cpu_cores = std::max(1u, cpus);
+  const double cpu_step = static_cast<double>(batch) * w.preprocess_cost /
+                          (static_cast<double>(cpu_cores) * node.core_rate);
+  return static_cast<double>(epochs) * steps * std::max(gpu_step, cpu_step);
+}
+
+double experiment_seconds(const WorkloadModel& w, const std::string& optimizer, int epochs,
+                          int batch, unsigned cpus, unsigned gpus,
+                          const cluster::NodeSpec& node) {
+  double factor = 1.0;
+  if (optimizer == "Adam")
+    factor = 1.06;
+  else if (optimizer == "RMSprop")
+    factor = 1.03;
+  const double base = gpus > 0 ? gpu_task_seconds(w, epochs, batch, cpus, gpus, node)
+                               : cpu_task_seconds(w, epochs, batch, std::max(1u, cpus), node);
+  return base * factor;
+}
+
+}  // namespace chpo::ml

@@ -1,0 +1,63 @@
+// Analytic training-time model for the discrete-event backend.
+//
+// Predicts how long one `experiment(config)` task occupies its resources on
+// a given node type. Calibrated against the paper's reported wall-clock
+// anchors (see DESIGN.md §3):
+//   * one MNIST task constrained to 1 MareNostrum4 core ≈ 29 min (Fig 4);
+//   * the 27-task MNIST grid on 24 usable cores ≈ 207 min, dominated by the
+//     100-epoch/batch-32 configuration (Fig 5 / §6.1);
+//   * the CIFAR grid on a 4xV100 POWER9 node with ample CPU cores per task
+//     finishes in under an hour, but with a single core per task the GPU
+//     starves on CPU-side preprocessing and the run is slower than the CPU
+//     node (Fig 9 / §6.1).
+//
+// Model:
+//   epoch_work  = n_train * sample_cost + (n_train / batch) * step_overhead
+//   cpu_time    = epochs * epoch_work / (core_rate * amdahl(cpus))
+//   gpu_step    = max(batch * gpu_sample_cost * 30/gpu_rate,
+//                     batch * preprocess_cost / (cpus * core_rate))
+//   gpu_time    = epochs * (n_train / batch) * gpu_step
+// where amdahl(p) = 1 / (serial_fraction + (1-serial_fraction)/p).
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace chpo::ml {
+
+struct WorkloadModel {
+  std::string name;
+  std::size_t n_train = 60000;
+  double sample_cost = 6.9e-4;       ///< s/sample/epoch on one MN4 core
+  double step_overhead = 4.42e-2;    ///< s/optimizer-step on one MN4 core
+  double preprocess_cost = 2e-4;     ///< s/sample CPU-side preprocessing (GPU path)
+  double gpu_sample_cost = 2.65e-4;  ///< s/sample on a reference (rate-30) GPU
+  double serial_fraction = 0.04;     ///< Amdahl limit of intra-task threading
+};
+
+/// MNIST on MareNostrum4 — calibrated to Figures 4, 5, 9 (CPU series).
+WorkloadModel mnist_paper_model();
+
+/// CIFAR-10 — calibrated to Figure 6 (CPU multi-node) and Figure 9 (GPU
+/// series): heavier per-sample compute and preprocessing.
+WorkloadModel cifar_paper_model();
+
+/// Amdahl speedup of `cpus` cores with the given serial fraction.
+double amdahl_speedup(unsigned cpus, double serial_fraction);
+
+/// Training seconds on CPU cores only.
+double cpu_task_seconds(const WorkloadModel& w, int epochs, int batch, unsigned cpus,
+                        const cluster::NodeSpec& node);
+
+/// Training seconds with `gpus` GPUs fed by `cpus` preprocessing cores.
+double gpu_task_seconds(const WorkloadModel& w, int epochs, int batch, unsigned cpus,
+                        unsigned gpus, const cluster::NodeSpec& node);
+
+/// Dispatch on gpus > 0. Small per-optimizer factor ("Adam" slightly
+/// heavier than "SGD") keeps equal-epoch configs from being identical.
+double experiment_seconds(const WorkloadModel& w, const std::string& optimizer, int epochs,
+                          int batch, unsigned cpus, unsigned gpus,
+                          const cluster::NodeSpec& node);
+
+}  // namespace chpo::ml

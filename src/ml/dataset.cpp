@@ -1,0 +1,137 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chpo::ml {
+
+namespace {
+
+/// Smooth random prototype: sum of a few random 2-D Gaussian blobs, values
+/// roughly in [0, 1]. Smoothness makes translations mild perturbations,
+/// like stroke jitter in handwritten digits.
+std::vector<float> make_prototype(std::size_t c, std::size_t h, std::size_t w, Rng& rng) {
+  std::vector<float> img(c * h * w, 0.0f);
+  const int blobs = 3 + static_cast<int>(rng.next_index(3));
+  for (int b = 0; b < blobs; ++b) {
+    const double cy = rng.next_uniform(0.2, 0.8) * static_cast<double>(h);
+    const double cx = rng.next_uniform(0.2, 0.8) * static_cast<double>(w);
+    const double sigma = rng.next_uniform(0.08, 0.22) * static_cast<double>(std::min(h, w));
+    const double amp = rng.next_uniform(0.5, 1.0);
+    // Each channel gets its own weighting so colour carries class signal.
+    std::vector<double> channel_weight(c);
+    for (auto& cw : channel_weight) cw = rng.next_uniform(0.3, 1.0);
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          const double dy = (static_cast<double>(y) - cy) / sigma;
+          const double dx = (static_cast<double>(x) - cx) / sigma;
+          img[ch * h * w + y * w + x] +=
+              static_cast<float>(amp * channel_weight[ch] * std::exp(-0.5 * (dy * dy + dx * dx)));
+        }
+      }
+    }
+  }
+  float max_v = 1e-6f;
+  for (float v : img) max_v = std::max(max_v, v);
+  for (float& v : img) v /= max_v;
+  return img;
+}
+
+void render_sample(float* out, const std::vector<float>& proto, std::size_t c, std::size_t h,
+                   std::size_t w, double difficulty, Rng& rng,
+                   const std::vector<float>* confuser) {
+  const int max_shift = 1 + static_cast<int>(std::lround(difficulty * 2.0));
+  const int sy = static_cast<int>(rng.next_int(-max_shift, max_shift));
+  const int sx = static_cast<int>(rng.next_int(-max_shift, max_shift));
+  const float noise = static_cast<float>(0.08 + 0.5 * difficulty);
+  // Hard datasets mix in a second class's prototype (CIFAR-like ambiguity).
+  const float mix = confuser ? static_cast<float>(rng.next_uniform(0.0, 0.45 * difficulty)) : 0.0f;
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const long yy = static_cast<long>(y) + sy;
+        const long xx = static_cast<long>(x) + sx;
+        float v = 0.0f;
+        if (yy >= 0 && yy < static_cast<long>(h) && xx >= 0 && xx < static_cast<long>(w)) {
+          const std::size_t src = ch * h * w + static_cast<std::size_t>(yy) * w +
+                                  static_cast<std::size_t>(xx);
+          v = proto[src] * (1.0f - mix);
+          if (confuser) v += (*confuser)[src] * mix;
+        }
+        v += static_cast<float>(rng.next_gaussian(0.0, noise));
+        out[ch * h * w + y * w + x] = std::clamp(v, -1.0f, 2.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticSpec& spec) {
+  if (spec.classes == 0) throw std::invalid_argument("make_synthetic: classes must be > 0");
+  Rng rng(spec.seed);
+  const std::size_t features = spec.channels * spec.height * spec.width;
+
+  std::vector<std::vector<float>> prototypes;
+  prototypes.reserve(spec.classes);
+  for (std::size_t k = 0; k < spec.classes; ++k)
+    prototypes.push_back(make_prototype(spec.channels, spec.height, spec.width, rng));
+
+  Dataset ds;
+  ds.name = spec.name;
+  ds.channels = spec.channels;
+  ds.height = spec.height;
+  ds.width = spec.width;
+  ds.classes = spec.classes;
+  ds.train_x = Tensor({spec.n_train, features});
+  ds.test_x = Tensor({spec.n_test, features});
+  ds.train_y.resize(spec.n_train);
+  ds.test_y.resize(spec.n_test);
+
+  const bool hard = spec.difficulty > 0.5;
+  const auto fill = [&](Tensor& x, std::vector<int>& y) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const std::size_t label = i % spec.classes;  // balanced classes
+      y[i] = static_cast<int>(label);
+      const std::vector<float>* confuser = nullptr;
+      if (hard) {
+        std::size_t other = rng.next_index(spec.classes);
+        if (other == label) other = (other + 1) % spec.classes;
+        confuser = &prototypes[other];
+      }
+      render_sample(x.data() + i * features, prototypes[label], spec.channels, spec.height,
+                    spec.width, spec.difficulty, rng, confuser);
+    }
+  };
+  fill(ds.train_x, ds.train_y);
+  fill(ds.test_x, ds.test_y);
+  return ds;
+}
+
+Dataset make_mnist_like(std::size_t n_train, std::size_t n_test, std::uint64_t seed) {
+  return make_synthetic(SyntheticSpec{.name = "mnist-like",
+                                      .channels = 1,
+                                      .height = 28,
+                                      .width = 28,
+                                      .classes = 10,
+                                      .n_train = n_train,
+                                      .n_test = n_test,
+                                      .difficulty = 0.35,
+                                      .seed = seed});
+}
+
+Dataset make_cifar_like(std::size_t n_train, std::size_t n_test, std::uint64_t seed) {
+  return make_synthetic(SyntheticSpec{.name = "cifar-like",
+                                      .channels = 3,
+                                      .height = 32,
+                                      .width = 32,
+                                      .classes = 10,
+                                      .n_train = n_train,
+                                      .n_test = n_test,
+                                      .difficulty = 0.8,
+                                      .seed = seed});
+}
+
+}  // namespace chpo::ml

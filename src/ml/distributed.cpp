@@ -1,0 +1,129 @@
+#include "ml/distributed.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace chpo::ml {
+
+std::vector<Dataset> make_shards(const Dataset& data, unsigned shards) {
+  if (shards == 0) throw std::invalid_argument("make_shards: need at least one shard");
+  const std::size_t n = data.train_size();
+  if (n < shards) throw std::invalid_argument("make_shards: more shards than samples");
+  const std::size_t features = data.sample_features();
+
+  std::vector<Dataset> out;
+  out.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    const std::size_t begin = n * s / shards;
+    const std::size_t end = n * (s + 1) / shards;
+    Dataset shard;
+    shard.name = data.name + "/shard" + std::to_string(s);
+    shard.channels = data.channels;
+    shard.height = data.height;
+    shard.width = data.width;
+    shard.classes = data.classes;
+    shard.train_x = Tensor({end - begin, features});
+    std::copy_n(data.train_x.data() + begin * features, (end - begin) * features,
+                shard.train_x.data());
+    shard.train_y.assign(data.train_y.begin() + static_cast<std::ptrdiff_t>(begin),
+                         data.train_y.begin() + static_cast<std::ptrdiff_t>(end));
+    shard.test_x = data.test_x;  // replicated validation split
+    shard.test_y = data.test_y;
+    out.push_back(std::move(shard));
+  }
+  return out;
+}
+
+namespace {
+
+Model reference_model(const Dataset& data, std::uint64_t seed, bool batch_norm) {
+  Rng rng(seed ^ 0x5eedf00dULL);
+  return data.channels == 1
+             ? make_mlp(data.sample_features(), {64}, data.classes, rng, batch_norm)
+             : make_cnn(data.channels, data.height, data.width, data.classes, rng);
+}
+
+}  // namespace
+
+DistributedResult distributed_train(rt::Runtime& runtime, const Dataset& data,
+                                    const DistributedOptions& options) {
+  if (options.rounds <= 0) throw std::invalid_argument("distributed_train: rounds must be positive");
+  if (options.local_epochs <= 0)
+    throw std::invalid_argument("distributed_train: local_epochs must be positive");
+
+  // Shards live for the duration of the runtime: share them as task inputs.
+  const auto shards = std::make_shared<std::vector<Dataset>>(make_shards(data, options.shards));
+  std::vector<rt::DataId> shard_ids;
+  for (unsigned s = 0; s < options.shards; ++s) {
+    const Dataset& shard = (*shards)[s];
+    shard_ids.push_back(runtime.share(s, shard.train_x.size() * sizeof(float),
+                                      shard.name));  // id payload: shard index
+  }
+
+  // Initial global weights.
+  Model init = reference_model(data, options.train.seed, options.train.batch_norm);
+  rt::DataId weights = runtime.share(snapshot_weights(init), 64, "weights");
+
+  const TrainConfig base_config = options.train;
+  const double default_shard_seconds =
+      options.shard_task_seconds > 0
+          ? options.shard_task_seconds
+          : 1e-3 * static_cast<double>((*shards)[0].train_size()) * options.local_epochs;
+
+  DistributedResult result;
+  for (int round = 0; round < options.rounds; ++round) {
+    std::vector<rt::Future> locals;
+    for (unsigned s = 0; s < options.shards; ++s) {
+      rt::TaskDef local;
+      local.name = "local_train";
+      local.constraint = options.shard_constraint;
+      local.cost = [default_shard_seconds](const rt::Placement&, const cluster::NodeSpec& node) {
+        return default_shard_seconds / node.core_rate;
+      };
+      const int local_epochs = options.local_epochs;
+      local.body = [shards, base_config, round, s, local_epochs](rt::TaskContext& ctx) -> std::any {
+        const Dataset& shard = (*shards)[ctx.read<unsigned>(0)];
+        TrainConfig config = base_config;
+        config.num_epochs = local_epochs;  // per-round budget
+        config.threads = ctx.thread_budget();
+        config.seed = base_config.seed + static_cast<std::uint64_t>(round) * 7919ULL + s;
+        Model model = reference_model(shard, base_config.seed, base_config.batch_norm);
+        load_weights(model, ctx.read<std::vector<Tensor>>(1));
+        train(model, shard, config);
+        return snapshot_weights(model);
+      };
+      locals.push_back(runtime.submit(
+          local, {{shard_ids[s], rt::Direction::In}, {weights, rt::Direction::In}}));
+    }
+
+    rt::TaskDef average;
+    average.name = "average";
+    average.cost = [](const rt::Placement&, const cluster::NodeSpec&) { return 1.0; };
+    average.body = [](rt::TaskContext& ctx) -> std::any {
+      std::vector<std::vector<Tensor>> snapshots;
+      for (std::size_t i = 0; i < ctx.param_count() - 1; ++i)
+        snapshots.push_back(ctx.read<std::vector<Tensor>>(i));
+      return average_weights(snapshots);
+    };
+    std::vector<rt::Param> average_params;
+    for (const rt::Future& f : locals) average_params.push_back({f.data, rt::Direction::In});
+    const rt::Future averaged = runtime.submit(average, average_params);
+
+    // The averaged weights become the next round's global weights datum.
+    const std::vector<Tensor> merged =
+        runtime.wait_on_as<std::vector<Tensor>>(averaged);
+    weights = runtime.share(merged, 64, "weights.r" + std::to_string(round + 1));
+
+    Model probe = reference_model(data, options.train.seed, options.train.batch_norm);
+    load_weights(probe, merged);
+    result.round_val_accuracy.push_back(
+        evaluate(probe, data.test_x, data.test_y, /*threads=*/1));
+    result.weights = merged;
+  }
+  result.final_val_accuracy =
+      result.round_val_accuracy.empty() ? 0.0 : result.round_val_accuracy.back();
+  return result;
+}
+
+}  // namespace chpo::ml

@@ -1,0 +1,52 @@
+// Distributed data-parallel training on the task runtime.
+//
+// The paper's group followed this work with dislib, a distributed ML
+// library on PyCOMPSs; this module is that idea at our scale. Training is
+// local-SGD / federated averaging expressed as a task graph:
+//
+//   round k:   shard_0 ... shard_{S-1}     each an independent `local_train`
+//                 \    |    /              task: loads the global weights,
+//                  average                 runs E local epochs on its shard,
+//                     |                    returns its weights
+//                 (round k+1)              `average` merges them -> new
+//                                          global weights (IN x S, returns)
+//
+// Every dependency is real dataflow through the registry, so the Figure-3
+// DOT export of this app shows the S-wide fan-in per round, and the
+// scheduler/fault machinery (retries, node death) applies to training
+// itself, not just to HPO.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "ml/trainer.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo::ml {
+
+struct DistributedOptions {
+  unsigned shards = 4;            ///< data-parallel workers per round
+  int rounds = 4;                 ///< synchronisation rounds
+  int local_epochs = 1;           ///< epochs per shard between averages
+  TrainConfig train;              ///< optimizer / batch / lr per local run
+  rt::Constraint shard_constraint{.cpus = 1};
+  /// Virtual seconds per local-train task for the DES backend; <=0 derives
+  /// a duration from shard size (1 ms per sample-epoch).
+  double shard_task_seconds = -1.0;
+};
+
+struct DistributedResult {
+  std::vector<double> round_val_accuracy;  ///< after each averaging round
+  double final_val_accuracy = 0.0;
+  std::vector<Tensor> weights;  ///< final averaged parameters
+};
+
+/// Train an MLP on `data` with `options.shards`-way data parallelism over
+/// `runtime`. The dataset must outlive the runtime (tasks read it).
+DistributedResult distributed_train(rt::Runtime& runtime, const Dataset& data,
+                                    const DistributedOptions& options);
+
+/// Split a dataset's training rows into `shards` contiguous shard datasets
+/// (test split replicated for local validation).
+std::vector<Dataset> make_shards(const Dataset& data, unsigned shards);
+
+}  // namespace chpo::ml

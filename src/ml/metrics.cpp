@@ -1,0 +1,92 @@
+#include "ml/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace chpo::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0) {
+  if (classes_ == 0) throw std::invalid_argument("ConfusionMatrix: zero classes");
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || predicted < 0 || static_cast<std::size_t>(truth) >= classes_ ||
+      static_cast<std::size_t>(predicted) >= classes_)
+    throw std::out_of_range("ConfusionMatrix: label out of range");
+  ++counts_[static_cast<std::size_t>(truth) * classes_ + static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::add_all(const std::vector<int>& truth, const std::vector<int>& predicted) {
+  if (truth.size() != predicted.size())
+    throw std::invalid_argument("ConfusionMatrix: size mismatch");
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], predicted[i]);
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth, std::size_t predicted) const {
+  if (truth >= classes_ || predicted >= classes_)
+    throw std::out_of_range("ConfusionMatrix: index out of range");
+  return counts_[truth * classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t k = 0; k < classes_; ++k) correct += counts_[k * classes_ + k];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+ClassMetrics ConfusionMatrix::class_metrics(std::size_t klass) const {
+  if (klass >= classes_) throw std::out_of_range("ConfusionMatrix: class out of range");
+  const std::size_t tp = counts_[klass * classes_ + klass];
+  std::size_t truths = 0, predictions = 0;
+  for (std::size_t j = 0; j < classes_; ++j) {
+    truths += counts_[klass * classes_ + j];
+    predictions += counts_[j * classes_ + klass];
+  }
+  ClassMetrics metrics;
+  metrics.support = truths;
+  metrics.precision = predictions ? static_cast<double>(tp) / static_cast<double>(predictions) : 0.0;
+  metrics.recall = truths ? static_cast<double>(tp) / static_cast<double>(truths) : 0.0;
+  metrics.f1 = (metrics.precision + metrics.recall) > 0
+                   ? 2.0 * metrics.precision * metrics.recall / (metrics.precision + metrics.recall)
+                   : 0.0;
+  return metrics;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < classes_; ++k) sum += class_metrics(k).f1;
+  return sum / static_cast<double>(classes_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "truth\\pred";
+  for (std::size_t p = 0; p < classes_; ++p) out << "\t" << p;
+  out << "\n";
+  for (std::size_t t = 0; t < classes_; ++t) {
+    out << t;
+    for (std::size_t p = 0; p < classes_; ++p) out << "\t" << count(t, p);
+    out << "\n";
+  }
+  char acc[32];
+  std::snprintf(acc, sizeof acc, "%.3f", accuracy());
+  out << "accuracy " << acc << ", macro-F1 ";
+  std::snprintf(acc, sizeof acc, "%.3f", macro_f1());
+  out << acc << "\n";
+  return out.str();
+}
+
+ConfusionMatrix evaluate_confusion(Model& model, const Tensor& x, const std::vector<int>& y,
+                                   std::size_t classes, unsigned threads) {
+  ConfusionMatrix matrix(classes);
+  if (y.empty()) return matrix;
+  const Tensor logits = model.forward(x, /*training=*/false, threads);
+  matrix.add_all(y, argmax_rows(logits));
+  return matrix;
+}
+
+}  // namespace chpo::ml

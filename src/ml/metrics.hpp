@@ -1,0 +1,52 @@
+// Classification evaluation metrics beyond plain accuracy: confusion
+// matrix, per-class precision/recall/F1, macro averages — what an HPO
+// report needs when "best accuracy" alone hides class imbalance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+#include "ml/tensor.hpp"
+
+namespace chpo::ml {
+
+struct ClassMetrics {
+  std::size_t support = 0;  ///< true instances of this class
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  /// Count one (true, predicted) pair. Throws on out-of-range labels.
+  void add(int truth, int predicted);
+  void add_all(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+  std::size_t classes() const { return classes_; }
+  std::size_t total() const { return total_; }
+  /// counts[t * classes + p]
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+  double accuracy() const;
+  ClassMetrics class_metrics(std::size_t klass) const;
+  double macro_f1() const;
+
+  /// Fixed-width text rendering (rows = truth, columns = prediction).
+  std::string to_string() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+/// Evaluate a model on a labelled set and build its confusion matrix.
+ConfusionMatrix evaluate_confusion(Model& model, const Tensor& x, const std::vector<int>& y,
+                                   std::size_t classes, unsigned threads = 1);
+
+}  // namespace chpo::ml

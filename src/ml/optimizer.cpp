@@ -1,0 +1,76 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chpo::ml {
+
+namespace {
+
+void check_and_init(std::vector<Tensor>& state, const std::vector<Tensor*>& params) {
+  if (state.empty()) {
+    state.reserve(params.size());
+    for (const Tensor* p : params) state.push_back(Tensor::zeros(p->shape()));
+  } else if (state.size() != params.size()) {
+    throw std::invalid_argument("Optimizer: parameter list changed between steps");
+  }
+}
+
+}  // namespace
+
+void Sgd::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  check_and_init(velocity_, params);
+  const float lr = lr_ * lr_scale_;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr * g[j];
+      p[j] += vel[j];
+    }
+  }
+}
+
+void Adam::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  check_and_init(m_, params);
+  check_and_init(v_, params);
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      p[j] -= lr_ * lr_scale_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+void RmsProp::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
+  check_and_init(cache_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& c = cache_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      c[j] = decay_ * c[j] + (1.0f - decay_) * g[j] * g[j];
+      p[j] -= lr_ * lr_scale_ * g[j] / (std::sqrt(c[j]) + eps_);
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, float lr) {
+  if (name == "SGD") return std::make_unique<Sgd>(lr > 0 ? lr : 0.01f);
+  if (name == "Adam") return std::make_unique<Adam>(lr > 0 ? lr : 0.001f);
+  if (name == "RMSprop") return std::make_unique<RmsProp>(lr > 0 ? lr : 0.001f);
+  throw std::invalid_argument("unknown optimizer: " + name);
+}
+
+}  // namespace chpo::ml

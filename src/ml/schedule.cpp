@@ -1,0 +1,38 @@
+#include "ml/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace chpo::ml {
+
+StepDecaySchedule::StepDecaySchedule(int period, double factor)
+    : period_(period), factor_(factor) {
+  if (period_ <= 0) throw std::invalid_argument("StepDecaySchedule: period must be positive");
+  if (factor_ <= 0 || factor_ > 1)
+    throw std::invalid_argument("StepDecaySchedule: factor must be in (0,1]");
+}
+
+double StepDecaySchedule::multiplier(int epoch, int /*total_epochs*/) const {
+  const int steps = (epoch - 1) / period_;
+  return std::pow(factor_, steps);
+}
+
+CosineSchedule::CosineSchedule(double floor) : floor_(floor) {
+  if (floor_ < 0 || floor_ >= 1)
+    throw std::invalid_argument("CosineSchedule: floor must be in [0,1)");
+}
+
+double CosineSchedule::multiplier(int epoch, int total_epochs) const {
+  if (total_epochs <= 1) return 1.0;
+  const double progress = static_cast<double>(epoch - 1) / static_cast<double>(total_epochs - 1);
+  return floor_ + (1.0 - floor_) * 0.5 * (1.0 + std::cos(progress * 3.14159265358979323846));
+}
+
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name) {
+  if (name == "constant") return std::make_unique<ConstantSchedule>();
+  if (name == "step") return std::make_unique<StepDecaySchedule>();
+  if (name == "cosine") return std::make_unique<CosineSchedule>();
+  throw std::invalid_argument("unknown lr schedule: " + name);
+}
+
+}  // namespace chpo::ml

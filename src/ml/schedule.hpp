@@ -1,0 +1,56 @@
+// Learning-rate schedules.
+//
+// Extends the hyperparameter surface beyond Listing 1: a schedule is a pure
+// function epoch -> multiplier applied to the optimizer's base rate. The
+// trainer re-scales per epoch; schedules are themselves tunable via the
+// HPO layer ("lr_schedule": ["constant", "step", "cosine"]).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace chpo::ml {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual std::string name() const = 0;
+  /// Multiplier for `epoch` (1-based) out of `total_epochs`.
+  virtual double multiplier(int epoch, int total_epochs) const = 0;
+};
+
+/// multiplier == 1 forever.
+class ConstantSchedule : public LrSchedule {
+ public:
+  std::string name() const override { return "constant"; }
+  double multiplier(int, int) const override { return 1.0; }
+};
+
+/// Multiply by `factor` every `period` epochs.
+class StepDecaySchedule : public LrSchedule {
+ public:
+  StepDecaySchedule(int period = 10, double factor = 0.5);
+  std::string name() const override { return "step"; }
+  double multiplier(int epoch, int total_epochs) const override;
+
+ private:
+  int period_;
+  double factor_;
+};
+
+/// Cosine annealing from 1 down to `floor`.
+class CosineSchedule : public LrSchedule {
+ public:
+  explicit CosineSchedule(double floor = 0.01);
+  std::string name() const override { return "cosine"; }
+  double multiplier(int epoch, int total_epochs) const override;
+
+ private:
+  double floor_;
+};
+
+/// Factory: "constant" | "step" | "cosine".
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name);
+
+}  // namespace chpo::ml

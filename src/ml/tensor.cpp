@@ -1,0 +1,203 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/parallel_for.hpp"
+
+namespace chpo::ml {
+
+namespace {
+
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)), data_(element_count(shape_), fill) {}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.next_gaussian(0.0, stddev));
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+  if (element_count(shape) != data_.size())
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) out << (i ? "," : "") << shape_[i];
+  out << "]";
+  return out.str();
+}
+
+namespace {
+
+void check2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(name) + ": rank-2 tensor required");
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, unsigned threads) {
+  check2(a, "matmul a");
+  check2(b, "matmul b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dimension mismatch");
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n) out = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(m, threads, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* ci = pc + i * n;
+      std::fill(ci, ci + n, 0.0f);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float aip = pa[i * k + p];
+        const float* bp = pb + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  });
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out, unsigned threads) {
+  check2(a, "matmul_bt a");
+  check2(b, "matmul_bt b");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_bt: inner dimension mismatch");
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n) out = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(m, threads, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* ai = pa + i * k;
+        const float* bj = pb + j * k;
+        float sum = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) sum += ai[p] * bj[p];
+        pc[i * n + j] = sum;
+      }
+    }
+  });
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out, unsigned threads) {
+  check2(a, "matmul_at a");
+  check2(b, "matmul_at b");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_at: inner dimension mismatch");
+  if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n) out = Tensor({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out.data();
+  parallel_for(m, threads, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* ci = pc + i * n;
+      std::fill(ci, ci + n, 0.0f);
+      for (std::size_t p = 0; p < k; ++p) {
+        const float api = pa[p * m + i];
+        const float* bp = pb + p * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      }
+    }
+  });
+}
+
+void add_row_bias(Tensor& out, const Tensor& bias) {
+  check2(out, "add_row_bias out");
+  const std::size_t n = out.dim(1);
+  if (bias.size() != n) throw std::invalid_argument("add_row_bias: bias size mismatch");
+  for (std::size_t r = 0; r < out.dim(0); ++r) {
+    float* row = out.data() + r * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void relu_forward(const Tensor& x, Tensor& y) {
+  if (y.size() != x.size()) y = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_backward(const Tensor& x, const Tensor& dy, Tensor& dx) {
+  if (x.size() != dy.size()) throw std::invalid_argument("relu_backward: size mismatch");
+  if (dx.size() != x.size()) dx = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void softmax_rows(const Tensor& logits, Tensor& probs) {
+  check2(logits, "softmax_rows");
+  if (probs.size() != logits.size()) probs = Tensor(logits.shape());
+  const std::size_t n = logits.dim(1);
+  for (std::size_t r = 0; r < logits.dim(0); ++r) {
+    const float* in = logits.data() + r * n;
+    float* out = probs.data() + r * n;
+    float max_v = in[0];
+    for (std::size_t j = 1; j < n; ++j) max_v = std::max(max_v, in[j]);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) {
+      out[j] = std::exp(in[j] - max_v);
+      sum += out[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < n; ++j) out[j] *= inv;
+  }
+}
+
+float cross_entropy(const Tensor& probs, const std::vector<int>& labels, Tensor& dlogits) {
+  check2(probs, "cross_entropy");
+  const std::size_t n = probs.dim(0), classes = probs.dim(1);
+  if (labels.size() != n) throw std::invalid_argument("cross_entropy: label count mismatch");
+  if (dlogits.size() != probs.size()) dlogits = Tensor(probs.shape());
+  float loss = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const int label = labels[r];
+    if (label < 0 || static_cast<std::size_t>(label) >= classes)
+      throw std::out_of_range("cross_entropy: label out of range");
+    const float* p = probs.data() + r * classes;
+    float* d = dlogits.data() + r * classes;
+    loss -= std::log(std::max(p[static_cast<std::size_t>(label)], 1e-12f));
+    for (std::size_t j = 0; j < classes; ++j)
+      d[j] = (p[j] - (static_cast<int>(j) == label ? 1.0f : 0.0f)) * inv_n;
+  }
+  return loss * inv_n;
+}
+
+std::vector<int> argmax_rows(const Tensor& t) {
+  std::vector<int> out;
+  if (t.rank() != 2) throw std::invalid_argument("argmax_rows: rank-2 tensor required");
+  const std::size_t n = t.dim(1);
+  out.reserve(t.dim(0));
+  for (std::size_t r = 0; r < t.dim(0); ++r) {
+    const float* row = t.data() + r * n;
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < n; ++j)
+      if (row[j] > row[best]) best = j;
+    out.push_back(static_cast<int>(best));
+  }
+  return out;
+}
+
+}  // namespace chpo::ml

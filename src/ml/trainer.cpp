@@ -1,0 +1,173 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/schedule.hpp"
+
+namespace chpo::ml {
+
+double evaluate(Model& model, const Tensor& x, const std::vector<int>& y, unsigned threads) {
+  if (y.empty()) return 0.0;
+  const Tensor logits = model.forward(x, /*training=*/false, threads);
+  const std::vector<int> predicted = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (predicted[i] == y[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+TrainResult train(Model& model, const Dataset& data, const TrainConfig& config) {
+  if (config.num_epochs <= 0) throw std::invalid_argument("train: num_epochs must be positive");
+  if (config.batch_size <= 0) throw std::invalid_argument("train: batch_size must be positive");
+
+  auto optimizer = make_optimizer(config.optimizer, config.learning_rate);
+  const auto schedule = make_schedule(config.lr_schedule);
+  const std::vector<Tensor*> params = model.params();
+  const std::vector<Tensor*> grads = model.grads();
+
+  Rng rng(config.seed);
+  const std::size_t n = data.train_size();
+  const std::size_t features = data.sample_features();
+  const std::size_t batch = std::min<std::size_t>(static_cast<std::size_t>(config.batch_size), n);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  double best = 0.0;
+  int epochs_since_best = 0;
+
+  Tensor batch_x({batch, features});
+  std::vector<int> batch_y(batch);
+  Tensor probs, dlogits;
+
+  for (int epoch = 1; epoch <= config.num_epochs; ++epoch) {
+    optimizer->set_lr_scale(
+        static_cast<float>(schedule->multiplier(epoch, config.num_epochs)));
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t seen = 0, correct = 0, steps = 0;
+
+    for (std::size_t begin = 0; begin + batch <= n; begin += batch) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t src = order[begin + i];
+        std::copy_n(data.train_x.data() + src * features, features, batch_x.data() + i * features);
+        batch_y[i] = data.train_y[src];
+      }
+      const Tensor logits = model.forward(batch_x, /*training=*/true, config.threads);
+      softmax_rows(logits, probs);
+      loss_sum += cross_entropy(probs, batch_y, dlogits);
+      ++steps;
+      const std::vector<int> predicted = argmax_rows(probs);
+      for (std::size_t i = 0; i < batch; ++i)
+        if (predicted[i] == batch_y[i]) ++correct;
+      seen += batch;
+      model.backward(dlogits, config.threads);
+      if (config.weight_decay > 0.0f) {
+        for (std::size_t p = 0; p < params.size(); ++p)
+          for (std::size_t j = 0; j < params[p]->size(); ++j)
+            (*grads[p])[j] += config.weight_decay * (*params[p])[j];
+      }
+      optimizer->step(params, grads);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
+    stats.train_accuracy = seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+    stats.val_accuracy = evaluate(model, data.test_x, data.test_y, config.threads);
+    result.history.push_back(stats);
+    result.epochs_run = epoch;
+    result.final_val_accuracy = stats.val_accuracy;
+
+    if (stats.val_accuracy > best) {
+      best = stats.val_accuracy;
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+    }
+
+    if (config.target_accuracy > 0 && stats.val_accuracy >= config.target_accuracy) {
+      result.stopped_early = true;
+      break;
+    }
+    if (config.patience > 0 && epochs_since_best >= config.patience) {
+      result.stopped_early = true;
+      break;
+    }
+  }
+  result.best_val_accuracy = best;
+  return result;
+}
+
+CvResult cross_validate(const Dataset& data, const TrainConfig& config, int folds) {
+  if (folds < 2) throw std::invalid_argument("cross_validate: need at least 2 folds");
+  const std::size_t n = data.train_size();
+  if (static_cast<std::size_t>(folds) > n)
+    throw std::invalid_argument("cross_validate: more folds than samples");
+  const std::size_t features = data.sample_features();
+
+  CvResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    const std::size_t begin = n * static_cast<std::size_t>(fold) / static_cast<std::size_t>(folds);
+    const std::size_t end =
+        n * static_cast<std::size_t>(fold + 1) / static_cast<std::size_t>(folds);
+
+    Dataset split;
+    split.name = data.name + "/fold" + std::to_string(fold);
+    split.channels = data.channels;
+    split.height = data.height;
+    split.width = data.width;
+    split.classes = data.classes;
+    split.train_x = Tensor({n - (end - begin), features});
+    split.test_x = Tensor({end - begin, features});
+    std::size_t train_row = 0, test_row = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool held_out = i >= begin && i < end;
+      Tensor& target = held_out ? split.test_x : split.train_x;
+      std::size_t& row = held_out ? test_row : train_row;
+      std::copy_n(data.train_x.data() + i * features, features, target.data() + row * features);
+      (held_out ? split.test_y : split.train_y).push_back(data.train_y[i]);
+      ++row;
+    }
+
+    TrainConfig fold_config = config;
+    fold_config.seed = config.seed + static_cast<std::uint64_t>(fold) * 104729ULL;
+    const TrainResult fold_result = run_experiment(split, fold_config);
+    result.fold_accuracies.push_back(fold_result.final_val_accuracy);
+  }
+
+  double sum = 0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(folds);
+  double var = 0;
+  for (double a : result.fold_accuracies) {
+    const double d = a - result.mean_accuracy;
+    var += d * d;
+  }
+  result.stddev = std::sqrt(var / static_cast<double>(folds));
+  return result;
+}
+
+TrainResult run_experiment(const Dataset& data, const TrainConfig& config) {
+  if (config.hidden_layers <= 0 || config.hidden_units <= 0)
+    throw std::invalid_argument("run_experiment: architecture dims must be positive");
+  Rng init_rng(config.seed ^ 0x5eedf00dULL);
+  Model model;
+  if (data.channels == 1) {
+    std::vector<std::size_t> hidden(static_cast<std::size_t>(config.hidden_layers),
+                                    static_cast<std::size_t>(config.hidden_units));
+    model = make_mlp(data.sample_features(), hidden, data.classes, init_rng,
+                     MlpOptions{.batch_norm = config.batch_norm,
+                                .dropout = config.dropout,
+                                .dropout_seed = config.seed ^ 0xd40u});
+  } else {
+    model = make_cnn(data.channels, data.height, data.width, data.classes, init_rng);
+  }
+  return train(model, data, config);
+}
+
+}  // namespace chpo::ml

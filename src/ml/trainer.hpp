@@ -1,0 +1,77 @@
+// Training loop — the body of the paper's `experiment(config)` task.
+//
+// Consumes exactly the hyperparameters of Listing 1 (optimizer, num_epochs,
+// batch_size) plus a few extras; returns the validation-accuracy history
+// that Figures 7-8 plot. Supports early stopping on a target accuracy
+// (paper §6.2: "it makes no sense to continue ... after one has achieved
+// the desired accuracy") and a thread budget so the runtime's @constraint
+// caps internal parallelism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "ml/optimizer.hpp"
+
+namespace chpo::ml {
+
+struct TrainConfig {
+  std::string optimizer = "Adam";  ///< "SGD" | "Adam" | "RMSprop"
+  int num_epochs = 20;
+  int batch_size = 32;
+  float learning_rate = -1.0f;      ///< <=0: optimizer default
+  std::string lr_schedule = "constant";  ///< "constant" | "step" | "cosine"
+  float weight_decay = 0.0f;        ///< L2 penalty added to gradients
+  bool batch_norm = false;          ///< insert BatchNorm into the MLP
+  int hidden_layers = 1;            ///< MLP depth ("number of layers", §1)
+  int hidden_units = 64;            ///< width of each hidden layer
+  float dropout = 0.0f;             ///< dropout rate after hidden layers
+  unsigned threads = 1;             ///< internal-parallelism budget
+  std::uint64_t seed = 7;
+
+  /// Early stopping: stop once validation accuracy reaches `target_accuracy`
+  /// (<=0 disables), or after `patience` epochs without improvement
+  /// (<=0 disables).
+  double target_accuracy = -1.0;
+  int patience = -1;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_val_accuracy = 0.0;
+  double best_val_accuracy = 0.0;
+  int epochs_run = 0;
+  bool stopped_early = false;
+};
+
+/// Evaluate accuracy of `model` on (x, y) without touching its state.
+double evaluate(Model& model, const Tensor& x, const std::vector<int>& y, unsigned threads = 1);
+
+/// Train `model` on the dataset's train split, validating on its test
+/// split each epoch.
+TrainResult train(Model& model, const Dataset& data, const TrainConfig& config);
+
+/// The full experiment task: builds the reference model for the dataset
+/// shape (MLP for single-channel, CNN otherwise) and trains it.
+TrainResult run_experiment(const Dataset& data, const TrainConfig& config);
+
+/// k-fold cross-validation (scikit-learn's evaluation mode, paper §2.2):
+/// splits the training set into `folds` contiguous folds, trains `folds`
+/// fresh models on the complement and validates on the held-out fold.
+struct CvResult {
+  std::vector<double> fold_accuracies;
+  double mean_accuracy = 0.0;
+  double stddev = 0.0;
+};
+CvResult cross_validate(const Dataset& data, const TrainConfig& config, int folds);
+
+}  // namespace chpo::ml

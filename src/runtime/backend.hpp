@@ -1,0 +1,30 @@
+// Backend interface: who owns time.
+//
+// The engine decides *what* happens; a backend decides *when*. The threaded
+// backend executes task bodies on real host threads and reads a wall clock;
+// the simulation backend advances a virtual clock by per-task cost models.
+// Both must drive the engine to the same logical outcome for the same
+// submission sequence — the test suite asserts this equivalence.
+#pragma once
+
+#include "runtime/engine.hpp"
+#include "runtime/types.hpp"
+
+namespace chpo::rt {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Current time in seconds (wall-clock since construction, or virtual).
+  virtual double now() const = 0;
+
+  /// Drive the engine until `target` reaches a terminal state; kNoTask
+  /// means "until every submitted task is terminal" (a full barrier).
+  virtual void run_until(TaskId target) = 0;
+
+  /// True for the discrete-event simulator.
+  virtual bool simulated() const = 0;
+};
+
+}  // namespace chpo::rt

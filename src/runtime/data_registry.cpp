@@ -1,0 +1,151 @@
+#include "runtime/data_registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace chpo::rt {
+
+DataId DataRegistry::register_data(std::any initial_value, std::uint64_t bytes, std::string label,
+                                   bool everywhere) {
+  std::unique_lock lock(mutex_);
+  const DataId id = data_.size();
+  DatumInfo info;
+  info.bytes = bytes;
+  info.label = label.empty() ? "d" + std::to_string(id) : std::move(label);
+  VersionInfo v0;
+  v0.value = std::move(initial_value);
+  v0.committed = true;
+  v0.everywhere = everywhere;
+  info.versions.push_back(std::move(v0));
+  data_.push_back(std::move(info));
+  return id;
+}
+
+DataRegistry::DatumInfo& DataRegistry::datum(DataId id) {
+  if (id >= data_.size()) throw std::out_of_range("DataRegistry: unknown datum " + std::to_string(id));
+  return data_[id];
+}
+
+const DataRegistry::DatumInfo& DataRegistry::datum(DataId id) const {
+  if (id >= data_.size()) throw std::out_of_range("DataRegistry: unknown datum " + std::to_string(id));
+  return data_[id];
+}
+
+AccessPlan DataRegistry::plan_access(TaskId task, const Param& param) {
+  std::unique_lock lock(mutex_);
+  DatumInfo& d = datum(param.data);
+  AccessPlan plan;
+  const auto add_dep = [&plan](TaskId t) {
+    if (t != kNoTask && std::find(plan.depends_on.begin(), plan.depends_on.end(), t) == plan.depends_on.end())
+      plan.depends_on.push_back(t);
+  };
+
+  switch (param.dir) {
+    case Direction::In:
+      plan.read_version = d.current;
+      add_dep(d.last_writer);  // RAW
+      d.readers_of_current.push_back(task);
+      break;
+    case Direction::Out:
+      // WAW with the previous writer, WAR with readers of the current version.
+      add_dep(d.last_writer);
+      for (TaskId r : d.readers_of_current) add_dep(r);
+      d.versions.push_back(VersionInfo{.producer = task});
+      d.current = static_cast<std::uint32_t>(d.versions.size() - 1);
+      plan.write_version = d.current;
+      d.last_writer = task;
+      d.readers_of_current.clear();
+      break;
+    case Direction::InOut:
+      plan.read_version = d.current;
+      add_dep(d.last_writer);                            // RAW
+      for (TaskId r : d.readers_of_current) add_dep(r);  // WAR
+      d.versions.push_back(VersionInfo{.producer = task});
+      d.current = static_cast<std::uint32_t>(d.versions.size() - 1);
+      plan.write_version = d.current;
+      d.last_writer = task;
+      d.readers_of_current.clear();
+      break;
+  }
+  return plan;
+}
+
+void DataRegistry::commit(DataId data, std::uint32_t version, std::any value, int node) {
+  std::unique_lock lock(mutex_);
+  DatumInfo& d = datum(data);
+  if (version >= d.versions.size())
+    throw std::out_of_range("DataRegistry: commit of unplanned version");
+  VersionInfo& v = d.versions[version];
+  v.value = std::move(value);
+  v.committed = true;
+  if (node < 0)
+    v.everywhere = true;
+  else
+    v.locations.insert(node);
+}
+
+const std::any& DataRegistry::value(DataId data, std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const DatumInfo& d = datum(data);
+  if (version >= d.versions.size() || !d.versions[version].committed)
+    throw std::out_of_range("DataRegistry: value not committed for d" + std::to_string(data) +
+                            "v" + std::to_string(version));
+  return d.versions[version].value;
+}
+
+bool DataRegistry::has_value(DataId data, std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const DatumInfo& d = datum(data);
+  return version < d.versions.size() && d.versions[version].committed;
+}
+
+std::uint32_t DataRegistry::current_version(DataId data) const {
+  std::shared_lock lock(mutex_);
+  return datum(data).current;
+}
+
+TaskId DataRegistry::producer(DataId data, std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const DatumInfo& d = datum(data);
+  if (version >= d.versions.size()) throw std::out_of_range("DataRegistry: unknown version");
+  return d.versions[version].producer;
+}
+
+bool DataRegistry::available_everywhere(DataId data, std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const DatumInfo& d = datum(data);
+  if (version >= d.versions.size()) return false;
+  return d.versions[version].everywhere;
+}
+
+std::set<int> DataRegistry::locations(DataId data, std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const DatumInfo& d = datum(data);
+  if (version >= d.versions.size()) return {};
+  return d.versions[version].locations;
+}
+
+void DataRegistry::add_location(DataId data, std::uint32_t version, int node) {
+  std::unique_lock lock(mutex_);
+  DatumInfo& d = datum(data);
+  if (version >= d.versions.size()) throw std::out_of_range("DataRegistry: unknown version");
+  d.versions[version].locations.insert(node);
+}
+
+std::uint64_t DataRegistry::bytes_of(DataId data) const {
+  std::shared_lock lock(mutex_);
+  return datum(data).bytes;
+}
+
+const std::string& DataRegistry::label_of(DataId data) const {
+  std::shared_lock lock(mutex_);
+  return datum(data).label;
+}
+
+std::size_t DataRegistry::datum_count() const {
+  std::shared_lock lock(mutex_);
+  return data_.size();
+}
+
+}  // namespace chpo::rt

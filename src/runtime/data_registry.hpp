@@ -1,0 +1,100 @@
+// Versioned data registry — the runtime's dependency oracle.
+//
+// Every object a task touches is registered here. Each write (OUT / INOUT)
+// creates a new version of the datum; the version chain yields exactly the
+// RAW / WAR / WAW dependencies COMPSs derives from parameter directions.
+// The d{n}v{m} labels in the paper's Figure 3 task graph are (datum,
+// version) pairs — our DOT export uses the same naming.
+//
+// The registry also tracks which nodes hold a copy of each version (for the
+// locality-aware scheduler and the transfer cost model) and stores the
+// actual values, keyed by (datum, version), so that concurrent readers of
+// different versions never race.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace chpo::rt {
+
+/// Result of declaring one task access: the version it will read and/or
+/// write and the task ids it now depends on.
+struct AccessPlan {
+  std::uint32_t read_version = 0;   ///< meaningful for In / InOut
+  std::uint32_t write_version = 0;  ///< meaningful for Out / InOut
+  std::vector<TaskId> depends_on;   ///< producers / prior readers to wait for
+};
+
+class DataRegistry {
+ public:
+  /// Register a new datum. `bytes` feeds the transfer cost model.
+  /// With `everywhere` (the default, modelling a parallel filesystem or a
+  /// trivially small value) version 0 is readable from any node at no
+  /// cost; with everywhere=false it lives only with the main program and
+  /// must be staged to each node that consumes it.
+  DataId register_data(std::any initial_value = {}, std::uint64_t bytes = 64,
+                       std::string label = {}, bool everywhere = true);
+
+  /// Declare that `task` accesses `param`; returns the planned versions and
+  /// the dependency set. Must be called in task submission order.
+  AccessPlan plan_access(TaskId task, const Param& param);
+
+  /// Commit a produced value for (datum, version); marks it available on
+  /// `node` (-1 = main program / everywhere).
+  void commit(DataId data, std::uint32_t version, std::any value, int node);
+
+  /// Value lookup; throws std::out_of_range if that version was never
+  /// committed (version 0 is committed at registration).
+  const std::any& value(DataId data, std::uint32_t version) const;
+  bool has_value(DataId data, std::uint32_t version) const;
+
+  /// Latest created version number (the one the next reader would see).
+  std::uint32_t current_version(DataId data) const;
+
+  /// Task that produces (data, version); kNoTask for version 0.
+  TaskId producer(DataId data, std::uint32_t version) const;
+
+  /// Nodes known to hold (data, version). Empty set + available==true means
+  /// "available everywhere" (main-program data or PFS).
+  bool available_everywhere(DataId data, std::uint32_t version) const;
+  std::set<int> locations(DataId data, std::uint32_t version) const;
+  void add_location(DataId data, std::uint32_t version, int node);
+
+  std::uint64_t bytes_of(DataId data) const;
+  const std::string& label_of(DataId data) const;
+
+  std::size_t datum_count() const;
+
+ private:
+  struct VersionInfo {
+    TaskId producer = kNoTask;
+    std::any value;
+    bool committed = false;
+    bool everywhere = false;
+    std::set<int> locations;
+  };
+  struct DatumInfo {
+    std::uint64_t bytes = 64;
+    std::string label;
+    std::uint32_t current = 0;
+    TaskId last_writer = kNoTask;             ///< producer of `current`
+    std::vector<TaskId> readers_of_current;   ///< tasks reading `current`
+    std::vector<VersionInfo> versions;        ///< index == version number
+  };
+
+  DatumInfo& datum(DataId id);
+  const DatumInfo& datum(DataId id) const;
+
+  mutable std::shared_mutex mutex_;
+  std::vector<DatumInfo> data_;
+};
+
+}  // namespace chpo::rt

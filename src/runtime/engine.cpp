@@ -1,0 +1,352 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace chpo::rt {
+
+Engine::Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions options,
+               FaultInjector injector, trace::TraceSink& sink)
+    : graph_(graph),
+      resources_(spec),
+      scheduler_(make_scheduler(options.scheduler)),
+      options_(std::move(options)),
+      injector_(std::move(injector)),
+      sink_(sink) {}
+
+void Engine::on_submitted(TaskId task, double now) {
+  TaskRecord& record = graph_.task(task);
+  sink_.record(trace::Event{.kind = trace::EventKind::TaskSubmit,
+                            .task_id = task,
+                            .task_name = record.def.name,
+                            .t_start = now,
+                            .t_end = now});
+  if (record.state == TaskState::Cancelled) {
+    // Doomed at submission: a predecessor had already failed.
+    ++terminal_;
+    return;
+  }
+  if (record.state == TaskState::Ready) make_ready(task);
+}
+
+namespace {
+
+/// Any implementation (primary or @implement variant) feasible?
+bool any_implementation_feasible(const TaskRecord& record, const ResourceState& resources) {
+  if (resources.feasible(record.def.constraint)) return true;
+  for (const TaskVariant& variant : record.def.variants)
+    if (resources.feasible(variant.constraint)) return true;
+  return false;
+}
+
+}  // namespace
+
+void Engine::make_ready(TaskId task) {
+  TaskRecord& record = graph_.task(task);
+  record.state = TaskState::Ready;
+  if (!any_implementation_feasible(record, resources_)) {
+    log_warn("engine", "task {} '{}' has an unsatisfiable constraint ({} cpus, {} gpus)", task,
+             record.def.name, record.def.constraint.cpus, record.def.constraint.gpus);
+    record.state = TaskState::Failed;
+    record.failure_reason = "constraint unsatisfiable on this cluster";
+    ++terminal_;
+    cancel_dependents(task);
+    return;
+  }
+  ready_.push_back(task);
+}
+
+std::vector<Dispatch> Engine::schedule(double now) {
+  if (ready_.empty()) return {};
+  std::vector<Dispatch> dispatches = scheduler_->schedule(ready_, graph_, resources_);
+  for (const Dispatch& d : dispatches) {
+    ready_.erase(std::remove(ready_.begin(), ready_.end(), d.task), ready_.end());
+    TaskRecord& record = graph_.task(d.task);
+    record.state = TaskState::Running;
+    record.last_node = d.placement.node;
+    record.active_variant = d.variant;
+    ++running_;
+    sink_.record(trace::Event{.kind = trace::EventKind::TaskSchedule,
+                              .task_id = d.task,
+                              .attempt = record.attempts_made + 1,
+                              .task_name = record.def.name,
+                              .node = d.placement.node,
+                              .cores = d.placement.cores,
+                              .t_start = now,
+                              .t_end = now});
+  }
+  return dispatches;
+}
+
+AttemptResult Engine::execute_body(TaskId task, const Placement& placement, bool simulated) {
+  const TaskRecord& record = graph_.task(task);
+  const int attempt = record.attempts_made + 1;
+  AttemptResult result;
+  if (injector_.should_fail(task, attempt)) {
+    result.error = "injected failure";
+    return result;
+  }
+  const TaskBody& body = record.implementation_body(record.active_variant);
+  if (!body) {
+    result.success = true;  // pure-cost task (simulation-only workloads)
+    return result;
+  }
+  const std::uint64_t seed =
+      options_.seed ^ (task * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(attempt);
+  TaskContext ctx(graph_.registry(), record.bindings, placement, attempt, simulated, seed);
+  try {
+    result.return_value = body(ctx);
+    result.writes = ctx.pending_writes();
+    result.success = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception in task body";
+  }
+  return result;
+}
+
+AttemptResult Engine::injection_result(TaskId task) {
+  const TaskRecord& record = graph_.task(task);
+  AttemptResult result;
+  if (injector_.should_fail(task, record.attempts_made + 1))
+    result.error = "injected failure";
+  else
+    result.success = true;
+  return result;
+}
+
+double Engine::stage_inputs(TaskId task, int node, double now) {
+  const cluster::ClusterSpec& spec = resources_.spec();
+  if (spec.has_parallel_fs) return 0.0;
+  TaskRecord& record = graph_.task(task);
+  DataRegistry& registry = graph_.registry();
+  double total = 0.0;
+  for (const ParamBinding& b : record.bindings) {
+    if (b.param.dir == Direction::Out) continue;
+    if (registry.available_everywhere(b.param.data, b.read_version)) continue;
+    if (registry.locations(b.param.data, b.read_version).contains(node)) continue;
+    const double seconds = spec.network.transfer_seconds(registry.bytes_of(b.param.data));
+    sink_.record(trace::Event{.kind = trace::EventKind::Transfer,
+                              .task_id = task,
+                              .task_name = record.def.name,
+                              .node = node,
+                              .t_start = now + total,
+                              .t_end = now + total + seconds});
+    registry.add_location(b.param.data, b.read_version, node);
+    total += seconds;
+  }
+  return total;
+}
+
+void Engine::commit_outputs(TaskRecord& task, AttemptResult& result) {
+  DataRegistry& registry = graph_.registry();
+  const cluster::ClusterSpec& spec = resources_.spec();
+  // With a PFS every node can read fresh outputs; otherwise they live on
+  // the producing node until staged elsewhere.
+  const int location = spec.has_parallel_fs ? -1 : task.last_node;
+
+  // Explicit ctx.write()s first (last write to an index wins).
+  std::vector<bool> written(task.bindings.size(), false);
+  for (auto& [index, value] : result.writes) {
+    const ParamBinding& b = task.bindings[index];
+    registry.commit(b.param.data, b.write_version, std::move(value), location);
+    written[index] = true;
+  }
+  // The body's return value goes to the implicit result binding (the last).
+  const std::size_t result_index = task.bindings.size() - 1;
+  if (!written[result_index]) {
+    registry.commit(task.result.data, task.result.version, std::move(result.return_value), location);
+    written[result_index] = true;
+  }
+  // InOut params not explicitly written carry the old value forward; Out
+  // params not written become empty (reading them is a caller bug).
+  for (std::size_t i = 0; i < task.bindings.size(); ++i) {
+    if (written[i]) continue;
+    const ParamBinding& b = task.bindings[i];
+    if (b.param.dir == Direction::InOut)
+      registry.commit(b.param.data, b.write_version,
+                      registry.value(b.param.data, b.read_version), location);
+    else if (b.param.dir == Direction::Out)
+      registry.commit(b.param.data, b.write_version, {}, location);
+  }
+}
+
+Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placement,
+                                            AttemptResult result, double start, double end) {
+  Completion completion;
+  TaskRecord& record = graph_.task(task);
+  resources_.release(placement);
+  --running_;
+  ++record.attempts_made;
+
+  sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
+                            .task_id = task,
+                            .attempt = record.attempts_made,
+                            .task_name = record.def.name,
+                            .node = placement.node,
+                            .cores = placement.cores,
+                            .gpus = placement.gpus,
+                            .t_start = start,
+                            .t_end = end});
+  for (const NodeSlice& slice : placement.secondary) {
+    // @multinode: the task occupied every slice for the same interval.
+    sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
+                              .task_id = task,
+                              .attempt = record.attempts_made,
+                              .task_name = record.def.name,
+                              .node = slice.node,
+                              .cores = slice.cores,
+                              .gpus = slice.gpus,
+                              .t_start = start,
+                              .t_end = end});
+  }
+
+  if (result.success) {
+    commit_outputs(record, result);
+    record.state = TaskState::Done;
+    ++terminal_;
+    for (TaskId succ : record.successors) {
+      TaskRecord& s = graph_.task(succ);
+      if (s.state != TaskState::WaitingDeps) continue;
+      if (--s.deps_remaining == 0) {
+        make_ready(succ);
+        if (s.state == TaskState::Ready) completion.newly_ready.push_back(succ);
+      }
+    }
+    return completion;
+  }
+
+  // ---- Failure path (paper §4 retry policy) ----
+  record.failure_reason = result.error;
+  sink_.record(trace::Event{.kind = trace::EventKind::TaskFailure,
+                            .task_id = task,
+                            .attempt = record.attempts_made,
+                            .task_name = record.def.name,
+                            .node = placement.node,
+                            .t_start = end,
+                            .t_end = end});
+  log_warn("engine", "task {} '{}' attempt {} failed on node {}: {}", task, record.def.name,
+           record.attempts_made, placement.node, result.error);
+
+  if (record.attempts_made >= options_.fault_policy.max_attempts) {
+    record.state = TaskState::Failed;
+    ++terminal_;
+    cancel_dependents(task);
+    return completion;
+  }
+
+  const bool want_same_node = record.attempts_made <= options_.fault_policy.same_node_retries;
+  if (want_same_node) {
+    // Its slots were just released, so this succeeds unless the node died.
+    const Constraint& constraint = record.implementation_constraint(record.active_variant);
+    auto retry_placement =
+        constraint.nodes > 1
+            ? resources_.try_allocate_multi(constraint, record.excluded_nodes)
+            : resources_.try_allocate(static_cast<std::size_t>(placement.node), constraint);
+    if (retry_placement) {
+      record.state = TaskState::Running;
+      ++running_;
+      sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
+                                .task_id = task,
+                                .attempt = record.attempts_made + 1,
+                                .task_name = record.def.name,
+                                .node = placement.node,
+                                .t_start = end,
+                                .t_end = end});
+      completion.retry = Dispatch{.task = task,
+                                  .placement = std::move(*retry_placement),
+                                  .variant = record.active_variant};
+      return completion;
+    }
+  }
+  // Resubmit elsewhere: never return to the node that failed us.
+  if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(), placement.node) ==
+      record.excluded_nodes.end())
+    record.excluded_nodes.push_back(placement.node);
+  // If the blacklist now covers every live node, the failures are task-
+  // transient rather than node-specific: reset it so remaining attempts can
+  // still land somewhere (dead nodes stay unusable via ResourceState).
+  bool any_allowed = false;
+  for (std::size_t node = 0; node < resources_.node_count() && !any_allowed; ++node) {
+    if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(),
+                  static_cast<int>(node)) != record.excluded_nodes.end())
+      continue;
+    any_allowed = resources_.could_fit(node, record.def.constraint);
+  }
+  if (!any_allowed) record.excluded_nodes.clear();
+  sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
+                            .task_id = task,
+                            .attempt = record.attempts_made + 1,
+                            .task_name = record.def.name,
+                            .node = -1,
+                            .t_start = end,
+                            .t_end = end});
+  make_ready(task);
+  if (record.state == TaskState::Ready) completion.newly_ready.push_back(task);
+  return completion;
+}
+
+void Engine::cancel_dependents(TaskId task) {
+  for (TaskId succ : graph_.task(task).successors) {
+    TaskRecord& s = graph_.task(succ);
+    if (s.state == TaskState::WaitingDeps || s.state == TaskState::Ready) {
+      if (s.state == TaskState::Ready)
+        ready_.erase(std::remove(ready_.begin(), ready_.end(), succ), ready_.end());
+      s.state = TaskState::Cancelled;
+      s.failure_reason = "predecessor " + std::to_string(task) + " failed";
+      ++terminal_;
+      cancel_dependents(succ);
+    }
+  }
+}
+
+void Engine::fail_node(std::size_t node, double now) {
+  resources_.fail_node(node);
+  sink_.record(trace::Event{.kind = trace::EventKind::NodeDown,
+                            .node = static_cast<int>(node),
+                            .t_start = now,
+                            .t_end = now});
+  log_warn("engine", "node {} failed at t={:.3f}", node, now);
+}
+
+bool Engine::reap_infeasible() {
+  bool progressed = false;
+  for (std::size_t i = 0; i < ready_.size();) {
+    TaskRecord& record = graph_.task(ready_[i]);
+    bool feasible = false;
+    const int n_variants = static_cast<int>(record.def.variants.size());
+    for (int variant = -1; variant < n_variants && !feasible; ++variant) {
+      const Constraint& constraint = record.implementation_constraint(variant);
+      unsigned fitting = 0;
+      for (std::size_t node = 0; node < resources_.node_count(); ++node) {
+        if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(),
+                      static_cast<int>(node)) != record.excluded_nodes.end())
+          continue;
+        if (resources_.could_fit(node, constraint)) ++fitting;
+      }
+      feasible = fitting >= std::max(1u, constraint.nodes);
+    }
+    if (feasible) {
+      ++i;
+      continue;
+    }
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+    record.state = TaskState::Failed;
+    record.failure_reason = "no live node can satisfy the constraint";
+    ++terminal_;
+    cancel_dependents(record.id);
+    progressed = true;
+  }
+  return progressed;
+}
+
+bool Engine::task_terminal(TaskId task) const {
+  const TaskState s = graph_.task(task).state;
+  return s == TaskState::Done || s == TaskState::Failed || s == TaskState::Cancelled;
+}
+
+bool Engine::all_terminal() const { return terminal_ == graph_.size(); }
+
+}  // namespace chpo::rt

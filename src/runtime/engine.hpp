@@ -1,0 +1,132 @@
+// Execution engine: the backend-independent half of the runtime.
+//
+// Owns the task lifecycle state machine (WaitingDeps → Ready → Running →
+// Done / Failed / Cancelled), resource accounting, the scheduling policy,
+// fault handling, and result commitment. The two backends (threads, DES)
+// only decide *when* things happen; every decision about *what* happens is
+// here, so both execute identical COMPSs semantics:
+//
+//  * dependencies from parameter directions are always honoured;
+//  * a failed attempt is retried on the same node first, then resubmitted
+//    excluding that node (paper §4), up to FaultPolicy::max_attempts;
+//  * a permanently failed task cancels its transitive dependents and
+//    nothing else ("the failure of a task does not affect the other tasks
+//    unless there are some dependencies");
+//  * writes of failed attempts are never committed.
+//
+// Threading contract: all methods except execute_body() must be called from
+// a single coordinator thread. execute_body() may run on any worker thread;
+// it only reads committed registry versions (shared lock) and buffers its
+// writes in the TaskContext.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/data_registry.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/resources.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+#include "trace/trace.hpp"
+
+namespace chpo::rt {
+
+/// Outcome of running one task body once.
+struct AttemptResult {
+  bool success = false;
+  std::string error;
+  std::any return_value;
+  std::vector<std::pair<std::size_t, std::any>> writes;  ///< staged ctx writes
+};
+
+struct EngineOptions {
+  std::string scheduler = "priority";
+  FaultPolicy fault_policy;
+  std::uint64_t seed = 42;  ///< base seed for per-attempt task RNGs
+};
+
+class Engine {
+ public:
+  Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions options,
+         FaultInjector injector, trace::TraceSink& sink);
+
+  /// Notify that `task` was just added to the graph (possibly Ready).
+  /// Records the submit event flag at time `now`.
+  void on_submitted(TaskId task, double now);
+
+  /// Place as many ready tasks as resources allow; marks them Running and
+  /// records schedule events. Caller executes them and reports back.
+  std::vector<Dispatch> schedule(double now);
+
+  /// Run the task body once (any thread). Applies fault injection; catches
+  /// body exceptions and converts them to failed attempts. Does not touch
+  /// engine state.
+  AttemptResult execute_body(TaskId task, const Placement& placement, bool simulated);
+
+  /// Injection-only attempt outcome for runs that skip bodies
+  /// (SimOptions::execute_bodies == false): success unless the injector
+  /// fails this attempt.
+  AttemptResult injection_result(TaskId task);
+
+  /// Input staging cost for running `task` on `node` under the cluster's
+  /// transfer model; 0 when the cluster has a parallel filesystem. Records
+  /// Transfer spans starting at `now` and updates data locations.
+  double stage_inputs(TaskId task, int node, double now);
+
+  struct Completion {
+    std::vector<TaskId> newly_ready;
+    /// Set when the retry-same-node policy immediately re-placed the task:
+    /// the backend must execute this dispatch (a TaskRetry event was logged).
+    std::optional<Dispatch> retry;
+  };
+
+  /// Process the end of an attempt at [start, end]: release resources,
+  /// commit or discard results, apply the retry policy, wake successors.
+  Completion complete_attempt(TaskId task, const Placement& placement, AttemptResult result,
+                              double start, double end);
+
+  /// Mark a node as dead at time `now`. The backend must subsequently call
+  /// complete_attempt(success=false) for every task it was running there.
+  void fail_node(std::size_t node, double now);
+
+  /// After a node death, ready tasks whose constraints no longer fit any
+  /// live node must fail rather than wait forever. Returns true if any task
+  /// transitioned (progress was made).
+  bool reap_infeasible();
+
+  /// Node deaths the injector has scheduled (consumed by SimBackend).
+  const std::vector<NodeFailureEvent>& node_failure_events() const {
+    return injector_.node_failures();
+  }
+
+  bool task_terminal(TaskId task) const;
+  bool all_terminal() const;
+  std::size_t ready_count() const { return ready_.size(); }
+  std::size_t running_count() const { return running_; }
+
+  ResourceState& resources() { return resources_; }
+  const TaskGraph& graph() const { return graph_; }
+  trace::TraceSink& sink() { return sink_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  void make_ready(TaskId task);
+  void cancel_dependents(TaskId task);
+  void commit_outputs(TaskRecord& task, AttemptResult& result);
+
+  TaskGraph& graph_;
+  ResourceState resources_;
+  std::unique_ptr<Scheduler> scheduler_;
+  EngineOptions options_;
+  FaultInjector injector_;
+  trace::TraceSink& sink_;
+  std::vector<TaskId> ready_;  ///< submission-ordered ready queue
+  std::size_t running_ = 0;
+  std::size_t terminal_ = 0;  ///< Done + Failed + Cancelled
+};
+
+}  // namespace chpo::rt

@@ -1,0 +1,15 @@
+#include "runtime/fault.hpp"
+
+namespace chpo::rt {
+
+bool FaultInjector::should_fail(TaskId task, int attempt) {
+  (void)attempt;
+  if (auto it = forced_.find(task); it != forced_.end() && it->second > 0) {
+    --it->second;
+    return true;
+  }
+  if (task_failure_prob_ > 0.0) return rng_.next_bool(task_failure_prob_);
+  return false;
+}
+
+}  // namespace chpo::rt

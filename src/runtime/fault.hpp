@@ -1,0 +1,61 @@
+// Fault injection and the retry policy.
+//
+// The paper (§3/§4): "If a task fails for whatever reason, the runtime
+// tries to start the same task in the same node; if it fails again, it is
+// restarted in another node." FaultPolicy encodes exactly that. The
+// injector produces the failures: per-attempt random failures, forced
+// failures for specific tasks (deterministic tests), and scheduled node
+// deaths (simulation backend only).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/rng.hpp"
+
+namespace chpo::rt {
+
+struct FaultPolicy {
+  /// Retries on the *same* node after the first failure (paper: 1).
+  int same_node_retries = 1;
+  /// Total attempts before the task is declared Failed. Default 3 =
+  /// original try + 1 same-node retry + 1 other-node retry.
+  int max_attempts = 3;
+};
+
+/// A node death scheduled at a virtual time (SimBackend).
+struct NodeFailureEvent {
+  std::size_t node = 0;
+  double time = 0.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0) {}
+  explicit FaultInjector(std::uint64_t seed, double task_failure_prob = 0.0)
+      : rng_(seed), task_failure_prob_(task_failure_prob) {}
+
+  /// Force the first `n_failures` attempts of `task` to fail (deterministic).
+  void force_task_failures(TaskId task, int n_failures) { forced_[task] = n_failures; }
+
+  /// Schedule a node death (consumed by the simulation backend).
+  void schedule_node_failure(std::size_t node, double time) {
+    node_failures_.push_back(NodeFailureEvent{.node = node, .time = time});
+  }
+
+  /// Decide whether this attempt fails by injection. `attempt` is 1-based.
+  bool should_fail(TaskId task, int attempt);
+
+  const std::vector<NodeFailureEvent>& node_failures() const { return node_failures_; }
+  bool any_injection() const { return task_failure_prob_ > 0.0 || !forced_.empty(); }
+
+ private:
+  Rng rng_;
+  double task_failure_prob_ = 0.0;
+  std::map<TaskId, int> forced_;  ///< task -> remaining forced failures
+  std::vector<NodeFailureEvent> node_failures_;
+};
+
+}  // namespace chpo::rt

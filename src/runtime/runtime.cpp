@@ -1,0 +1,99 @@
+#include "runtime/runtime.hpp"
+
+#include "runtime/thread_backend.hpp"
+#include "support/log.hpp"
+
+namespace chpo::rt {
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(std::move(options)),
+      graph_(registry_),
+      sink_(options_.tracing),
+      engine_(graph_, options_.cluster,
+              EngineOptions{.scheduler = options_.scheduler,
+                            .fault_policy = options_.fault_policy,
+                            .seed = options_.seed},
+              options_.injector, sink_) {
+  if (options_.cluster.nodes.empty())
+    throw std::invalid_argument("Runtime: cluster has no nodes");
+  if (options_.simulate)
+    backend_ = std::make_unique<SimBackend>(engine_, options_.sim);
+  else
+    backend_ = std::make_unique<ThreadBackend>(engine_);
+  log_info("runtime", "started: {} nodes, scheduler={}, backend={}", options_.cluster.nodes.size(),
+           options_.scheduler, options_.simulate ? "sim" : "threads");
+}
+
+Runtime::~Runtime() {
+  try {
+    barrier();
+  } catch (const std::exception& e) {
+    log_error("runtime", "exception while draining at shutdown: {}", e.what());
+  }
+}
+
+Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params) {
+  const TaskId id = graph_.add_task(def, params);
+  engine_.on_submitted(id, backend_->now());
+  return graph_.task(id).result;
+}
+
+Future Runtime::submit_in(const TaskDef& def, const std::vector<DataId>& inputs) {
+  std::vector<Param> params;
+  params.reserve(inputs.size());
+  for (DataId d : inputs) params.push_back(Param{.data = d, .dir = Direction::In});
+  return submit(def, params);
+}
+
+std::any Runtime::wait_on(const Future& future) {
+  if (future.producer == kNoTask) throw std::invalid_argument("wait_on: empty future");
+  backend_->run_until(future.producer);
+  synced_.push_back(future);
+  sink_.record(trace::Event{.kind = trace::EventKind::Sync,
+                            .task_id = future.producer,
+                            .t_start = backend_->now(),
+                            .t_end = backend_->now()});
+  const TaskRecord& record = graph_.task(future.producer);
+  if (record.state != TaskState::Done)
+    throw TaskFailedError(future.producer, record.failure_reason);
+  return graph_.registry().value(future.data, future.version);
+}
+
+void Runtime::barrier() {
+  if (graph_.empty()) return;
+  backend_->run_until(kNoTask);
+}
+
+Future Runtime::submit_in_group(const std::string& group, const TaskDef& def,
+                                const std::vector<Param>& params) {
+  const Future future = submit(def, params);
+  groups_[group].push_back(future.producer);
+  return future;
+}
+
+void Runtime::barrier_group(const std::string& group) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  for (TaskId task : it->second) backend_->run_until(task);
+  sink_.record(trace::Event{.kind = trace::EventKind::Sync,
+                            .t_start = backend_->now(),
+                            .t_end = backend_->now()});
+}
+
+bool Runtime::group_succeeded(const std::string& group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return true;
+  for (TaskId task : it->second)
+    if (graph_.task(task).state != TaskState::Done) return false;
+  return true;
+}
+
+std::size_t Runtime::add_node(const cluster::NodeSpec& node) {
+  options_.cluster.nodes.push_back(node);
+  const std::size_t index = engine_.resources().add_node(node);
+  log_info("runtime", "elastic growth: node {} '{}' added ({} cpus, {} gpus)", index, node.name,
+           node.cpus, node.gpus);
+  return index;
+}
+
+}  // namespace chpo::rt

@@ -1,0 +1,159 @@
+// Runtime facade — the PyCOMPSs-equivalent public API.
+//
+// Mirrors the programming model of the paper's Listing 2:
+//
+//   rt::RuntimeOptions opts;
+//   opts.cluster = cluster::marenostrum4(2);
+//   rt::Runtime runtime(opts);
+//
+//   rt::TaskDef experiment{.name = "experiment",
+//                          .constraint = {.cpus = 1, .gpus = 1},
+//                          .body = ...};
+//   std::vector<rt::Future> results;
+//   for (const auto& config : configurations)
+//     results.push_back(runtime.submit(experiment, {runtime.share(config)}));
+//   for (auto& f : results)
+//     auto acc = runtime.wait_on_as<double>(f);     // compss_wait_on
+//
+// Construction chooses the backend: threads (real execution, wall time) or
+// discrete-event simulation (virtual time, cluster-scale). Destruction
+// drains outstanding tasks, like the end of a runcompss application.
+#pragma once
+
+#include <any>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/sim_backend.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
+
+namespace chpo::rt {
+
+/// Thrown by wait_on when the producing task permanently failed (or was
+/// cancelled by a failed predecessor).
+class TaskFailedError : public std::runtime_error {
+ public:
+  TaskFailedError(TaskId task, const std::string& reason)
+      : std::runtime_error("task " + std::to_string(task) + " failed: " + reason), task_(task) {}
+  TaskId task() const { return task_; }
+
+ private:
+  TaskId task_;
+};
+
+struct RuntimeOptions {
+  cluster::ClusterSpec cluster;
+  std::string scheduler = "priority";
+  bool tracing = true;    ///< the paper's tracing flag; off = near-zero overhead
+  bool simulate = false;  ///< discrete-event backend instead of threads
+  SimOptions sim;         ///< used when simulate == true
+  FaultPolicy fault_policy;
+  FaultInjector injector;
+  std::uint64_t seed = 42;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options);
+  /// Drains all outstanding tasks (a final implicit barrier).
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Register a value so tasks can consume it as a parameter. `bytes`
+  /// drives the transfer cost model on clusters without a parallel FS.
+  template <typename T>
+  DataId share(T value, std::uint64_t bytes = 64, std::string label = {}) {
+    return graph_.registry().register_data(std::any(std::move(value)), bytes, std::move(label));
+  }
+
+  /// Like share(), but the value initially lives only with the main
+  /// program: on clusters without a parallel filesystem it is staged to
+  /// every node that consumes it (paper §4: "the data required by the task
+  /// is copied to the specific node that the task will be executed on").
+  template <typename T>
+  DataId share_local(T value, std::uint64_t bytes = 64, std::string label = {}) {
+    return graph_.registry().register_data(std::any(std::move(value)), bytes, std::move(label),
+                                           /*everywhere=*/false);
+  }
+
+  /// Submit a task over the given parameters; returns the future of the
+  /// body's return value. Dependencies are derived from param directions.
+  Future submit(const TaskDef& def, const std::vector<Param>& params = {});
+
+  /// Convenience: submit with IN-only data ids.
+  Future submit_in(const TaskDef& def, const std::vector<DataId>& inputs);
+
+  /// COMPSs task groups: submit under a named group, then barrier on just
+  /// that group (a partial compss_barrier_group).
+  Future submit_in_group(const std::string& group, const TaskDef& def,
+                         const std::vector<Param>& params = {});
+
+  /// Block until every task of `group` is terminal. No-op for unknown
+  /// groups (nothing was submitted under that name).
+  void barrier_group(const std::string& group);
+
+  /// After barrier_group: true iff every task in the group is Done.
+  bool group_succeeded(const std::string& group) const;
+
+  /// Elastic growth: add a node to the cluster mid-run. Queued tasks can be
+  /// placed on it immediately; the trace gains a resource from this point.
+  /// Returns the new node's index.
+  std::size_t add_node(const cluster::NodeSpec& node);
+
+  /// compss_wait_on: block until the future's producer finished; returns
+  /// its value. Throws TaskFailedError if it permanently failed.
+  std::any wait_on(const Future& future);
+
+  template <typename T>
+  T wait_on_as(const Future& future) {
+    return std::any_cast<T>(wait_on(future));
+  }
+
+  /// compss_barrier: run every submitted task to a terminal state.
+  void barrier();
+
+  /// Latest committed value of a datum (after the producing task is done).
+  template <typename T>
+  const T& peek(DataId data) const {
+    const auto& registry = graph_.registry();
+    return std::any_cast<const T&>(registry.value(data, registry.current_version(data)));
+  }
+
+  /// Current time on the backend clock (wall or virtual seconds).
+  double now() const { return backend_->now(); }
+  bool simulated() const { return options_.simulate; }
+
+  /// Graphviz DOT of the dependency graph; includes a sync node for every
+  /// future passed to wait_on so far (Figure 3 style).
+  std::string graph_dot() const { return graph_.to_dot(synced_); }
+
+  const trace::TraceSink& trace() const { return sink_; }
+  trace::TraceSink& trace() { return sink_; }
+  /// Analysis over the events recorded so far.
+  trace::Analysis analyze() const { return trace::Analysis(sink_.events()); }
+
+  const TaskGraph& graph() const { return graph_; }
+  const cluster::ClusterSpec& cluster_spec() const { return options_.cluster; }
+  std::size_t task_count() const { return graph_.size(); }
+
+ private:
+  RuntimeOptions options_;
+  DataRegistry registry_;
+  TaskGraph graph_;
+  trace::TraceSink sink_;
+  Engine engine_;
+  std::unique_ptr<Backend> backend_;
+  std::vector<Future> synced_;
+  std::map<std::string, std::vector<TaskId>> groups_;
+};
+
+}  // namespace chpo::rt

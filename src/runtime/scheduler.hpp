@@ -1,0 +1,92 @@
+// Scheduling policies.
+//
+// Given the set of ready tasks and the current resource occupancy, a policy
+// decides which task to place where. All policies honour the COMPSs
+// priority hint (priority tasks jump the queue) and never oversubscribe —
+// ResourceState is the single source of truth for slot ownership.
+//
+// Policies provided:
+//  * FifoScheduler      — submission order, first node that fits.
+//  * PriorityScheduler  — priority flag first, then submission order
+//                         (the COMPSs default; used by all paper figures).
+//  * LocalityScheduler  — like Priority, but among fitting nodes prefers the
+//                         one holding the most input bytes (matters only
+//                         when the cluster has no parallel filesystem).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/data_registry.hpp"
+#include "runtime/graph.hpp"
+#include "runtime/resources.hpp"
+#include "runtime/types.hpp"
+
+namespace chpo::rt {
+
+/// One placement decision.
+struct Dispatch {
+  TaskId task = kNoTask;
+  Placement placement;
+  /// Implementation chosen: -1 = primary, else index into def.variants.
+  int variant = -1;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Place as many ready tasks as resources allow. `ready` is in submission
+  /// order. Allocations are made through `resources` (and must be released
+  /// by the caller when tasks finish). Tasks with excluded nodes are never
+  /// placed there.
+  virtual std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
+                                         ResourceState& resources) = 0;
+};
+
+class FifoScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "fifo"; }
+  std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
+                                 ResourceState& resources) override;
+};
+
+class PriorityScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "priority"; }
+  std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
+                                 ResourceState& resources) override;
+};
+
+class LocalityScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "locality"; }
+  std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
+                                 ResourceState& resources) override;
+};
+
+/// Duration-aware implementation selection: among the (implementation,
+/// node) pairs that fit *now*, pick the one whose cost model predicts the
+/// shortest run. Fixes the @implement pathology where availability-greedy
+/// selection strands a long task on a slow fallback (see bench_variants);
+/// tasks without cost models fall back to first-fit like Priority.
+class CostAwareScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "cost-aware"; }
+  std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
+                                 ResourceState& resources) override;
+};
+
+/// Factory by name: "fifo", "priority", "locality", "cost-aware".
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+/// Shared helper: first node (by index) that can take the task now,
+/// skipping the task's excluded nodes. Returns the placement or nullopt.
+std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& resources);
+
+/// Bytes of the task's In/InOut params already resident on `node`.
+std::uint64_t local_input_bytes(const TaskRecord& task, const DataRegistry& registry, int node);
+
+}  // namespace chpo::rt

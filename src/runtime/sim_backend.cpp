@@ -1,0 +1,136 @@
+#include "runtime/sim_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chpo::rt {
+
+namespace {
+
+struct EvLater {
+  template <typename Ev>
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+SimBackend::SimBackend(Engine& engine, SimOptions options)
+    : engine_(engine), options_(options) {
+  for (const NodeFailureEvent& f : engine_.node_failure_events()) {
+    Ev ev;
+    ev.time = f.time;
+    ev.seq = seq_++;
+    ev.kind = EvKind::NodeFailure;
+    ev.node = f.node;
+    events_.push_back(std::move(ev));
+  }
+  std::make_heap(events_.begin(), events_.end(), EvLater{});
+}
+
+double SimBackend::task_duration(const TaskRecord& record, const Placement& placement) const {
+  const TaskCost& cost = record.implementation_cost(record.active_variant);
+  if (!cost) return options_.default_task_seconds;
+  const auto& spec = engine_.resources().spec();
+  const cluster::NodeSpec& node = spec.nodes.at(static_cast<std::size_t>(placement.node));
+  const double seconds = cost(placement, node);
+  return seconds > 0.0 ? seconds : 0.0;
+}
+
+void SimBackend::dispatch(const Dispatch& d, bool inputs_already_staged) {
+  const TaskRecord& record = engine_.graph().task(d.task);
+  const double staging =
+      inputs_already_staged ? 0.0 : engine_.stage_inputs(d.task, d.placement.node, now_);
+  const double duration = task_duration(record, d.placement);
+
+  Ev ev;
+  ev.seq = seq_++;
+  ev.kind = EvKind::TaskEnd;
+  ev.task = d.task;
+  ev.placement = d.placement;
+  ev.start = now_ + staging;
+  ev.time = ev.start + duration;
+  if (options_.execute_bodies) {
+    ev.result = engine_.execute_body(d.task, d.placement, /*simulated=*/true);
+  } else {
+    // Bodies skipped, but injected faults must still fire (fault studies
+    // run with execute_bodies=false).
+    ev.result = engine_.injection_result(d.task);
+  }
+  // @task(time_out): the runtime kills the attempt at the deadline.
+  const double timeout = record.def.timeout_seconds;
+  if (timeout > 0.0 && duration > timeout) {
+    ev.time = ev.start + timeout;
+    ev.result = AttemptResult{};
+    ev.result.error = "timeout after " + std::to_string(timeout) + "s";
+  }
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EvLater{});
+}
+
+bool SimBackend::done(TaskId target) const {
+  return target == kNoTask ? engine_.all_terminal() : engine_.task_terminal(target);
+}
+
+void SimBackend::run_until(TaskId target) {
+  while (!done(target)) {
+    for (const Dispatch& d : engine_.schedule(now_)) dispatch(d, false);
+
+    if (done(target)) return;
+
+    // Find the next live event.
+    auto next_live = [this]() -> bool {
+      while (!events_.empty() && events_.front().cancelled) {
+        std::pop_heap(events_.begin(), events_.end(), EvLater{});
+        events_.pop_back();
+      }
+      return !events_.empty();
+    };
+
+    if (!next_live()) {
+      if (engine_.reap_infeasible()) continue;
+      if (done(target)) return;
+      throw std::runtime_error("SimBackend: no pending events but target not finished");
+    }
+
+    std::pop_heap(events_.begin(), events_.end(), EvLater{});
+    Ev ev = std::move(events_.back());
+    events_.pop_back();
+    now_ = std::max(now_, ev.time);
+
+    if (ev.kind == EvKind::NodeFailure) {
+      engine_.fail_node(ev.node, now_);
+      // Every in-flight task on that node fails right now.
+      std::vector<Ev> victims;
+      for (Ev& pending : events_) {
+        if (pending.cancelled || pending.kind != EvKind::TaskEnd) continue;
+        bool touches_node = pending.placement.node == static_cast<int>(ev.node);
+        for (const NodeSlice& slice : pending.placement.secondary)
+          touches_node = touches_node || slice.node == static_cast<int>(ev.node);
+        if (touches_node) {
+          pending.cancelled = true;
+          Ev victim = pending;  // keep placement/task for completion
+          victims.push_back(std::move(victim));
+        }
+      }
+      for (Ev& victim : victims) {
+        AttemptResult failed;
+        failed.error = "node failure";
+        Engine::Completion completion = engine_.complete_attempt(
+            victim.task, victim.placement, std::move(failed), victim.start, now_);
+        if (completion.retry) dispatch(*completion.retry, true);
+      }
+      engine_.reap_infeasible();
+      continue;
+    }
+
+    Engine::Completion completion =
+        engine_.complete_attempt(ev.task, ev.placement, std::move(ev.result), ev.start, now_);
+    // Same-node retry keeps its staged inputs; duration is re-modelled.
+    if (completion.retry) dispatch(*completion.retry, true);
+  }
+}
+
+}  // namespace chpo::rt

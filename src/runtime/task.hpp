@@ -1,0 +1,151 @@
+// Task definition and the context a running task body sees.
+//
+// TaskDef is the C++ analogue of a @task-decorated Python function with an
+// optional @constraint on top (paper Listing 2):
+//
+//   TaskDef def{.name = "experiment",
+//               .constraint = {.cpus = 1, .gpus = 1},
+//               .body = [](TaskContext& ctx) -> std::any {
+//                 auto cfg = ctx.read<Config>(0);
+//                 return train(cfg, ctx.thread_budget());
+//               }};
+//
+// The body's return value becomes the value of the task's implicit return
+// future (the `returns=int` of the decorator). `cost` feeds the
+// discrete-event backend: it predicts how long this task occupies its
+// resources, as a function of the placement it was granted.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "runtime/data_registry.hpp"
+#include "runtime/types.hpp"
+#include "support/rng.hpp"
+
+namespace chpo::rt {
+
+class TaskContext;
+
+/// Task body: consumes declared params through the context, returns the
+/// future's value (empty std::any for "void" tasks).
+using TaskBody = std::function<std::any(TaskContext&)>;
+
+/// Virtual duration (seconds) of a task given its placement — used only by
+/// the simulation backend. Receives the node it landed on so heterogeneous
+/// clusters (CPU vs GPU nodes) can be modelled.
+using TaskCost = std::function<double(const Placement&, const cluster::NodeSpec&)>;
+
+/// @implement: an alternative implementation of the same task with its own
+/// resource constraint — e.g. a GPU kernel next to a CPU fallback. The
+/// runtime chooses whichever implementation the available resources can
+/// satisfy (paper §3: "this decorator allows the runtime to choose the
+/// most appropriate task considering the resources").
+struct TaskVariant {
+  std::string label = "variant";
+  Constraint constraint;
+  TaskBody body;  ///< empty: reuse the primary body
+  TaskCost cost;  ///< empty: reuse the primary cost model
+};
+
+struct TaskDef {
+  std::string name = "task";
+  Constraint constraint;
+  bool priority = false;  ///< @task(priority=True): schedule as soon as possible
+  TaskBody body;
+  TaskCost cost;  ///< optional; SimBackend uses 1.0s when absent
+  /// @task(time_out=...): attempts running longer than this fail and go
+  /// through the normal retry policy. The simulator cancels the attempt at
+  /// exactly this instant; the threaded backend cannot interrupt a body
+  /// mid-flight and detects the overrun when it returns. <=0 disables.
+  double timeout_seconds = 0.0;
+  /// Alternative implementations; the primary (above) is preferred, then
+  /// variants in order.
+  std::vector<TaskVariant> variants;
+};
+
+/// Handle to a task's future return value (datum written by the task).
+struct Future {
+  DataId data = 0;
+  std::uint32_t version = 0;
+  TaskId producer = kNoTask;
+};
+
+/// Binding of one declared parameter for a concrete task instance.
+struct ParamBinding {
+  Param param;
+  std::uint32_t read_version = 0;
+  std::uint32_t write_version = 0;
+};
+
+/// What a task body may touch while running. Reads come straight from the
+/// registry (immutable committed versions); writes are buffered locally and
+/// committed atomically by the engine when the attempt succeeds — a failed
+/// attempt therefore never publishes partial results.
+class TaskContext {
+ public:
+  TaskContext(const DataRegistry& registry, std::vector<ParamBinding> bindings, Placement placement,
+              int attempt, bool simulated, std::uint64_t rng_seed)
+      : registry_(registry),
+        bindings_(std::move(bindings)),
+        placement_(std::move(placement)),
+        attempt_(attempt),
+        simulated_(simulated),
+        rng_(rng_seed) {}
+
+  /// Read parameter `index` (must be In or InOut) as type T.
+  template <typename T>
+  const T& read(std::size_t index) const {
+    const ParamBinding& b = binding(index);
+    return std::any_cast<const T&>(registry_.value(b.param.data, b.read_version));
+  }
+
+  /// Raw any access (for generic plumbing).
+  const std::any& read_any(std::size_t index) const {
+    const ParamBinding& b = binding(index);
+    return registry_.value(b.param.data, b.read_version);
+  }
+
+  /// Stage a write for parameter `index` (must be Out or InOut).
+  void write(std::size_t index, std::any value) {
+    const ParamBinding& b = binding(index);
+    if (b.param.dir == Direction::In)
+      throw std::logic_error("TaskContext: cannot write an IN parameter");
+    pending_writes_.emplace_back(index, std::move(value));
+  }
+
+  const Placement& placement() const { return placement_; }
+  int node() const { return placement_.node; }
+  /// Cores granted == the internal-parallelism budget (TensorFlow analogue).
+  unsigned thread_budget() const { return placement_.cpu_count(); }
+  unsigned gpu_count() const { return placement_.gpu_count(); }
+  int attempt() const { return attempt_; }
+  /// True under the discrete-event backend (bodies may scale work down).
+  bool simulated() const { return simulated_; }
+  /// Per-attempt deterministic RNG.
+  Rng& rng() { return rng_; }
+
+  std::size_t param_count() const { return bindings_.size(); }
+  const ParamBinding& binding(std::size_t index) const {
+    if (index >= bindings_.size()) throw std::out_of_range("TaskContext: bad param index");
+    return bindings_[index];
+  }
+
+  /// Engine-side: staged writes in call order.
+  const std::vector<std::pair<std::size_t, std::any>>& pending_writes() const {
+    return pending_writes_;
+  }
+
+ private:
+  const DataRegistry& registry_;
+  std::vector<ParamBinding> bindings_;
+  Placement placement_;
+  int attempt_;
+  bool simulated_;
+  Rng rng_;
+  std::vector<std::pair<std::size_t, std::any>> pending_writes_;
+};
+
+}  // namespace chpo::rt

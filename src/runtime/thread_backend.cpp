@@ -1,0 +1,79 @@
+#include "runtime/thread_backend.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chpo::rt {
+
+namespace {
+
+std::size_t pool_size_for(const ResourceState& resources) {
+  // Peak concurrency: every task needs >= 1 core or >= 1 GPU slot.
+  std::size_t total = 0;
+  const auto& spec = resources.spec();
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i)
+    total += spec.usable_cpus(i) + spec.usable_gpus(i);
+  return std::clamp<std::size_t>(total, 1, 256);
+}
+
+}  // namespace
+
+ThreadBackend::ThreadBackend(Engine& engine)
+    : engine_(engine), pool_(std::make_unique<ThreadPool>(pool_size_for(engine.resources()))) {}
+
+void ThreadBackend::launch(const Dispatch& dispatch) {
+  const double start = now();
+  const double timeout = engine_.graph().task(dispatch.task).def.timeout_seconds;
+  pool_->submit([this, dispatch, start, timeout] {
+    AttemptResult result = engine_.execute_body(dispatch.task, dispatch.placement, false);
+    const double end = now();
+    // Threads cannot be interrupted mid-body; overruns are detected here.
+    if (timeout > 0.0 && end - start > timeout && result.success) {
+      result = AttemptResult{};
+      result.error = "timeout after " + std::to_string(timeout) + "s (detected post-hoc)";
+    }
+    CompletionMsg msg{.task = dispatch.task,
+                      .placement = dispatch.placement,
+                      .result = std::move(result),
+                      .start = start,
+                      .end = end};
+    {
+      std::scoped_lock lock(mutex_);
+      completions_.push_back(std::move(msg));
+    }
+    cv_.notify_one();
+  });
+}
+
+bool ThreadBackend::done(TaskId target) const {
+  return target == kNoTask ? engine_.all_terminal() : engine_.task_terminal(target);
+}
+
+void ThreadBackend::run_until(TaskId target) {
+  while (!done(target)) {
+    for (const Dispatch& d : engine_.schedule(now())) launch(d);
+
+    if (done(target)) return;
+
+    if (engine_.running_count() == 0) {
+      // Nothing is running and nothing could be placed: either constraints
+      // became infeasible (node deaths) or this is a genuine deadlock.
+      if (engine_.reap_infeasible()) continue;
+      if (done(target)) return;
+      throw std::runtime_error("ThreadBackend: no runnable tasks but target not finished");
+    }
+
+    CompletionMsg msg;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return !completions_.empty(); });
+      msg = std::move(completions_.front());
+      completions_.pop_front();
+    }
+    Engine::Completion completion =
+        engine_.complete_attempt(msg.task, msg.placement, std::move(msg.result), msg.start, msg.end);
+    if (completion.retry) launch(*completion.retry);
+  }
+}
+
+}  // namespace chpo::rt

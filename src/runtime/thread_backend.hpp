@@ -1,0 +1,54 @@
+// Threaded backend: real execution on host threads.
+//
+// Each dispatched task body runs on a worker thread from a pool sized to
+// the cluster's total task concurrency. The coordinator (the caller of
+// run_until) performs all engine mutations; workers only execute bodies and
+// enqueue completion messages, so engine state needs no locking.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "runtime/backend.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
+
+namespace chpo::rt {
+
+class ThreadBackend : public Backend {
+ public:
+  explicit ThreadBackend(Engine& engine);
+
+  /// Joins the worker pool before the mutex/condvar members are destroyed:
+  /// a worker may still be inside cv_.notify_one() when run_until returns,
+  /// and default member-order destruction would tear the condvar down
+  /// first (caught by TSan).
+  ~ThreadBackend() override { pool_.reset(); }
+
+  double now() const override { return clock_.elapsed_seconds(); }
+  void run_until(TaskId target) override;
+  bool simulated() const override { return false; }
+
+ private:
+  struct CompletionMsg {
+    TaskId task;
+    Placement placement;
+    AttemptResult result;
+    double start;
+    double end;
+  };
+
+  void launch(const Dispatch& dispatch);
+  bool done(TaskId target) const;
+
+  Engine& engine_;
+  Stopwatch clock_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<CompletionMsg> completions_;
+};
+
+}  // namespace chpo::rt

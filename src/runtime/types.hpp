@@ -1,0 +1,77 @@
+// Shared vocabulary types of the task runtime.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace chpo::rt {
+
+using TaskId = std::uint64_t;
+using DataId = std::uint64_t;
+
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/// Parameter directionality, as in the @task decorator (IN is the default).
+enum class Direction : std::uint8_t { In, Out, InOut };
+
+/// One task parameter: which datum it touches and how.
+struct Param {
+  DataId data = 0;
+  Direction dir = Direction::In;
+};
+
+/// Resource requirements, as in the @constraint decorator:
+/// @constraint(processors=[{CPU, n}, {GPU, m}]).
+struct Constraint {
+  unsigned cpus = 1;
+  unsigned gpus = 0;
+  /// Task must own a whole node (the runtime grants it all usable cores).
+  bool node_exclusive = false;
+  /// @multinode: the task spans this many distinct nodes, receiving
+  /// `cpus`/`gpus` (or the whole node, if node_exclusive) on each of them.
+  unsigned nodes = 1;
+};
+
+/// Resources granted on one node.
+struct NodeSlice {
+  int node = -1;
+  std::vector<unsigned> cores;  ///< physical core indices on the node
+  std::vector<unsigned> gpus;   ///< physical GPU indices on the node
+};
+
+/// Concrete resources granted to one task attempt. Single-node tasks use
+/// only the primary fields; @multinode tasks additionally hold one
+/// NodeSlice per extra node.
+struct Placement {
+  int node = -1;
+  std::vector<unsigned> cores;  ///< physical core indices on the primary node
+  std::vector<unsigned> gpus;   ///< physical GPU indices on the primary node
+  std::vector<NodeSlice> secondary;  ///< extra nodes of a @multinode task
+
+  unsigned cpu_count() const { return static_cast<unsigned>(cores.size()); }
+  unsigned gpu_count() const { return static_cast<unsigned>(gpus.size()); }
+  unsigned node_count() const { return 1 + static_cast<unsigned>(secondary.size()); }
+  unsigned total_cpus() const {
+    unsigned total = cpu_count();
+    for (const NodeSlice& s : secondary) total += static_cast<unsigned>(s.cores.size());
+    return total;
+  }
+  unsigned total_gpus() const {
+    unsigned total = gpu_count();
+    for (const NodeSlice& s : secondary) total += static_cast<unsigned>(s.gpus.size());
+    return total;
+  }
+};
+
+/// Lifecycle of a task inside the engine.
+enum class TaskState : std::uint8_t {
+  WaitingDeps,  ///< has unfinished predecessors
+  Ready,        ///< all inputs available, waiting for resources
+  Running,      ///< an attempt is executing
+  Done,         ///< finished successfully
+  Failed,       ///< exhausted all retry attempts
+  Cancelled,    ///< a predecessor permanently failed
+};
+
+}  // namespace chpo::rt

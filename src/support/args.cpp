@@ -1,0 +1,98 @@
+#include "support/args.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace chpo {
+
+ArgParser& ArgParser::add_flag(std::string name, std::string doc) {
+  specs_[std::move(name)] = Spec{.doc = std::move(doc), .is_flag = true};
+  return *this;
+}
+
+ArgParser& ArgParser::add_option(std::string name, std::string doc, std::string default_value) {
+  specs_[std::move(name)] = Spec{.doc = std::move(doc), .default_value = std::move(default_value)};
+  return *this;
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const std::size_t eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.resize(eq);
+      has_inline_value = true;
+    }
+    const auto it = specs_.find(token);
+    if (it == specs_.end()) {
+      error_ = "unknown option --" + token;
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_inline_value) {
+        error_ = "--" + token + " takes no value";
+        return false;
+      }
+      values_[token] = "true";
+      continue;
+    }
+    if (!has_inline_value) {
+      if (i + 1 >= argc) {
+        error_ = "--" + token + " requires a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[token] = std::move(value);
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const { return values_.contains(name); }
+
+std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  if (const auto spec = specs_.find(name); spec != specs_.end() && !spec->second.default_value.empty())
+    return spec->second.default_value;
+  return fallback;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const std::string text = get(name);
+  if (text.empty()) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return (ec == std::errc() && ptr == text.data() + text.size()) ? out : fallback;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const std::string text = get(name);
+  if (text.empty()) return fallback;
+  double out = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return (ec == std::errc() && ptr == text.data() + text.size()) ? out : fallback;
+}
+
+bool ArgParser::get_bool(const std::string& name) const { return get(name) == "true"; }
+
+std::string ArgParser::usage(const std::string& program, const std::string& summary) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [options] <args>\n" << summary << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << pad_right(name + (spec.is_flag ? "" : " <value>"), 26) << spec.doc;
+    if (!spec.default_value.empty()) out << " (default: " << spec.default_value << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace chpo

@@ -1,0 +1,48 @@
+// Minimal command-line argument parser for the CLI tools.
+//
+// Supports `--key value`, `--key=value`, boolean `--flag`, and positional
+// arguments, with typed accessors and a generated usage string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace chpo {
+
+class ArgParser {
+ public:
+  /// Declare an option; `doc` feeds usage(). Declared booleans take no
+  /// value; everything else consumes one.
+  ArgParser& add_flag(std::string name, std::string doc);
+  ArgParser& add_option(std::string name, std::string doc, std::string default_value = {});
+
+  /// Parse argv. Returns false (and sets error()) on unknown options or
+  /// missing values.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback = {}) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+  std::string usage(const std::string& program, const std::string& summary) const;
+
+ private:
+  struct Spec {
+    std::string doc;
+    std::string default_value;
+    bool is_flag = false;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace chpo

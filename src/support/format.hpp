@@ -1,0 +1,96 @@
+// Tiny "{}"-substitution formatter (std::format is unavailable on GCC 12).
+//
+// Supports positional "{}" placeholders; any format spec after ':' is
+// ignored except a ".Nf" floating-point precision, which is honoured.
+// "{{" and "}}" escape literal braces.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chpo {
+
+namespace detail {
+
+inline void render_arg(std::ostringstream& out, std::string_view spec, double v) {
+  // Honour ".Nf" precision specs; default otherwise.
+  if (spec.size() >= 3 && spec[0] == '.' && spec.back() == 'f') {
+    int precision = 0;
+    for (std::size_t i = 1; i + 1 < spec.size(); ++i) {
+      const char c = spec[i];
+      if (c < '0' || c > '9') {
+        precision = -1;
+        break;
+      }
+      precision = precision * 10 + (c - '0');
+    }
+    if (precision >= 0) {
+      const auto old_precision = out.precision(precision);
+      const auto old_flags = out.flags();
+      out << std::fixed << v;
+      out.flags(old_flags);
+      out.precision(old_precision);
+      return;
+    }
+  }
+  out << v;
+}
+
+inline void render_arg(std::ostringstream& out, std::string_view spec, float v) {
+  render_arg(out, spec, static_cast<double>(v));
+}
+
+template <typename T>
+void render_arg(std::ostringstream& out, std::string_view /*spec*/, const T& v) {
+  out << v;
+}
+
+inline void append_nth(std::ostringstream&, std::string_view, std::size_t) {
+  // No argument left for this placeholder: render nothing.
+}
+
+template <typename First, typename... Rest>
+void append_nth(std::ostringstream& out, std::string_view spec, std::size_t index,
+                const First& first, const Rest&... rest) {
+  if (index == 0)
+    render_arg(out, spec, first);
+  else
+    append_nth(out, spec, index - 1, rest...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+std::string format_str(std::string_view fmt, const Args&... args) {
+  std::ostringstream out;
+  std::size_t arg_index = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out << '{';
+      ++i;
+    } else if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out << '}';
+      ++i;
+    } else if (c == '{') {
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        out << fmt.substr(i);
+        break;
+      }
+      std::string_view inner = fmt.substr(i + 1, close - i - 1);
+      std::string_view spec;
+      if (const std::size_t colon = inner.find(':'); colon != std::string_view::npos)
+        spec = inner.substr(colon + 1);
+      detail::append_nth(out, spec, arg_index++, args...);
+      i = close;
+    } else {
+      out << c;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace chpo

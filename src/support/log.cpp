@@ -1,0 +1,37 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace chpo {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_sink_mutex;
+
+constexpr const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void log_message(LogLevel level, std::string_view component, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace chpo

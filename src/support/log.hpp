@@ -1,0 +1,45 @@
+// Minimal leveled, thread-safe logger.
+//
+// The runtime logs scheduling decisions at Debug, lifecycle events at Info,
+// and recoverable faults at Warn. Benchmarks silence everything below Warn
+// so that figure tables stay clean on stdout (logs go to stderr).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/format.hpp"
+
+namespace chpo {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core sink: writes "[level] [component] message" to stderr under a mutex.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+template <typename... Args>
+void log_debug(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, component, format_str(fmt, args...));
+}
+template <typename... Args>
+void log_info(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, component, format_str(fmt, args...));
+}
+template <typename... Args>
+void log_warn(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, component, format_str(fmt, args...));
+}
+template <typename... Args>
+void log_error(std::string_view component, std::string_view fmt, const Args&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, component, format_str(fmt, args...));
+}
+
+}  // namespace chpo

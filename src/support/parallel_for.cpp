@@ -1,0 +1,30 @@
+#include "support/parallel_for.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace chpo {
+
+void parallel_for(std::size_t n, unsigned thread_budget,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t threads = std::max<std::size_t>(1, std::min<std::size_t>(thread_budget, n));
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> helpers;
+  helpers.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    helpers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(0, std::min(n, chunk));
+  for (auto& h : helpers) h.join();
+}
+
+}  // namespace chpo

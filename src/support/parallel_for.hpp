@@ -1,0 +1,21 @@
+// Thread-budgeted parallel loop.
+//
+// This is the "internal parallelism" hook the paper attributes to
+// TensorFlow: a task may parallelise its own tensor work, but only within
+// the thread budget the runtime's @constraint granted it. Passing budget 1
+// degrades to a plain serial loop with zero threading overhead, which is
+// how CPU-affinity enforcement (Figure 4) is modelled.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace chpo {
+
+/// Invoke fn(begin, end) over [0, n) split into contiguous chunks executed on
+/// up to `thread_budget` threads (including the caller). fn must be safe to
+/// run concurrently on disjoint ranges.
+void parallel_for(std::size_t n, unsigned thread_budget,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace chpo

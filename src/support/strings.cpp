@@ -1,0 +1,70 @@
+#include "support/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace chpo {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; };
+  std::size_t b = 0, e = text.size();
+  while (b < e && is_space(text[b])) ++b;
+  while (e > b && is_space(text[e - 1])) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  if (seconds < 60.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fs", seconds);
+    return buf;
+  }
+  const long total = static_cast<long>(std::llround(seconds));
+  const long h = total / 3600;
+  const long m = (total % 3600) / 60;
+  const long s = total % 60;
+  char buf[64];
+  if (h > 0)
+    std::snprintf(buf, sizeof buf, "%ldh %02ldm %02lds", h, m, s);
+  else
+    std::snprintf(buf, sizeof buf, "%ldm %02lds", m, s);
+  return buf;
+}
+
+std::string pad_right(std::string text, std::size_t width) {
+  if (text.size() < width) text.append(width - text.size(), ' ');
+  return text;
+}
+
+std::string pad_left(std::string text, std::size_t width) {
+  if (text.size() < width) text.insert(text.begin(), width - text.size(), ' ');
+  return text;
+}
+
+}  // namespace chpo

@@ -1,0 +1,29 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chpo {
+
+/// Split on a single character; empty fields preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// "1h 23m 45s"-style rendering of a duration in seconds, used by the
+/// figure benchmarks to print paper-comparable times.
+std::string format_duration(double seconds);
+
+/// Fixed-width human table cell padding (spaces on the right).
+std::string pad_right(std::string text, std::size_t width);
+std::string pad_left(std::string text, std::size_t width);
+
+}  // namespace chpo

@@ -1,0 +1,53 @@
+#include "support/thread_pool.hpp"
+
+namespace chpo {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::scoped_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace chpo

@@ -1,0 +1,49 @@
+// Fixed-size worker pool.
+//
+// Used by the threaded runtime backend (one pool per simulated node) and by
+// parallel_for. Keeps semantics deliberately simple: submit() enqueues a job,
+// the destructor drains and joins.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chpo {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueue a job. Safe from any thread, including pool workers.
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace chpo

@@ -1,0 +1,129 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace chpo::trace {
+
+Analysis::Analysis(const std::vector<Event>& events) {
+  std::map<CoreId, CoreUsage> usage;
+  double min_start = std::numeric_limits<double>::infinity();
+  double max_end = -std::numeric_limits<double>::infinity();
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::TaskFailure: ++failures_; continue;
+      case EventKind::TaskRetry: ++retries_; continue;
+      case EventKind::TaskRun: break;
+      default: continue;
+    }
+    spans_.push_back(TaskSpanStat{.task_id = e.task_id,
+                                  .name = e.task_name,
+                                  .node = e.node,
+                                  .attempt = e.attempt,
+                                  .start = e.t_start,
+                                  .end = e.t_end});
+    min_start = std::min(min_start, e.t_start);
+    max_end = std::max(max_end, e.t_end);
+    for (const unsigned core : e.cores) {
+      CoreId id{.node = e.node, .core = core};
+      CoreUsage& u = usage[id];
+      u.id = id;
+      u.busy_seconds += e.t_end - e.t_start;
+      ++u.tasks_run;
+    }
+  }
+  if (!spans_.empty()) {
+    first_start_ = min_start;
+    makespan_ = max_end - min_start;
+  }
+  std::sort(spans_.begin(), spans_.end(),
+            [](const TaskSpanStat& a, const TaskSpanStat& b) { return a.start < b.start; });
+  cores_.reserve(usage.size());
+  for (auto& [id, u] : usage) cores_.push_back(u);
+}
+
+std::size_t Analysis::tasks_started_together(double epsilon) const {
+  if (spans_.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& s : spans_)
+    if (s.start - first_start_ <= epsilon) ++n;
+  return n;
+}
+
+double Analysis::mean_core_utilisation() const {
+  if (cores_.empty() || makespan_ <= 0.0) return 0.0;
+  double total = 0.0;
+  for (const auto& u : cores_) total += u.busy_seconds / makespan_;
+  return total / static_cast<double>(cores_.size());
+}
+
+double Analysis::utilisation_vs_capacity(unsigned total_cores) const {
+  if (total_cores == 0 || makespan_ <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& u : cores_) busy += u.busy_seconds;
+  return busy / (static_cast<double>(total_cores) * makespan_);
+}
+
+std::size_t Analysis::nodes_used() const {
+  std::vector<int> nodes;
+  for (const auto& s : spans_) nodes.push_back(s.node);
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes.size();
+}
+
+std::vector<ConcurrencySample> Analysis::concurrency_profile() const {
+  // Sweep over start(+1)/end(-1) deltas.
+  std::vector<std::pair<double, int>> deltas;
+  deltas.reserve(spans_.size() * 2);
+  for (const auto& s : spans_) {
+    deltas.emplace_back(s.start, +1);
+    deltas.emplace_back(s.end, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::vector<ConcurrencySample> profile;
+  long running = 0;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    running += deltas[i].second;
+    // Collapse simultaneous deltas into one sample.
+    if (i + 1 < deltas.size() && deltas[i + 1].first == deltas[i].first) continue;
+    profile.push_back(
+        ConcurrencySample{.time = deltas[i].first, .running = static_cast<std::size_t>(running)});
+  }
+  return profile;
+}
+
+std::size_t Analysis::peak_concurrency() const {
+  std::size_t peak = 0;
+  for (const auto& s : concurrency_profile()) peak = std::max(peak, s.running);
+  return peak;
+}
+
+std::vector<Analysis::NameStats> Analysis::stats_by_name() const {
+  std::map<std::string, NameStats> by_name;
+  for (const auto& span : spans_) {
+    NameStats& stats = by_name[span.name];
+    if (stats.count == 0) {
+      stats.name = span.name;
+      stats.min_seconds = span.duration();
+      stats.max_seconds = span.duration();
+    }
+    ++stats.count;
+    stats.total_seconds += span.duration();
+    stats.min_seconds = std::min(stats.min_seconds, span.duration());
+    stats.max_seconds = std::max(stats.max_seconds, span.duration());
+  }
+  std::vector<NameStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) out.push_back(std::move(stats));
+  return out;
+}
+
+std::vector<CoreId> Analysis::reused_cores() const {
+  std::vector<CoreId> reused;
+  for (const auto& u : cores_)
+    if (u.tasks_run > 1) reused.push_back(u.id);
+  return reused;
+}
+
+}  // namespace chpo::trace

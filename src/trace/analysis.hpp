@@ -1,0 +1,112 @@
+// Quantitative trace analysis — the numbers one reads off a Paraver view.
+//
+// Computes the metrics the paper's evaluation discusses: makespan, per-core
+// busy fraction, how many tasks started "at the same time" (Figure 5's 24
+// simultaneous starts), concurrency over time, and which cores were reused
+// by queued tasks once they freed up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace chpo::trace {
+
+/// Identifies one core on one node.
+struct CoreId {
+  int node = 0;
+  unsigned core = 0;
+  auto operator<=>(const CoreId&) const = default;
+};
+
+struct CoreUsage {
+  CoreId id;
+  double busy_seconds = 0.0;
+  std::size_t tasks_run = 0;
+};
+
+struct ConcurrencySample {
+  double time = 0.0;
+  std::size_t running = 0;  ///< tasks running in [time, next sample)
+};
+
+struct TaskSpanStat {
+  std::uint64_t task_id = 0;
+  std::string name;
+  int node = -1;
+  int attempt = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double duration() const { return end - start; }
+};
+
+class Analysis {
+ public:
+  /// Builds statistics from TaskRun spans (other kinds kept for counters).
+  explicit Analysis(const std::vector<Event>& events);
+
+  /// End of the last task minus start of the first (0 if no tasks).
+  double makespan() const { return makespan_; }
+  double first_start() const { return first_start_; }
+
+  std::size_t task_count() const { return spans_.size(); }
+  std::size_t failure_count() const { return failures_; }
+  std::size_t retry_count() const { return retries_; }
+
+  /// Tasks whose start is within `epsilon` of the very first start.
+  std::size_t tasks_started_together(double epsilon = 1e-9) const;
+
+  /// Busy time per core, sorted by (node, core). The rvalue overload
+  /// returns by value so `analyze().core_usage()` never dangles.
+  const std::vector<CoreUsage>& core_usage() const& { return cores_; }
+  std::vector<CoreUsage> core_usage() && { return std::move(cores_); }
+
+  /// Mean busy fraction over all cores that appear in the trace, relative
+  /// to the makespan.
+  double mean_core_utilisation() const;
+
+  /// Busy fraction relative to an explicit capacity (cores * makespan).
+  double utilisation_vs_capacity(unsigned total_cores) const;
+
+  /// Number of distinct nodes that ran at least one task.
+  std::size_t nodes_used() const;
+
+  /// Step function of concurrently running tasks.
+  std::vector<ConcurrencySample> concurrency_profile() const;
+  std::size_t peak_concurrency() const;
+
+  /// Per-task spans sorted by start time. The rvalue overload returns by
+  /// value so `analyze().spans()` never dangles.
+  const std::vector<TaskSpanStat>& spans() const& { return spans_; }
+  std::vector<TaskSpanStat> spans() && { return std::move(spans_); }
+
+  /// Cores that ran more than one task (Figure 5: cores reused as they free).
+  std::vector<CoreId> reused_cores() const;
+
+  /// Duration statistics aggregated per task name (experiment vs
+  /// visualisation vs plot, etc.), sorted by name.
+  struct NameStats {
+    std::string name;
+    std::size_t count = 0;
+    double total_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+    double mean_seconds() const {
+      return count ? total_seconds / static_cast<double>(count) : 0.0;
+    }
+  };
+  std::vector<NameStats> stats_by_name() const;
+
+ private:
+  std::vector<TaskSpanStat> spans_;
+  std::vector<CoreUsage> cores_;
+  double makespan_ = 0.0;
+  double first_start_ = 0.0;
+  std::size_t failures_ = 0;
+  std::size_t retries_ = 0;
+};
+
+}  // namespace chpo::trace

@@ -1,0 +1,68 @@
+#include "trace/chrome_writer.hpp"
+
+#include <fstream>
+
+#include "jsonlite/json.hpp"
+
+namespace chpo::trace {
+
+namespace {
+
+json::Value span_event(const Event& e, unsigned core) {
+  json::Value out;
+  out.set("name", json::Value(e.task_name + " #" + std::to_string(e.task_id)));
+  out.set("cat", json::Value(kind_name(e.kind)));
+  out.set("ph", json::Value("X"));  // complete event
+  out.set("ts", json::Value(e.t_start * 1e6));
+  out.set("dur", json::Value((e.t_end - e.t_start) * 1e6));
+  out.set("pid", json::Value(static_cast<std::int64_t>(e.node < 0 ? 0 : e.node)));
+  out.set("tid", json::Value(static_cast<std::int64_t>(core)));
+  json::Value args;
+  args.set("task", json::Value(static_cast<std::int64_t>(e.task_id)));
+  args.set("attempt", json::Value(static_cast<std::int64_t>(e.attempt)));
+  out.set("args", std::move(args));
+  return out;
+}
+
+json::Value instant_event(const Event& e) {
+  json::Value out;
+  out.set("name", json::Value(std::string(kind_name(e.kind))));
+  out.set("ph", json::Value("i"));
+  out.set("s", json::Value("g"));  // global scope marker
+  out.set("ts", json::Value(e.t_start * 1e6));
+  out.set("pid", json::Value(static_cast<std::int64_t>(e.node < 0 ? 0 : e.node)));
+  out.set("tid", json::Value(static_cast<std::int64_t>(0)));
+  json::Value args;
+  args.set("task", json::Value(static_cast<std::int64_t>(e.task_id)));
+  out.set("args", std::move(args));
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<Event>& events) {
+  json::Array trace_events;
+  for (const Event& e : events) {
+    const bool is_span = e.kind == EventKind::TaskRun || e.kind == EventKind::Transfer;
+    if (is_span) {
+      if (e.cores.empty()) {
+        trace_events.push_back(span_event(e, 0));
+      } else {
+        for (unsigned core : e.cores) trace_events.push_back(span_event(e, core));
+      }
+    } else {
+      trace_events.push_back(instant_event(e));
+    }
+  }
+  json::Value document;
+  document.set("traceEvents", json::Value(std::move(trace_events)));
+  document.set("displayTimeUnit", json::Value("ms"));
+  return json::serialize(document);
+}
+
+void write_chrome_trace(const std::string& path, const std::vector<Event>& events) {
+  std::ofstream out(path, std::ios::trunc);
+  out << to_chrome_trace(events) << "\n";
+}
+
+}  // namespace chpo::trace

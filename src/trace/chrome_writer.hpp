@@ -1,0 +1,22 @@
+// Chrome trace-event export (chrome://tracing, Perfetto).
+//
+// A modern complement to the Paraver .prv output: one JSON file that any
+// Chromium browser renders as an interactive timeline. Nodes map to
+// processes, cores to threads; point events become instant events.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace chpo::trace {
+
+/// Serialize to the Trace Event Format ("traceEvents" JSON array).
+/// Durations are microseconds as the format requires.
+std::string to_chrome_trace(const std::vector<Event>& events);
+
+/// Write `path` (conventionally ending in .json).
+void write_chrome_trace(const std::string& path, const std::vector<Event>& events);
+
+}  // namespace chpo::trace

@@ -1,0 +1,117 @@
+#include "trace/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "support/strings.hpp"
+#include "trace/analysis.hpp"
+
+namespace chpo::trace {
+namespace {
+
+char task_glyph(std::uint64_t task_id) {
+  static constexpr char kGlyphs[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  return kGlyphs[task_id % (sizeof(kGlyphs) - 1)];
+}
+
+}  // namespace
+
+std::string render_gantt(const std::vector<Event>& events, const GanttOptions& options) {
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = -std::numeric_limits<double>::infinity();
+  for (const Event& e : events) {
+    if (e.kind != EventKind::TaskRun) continue;
+    t0 = std::min(t0, e.t_start);
+    t1 = std::max(t1, e.t_end);
+  }
+  if (!(t0 < t1)) return "(empty trace)\n";
+
+  const std::size_t width = std::max<std::size_t>(options.width, 10);
+  const double bucket = (t1 - t0) / static_cast<double>(width);
+
+  // Row key: (node, core) or (node, 0) when collapsed.
+  std::map<std::pair<int, unsigned>, std::string> rows;
+  for (const Event& e : events) {
+    if (e.kind != EventKind::TaskRun) continue;
+    const auto b0 = static_cast<std::size_t>((e.t_start - t0) / bucket);
+    auto b1 = static_cast<std::size_t>((e.t_end - t0) / bucket);
+    b1 = std::min(b1, width - 1);
+    std::vector<unsigned> cores = e.cores;
+    if (options.collapse_nodes) cores = {0};
+    if (cores.empty()) cores = {0};
+    for (const unsigned core : cores) {
+      std::string& row = rows[{e.node, core}];
+      if (row.empty()) row.assign(width, '.');
+      for (std::size_t b = b0; b <= b1 && b < width; ++b) {
+        row[b] = (row[b] == '.') ? task_glyph(e.task_id) : '#';
+      }
+    }
+  }
+
+  std::string out;
+  out += "time: " + format_duration(0) + " .. " + format_duration(t1 - t0) + "  (" +
+         std::to_string(width) + " buckets, " + format_duration(bucket) + " each)\n";
+  std::size_t printed = 0;
+  for (const auto& [key, row] : rows) {
+    if (printed++ >= options.max_rows) {
+      out += "... (" + std::to_string(rows.size() - options.max_rows) + " more rows)\n";
+      break;
+    }
+    std::string label = options.collapse_nodes
+                            ? "node " + std::to_string(key.first)
+                            : "n" + std::to_string(key.first) + "/c" + std::to_string(key.second);
+    out += pad_right(std::move(label), 10) + "|" + row + "|\n";
+  }
+  return out;
+}
+
+std::string render_parallelism_profile(const std::vector<Event>& events, std::size_t width,
+                                       std::size_t height) {
+  const Analysis analysis(events);
+  const auto profile = analysis.concurrency_profile();
+  if (profile.empty() || analysis.makespan() <= 0) return "(empty trace)\n";
+  width = std::max<std::size_t>(width, 10);
+  height = std::max<std::size_t>(height, 3);
+
+  // Average concurrency per time bucket (step function integrated).
+  const double t0 = analysis.first_start();
+  const double bucket_seconds = analysis.makespan() / static_cast<double>(width);
+  std::vector<double> buckets(width, 0.0);
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const double start = profile[i].time;
+    const double end =
+        i + 1 < profile.size() ? profile[i + 1].time : t0 + analysis.makespan();
+    const double level = static_cast<double>(profile[i].running);
+    // Distribute this interval's area over the buckets it spans.
+    double cursor = start;
+    while (cursor < end - 1e-15) {
+      auto b = static_cast<std::size_t>((cursor - t0) / bucket_seconds);
+      b = std::min(b, width - 1);
+      const double bucket_end = t0 + static_cast<double>(b + 1) * bucket_seconds;
+      const double slice = std::min(end, bucket_end) - cursor;
+      if (slice <= 0) break;  // floating-point guard: never spin in place
+      buckets[b] += level * slice / bucket_seconds;
+      cursor += slice;
+    }
+  }
+  const double peak = *std::max_element(buckets.begin(), buckets.end());
+  if (peak <= 0) return "(no running tasks)\n";
+
+  std::string out = "running tasks over time (peak " +
+                    std::to_string(analysis.peak_concurrency()) + ")\n";
+  for (std::size_t row = 0; row < height; ++row) {
+    const double level = peak * static_cast<double>(height - row) / static_cast<double>(height);
+    char label[16];
+    std::snprintf(label, sizeof label, "%5.1f", level);
+    out += label;
+    out += " |";
+    for (std::size_t b = 0; b < width; ++b) out += buckets[b] >= level - 1e-12 ? '#' : ' ';
+    out += "|\n";
+  }
+  out += "       0 .. " + format_duration(analysis.makespan()) + "\n";
+  return out;
+}
+
+}  // namespace chpo::trace

@@ -1,0 +1,29 @@
+// ASCII Gantt rendering of a trace — the terminal stand-in for a Paraver
+// timeline window. Each row is one core (or one node, collapsed); columns
+// are time buckets; a cell shows a glyph identifying the task running there.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace chpo::trace {
+
+struct GanttOptions {
+  std::size_t width = 100;       ///< time buckets across the terminal
+  bool collapse_nodes = false;   ///< one row per node instead of per core
+  std::size_t max_rows = 64;     ///< truncate very tall clusters
+};
+
+/// Render TaskRun spans as a multi-line string. Glyphs cycle through
+/// [a-zA-Z0-9] by task id; '.' is idle; '#' marks >1 task in a bucket
+/// (only possible in collapsed mode).
+std::string render_gantt(const std::vector<Event>& events, const GanttOptions& options = {});
+
+/// Parallelism profile: a bar chart of how many tasks ran concurrently
+/// over time (the summary one reads off a Paraver "parallelism" view).
+std::string render_parallelism_profile(const std::vector<Event>& events, std::size_t width = 80,
+                                       std::size_t height = 12);
+
+}  // namespace chpo::trace

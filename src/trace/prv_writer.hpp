@@ -1,0 +1,32 @@
+// Paraver .prv export.
+//
+// Emits the subset of the Paraver trace format (header + state records)
+// that Paraver needs to draw the timelines in Figures 4-6: one application,
+// one task per node, one "thread" per core; state 1 = running task body,
+// state 0 = idle. Also writes the companion .row file naming the threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace chpo::trace {
+
+/// Serialize the trace to .prv text. Times are converted to integer
+/// nanoseconds as Paraver expects.
+std::string to_prv(const std::vector<Event>& events, const cluster::ClusterSpec& spec);
+
+/// Companion .row file content (resource naming).
+std::string to_row(const cluster::ClusterSpec& spec);
+
+/// Companion .pcf file content: state colours and event-type names so
+/// Paraver labels our records ("Running task", submit/failure flags, ...).
+std::string to_pcf();
+
+/// Convenience: write `<basename>.prv`, `<basename>.row`, `<basename>.pcf`.
+void write_prv_files(const std::string& basename, const std::vector<Event>& events,
+                     const cluster::ClusterSpec& spec);
+
+}  // namespace chpo::trace

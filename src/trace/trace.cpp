@@ -1,0 +1,48 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace chpo::trace {
+
+void TraceSink::record(Event event) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<Event> TraceSink::events() const {
+  std::vector<Event> copy;
+  {
+    std::scoped_lock lock(mutex_);
+    copy = events_;
+  }
+  std::stable_sort(copy.begin(), copy.end(),
+                   [](const Event& a, const Event& b) { return a.t_start < b.t_start; });
+  return copy;
+}
+
+std::size_t TraceSink::size() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+void TraceSink::clear() {
+  std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::TaskRun: return "task_run";
+    case EventKind::Transfer: return "transfer";
+    case EventKind::TaskSubmit: return "task_submit";
+    case EventKind::TaskSchedule: return "task_schedule";
+    case EventKind::TaskFailure: return "task_failure";
+    case EventKind::TaskRetry: return "task_retry";
+    case EventKind::NodeDown: return "node_down";
+    case EventKind::Sync: return "sync";
+  }
+  return "unknown";
+}
+
+}  // namespace chpo::trace

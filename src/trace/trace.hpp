@@ -1,0 +1,74 @@
+// Execution tracing — the Extrae/Paraver substitute.
+//
+// The paper's evaluation (Figures 4-6) is read off Paraver traces: which
+// core ran which task, when, and how the runtime filled resources. TraceSink
+// collects equivalent records from either backend (wall-clock seconds from
+// the threaded backend, virtual seconds from the simulator). Analysis and
+// rendering live in analysis.hpp / gantt.hpp; prv_writer.hpp emits a
+// Paraver-compatible .prv file.
+//
+// Tracing can be disabled (the paper: "these two features can easily be
+// turned off by a simple flag"), which turns record() into an atomic-flag
+// check — the overhead benchmark measures exactly this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chpo::trace {
+
+/// Point events mark instants; span events carry a duration.
+enum class EventKind : std::uint8_t {
+  TaskRun,       ///< span: task body executing on its resources
+  Transfer,      ///< span: input staging onto the execution node
+  TaskSubmit,    ///< point: main program submitted the task (event flag)
+  TaskSchedule,  ///< point: scheduler placed the task
+  TaskFailure,   ///< point: an attempt failed
+  TaskRetry,     ///< point: runtime relaunched a failed task
+  NodeDown,      ///< point: a node was lost
+  Sync,          ///< point: wait_on barrier reached
+};
+
+struct Event {
+  EventKind kind = EventKind::TaskRun;
+  std::uint64_t task_id = 0;
+  int attempt = 0;
+  std::string task_name;
+  /// Resource placement. node < 0 means "not bound to a node" (e.g. submit).
+  int node = -1;
+  /// Core slots occupied on the node (affinity set); empty for point events.
+  std::vector<unsigned> cores;
+  std::vector<unsigned> gpus;
+  double t_start = 0.0;  ///< seconds (wall or virtual)
+  double t_end = 0.0;    ///< == t_start for point events
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Record an event; no-op (single atomic load) when disabled.
+  void record(Event event);
+
+  /// Snapshot of all events sorted by t_start. Safe while recording.
+  std::vector<Event> events() const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// Human-readable name for an event kind.
+const char* kind_name(EventKind kind);
+
+}  // namespace chpo::trace

@@ -1,0 +1,101 @@
+// Unit tests for the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include "support/args.hpp"
+
+namespace chpo {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser args;
+  args.add_option("algorithm", "which algorithm", "grid")
+      .add_option("budget", "evaluations", "16")
+      .add_option("rate", "a double", "")
+      .add_flag("simulate", "use the simulator");
+  return args;
+}
+
+bool parse(ArgParser& args, std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv);
+  return args.parse(static_cast<int>(full.size()), full.data());
+}
+
+TEST(Args, SeparateValueForm) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--algorithm", "random", "space.json"}));
+  EXPECT_EQ(args.get("algorithm"), "random");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "space.json");
+}
+
+TEST(Args, EqualsForm) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--budget=32"}));
+  EXPECT_EQ(args.get_int("budget", 0), 32);
+}
+
+TEST(Args, DefaultsApply) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {}));
+  EXPECT_EQ(args.get("algorithm"), "grid");
+  EXPECT_EQ(args.get_int("budget", -1), 16);
+  EXPECT_FALSE(args.has("algorithm"));  // not explicitly set
+}
+
+TEST(Args, Flags) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--simulate"}));
+  EXPECT_TRUE(args.get_bool("simulate"));
+  ArgParser args2 = make_parser();
+  ASSERT_TRUE(parse(args2, {}));
+  EXPECT_FALSE(args2.get_bool("simulate"));
+}
+
+TEST(Args, UnknownOptionFails) {
+  ArgParser args = make_parser();
+  EXPECT_FALSE(parse(args, {"--bogus", "1"}));
+  EXPECT_NE(args.error().find("bogus"), std::string::npos);
+}
+
+TEST(Args, MissingValueFails) {
+  ArgParser args = make_parser();
+  EXPECT_FALSE(parse(args, {"--budget"}));
+}
+
+TEST(Args, FlagWithValueFails) {
+  ArgParser args = make_parser();
+  EXPECT_FALSE(parse(args, {"--simulate=yes"}));
+}
+
+TEST(Args, TypedFallbacksOnGarbage) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--budget", "not_a_number"}));
+  EXPECT_EQ(args.get_int("budget", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.5), 0.5);
+}
+
+TEST(Args, DoubleParsing) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"--rate", "0.85"}));
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.85);
+}
+
+TEST(Args, UsageListsOptions) {
+  const ArgParser args = make_parser();
+  const std::string usage = args.usage("prog", "does things");
+  EXPECT_NE(usage.find("--algorithm"), std::string::npos);
+  EXPECT_NE(usage.find("--simulate"), std::string::npos);
+  EXPECT_NE(usage.find("default: grid"), std::string::npos);
+}
+
+TEST(Args, MixedPositionalAndOptions) {
+  ArgParser args = make_parser();
+  ASSERT_TRUE(parse(args, {"first.json", "--budget", "8", "second.json", "--simulate"}));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.get_int("budget", 0), 8);
+  EXPECT_TRUE(args.get_bool("simulate"));
+}
+
+}  // namespace
+}  // namespace chpo

@@ -1,0 +1,88 @@
+// Unit tests for the cluster/resource model and its paper presets.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace chpo::cluster {
+namespace {
+
+TEST(NodePresets, MatchPaperHardware) {
+  EXPECT_EQ(marenostrum4_node().cpus, 48u);  // 2x 24-core Xeon Platinum
+  EXPECT_EQ(marenostrum4_node().gpus, 0u);
+  EXPECT_EQ(minotauro_node().gpus, 2u);   // 2x K80
+  EXPECT_EQ(power9_node().gpus, 4u);      // 4x V100
+  EXPECT_EQ(power9_node().cpus, 160u);    // 160 hardware threads
+}
+
+TEST(Homogeneous, NamesAreUnique) {
+  const ClusterSpec spec = marenostrum4(3);
+  ASSERT_EQ(spec.nodes.size(), 3u);
+  EXPECT_NE(spec.nodes[0].name, spec.nodes[1].name);
+}
+
+TEST(WorkerPlacement, NoneUsesEverything) {
+  ClusterSpec spec = marenostrum4(2);
+  EXPECT_EQ(spec.usable_cpus(0), 48u);
+  EXPECT_EQ(spec.total_usable_cpus(), 96u);
+  EXPECT_TRUE(spec.node_usable(0));
+}
+
+TEST(WorkerPlacement, SharedCoresReservesPerNode) {
+  // The paper's single-node experiment: the worker takes half of 48 cores.
+  ClusterSpec spec = marenostrum4(1);
+  spec.worker_placement = WorkerPlacement::SharedCores;
+  spec.worker_cores = 24;
+  EXPECT_EQ(spec.usable_cpus(0), 24u);
+}
+
+TEST(WorkerPlacement, SharedCoresCanConsumeWholeNode) {
+  ClusterSpec spec = marenostrum4(1);
+  spec.worker_placement = WorkerPlacement::SharedCores;
+  spec.worker_cores = 48;
+  EXPECT_EQ(spec.usable_cpus(0), 0u);
+  spec.worker_cores = 60;  // more than the node has
+  EXPECT_EQ(spec.usable_cpus(0), 0u);
+}
+
+TEST(WorkerPlacement, DedicatedNodeExcludesNodeZero) {
+  // The paper's multi-node experiment: 28 nodes requested, node 0 runs the
+  // worker, 27 nodes execute tasks.
+  ClusterSpec spec = marenostrum4(28);
+  spec.worker_placement = WorkerPlacement::DedicatedNode;
+  EXPECT_FALSE(spec.node_usable(0));
+  EXPECT_EQ(spec.usable_cpus(0), 0u);
+  EXPECT_TRUE(spec.node_usable(1));
+  EXPECT_EQ(spec.total_usable_cpus(), 27u * 48u);
+}
+
+TEST(ClusterSpec, GpuAccounting) {
+  ClusterSpec spec = power9(2);
+  EXPECT_EQ(spec.total_usable_gpus(), 8u);
+  spec.worker_placement = WorkerPlacement::DedicatedNode;
+  EXPECT_EQ(spec.total_usable_gpus(), 4u);
+}
+
+TEST(ClusterSpec, OutOfRangeNodeIsUnusable) {
+  const ClusterSpec spec = marenostrum4(1);
+  EXPECT_FALSE(spec.node_usable(5));
+  EXPECT_EQ(spec.usable_cpus(5), 0u);
+  EXPECT_EQ(spec.usable_gpus(5), 0u);
+}
+
+TEST(TransferModel, ScalesWithBytes) {
+  TransferModel tm;
+  const double small = tm.transfer_seconds(1024);
+  const double large = tm.transfer_seconds(1024ull * 1024 * 1024);
+  EXPECT_GT(large, small);
+  // 1 GiB over 12.5 GB/s is roughly 86 ms.
+  EXPECT_NEAR(large, 1024.0 * 1024 * 1024 / 12.5e9, 1e-3);
+}
+
+TEST(TransferModel, LatencyFloorForTinyMessages) {
+  TransferModel tm;
+  tm.latency_s = 1e-3;
+  EXPECT_GE(tm.transfer_seconds(1), 1e-3);
+}
+
+}  // namespace
+}  // namespace chpo::cluster

@@ -1,0 +1,139 @@
+// Unit tests for versioned data management and dependency derivation —
+// the COMPSs IN/OUT/INOUT semantics.
+#include <gtest/gtest.h>
+
+#include "runtime/data_registry.hpp"
+
+namespace chpo::rt {
+namespace {
+
+TEST(DataRegistry, RegisterCommitsVersionZeroEverywhere) {
+  DataRegistry reg;
+  const DataId d = reg.register_data(std::any(42), 128, "config");
+  EXPECT_TRUE(reg.has_value(d, 0));
+  EXPECT_EQ(std::any_cast<int>(reg.value(d, 0)), 42);
+  EXPECT_TRUE(reg.available_everywhere(d, 0));
+  EXPECT_EQ(reg.current_version(d), 0u);
+  EXPECT_EQ(reg.producer(d, 0), kNoTask);
+  EXPECT_EQ(reg.bytes_of(d), 128u);
+  EXPECT_EQ(reg.label_of(d), "config");
+}
+
+TEST(DataRegistry, DefaultLabelIsDatumId) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  EXPECT_EQ(reg.label_of(d), "d0");
+}
+
+TEST(DataRegistry, InReadsCurrentAndDependsOnWriter) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  // Task 0 writes (version 1), task 1 reads.
+  const AccessPlan w = reg.plan_access(0, {d, Direction::Out});
+  EXPECT_EQ(w.write_version, 1u);
+  EXPECT_TRUE(w.depends_on.empty());  // version 0 has no producer task
+  const AccessPlan r = reg.plan_access(1, {d, Direction::In});
+  EXPECT_EQ(r.read_version, 1u);
+  ASSERT_EQ(r.depends_on.size(), 1u);
+  EXPECT_EQ(r.depends_on[0], 0u);  // RAW
+}
+
+TEST(DataRegistry, WawDependency) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  reg.plan_access(0, {d, Direction::Out});
+  const AccessPlan w2 = reg.plan_access(1, {d, Direction::Out});
+  EXPECT_EQ(w2.write_version, 2u);
+  ASSERT_EQ(w2.depends_on.size(), 1u);
+  EXPECT_EQ(w2.depends_on[0], 0u);  // WAW
+}
+
+TEST(DataRegistry, WarDependencyOnReaders) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  reg.plan_access(0, {d, Direction::In});
+  reg.plan_access(1, {d, Direction::In});
+  const AccessPlan w = reg.plan_access(2, {d, Direction::Out});
+  // Writer must wait for both readers of version 0 (WAR).
+  EXPECT_EQ(w.depends_on.size(), 2u);
+}
+
+TEST(DataRegistry, InOutReadsOldWritesNew) {
+  DataRegistry reg;
+  const DataId d = reg.register_data(std::any(1));
+  const AccessPlan io = reg.plan_access(0, {d, Direction::InOut});
+  EXPECT_EQ(io.read_version, 0u);
+  EXPECT_EQ(io.write_version, 1u);
+  // Next reader sees version 1 and depends on task 0.
+  const AccessPlan r = reg.plan_access(1, {d, Direction::In});
+  EXPECT_EQ(r.read_version, 1u);
+  ASSERT_EQ(r.depends_on.size(), 1u);
+  EXPECT_EQ(r.depends_on[0], 0u);
+}
+
+TEST(DataRegistry, ReadersResetAfterNewVersion) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  reg.plan_access(0, {d, Direction::In});   // reader of v0
+  reg.plan_access(1, {d, Direction::Out});  // v1, WAR on task 0
+  const AccessPlan w2 = reg.plan_access(2, {d, Direction::Out});
+  // Only WAW on task 1; task 0 read an older version.
+  ASSERT_EQ(w2.depends_on.size(), 1u);
+  EXPECT_EQ(w2.depends_on[0], 1u);
+}
+
+TEST(DataRegistry, DuplicateDependenciesCollapsed) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  reg.plan_access(0, {d, Direction::Out});
+  reg.plan_access(0, {d, Direction::In});  // same task reads its own write
+  const AccessPlan w = reg.plan_access(1, {d, Direction::InOut});
+  ASSERT_EQ(w.depends_on.size(), 1u);
+  EXPECT_EQ(w.depends_on[0], 0u);
+}
+
+TEST(DataRegistry, CommitAndLocations) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  reg.plan_access(0, {d, Direction::Out});
+  EXPECT_FALSE(reg.has_value(d, 1));
+  reg.commit(d, 1, std::any(std::string("v")), /*node=*/2);
+  EXPECT_TRUE(reg.has_value(d, 1));
+  EXPECT_FALSE(reg.available_everywhere(d, 1));
+  EXPECT_TRUE(reg.locations(d, 1).contains(2));
+  reg.add_location(d, 1, 5);
+  EXPECT_TRUE(reg.locations(d, 1).contains(5));
+}
+
+TEST(DataRegistry, CommitWithNegativeNodeMeansEverywhere) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  reg.plan_access(0, {d, Direction::Out});
+  reg.commit(d, 1, std::any(7), -1);
+  EXPECT_TRUE(reg.available_everywhere(d, 1));
+}
+
+TEST(DataRegistry, ErrorsOnBadAccess) {
+  DataRegistry reg;
+  const DataId d = reg.register_data();
+  EXPECT_THROW(reg.value(d, 3), std::out_of_range);
+  EXPECT_THROW(reg.value(99, 0), std::out_of_range);
+  EXPECT_THROW(reg.commit(d, 9, {}, 0), std::out_of_range);
+  EXPECT_THROW(reg.producer(d, 9), std::out_of_range);
+  // Uncommitted planned version.
+  reg.plan_access(0, {d, Direction::Out});
+  EXPECT_THROW(reg.value(d, 1), std::out_of_range);
+}
+
+TEST(DataRegistry, ManyDataIndependent) {
+  DataRegistry reg;
+  const DataId a = reg.register_data();
+  const DataId b = reg.register_data();
+  reg.plan_access(0, {a, Direction::Out});
+  const AccessPlan r = reg.plan_access(1, {b, Direction::In});
+  EXPECT_TRUE(r.depends_on.empty());  // no cross-datum dependency
+  EXPECT_EQ(reg.datum_count(), 2u);
+}
+
+}  // namespace
+}  // namespace chpo::rt

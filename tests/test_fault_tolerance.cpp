@@ -1,0 +1,206 @@
+// Fault-tolerance tests: the paper's retry policy ("try the same node,
+// then restart on another node"), node deaths, and cascading cancellation.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+
+namespace chpo::rt {
+namespace {
+
+RuntimeOptions sim_nodes(std::size_t nodes, unsigned cpus = 2) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "n";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(nodes, node);
+  opts.simulate = true;
+  return opts;
+}
+
+TaskDef timed(std::string name, double seconds) {
+  TaskDef def;
+  def.name = std::move(name);
+  def.constraint = {.cpus = 1};
+  def.body = [](TaskContext&) { return std::any(1); };
+  def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+  return def;
+}
+
+TEST(FaultInjector, ForcedFailuresAreConsumed) {
+  FaultInjector injector;
+  injector.force_task_failures(5, 2);
+  EXPECT_TRUE(injector.should_fail(5, 1));
+  EXPECT_TRUE(injector.should_fail(5, 2));
+  EXPECT_FALSE(injector.should_fail(5, 3));
+  EXPECT_FALSE(injector.should_fail(6, 1));
+}
+
+TEST(FaultInjector, ProbabilisticFailuresRoughlyMatchRate) {
+  FaultInjector injector(123, 0.25);
+  int failures = 0;
+  for (int i = 0; i < 4000; ++i)
+    if (injector.should_fail(static_cast<TaskId>(i), 1)) ++failures;
+  EXPECT_NEAR(failures / 4000.0, 0.25, 0.03);
+}
+
+TEST(FaultTolerance, FirstRetryStaysOnSameNode) {
+  RuntimeOptions opts = sim_nodes(3);
+  opts.injector.force_task_failures(0, 1);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("retry_same", 10.0));
+  runtime.wait_on(f);
+  const auto spans = runtime.analyze().spans();
+  ASSERT_EQ(spans.size(), 2u);  // failed attempt + successful retry
+  EXPECT_EQ(spans[0].node, spans[1].node);
+  EXPECT_EQ(spans[1].attempt, 2);
+}
+
+TEST(FaultTolerance, SecondRetryMovesToAnotherNode) {
+  RuntimeOptions opts = sim_nodes(3);
+  opts.injector.force_task_failures(0, 2);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("retry_other", 10.0));
+  runtime.wait_on(f);
+  const auto spans = runtime.analyze().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].node, spans[1].node);  // same-node retry first
+  EXPECT_NE(spans[2].node, spans[0].node);  // then another node
+}
+
+TEST(FaultTolerance, RetriesConsumeVirtualTime) {
+  RuntimeOptions opts = sim_nodes(2);
+  opts.injector.force_task_failures(0, 2);
+  Runtime runtime(std::move(opts));
+  runtime.submit(timed("expensive_failures", 10.0));
+  runtime.barrier();
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 30.0);  // three 10 s attempts
+}
+
+TEST(FaultTolerance, ExhaustedAttemptsFailTask) {
+  RuntimeOptions opts = sim_nodes(2);
+  opts.fault_policy.max_attempts = 2;
+  opts.injector.force_task_failures(0, 5);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("doomed", 1.0));
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+}
+
+TEST(FaultTolerance, NodeDeathReschedulesRunningTasks) {
+  RuntimeOptions opts = sim_nodes(2, 1);
+  opts.injector.schedule_node_failure(0, 5.0);  // mid-flight
+  Runtime runtime(std::move(opts));
+  const Future a = runtime.submit(timed("victim", 10.0));   // node 0
+  const Future b = runtime.submit(timed("survivor", 10.0));  // node 1
+  EXPECT_EQ(runtime.wait_on_as<int>(a), 1);  // still completes
+  EXPECT_EQ(runtime.wait_on_as<int>(b), 1);
+  const auto spans = runtime.analyze().spans();
+  // Victim ran twice: killed at 5 s, restarted on node 1 after it frees.
+  ASSERT_EQ(spans.size(), 3u);
+  const auto& final_run = spans.back();
+  EXPECT_EQ(final_run.node, 1);
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 20.0);
+}
+
+TEST(FaultTolerance, NodeDeathBeforeAnyWork) {
+  RuntimeOptions opts = sim_nodes(2, 1);
+  opts.injector.schedule_node_failure(0, 0.0);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("displaced", 10.0));
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+}
+
+TEST(FaultTolerance, AllNodesDeadFailsPendingTasks) {
+  RuntimeOptions opts = sim_nodes(1, 1);
+  opts.injector.schedule_node_failure(0, 5.0);
+  opts.fault_policy.max_attempts = 5;
+  Runtime runtime(std::move(opts));
+  const Future running = runtime.submit(timed("killed", 10.0));
+  const Future queued = runtime.submit(timed("never_started", 10.0));
+  EXPECT_THROW(runtime.wait_on(running), TaskFailedError);
+  EXPECT_THROW(runtime.wait_on(queued), TaskFailedError);
+}
+
+TEST(FaultTolerance, FailureDoesNotAffectIndependentTasks) {
+  RuntimeOptions opts = sim_nodes(2);
+  opts.fault_policy.max_attempts = 1;
+  opts.injector.force_task_failures(0, 1);
+  Runtime runtime(std::move(opts));
+  const Future bad = runtime.submit(timed("bad", 5.0));
+  std::vector<Future> good;
+  for (int i = 0; i < 6; ++i) good.push_back(runtime.submit(timed("good", 5.0)));
+  EXPECT_THROW(runtime.wait_on(bad), TaskFailedError);
+  for (auto& f : good) EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+}
+
+TEST(FaultTolerance, CascadingCancellation) {
+  RuntimeOptions opts = sim_nodes(1);
+  opts.fault_policy.max_attempts = 1;
+  opts.injector.force_task_failures(0, 1);
+  Runtime runtime(std::move(opts));
+  const Future root = runtime.submit(timed("root", 1.0));
+  TaskDef mid_def = timed("mid", 1.0);
+  const Future mid = runtime.submit(mid_def, {{root.data, Direction::In}});
+  TaskDef leaf_def = timed("leaf", 1.0);
+  const Future leaf = runtime.submit(leaf_def, {{mid.data, Direction::In}});
+  EXPECT_THROW(runtime.wait_on(leaf), TaskFailedError);
+  EXPECT_THROW(runtime.wait_on(mid), TaskFailedError);
+}
+
+TEST(Timeout, SimKillsAttemptAtDeadlineAndRetries) {
+  RuntimeOptions opts = sim_nodes(2);
+  Runtime runtime(std::move(opts));
+  TaskDef def = timed("slow", 100.0);
+  def.timeout_seconds = 10.0;
+  const Future f = runtime.submit(def);
+  // Every attempt times out at 10 s; 3 attempts exhaust the policy.
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+  EXPECT_DOUBLE_EQ(runtime.now(), 30.0);
+  EXPECT_EQ(runtime.analyze().failure_count(), 3u);
+}
+
+TEST(Timeout, FastTaskUnaffected) {
+  RuntimeOptions opts = sim_nodes(1);
+  Runtime runtime(std::move(opts));
+  TaskDef def = timed("fast", 5.0);
+  def.timeout_seconds = 10.0;
+  const Future f = runtime.submit(def);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+  EXPECT_DOUBLE_EQ(runtime.now(), 5.0);
+}
+
+TEST(Timeout, ThreadBackendDetectsOverrunPostHoc) {
+  RuntimeOptions opts = sim_nodes(1);
+  opts.simulate = false;
+  opts.fault_policy.max_attempts = 1;
+  Runtime runtime(std::move(opts));
+  TaskDef def;
+  def.name = "sleepy";
+  def.timeout_seconds = 0.005;  // 5 ms
+  def.body = [](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return std::any(1);
+  };
+  const Future f = runtime.submit(def);
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+}
+
+TEST(FaultTolerance, ThreadBackendNodeExclusionWorksToo) {
+  // Forced failures on the threaded backend follow the same policy.
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 2;
+  opts.cluster = cluster::homogeneous(2, node);
+  opts.injector.force_task_failures(0, 2);
+  Runtime runtime(std::move(opts));
+  TaskDef def;
+  def.name = "which_node";
+  def.body = [](TaskContext& ctx) { return std::any(ctx.node()); };
+  const Future f = runtime.submit(def);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);  // third attempt excluded node 0
+}
+
+}  // namespace
+}  // namespace chpo::rt

@@ -1,0 +1,198 @@
+// End-to-end HPO driver tests on both backends.
+#include <gtest/gtest.h>
+
+#include "hpo/driver.hpp"
+#include "hpo/report.hpp"
+
+namespace chpo::hpo {
+namespace {
+
+SearchSpace tiny_space() {
+  return SearchSpace::from_json_text(R"({
+    "optimizer": ["Adam", "SGD"],
+    "num_epochs": [2, 3],
+    "batch_size": [16, 32]
+  })");
+}
+
+rt::RuntimeOptions thread_cluster(unsigned cpus = 4) {
+  rt::RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "t";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(1, node);
+  return opts;
+}
+
+TEST(Driver, GridRunsEveryConfigForReal) {
+  const ml::Dataset dataset = ml::make_mnist_like(120, 40, 1);
+  rt::Runtime runtime(thread_cluster());
+  HpoDriver driver(runtime, dataset, DriverOptions{.seed = 5});
+  const SearchSpace space = tiny_space();
+  GridSearch grid(space);
+  const HpoOutcome outcome = driver.run(grid);
+  ASSERT_EQ(outcome.trials.size(), 8u);
+  for (const Trial& t : outcome.trials) {
+    EXPECT_FALSE(t.failed);
+    EXPECT_GT(t.result.final_val_accuracy, 0.0);
+    EXPECT_FALSE(t.result.history.empty());
+  }
+  ASSERT_NE(outcome.best(), nullptr);
+  EXPECT_GE(outcome.best()->result.final_val_accuracy, outcome.trials[0].result.final_val_accuracy);
+}
+
+TEST(Driver, RandomSearchOnSimBackendWithCostModel) {
+  const ml::Dataset dataset = ml::make_mnist_like(60, 20, 2);
+  rt::RuntimeOptions opts;
+  opts.cluster = cluster::marenostrum4(2);
+  opts.simulate = true;
+  rt::Runtime runtime(std::move(opts));
+  DriverOptions driver_options;
+  driver_options.workload = ml::mnist_paper_model();
+  driver_options.epoch_divisor = 1;
+  driver_options.trial_constraint = {.cpus = 4};
+  HpoDriver driver(runtime, dataset, driver_options);
+  const SearchSpace space = tiny_space();
+  RandomSearch random(space, 6, 3);
+  const HpoOutcome outcome = driver.run(random);
+  EXPECT_EQ(outcome.trials.size(), 6u);
+  // Virtual elapsed time came from the workload model, not wall clock.
+  EXPECT_GT(outcome.elapsed_seconds, 100.0);
+}
+
+TEST(Driver, EpochControlsApplied) {
+  const ml::Dataset dataset = ml::make_mnist_like(60, 20, 3);
+  rt::Runtime runtime(thread_cluster());
+  DriverOptions options;
+  options.epoch_divisor = 1;
+  options.epoch_cap = 1;  // every trial trains exactly one epoch
+  HpoDriver driver(runtime, dataset, options);
+  const SearchSpace space = tiny_space();
+  GridSearch grid(space);
+  const HpoOutcome outcome = driver.run(grid);
+  for (const Trial& t : outcome.trials) EXPECT_EQ(t.result.epochs_run, 1);
+}
+
+TEST(Driver, StopOnAccuracyEndsEarly) {
+  const ml::Dataset dataset = ml::make_mnist_like(300, 100, 4);
+  rt::Runtime runtime(thread_cluster());
+  DriverOptions options;
+  options.stop_on_accuracy = 0.3;  // easy target on easy data
+  options.epoch_cap = 3;
+  HpoDriver driver(runtime, dataset, options);
+  const SearchSpace space = tiny_space();
+  GridSearch grid(space);
+  const HpoOutcome outcome = driver.run(grid);
+  EXPECT_TRUE(outcome.stopped_early);
+  EXPECT_LT(outcome.trials.size(), 8u);
+}
+
+TEST(Driver, SequentialAlgorithmGetsFeedback) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 30, 5);
+  rt::Runtime runtime(thread_cluster());
+  DriverOptions options;
+  options.epoch_cap = 1;
+  HpoDriver driver(runtime, dataset, options);
+  SearchSpace space;
+  space.add_float("learning_rate", 1e-4, 1e-1, true);
+  GpBayesOpt bo(space, {.max_evals = 6, .n_init = 2, .seed = 6});
+  const HpoOutcome outcome = driver.run(bo);
+  EXPECT_EQ(outcome.trials.size(), 6u);
+  EXPECT_EQ(bo.observations(), 6u);
+}
+
+TEST(Driver, GpuConstraintRunsOnGpuNode) {
+  const ml::Dataset dataset = ml::make_mnist_like(40, 10, 7);
+  rt::RuntimeOptions opts;
+  opts.cluster = cluster::power9(1);
+  opts.simulate = true;
+  rt::Runtime runtime(std::move(opts));
+  DriverOptions options;
+  options.trial_constraint = {.cpus = 2, .gpus = 1};
+  options.workload = ml::cifar_paper_model();
+  options.epoch_cap = 1;
+  HpoDriver driver(runtime, dataset, options);
+  const SearchSpace space = tiny_space();
+  RandomSearch random(space, 8, 8);
+  const HpoOutcome outcome = driver.run(random);
+  EXPECT_EQ(outcome.trials.size(), 8u);
+  // 4 GPUs and 8 one-GPU trials: peak concurrency is exactly 4.
+  EXPECT_EQ(runtime.analyze().peak_concurrency(), 4u);
+}
+
+TEST(Driver, CrossValidatedTrials) {
+  const ml::Dataset dataset = ml::make_mnist_like(90, 0, 11);  // no test split needed
+  rt::Runtime runtime(thread_cluster());
+  DriverOptions options;
+  options.epoch_cap = 1;
+  options.cv_folds = 3;
+  HpoDriver driver(runtime, dataset, options);
+  const SearchSpace space =
+      SearchSpace::from_json_text(R"({"optimizer": ["Adam", "SGD"], "batch_size": [16]})");
+  GridSearch grid(space);
+  const HpoOutcome outcome = driver.run(grid);
+  ASSERT_EQ(outcome.trials.size(), 2u);
+  for (const Trial& t : outcome.trials) {
+    ASSERT_FALSE(t.failed);
+    EXPECT_EQ(t.result.history.size(), 3u);  // one entry per fold
+    double mean = 0;
+    for (const auto& fold : t.result.history) mean += fold.val_accuracy;
+    EXPECT_NEAR(t.result.final_val_accuracy, mean / 3.0, 1e-12);
+  }
+}
+
+TEST(Driver, MakeExperimentTaskHasCostOnlyWithWorkload) {
+  const ml::Dataset dataset = ml::make_mnist_like(20, 10, 9);
+  const Config config = json::parse(R"({"optimizer":"SGD","num_epochs":4,"batch_size":16})");
+  const rt::TaskDef without = make_experiment_task(dataset, config, DriverOptions{}, 0);
+  EXPECT_FALSE(static_cast<bool>(without.cost));
+  DriverOptions with_model;
+  with_model.workload = ml::mnist_paper_model();
+  const rt::TaskDef with = make_experiment_task(dataset, config, with_model, 0);
+  ASSERT_TRUE(static_cast<bool>(with.cost));
+  rt::Placement placement;
+  placement.node = 0;
+  placement.cores = {0, 1};
+  const double cost = with.cost(placement, cluster::marenostrum4_node());
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST(Report, TablesChartsAndCsv) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 30, 10);
+  rt::Runtime runtime(thread_cluster());
+  DriverOptions options;
+  options.epoch_cap = 2;
+  HpoDriver driver(runtime, dataset, options);
+  const SearchSpace space = tiny_space();
+  GridSearch grid(space);
+  const HpoOutcome outcome = driver.run(grid);
+
+  const std::string table = trials_table(outcome.trials);
+  EXPECT_NE(table.find("val_acc"), std::string::npos);
+  EXPECT_NE(table.find("optimizer"), std::string::npos);
+
+  const std::string chart = accuracy_chart(outcome.trials, 40, 10);
+  EXPECT_NE(chart.find("1.00"), std::string::npos);
+
+  const std::string csv = history_csv(outcome.trials);
+  EXPECT_NE(csv.find("trial,epoch"), std::string::npos);
+  // 8 trials x 2 epochs + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 17);
+
+  const std::string summary = outcome_summary(outcome);
+  EXPECT_NE(summary.find("best:"), std::string::npos);
+}
+
+TEST(Report, EmptyAndFailedTrialsHandled) {
+  EXPECT_EQ(accuracy_chart({}), "(no histories)\n");
+  Trial failed;
+  failed.index = 0;
+  failed.config = json::parse(R"({"optimizer":"SGD"})");
+  failed.failed = true;
+  failed.failure_reason = "boom";
+  const std::string table = trials_table({failed});
+  EXPECT_NE(table.find("FAILED: boom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chpo::hpo

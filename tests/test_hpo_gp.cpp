@@ -1,0 +1,98 @@
+// Gaussian-process regression and expected-improvement tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpo/gp.hpp"
+
+namespace chpo::hpo {
+namespace {
+
+TEST(Gp, KernelProperties) {
+  GaussianProcess gp(0.5, 2.0, 1e-6);
+  const std::vector<double> a{0.1, 0.2}, b{0.1, 0.2}, c{0.9, 0.8};
+  EXPECT_DOUBLE_EQ(gp.kernel(a, b), 2.0);  // k(x,x) = signal variance
+  EXPECT_LT(gp.kernel(a, c), gp.kernel(a, b));
+  EXPECT_DOUBLE_EQ(gp.kernel(a, c), gp.kernel(c, a));  // symmetry
+}
+
+TEST(Gp, InterpolatesTrainingPoints) {
+  GaussianProcess gp(0.3, 1.0, 1e-8);
+  const std::vector<std::vector<double>> xs{{0.0}, {0.5}, {1.0}};
+  const std::vector<double> ys{0.0, 1.0, 0.0};
+  gp.fit(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto p = gp.predict(xs[i]);
+    EXPECT_NEAR(p.mean, ys[i], 1e-3);
+    EXPECT_LT(p.variance, 1e-3);  // near-zero uncertainty at data
+  }
+}
+
+TEST(Gp, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(0.2, 1.0, 1e-6);
+  gp.fit({{0.5}}, {1.0});
+  const auto near = gp.predict({0.5});
+  const auto far = gp.predict({0.0});
+  EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(Gp, MeanRevertsToPriorFarAway) {
+  GaussianProcess gp(0.05, 1.0, 1e-6);
+  gp.fit({{0.0}, {0.1}}, {5.0, 5.2});
+  const auto far = gp.predict({1.0});
+  // Zero-mean GP on shifted targets reverts to the data mean.
+  EXPECT_NEAR(far.mean, 5.1, 0.2);
+}
+
+TEST(Gp, SmoothInterpolationBetweenPoints) {
+  GaussianProcess gp(0.4, 1.0, 1e-8);
+  gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  const auto mid = gp.predict({0.5});
+  EXPECT_GT(mid.mean, 0.2);
+  EXPECT_LT(mid.mean, 0.8);
+}
+
+TEST(Gp, UnfittedPredictsPrior) {
+  GaussianProcess gp(0.3, 1.5, 1e-6);
+  const auto p = gp.predict({0.5});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.5);
+  EXPECT_FALSE(gp.fitted());
+}
+
+TEST(Gp, InvalidInputsThrow) {
+  EXPECT_THROW(GaussianProcess(-0.1, 1.0, 1e-6), std::invalid_argument);
+  GaussianProcess gp(0.3, 1.0, 1e-6);
+  EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(gp.fit({{0.0}}, {1.0, 2.0}), std::invalid_argument);
+  gp.fit({{0.0}}, {1.0});
+  EXPECT_THROW(gp.predict({0.0, 1.0}), std::invalid_argument);  // dim mismatch
+}
+
+TEST(Gp, DuplicatePointsHandledByNoise) {
+  GaussianProcess gp(0.3, 1.0, 1e-4);
+  // Exact duplicates make K singular without the noise term.
+  EXPECT_NO_THROW(gp.fit({{0.5}, {0.5}}, {1.0, 1.0}));
+}
+
+TEST(Ei, ZeroVarianceNearlyZeroImprovement) {
+  EXPECT_NEAR(expected_improvement(0.5, 1e-12, 0.9), 0.0, 1e-6);
+}
+
+TEST(Ei, HigherMeanHigherEi) {
+  EXPECT_GT(expected_improvement(1.0, 0.01, 0.5), expected_improvement(0.6, 0.01, 0.5));
+}
+
+TEST(Ei, HigherVarianceHigherEiBelowBest) {
+  // Exploration: an uncertain point below the incumbent still has value.
+  EXPECT_GT(expected_improvement(0.4, 0.25, 0.5), expected_improvement(0.4, 0.0001, 0.5));
+}
+
+TEST(Ei, NonNegative) {
+  for (double mean : {-1.0, 0.0, 0.5, 2.0})
+    for (double var : {1e-8, 0.01, 1.0})
+      EXPECT_GE(expected_improvement(mean, var, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace chpo::hpo

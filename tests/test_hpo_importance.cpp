@@ -1,0 +1,141 @@
+// Tests for marginal-variance hyperparameter importance, plus the
+// architecture hyperparameters it often has to rank.
+#include <gtest/gtest.h>
+
+#include "hpo/importance.hpp"
+#include "ml/dataset.hpp"
+#include "ml/trainer.hpp"
+
+namespace chpo::hpo {
+namespace {
+
+Trial synthetic_trial(int index, const char* optimizer, double lr, double accuracy) {
+  Trial trial;
+  trial.index = index;
+  trial.config.set("optimizer", json::Value(optimizer));
+  trial.config.set("learning_rate", json::Value(lr));
+  trial.result.final_val_accuracy = accuracy;
+  return trial;
+}
+
+TEST(Importance, SingleDecisiveDimensionDominates) {
+  // Accuracy depends only on the optimizer; lr is noise-free and irrelevant.
+  std::vector<Trial> trials;
+  int index = 0;
+  for (const char* opt : {"Adam", "SGD"})
+    for (double lr : {0.001, 0.01, 0.1})
+      trials.push_back(
+          synthetic_trial(index++, opt, lr, std::string(opt) == "Adam" ? 0.9 : 0.5));
+  const auto importance = hyperparameter_importance(trials);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_EQ(importance[0].name, "optimizer");
+  EXPECT_NEAR(importance[0].variance_share, 1.0, 1e-9);
+  EXPECT_NEAR(importance[1].variance_share, 0.0, 1e-9);
+}
+
+TEST(Importance, ContinuousDimensionBucketsCaptureTrend) {
+  // Accuracy increases with lr; optimizer irrelevant.
+  std::vector<Trial> trials;
+  int index = 0;
+  for (const char* opt : {"Adam", "SGD"})
+    for (double lr : {0.001, 0.004, 0.02, 0.09})
+      trials.push_back(synthetic_trial(index++, opt, lr, lr * 10.0));
+  const auto importance = hyperparameter_importance(trials);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_EQ(importance[0].name, "learning_rate");
+  EXPECT_GT(importance[0].variance_share, 0.9);
+}
+
+TEST(Importance, InactiveConditionalFormsItsOwnGroup) {
+  std::vector<Trial> trials;
+  for (int i = 0; i < 4; ++i) {
+    Trial t;
+    t.index = i;
+    t.config.set("optimizer", json::Value(i < 2 ? "SGD" : "Adam"));
+    if (i < 2) t.config.set("momentum", json::Value(0.9));
+    t.result.final_val_accuracy = i < 2 ? 0.8 : 0.4;  // SGD-with-momentum wins
+    trials.push_back(std::move(t));
+  }
+  const auto importance = hyperparameter_importance(trials);
+  ASSERT_EQ(importance.size(), 2u);
+  // Both explain the split equally (they are perfectly correlated here).
+  EXPECT_NEAR(importance[0].variance_share, 1.0, 1e-9);
+  EXPECT_NEAR(importance[1].variance_share, 1.0, 1e-9);
+}
+
+TEST(Importance, DegenerateInputs) {
+  EXPECT_TRUE(hyperparameter_importance({}).empty());
+  std::vector<Trial> one{synthetic_trial(0, "Adam", 0.01, 0.5)};
+  EXPECT_TRUE(hyperparameter_importance(one).empty());
+  // Zero variance: all equal accuracies.
+  std::vector<Trial> flat{synthetic_trial(0, "Adam", 0.01, 0.5),
+                          synthetic_trial(1, "SGD", 0.02, 0.5)};
+  EXPECT_TRUE(hyperparameter_importance(flat).empty());
+}
+
+TEST(Importance, FailedTrialsExcluded) {
+  std::vector<Trial> trials{synthetic_trial(0, "Adam", 0.01, 0.9),
+                            synthetic_trial(1, "SGD", 0.01, 0.5)};
+  Trial failed = synthetic_trial(2, "RMSprop", 0.01, 0.0);
+  failed.failed = true;
+  trials.push_back(failed);
+  const auto importance = hyperparameter_importance(trials);
+  ASSERT_FALSE(importance.empty());
+  for (const auto& dim : importance) EXPECT_LE(dim.distinct_values, 2u);
+}
+
+TEST(Importance, TableRendering) {
+  std::vector<Trial> trials{synthetic_trial(0, "Adam", 0.01, 0.9),
+                            synthetic_trial(1, "SGD", 0.01, 0.5)};
+  const std::string table = importance_table(hyperparameter_importance(trials));
+  EXPECT_NE(table.find("optimizer"), std::string::npos);
+  EXPECT_NE(table.find("%"), std::string::npos);
+}
+
+// ------------------------------------------------ architecture hyperparams
+
+TEST(Architecture, DeeperWiderMlpTrains) {
+  const ml::Dataset ds = ml::make_mnist_like(200, 60, 31);
+  ml::TrainConfig config;
+  config.num_epochs = 3;
+  config.hidden_layers = 2;
+  config.hidden_units = 32;
+  config.dropout = 0.1f;
+  const ml::TrainResult result = ml::run_experiment(ds, config);
+  EXPECT_GT(result.final_val_accuracy, 0.3);
+}
+
+TEST(Architecture, InvalidDimsThrow) {
+  const ml::Dataset ds = ml::make_mnist_like(40, 10, 32);
+  ml::TrainConfig config;
+  config.hidden_layers = 0;
+  EXPECT_THROW(ml::run_experiment(ds, config), std::invalid_argument);
+  config.hidden_layers = 1;
+  config.hidden_units = 0;
+  EXPECT_THROW(ml::run_experiment(ds, config), std::invalid_argument);
+}
+
+TEST(Architecture, ParameterCountGrowsWithConfig) {
+  Rng rng_a(1), rng_b(1);
+  ml::Model small = ml::make_mlp(100, {16}, 10, rng_a);
+  ml::Model big = ml::make_mlp(100, {64, 64}, 10, rng_b);
+  EXPECT_GT(big.parameter_count(), small.parameter_count());
+}
+
+TEST(Architecture, DriverMapsArchitectureKeys) {
+  const ml::Dataset dataset = ml::make_mnist_like(60, 20, 33);
+  const Config config = json::parse(
+      R"({"optimizer":"Adam","num_epochs":1,"batch_size":16,
+          "hidden_layers":2,"hidden_units":24,"dropout":0.2})");
+  rt::RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 2;
+  opts.cluster = cluster::homogeneous(1, node);
+  rt::Runtime runtime(std::move(opts));
+  const rt::TaskDef def = make_experiment_task(dataset, config, DriverOptions{}, 0);
+  const auto result = runtime.wait_on_as<ml::TrainResult>(runtime.submit(def));
+  EXPECT_EQ(result.epochs_run, 1);  // architecture keys accepted end-to-end
+}
+
+}  // namespace
+}  // namespace chpo::hpo

@@ -1,0 +1,149 @@
+// Tests for the Tree-structured Parzen Estimator (paper §2's Hyperopt
+// algorithm).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpo/tpe.hpp"
+
+namespace chpo::hpo {
+namespace {
+
+SearchSpace mixed_space() {
+  SearchSpace space;
+  space.add_categorical("optimizer",
+                        {json::Value("Adam"), json::Value("SGD"), json::Value("RMSprop")});
+  space.add_float("lr", 1e-4, 1e-1, /*log=*/true);
+  space.add_int("batch_exp", 4, 8);
+  return space;
+}
+
+TEST(Tpe, RespectsBudgetAndIsSequential) {
+  const SearchSpace space = mixed_space();
+  TpeSearch tpe(space, {.max_evals = 10, .n_init = 3, .seed = 1});
+  EXPECT_TRUE(tpe.sequential());
+  int issued = 0;
+  while (auto c = tpe.next()) {
+    tpe.tell(*c, 0.5);
+    ++issued;
+  }
+  EXPECT_EQ(issued, 10);
+  EXPECT_EQ(tpe.observations(), 10u);
+}
+
+TEST(Tpe, SamplesStayInDomains) {
+  const SearchSpace space = mixed_space();
+  TpeSearch tpe(space, {.max_evals = 40, .n_init = 5, .seed = 2});
+  Rng score_rng(3);
+  while (auto c = tpe.next()) {
+    const double lr = config_double(*c, "lr");
+    EXPECT_GE(lr, 1e-4);
+    EXPECT_LE(lr, 1e-1);
+    const auto batch_exp = config_int(*c, "batch_exp");
+    EXPECT_GE(batch_exp, 4);
+    EXPECT_LE(batch_exp, 8);
+    const std::string opt = config_string(*c, "optimizer");
+    EXPECT_TRUE(opt == "Adam" || opt == "SGD" || opt == "RMSprop");
+    tpe.tell(*c, score_rng.next_double());
+  }
+}
+
+TEST(Tpe, FindsOptimumOfSmooth1D) {
+  SearchSpace space;
+  space.add_float("x", 0.0, 1.0);
+  const auto objective = [](double x) { return -(x - 0.6) * (x - 0.6); };
+  TpeSearch tpe(space, {.max_evals = 30, .n_init = 6, .seed = 4});
+  double best = -1e9;
+  while (auto c = tpe.next()) {
+    const double y = objective(config_double(*c, "x"));
+    best = std::max(best, y);
+    tpe.tell(*c, y);
+  }
+  EXPECT_GT(best, -0.01);  // within |x-0.6| < 0.1
+}
+
+TEST(Tpe, ExploitsGoodCategory) {
+  // Only SGD scores; after warm-up TPE should propose SGD most of the time.
+  SearchSpace space;
+  space.add_categorical("optimizer",
+                        {json::Value("Adam"), json::Value("SGD"), json::Value("RMSprop")});
+  TpeSearch tpe(space, {.max_evals = 40, .n_init = 6, .seed = 5});
+  int sgd_after_warmup = 0, total_after_warmup = 0, i = 0;
+  while (auto c = tpe.next()) {
+    const bool is_sgd = config_string(*c, "optimizer") == "SGD";
+    if (i >= 6) {
+      ++total_after_warmup;
+      if (is_sgd) ++sgd_after_warmup;
+    }
+    tpe.tell(*c, is_sgd ? 0.9 : 0.1);
+    ++i;
+  }
+  EXPECT_GT(sgd_after_warmup * 2, total_after_warmup);  // majority SGD
+}
+
+TEST(Tpe, ModelPhaseBeatsUniformOnNeedle) {
+  // Narrow optimum in log-space: TPE should concentrate samples near it.
+  SearchSpace space;
+  space.add_float("lr", 1e-4, 1e-1, /*log=*/true);
+  const auto objective = [](double lr) {
+    const double d = std::log10(lr) - std::log10(3e-3);
+    return std::exp(-d * d * 4.0);
+  };
+  TpeSearch tpe(space, {.max_evals = 40, .n_init = 8, .seed = 6});
+  double best = 0;
+  int near_optimum = 0, model_samples = 0, i = 0;
+  while (auto c = tpe.next()) {
+    const double lr = config_double(*c, "lr");
+    const double y = objective(lr);
+    best = std::max(best, y);
+    if (i >= 8) {
+      ++model_samples;
+      if (std::abs(std::log10(lr) - std::log10(3e-3)) < 0.5) ++near_optimum;
+    }
+    tpe.tell(*c, y);
+    ++i;
+  }
+  EXPECT_GT(best, 0.8);
+  // Uniform log sampling hits the +-0.5 decade window ~1/3 of the time.
+  EXPECT_GT(near_optimum * 2, model_samples);
+}
+
+TEST(Tpe, HandlesConditionalDimensions) {
+  SearchSpace space;
+  space.add_categorical("optimizer", {json::Value("Adam"), json::Value("SGD")});
+  space.add_float("momentum", 0.0, 0.99);
+  space.make_conditional("optimizer", json::Value("SGD"));
+  TpeSearch tpe(space, {.max_evals = 30, .n_init = 5, .seed = 8});
+  while (auto c = tpe.next()) {
+    if (config_string(*c, "optimizer") == "SGD") {
+      ASSERT_TRUE(c->contains("momentum"));
+      const double m = config_double(*c, "momentum");
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 0.99);
+      tpe.tell(*c, 0.5 + m / 10.0);  // prefer SGD with high momentum
+    } else {
+      EXPECT_FALSE(c->contains("momentum"));
+      tpe.tell(*c, 0.2);
+    }
+  }
+  EXPECT_EQ(tpe.observations(), 30u);
+}
+
+TEST(Tpe, InvalidOptionsThrow) {
+  const SearchSpace space = mixed_space();
+  EXPECT_THROW(TpeSearch(space, {.max_evals = 0}), std::invalid_argument);
+  EXPECT_THROW(TpeSearch(space, {.max_evals = 5, .gamma = 0.0}), std::invalid_argument);
+  EXPECT_THROW(TpeSearch(space, {.max_evals = 5, .gamma = 1.0}), std::invalid_argument);
+}
+
+TEST(Tpe, TellRejectsForeignValues) {
+  SearchSpace space;
+  space.add_categorical("optimizer", {json::Value("Adam")});
+  TpeSearch tpe(space, {.max_evals = 3, .n_init = 1, .seed = 7});
+  Config bad;
+  bad.set("optimizer", json::Value("NotAnOptimizer"));
+  EXPECT_THROW(tpe.tell(bad, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chpo::hpo

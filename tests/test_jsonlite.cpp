@@ -1,0 +1,159 @@
+// Unit tests for the JSON parser/serializer, including the paper's
+// Listing 1 search-space file.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "jsonlite/json.hpp"
+
+namespace chpo::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5e-2").as_double(), -0.025);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, IntVsDoubleDistinction) {
+  EXPECT_TRUE(parse("20").is_int());
+  EXPECT_TRUE(parse("20.0").is_double());
+  EXPECT_TRUE(parse("2e1").is_double());
+  // Int coerces through as_double; double does not coerce to as_int.
+  EXPECT_DOUBLE_EQ(parse("20").as_double(), 20.0);
+  EXPECT_THROW(parse("20.0").as_int(), JsonError);
+}
+
+TEST(JsonParse, Listing1ConfigFile) {
+  const char* listing1 = R"({
+    "optimizer": ["Adam", "SGD", "RMSprop"],
+    "num_epochs": [20, 50, 100],
+    "batch_size": [32, 64, 128]
+  })";
+  const Value v = parse(listing1);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at("optimizer").at(0).as_string(), "Adam");
+  EXPECT_EQ(v.at("num_epochs").at(2).as_int(), 100);
+  EXPECT_EQ(v.at("batch_size").size(), 3u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": {"b": [1, {"c": true}]}})");
+  EXPECT_TRUE(v.at("a").at("b").at(1).at("c").as_bool());
+}
+
+TEST(JsonParse, ObjectKeyOrderPreserved) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Object& obj = v.as_object();
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, Whitespace) {
+  EXPECT_EQ(parse(" \n\t [ 1 , 2 ] \r\n").size(), 2u);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse("[]").size(), 0u);
+  EXPECT_EQ(parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, ErrorsCarryPosition) {
+  try {
+    parse("{\n  \"a\": ,\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), JsonError);
+  EXPECT_THROW(parse("{"), JsonError);
+  EXPECT_THROW(parse("[1,]"), JsonError);
+  EXPECT_THROW(parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(parse("\"unterminated"), JsonError);
+  EXPECT_THROW(parse("tru"), JsonError);
+  EXPECT_THROW(parse("1 2"), JsonError);
+  EXPECT_THROW(parse("0x10"), JsonError);
+  EXPECT_THROW(parse("1."), JsonError);
+  EXPECT_THROW(parse("1e"), JsonError);
+  EXPECT_THROW(parse("\"a\\q\""), JsonError);
+}
+
+TEST(JsonSerialize, CompactRoundTrip) {
+  const char* text = R"({"optimizer":["Adam","SGD"],"num_epochs":[20,50],"flag":true,"x":null})";
+  const Value v = parse(text);
+  EXPECT_EQ(serialize(v), text);
+  EXPECT_EQ(parse(serialize(v)), v);
+}
+
+TEST(JsonSerialize, PrettyParsesBack) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": 1.25})");
+  const std::string pretty = serialize_pretty(v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+TEST(JsonSerialize, EscapesControlCharacters) {
+  const Value v(std::string("a\nb\x01"));
+  const std::string s = serialize(v);
+  EXPECT_EQ(s, "\"a\\nb\\u0001\"");
+  EXPECT_EQ(parse(s), v);
+}
+
+TEST(JsonSerialize, NonFiniteBecomesNull) {
+  EXPECT_EQ(serialize(Value(std::nan(""))), "null");
+}
+
+TEST(JsonValue, SetInsertAndOverwrite) {
+  Value v;
+  v.set("a", Value(1));
+  v.set("b", Value(2));
+  v.set("a", Value(9));
+  EXPECT_EQ(v.at("a").as_int(), 9);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(JsonValue, FindAndContains) {
+  const Value v = parse(R"({"k": 1})");
+  EXPECT_TRUE(v.contains("k"));
+  EXPECT_FALSE(v.contains("missing"));
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), JsonError);
+}
+
+TEST(JsonValue, NumericCrossTypeEquality) {
+  EXPECT_EQ(parse("3"), parse("3.0"));
+  EXPECT_NE(parse("3"), parse("3.5"));
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), JsonError);
+  EXPECT_THROW(v.as_string(), JsonError);
+  EXPECT_THROW(v.at("k"), JsonError);
+  EXPECT_THROW(v.at(5), JsonError);
+}
+
+TEST(JsonFile, MissingFileThrows) {
+  EXPECT_THROW(parse_file("/nonexistent/definitely_missing.json"), JsonError);
+}
+
+}  // namespace
+}  // namespace chpo::json

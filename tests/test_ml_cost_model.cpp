@@ -1,0 +1,140 @@
+// Cost-model tests: calibration against the paper's reported wall-clock
+// anchors and the qualitative properties Figure 9 depends on.
+#include <gtest/gtest.h>
+
+#include "ml/cost_model.hpp"
+
+namespace chpo::ml {
+namespace {
+
+const cluster::NodeSpec kMn4 = cluster::marenostrum4_node();
+const cluster::NodeSpec kP9 = cluster::power9_node();
+
+TEST(Amdahl, BasicProperties) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1, 0.04), 1.0);
+  EXPECT_GT(amdahl_speedup(8, 0.04), amdahl_speedup(4, 0.04));
+  EXPECT_LT(amdahl_speedup(1000, 0.04), 1.0 / 0.04 + 1e-9);  // bounded by 1/s
+  EXPECT_DOUBLE_EQ(amdahl_speedup(16, 0.0), 16.0);            // perfect scaling
+  EXPECT_THROW(amdahl_speedup(0, 0.1), std::invalid_argument);
+}
+
+TEST(MnistModel, HeaviestGridTaskMatches207Minutes) {
+  // Figure 5: the 27-task grid takes ~207 min, dominated by the
+  // 100-epoch/batch-32 task on one core.
+  const WorkloadModel w = mnist_paper_model();
+  const double seconds = cpu_task_seconds(w, 100, 32, 1, kMn4);
+  EXPECT_NEAR(seconds / 60.0, 207.0, 10.0);
+}
+
+TEST(MnistModel, SingleTaskNear29Minutes) {
+  // Figure 4: one task on one core ≈ 29 min (a light-mid config).
+  const WorkloadModel w = mnist_paper_model();
+  const double seconds = cpu_task_seconds(w, 20, 64, 1, kMn4);
+  EXPECT_NEAR(seconds / 60.0, 29.0, 4.0);
+}
+
+TEST(CostModel, MoreEpochsCostMore) {
+  const WorkloadModel w = mnist_paper_model();
+  EXPECT_GT(cpu_task_seconds(w, 100, 64, 1, kMn4), cpu_task_seconds(w, 20, 64, 1, kMn4));
+}
+
+TEST(CostModel, SmallerBatchesCostMore) {
+  // Per-step overhead dominates at small batch sizes.
+  const WorkloadModel w = mnist_paper_model();
+  EXPECT_GT(cpu_task_seconds(w, 50, 32, 1, kMn4), cpu_task_seconds(w, 50, 128, 1, kMn4));
+}
+
+TEST(CostModel, MoreCoresReduceTimeWithDiminishingReturns) {
+  const WorkloadModel w = mnist_paper_model();
+  const double t1 = cpu_task_seconds(w, 50, 64, 1, kMn4);
+  const double t4 = cpu_task_seconds(w, 50, 64, 4, kMn4);
+  const double t48 = cpu_task_seconds(w, 50, 64, 48, kMn4);
+  EXPECT_GT(t1, t4);
+  EXPECT_GT(t4, t48);
+  // Diminishing: 48 cores give far less than 48x.
+  EXPECT_GT(t48 * 20, t1);
+}
+
+TEST(CostModel, CifarHeavierThanMnistOnCpu) {
+  EXPECT_GT(cpu_task_seconds(cifar_paper_model(), 50, 64, 1, kMn4),
+            cpu_task_seconds(mnist_paper_model(), 50, 64, 1, kMn4));
+}
+
+TEST(GpuModel, OneCoreStarvesTheGpu) {
+  // Figure 9's key observation: a V100 fed by one CPU core is preprocess-
+  // bound; adding cores removes the bottleneck.
+  const WorkloadModel w = cifar_paper_model();
+  const double starved = gpu_task_seconds(w, 50, 64, 1, 1, kP9);
+  const double fed = gpu_task_seconds(w, 50, 64, 16, 1, kP9);
+  EXPECT_GT(starved, 2.0 * fed);
+}
+
+TEST(GpuModel, SaturatesOnceGpuBound) {
+  // Beyond the crossover, extra cores stop helping: GPU is the bottleneck.
+  const WorkloadModel w = cifar_paper_model();
+  const double c32 = gpu_task_seconds(w, 50, 64, 32, 1, kP9);
+  const double c128 = gpu_task_seconds(w, 50, 64, 128, 1, kP9);
+  EXPECT_NEAR(c32, c128, c32 * 0.01);
+}
+
+TEST(GpuModel, StarvedGridSlowerThanCpuNodeRun) {
+  // "When using a single core, the time taken is even higher than that of
+  // the CPU node" — the whole starved 27-task grid on 4 GPUs takes longer
+  // than the paper's 207-minute CPU-node MNIST run.
+  const WorkloadModel cifar = cifar_paper_model();
+  double total = 0.0;
+  for (int epochs : {20, 50, 100})
+    for (int batch : {32, 64, 128})
+      for (const char* opt : {"Adam", "SGD", "RMSprop"})
+        total += experiment_seconds(cifar, opt, epochs, batch, 1, 1, kP9);
+  const double starved_makespan_lower_bound = total / 4.0;  // 4 GPUs
+  EXPECT_GT(starved_makespan_lower_bound, 207.0 * 60.0);
+}
+
+TEST(GpuModel, FullGridUnderOneHourWhenFed) {
+  // 27 CIFAR tasks on 4 V100s with ample cores: total GPU-bound work / 4
+  // must be under an hour (Figure 9 / §6.1).
+  const WorkloadModel w = cifar_paper_model();
+  double total = 0.0;
+  for (int epochs : {20, 50, 100})
+    for (int batch : {32, 64, 128})
+      for (const char* opt : {"Adam", "SGD", "RMSprop"})
+        total += experiment_seconds(w, opt, epochs, batch, 32, 1, kP9);
+  EXPECT_LT(total / 4.0, 3900.0);  // ~65 min upper bound
+  EXPECT_GT(total / 4.0, 1800.0);  // and not trivially fast
+}
+
+TEST(ExperimentSeconds, OptimizerFactorsOrdering) {
+  const WorkloadModel w = mnist_paper_model();
+  const double sgd = experiment_seconds(w, "SGD", 50, 64, 1, 0, kMn4);
+  const double adam = experiment_seconds(w, "Adam", 50, 64, 1, 0, kMn4);
+  const double rms = experiment_seconds(w, "RMSprop", 50, 64, 1, 0, kMn4);
+  EXPECT_LT(sgd, rms);
+  EXPECT_LT(rms, adam);
+}
+
+TEST(ExperimentSeconds, GpuPathSelectedWhenGpusGranted) {
+  const WorkloadModel w = cifar_paper_model();
+  const double gpu = experiment_seconds(w, "SGD", 50, 64, 16, 1, kP9);
+  const double cpu = experiment_seconds(w, "SGD", 50, 64, 16, 0, kP9);
+  EXPECT_LT(gpu, cpu);
+}
+
+TEST(CostModel, InvalidArgumentsThrow) {
+  const WorkloadModel w = mnist_paper_model();
+  EXPECT_THROW(cpu_task_seconds(w, 0, 32, 1, kMn4), std::invalid_argument);
+  EXPECT_THROW(cpu_task_seconds(w, 10, 0, 1, kMn4), std::invalid_argument);
+  EXPECT_THROW(cpu_task_seconds(w, 10, 32, 0, kMn4), std::invalid_argument);
+  EXPECT_THROW(gpu_task_seconds(w, 10, 32, 1, 0, kP9), std::invalid_argument);
+  EXPECT_THROW(gpu_task_seconds(w, 10, 32, 1, 1, kMn4), std::invalid_argument);  // no GPU rate
+}
+
+TEST(CostModel, MultiGpuDataParallelSpeedup) {
+  const WorkloadModel w = cifar_paper_model();
+  const double g1 = gpu_task_seconds(w, 50, 64, 64, 1, kP9);
+  const double g4 = gpu_task_seconds(w, 50, 64, 64, 4, kP9);
+  EXPECT_GT(g1, g4);
+}
+
+}  // namespace
+}  // namespace chpo::ml

@@ -1,0 +1,174 @@
+// Tests for distributed data-parallel training on the task runtime.
+#include <gtest/gtest.h>
+
+#include "ml/distributed.hpp"
+
+namespace chpo::ml {
+namespace {
+
+rt::RuntimeOptions thread_cluster(std::size_t nodes = 1, unsigned cpus = 4) {
+  rt::RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "t";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(nodes, node);
+  return opts;
+}
+
+TEST(Shards, PartitionTrainingRowsExactly) {
+  const Dataset ds = make_mnist_like(103, 20, 1);
+  const auto shards = make_shards(ds, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t total = 0;
+  for (const Dataset& shard : shards) {
+    total += shard.train_size();
+    EXPECT_EQ(shard.test_size(), 20u);  // validation replicated
+    EXPECT_EQ(shard.sample_features(), ds.sample_features());
+  }
+  EXPECT_EQ(total, 103u);
+  // First row of shard 1 equals row ceil-boundary of the original.
+  const std::size_t boundary = 103 / 4;
+  for (std::size_t f = 0; f < 10; ++f)
+    EXPECT_EQ(shards[1].train_x[f], ds.train_x[boundary * ds.sample_features() + f]);
+}
+
+TEST(Shards, InvalidCounts) {
+  const Dataset ds = make_mnist_like(10, 5, 2);
+  EXPECT_THROW(make_shards(ds, 0), std::invalid_argument);
+  EXPECT_THROW(make_shards(ds, 11), std::invalid_argument);
+}
+
+TEST(Weights, SnapshotLoadRoundTrip) {
+  Rng rng(3);
+  Model a = make_mlp(10, {8}, 3, rng);
+  Model b = make_mlp(10, {8}, 3, rng);  // different init
+  const auto weights = snapshot_weights(a);
+  load_weights(b, weights);
+  const Tensor x = Tensor::randn({2, 10}, rng);
+  const Tensor ya = a.forward(x, false, 1);
+  const Tensor yb = b.forward(x, false, 1);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(Weights, LoadMismatchThrows) {
+  Rng rng(4);
+  Model a = make_mlp(10, {8}, 3, rng);
+  Model b = make_mlp(10, {16}, 3, rng);
+  EXPECT_THROW(load_weights(b, snapshot_weights(a)), std::invalid_argument);
+}
+
+TEST(Weights, AverageIsElementwiseMean) {
+  std::vector<Tensor> w1{Tensor({2}, 1.0f)}, w2{Tensor({2}, 3.0f)};
+  const auto mean = average_weights({w1, w2});
+  EXPECT_FLOAT_EQ(mean[0][0], 2.0f);
+  EXPECT_THROW(average_weights({}), std::invalid_argument);
+  std::vector<Tensor> bad{Tensor({3}, 0.0f)};
+  EXPECT_THROW(average_weights({w1, bad}), std::invalid_argument);
+}
+
+TEST(DistributedTrain, LearnsAboveChance) {
+  const Dataset ds = make_mnist_like(320, 80, 5);
+  rt::Runtime runtime(thread_cluster(1, 4));
+  DistributedOptions options;
+  options.shards = 4;
+  options.rounds = 5;
+  options.local_epochs = 2;
+  const DistributedResult result = distributed_train(runtime, ds, options);
+  ASSERT_EQ(result.round_val_accuracy.size(), 5u);
+  EXPECT_GT(result.final_val_accuracy, 0.4);  // chance 0.1
+  EXPECT_FALSE(result.weights.empty());
+}
+
+TEST(DistributedTrain, AccuracyImprovesOverRounds) {
+  const Dataset ds = make_mnist_like(240, 80, 6);
+  rt::Runtime runtime(thread_cluster(1, 4));
+  DistributedOptions options;
+  options.shards = 3;
+  options.rounds = 4;
+  const DistributedResult result = distributed_train(runtime, ds, options);
+  EXPECT_GT(result.round_val_accuracy.back(), result.round_val_accuracy.front() - 0.05);
+  EXPECT_GT(result.round_val_accuracy.back(), 0.3);
+}
+
+TEST(DistributedTrain, SingleShardMatchesSerialShape) {
+  // One shard, one round of E local epochs == plain training for E epochs
+  // (modulo the averaging no-op).
+  const Dataset ds = make_mnist_like(150, 50, 7);
+  rt::Runtime runtime(thread_cluster());
+  DistributedOptions options;
+  options.shards = 1;
+  options.rounds = 1;
+  options.local_epochs = 3;
+  const DistributedResult distributed = distributed_train(runtime, ds, options);
+
+  TrainConfig serial = options.train;
+  serial.num_epochs = 3;
+  serial.seed = options.train.seed;  // shard run reseeds per round; compare loosely
+  const TrainResult reference = run_experiment(ds, serial);
+  EXPECT_NEAR(distributed.final_val_accuracy, reference.final_val_accuracy, 0.25);
+}
+
+TEST(DistributedTrain, GraphHasFanInPerRound) {
+  const Dataset ds = make_mnist_like(120, 30, 8);
+  rt::Runtime runtime(thread_cluster(1, 4));
+  DistributedOptions options;
+  options.shards = 4;
+  options.rounds = 2;
+  distributed_train(runtime, ds, options);
+  // 2 rounds x (4 local_train + 1 average) tasks.
+  EXPECT_EQ(runtime.task_count(), 10u);
+  // Each average task has 4 predecessors.
+  std::size_t averages = 0;
+  for (std::size_t i = 0; i < runtime.task_count(); ++i) {
+    const auto& task = runtime.graph().task(i);
+    if (task.def.name == "average") {
+      ++averages;
+      EXPECT_EQ(task.predecessors.size(), 4u);
+    }
+  }
+  EXPECT_EQ(averages, 2u);
+}
+
+TEST(DistributedTrain, RunsOnSimulatorWithDurations) {
+  const Dataset ds = make_mnist_like(120, 30, 9);
+  rt::RuntimeOptions opts = thread_cluster(4, 2);
+  opts.simulate = true;
+  rt::Runtime runtime(std::move(opts));
+  DistributedOptions options;
+  options.shards = 4;
+  options.rounds = 2;
+  options.shard_task_seconds = 50.0;
+  const DistributedResult result = distributed_train(runtime, ds, options);
+  EXPECT_GT(result.final_val_accuracy, 0.0);
+  // Per round: locals overlap (4 nodes) then a 1 s average; the second round
+  // also pays the main-program resharing, so just check the band.
+  EXPECT_GE(runtime.now(), 2 * 51.0);
+  EXPECT_LT(runtime.now(), 2 * 51.0 + 10.0);
+}
+
+TEST(DistributedTrain, SurvivesTaskFailures) {
+  const Dataset ds = make_mnist_like(120, 30, 10);
+  rt::RuntimeOptions opts = thread_cluster(2, 2);
+  opts.injector.force_task_failures(0, 2);  // first local_train fails twice
+  rt::Runtime runtime(std::move(opts));
+  DistributedOptions options;
+  options.shards = 2;
+  options.rounds = 2;
+  const DistributedResult result = distributed_train(runtime, ds, options);
+  EXPECT_GT(result.final_val_accuracy, 0.1);
+  EXPECT_EQ(runtime.analyze().retry_count(), 2u);
+}
+
+TEST(DistributedTrain, InvalidOptionsThrow) {
+  const Dataset ds = make_mnist_like(40, 10, 11);
+  rt::Runtime runtime(thread_cluster());
+  DistributedOptions bad;
+  bad.rounds = 0;
+  EXPECT_THROW(distributed_train(runtime, ds, bad), std::invalid_argument);
+  bad.rounds = 1;
+  bad.local_epochs = 0;
+  EXPECT_THROW(distributed_train(runtime, ds, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chpo::ml

@@ -1,0 +1,322 @@
+// Tests for the ML extension features: LR schedules, weight decay,
+// BatchNorm, and their wiring through TrainConfig.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/layers.hpp"
+#include "ml/model.hpp"
+#include "ml/metrics.hpp"
+#include "ml/schedule.hpp"
+#include "ml/trainer.hpp"
+
+namespace chpo::ml {
+namespace {
+
+TEST(Schedules, ConstantIsAlwaysOne) {
+  ConstantSchedule schedule;
+  for (int e = 1; e <= 50; ++e) EXPECT_DOUBLE_EQ(schedule.multiplier(e, 50), 1.0);
+}
+
+TEST(Schedules, StepDecayHalvesEveryPeriod) {
+  StepDecaySchedule schedule(10, 0.5);
+  EXPECT_DOUBLE_EQ(schedule.multiplier(1, 100), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.multiplier(10, 100), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.multiplier(11, 100), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.multiplier(21, 100), 0.25);
+}
+
+TEST(Schedules, CosineStartsHighEndsAtFloor) {
+  CosineSchedule schedule(0.01);
+  EXPECT_DOUBLE_EQ(schedule.multiplier(1, 100), 1.0);
+  EXPECT_NEAR(schedule.multiplier(100, 100), 0.01, 1e-9);
+  // Monotone decreasing.
+  double prev = 2.0;
+  for (int e = 1; e <= 100; ++e) {
+    const double m = schedule.multiplier(e, 100);
+    EXPECT_LE(m, prev + 1e-12);
+    prev = m;
+  }
+}
+
+TEST(Schedules, SingleEpochDegenerate) {
+  CosineSchedule schedule(0.1);
+  EXPECT_DOUBLE_EQ(schedule.multiplier(1, 1), 1.0);
+}
+
+TEST(Schedules, FactoryAndValidation) {
+  EXPECT_EQ(make_schedule("constant")->name(), "constant");
+  EXPECT_EQ(make_schedule("step")->name(), "step");
+  EXPECT_EQ(make_schedule("cosine")->name(), "cosine");
+  EXPECT_THROW(make_schedule("linear"), std::invalid_argument);
+  EXPECT_THROW(StepDecaySchedule(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(StepDecaySchedule(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(CosineSchedule(1.5), std::invalid_argument);
+}
+
+TEST(Optimizer, LrScaleShrinksStep) {
+  Sgd sgd(0.1f, 0.0f);
+  Tensor p({1}, 1.0f), g({1}, 1.0f);
+  sgd.set_lr_scale(0.5f);
+  sgd.step({&p}, {&g});
+  EXPECT_NEAR(p[0], 1.0f - 0.05f, 1e-6);
+}
+
+TEST(WeightDecay, ShrinksWeightsTowardsZero) {
+  const Dataset ds = make_mnist_like(100, 30, 1);
+  TrainConfig plain;
+  plain.num_epochs = 3;
+  plain.optimizer = "SGD";
+  TrainConfig decayed = plain;
+  decayed.weight_decay = 0.1f;
+
+  Rng rng_a(9), rng_b(9);
+  Model a = make_mlp(ds.sample_features(), {16}, ds.classes, rng_a);
+  Model b = make_mlp(ds.sample_features(), {16}, ds.classes, rng_b);
+  train(a, ds, plain);
+  train(b, ds, decayed);
+  double norm_plain = 0, norm_decayed = 0;
+  for (Tensor* t : a.params())
+    for (std::size_t i = 0; i < t->size(); ++i) norm_plain += (*t)[i] * (*t)[i];
+  for (Tensor* t : b.params())
+    for (std::size_t i = 0; i < t->size(); ++i) norm_decayed += (*t)[i] * (*t)[i];
+  EXPECT_LT(norm_decayed, norm_plain);
+}
+
+TEST(BatchNorm, TrainingOutputIsNormalised) {
+  BatchNorm bn(4);
+  Rng rng(2);
+  Tensor x = Tensor::randn({64, 4}, rng, 3.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += 10.0f;  // shifted input
+  const Tensor y = bn.forward(x, /*training=*/true, 1);
+  for (std::size_t f = 0; f < 4; ++f) {
+    double mean = 0, var = 0;
+    for (std::size_t r = 0; r < 64; ++r) mean += y.at2(r, f);
+    mean /= 64;
+    for (std::size_t r = 0; r < 64; ++r) var += std::pow(y.at2(r, f) - mean, 2.0);
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm bn(2, /*momentum=*/0.5f);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    Tensor x({32, 2});
+    for (std::size_t j = 0; j < x.size(); ++j)
+      x[j] = static_cast<float>(rng.next_gaussian(5.0, 2.0));
+    bn.forward(x, true, 1);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 5.0f, 0.5f);
+  // Batch variance with n=32 has ~25% relative noise; allow a wide band.
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 1.8f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm bn(2);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    Tensor x = Tensor::randn({16, 2}, rng);
+    bn.forward(x, true, 1);
+  }
+  // A single eval sample doesn't get normalised to zero — running stats apply.
+  Tensor probe({1, 2}, 3.0f);
+  const Tensor out1 = bn.forward(probe, false, 1);
+  const Tensor out2 = bn.forward(probe, false, 1);
+  EXPECT_FLOAT_EQ(out1[0], out2[0]);  // eval is deterministic, no state change
+}
+
+TEST(BatchNorm, GradientNumericCheck) {
+  BatchNorm bn(3);
+  Rng rng(5);
+  const Tensor x = Tensor::randn({8, 3}, rng);
+  const Tensor weights = Tensor::randn({8, 3}, rng);
+  Tensor y = bn.forward(x, true, 1);
+  Tensor dy(y.shape());
+  for (std::size_t i = 0; i < dy.size(); ++i) dy[i] = weights[i];
+  const Tensor dx = bn.backward(dy, 1);
+
+  const auto loss_at = [&](const Tensor& input) {
+    Tensor out = bn.forward(input, true, 1);
+    double loss = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) loss += out[i] * weights[i];
+    return loss;
+  };
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < 12; ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    EXPECT_NEAR(dx[i], (loss_at(xp) - loss_at(xm)) / (2 * eps), 3e-2) << "at " << i;
+  }
+}
+
+TEST(BatchNorm, BackwardWithoutForwardThrows) {
+  BatchNorm bn(2);
+  Tensor dy({4, 2}, 1.0f);
+  EXPECT_THROW(bn.backward(dy, 1), std::logic_error);
+}
+
+TEST(BatchNorm, ShapeMismatchThrows) {
+  BatchNorm bn(4);
+  Tensor x({2, 5});
+  EXPECT_THROW(bn.forward(x, true, 1), std::invalid_argument);
+  EXPECT_THROW(BatchNorm(0), std::invalid_argument);
+}
+
+TEST(TrainConfig, BatchNormMlpTrains) {
+  const Dataset ds = make_mnist_like(300, 100, 6);
+  TrainConfig config;
+  config.num_epochs = 4;
+  config.batch_norm = true;
+  const TrainResult result = run_experiment(ds, config);
+  EXPECT_GT(result.final_val_accuracy, 0.5);
+}
+
+TEST(TrainConfig, CosineScheduleStillLearns) {
+  const Dataset ds = make_mnist_like(200, 60, 7);
+  TrainConfig config;
+  config.num_epochs = 5;
+  config.lr_schedule = "cosine";
+  const TrainResult result = run_experiment(ds, config);
+  EXPECT_GT(result.final_val_accuracy, 0.4);
+}
+
+TEST(TrainConfig, UnknownScheduleThrows) {
+  const Dataset ds = make_mnist_like(50, 10, 8);
+  TrainConfig config;
+  config.lr_schedule = "warmup";
+  EXPECT_THROW(run_experiment(ds, config), std::invalid_argument);
+}
+
+// ------------------------------------------------------- cross-validation
+
+TEST(CrossValidation, RunsAllFoldsAndAggregates) {
+  const Dataset ds = make_mnist_like(120, 0, 20);
+  TrainConfig config;
+  config.num_epochs = 2;
+  const CvResult result = cross_validate(ds, config, 4);
+  ASSERT_EQ(result.fold_accuracies.size(), 4u);
+  double sum = 0;
+  for (double a : result.fold_accuracies) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    sum += a;
+  }
+  EXPECT_NEAR(result.mean_accuracy, sum / 4.0, 1e-12);
+  EXPECT_GE(result.stddev, 0.0);
+}
+
+TEST(CrossValidation, LearnsAboveChance) {
+  const Dataset ds = make_mnist_like(300, 0, 21);
+  TrainConfig config;
+  config.num_epochs = 4;
+  const CvResult result = cross_validate(ds, config, 3);
+  EXPECT_GT(result.mean_accuracy, 0.4);  // chance = 0.1
+}
+
+TEST(CrossValidation, InvalidFoldCountsThrow) {
+  const Dataset ds = make_mnist_like(20, 0, 22);
+  TrainConfig config;
+  EXPECT_THROW(cross_validate(ds, config, 1), std::invalid_argument);
+  EXPECT_THROW(cross_validate(ds, config, 21), std::invalid_argument);
+}
+
+TEST(CrossValidation, FoldSizesPartitionTheData) {
+  // 10 samples, 3 folds: held-out sizes 3/3/4 (contiguous split), and the
+  // accuracies come from models that never saw their held-out fold. We
+  // can't observe sizes directly, but a degenerate 2-fold case on a
+  // 2-sample set must produce exactly 2 folds of 1 sample each.
+  SyntheticSpec spec;
+  spec.n_train = 2;
+  spec.n_test = 0;
+  spec.classes = 2;
+  spec.height = 4;
+  spec.width = 4;
+  spec.seed = 23;
+  const Dataset tiny = make_synthetic(spec);
+  TrainConfig config;
+  config.num_epochs = 1;
+  config.batch_size = 1;
+  const CvResult result = cross_validate(tiny, config, 2);
+  ASSERT_EQ(result.fold_accuracies.size(), 2u);
+  for (double a : result.fold_accuracies) EXPECT_TRUE(a == 0.0 || a == 1.0);  // 1 sample
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix m(3);
+  m.add_all({0, 0, 1, 1, 2, 2}, {0, 1, 1, 1, 2, 0});
+  EXPECT_EQ(m.total(), 6u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_EQ(m.count(1, 1), 2u);
+  EXPECT_NEAR(m.accuracy(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PerClassMetrics) {
+  ConfusionMatrix m(2);
+  // class 0: 3 true, 2 predicted correctly; one 0 predicted as 1.
+  // class 1: 2 true, 1 predicted correctly; one 1 predicted as 0.
+  m.add_all({0, 0, 0, 1, 1}, {0, 0, 1, 1, 0});
+  const ClassMetrics c0 = m.class_metrics(0);
+  EXPECT_EQ(c0.support, 3u);
+  EXPECT_NEAR(c0.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c0.precision, 2.0 / 3.0, 1e-12);
+  const ClassMetrics c1 = m.class_metrics(1);
+  EXPECT_NEAR(c1.recall, 0.5, 1e-12);
+  EXPECT_NEAR(c1.precision, 0.5, 1e-12);
+  EXPECT_GT(m.macro_f1(), 0.5);
+  EXPECT_LT(m.macro_f1(), 0.7);
+}
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  ConfusionMatrix m(4);
+  m.add_all({0, 1, 2, 3}, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, EmptyAndInvalid) {
+  ConfusionMatrix m(2);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_THROW(m.add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.add(0, -1), std::out_of_range);
+  EXPECT_THROW(m.add_all({0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  EXPECT_THROW(m.class_metrics(5), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, AbsentClassHasZeroMetrics) {
+  ConfusionMatrix m(3);
+  m.add_all({0, 0}, {0, 0});
+  const ClassMetrics c2 = m.class_metrics(2);
+  EXPECT_EQ(c2.support, 0u);
+  EXPECT_DOUBLE_EQ(c2.f1, 0.0);
+}
+
+TEST(ConfusionMatrix, RenderContainsSummary) {
+  ConfusionMatrix m(2);
+  m.add_all({0, 1}, {0, 1});
+  const std::string text = m.to_string();
+  EXPECT_NE(text.find("accuracy 1.000"), std::string::npos);
+  EXPECT_NE(text.find("macro-F1"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, EvaluateConfusionMatchesEvaluate) {
+  const Dataset ds = make_mnist_like(200, 80, 30);
+  TrainConfig config;
+  config.num_epochs = 3;
+  Rng rng(31);
+  Model model = make_mlp(ds.sample_features(), {32}, ds.classes, rng);
+  train(model, ds, config);
+  ConfusionMatrix matrix = evaluate_confusion(model, ds.test_x, ds.test_y, ds.classes);
+  EXPECT_EQ(matrix.total(), ds.test_size());
+  EXPECT_NEAR(matrix.accuracy(), evaluate(model, ds.test_x, ds.test_y), 1e-12);
+}
+
+}  // namespace
+}  // namespace chpo::ml

@@ -1,0 +1,235 @@
+// Layer tests: shapes, determinism and numeric gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "ml/layers.hpp"
+#include "ml/model.hpp"
+
+namespace chpo::ml {
+namespace {
+
+/// Central-difference check of dLoss/dInput for a layer, where
+/// Loss = sum(forward(x) * w) with fixed random weights w.
+void check_input_gradient(Layer& layer, const Tensor& x, float tolerance = 2e-2f) {
+  Rng rng(42);
+  Tensor y = layer.forward(x, /*training=*/true, 1);
+  const Tensor weights = Tensor::randn(y.shape(), rng);
+
+  Tensor dy(y.shape());
+  for (std::size_t i = 0; i < dy.size(); ++i) dy[i] = weights[i];
+  const Tensor dx = layer.backward(dy, 1);
+
+  const auto loss_at = [&](const Tensor& input) {
+    Tensor out = layer.forward(input, true, 1);
+    double loss = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) loss += out[i] * weights[i];
+    return loss;
+  };
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < std::min<std::size_t>(x.size(), 24); ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+    EXPECT_NEAR(dx[i], numeric, tolerance) << "input grad mismatch at " << i;
+  }
+}
+
+TEST(Dense, OutputShape) {
+  Rng rng(1);
+  Dense dense(8, 3, rng);
+  const Tensor x = Tensor::randn({5, 8}, rng);
+  const Tensor y = dense.forward(x, true, 1);
+  EXPECT_EQ(y.dim(0), 5u);
+  EXPECT_EQ(y.dim(1), 3u);
+}
+
+TEST(Dense, InputGradientNumericCheck) {
+  Rng rng(2);
+  Dense dense(6, 4, rng);
+  check_input_gradient(dense, Tensor::randn({3, 6}, rng));
+}
+
+TEST(Dense, WeightGradientNumericCheck) {
+  Rng rng(3);
+  Dense dense(4, 3, rng);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  Tensor y = dense.forward(x, true, 1);
+  const Tensor weights = Tensor::randn(y.shape(), rng);
+  Tensor dy(y.shape());
+  for (std::size_t i = 0; i < dy.size(); ++i) dy[i] = weights[i];
+  dense.backward(dy, 1);
+
+  Tensor* w = dense.params()[0];
+  Tensor* dw = dense.grads()[0];
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const float saved = (*w)[i];
+    const auto loss_at = [&] {
+      Tensor out = dense.forward(x, true, 1);
+      double loss = 0;
+      for (std::size_t j = 0; j < out.size(); ++j) loss += out[j] * weights[j];
+      return loss;
+    };
+    (*w)[i] = saved + eps;
+    const double lp = loss_at();
+    (*w)[i] = saved - eps;
+    const double lm = loss_at();
+    (*w)[i] = saved;
+    EXPECT_NEAR((*dw)[i], (lp - lm) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(Dense, ThreadedForwardMatchesSerial) {
+  Rng rng(4);
+  Dense dense(16, 8, rng);
+  const Tensor x = Tensor::randn({10, 16}, rng);
+  const Tensor serial = dense.forward(x, true, 1);
+  const Tensor threaded = dense.forward(x, true, 4);
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_FLOAT_EQ(serial[i], threaded[i]);
+}
+
+TEST(ReluLayer, GradientMasksNegatives) {
+  Rng rng(5);
+  ReLU relu;
+  check_input_gradient(relu, Tensor::randn({2, 10}, rng));
+}
+
+TEST(Conv2D, OutputShapeValidPadding) {
+  Rng rng(6);
+  Conv2D conv(3, 8, 8, 4, 3, rng);
+  EXPECT_EQ(conv.out_height(), 6u);
+  EXPECT_EQ(conv.out_width(), 6u);
+  const Tensor x = Tensor::randn({2, 3 * 8 * 8}, rng);
+  const Tensor y = conv.forward(x, true, 1);
+  EXPECT_EQ(y.dim(1), 4u * 6 * 6);
+}
+
+TEST(Conv2D, KernelTooLargeThrows) {
+  Rng rng(7);
+  EXPECT_THROW(Conv2D(1, 2, 2, 4, 3, rng), std::invalid_argument);
+}
+
+TEST(Conv2D, InputGradientNumericCheck) {
+  Rng rng(8);
+  Conv2D conv(1, 5, 5, 2, 3, rng);
+  check_input_gradient(conv, Tensor::randn({2, 25}, rng));
+}
+
+TEST(Conv2D, ThreadedMatchesSerial) {
+  Rng rng(9);
+  Conv2D conv(2, 6, 6, 3, 3, rng);
+  const Tensor x = Tensor::randn({4, 2 * 36}, rng);
+  const Tensor a = conv.forward(x, true, 1);
+  const Tensor b = conv.forward(x, true, 4);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  // A single 1x1-ish check: 1-channel 3x3 kernel with a centred 1 acts as a
+  // shifted copy on the valid region.
+  Rng rng(10);
+  Conv2D conv(1, 4, 4, 1, 3, rng);
+  Tensor* w = conv.params()[0];
+  Tensor* b = conv.params()[1];
+  w->fill(0.0f);
+  (*w)[4] = 1.0f;  // centre of the 3x3 kernel
+  b->fill(0.0f);
+  Tensor x({1, 16});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = conv.forward(x, false, 1);
+  // Output (2x2) equals the central 2x2 of the input.
+  EXPECT_FLOAT_EQ(y[0], x[1 * 4 + 1]);
+  EXPECT_FLOAT_EQ(y[3], x[2 * 4 + 2]);
+}
+
+TEST(MaxPool, ForwardPicksMaxima) {
+  MaxPool2D pool(1, 4, 4);
+  Tensor x({1, 16});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = pool.forward(x, true, 1);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y[0], 5);
+  EXPECT_FLOAT_EQ(y[1], 7);
+  EXPECT_FLOAT_EQ(y[2], 13);
+  EXPECT_FLOAT_EQ(y[3], 15);
+}
+
+TEST(MaxPool, BackwardRoutesToWinners) {
+  MaxPool2D pool(1, 4, 4);
+  Tensor x({1, 16});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  pool.forward(x, true, 1);
+  Tensor dy({1, 4}, 1.0f);
+  const Tensor dx = pool.backward(dy, 1);
+  EXPECT_FLOAT_EQ(dx[5], 1);
+  EXPECT_FLOAT_EQ(dx[0], 0);
+  EXPECT_FLOAT_EQ(dx[15], 1);
+}
+
+TEST(Dropout, EvalIsIdentity) {
+  Dropout dropout(0.5, 1);
+  Rng rng(11);
+  const Tensor x = Tensor::randn({3, 10}, rng);
+  const Tensor y = dropout.forward(x, /*training=*/false, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(x[i], y[i]);
+}
+
+TEST(Dropout, TrainingZeroesAndRescales) {
+  Dropout dropout(0.5, 2);
+  Tensor x({1, 1000}, 1.0f);
+  const Tensor y = dropout.forward(x, true, 1);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f)
+      ++zeros;
+    else
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // 1 / (1 - 0.5)
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.07);
+}
+
+TEST(Dropout, InvalidRateThrows) {
+  EXPECT_THROW(Dropout(1.0, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1, 1), std::invalid_argument);
+}
+
+TEST(Model, MlpEndToEndShapes) {
+  Rng rng(12);
+  Model mlp = make_mlp(20, {16, 8}, 4, rng);
+  const Tensor x = Tensor::randn({6, 20}, rng);
+  const Tensor logits = mlp.forward(x, true, 1);
+  EXPECT_EQ(logits.dim(1), 4u);
+  EXPECT_EQ(mlp.layer_count(), 5u);  // dense relu dense relu dense
+  EXPECT_EQ(mlp.parameter_count(), 20u * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4);
+}
+
+TEST(Model, CnnEndToEndShapes) {
+  Rng rng(13);
+  Model cnn = make_cnn(3, 32, 32, 10, rng);
+  const Tensor x = Tensor::randn({2, 3 * 32 * 32}, rng);
+  const Tensor logits = cnn.forward(x, true, 1);
+  EXPECT_EQ(logits.dim(0), 2u);
+  EXPECT_EQ(logits.dim(1), 10u);
+  EXPECT_GT(cnn.flops_per_sample(), 0u);
+}
+
+TEST(Model, BackwardFillsAllGradients) {
+  Rng rng(14);
+  Model mlp = make_mlp(10, {8}, 3, rng);
+  const Tensor x = Tensor::randn({4, 10}, rng);
+  const Tensor logits = mlp.forward(x, true, 1);
+  Tensor dlogits(logits.shape(), 0.1f);
+  mlp.backward(dlogits, 1);
+  for (Tensor* g : mlp.grads()) {
+    double norm = 0;
+    for (std::size_t i = 0; i < g->size(); ++i) norm += std::abs((*g)[i]);
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace chpo::ml

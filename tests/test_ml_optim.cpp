@@ -1,0 +1,96 @@
+// Optimizer tests: convergence on convex problems, factory, state safety.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/optimizer.hpp"
+
+namespace chpo::ml {
+namespace {
+
+/// Minimise f(p) = 0.5 * ||p - target||^2 with the given optimizer.
+double optimise_quadratic(Optimizer& opt, int steps) {
+  Tensor p({4});
+  Tensor target({4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    p[i] = 5.0f;
+    target[i] = static_cast<float>(i);
+  }
+  Tensor g({4});
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < 4; ++i) g[i] = p[i] - target[i];
+    opt.step({&p}, {&g});
+  }
+  double err = 0;
+  for (std::size_t i = 0; i < 4; ++i) err += std::pow(p[i] - target[i], 2.0);
+  return err;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd sgd(0.1f, 0.9f);
+  EXPECT_LT(optimise_quadratic(sgd, 200), 1e-4);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam(0.1f);
+  EXPECT_LT(optimise_quadratic(adam, 500), 1e-3);
+}
+
+TEST(RmsProp, ConvergesOnQuadratic) {
+  RmsProp rms(0.05f);
+  EXPECT_LT(optimise_quadratic(rms, 800), 1e-3);
+}
+
+TEST(Sgd, MomentumAcceleratesOverPlainSgd) {
+  Sgd plain(0.02f, 0.0f);
+  Sgd momentum(0.02f, 0.9f);
+  EXPECT_LT(optimise_quadratic(momentum, 50), optimise_quadratic(plain, 50));
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction, the very first Adam step has magnitude ~lr.
+  Adam adam(0.1f);
+  Tensor p({1});
+  p[0] = 1.0f;
+  Tensor g({1});
+  g[0] = 123.0f;  // any gradient: step normalised
+  adam.step({&p}, {&g});
+  EXPECT_NEAR(p[0], 1.0f - 0.1f, 1e-3);
+}
+
+TEST(Optimizer, FactoryMatchesPaperNames) {
+  EXPECT_EQ(make_optimizer("SGD")->name(), "SGD");
+  EXPECT_EQ(make_optimizer("Adam")->name(), "Adam");
+  EXPECT_EQ(make_optimizer("RMSprop")->name(), "RMSprop");
+  EXPECT_THROW(make_optimizer("adagrad"), std::invalid_argument);
+}
+
+TEST(Optimizer, FactoryCustomLearningRate) {
+  auto opt = make_optimizer("SGD", 0.5f);
+  Tensor p({1});
+  p[0] = 1.0f;
+  Tensor g({1});
+  g[0] = 1.0f;
+  opt->step({&p}, {&g});
+  EXPECT_NEAR(p[0], 0.5f, 1e-6);  // momentum term is zero on first step
+}
+
+TEST(Optimizer, ChangingParamListThrows) {
+  Adam adam(0.01f);
+  Tensor a({2}), b({2}), ga({2}), gb({2});
+  adam.step({&a}, {&ga});
+  EXPECT_THROW(adam.step({&a, &b}, {&ga, &gb}), std::invalid_argument);
+}
+
+TEST(Optimizer, MultipleParamTensors) {
+  Sgd sgd(0.1f, 0.0f);
+  Tensor w({3}, 1.0f), b({1}, 1.0f);
+  Tensor gw({3}, 1.0f), gb({1}, 2.0f);
+  sgd.step({&w, &b}, {&gw, &gb});
+  EXPECT_NEAR(w[0], 0.9f, 1e-6);
+  EXPECT_NEAR(b[0], 0.8f, 1e-6);
+}
+
+}  // namespace
+}  // namespace chpo::ml

@@ -1,0 +1,472 @@
+// Property-based tests: parameterized sweeps over schedulers, cluster
+// shapes, seeds and task mixes asserting the runtime's core invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "hpo/algorithms.hpp"
+#include "jsonlite/json.hpp"
+#include "hpo/tpe.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo {
+namespace {
+
+using rt::Constraint;
+using rt::Direction;
+using rt::Future;
+using rt::Placement;
+using rt::Runtime;
+using rt::RuntimeOptions;
+using rt::TaskContext;
+using rt::TaskDef;
+
+// ---------------------------------------------------------------------
+// Invariant 1: no core of any node is ever occupied by two tasks at once,
+// for every scheduler policy, cluster shape and random task mix.
+// ---------------------------------------------------------------------
+
+struct SchedulingCase {
+  const char* scheduler;
+  std::size_t nodes;
+  unsigned cpus;
+  std::uint64_t seed;
+};
+
+class SchedulerInvariants : public ::testing::TestWithParam<SchedulingCase> {};
+
+TEST_P(SchedulerInvariants, NoCoreOversubscriptionAndAllTasksFinish) {
+  const SchedulingCase param = GetParam();
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "p";
+  node.cpus = param.cpus;
+  opts.cluster = cluster::homogeneous(param.nodes, node);
+  opts.scheduler = param.scheduler;
+  opts.simulate = true;
+  Runtime runtime(std::move(opts));
+
+  Rng rng(param.seed);
+  const int n_tasks = 40;
+  for (int i = 0; i < n_tasks; ++i) {
+    TaskDef def;
+    def.name = "mix";
+    def.constraint = {.cpus = static_cast<unsigned>(rng.next_int(1, param.cpus))};
+    def.priority = rng.next_bool(0.2);
+    def.body = [](TaskContext&) { return std::any(1); };
+    const double seconds = rng.next_uniform(1.0, 20.0);
+    def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+    runtime.submit(def);
+  }
+  runtime.barrier();
+
+  const auto events = runtime.trace().events();
+  // Collect (node, core) busy intervals and check pairwise disjointness.
+  std::map<std::pair<int, unsigned>, std::vector<std::pair<double, double>>> intervals;
+  std::size_t runs = 0;
+  for (const auto& e : events) {
+    if (e.kind != trace::EventKind::TaskRun) continue;
+    ++runs;
+    for (unsigned core : e.cores)
+      intervals[{e.node, core}].emplace_back(e.t_start, e.t_end);
+  }
+  EXPECT_EQ(runs, static_cast<std::size_t>(n_tasks));
+  for (auto& [key, spans] : intervals) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_LE(spans[i - 1].second, spans[i].first + 1e-12)
+          << "core " << key.second << " of node " << key.first << " double-booked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyClusterSweep, SchedulerInvariants,
+    ::testing::Values(SchedulingCase{"fifo", 1, 4, 1}, SchedulingCase{"fifo", 3, 8, 2},
+                      SchedulingCase{"priority", 1, 4, 3}, SchedulingCase{"priority", 4, 16, 4},
+                      SchedulingCase{"priority", 2, 2, 5}, SchedulingCase{"locality", 2, 8, 6},
+                      SchedulingCase{"locality", 5, 4, 7}, SchedulingCase{"fifo", 2, 48, 8},
+                      SchedulingCase{"priority", 8, 8, 9}, SchedulingCase{"locality", 1, 16, 10}));
+
+// ---------------------------------------------------------------------
+// Invariant 2: execution order always respects dependencies — for random
+// DAGs, every task runs only after all of its predecessors finished.
+// ---------------------------------------------------------------------
+
+class DagOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagOrdering, PredecessorsAlwaysFinishFirst) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 4;
+  opts.cluster = cluster::homogeneous(2, node);
+  opts.simulate = true;
+  Runtime runtime(std::move(opts));
+
+  Rng rng(GetParam());
+  std::vector<Future> futures;
+  std::vector<std::vector<std::size_t>> predecessors;
+  for (int i = 0; i < 30; ++i) {
+    // Each task depends on up to 3 random earlier tasks.
+    std::vector<rt::Param> params;
+    std::vector<std::size_t> preds;
+    if (!futures.empty()) {
+      const int k = static_cast<int>(rng.next_int(0, 3));
+      for (int j = 0; j < k; ++j) {
+        const std::size_t p = rng.next_index(futures.size());
+        params.push_back({futures[p].data, Direction::In});
+        preds.push_back(p);
+      }
+    }
+    TaskDef def;
+    def.name = "dag";
+    def.body = [](TaskContext&) { return std::any(1); };
+    const double seconds = rng.next_uniform(0.5, 5.0);
+    def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+    futures.push_back(runtime.submit(def, params));
+    predecessors.push_back(std::move(preds));
+  }
+  runtime.barrier();
+
+  // Map task id -> (start, end) from the trace.
+  std::map<std::uint64_t, std::pair<double, double>> times;
+  for (const auto& e : runtime.trace().events())
+    if (e.kind == trace::EventKind::TaskRun) times[e.task_id] = {e.t_start, e.t_end};
+  ASSERT_EQ(times.size(), futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    for (std::size_t p : predecessors[i])
+      EXPECT_GE(times[futures[i].producer].first, times[futures[p].producer].second - 1e-12)
+          << "task " << i << " started before predecessor " << p << " ended";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, DagOrdering, ::testing::Range<std::uint64_t>(100, 110));
+
+// ---------------------------------------------------------------------
+// Invariant 3: fault injection never loses or duplicates a result; any mix
+// of transient failures still yields every task's value exactly once.
+// ---------------------------------------------------------------------
+
+class FaultSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FaultSweep, AllResultsSurviveTransientFailures) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 4;
+  opts.cluster = cluster::homogeneous(3, node);
+  opts.simulate = true;
+  opts.fault_policy.max_attempts = 25;  // transient failures must not kill tasks
+  opts.injector = rt::FaultInjector(GetParam() * 1e6, GetParam());
+  Runtime runtime(std::move(opts));
+
+  std::vector<Future> futures;
+  for (int i = 0; i < 30; ++i) {
+    TaskDef def;
+    def.name = "value";
+    def.body = [i](TaskContext&) { return std::any(i * 10); };
+    futures.push_back(runtime.submit(def));
+  }
+  for (int i = 0; i < 30; ++i)
+    EXPECT_EQ(runtime.wait_on_as<int>(futures[static_cast<std::size_t>(i)]), i * 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureRates, FaultSweep, ::testing::Values(0.0, 0.1, 0.3, 0.5));
+
+// ---------------------------------------------------------------------
+// Invariant 4: grid search enumerates exactly |d1| x |d2| x ... configs
+// with no duplicates, for every space shape.
+// ---------------------------------------------------------------------
+
+class GridShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GridShapes, ExactCrossProduct) {
+  const auto [a, b, c] = GetParam();
+  hpo::SearchSpace space;
+  json::Array va, vb;
+  for (int i = 0; i < a; ++i) va.emplace_back(std::string("opt") + std::to_string(i));
+  for (int i = 0; i < b; ++i) vb.emplace_back(i * 10);
+  space.add_categorical("optimizer", va);
+  space.add_categorical("num_epochs", vb);
+  space.add_int("batch_exp", 0, c - 1);
+
+  hpo::GridSearch grid(space);
+  std::set<std::string> seen;
+  while (auto config = grid.next()) seen.insert(json::serialize(*config));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(a * b * c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 3, 3},
+                                           std::tuple{2, 5, 1}, std::tuple{4, 1, 6},
+                                           std::tuple{2, 2, 7}));
+
+// ---------------------------------------------------------------------
+// Invariant 5: DES makespan for n equal tasks on c cores is exactly
+// ceil(n/c) * duration — the canonical queueing identity.
+// ---------------------------------------------------------------------
+
+class QueueingIdentity
+    : public ::testing::TestWithParam<std::tuple<int /*tasks*/, unsigned /*cores*/>> {};
+
+TEST_P(QueueingIdentity, WaveMakespan) {
+  const auto [n_tasks, cores] = GetParam();
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = cores;
+  opts.cluster = cluster::homogeneous(1, node);
+  opts.simulate = true;
+  Runtime runtime(std::move(opts));
+  for (int i = 0; i < n_tasks; ++i) {
+    TaskDef def;
+    def.name = "wave";
+    def.body = [](TaskContext&) { return std::any(); };
+    def.cost = [](const Placement&, const cluster::NodeSpec&) { return 7.0; };
+    runtime.submit(def);
+  }
+  runtime.barrier();
+  const double waves = std::ceil(static_cast<double>(n_tasks) / cores);
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), waves * 7.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Waves, QueueingIdentity,
+                         ::testing::Values(std::tuple{1, 1u}, std::tuple{8, 4u},
+                                           std::tuple{9, 4u}, std::tuple{27, 24u},
+                                           std::tuple{27, 27u}, std::tuple{5, 8u}));
+
+// ---------------------------------------------------------------------
+// Invariant 6: @multinode tasks never share a core with anyone and always
+// occupy exactly constraint.nodes distinct nodes.
+// ---------------------------------------------------------------------
+
+class MultinodeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultinodeInvariants, SlicesAreDisjointAndComplete) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 8;
+  opts.cluster = cluster::homogeneous(4, node);
+  opts.simulate = true;
+  Runtime runtime(std::move(opts));
+  Rng rng(GetParam());
+  std::vector<unsigned> wanted_nodes;
+  for (int i = 0; i < 20; ++i) {
+    TaskDef def;
+    def.name = "mix";
+    const unsigned nodes = static_cast<unsigned>(rng.next_int(1, 3));
+    def.constraint = {.cpus = static_cast<unsigned>(rng.next_int(1, 4)), .nodes = nodes};
+    wanted_nodes.push_back(nodes);
+    def.body = [](TaskContext& ctx) { return std::any(ctx.placement().node_count()); };
+    const double seconds = rng.next_uniform(1.0, 5.0);
+    def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+    runtime.submit(def);
+  }
+  runtime.barrier();
+
+  // Each task id must appear on exactly `nodes` distinct nodes with
+  // identical intervals, and no (node, core) is double-booked.
+  std::map<std::uint64_t, std::set<int>> task_nodes;
+  std::map<std::pair<int, unsigned>, std::vector<std::pair<double, double>>> intervals;
+  for (const auto& e : runtime.trace().events()) {
+    if (e.kind != trace::EventKind::TaskRun) continue;
+    task_nodes[e.task_id].insert(e.node);
+    for (unsigned core : e.cores) intervals[{e.node, core}].emplace_back(e.t_start, e.t_end);
+  }
+  ASSERT_EQ(task_nodes.size(), wanted_nodes.size());
+  for (const auto& [task, nodes] : task_nodes)
+    EXPECT_EQ(nodes.size(), wanted_nodes[task]) << "task " << task;
+  for (auto& [key, spans] : intervals) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+      EXPECT_LE(spans[i - 1].second, spans[i].first + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultinodeInvariants, ::testing::Range<std::uint64_t>(40, 46));
+
+// ---------------------------------------------------------------------
+// Invariant 7: every model-based algorithm only ever proposes configs
+// inside the declared domains, whatever scores it observes.
+// ---------------------------------------------------------------------
+
+class ProposalsInDomain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProposalsInDomain, GpAndTpeRespectDomains) {
+  hpo::SearchSpace space;
+  space.add_categorical("optimizer", {json::Value("Adam"), json::Value("SGD")});
+  space.add_float("lr", 1e-5, 1e-1, /*log=*/true);
+  space.add_int("hidden", 8, 128);
+
+  Rng score_rng(GetParam() * 13 + 1);
+  const auto check = [&](hpo::SearchAlgorithm& algorithm) {
+    while (auto c = algorithm.next()) {
+      const std::string opt = hpo::config_string(*c, "optimizer");
+      EXPECT_TRUE(opt == "Adam" || opt == "SGD");
+      const double lr = hpo::config_double(*c, "lr");
+      EXPECT_GE(lr, 1e-5);
+      EXPECT_LE(lr, 1e-1);
+      const auto hidden = hpo::config_int(*c, "hidden");
+      EXPECT_GE(hidden, 8);
+      EXPECT_LE(hidden, 128);
+      // Adversarial scores: extremes and NaN-free noise.
+      algorithm.tell(*c, score_rng.next_bool(0.1) ? 1e6 : score_rng.next_double());
+    }
+  };
+  hpo::GpBayesOpt gp(space, {.max_evals = 15, .n_init = 3, .seed = GetParam()});
+  check(gp);
+  hpo::TpeSearch tpe(space, {.max_evals = 15, .n_init = 3, .seed = GetParam()});
+  check(tpe);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProposalsInDomain, ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Invariant 8: sim and thread backends compute identical values for the
+// same seeded program.
+// ---------------------------------------------------------------------
+
+class BackendEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackendEquivalence, SameValuesOnBothBackends) {
+  const auto program = [&](bool simulate) {
+    RuntimeOptions opts;
+    cluster::NodeSpec node;
+    node.cpus = 4;
+    opts.cluster = cluster::homogeneous(2, node);
+    opts.simulate = simulate;
+    opts.seed = GetParam();
+    Runtime runtime(std::move(opts));
+    std::vector<Future> stage1;
+    for (int i = 0; i < 6; ++i) {
+      TaskDef def;
+      def.name = "rng_task";
+      def.body = [](TaskContext& ctx) {
+        return std::any(static_cast<long>(ctx.rng().next_int(0, 1000000)));
+      };
+      stage1.push_back(runtime.submit(def));
+    }
+    long total = 0;
+    for (auto& f : stage1) total += runtime.wait_on_as<long>(f);
+    return total;
+  };
+  EXPECT_EQ(program(false), program(true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence, ::testing::Range<std::uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Invariant 9: JSON serialization round-trips arbitrary generated values.
+// ---------------------------------------------------------------------
+
+namespace {
+
+json::Value random_json(Rng& rng, int depth) {
+  const int kind = static_cast<int>(rng.next_int(0, depth > 0 ? 6 : 4));
+  switch (kind) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.next_bool(0.5));
+    case 2: return json::Value(rng.next_int(-1000000, 1000000));
+    case 3: return json::Value(rng.next_uniform(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      const auto len = rng.next_index(12);
+      for (std::size_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>(rng.next_int(32, 126)));
+      return json::Value(std::move(s));
+    }
+    case 5: {
+      json::Array arr;
+      const auto len = rng.next_index(4);
+      for (std::size_t i = 0; i < len; ++i) arr.push_back(random_json(rng, depth - 1));
+      return json::Value(std::move(arr));
+    }
+    default: {
+      json::Value obj;
+      const auto len = rng.next_index(4);
+      for (std::size_t i = 0; i < len; ++i)
+        obj.set("k" + std::to_string(i), random_json(rng, depth - 1));
+      if (obj.is_null()) obj.set("k", json::Value(1));  // keep it an object
+      return obj;
+    }
+  }
+}
+
+}  // namespace
+
+class JsonRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonRoundTrip, SerializeParseIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const json::Value original = random_json(rng, 3);
+    const json::Value compact = json::parse(json::serialize(original));
+    EXPECT_EQ(compact, original);
+    const json::Value pretty = json::parse(json::serialize_pretty(original));
+    EXPECT_EQ(pretty, original);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, ::testing::Range<std::uint64_t>(500, 506));
+
+// ---------------------------------------------------------------------
+// Invariant 10: RNG uniformity — chi-square on byte buckets stays within
+// generous bounds across seeds (a smoke test against regressions).
+// ---------------------------------------------------------------------
+
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, ChiSquareWithinBounds) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 64;
+  constexpr int kDraws = 64 * 500;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[static_cast<std::size_t>(rng.next_index(kBuckets))];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 dof: mean 63, std ~11.2. |z| < 5 is a very generous regression band.
+  EXPECT_GT(chi2, 63.0 - 5 * 11.3);
+  EXPECT_LT(chi2, 63.0 + 5 * 11.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity, ::testing::Range<std::uint64_t>(900, 906));
+
+// ---------------------------------------------------------------------
+// Invariant 11: graph + engine scale — a 1000-task mixed DAG completes
+// with every constraint honoured (smoke against quadratic blowups too).
+// ---------------------------------------------------------------------
+
+TEST(Stress, ThousandTaskDag) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 16;
+  opts.cluster = cluster::homogeneous(4, node);
+  opts.simulate = true;
+  Runtime runtime(std::move(opts));
+  Rng rng(4242);
+  std::vector<Future> futures;
+  long expected_sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<rt::Param> params;
+    if (!futures.empty() && rng.next_bool(0.3))
+      params.push_back({futures[rng.next_index(futures.size())].data, Direction::In});
+    TaskDef def;
+    def.name = "stress";
+    def.constraint = {.cpus = static_cast<unsigned>(rng.next_int(1, 4))};
+    def.body = [i](TaskContext&) { return std::any(static_cast<long>(i)); };
+    def.cost = [](const Placement&, const cluster::NodeSpec&) { return 0.5; };
+    futures.push_back(runtime.submit(def, params));
+    expected_sum += i;
+  }
+  long sum = 0;
+  for (auto& f : futures) sum += runtime.wait_on_as<long>(f);
+  EXPECT_EQ(sum, expected_sum);
+  EXPECT_EQ(runtime.analyze().task_count(), 1000u);
+}
+
+}  // namespace
+}  // namespace chpo

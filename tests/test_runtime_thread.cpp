@@ -1,0 +1,287 @@
+// Integration tests for the threaded backend through the Runtime facade —
+// the PyCOMPSs programming model executed for real.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+
+namespace chpo::rt {
+namespace {
+
+RuntimeOptions small_cluster(std::size_t nodes = 1, unsigned cpus = 4) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "test";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(nodes, node);
+  return opts;
+}
+
+TaskDef fn(std::string name, TaskBody body, Constraint c = {.cpus = 1}) {
+  TaskDef def;
+  def.name = std::move(name);
+  def.constraint = c;
+  def.body = std::move(body);
+  return def;
+}
+
+TEST(ThreadRuntime, WaitOnReturnsBodyValue) {
+  Runtime runtime(small_cluster());
+  const Future f = runtime.submit(fn("answer", [](TaskContext&) { return std::any(42); }));
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 42);
+}
+
+TEST(ThreadRuntime, ManyIndependentTasksAllComplete) {
+  Runtime runtime(small_cluster(2, 4));
+  std::vector<Future> futures;
+  for (int i = 0; i < 40; ++i)
+    futures.push_back(
+        runtime.submit(fn("sq", [i](TaskContext&) { return std::any(i * i); })));
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(runtime.wait_on_as<int>(futures[static_cast<std::size_t>(i)]), i * i);
+}
+
+TEST(ThreadRuntime, DependencyChainOrdersExecution) {
+  Runtime runtime(small_cluster(1, 4));
+  std::atomic<int> sequence{0};
+  const Future a = runtime.submit(fn("first", [&](TaskContext&) {
+    sequence = 1;
+    return std::any(10);
+  }));
+  const Future b = runtime.submit(fn("second",
+                                     [&](TaskContext& ctx) {
+                                       EXPECT_EQ(sequence.load(), 1);
+                                       const int upstream = ctx.read<int>(0);
+                                       return std::any(upstream + 5);
+                                     }),
+                                  {{a.data, Direction::In}});
+  EXPECT_EQ(runtime.wait_on_as<int>(b), 15);
+}
+
+TEST(ThreadRuntime, SharedDataVisibleToTasks) {
+  Runtime runtime(small_cluster());
+  const DataId cfg = runtime.share(std::string("Adam"), 64, "config");
+  const Future f = runtime.submit(fn("read_cfg",
+                                     [](TaskContext& ctx) {
+                                       return std::any(ctx.read<std::string>(0) + "!");
+                                     }),
+                                  {{cfg, Direction::In}});
+  EXPECT_EQ(runtime.wait_on_as<std::string>(f), "Adam!");
+}
+
+TEST(ThreadRuntime, InOutMutationFlowsThroughVersions) {
+  Runtime runtime(small_cluster());
+  const DataId acc = runtime.share(0, 64, "accumulator");
+  for (int i = 0; i < 5; ++i) {
+    runtime.submit(fn("inc",
+                      [](TaskContext& ctx) {
+                        ctx.write(0, ctx.read<int>(0) + 1);
+                        return std::any();
+                      }),
+                   {{acc, Direction::InOut}});
+  }
+  runtime.barrier();
+  EXPECT_EQ(runtime.peek<int>(acc), 5);
+}
+
+TEST(ThreadRuntime, InOutWithoutWriteCarriesValueForward) {
+  Runtime runtime(small_cluster());
+  const DataId d = runtime.share(std::string("keep"), 64);
+  runtime.submit(fn("noop", [](TaskContext&) { return std::any(); }), {{d, Direction::InOut}});
+  runtime.barrier();
+  EXPECT_EQ(runtime.peek<std::string>(d), "keep");
+}
+
+TEST(ThreadRuntime, ThreadBudgetMatchesConstraint) {
+  Runtime runtime(small_cluster(1, 4));
+  const Future f = runtime.submit(fn(
+      "budget", [](TaskContext& ctx) { return std::any(ctx.thread_budget()); },
+      Constraint{.cpus = 3}));
+  EXPECT_EQ(runtime.wait_on_as<unsigned>(f), 3u);
+}
+
+TEST(ThreadRuntime, AffinityNeverOversubscribed) {
+  // 4 cores, 8 two-core tasks: at most 2 run concurrently.
+  Runtime runtime(small_cluster(1, 4));
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    runtime.submit(fn(
+        "busy",
+        [&](TaskContext&) {
+          const int now = running.fetch_add(1) + 1;
+          int expected = peak.load();
+          while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          running.fetch_sub(1);
+          return std::any();
+        },
+        Constraint{.cpus = 2}));
+  }
+  runtime.barrier();
+  EXPECT_LE(peak.load(), 2);
+}
+
+TEST(ThreadRuntime, BodyExceptionRetriesThenFails) {
+  RuntimeOptions opts = small_cluster(2, 2);
+  opts.fault_policy.max_attempts = 3;
+  Runtime runtime(std::move(opts));
+  std::atomic<int> attempts{0};
+  const Future f = runtime.submit(fn("always_fails", [&](TaskContext&) -> std::any {
+    attempts.fetch_add(1);
+    throw std::runtime_error("boom");
+  }));
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+  EXPECT_EQ(attempts.load(), 3);  // initial + same-node retry + other-node
+}
+
+TEST(ThreadRuntime, TransientFailureRecovers) {
+  Runtime runtime(small_cluster(1, 2));
+  std::atomic<int> attempts{0};
+  const Future f = runtime.submit(fn("flaky", [&](TaskContext&) -> std::any {
+    if (attempts.fetch_add(1) == 0) throw std::runtime_error("transient");
+    return std::any(std::string("recovered"));
+  }));
+  EXPECT_EQ(runtime.wait_on_as<std::string>(f), "recovered");
+  EXPECT_EQ(attempts.load(), 2);
+}
+
+TEST(ThreadRuntime, InjectedFailureUsesRetryPolicy) {
+  RuntimeOptions opts = small_cluster(2, 2);
+  opts.injector.force_task_failures(0, 2);  // first two attempts fail
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(fn("injected", [](TaskContext& ctx) {
+    return std::any(ctx.attempt());
+  }));
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 3);  // succeeded on the third attempt
+  const auto analysis = runtime.analyze();
+  EXPECT_EQ(analysis.failure_count(), 2u);
+  EXPECT_EQ(analysis.retry_count(), 2u);
+}
+
+TEST(ThreadRuntime, FailedPredecessorCancelsDependents) {
+  RuntimeOptions opts = small_cluster();
+  opts.fault_policy.max_attempts = 1;
+  Runtime runtime(std::move(opts));
+  std::atomic<bool> dependent_ran{false};
+  const Future bad =
+      runtime.submit(fn("bad", [](TaskContext&) -> std::any { throw std::runtime_error("x"); }));
+  const Future child = runtime.submit(fn("child",
+                                         [&](TaskContext&) {
+                                           dependent_ran = true;
+                                           return std::any(1);
+                                         }),
+                                      {{bad.data, Direction::In}});
+  const Future unrelated = runtime.submit(fn("unrelated", [](TaskContext&) { return std::any(7); }));
+  EXPECT_THROW(runtime.wait_on(child), TaskFailedError);
+  EXPECT_FALSE(dependent_ran.load());
+  // "The failure of a task does not affect the other tasks" (§4).
+  EXPECT_EQ(runtime.wait_on_as<int>(unrelated), 7);
+}
+
+TEST(ThreadRuntime, UnsatisfiableConstraintFailsFast) {
+  Runtime runtime(small_cluster(1, 4));
+  const Future f = runtime.submit(
+      fn("too_big", [](TaskContext&) { return std::any(1); }, Constraint{.cpus = 100}));
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+}
+
+TEST(ThreadRuntime, TraceRecordsSubmitScheduleRun) {
+  Runtime runtime(small_cluster());
+  runtime.submit(fn("traced", [](TaskContext&) { return std::any(); }));
+  runtime.barrier();
+  std::set<trace::EventKind> kinds;
+  for (const auto& e : runtime.trace().events()) kinds.insert(e.kind);
+  EXPECT_TRUE(kinds.contains(trace::EventKind::TaskSubmit));
+  EXPECT_TRUE(kinds.contains(trace::EventKind::TaskSchedule));
+  EXPECT_TRUE(kinds.contains(trace::EventKind::TaskRun));
+}
+
+TEST(ThreadRuntime, TracingOffRecordsNothing) {
+  RuntimeOptions opts = small_cluster();
+  opts.tracing = false;
+  Runtime runtime(std::move(opts));
+  runtime.submit(fn("untraced", [](TaskContext&) { return std::any(); }));
+  runtime.barrier();
+  EXPECT_EQ(runtime.trace().size(), 0u);
+}
+
+TEST(ThreadRuntime, PerAttemptRngIsDeterministic) {
+  const auto run_once = [] {
+    Runtime runtime(small_cluster());
+    const Future f = runtime.submit(
+        fn("rng", [](TaskContext& ctx) { return std::any(ctx.rng().next_u64()); }));
+    return runtime.wait_on_as<std::uint64_t>(f);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ThreadRuntime, ConsumerSubmittedAfterProducerFinished) {
+  // Regression: a task submitted after its predecessor already completed
+  // must still become ready (the paper's late plot task).
+  Runtime runtime(small_cluster());
+  const Future produced = runtime.submit(fn("produce", [](TaskContext&) { return std::any(21); }));
+  EXPECT_EQ(runtime.wait_on_as<int>(produced), 21);  // producer fully done
+  const Future consumed = runtime.submit(fn("consume",
+                                            [](TaskContext& ctx) {
+                                              return std::any(ctx.read<int>(0) * 2);
+                                            }),
+                                         {{produced.data, Direction::In}});
+  EXPECT_EQ(runtime.wait_on_as<int>(consumed), 42);
+}
+
+TEST(ThreadRuntime, ConsumerSubmittedAfterProducerFailed) {
+  RuntimeOptions opts = small_cluster();
+  opts.fault_policy.max_attempts = 1;
+  Runtime runtime(std::move(opts));
+  const Future bad =
+      runtime.submit(fn("bad", [](TaskContext&) -> std::any { throw std::runtime_error("x"); }));
+  EXPECT_THROW(runtime.wait_on(bad), TaskFailedError);
+  const Future late = runtime.submit(fn("late", [](TaskContext&) { return std::any(1); }),
+                                     {{bad.data, Direction::In}});
+  EXPECT_THROW(runtime.wait_on(late), TaskFailedError);  // doomed at submission
+}
+
+TEST(ThreadRuntime, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> completed{0};
+  {
+    Runtime runtime(small_cluster(1, 2));
+    for (int i = 0; i < 6; ++i)
+      runtime.submit(fn("drained", [&](TaskContext&) {
+        completed.fetch_add(1);
+        return std::any();
+      }));
+    // No barrier: destructor must finish them.
+  }
+  EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(ThreadRuntime, EmptyClusterRejected) {
+  RuntimeOptions opts;
+  EXPECT_THROW(Runtime{std::move(opts)}, std::invalid_argument);
+}
+
+TEST(ThreadRuntime, WaitOnEmptyFutureThrows) {
+  Runtime runtime(small_cluster());
+  Future empty;
+  EXPECT_THROW(runtime.wait_on(empty), std::invalid_argument);
+}
+
+TEST(ThreadRuntime, WritingInParameterThrows) {
+  Runtime runtime(small_cluster());
+  const DataId d = runtime.share(1);
+  const Future f = runtime.submit(fn("bad_write",
+                                     [](TaskContext& ctx) -> std::any {
+                                       ctx.write(0, 2);  // IN param: logic error
+                                       return {};
+                                     }),
+                                  {{d, Direction::In}});
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);  // surfaces as task failure
+}
+
+}  // namespace
+}  // namespace chpo::rt

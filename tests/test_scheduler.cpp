@@ -1,0 +1,241 @@
+// Unit tests for the scheduling policies.
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.hpp"
+
+namespace chpo::rt {
+namespace {
+
+struct SchedulerFixture : ::testing::Test {
+  SchedulerFixture() : graph(registry) {}
+
+  TaskId add(const Constraint& c, bool priority = false) {
+    TaskDef def;
+    def.name = "t";
+    def.constraint = c;
+    def.priority = priority;
+    return graph.add_task(def, {});
+  }
+
+  DataRegistry registry;
+  TaskGraph graph;
+};
+
+TEST_F(SchedulerFixture, FifoPlacesInSubmissionOrder) {
+  ResourceState rs(cluster::marenostrum4(1));
+  std::vector<TaskId> ready{add({.cpus = 24}), add({.cpus = 24}), add({.cpus = 24})};
+  FifoScheduler fifo;
+  const auto dispatches = fifo.schedule(ready, graph, rs);
+  ASSERT_EQ(dispatches.size(), 2u);  // third doesn't fit
+  EXPECT_EQ(dispatches[0].task, ready[0]);
+  EXPECT_EQ(dispatches[1].task, ready[1]);
+}
+
+TEST_F(SchedulerFixture, PrioritySchedulerJumpsQueue) {
+  ResourceState rs(cluster::marenostrum4(1));
+  const TaskId normal1 = add({.cpus = 24});
+  const TaskId normal2 = add({.cpus = 24});
+  const TaskId urgent = add({.cpus = 24}, /*priority=*/true);
+  PriorityScheduler sched;
+  const auto dispatches = sched.schedule({normal1, normal2, urgent}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 2u);
+  EXPECT_EQ(dispatches[0].task, urgent);  // priority first
+  EXPECT_EQ(dispatches[1].task, normal1);
+}
+
+TEST_F(SchedulerFixture, FillsMultipleNodes) {
+  ResourceState rs(cluster::marenostrum4(3));
+  std::vector<TaskId> ready;
+  for (int i = 0; i < 3; ++i) ready.push_back(add({.cpus = 48}));
+  PriorityScheduler sched;
+  const auto dispatches = sched.schedule(ready, graph, rs);
+  ASSERT_EQ(dispatches.size(), 3u);
+  // One node-filling task each.
+  std::vector<int> nodes;
+  for (const auto& d : dispatches) nodes.push_back(d.placement.node);
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(SchedulerFixture, RespectsExcludedNodes) {
+  ResourceState rs(cluster::marenostrum4(2));
+  const TaskId t = add({.cpus = 1});
+  graph.task(t).excluded_nodes.push_back(0);
+  PriorityScheduler sched;
+  const auto dispatches = sched.schedule({t}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].placement.node, 1);
+}
+
+TEST_F(SchedulerFixture, AllNodesExcludedMeansNoPlacement) {
+  ResourceState rs(cluster::marenostrum4(1));
+  const TaskId t = add({.cpus = 1});
+  graph.task(t).excluded_nodes.push_back(0);
+  PriorityScheduler sched;
+  EXPECT_TRUE(sched.schedule({t}, graph, rs).empty());
+}
+
+TEST_F(SchedulerFixture, LocalitySchedulerPrefersDataHolder) {
+  cluster::ClusterSpec spec = cluster::marenostrum4(3);
+  spec.has_parallel_fs = false;
+  ResourceState rs(spec);
+  // A large input written by a producer task; its output lands on node 2.
+  const DataId big = registry.register_data(std::any(1), 1 << 30, "big", /*everywhere=*/false);
+  TaskDef producer_def;
+  producer_def.name = "producer";
+  const TaskId producer = graph.add_task(producer_def, {{big, Direction::Out}});
+  registry.commit(big, 1, std::any(2), /*node=*/2);
+  graph.task(producer).state = TaskState::Done;
+
+  TaskDef def;
+  def.name = "consumer";
+  def.constraint = {.cpus = 1};
+  const TaskId t = graph.add_task(def, {{big, Direction::In}});
+  // Mark the producer dependency as satisfied for this scheduling test.
+  graph.task(t).deps_remaining = 0;
+
+  LocalityScheduler sched;
+  const auto dispatches = sched.schedule({t}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].placement.node, 2);
+}
+
+TEST_F(SchedulerFixture, LocalityFallsBackToFirstFit) {
+  ResourceState rs(cluster::marenostrum4(2));
+  const TaskId t = add({.cpus = 1});  // no inputs at all
+  LocalityScheduler sched;
+  const auto dispatches = sched.schedule({t}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].placement.node, 0);
+}
+
+TEST_F(SchedulerFixture, PlaceFirstFitHelper) {
+  ResourceState rs(cluster::marenostrum4(2));
+  const TaskId t = add({.cpus = 48});
+  rs.try_allocate(0, Constraint{.cpus = 1});  // node 0 can no longer take 48
+  const auto p = place_first_fit(graph.task(t), rs);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->node, 1);
+}
+
+TEST_F(SchedulerFixture, FactoryByName) {
+  EXPECT_EQ(make_scheduler("fifo")->name(), "fifo");
+  EXPECT_EQ(make_scheduler("priority")->name(), "priority");
+  EXPECT_EQ(make_scheduler("locality")->name(), "locality");
+  EXPECT_EQ(make_scheduler("cost-aware")->name(), "cost-aware");
+  EXPECT_THROW(make_scheduler("nope"), std::invalid_argument);
+}
+
+TEST_F(SchedulerFixture, CostAwarePicksFastestNode) {
+  // Heterogeneous rates: the cost model makes node 1 (fast) 4x cheaper.
+  cluster::ClusterSpec spec;
+  cluster::NodeSpec slow;
+  slow.name = "slow";
+  slow.cpus = 4;
+  slow.core_rate = 0.5;
+  cluster::NodeSpec fast = slow;
+  fast.name = "fast";
+  fast.core_rate = 2.0;
+  spec.nodes = {slow, fast};
+  ResourceState rs(spec);
+
+  TaskDef def;
+  def.name = "t";
+  def.constraint = {.cpus = 1};
+  def.cost = [](const Placement&, const cluster::NodeSpec& node) { return 100.0 / node.core_rate; };
+  const TaskId t = graph.add_task(def, {});
+  CostAwareScheduler sched;
+  const auto dispatches = sched.schedule({t}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].placement.node, 1);  // first-fit would pick node 0
+}
+
+TEST_F(SchedulerFixture, CostAwareDefersSlowFallbackWhileFastIsBusy) {
+  cluster::ClusterSpec spec;
+  cluster::NodeSpec node;
+  node.name = "gpuish";
+  node.cpus = 8;
+  node.gpus = 1;
+  node.gpu_rate = 30.0;
+  spec.nodes = {node};
+  ResourceState rs(spec);
+  // Occupy the GPU.
+  const auto held = rs.try_allocate(0, Constraint{.gpus = 1});
+  ASSERT_TRUE(held);
+
+  TaskDef def;
+  def.name = "t";
+  def.constraint = {.cpus = 1, .gpus = 1};
+  def.cost = [](const Placement& p, const cluster::NodeSpec&) {
+    return p.gpu_count() > 0 ? 10.0 : 100.0;  // fallback 10x slower
+  };
+  TaskVariant cpu;
+  cpu.constraint = {.cpus = 4};
+  def.variants.push_back(std::move(cpu));
+  const TaskId t = graph.add_task(def, {});
+
+  CostAwareScheduler sched;
+  // GPU busy, CPU fallback 10x worse than best possible: defer.
+  EXPECT_TRUE(sched.schedule({t}, graph, rs).empty());
+  // Once the GPU frees, the primary implementation is taken.
+  rs.release(*held);
+  const auto dispatches = sched.schedule({t}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].variant, -1);
+  EXPECT_EQ(dispatches[0].placement.gpus.size(), 1u);
+}
+
+TEST_F(SchedulerFixture, CostAwareSpillsWhenFallbackIsCompetitive) {
+  cluster::ClusterSpec spec;
+  cluster::NodeSpec node;
+  node.name = "gpuish";
+  node.cpus = 8;
+  node.gpus = 1;
+  node.gpu_rate = 30.0;
+  spec.nodes = {node};
+  ResourceState rs(spec);
+  const auto held = rs.try_allocate(0, Constraint{.gpus = 1});
+
+  TaskDef def;
+  def.name = "t";
+  def.constraint = {.cpus = 1, .gpus = 1};
+  def.cost = [](const Placement& p, const cluster::NodeSpec&) {
+    return p.gpu_count() > 0 ? 10.0 : 15.0;  // fallback only 1.5x slower
+  };
+  TaskVariant cpu;
+  cpu.constraint = {.cpus = 4};
+  def.variants.push_back(std::move(cpu));
+  const TaskId t = graph.add_task(def, {});
+  CostAwareScheduler sched;
+  const auto dispatches = sched.schedule({t}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 1u);
+  EXPECT_EQ(dispatches[0].variant, 0);  // took the CPU fallback
+  rs.release(*held);
+}
+
+TEST_F(SchedulerFixture, CostAwareWithoutCostModelsActsLikeFirstFit) {
+  ResourceState rs(cluster::marenostrum4(2));
+  const TaskId a = add({.cpus = 1});
+  const TaskId b = add({.cpus = 1});
+  CostAwareScheduler sched;
+  const auto dispatches = sched.schedule({a, b}, graph, rs);
+  ASSERT_EQ(dispatches.size(), 2u);
+  EXPECT_EQ(dispatches[0].placement.node, 0);
+  EXPECT_EQ(dispatches[1].placement.node, 0);
+}
+
+TEST_F(SchedulerFixture, GridOf27OnHalfNodeStarts24) {
+  // The Figure 5 shape: 24 usable cores, 27 single-core tasks.
+  cluster::ClusterSpec spec = cluster::marenostrum4(1);
+  spec.worker_placement = cluster::WorkerPlacement::SharedCores;
+  spec.worker_cores = 24;
+  ResourceState rs(spec);
+  std::vector<TaskId> ready;
+  for (int i = 0; i < 27; ++i) ready.push_back(add({.cpus = 1}));
+  PriorityScheduler sched;
+  const auto dispatches = sched.schedule(ready, graph, rs);
+  EXPECT_EQ(dispatches.size(), 24u);
+}
+
+}  // namespace
+}  // namespace chpo::rt

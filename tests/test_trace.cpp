@@ -1,0 +1,222 @@
+// Unit tests for trace capture, analysis, ASCII Gantt and .prv export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cluster/cluster.hpp"
+#include "trace/analysis.hpp"
+#include "trace/gantt.hpp"
+#include "trace/prv_writer.hpp"
+#include "trace/trace.hpp"
+
+namespace chpo::trace {
+namespace {
+
+Event run_event(std::uint64_t id, int node, std::vector<unsigned> cores, double t0, double t1) {
+  return Event{.kind = EventKind::TaskRun,
+               .task_id = id,
+               .attempt = 1,
+               .task_name = "experiment",
+               .node = node,
+               .cores = std::move(cores),
+               .t_start = t0,
+               .t_end = t1};
+}
+
+TEST(TraceSink, RecordsWhenEnabled) {
+  TraceSink sink(true);
+  sink.record(run_event(1, 0, {0}, 0.0, 1.0));
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(TraceSink, DisabledDropsEverything) {
+  TraceSink sink(false);
+  sink.record(run_event(1, 0, {0}, 0.0, 1.0));
+  EXPECT_EQ(sink.size(), 0u);
+  sink.set_enabled(true);
+  sink.record(run_event(2, 0, {0}, 1.0, 2.0));
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(TraceSink, EventsSortedByStart) {
+  TraceSink sink;
+  sink.record(run_event(2, 0, {0}, 5.0, 6.0));
+  sink.record(run_event(1, 0, {1}, 1.0, 2.0));
+  const auto events = sink.events();
+  EXPECT_EQ(events[0].task_id, 1u);
+  EXPECT_EQ(events[1].task_id, 2u);
+}
+
+TEST(TraceSink, ClearEmpties) {
+  TraceSink sink;
+  sink.record(run_event(1, 0, {0}, 0, 1));
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(Analysis, MakespanAndCounts) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 10.0), run_event(1, 0, {1}, 0.0, 4.0),
+                            run_event(2, 0, {1}, 4.0, 9.0)};
+  Analysis a(events);
+  EXPECT_DOUBLE_EQ(a.makespan(), 10.0);
+  EXPECT_EQ(a.task_count(), 3u);
+  EXPECT_EQ(a.tasks_started_together(), 2u);
+  EXPECT_EQ(a.peak_concurrency(), 2u);
+  EXPECT_EQ(a.nodes_used(), 1u);
+}
+
+TEST(Analysis, CoreUsageAndReuse) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 10.0), run_event(1, 0, {1}, 0.0, 4.0),
+                            run_event(2, 0, {1}, 4.0, 9.0)};
+  Analysis a(events);
+  ASSERT_EQ(a.core_usage().size(), 2u);
+  EXPECT_DOUBLE_EQ(a.core_usage()[0].busy_seconds, 10.0);  // core 0
+  EXPECT_DOUBLE_EQ(a.core_usage()[1].busy_seconds, 9.0);   // core 1: 4 + 5
+  const auto reused = a.reused_cores();
+  ASSERT_EQ(reused.size(), 1u);
+  EXPECT_EQ(reused[0].core, 1u);
+}
+
+TEST(Analysis, UtilisationAgainstCapacity) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 10.0)};
+  Analysis a(events);
+  // One busy core out of 4 for the whole makespan.
+  EXPECT_NEAR(a.utilisation_vs_capacity(4), 0.25, 1e-9);
+  EXPECT_NEAR(a.mean_core_utilisation(), 1.0, 1e-9);
+}
+
+TEST(Analysis, FailureAndRetryCounters) {
+  std::vector<Event> events{
+      Event{.kind = EventKind::TaskFailure, .task_id = 3, .t_start = 1.0, .t_end = 1.0},
+      Event{.kind = EventKind::TaskRetry, .task_id = 3, .t_start = 1.0, .t_end = 1.0},
+      run_event(3, 1, {0}, 1.0, 2.0)};
+  Analysis a(events);
+  EXPECT_EQ(a.failure_count(), 1u);
+  EXPECT_EQ(a.retry_count(), 1u);
+  EXPECT_EQ(a.task_count(), 1u);
+}
+
+TEST(Analysis, EmptyTrace) {
+  Analysis a({});
+  EXPECT_DOUBLE_EQ(a.makespan(), 0.0);
+  EXPECT_EQ(a.peak_concurrency(), 0u);
+  EXPECT_EQ(a.tasks_started_together(), 0u);
+}
+
+TEST(Analysis, ConcurrencyProfileSteps) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 2.0), run_event(1, 0, {1}, 1.0, 3.0)};
+  const auto profile = Analysis(events).concurrency_profile();
+  ASSERT_GE(profile.size(), 3u);
+  EXPECT_EQ(profile.front().running, 1u);
+  EXPECT_EQ(profile.back().running, 0u);
+}
+
+TEST(Gantt, RendersRowsPerCore) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 5.0), run_event(1, 0, {1}, 0.0, 2.5)};
+  const std::string g = render_gantt(events, GanttOptions{.width = 20});
+  EXPECT_NE(g.find("n0/c0"), std::string::npos);
+  EXPECT_NE(g.find("n0/c1"), std::string::npos);
+  // Task 0's glyph 'a' fills its whole row; task 1 leaves idle dots.
+  EXPECT_NE(g.find('a'), std::string::npos);
+  EXPECT_NE(g.find('.'), std::string::npos);
+}
+
+TEST(Gantt, EmptyTrace) { EXPECT_EQ(render_gantt({}), "(empty trace)\n"); }
+
+TEST(Gantt, CollapsedNodesMarkOverlap) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 4.0), run_event(1, 0, {1}, 0.0, 4.0)};
+  const std::string g = render_gantt(events, GanttOptions{.width = 10, .collapse_nodes = true});
+  EXPECT_NE(g.find('#'), std::string::npos);  // two tasks share the node row
+}
+
+TEST(PrvWriter, HeaderAndRecords) {
+  cluster::ClusterSpec spec = cluster::marenostrum4(2);
+  std::vector<Event> events{run_event(7, 1, {3}, 0.0, 1.5)};
+  const std::string prv = to_prv(events, spec);
+  EXPECT_EQ(prv.rfind("#Paraver", 0), 0u);  // header first
+  // State record: 1:cpu:app:task:thread:t0:t1:1 with 1-based ids and ns.
+  EXPECT_NE(prv.find("1:4:1:2:4:0:1500000000:1"), std::string::npos);
+}
+
+TEST(PrvWriter, RowFileNamesResources) {
+  cluster::ClusterSpec spec = cluster::marenostrum4(1);
+  const std::string row = to_row(spec);
+  EXPECT_NE(row.find("LEVEL CPU SIZE 48"), std::string::npos);
+  EXPECT_NE(row.find("mn4-0.core0"), std::string::npos);
+}
+
+TEST(PrvWriter, WritesFiles) {
+  cluster::ClusterSpec spec = cluster::marenostrum4(1);
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 1.0)};
+  const std::string base = "/tmp/chpo_trace_test";
+  write_prv_files(base, events, spec);
+  std::ifstream prv(base + ".prv"), row(base + ".row");
+  EXPECT_TRUE(prv.good());
+  EXPECT_TRUE(row.good());
+  std::remove((base + ".prv").c_str());
+  std::remove((base + ".row").c_str());
+}
+
+TEST(Analysis, StatsByNameAggregates) {
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 10.0), run_event(1, 0, {1}, 0.0, 20.0)};
+  events[1].task_name = "plot";
+  events.push_back(run_event(2, 0, {2}, 5.0, 11.0));  // another "experiment"
+  const auto stats = Analysis(events).stats_by_name();
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by name: "experiment" then "plot".
+  EXPECT_EQ(stats[0].name, "experiment");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_DOUBLE_EQ(stats[0].min_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(stats[0].max_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(stats[0].mean_seconds(), 8.0);
+  EXPECT_EQ(stats[1].name, "plot");
+  EXPECT_DOUBLE_EQ(stats[1].total_seconds, 20.0);
+}
+
+TEST(PrvWriter, PcfNamesStatesAndEvents) {
+  const std::string pcf = to_pcf();
+  EXPECT_NE(pcf.find("Running task"), std::string::npos);
+  EXPECT_NE(pcf.find("task_submit"), std::string::npos);
+  EXPECT_NE(pcf.find("node_down"), std::string::npos);
+  EXPECT_NE(pcf.find("STATES_COLOR"), std::string::npos);
+}
+
+TEST(PrvWriter, WritesPcfFileToo) {
+  cluster::ClusterSpec spec = cluster::marenostrum4(1);
+  std::vector<Event> events{run_event(0, 0, {0}, 0.0, 1.0)};
+  const std::string base = "/tmp/chpo_trace_pcf_test";
+  write_prv_files(base, events, spec);
+  std::ifstream pcf(base + ".pcf");
+  EXPECT_TRUE(pcf.good());
+  for (const char* ext : {".prv", ".row", ".pcf"}) std::remove((base + ext).c_str());
+}
+
+TEST(ParallelismProfile, ShapeReflectsConcurrency) {
+  // 4 tasks in the first half, 1 in the second.
+  std::vector<Event> events;
+  for (int i = 0; i < 4; ++i)
+    events.push_back(run_event(static_cast<std::uint64_t>(i), 0, {static_cast<unsigned>(i)}, 0.0, 10.0));
+  events.push_back(run_event(9, 0, {0}, 10.0, 20.0));
+  const std::string chart = render_parallelism_profile(events, 20, 8);
+  EXPECT_NE(chart.find("peak 4"), std::string::npos);
+  // The top row of the chart is filled only in the first half.
+  const std::size_t first_line = chart.find('\n') + 1;
+  const std::string top_row = chart.substr(first_line, chart.find('\n', first_line) - first_line);
+  const std::size_t bar_start = top_row.find('|') + 1;
+  EXPECT_EQ(top_row[bar_start], '#');               // busy at t=0
+  EXPECT_EQ(top_row[bar_start + 15], ' ');          // only 1 task at 75%
+}
+
+TEST(ParallelismProfile, EmptyTrace) {
+  EXPECT_EQ(render_parallelism_profile({}), "(empty trace)\n");
+}
+
+TEST(KindNames, AllDistinct) {
+  EXPECT_STREQ(kind_name(EventKind::TaskRun), "task_run");
+  EXPECT_STREQ(kind_name(EventKind::NodeDown), "node_down");
+  EXPECT_STREQ(kind_name(EventKind::Sync), "sync");
+}
+
+}  // namespace
+}  // namespace chpo::trace

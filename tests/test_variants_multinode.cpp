@@ -1,0 +1,205 @@
+// Tests for @implement task variants and @multinode tasks (paper §3).
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+
+namespace chpo::rt {
+namespace {
+
+RuntimeOptions sim(std::size_t nodes, unsigned cpus, unsigned gpus = 0) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "n";
+  node.cpus = cpus;
+  node.gpus = gpus;
+  node.gpu_rate = gpus ? 30.0 : 0.0;
+  opts.cluster = cluster::homogeneous(nodes, node);
+  opts.simulate = true;
+  return opts;
+}
+
+TaskDef gpu_or_cpu_task() {
+  // Primary wants a GPU; the @implement variant falls back to 4 CPU cores.
+  TaskDef def;
+  def.name = "experiment";
+  def.constraint = {.cpus = 1, .gpus = 1};
+  def.body = [](TaskContext&) { return std::any(std::string("gpu")); };
+  def.cost = [](const Placement&, const cluster::NodeSpec&) { return 10.0; };
+  TaskVariant cpu;
+  cpu.label = "cpu-fallback";
+  cpu.constraint = {.cpus = 4};
+  cpu.body = [](TaskContext&) { return std::any(std::string("cpu")); };
+  cpu.cost = [](const Placement&, const cluster::NodeSpec&) { return 40.0; };
+  def.variants.push_back(std::move(cpu));
+  return def;
+}
+
+TEST(Variants, PrimaryPreferredWhenItFits) {
+  Runtime runtime(sim(1, 8, 1));
+  const Future f = runtime.submit(gpu_or_cpu_task());
+  EXPECT_EQ(runtime.wait_on_as<std::string>(f), "gpu");
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 10.0);
+}
+
+TEST(Variants, FallbackChosenWithoutGpus) {
+  Runtime runtime(sim(1, 8, 0));  // no GPU anywhere
+  const Future f = runtime.submit(gpu_or_cpu_task());
+  EXPECT_EQ(runtime.wait_on_as<std::string>(f), "cpu");
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 40.0);
+  // The variant's own constraint decided the affinity set.
+  const auto spans = runtime.analyze().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const auto usage = runtime.analyze().core_usage();
+  EXPECT_EQ(usage.size(), 4u);
+}
+
+TEST(Variants, FallbackUsedWhileGpusBusy) {
+  // 1 GPU, 8 cores: two tasks -> one runs on the GPU, one on the CPU
+  // fallback, concurrently.
+  Runtime runtime(sim(1, 8, 1));
+  const Future a = runtime.submit(gpu_or_cpu_task());
+  const Future b = runtime.submit(gpu_or_cpu_task());
+  const std::string ra = runtime.wait_on_as<std::string>(a);
+  const std::string rb = runtime.wait_on_as<std::string>(b);
+  EXPECT_EQ(ra, "gpu");
+  EXPECT_EQ(rb, "cpu");
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 40.0);  // overlapped, not 50
+}
+
+TEST(Variants, VariantWithoutBodyReusesPrimary) {
+  RuntimeOptions opts = sim(1, 8, 0);
+  Runtime runtime(std::move(opts));
+  TaskDef def;
+  def.name = "shared_body";
+  def.constraint = {.cpus = 1, .gpus = 1};  // never fits
+  def.body = [](TaskContext& ctx) { return std::any(ctx.thread_budget()); };
+  TaskVariant wide;
+  wide.constraint = {.cpus = 6};
+  def.variants.push_back(std::move(wide));
+  const Future f = runtime.submit(def);
+  EXPECT_EQ(runtime.wait_on_as<unsigned>(f), 6u);  // ran primary body on variant resources
+}
+
+TEST(Variants, InfeasibleEverywhereStillFailsFast) {
+  Runtime runtime(sim(1, 2, 0));
+  TaskDef def;
+  def.name = "impossible";
+  def.constraint = {.cpus = 1, .gpus = 2};
+  TaskVariant also_impossible;
+  also_impossible.constraint = {.cpus = 64};
+  def.variants.push_back(std::move(also_impossible));
+  def.body = [](TaskContext&) { return std::any(); };
+  const Future f = runtime.submit(def);
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+}
+
+TEST(Multinode, SpansRequestedNodeCount) {
+  Runtime runtime(sim(4, 8));
+  TaskDef def;
+  def.name = "mpi_like";
+  def.constraint = {.cpus = 4, .nodes = 3};
+  def.body = [](TaskContext& ctx) {
+    return std::any(ctx.placement().node_count());
+  };
+  def.cost = [](const Placement&, const cluster::NodeSpec&) { return 30.0; };
+  const Future f = runtime.submit(def);
+  EXPECT_EQ(runtime.wait_on_as<unsigned>(f), 3u);
+  // The trace shows the same interval on three distinct nodes.
+  const auto analysis = runtime.analyze();
+  EXPECT_EQ(analysis.nodes_used(), 3u);
+  EXPECT_DOUBLE_EQ(analysis.makespan(), 30.0);
+}
+
+TEST(Multinode, PlacementTotalsAndAffinity) {
+  Runtime runtime(sim(3, 8, 2));
+  TaskDef def;
+  def.name = "mpi_like";
+  def.constraint = {.cpus = 2, .gpus = 1, .nodes = 2};
+  def.body = [](TaskContext& ctx) {
+    const Placement& p = ctx.placement();
+    return std::any(std::make_pair(p.total_cpus(), p.total_gpus()));
+  };
+  const Future f = runtime.submit(def);
+  const auto [cpus, gpus] = runtime.wait_on_as<std::pair<unsigned, unsigned>>(f);
+  EXPECT_EQ(cpus, 4u);
+  EXPECT_EQ(gpus, 2u);
+}
+
+TEST(Multinode, QueuesWhenNotEnoughNodesFree) {
+  // 2 nodes; a 2-node task and a 1-node task: the multinode task grabs
+  // both nodes, the small one waits.
+  Runtime runtime(sim(2, 4));
+  TaskDef wide;
+  wide.name = "wide";
+  wide.constraint = {.cpus = 4, .nodes = 2};
+  wide.body = [](TaskContext&) { return std::any(); };
+  wide.cost = [](const Placement&, const cluster::NodeSpec&) { return 10.0; };
+  TaskDef small;
+  small.name = "small";
+  small.constraint = {.cpus = 1};
+  small.body = [](TaskContext&) { return std::any(); };
+  small.cost = [](const Placement&, const cluster::NodeSpec&) { return 5.0; };
+  runtime.submit(wide);
+  runtime.submit(small);
+  runtime.barrier();
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 15.0);  // strictly serialised
+}
+
+TEST(Multinode, SmallTaskFillsGapBeforeWideTask) {
+  // Reverse order: small first, wide needs both nodes -> wide waits for
+  // the small task's node.
+  Runtime runtime(sim(2, 4));
+  TaskDef small;
+  small.name = "small";
+  small.constraint = {.cpus = 4};
+  small.body = [](TaskContext&) { return std::any(); };
+  small.cost = [](const Placement&, const cluster::NodeSpec&) { return 5.0; };
+  TaskDef wide;
+  wide.name = "wide";
+  wide.constraint = {.cpus = 4, .nodes = 2};
+  wide.body = [](TaskContext&) { return std::any(); };
+  wide.cost = [](const Placement&, const cluster::NodeSpec&) { return 10.0; };
+  runtime.submit(small);
+  runtime.submit(wide);
+  runtime.barrier();
+  EXPECT_DOUBLE_EQ(runtime.analyze().makespan(), 15.0);
+}
+
+TEST(Multinode, NodeDeathKillsWholeSpanningTask) {
+  RuntimeOptions opts = sim(3, 4);
+  opts.injector.schedule_node_failure(1, 5.0);
+  Runtime runtime(std::move(opts));
+  TaskDef wide;
+  wide.name = "wide";
+  wide.constraint = {.cpus = 4, .nodes = 2};  // lands on nodes 0+1
+  wide.body = [](TaskContext&) { return std::any(1); };
+  wide.cost = [](const Placement&, const cluster::NodeSpec&) { return 10.0; };
+  const Future f = runtime.submit(wide);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);  // re-run succeeds on live nodes
+  EXPECT_GE(runtime.analyze().failure_count(), 1u);
+}
+
+TEST(Multinode, InfeasibleNodeCountFails) {
+  Runtime runtime(sim(2, 4));
+  TaskDef wide;
+  wide.name = "too_wide";
+  wide.constraint = {.cpus = 1, .nodes = 5};
+  wide.body = [](TaskContext&) { return std::any(); };
+  const Future f = runtime.submit(wide);
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+}
+
+TEST(Multinode, ThreadBackendRunsMultinodeTask) {
+  RuntimeOptions opts = sim(3, 2);
+  opts.simulate = false;
+  Runtime runtime(std::move(opts));
+  TaskDef wide;
+  wide.name = "wide";
+  wide.constraint = {.cpus = 2, .nodes = 3};
+  wide.body = [](TaskContext& ctx) { return std::any(ctx.placement().total_cpus()); };
+  const Future f = runtime.submit(wide);
+  EXPECT_EQ(runtime.wait_on_as<unsigned>(f), 6u);
+}
+
+}  // namespace
+}  // namespace chpo::rt
