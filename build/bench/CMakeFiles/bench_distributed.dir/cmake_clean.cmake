@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed.dir/bench_distributed.cpp.o"
+  "CMakeFiles/bench_distributed.dir/bench_distributed.cpp.o.d"
+  "bench_distributed"
+  "bench_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_taskgraph.dir/bench_fig3_taskgraph.cpp.o"
+  "CMakeFiles/bench_fig3_taskgraph.dir/bench_fig3_taskgraph.cpp.o.d"
+  "bench_fig3_taskgraph"
+  "bench_fig3_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_affinity.dir/bench_fig4_affinity.cpp.o"
+  "CMakeFiles/bench_fig4_affinity.dir/bench_fig4_affinity.cpp.o.d"
+  "bench_fig4_affinity"
+  "bench_fig4_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

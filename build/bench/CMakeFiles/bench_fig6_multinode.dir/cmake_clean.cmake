@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_multinode.dir/bench_fig6_multinode.cpp.o"
+  "CMakeFiles/bench_fig6_multinode.dir/bench_fig6_multinode.cpp.o.d"
+  "bench_fig6_multinode"
+  "bench_fig6_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

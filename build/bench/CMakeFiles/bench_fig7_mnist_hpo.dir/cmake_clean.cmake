@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mnist_hpo.dir/bench_fig7_mnist_hpo.cpp.o"
+  "CMakeFiles/bench_fig7_mnist_hpo.dir/bench_fig7_mnist_hpo.cpp.o.d"
+  "bench_fig7_mnist_hpo"
+  "bench_fig7_mnist_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mnist_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_time_vs_cores.
+# This may be replaced when dependencies are built.

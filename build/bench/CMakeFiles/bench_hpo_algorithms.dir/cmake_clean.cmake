@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hpo_algorithms.dir/bench_hpo_algorithms.cpp.o"
+  "CMakeFiles/bench_hpo_algorithms.dir/bench_hpo_algorithms.cpp.o.d"
+  "bench_hpo_algorithms"
+  "bench_hpo_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hpo_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

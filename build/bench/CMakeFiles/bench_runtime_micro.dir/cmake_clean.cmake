@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_micro.dir/bench_runtime_micro.cpp.o"
+  "CMakeFiles/bench_runtime_micro.dir/bench_runtime_micro.cpp.o.d"
+  "bench_runtime_micro"
+  "bench_runtime_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

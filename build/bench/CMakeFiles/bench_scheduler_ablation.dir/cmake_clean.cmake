@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_ablation.dir/bench_scheduler_ablation.cpp.o"
+  "CMakeFiles/bench_scheduler_ablation.dir/bench_scheduler_ablation.cpp.o.d"
+  "bench_scheduler_ablation"
+  "bench_scheduler_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracing_overhead.dir/bench_tracing_overhead.cpp.o"
+  "CMakeFiles/bench_tracing_overhead.dir/bench_tracing_overhead.cpp.o.d"
+  "bench_tracing_overhead"
+  "bench_tracing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

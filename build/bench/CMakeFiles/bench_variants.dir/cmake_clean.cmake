@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variants.dir/bench_variants.cpp.o"
+  "CMakeFiles/bench_variants.dir/bench_variants.cpp.o.d"
+  "bench_variants"
+  "bench_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesian_opt.dir/bayesian_opt.cpp.o"
+  "CMakeFiles/bayesian_opt.dir/bayesian_opt.cpp.o.d"
+  "bayesian_opt"
+  "bayesian_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesian_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

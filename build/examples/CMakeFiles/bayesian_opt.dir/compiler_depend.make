@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bayesian_opt.
+# This may be replaced when dependencies are built.

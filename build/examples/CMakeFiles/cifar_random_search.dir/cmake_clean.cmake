@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_random_search.dir/cifar_random_search.cpp.o"
+  "CMakeFiles/cifar_random_search.dir/cifar_random_search.cpp.o.d"
+  "cifar_random_search"
+  "cifar_random_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_random_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_training.dir/distributed_training.cpp.o"
+  "CMakeFiles/distributed_training.dir/distributed_training.cpp.o.d"
+  "distributed_training"
+  "distributed_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerance_demo.dir/fault_tolerance_demo.cpp.o"
+  "CMakeFiles/fault_tolerance_demo.dir/fault_tolerance_demo.cpp.o.d"
+  "fault_tolerance_demo"
+  "fault_tolerance_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerance_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

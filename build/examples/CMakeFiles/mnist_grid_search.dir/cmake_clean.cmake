@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_grid_search.dir/mnist_grid_search.cpp.o"
+  "CMakeFiles/mnist_grid_search.dir/mnist_grid_search.cpp.o.d"
+  "mnist_grid_search"
+  "mnist_grid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/chpo_cluster.dir/cluster.cpp.o.d"
+  "libchpo_cluster.a"
+  "libchpo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

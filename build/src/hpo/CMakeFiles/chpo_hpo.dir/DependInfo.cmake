@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpo/algorithms.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/algorithms.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/algorithms.cpp.o.d"
+  "/root/repo/src/hpo/baseline.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/baseline.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/baseline.cpp.o.d"
+  "/root/repo/src/hpo/checkpoint.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/checkpoint.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/hpo/driver.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/driver.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/driver.cpp.o.d"
+  "/root/repo/src/hpo/gp.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/gp.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/gp.cpp.o.d"
+  "/root/repo/src/hpo/hyperband.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/hyperband.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/hyperband.cpp.o.d"
+  "/root/repo/src/hpo/importance.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/importance.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/importance.cpp.o.d"
+  "/root/repo/src/hpo/optimize.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/optimize.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/optimize.cpp.o.d"
+  "/root/repo/src/hpo/report.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/report.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/report.cpp.o.d"
+  "/root/repo/src/hpo/search_space.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/search_space.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/search_space.cpp.o.d"
+  "/root/repo/src/hpo/tpe.cpp" "src/hpo/CMakeFiles/chpo_hpo.dir/tpe.cpp.o" "gcc" "src/hpo/CMakeFiles/chpo_hpo.dir/tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/chpo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonlite/CMakeFiles/chpo_jsonlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chpo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/chpo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chpo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chpo_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_hpo.dir/algorithms.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/algorithms.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/baseline.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/baseline.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/checkpoint.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/driver.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/driver.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/gp.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/gp.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/hyperband.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/hyperband.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/importance.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/importance.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/optimize.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/optimize.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/report.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/report.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/search_space.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/search_space.cpp.o.d"
+  "CMakeFiles/chpo_hpo.dir/tpe.cpp.o"
+  "CMakeFiles/chpo_hpo.dir/tpe.cpp.o.d"
+  "libchpo_hpo.a"
+  "libchpo_hpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_hpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

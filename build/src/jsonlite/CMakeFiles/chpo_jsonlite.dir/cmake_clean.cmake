@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_jsonlite.dir/json.cpp.o"
+  "CMakeFiles/chpo_jsonlite.dir/json.cpp.o.d"
+  "libchpo_jsonlite.a"
+  "libchpo_jsonlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_jsonlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

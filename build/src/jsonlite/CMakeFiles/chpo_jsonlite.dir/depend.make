@@ -1,0 +1,2 @@
+# Empty dependencies file for chpo_jsonlite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cost_model.cpp" "src/ml/CMakeFiles/chpo_ml.dir/cost_model.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/cost_model.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/chpo_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/distributed.cpp" "src/ml/CMakeFiles/chpo_ml.dir/distributed.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/distributed.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/ml/CMakeFiles/chpo_ml.dir/layers.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/layers.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/chpo_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/chpo_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/ml/CMakeFiles/chpo_ml.dir/optimizer.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ml/schedule.cpp" "src/ml/CMakeFiles/chpo_ml.dir/schedule.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/schedule.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/ml/CMakeFiles/chpo_ml.dir/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/tensor.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/ml/CMakeFiles/chpo_ml.dir/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/chpo_ml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/chpo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chpo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chpo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chpo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonlite/CMakeFiles/chpo_jsonlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_ml.dir/cost_model.cpp.o"
+  "CMakeFiles/chpo_ml.dir/cost_model.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/dataset.cpp.o"
+  "CMakeFiles/chpo_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/distributed.cpp.o"
+  "CMakeFiles/chpo_ml.dir/distributed.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/layers.cpp.o"
+  "CMakeFiles/chpo_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/metrics.cpp.o"
+  "CMakeFiles/chpo_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/model.cpp.o"
+  "CMakeFiles/chpo_ml.dir/model.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/optimizer.cpp.o"
+  "CMakeFiles/chpo_ml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/schedule.cpp.o"
+  "CMakeFiles/chpo_ml.dir/schedule.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/tensor.cpp.o"
+  "CMakeFiles/chpo_ml.dir/tensor.cpp.o.d"
+  "CMakeFiles/chpo_ml.dir/trainer.cpp.o"
+  "CMakeFiles/chpo_ml.dir/trainer.cpp.o.d"
+  "libchpo_ml.a"
+  "libchpo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/data_registry.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/data_registry.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/data_registry.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/fault.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/fault.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/fault.cpp.o.d"
+  "/root/repo/src/runtime/graph.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/graph.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/graph.cpp.o.d"
+  "/root/repo/src/runtime/resources.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/resources.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/resources.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/sim_backend.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/sim_backend.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/sim_backend.cpp.o.d"
+  "/root/repo/src/runtime/thread_backend.cpp" "src/runtime/CMakeFiles/chpo_runtime.dir/thread_backend.cpp.o" "gcc" "src/runtime/CMakeFiles/chpo_runtime.dir/thread_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/chpo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chpo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chpo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonlite/CMakeFiles/chpo_jsonlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

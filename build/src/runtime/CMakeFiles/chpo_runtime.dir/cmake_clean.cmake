@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_runtime.dir/data_registry.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/data_registry.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/engine.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/fault.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/fault.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/graph.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/graph.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/resources.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/resources.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/sim_backend.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/sim_backend.cpp.o.d"
+  "CMakeFiles/chpo_runtime.dir/thread_backend.cpp.o"
+  "CMakeFiles/chpo_runtime.dir/thread_backend.cpp.o.d"
+  "libchpo_runtime.a"
+  "libchpo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/args.cpp" "src/support/CMakeFiles/chpo_support.dir/args.cpp.o" "gcc" "src/support/CMakeFiles/chpo_support.dir/args.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/chpo_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/chpo_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/parallel_for.cpp" "src/support/CMakeFiles/chpo_support.dir/parallel_for.cpp.o" "gcc" "src/support/CMakeFiles/chpo_support.dir/parallel_for.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/chpo_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/chpo_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/chpo_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/chpo_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/support/CMakeFiles/chpo_support.dir/thread_pool.cpp.o" "gcc" "src/support/CMakeFiles/chpo_support.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

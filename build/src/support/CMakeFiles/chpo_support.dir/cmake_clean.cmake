@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_support.dir/args.cpp.o"
+  "CMakeFiles/chpo_support.dir/args.cpp.o.d"
+  "CMakeFiles/chpo_support.dir/log.cpp.o"
+  "CMakeFiles/chpo_support.dir/log.cpp.o.d"
+  "CMakeFiles/chpo_support.dir/parallel_for.cpp.o"
+  "CMakeFiles/chpo_support.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/chpo_support.dir/rng.cpp.o"
+  "CMakeFiles/chpo_support.dir/rng.cpp.o.d"
+  "CMakeFiles/chpo_support.dir/strings.cpp.o"
+  "CMakeFiles/chpo_support.dir/strings.cpp.o.d"
+  "CMakeFiles/chpo_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/chpo_support.dir/thread_pool.cpp.o.d"
+  "libchpo_support.a"
+  "libchpo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/chpo_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/chpo_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/chrome_writer.cpp" "src/trace/CMakeFiles/chpo_trace.dir/chrome_writer.cpp.o" "gcc" "src/trace/CMakeFiles/chpo_trace.dir/chrome_writer.cpp.o.d"
+  "/root/repo/src/trace/gantt.cpp" "src/trace/CMakeFiles/chpo_trace.dir/gantt.cpp.o" "gcc" "src/trace/CMakeFiles/chpo_trace.dir/gantt.cpp.o.d"
+  "/root/repo/src/trace/prv_writer.cpp" "src/trace/CMakeFiles/chpo_trace.dir/prv_writer.cpp.o" "gcc" "src/trace/CMakeFiles/chpo_trace.dir/prv_writer.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/chpo_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/chpo_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/chpo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chpo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonlite/CMakeFiles/chpo_jsonlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

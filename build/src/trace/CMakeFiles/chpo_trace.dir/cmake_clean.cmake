@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_trace.dir/analysis.cpp.o"
+  "CMakeFiles/chpo_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/chpo_trace.dir/chrome_writer.cpp.o"
+  "CMakeFiles/chpo_trace.dir/chrome_writer.cpp.o.d"
+  "CMakeFiles/chpo_trace.dir/gantt.cpp.o"
+  "CMakeFiles/chpo_trace.dir/gantt.cpp.o.d"
+  "CMakeFiles/chpo_trace.dir/prv_writer.cpp.o"
+  "CMakeFiles/chpo_trace.dir/prv_writer.cpp.o.d"
+  "CMakeFiles/chpo_trace.dir/trace.cpp.o"
+  "CMakeFiles/chpo_trace.dir/trace.cpp.o.d"
+  "libchpo_trace.a"
+  "libchpo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_registry.dir/test_data_registry.cpp.o"
+  "CMakeFiles/test_data_registry.dir/test_data_registry.cpp.o.d"
+  "test_data_registry"
+  "test_data_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

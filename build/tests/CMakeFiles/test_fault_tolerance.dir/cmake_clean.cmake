@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_tolerance.dir/test_fault_tolerance.cpp.o"
+  "CMakeFiles/test_fault_tolerance.dir/test_fault_tolerance.cpp.o.d"
+  "test_fault_tolerance"
+  "test_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_algorithms.dir/test_hpo_algorithms.cpp.o"
+  "CMakeFiles/test_hpo_algorithms.dir/test_hpo_algorithms.cpp.o.d"
+  "test_hpo_algorithms"
+  "test_hpo_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_driver.dir/test_hpo_driver.cpp.o"
+  "CMakeFiles/test_hpo_driver.dir/test_hpo_driver.cpp.o.d"
+  "test_hpo_driver"
+  "test_hpo_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_extensions.dir/test_hpo_extensions.cpp.o"
+  "CMakeFiles/test_hpo_extensions.dir/test_hpo_extensions.cpp.o.d"
+  "test_hpo_extensions"
+  "test_hpo_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

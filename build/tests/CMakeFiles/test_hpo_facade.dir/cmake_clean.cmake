@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_facade.dir/test_hpo_facade.cpp.o"
+  "CMakeFiles/test_hpo_facade.dir/test_hpo_facade.cpp.o.d"
+  "test_hpo_facade"
+  "test_hpo_facade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

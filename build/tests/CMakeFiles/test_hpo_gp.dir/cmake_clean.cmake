@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_gp.dir/test_hpo_gp.cpp.o"
+  "CMakeFiles/test_hpo_gp.dir/test_hpo_gp.cpp.o.d"
+  "test_hpo_gp"
+  "test_hpo_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_importance.dir/test_hpo_importance.cpp.o"
+  "CMakeFiles/test_hpo_importance.dir/test_hpo_importance.cpp.o.d"
+  "test_hpo_importance"
+  "test_hpo_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_space.dir/test_hpo_space.cpp.o"
+  "CMakeFiles/test_hpo_space.dir/test_hpo_space.cpp.o.d"
+  "test_hpo_space"
+  "test_hpo_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpo_tpe.dir/test_hpo_tpe.cpp.o"
+  "CMakeFiles/test_hpo_tpe.dir/test_hpo_tpe.cpp.o.d"
+  "test_hpo_tpe"
+  "test_hpo_tpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpo_tpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

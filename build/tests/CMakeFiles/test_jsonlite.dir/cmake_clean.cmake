@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jsonlite.dir/test_jsonlite.cpp.o"
+  "CMakeFiles/test_jsonlite.dir/test_jsonlite.cpp.o.d"
+  "test_jsonlite"
+  "test_jsonlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jsonlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_cost_model.dir/test_ml_cost_model.cpp.o"
+  "CMakeFiles/test_ml_cost_model.dir/test_ml_cost_model.cpp.o.d"
+  "test_ml_cost_model"
+  "test_ml_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_distributed.dir/test_ml_distributed.cpp.o"
+  "CMakeFiles/test_ml_distributed.dir/test_ml_distributed.cpp.o.d"
+  "test_ml_distributed"
+  "test_ml_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_extensions.dir/test_ml_extensions.cpp.o"
+  "CMakeFiles/test_ml_extensions.dir/test_ml_extensions.cpp.o.d"
+  "test_ml_extensions"
+  "test_ml_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_layers.dir/test_ml_layers.cpp.o"
+  "CMakeFiles/test_ml_layers.dir/test_ml_layers.cpp.o.d"
+  "test_ml_layers"
+  "test_ml_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

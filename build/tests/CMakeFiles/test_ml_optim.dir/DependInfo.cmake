@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ml_optim.cpp" "tests/CMakeFiles/test_ml_optim.dir/test_ml_optim.cpp.o" "gcc" "tests/CMakeFiles/test_ml_optim.dir/test_ml_optim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpo/CMakeFiles/chpo_hpo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/chpo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/chpo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chpo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonlite/CMakeFiles/chpo_jsonlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/chpo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/chpo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

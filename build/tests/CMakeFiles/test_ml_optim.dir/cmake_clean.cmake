@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_optim.dir/test_ml_optim.cpp.o"
+  "CMakeFiles/test_ml_optim.dir/test_ml_optim.cpp.o.d"
+  "test_ml_optim"
+  "test_ml_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_tensor.dir/test_ml_tensor.cpp.o"
+  "CMakeFiles/test_ml_tensor.dir/test_ml_tensor.cpp.o.d"
+  "test_ml_tensor"
+  "test_ml_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_training.dir/test_ml_training.cpp.o"
+  "CMakeFiles/test_ml_training.dir/test_ml_training.cpp.o.d"
+  "test_ml_training"
+  "test_ml_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_features.dir/test_runtime_features.cpp.o"
+  "CMakeFiles/test_runtime_features.dir/test_runtime_features.cpp.o.d"
+  "test_runtime_features"
+  "test_runtime_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_sim.dir/test_runtime_sim.cpp.o"
+  "CMakeFiles/test_runtime_sim.dir/test_runtime_sim.cpp.o.d"
+  "test_runtime_sim"
+  "test_runtime_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

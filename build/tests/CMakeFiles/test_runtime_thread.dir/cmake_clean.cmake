@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_thread.dir/test_runtime_thread.cpp.o"
+  "CMakeFiles/test_runtime_thread.dir/test_runtime_thread.cpp.o.d"
+  "test_runtime_thread"
+  "test_runtime_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

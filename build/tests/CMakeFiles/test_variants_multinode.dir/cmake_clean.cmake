@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variants_multinode.dir/test_variants_multinode.cpp.o"
+  "CMakeFiles/test_variants_multinode.dir/test_variants_multinode.cpp.o.d"
+  "test_variants_multinode"
+  "test_variants_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variants_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chpo_run.dir/chpo_run.cpp.o"
+  "CMakeFiles/chpo_run.dir/chpo_run.cpp.o.d"
+  "chpo_run"
+  "chpo_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chpo_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
