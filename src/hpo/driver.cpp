@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
+#include <optional>
 
 #include "hpo/checkpoint.hpp"
 #include "support/log.hpp"
@@ -92,18 +94,19 @@ rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& confi
 HpoDriver::HpoDriver(rt::Runtime& runtime, const ml::Dataset& dataset, DriverOptions options)
     : runtime_(runtime), dataset_(dataset), options_(std::move(options)) {}
 
-HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
-  return algorithm.sequential() ? run_sequential(algorithm) : run_batch(algorithm);
-}
-
 void HpoDriver::finalise(HpoOutcome& outcome, double t0) const {
   outcome.elapsed_seconds = runtime_.now() - t0;
+  // Trials were consumed in completion order; report them in submission
+  // order so callers and reports stay deterministic.
+  std::sort(outcome.trials.begin(), outcome.trials.end(),
+            [](const Trial& a, const Trial& b) { return a.index < b.index; });
   double best = -1.0;
-  for (const Trial& t : outcome.trials) {
+  for (std::size_t i = 0; i < outcome.trials.size(); ++i) {
+    const Trial& t = outcome.trials[i];
     if (t.failed) continue;
     if (t.result.final_val_accuracy > best) {
       best = t.result.final_val_accuracy;
-      outcome.best_index = t.index;
+      outcome.best_index = static_cast<int>(i);
     }
   }
 }
@@ -145,116 +148,99 @@ rt::TaskDef make_plot_task() {
 
 }  // namespace
 
-HpoOutcome HpoDriver::run_batch(SearchAlgorithm& algorithm) {
+HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
   const double t0 = runtime_.now();
   HpoOutcome outcome;
   const std::vector<Trial> restored =
       options_.checkpoint_path.empty() ? std::vector<Trial>{}
                                        : load_checkpoint(options_.checkpoint_path);
 
-  // The paper's main loop: submit every experiment, then wait on results.
-  // A config found in the checkpoint is replayed instead of resubmitted.
-  struct Pending {
+  // Batch algorithms are drained up front (the paper's embarrassingly
+  // parallel loop); sequential ones keep a window of suggestions in flight.
+  const std::size_t window =
+      algorithm.sequential()
+          ? static_cast<std::size_t>(std::max(1, options_.parallel_suggestions))
+          : std::numeric_limits<std::size_t>::max();
+
+  struct InFlight {
+    int index = -1;
     Config config;
-    std::optional<rt::Future> future;  // nullopt: restored from checkpoint
-    const Trial* restored = nullptr;
+    rt::Future future;
+    rt::Future vis;  ///< producer == kNoTask unless visualise is on
   };
-  std::vector<Pending> submitted;
-  std::vector<rt::Future> visualised;
-  int index = 0;
+  std::vector<InFlight> inflight;
+  std::vector<rt::Future> vis_done;  ///< vis futures of consumed, successful trials
+  int next_index = 0;
+  bool exhausted = false;
   std::size_t replayed = 0;
-  while (auto config = algorithm.next()) {
-    Pending pending;
-    pending.config = *config;
-    if (const Trial* previous = find_completed(restored, *config)) {
-      pending.restored = previous;
-      ++replayed;
-      if (options_.visualise) visualised.push_back(rt::Future{});  // keep indices aligned
-    } else {
-      const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, index);
-      const rt::Future experiment = runtime_.submit(def);
-      pending.future = experiment;
-      if (options_.visualise)
-        visualised.push_back(runtime_.submit(make_visualisation_task(*config),
-                                             {{experiment.data, rt::Direction::In}}));
-    }
-    submitted.push_back(std::move(pending));
-    ++index;
-  }
-  log_info("hpo", "{}: submitted {} experiments ({} replayed from checkpoint)",
-           algorithm.name(), submitted.size(), replayed);
 
-  for (std::size_t i = 0; i < submitted.size(); ++i) {
-    Trial trial;
-    trial.index = static_cast<int>(i);
-    trial.config = submitted[i].config;
-    if (submitted[i].restored) {
-      trial.result = submitted[i].restored->result;
-      algorithm.tell(trial.config, trial.result.final_val_accuracy);
-    } else {
-      trial.task = submitted[i].future->producer;
-      try {
-        trial.result = runtime_.wait_on_as<ml::TrainResult>(*submitted[i].future);
+  const auto stop_hit = [&](const Trial& t) {
+    return options_.stop_on_accuracy > 0 && !t.failed &&
+           t.result.final_val_accuracy >= options_.stop_on_accuracy;
+  };
+
+  // Pull configs until the window is full or the algorithm runs dry. A
+  // config found in the checkpoint is replayed inline instead of
+  // resubmitted. Returns true when a replayed trial hit the stop threshold.
+  const auto top_up = [&]() -> bool {
+    while (!exhausted && inflight.size() < window) {
+      const std::optional<Config> config = algorithm.next();
+      if (!config) {
+        exhausted = true;
+        break;
+      }
+      if (const Trial* previous = find_completed(restored, *config)) {
+        Trial trial;
+        trial.index = next_index++;
+        trial.config = *config;
+        trial.result = previous->result;
         algorithm.tell(trial.config, trial.result.final_val_accuracy);
-      } catch (const rt::TaskFailedError& e) {
-        trial.failed = true;
-        trial.failure_reason = e.what();
+        ++replayed;
+        outcome.trials.push_back(std::move(trial));
+        if (stop_hit(outcome.trials.back())) return true;
+        continue;
       }
+      InFlight f;
+      f.index = next_index++;
+      f.config = *config;
+      const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, f.index);
+      f.future = runtime_.submit(def);
+      if (options_.visualise)
+        f.vis = runtime_.submit(make_visualisation_task(*config),
+                                {{f.future.data, rt::Direction::In}});
+      inflight.push_back(std::move(f));
     }
-    outcome.trials.push_back(std::move(trial));
-    if (!options_.checkpoint_path.empty())
-      save_checkpoint(options_.checkpoint_path, outcome.trials);
-    if (options_.stop_on_accuracy > 0 && !outcome.trials.back().failed &&
-        outcome.trials.back().result.final_val_accuracy >= options_.stop_on_accuracy) {
-      outcome.stopped_early = true;
-      break;
-    }
-  }
+    return false;
+  };
 
-  // "When all tasks are completed, we plot the graphs" (§4): one plot task
-  // over every visualisation output that can still produce a value.
-  if (options_.visualise && !outcome.stopped_early) {
-    std::vector<rt::Param> params;
-    for (std::size_t i = 0; i < visualised.size(); ++i)
-      if (i < outcome.trials.size() && !outcome.trials[i].failed &&
-          submitted[i].future.has_value())  // checkpoint-restored: no vis task
-        params.push_back({visualised[i].data, rt::Direction::In});
-    if (!params.empty()) {
-      const rt::Future plot = runtime_.submit(make_plot_task(), params);
-      try {
-        outcome.report = runtime_.wait_on_as<std::string>(plot);
-      } catch (const rt::TaskFailedError& e) {
-        outcome.report = std::string("plot task failed: ") + e.what();
-      }
-    }
-  }
-  finalise(outcome, t0);
-  return outcome;
-}
+  bool stopped = top_up();
+  log_info("hpo", "{}: {} trials in flight, window {} ({} replayed from checkpoint)",
+           algorithm.name(), inflight.size(),
+           window == std::numeric_limits<std::size_t>::max() ? std::string("all")
+                                                             : std::to_string(window),
+           replayed);
 
-HpoOutcome HpoDriver::run_sequential(SearchAlgorithm& algorithm) {
-  const double t0 = runtime_.now();
-  HpoOutcome outcome;
-  const std::vector<Trial> restored =
-      options_.checkpoint_path.empty() ? std::vector<Trial>{}
-                                       : load_checkpoint(options_.checkpoint_path);
-  int index = 0;
-  while (auto config = algorithm.next()) {
+  // The completion-driven loop: consume whichever trial finishes first,
+  // feed the observation to the algorithm, immediately refill the window.
+  while (!stopped && !inflight.empty()) {
+    std::vector<rt::Future> outstanding;
+    outstanding.reserve(inflight.size());
+    for (const InFlight& f : inflight) outstanding.push_back(f.future);
+    const rt::Future finished = runtime_.wait_any(outstanding);
+    const auto it =
+        std::find_if(inflight.begin(), inflight.end(),
+                     [&](const InFlight& f) { return f.future.producer == finished.producer; });
+
     Trial trial;
-    trial.index = index++;
-    trial.config = *config;
-    if (const Trial* previous = find_completed(restored, *config)) {
-      trial.result = previous->result;
-      algorithm.tell(trial.config, trial.result.final_val_accuracy);
-      outcome.trials.push_back(std::move(trial));
-      continue;
-    }
-    const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, trial.index);
-    const rt::Future future = runtime_.submit(def);
-    trial.task = future.producer;
+    trial.index = it->index;
+    trial.config = it->config;
+    trial.task = it->future.producer;
+    const rt::Future vis = it->vis;
+    inflight.erase(it);
     try {
-      trial.result = runtime_.wait_on_as<ml::TrainResult>(future);
+      trial.result = runtime_.wait_on_as<ml::TrainResult>(finished);
       algorithm.tell(trial.config, trial.result.final_val_accuracy);
+      if (vis.producer != rt::kNoTask) vis_done.push_back(vis);
     } catch (const rt::TaskFailedError& e) {
       trial.failed = true;
       trial.failure_reason = e.what();
@@ -262,10 +248,32 @@ HpoOutcome HpoDriver::run_sequential(SearchAlgorithm& algorithm) {
     outcome.trials.push_back(std::move(trial));
     if (!options_.checkpoint_path.empty())
       save_checkpoint(options_.checkpoint_path, outcome.trials);
-    if (options_.stop_on_accuracy > 0 && !outcome.trials.back().failed &&
-        outcome.trials.back().result.final_val_accuracy >= options_.stop_on_accuracy) {
-      outcome.stopped_early = true;
+    if (stop_hit(outcome.trials.back())) {
+      stopped = true;
       break;
+    }
+    if (top_up()) stopped = true;
+  }
+
+  if (stopped) {
+    outcome.stopped_early = true;
+    // As-completed early stop: cancel what is still outstanding instead of
+    // draining it in the runtime's destructor. Visualisation tasks are
+    // dependents of their experiments, so they are cancelled transitively.
+    for (const InFlight& f : inflight) runtime_.cancel(f.future);
+  }
+
+  // "When all tasks are completed, we plot the graphs" (§4): one plot task
+  // over every visualisation output that produced a value.
+  if (options_.visualise && !outcome.stopped_early && !vis_done.empty()) {
+    std::vector<rt::Param> params;
+    params.reserve(vis_done.size());
+    for (const rt::Future& v : vis_done) params.push_back({v.data, rt::Direction::In});
+    const rt::Future plot = runtime_.submit(make_plot_task(), params);
+    try {
+      outcome.report = runtime_.wait_on_as<std::string>(plot);
+    } catch (const rt::TaskFailedError& e) {
+      outcome.report = std::string("plot task failed: ") + e.what();
     }
   }
   finalise(outcome, t0);

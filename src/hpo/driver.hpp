@@ -1,17 +1,23 @@
-// HPO driver — the paper's application structure (Figure 2 / Listing 2).
+// HPO driver — the paper's application structure (Figure 2 / Listing 2),
+// run as a completion-driven pipeline.
 //
 // Turns each configuration produced by a SearchAlgorithm into an
-// `experiment` task (with the requested @constraint), submits them through
-// the runtime, synchronises with wait_on, and collects results. Batch
-// algorithms (grid/random) have all their trials submitted up front —
-// embarrassingly parallel, exactly the paper's loop; sequential algorithms
-// (GP-EI) submit one trial per observation.
+// `experiment` task (with the requested @constraint) and keeps a window of
+// trials in flight: batch algorithms (grid/random) have every trial
+// submitted up front — embarrassingly parallel, exactly the paper's loop —
+// while sequential algorithms (GP-EI, TPE) keep `parallel_suggestions`
+// trials outstanding. Results are consumed with wait_any in *completion*
+// order, so a fast trial that was submitted late is observed the moment it
+// finishes (no head-of-line blocking) and its score reaches the algorithm
+// immediately, which then suggests the next config while the rest of the
+// cluster stays busy.
 //
 // Supports the paper's two flavours of early stopping:
 //  * per-trial: TrainConfig target_accuracy/patience inside the task body;
-//  * whole-HPO: stop consuming results once a trial reaches
-//    `stop_on_accuracy` ("the process can be stopped as soon as one task
-//    achieves a specified accuracy", §6.1).
+//  * whole-HPO: stop once *any* trial reaches `stop_on_accuracy` ("the
+//    process can be stopped as soon as one task achieves a specified
+//    accuracy", §6.1) — regardless of submission index; outstanding trials
+//    are cancelled rather than drained.
 #pragma once
 
 #include <functional>
@@ -39,7 +45,7 @@ struct Trial {
 
 struct HpoOutcome {
   std::vector<Trial> trials;
-  int best_index = -1;  ///< trial with the highest final validation accuracy
+  int best_index = -1;  ///< position in `trials` of the best (highest accuracy) trial
   double elapsed_seconds = 0.0;
   bool stopped_early = false;
   /// Output of the final `plot` task when DriverOptions::visualise is set
@@ -55,7 +61,15 @@ struct DriverOptions {
   /// @constraint of each experiment task.
   rt::Constraint trial_constraint{.cpus = 1, .gpus = 0, .node_exclusive = false};
   /// Whole-HPO early stop threshold on validation accuracy (<=0 disables).
+  /// Fires on the first trial (by completion order) to cross it;
+  /// outstanding trials are cancelled.
   double stop_on_accuracy = -1.0;
+  /// In-flight window for sequential algorithms (GP-EI, TPE): how many
+  /// trials run concurrently between observations. 1 reproduces the strict
+  /// suggest→observe loop; larger windows trade model freshness for
+  /// cluster utilisation. Batch algorithms ignore this (all trials are
+  /// submitted up front).
+  int parallel_suggestions = 1;
   /// Per-trial early stopping passed into TrainConfig.
   double trial_target_accuracy = -1.0;
   int trial_patience = -1;
@@ -96,14 +110,13 @@ class HpoDriver {
   /// drains them. Declare the dataset before the runtime.
   HpoDriver(rt::Runtime& runtime, const ml::Dataset& dataset, DriverOptions options);
 
-  /// Run the algorithm to exhaustion (or early stop); returns all trials.
+  /// Run the algorithm to exhaustion (or early stop); returns all trials
+  /// (sorted by submission index; consumption happens in completion order).
   HpoOutcome run(SearchAlgorithm& algorithm);
 
   const DriverOptions& options() const { return options_; }
 
  private:
-  HpoOutcome run_batch(SearchAlgorithm& algorithm);
-  HpoOutcome run_sequential(SearchAlgorithm& algorithm);
   void finalise(HpoOutcome& outcome, double t0) const;
 
   rt::Runtime& runtime_;

@@ -41,19 +41,34 @@ HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& datas
                                rung_index * 1000 + static_cast<int>(i));
       submitted.emplace_back(std::move(budgeted), runtime.submit(def));
     }
-    for (std::size_t i = 0; i < submitted.size(); ++i) {
+    // Consume the rung as-completed (wait_any), not in submission order:
+    // ranking needs every result anyway, but observing completions as they
+    // land keeps trial bookkeeping off the slowest-first critical path.
+    std::vector<std::pair<std::size_t, rt::Future>> outstanding;
+    for (std::size_t i = 0; i < submitted.size(); ++i) outstanding.emplace_back(i, submitted[i].second);
+    while (!outstanding.empty()) {
+      std::vector<rt::Future> futures;
+      futures.reserve(outstanding.size());
+      for (const auto& [_, f] : outstanding) futures.push_back(f);
+      const rt::Future finished = runtime.wait_any(futures);
+      const auto it = std::find_if(outstanding.begin(), outstanding.end(), [&](const auto& entry) {
+        return entry.second.producer == finished.producer;
+      });
       Trial trial;
-      trial.index = static_cast<int>(i);
-      trial.config = submitted[i].first;
-      trial.task = submitted[i].second.producer;
+      trial.index = static_cast<int>(it->first);
+      trial.config = submitted[it->first].first;
+      trial.task = finished.producer;
       try {
-        trial.result = runtime.wait_on_as<ml::TrainResult>(submitted[i].second);
+        trial.result = runtime.wait_on_as<ml::TrainResult>(finished);
       } catch (const rt::TaskFailedError& e) {
         trial.failed = true;
         trial.failure_reason = e.what();
       }
+      outstanding.erase(it);
       rung.trials.push_back(std::move(trial));
     }
+    std::sort(rung.trials.begin(), rung.trials.end(),
+              [](const Trial& a, const Trial& b) { return a.index < b.index; });
 
     // Rank survivors by accuracy, keep the top 1/eta.
     std::vector<const Trial*> ranked;

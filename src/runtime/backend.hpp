@@ -7,6 +7,8 @@
 // submission sequence — the test suite asserts this equivalence.
 #pragma once
 
+#include <span>
+
 #include "runtime/engine.hpp"
 #include "runtime/types.hpp"
 
@@ -22,6 +24,17 @@ class Backend {
   /// Drive the engine until `target` reaches a terminal state; kNoTask
   /// means "until every submitted task is terminal" (a full barrier).
   virtual void run_until(TaskId target) = 0;
+
+  /// Completion-driven wait: drive the engine until at least one of
+  /// `targets` is terminal, in whatever order completions actually land
+  /// (no head-of-line blocking on submission order). Already-terminal
+  /// targets return immediately.
+  virtual void run_until_any(std::span<const TaskId> targets) = 0;
+
+  /// Bounded barrier: drive the engine until every submitted task is
+  /// terminal or `seconds` have elapsed (wall or virtual) from the call,
+  /// whichever comes first. Returns true iff everything is terminal.
+  virtual bool run_for(double seconds) = 0;
 
   /// True for the discrete-event simulator.
   virtual bool simulated() const = 0;

@@ -24,10 +24,17 @@ void Engine::on_submitted(TaskId task, double now) {
                             .t_end = now});
   if (record.state == TaskState::Cancelled) {
     // Doomed at submission: a predecessor had already failed.
-    ++terminal_;
+    mark_terminal(task);
     return;
   }
   if (record.state == TaskState::Ready) make_ready(task);
+}
+
+void Engine::mark_terminal(TaskId task) {
+  ++terminal_;
+  TaskRecord& record = graph_.task(task);
+  record.terminal_seq = ++terminal_seq_;
+  if (on_terminal_) on_terminal_(task, record.state);
 }
 
 namespace {
@@ -50,7 +57,7 @@ void Engine::make_ready(TaskId task) {
              record.def.name, record.def.constraint.cpus, record.def.constraint.gpus);
     record.state = TaskState::Failed;
     record.failure_reason = "constraint unsatisfiable on this cluster";
-    ++terminal_;
+    mark_terminal(task);
     cancel_dependents(task);
     return;
   }
@@ -181,6 +188,24 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
   --running_;
   ++record.attempts_made;
 
+  if (record.abandoned) {
+    // Runtime::cancel caught this attempt mid-flight: whatever it produced
+    // is discarded — no commit, no retry, dependents were already doomed.
+    sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
+                              .task_id = task,
+                              .attempt = record.attempts_made,
+                              .task_name = record.def.name,
+                              .node = placement.node,
+                              .cores = placement.cores,
+                              .gpus = placement.gpus,
+                              .t_start = start,
+                              .t_end = end});
+    record.state = TaskState::Cancelled;
+    if (record.failure_reason.empty()) record.failure_reason = "cancelled while running";
+    mark_terminal(task);
+    return completion;
+  }
+
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                             .task_id = task,
                             .attempt = record.attempts_made,
@@ -206,7 +231,7 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
   if (result.success) {
     commit_outputs(record, result);
     record.state = TaskState::Done;
-    ++terminal_;
+    mark_terminal(task);
     for (TaskId succ : record.successors) {
       TaskRecord& s = graph_.task(succ);
       if (s.state != TaskState::WaitingDeps) continue;
@@ -232,7 +257,7 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
 
   if (record.attempts_made >= options_.fault_policy.max_attempts) {
     record.state = TaskState::Failed;
-    ++terminal_;
+    mark_terminal(task);
     cancel_dependents(task);
     return completion;
   }
@@ -296,10 +321,41 @@ void Engine::cancel_dependents(TaskId task) {
         ready_.erase(std::remove(ready_.begin(), ready_.end(), succ), ready_.end());
       s.state = TaskState::Cancelled;
       s.failure_reason = "predecessor " + std::to_string(task) + " failed";
-      ++terminal_;
+      mark_terminal(succ);
       cancel_dependents(succ);
     }
   }
+}
+
+bool Engine::cancel(TaskId task, double now) {
+  TaskRecord& record = graph_.task(task);
+  if (task_terminal(task)) return false;  // too late: result already landed
+
+  sink_.record(trace::Event{.kind = trace::EventKind::Cancel,
+                            .task_id = task,
+                            .task_name = record.def.name,
+                            .node = record.state == TaskState::Running ? record.last_node : -1,
+                            .t_start = now,
+                            .t_end = now});
+
+  if (record.state == TaskState::Running) {
+    // The attempt holds its resources until it reports back; the outcome
+    // will be discarded in complete_attempt. Dependents are doomed now —
+    // the inputs they wait for will never be committed.
+    record.abandoned = true;
+    record.failure_reason = "cancelled by caller";
+    cancel_dependents(task);
+    return true;
+  }
+
+  // WaitingDeps or Ready: never held resources, nothing to release.
+  if (record.state == TaskState::Ready)
+    ready_.erase(std::remove(ready_.begin(), ready_.end(), task), ready_.end());
+  record.state = TaskState::Cancelled;
+  record.failure_reason = "cancelled by caller";
+  mark_terminal(task);
+  cancel_dependents(task);
+  return true;
 }
 
 void Engine::fail_node(std::size_t node, double now) {
@@ -335,7 +391,7 @@ bool Engine::reap_infeasible() {
     ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
     record.state = TaskState::Failed;
     record.failure_reason = "no live node can satisfy the constraint";
-    ++terminal_;
+    mark_terminal(record.id);
     cancel_dependents(record.id);
     progressed = true;
   }

@@ -20,6 +20,7 @@
 // writes in the TaskContext.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,8 +52,15 @@ struct EngineOptions {
 
 class Engine {
  public:
+  /// Invoked (on the coordinator thread) every time a task reaches a
+  /// terminal state — the completion feed the Runtime's wait_any/callback
+  /// machinery is built on.
+  using TerminalListener = std::function<void(TaskId, TaskState)>;
+
   Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions options,
          FaultInjector injector, trace::TraceSink& sink);
+
+  void set_terminal_listener(TerminalListener listener) { on_terminal_ = std::move(listener); }
 
   /// Notify that `task` was just added to the graph (possibly Ready).
   /// Records the submit event flag at time `now`.
@@ -89,6 +97,15 @@ class Engine {
   Completion complete_attempt(TaskId task, const Placement& placement, AttemptResult result,
                               double start, double end);
 
+  /// Cooperative cancellation (the completion-driven early-stop path).
+  /// A WaitingDeps/Ready task transitions to Cancelled immediately (it
+  /// never held resources, so none are released) and dooms its dependents;
+  /// a Running task is marked abandon-on-finish — its attempt keeps its
+  /// resources until the backend reports completion, at which point the
+  /// result is discarded (never committed, never retried) and the task
+  /// ends Cancelled. Returns false iff the task was already terminal.
+  bool cancel(TaskId task, double now);
+
   /// Mark a node as dead at time `now`. The backend must subsequently call
   /// complete_attempt(success=false) for every task it was running there.
   void fail_node(std::size_t node, double now);
@@ -117,6 +134,9 @@ class Engine {
   void make_ready(TaskId task);
   void cancel_dependents(TaskId task);
   void commit_outputs(TaskRecord& task, AttemptResult& result);
+  /// Single funnel for terminal transitions: stamps the completion order
+  /// on the record and publishes the notification.
+  void mark_terminal(TaskId task);
 
   TaskGraph& graph_;
   ResourceState resources_;
@@ -126,7 +146,9 @@ class Engine {
   trace::TraceSink& sink_;
   std::vector<TaskId> ready_;  ///< submission-ordered ready queue
   std::size_t running_ = 0;
-  std::size_t terminal_ = 0;  ///< Done + Failed + Cancelled
+  std::size_t terminal_ = 0;           ///< Done + Failed + Cancelled
+  std::uint64_t terminal_seq_ = 0;     ///< completion-order stamp source
+  TerminalListener on_terminal_;
 };
 
 }  // namespace chpo::rt

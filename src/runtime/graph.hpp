@@ -35,6 +35,12 @@ struct TaskRecord {
   /// otherwise an index into def.variants (@implement).
   int active_variant = -1;
   std::string failure_reason;
+  /// Runtime::cancel hit this task while an attempt was in flight: the
+  /// attempt's outcome is discarded when it reports back.
+  bool abandoned = false;
+  /// Completion-order stamp (1-based); 0 while the task is not yet
+  /// terminal. wait_any uses it to pick the *first* finisher.
+  std::uint64_t terminal_seq = 0;
 
   const Constraint& implementation_constraint(int variant) const {
     return variant < 0 ? def.constraint

@@ -16,6 +16,8 @@ Runtime::Runtime(RuntimeOptions options)
               options_.injector, sink_) {
   if (options_.cluster.nodes.empty())
     throw std::invalid_argument("Runtime: cluster has no nodes");
+  engine_.set_terminal_listener(
+      [this](TaskId task, TaskState state) { on_task_terminal(task, state); });
   if (options_.simulate)
     backend_ = std::make_unique<SimBackend>(engine_, options_.sim);
   else
@@ -38,6 +40,31 @@ Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params) {
   return graph_.task(id).result;
 }
 
+Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params,
+                       CompletionCallback on_complete) {
+  const TaskId id = graph_.add_task(def, params);
+  // Register before on_submitted: a task doomed at submission (failed
+  // predecessor) turns terminal inside that call and must still fire.
+  if (on_complete) callbacks_[id] = std::move(on_complete);
+  engine_.on_submitted(id, backend_->now());
+  return graph_.task(id).result;
+}
+
+void Runtime::on_task_terminal(TaskId task, TaskState state) {
+  completions_.push_back(task);
+  const auto it = callbacks_.find(task);
+  if (it == callbacks_.end()) return;
+  CompletionCallback callback = std::move(it->second);
+  callbacks_.erase(it);  // erase first: the callback may submit new tasks
+  callback(graph_.task(task).result, state);
+}
+
+std::vector<TaskId> Runtime::drain_completions() {
+  std::vector<TaskId> drained(completions_.begin(), completions_.end());
+  completions_.clear();
+  return drained;
+}
+
 Future Runtime::submit_in(const TaskDef& def, const std::vector<DataId>& inputs) {
   std::vector<Param> params;
   params.reserve(inputs.size());
@@ -57,6 +84,54 @@ std::any Runtime::wait_on(const Future& future) {
   if (record.state != TaskState::Done)
     throw TaskFailedError(future.producer, record.failure_reason);
   return graph_.registry().value(future.data, future.version);
+}
+
+Future Runtime::wait_any(std::span<const Future> futures) {
+  if (futures.empty()) throw std::invalid_argument("wait_any: no futures");
+  std::vector<TaskId> targets;
+  targets.reserve(futures.size());
+  for (const Future& f : futures) {
+    if (f.producer == kNoTask) throw std::invalid_argument("wait_any: empty future");
+    targets.push_back(f.producer);
+  }
+
+  // Pick the candidate that turned terminal first; drive the backend only
+  // when none has yet.
+  auto first_finished = [&]() -> const Future* {
+    const Future* winner = nullptr;
+    std::uint64_t best_seq = 0;
+    for (const Future& f : futures) {
+      const std::uint64_t seq = graph_.task(f.producer).terminal_seq;
+      if (seq == 0) continue;
+      if (winner == nullptr || seq < best_seq) {
+        winner = &f;
+        best_seq = seq;
+      }
+    }
+    return winner;
+  };
+
+  const Future* winner = first_finished();
+  if (winner == nullptr) {
+    backend_->run_until_any(targets);
+    winner = first_finished();
+  }
+  synced_.push_back(*winner);
+  sink_.record(trace::Event{.kind = trace::EventKind::WaitAny,
+                            .task_id = winner->producer,
+                            .t_start = backend_->now(),
+                            .t_end = backend_->now()});
+  return *winner;
+}
+
+bool Runtime::wait_all_for(double seconds) {
+  if (graph_.empty()) return true;
+  return backend_->run_for(seconds);
+}
+
+bool Runtime::cancel(const Future& future) {
+  if (future.producer == kNoTask) throw std::invalid_argument("cancel: empty future");
+  return engine_.cancel(future.producer, backend_->now());
 }
 
 void Runtime::barrier() {

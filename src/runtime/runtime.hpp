@@ -21,8 +21,11 @@
 #pragma once
 
 #include <any>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -85,9 +88,21 @@ class Runtime {
                                            /*everywhere=*/false);
   }
 
+  /// Invoked on the coordinator thread (inside whichever wait/barrier call
+  /// drives the engine) the moment the task reaches a terminal state.
+  /// `state` is Done, Failed or Cancelled. The callback may submit new
+  /// tasks or cancel others, but must not wait — it runs in the middle of
+  /// the completion loop.
+  using CompletionCallback = std::function<void(const Future&, TaskState state)>;
+
   /// Submit a task over the given parameters; returns the future of the
   /// body's return value. Dependencies are derived from param directions.
   Future submit(const TaskDef& def, const std::vector<Param>& params = {});
+
+  /// Like submit(), with a completion callback fired when the task turns
+  /// terminal (the push half of the completion-driven API; wait_any is the
+  /// pull half).
+  Future submit(const TaskDef& def, const std::vector<Param>& params, CompletionCallback on_complete);
 
   /// Convenience: submit with IN-only data ids.
   Future submit_in(const TaskDef& def, const std::vector<DataId>& inputs);
@@ -118,6 +133,34 @@ class Runtime {
     return std::any_cast<T>(wait_on(future));
   }
 
+  /// Completion-driven wait: block until at least one of `futures` reaches
+  /// a terminal state and return the *first* one to have done so (by
+  /// completion order, not submission order). Unlike wait_on it does not
+  /// throw on task failure — follow up with wait_on on the returned future
+  /// to fetch the value or the error. Throws std::invalid_argument on an
+  /// empty span or empty futures.
+  Future wait_any(std::span<const Future> futures);
+  Future wait_any(const std::vector<Future>& futures) {
+    return wait_any(std::span<const Future>(futures));
+  }
+
+  /// Bounded barrier: drive the runtime for at most `seconds` (wall or
+  /// virtual, matching the backend clock). Returns true iff every
+  /// submitted task is terminal.
+  bool wait_all_for(double seconds);
+
+  /// Cancel the producer of `future`. A task that has not started yet is
+  /// cancelled immediately (it never held resources); a running attempt is
+  /// marked abandon-on-finish — its resources come back when the attempt
+  /// ends and its result is discarded. Dependents are cancelled either
+  /// way. Returns false iff the task was already terminal (too late).
+  bool cancel(const Future& future);
+
+  /// Tasks that reached a terminal state since the last drain, in
+  /// completion order — the runtime-level completion queue both backends
+  /// publish into.
+  std::vector<TaskId> drain_completions();
+
   /// compss_barrier: run every submitted task to a terminal state.
   void barrier();
 
@@ -146,6 +189,8 @@ class Runtime {
   std::size_t task_count() const { return graph_.size(); }
 
  private:
+  void on_task_terminal(TaskId task, TaskState state);
+
   RuntimeOptions options_;
   DataRegistry registry_;
   TaskGraph graph_;
@@ -154,6 +199,11 @@ class Runtime {
   std::unique_ptr<Backend> backend_;
   std::vector<Future> synced_;
   std::map<std::string, std::vector<TaskId>> groups_;
+  /// Terminal notifications not yet consumed via drain_completions().
+  /// Only touched from the coordinator thread (the engine's threading
+  /// contract), so it needs no lock.
+  std::deque<TaskId> completions_;
+  std::map<TaskId, CompletionCallback> callbacks_;
 };
 
 }  // namespace chpo::rt

@@ -74,11 +74,11 @@ bool SimBackend::done(TaskId target) const {
   return target == kNoTask ? engine_.all_terminal() : engine_.task_terminal(target);
 }
 
-void SimBackend::run_until(TaskId target) {
-  while (!done(target)) {
+bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
+  while (!finished()) {
     for (const Dispatch& d : engine_.schedule(now_)) dispatch(d, false);
 
-    if (done(target)) return;
+    if (finished()) return true;
 
     // Find the next live event.
     auto next_live = [this]() -> bool {
@@ -91,8 +91,15 @@ void SimBackend::run_until(TaskId target) {
 
     if (!next_live()) {
       if (engine_.reap_infeasible()) continue;
-      if (done(target)) return;
+      if (finished()) return true;
       throw std::runtime_error("SimBackend: no pending events but target not finished");
+    }
+
+    if (deadline >= 0.0 && events_.front().time > deadline) {
+      // The next completion lies beyond the horizon: advance the clock to
+      // the deadline and hand control back with attempts still in flight.
+      now_ = std::max(now_, deadline);
+      return false;
     }
 
     std::pop_heap(events_.begin(), events_.end(), EvLater{});
@@ -131,6 +138,24 @@ void SimBackend::run_until(TaskId target) {
     // Same-node retry keeps its staged inputs; duration is re-modelled.
     if (completion.retry) dispatch(*completion.retry, true);
   }
+  return true;
+}
+
+void SimBackend::run_until(TaskId target) {
+  drive([this, target] { return done(target); }, /*deadline=*/-1.0);
+}
+
+void SimBackend::run_until_any(std::span<const TaskId> targets) {
+  drive(
+      [this, targets] {
+        return std::any_of(targets.begin(), targets.end(),
+                           [this](TaskId t) { return engine_.task_terminal(t); });
+      },
+      /*deadline=*/-1.0);
+}
+
+bool SimBackend::run_for(double seconds) {
+  return drive([this] { return engine_.all_terminal(); }, now_ + seconds);
 }
 
 }  // namespace chpo::rt

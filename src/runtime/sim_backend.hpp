@@ -12,6 +12,7 @@
 // scheduling studies where only the timeline matters.
 #pragma once
 
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -31,6 +32,8 @@ class SimBackend : public Backend {
 
   double now() const override { return now_; }
   void run_until(TaskId target) override;
+  void run_until_any(std::span<const TaskId> targets) override;
+  bool run_for(double seconds) override;
   bool simulated() const override { return true; }
 
  private:
@@ -52,6 +55,11 @@ class SimBackend : public Backend {
   void dispatch(const Dispatch& d, bool inputs_already_staged);
   bool done(TaskId target) const;
   double task_duration(const TaskRecord& record, const Placement& placement) const;
+  /// Event loop shared by every wait flavour: pop events until `finished()`
+  /// holds or the next event lies beyond the virtual `deadline` (<0 =
+  /// none), in which case the clock advances to the deadline exactly.
+  /// Returns true iff it stopped because `finished()` held.
+  bool drive(const std::function<bool()>& finished, double deadline);
 
   Engine& engine_;
   SimOptions options_;

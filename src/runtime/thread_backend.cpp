@@ -1,6 +1,7 @@
 #include "runtime/thread_backend.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace chpo::rt {
@@ -49,24 +50,32 @@ bool ThreadBackend::done(TaskId target) const {
   return target == kNoTask ? engine_.all_terminal() : engine_.task_terminal(target);
 }
 
-void ThreadBackend::run_until(TaskId target) {
-  while (!done(target)) {
+bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline) {
+  while (!finished()) {
+    if (deadline >= 0.0 && now() >= deadline) return false;
+
     for (const Dispatch& d : engine_.schedule(now())) launch(d);
 
-    if (done(target)) return;
+    if (finished()) return true;
 
     if (engine_.running_count() == 0) {
       // Nothing is running and nothing could be placed: either constraints
       // became infeasible (node deaths) or this is a genuine deadlock.
       if (engine_.reap_infeasible()) continue;
-      if (done(target)) return;
+      if (finished()) return true;
       throw std::runtime_error("ThreadBackend: no runnable tasks but target not finished");
     }
 
     CompletionMsg msg;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return !completions_.empty(); });
+      if (deadline < 0.0) {
+        cv_.wait(lock, [this] { return !completions_.empty(); });
+      } else {
+        const auto wait = std::chrono::duration<double>(deadline - now());
+        if (!cv_.wait_for(lock, wait, [this] { return !completions_.empty(); }))
+          return false;  // deadline hit with attempts still in flight
+      }
       msg = std::move(completions_.front());
       completions_.pop_front();
     }
@@ -74,6 +83,24 @@ void ThreadBackend::run_until(TaskId target) {
         engine_.complete_attempt(msg.task, msg.placement, std::move(msg.result), msg.start, msg.end);
     if (completion.retry) launch(*completion.retry);
   }
+  return true;
+}
+
+void ThreadBackend::run_until(TaskId target) {
+  drive([this, target] { return done(target); }, /*deadline=*/-1.0);
+}
+
+void ThreadBackend::run_until_any(std::span<const TaskId> targets) {
+  drive(
+      [this, targets] {
+        return std::any_of(targets.begin(), targets.end(),
+                           [this](TaskId t) { return engine_.task_terminal(t); });
+      },
+      /*deadline=*/-1.0);
+}
+
+bool ThreadBackend::run_for(double seconds) {
+  return drive([this] { return engine_.all_terminal(); }, now() + seconds);
 }
 
 }  // namespace chpo::rt

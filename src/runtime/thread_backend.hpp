@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -29,6 +30,8 @@ class ThreadBackend : public Backend {
 
   double now() const override { return clock_.elapsed_seconds(); }
   void run_until(TaskId target) override;
+  void run_until_any(std::span<const TaskId> targets) override;
+  bool run_for(double seconds) override;
   bool simulated() const override { return false; }
 
  private:
@@ -42,6 +45,11 @@ class ThreadBackend : public Backend {
 
   void launch(const Dispatch& dispatch);
   bool done(TaskId target) const;
+  /// Core loop shared by every wait flavour: dispatch ready tasks and
+  /// process worker completions until `finished()` holds or the wall-clock
+  /// `deadline` (seconds on this backend's clock; <0 = none) passes.
+  /// Returns true iff it stopped because `finished()` held.
+  bool drive(const std::function<bool()>& finished, double deadline);
 
   Engine& engine_;
   Stopwatch clock_;

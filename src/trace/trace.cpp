@@ -41,6 +41,8 @@ const char* kind_name(EventKind kind) {
     case EventKind::TaskRetry: return "task_retry";
     case EventKind::NodeDown: return "node_down";
     case EventKind::Sync: return "sync";
+    case EventKind::WaitAny: return "wait_any";
+    case EventKind::Cancel: return "cancel";
   }
   return "unknown";
 }

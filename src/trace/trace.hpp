@@ -30,6 +30,8 @@ enum class EventKind : std::uint8_t {
   TaskRetry,     ///< point: runtime relaunched a failed task
   NodeDown,      ///< point: a node was lost
   Sync,          ///< point: wait_on barrier reached
+  WaitAny,       ///< point: wait_any returned (task_id = the winner)
+  Cancel,        ///< point: caller cancelled the task (early stop)
 };
 
 struct Event {

@@ -101,6 +101,89 @@ TEST(Driver, SequentialAlgorithmGetsFeedback) {
   EXPECT_EQ(bo.observations(), 6u);
 }
 
+/// Scripted batch algorithm: yields a fixed config list, records tells.
+class FixedList : public SearchAlgorithm {
+ public:
+  explicit FixedList(std::vector<Config> configs) : configs_(std::move(configs)) {}
+  std::string name() const override { return "fixed"; }
+  std::optional<Config> next() override {
+    if (cursor_ >= configs_.size()) return std::nullopt;
+    return configs_[cursor_++];
+  }
+  void tell(const Config&, double score) override { scores_.push_back(score); }
+  const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  std::vector<Config> configs_;
+  std::size_t cursor_ = 0;
+  std::vector<double> scores_;
+};
+
+TEST(Driver, EarlyStopFiresOnFirstCompletionNotSubmissionIndex) {
+  // Two trials on the simulator: the one submitted FIRST takes 60x longer
+  // (more epochs under the workload cost model). With a threshold every
+  // trial crosses, completion-driven consumption must stop on the short,
+  // late-submitted trial — under the old in-order wait_on loop the driver
+  // would have blocked on trial 0 for the full 60 epochs first.
+  const ml::Dataset dataset = ml::make_mnist_like(120, 40, 21);
+  rt::RuntimeOptions opts;
+  opts.cluster = cluster::marenostrum4(1);
+  opts.simulate = true;
+  rt::Runtime runtime(std::move(opts));
+  DriverOptions options;
+  options.workload = ml::mnist_paper_model();
+  options.stop_on_accuracy = 1e-9;  // any completed trial crosses
+  options.epoch_cap = 1;            // keep the real training inside bodies cheap
+  options.trial_constraint = {.cpus = 4};
+  HpoDriver driver(runtime, dataset, options);
+
+  const Config slow = json::parse(R"({"optimizer":"SGD","num_epochs":60,"batch_size":32})");
+  const Config fast = json::parse(R"({"optimizer":"SGD","num_epochs":1,"batch_size":32})");
+  FixedList algorithm({slow, fast});
+  const HpoOutcome outcome = driver.run(algorithm);
+
+  EXPECT_TRUE(outcome.stopped_early);
+  ASSERT_EQ(outcome.trials.size(), 1u);
+  EXPECT_EQ(outcome.trials[0].index, 1);  // the late-submitted fast trial won
+  EXPECT_EQ(config_int(outcome.trials[0].config, "num_epochs"), 1);
+
+  // The slow trial was cancelled, not drained: after the final barrier it
+  // ends Cancelled and the virtual clock never paid for a second trial's
+  // consumption in order.
+  runtime.barrier();
+  std::size_t done = 0, cancelled = 0;
+  for (rt::TaskId id = 0; id < runtime.task_count(); ++id) {
+    const auto state = runtime.graph().task(id).state;
+    if (state == rt::TaskState::Done) ++done;
+    if (state == rt::TaskState::Cancelled) ++cancelled;
+  }
+  EXPECT_EQ(done, 1u);
+  EXPECT_EQ(cancelled, 1u);
+}
+
+TEST(Driver, SequentialWindowKeepsKTrialsInFlight) {
+  // GP-EI with parallel_suggestions=2: two trials run concurrently while
+  // the model still observes every result.
+  const ml::Dataset dataset = ml::make_mnist_like(60, 20, 22);
+  rt::RuntimeOptions opts;
+  opts.cluster = cluster::marenostrum4(1);
+  opts.simulate = true;
+  rt::Runtime runtime(std::move(opts));
+  DriverOptions options;
+  options.workload = ml::mnist_paper_model();
+  options.epoch_cap = 1;
+  options.trial_constraint = {.cpus = 4};
+  options.parallel_suggestions = 2;
+  HpoDriver driver(runtime, dataset, options);
+  SearchSpace space;
+  space.add_float("learning_rate", 1e-4, 1e-1, true);
+  GpBayesOpt bo(space, {.max_evals = 6, .n_init = 2, .seed = 23});
+  const HpoOutcome outcome = driver.run(bo);
+  EXPECT_EQ(outcome.trials.size(), 6u);
+  EXPECT_EQ(bo.observations(), 6u);
+  EXPECT_EQ(runtime.analyze().peak_concurrency(), 2u);
+}
+
 TEST(Driver, GpuConstraintRunsOnGpuNode) {
   const ml::Dataset dataset = ml::make_mnist_like(40, 10, 7);
   rt::RuntimeOptions opts;

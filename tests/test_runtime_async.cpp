@@ -1,0 +1,263 @@
+// Completion-driven runtime API: wait_any, wait_all_for, cancel, and
+// per-submit completion callbacks, on both backends.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+
+namespace chpo::rt {
+namespace {
+
+RuntimeOptions sim_cluster(std::size_t nodes = 1, unsigned cpus = 4) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "sim";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(nodes, node);
+  opts.simulate = true;
+  return opts;
+}
+
+RuntimeOptions thread_cluster(unsigned cpus = 4) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "t";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(1, node);
+  return opts;
+}
+
+TaskDef timed(std::string name, double seconds, Constraint c = {.cpus = 1}) {
+  TaskDef def;
+  def.name = std::move(name);
+  def.constraint = c;
+  def.body = [](TaskContext&) { return std::any(1); };
+  def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+  return def;
+}
+
+TEST(WaitAny, SimReturnsCompletionsOutOfSubmissionOrder) {
+  // Skewed durations, submitted longest-first: wait_any must hand them
+  // back shortest-first (completion order), not submission order.
+  Runtime runtime(sim_cluster(1, 4));
+  std::vector<Future> futures;
+  for (const double seconds : {40.0, 30.0, 20.0, 10.0})
+    futures.push_back(runtime.submit(timed("skew", seconds)));
+
+  std::vector<TaskId> completion_order;
+  std::vector<Future> remaining = futures;
+  while (!remaining.empty()) {
+    const Future done = runtime.wait_any(remaining);
+    completion_order.push_back(done.producer);
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&](const Future& f) { return f.producer == done.producer; }),
+                    remaining.end());
+  }
+  // Reverse submission order: the 10s task (submitted last) finishes first.
+  const std::vector<TaskId> expected{futures[3].producer, futures[2].producer,
+                                     futures[1].producer, futures[0].producer};
+  EXPECT_EQ(completion_order, expected);
+  EXPECT_DOUBLE_EQ(runtime.now(), 40.0);
+
+  // The sync pattern is visible in the trace.
+  std::size_t wait_any_events = 0;
+  for (const auto& e : runtime.trace().events())
+    if (e.kind == trace::EventKind::WaitAny) ++wait_any_events;
+  EXPECT_EQ(wait_any_events, 4u);
+}
+
+TEST(WaitAny, SimStopsTheClockAtFirstCompletion) {
+  Runtime runtime(sim_cluster(1, 4));
+  const Future slow = runtime.submit(timed("slow", 100.0));
+  const Future fast = runtime.submit(timed("fast", 5.0));
+  const Future first = runtime.wait_any(std::vector<Future>{slow, fast});
+  EXPECT_EQ(first.producer, fast.producer);
+  EXPECT_DOUBLE_EQ(runtime.now(), 5.0);  // did not wait for the 100s task
+}
+
+TEST(WaitAny, ThreadBackendReturnsFastTaskFirst) {
+  Runtime runtime(thread_cluster());
+  TaskDef slow;
+  slow.name = "slow";
+  slow.body = [](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return std::any(1);
+  };
+  TaskDef fast;
+  fast.name = "fast";
+  fast.body = [](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return std::any(2);
+  };
+  const Future f_slow = runtime.submit(slow);
+  const Future f_fast = runtime.submit(fast);
+  const Future first = runtime.wait_any(std::vector<Future>{f_slow, f_fast});
+  EXPECT_EQ(first.producer, f_fast.producer);
+  EXPECT_EQ(runtime.wait_on_as<int>(first), 2);
+}
+
+TEST(WaitAny, AlreadyTerminalPicksFirstFinisher) {
+  Runtime runtime(sim_cluster(1, 4));
+  const Future a = runtime.submit(timed("a", 30.0));
+  const Future b = runtime.submit(timed("b", 10.0));
+  runtime.barrier();  // both terminal before anyone waits
+  const Future first = runtime.wait_any(std::vector<Future>{a, b});
+  EXPECT_EQ(first.producer, b.producer);  // b completed first
+}
+
+TEST(WaitAny, FailedTaskCountsAsCompletion) {
+  RuntimeOptions opts = sim_cluster(1, 2);
+  opts.fault_policy.max_attempts = 1;
+  Runtime runtime(std::move(opts));
+  TaskDef boom = timed("boom", 1.0);
+  boom.body = [](TaskContext&) -> std::any { throw std::runtime_error("kaput"); };
+  const Future ok = runtime.submit(timed("ok", 50.0));
+  const Future bad = runtime.submit(boom);
+  const Future first = runtime.wait_any(std::vector<Future>{ok, bad});
+  EXPECT_EQ(first.producer, bad.producer);  // wait_any itself does not throw
+  EXPECT_THROW(runtime.wait_on(first), TaskFailedError);
+}
+
+TEST(WaitAny, RejectsEmptyInput) {
+  Runtime runtime(sim_cluster());
+  EXPECT_THROW(runtime.wait_any(std::vector<Future>{}), std::invalid_argument);
+  EXPECT_THROW(runtime.wait_any(std::vector<Future>{Future{}}), std::invalid_argument);
+}
+
+TEST(Cancel, PendingTaskCancelsWithoutTouchingResources) {
+  // One core: `running` occupies it, `pending` queues behind it, and
+  // `dependent` consumes pending's future.
+  Runtime runtime(sim_cluster(1, 1));
+  const Future running = runtime.submit(timed("running", 20.0));
+  const Future pending = runtime.submit(timed("pending", 5.0));
+  const Future dependent =
+      runtime.submit(timed("dependent", 5.0), {{pending.data, Direction::In}});
+
+  // Make sure `running` actually started (clock moves, nothing finished).
+  EXPECT_FALSE(runtime.wait_all_for(1.0));
+
+  EXPECT_TRUE(runtime.cancel(pending));
+  EXPECT_FALSE(runtime.cancel(pending));  // already terminal now
+  runtime.barrier();
+
+  // The cancelled task and its dependent never ran; the running task was
+  // untouched and the cluster finished at its duration — no resources were
+  // held or leaked by the cancelled pair.
+  EXPECT_EQ(runtime.graph().task(pending.producer).state, TaskState::Cancelled);
+  EXPECT_EQ(runtime.graph().task(dependent.producer).state, TaskState::Cancelled);
+  EXPECT_EQ(runtime.graph().task(running.producer).state, TaskState::Done);
+  EXPECT_DOUBLE_EQ(runtime.now(), 20.0);
+  EXPECT_THROW(runtime.wait_on(pending), TaskFailedError);
+  EXPECT_THROW(runtime.wait_on(dependent), TaskFailedError);
+
+  // The freed slot is immediately usable by new work.
+  const Future after = runtime.submit(timed("after", 3.0));
+  EXPECT_EQ(runtime.wait_on_as<int>(after), 1);
+}
+
+TEST(Cancel, RunningTaskIsAbandonedOnFinish) {
+  Runtime runtime(sim_cluster(1, 1));
+  const Future f = runtime.submit(timed("doomed", 50.0));
+  EXPECT_FALSE(runtime.wait_all_for(10.0));  // task is now mid-attempt
+  EXPECT_TRUE(runtime.cancel(f));
+  runtime.barrier();
+  // The attempt ran to its end (resources held until then) but the result
+  // was discarded and the task ended Cancelled, not Done.
+  EXPECT_EQ(runtime.graph().task(f.producer).state, TaskState::Cancelled);
+  EXPECT_DOUBLE_EQ(runtime.now(), 50.0);
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+}
+
+TEST(Cancel, TerminalTaskReturnsFalse) {
+  Runtime runtime(sim_cluster());
+  const Future f = runtime.submit(timed("t", 1.0));
+  runtime.barrier();
+  EXPECT_FALSE(runtime.cancel(f));
+  EXPECT_EQ(runtime.graph().task(f.producer).state, TaskState::Done);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);  // result survives a late cancel
+}
+
+TEST(WaitAllFor, AdvancesExactlyToTheDeadline) {
+  Runtime runtime(sim_cluster(1, 4));
+  for (int i = 0; i < 3; ++i) runtime.submit(timed("w", 100.0));
+  EXPECT_FALSE(runtime.wait_all_for(30.0));
+  EXPECT_DOUBLE_EQ(runtime.now(), 30.0);
+  EXPECT_TRUE(runtime.wait_all_for(1000.0));
+  EXPECT_DOUBLE_EQ(runtime.now(), 100.0);
+}
+
+TEST(WaitAllFor, ThreadBackendHonoursWallDeadline) {
+  Runtime runtime(thread_cluster(2));
+  TaskDef sleepy;
+  sleepy.name = "sleepy";
+  sleepy.body = [](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return std::any(1);
+  };
+  runtime.submit(sleepy);
+  EXPECT_FALSE(runtime.wait_all_for(0.02));
+  EXPECT_TRUE(runtime.wait_all_for(30.0));
+}
+
+TEST(Callbacks, FireOnCompletionWithFinalState) {
+  Runtime runtime(sim_cluster(1, 4));
+  std::vector<std::pair<TaskId, TaskState>> seen;
+  for (const double seconds : {30.0, 10.0, 20.0})
+    runtime.submit(timed("cb", seconds), {},
+                   [&seen](const Future& f, TaskState s) { seen.emplace_back(f.producer, s); });
+  runtime.barrier();
+  ASSERT_EQ(seen.size(), 3u);
+  for (const auto& [task, state] : seen) EXPECT_EQ(state, TaskState::Done);
+  // Callbacks fired in completion order: 10s, 20s, 30s.
+  EXPECT_EQ(seen[0].first, TaskId{1});
+  EXPECT_EQ(seen[1].first, TaskId{2});
+  EXPECT_EQ(seen[2].first, TaskId{0});
+}
+
+TEST(Callbacks, CancelledPendingTaskStillNotifies) {
+  Runtime runtime(sim_cluster(1, 1));
+  runtime.submit(timed("running", 20.0));
+  bool fired = false;
+  TaskState reported = TaskState::Running;
+  const Future pending = runtime.submit(timed("pending", 5.0), {},
+                                        [&](const Future&, TaskState s) {
+                                          fired = true;
+                                          reported = s;
+                                        });
+  runtime.cancel(pending);
+  EXPECT_TRUE(fired);  // fired synchronously inside cancel()
+  EXPECT_EQ(reported, TaskState::Cancelled);
+}
+
+TEST(Callbacks, ThreadBackendRunsCallbackOnCoordinator) {
+  Runtime runtime(thread_cluster());
+  std::vector<int> values;
+  TaskDef def;
+  def.name = "v";
+  def.body = [](TaskContext&) { return std::any(41); };
+  const Future f = runtime.submit(def, {}, [&](const Future& future, TaskState s) {
+    ASSERT_EQ(s, TaskState::Done);
+    values.push_back(1);
+    (void)future;
+  });
+  runtime.barrier();
+  EXPECT_EQ(values.size(), 1u);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 41);
+}
+
+TEST(Completions, DrainReturnsTerminalTasksInCompletionOrder) {
+  Runtime runtime(sim_cluster(1, 4));
+  const Future a = runtime.submit(timed("a", 30.0));
+  const Future b = runtime.submit(timed("b", 10.0));
+  EXPECT_TRUE(runtime.drain_completions().empty());
+  runtime.barrier();
+  const std::vector<TaskId> drained = runtime.drain_completions();
+  const std::vector<TaskId> expected{b.producer, a.producer};
+  EXPECT_EQ(drained, expected);
+  EXPECT_TRUE(runtime.drain_completions().empty());  // consumed
+}
+
+}  // namespace
+}  // namespace chpo::rt
