@@ -34,7 +34,25 @@ void Engine::mark_terminal(TaskId task) {
   ++terminal_;
   TaskRecord& record = graph_.task(task);
   record.terminal_seq = ++terminal_seq_;
-  if (on_terminal_) on_terminal_(task, record.state);
+  // Queue, don't fire: the listener may run a user callback that submits
+  // new tasks — reallocating the graph's record storage and appending to
+  // existing tasks' successor lists — while complete_attempt or
+  // cancel_dependents still holds references into them.
+  if (on_terminal_) pending_notifications_.emplace_back(task, record.state);
+}
+
+void Engine::flush_notifications() {
+  if (flushing_) return;  // outermost flush drains what a callback queued
+  flushing_ = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{flushing_};
+  while (!pending_notifications_.empty()) {
+    const auto [task, state] = pending_notifications_.front();
+    pending_notifications_.pop_front();
+    on_terminal_(task, state);
+  }
 }
 
 namespace {
@@ -330,6 +348,9 @@ void Engine::cancel_dependents(TaskId task) {
 bool Engine::cancel(TaskId task, double now) {
   TaskRecord& record = graph_.task(task);
   if (task_terminal(task)) return false;  // too late: result already landed
+  // Already cancelled, just not yet terminal: the abandoned attempt is
+  // still in flight. Dependents were doomed on the first cancel.
+  if (record.abandoned) return false;
 
   sink_.record(trace::Event{.kind = trace::EventKind::Cancel,
                             .task_id = task,

@@ -20,10 +20,12 @@
 // writes in the TaskContext.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runtime/data_registry.hpp"
@@ -52,9 +54,13 @@ struct EngineOptions {
 
 class Engine {
  public:
-  /// Invoked (on the coordinator thread) every time a task reaches a
+  /// Invoked (on the coordinator thread) for every task that reaches a
   /// terminal state — the completion feed the Runtime's wait_any/callback
-  /// machinery is built on.
+  /// machinery is built on. The listener may run user code that submits or
+  /// cancels tasks, so it is never fired from inside an engine mutation
+  /// path (where TaskRecord references are live): mark_terminal only queues
+  /// the notification, and callers invoke flush_notifications() at safe
+  /// points.
   using TerminalListener = std::function<void(TaskId, TaskState)>;
 
   Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions options,
@@ -120,6 +126,14 @@ class Engine {
     return injector_.node_failures();
   }
 
+  /// Deliver queued terminal notifications to the listener, in completion
+  /// order. Must only be called when no TaskRecord references are held:
+  /// the listener may run user callbacks that submit new tasks (growing the
+  /// graph and adding successor edges to existing tasks) or cancel others.
+  /// Re-entrant calls (a callback submitting/cancelling flushes again) are
+  /// no-ops; the outermost flush drains everything queued along the way.
+  void flush_notifications();
+
   bool task_terminal(TaskId task) const;
   bool all_terminal() const;
   std::size_t ready_count() const { return ready_.size(); }
@@ -149,6 +163,9 @@ class Engine {
   std::size_t terminal_ = 0;           ///< Done + Failed + Cancelled
   std::uint64_t terminal_seq_ = 0;     ///< completion-order stamp source
   TerminalListener on_terminal_;
+  /// Terminal (task, state) pairs not yet delivered to the listener.
+  std::deque<std::pair<TaskId, TaskState>> pending_notifications_;
+  bool flushing_ = false;  ///< re-entrancy guard for flush_notifications
 };
 
 }  // namespace chpo::rt

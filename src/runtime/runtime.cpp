@@ -37,6 +37,9 @@ Runtime::~Runtime() {
 Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params) {
   const TaskId id = graph_.add_task(def, params);
   engine_.on_submitted(id, backend_->now());
+  // A task doomed at submission (failed predecessor) or with an
+  // unsatisfiable constraint turned terminal inside on_submitted.
+  engine_.flush_notifications();
   return graph_.task(id).result;
 }
 
@@ -47,19 +50,24 @@ Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params,
   // predecessor) turns terminal inside that call and must still fire.
   if (on_complete) callbacks_[id] = std::move(on_complete);
   engine_.on_submitted(id, backend_->now());
+  engine_.flush_notifications();
   return graph_.task(id).result;
 }
 
 void Runtime::on_task_terminal(TaskId task, TaskState state) {
-  completions_.push_back(task);
+  if (completions_enabled_) completions_.push_back(task);
   const auto it = callbacks_.find(task);
   if (it == callbacks_.end()) return;
   CompletionCallback callback = std::move(it->second);
   callbacks_.erase(it);  // erase first: the callback may submit new tasks
-  callback(graph_.task(task).result, state);
+  // By value: the callback may submit, and the record the future lives in
+  // can move when the graph grows.
+  const Future result = graph_.task(task).result;
+  callback(result, state);
 }
 
 std::vector<TaskId> Runtime::drain_completions() {
+  completions_enabled_ = true;  // recording is opt-in from the first call
   std::vector<TaskId> drained(completions_.begin(), completions_.end());
   completions_.clear();
   return drained;
@@ -131,7 +139,11 @@ bool Runtime::wait_all_for(double seconds) {
 
 bool Runtime::cancel(const Future& future) {
   if (future.producer == kNoTask) throw std::invalid_argument("cancel: empty future");
-  return engine_.cancel(future.producer, backend_->now());
+  const bool cancelled = engine_.cancel(future.producer, backend_->now());
+  // A pending task (and its dependents) turned terminal inside cancel();
+  // their callbacks fire before this returns.
+  engine_.flush_notifications();
+  return cancelled;
 }
 
 void Runtime::barrier() {

@@ -88,11 +88,14 @@ class Runtime {
                                            /*everywhere=*/false);
   }
 
-  /// Invoked on the coordinator thread (inside whichever wait/barrier call
-  /// drives the engine) the moment the task reaches a terminal state.
-  /// `state` is Done, Failed or Cancelled. The callback may submit new
-  /// tasks or cancel others, but must not wait — it runs in the middle of
-  /// the completion loop.
+  /// Invoked on the coordinator thread (inside whichever submit, cancel,
+  /// wait or barrier call drives the engine) promptly after the task
+  /// reaches a terminal state — at the next safe point of the completion
+  /// loop, never from inside an engine mutation path. `state` is Done,
+  /// Failed or Cancelled; the Future is valid for the duration of the call
+  /// (copy it to keep it). The callback may submit new tasks or cancel
+  /// others, but must not wait — it runs in the middle of the completion
+  /// loop.
   using CompletionCallback = std::function<void(const Future&, TaskState state)>;
 
   /// Submit a task over the given parameters; returns the future of the
@@ -158,7 +161,9 @@ class Runtime {
 
   /// Tasks that reached a terminal state since the last drain, in
   /// completion order — the runtime-level completion queue both backends
-  /// publish into.
+  /// publish into. Recording is opt-in: it starts at the first call (which
+  /// therefore returns empty), so callers that never drain don't pay an
+  /// ever-growing queue.
   std::vector<TaskId> drain_completions();
 
   /// compss_barrier: run every submitted task to a terminal state.
@@ -201,8 +206,11 @@ class Runtime {
   std::map<std::string, std::vector<TaskId>> groups_;
   /// Terminal notifications not yet consumed via drain_completions().
   /// Only touched from the coordinator thread (the engine's threading
-  /// contract), so it needs no lock.
+  /// contract), so it needs no lock. Populated only once a caller has
+  /// opted in by draining (completions_enabled_), so non-draining callers
+  /// don't accumulate one entry per task forever.
   std::deque<TaskId> completions_;
+  bool completions_enabled_ = false;
   std::map<TaskId, CompletionCallback> callbacks_;
 };
 

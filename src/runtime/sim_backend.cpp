@@ -75,7 +75,12 @@ bool SimBackend::done(TaskId target) const {
 }
 
 bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
+  engine_.flush_notifications();
   while (!finished()) {
+    // Expired horizon first, before starting new work — mirrors
+    // ThreadBackend, so run_for(0) dispatches nothing on either backend.
+    if (deadline >= 0.0 && now_ >= deadline) return false;
+
     for (const Dispatch& d : engine_.schedule(now_)) dispatch(d, false);
 
     if (finished()) return true;
@@ -90,7 +95,10 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
     };
 
     if (!next_live()) {
-      if (engine_.reap_infeasible()) continue;
+      if (engine_.reap_infeasible()) {
+        engine_.flush_notifications();
+        continue;
+      }
       if (finished()) return true;
       throw std::runtime_error("SimBackend: no pending events but target not finished");
     }
@@ -130,6 +138,7 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
         if (completion.retry) dispatch(*completion.retry, true);
       }
       engine_.reap_infeasible();
+      engine_.flush_notifications();
       continue;
     }
 
@@ -137,6 +146,9 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
         engine_.complete_attempt(ev.task, ev.placement, std::move(ev.result), ev.start, now_);
     // Same-node retry keeps its staged inputs; duration is re-modelled.
     if (completion.retry) dispatch(*completion.retry, true);
+    // Safe point: the engine holds no record references here, so queued
+    // terminal notifications (and their user callbacks) can fire.
+    engine_.flush_notifications();
   }
   return true;
 }

@@ -51,6 +51,7 @@ bool ThreadBackend::done(TaskId target) const {
 }
 
 bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline) {
+  engine_.flush_notifications();
   while (!finished()) {
     if (deadline >= 0.0 && now() >= deadline) return false;
 
@@ -61,7 +62,10 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
     if (engine_.running_count() == 0) {
       // Nothing is running and nothing could be placed: either constraints
       // became infeasible (node deaths) or this is a genuine deadlock.
-      if (engine_.reap_infeasible()) continue;
+      if (engine_.reap_infeasible()) {
+        engine_.flush_notifications();
+        continue;
+      }
       if (finished()) return true;
       throw std::runtime_error("ThreadBackend: no runnable tasks but target not finished");
     }
@@ -82,6 +86,9 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
     Engine::Completion completion =
         engine_.complete_attempt(msg.task, msg.placement, std::move(msg.result), msg.start, msg.end);
     if (completion.retry) launch(*completion.retry);
+    // Safe point: the engine holds no record references here, so queued
+    // terminal notifications (and their user callbacks) can fire.
+    engine_.flush_notifications();
   }
   return true;
 }

@@ -170,6 +170,22 @@ TEST(Cancel, RunningTaskIsAbandonedOnFinish) {
   EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
 }
 
+TEST(Cancel, SecondCancelOfRunningTaskReturnsFalse) {
+  Runtime runtime(sim_cluster(1, 1));
+  const Future f = runtime.submit(timed("doomed", 50.0));
+  EXPECT_FALSE(runtime.wait_all_for(10.0));  // attempt in flight
+  EXPECT_TRUE(runtime.cancel(f));
+  // Abandoned but not yet terminal: a repeat cancel is a no-op, not a
+  // second success, and records no second Cancel event.
+  EXPECT_FALSE(runtime.cancel(f));
+  runtime.barrier();
+  EXPECT_EQ(runtime.graph().task(f.producer).state, TaskState::Cancelled);
+  std::size_t cancel_events = 0;
+  for (const auto& e : runtime.trace().events())
+    if (e.kind == trace::EventKind::Cancel) ++cancel_events;
+  EXPECT_EQ(cancel_events, 1u);
+}
+
 TEST(Cancel, TerminalTaskReturnsFalse) {
   Runtime runtime(sim_cluster());
   const Future f = runtime.submit(timed("t", 1.0));
@@ -186,6 +202,19 @@ TEST(WaitAllFor, AdvancesExactlyToTheDeadline) {
   EXPECT_DOUBLE_EQ(runtime.now(), 30.0);
   EXPECT_TRUE(runtime.wait_all_for(1000.0));
   EXPECT_DOUBLE_EQ(runtime.now(), 100.0);
+}
+
+TEST(WaitAllFor, SimZeroBudgetStartsNoWork) {
+  // An already-expired deadline must not dispatch new tasks (ThreadBackend
+  // checks its deadline before scheduling; the simulator must match).
+  Runtime runtime(sim_cluster(1, 4));
+  runtime.submit(timed("w", 10.0));
+  EXPECT_FALSE(runtime.wait_all_for(0.0));
+  EXPECT_DOUBLE_EQ(runtime.now(), 0.0);
+  std::size_t scheduled = 0;
+  for (const auto& e : runtime.trace().events())
+    if (e.kind == trace::EventKind::TaskSchedule) ++scheduled;
+  EXPECT_EQ(scheduled, 0u);
 }
 
 TEST(WaitAllFor, ThreadBackendHonoursWallDeadline) {
@@ -245,6 +274,57 @@ TEST(Callbacks, ThreadBackendRunsCallbackOnCoordinator) {
   runtime.barrier();
   EXPECT_EQ(values.size(), 1u);
   EXPECT_EQ(runtime.wait_on_as<int>(f), 41);
+}
+
+TEST(Callbacks, CallbackMaySubmitFollowUpWork) {
+  // A completion callback submitting enough tasks to reallocate the
+  // graph's record storage must not disturb the completion machinery that
+  // fired it (regression: callbacks used to run inside engine mutation
+  // paths holding TaskRecord references).
+  Runtime runtime(sim_cluster(1, 4));
+  std::vector<Future> spawned;
+  const Future root = runtime.submit(timed("root", 5.0), {},
+                                     [&](const Future& f, TaskState s) {
+                                       EXPECT_EQ(s, TaskState::Done);
+                                       EXPECT_NE(f.producer, kNoTask);
+                                       for (int i = 0; i < 64; ++i)
+                                         spawned.push_back(runtime.submit(timed("child", 1.0)));
+                                     });
+  // A dependent, so completing `root` walks its successor list.
+  const Future dependent =
+      runtime.submit(timed("dependent", 1.0), {{root.data, Direction::In}});
+  runtime.barrier();
+  ASSERT_EQ(spawned.size(), 64u);
+  for (const Future& f : spawned)
+    EXPECT_EQ(runtime.graph().task(f.producer).state, TaskState::Done);
+  EXPECT_EQ(runtime.graph().task(dependent.producer).state, TaskState::Done);
+}
+
+TEST(Callbacks, CallbackCancelsPendingWorkMidBarrier) {
+  // Early-stop shape: the first finisher's callback cancels everything
+  // still queued, and the barrier returns without running it.
+  Runtime runtime(sim_cluster(1, 1));
+  std::vector<Future> slow;
+  runtime.submit(timed("fast", 5.0), {}, [&](const Future&, TaskState) {
+    for (const Future& f : slow) runtime.cancel(f);
+  });
+  for (int i = 0; i < 3; ++i) slow.push_back(runtime.submit(timed("slow", 100.0)));
+  runtime.barrier();
+  EXPECT_DOUBLE_EQ(runtime.now(), 5.0);
+  for (const Future& f : slow)
+    EXPECT_EQ(runtime.graph().task(f.producer).state, TaskState::Cancelled);
+}
+
+TEST(Completions, RecordingIsOptInViaFirstDrain) {
+  // Nothing is recorded before the first drain call, so callers that never
+  // drain (e.g. HpoDriver) don't accumulate an unbounded queue.
+  Runtime runtime(sim_cluster(1, 4));
+  runtime.submit(timed("a", 1.0));
+  runtime.barrier();
+  EXPECT_TRUE(runtime.drain_completions().empty());  // opts in
+  const Future b = runtime.submit(timed("b", 1.0));
+  runtime.barrier();
+  EXPECT_EQ(runtime.drain_completions(), std::vector<TaskId>{b.producer});
 }
 
 TEST(Completions, DrainReturnsTerminalTasksInCompletionOrder) {
