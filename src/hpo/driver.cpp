@@ -235,6 +235,7 @@ HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
     trial.index = it->index;
     trial.config = it->config;
     trial.task = it->future.producer;
+    trial.attempts = runtime_.graph().task(trial.task).attempts_made;
     const rt::Future vis = it->vis;
     inflight.erase(it);
     try {

@@ -41,6 +41,10 @@ struct Trial {
   bool failed = false;
   std::string failure_reason;
   rt::TaskId task = rt::kNoTask;
+  /// Runtime attempts the experiment task consumed (1 = clean run; more =
+  /// retries after failures/timeouts or a lost speculative race). 0 for
+  /// trials replayed from a checkpoint (no task ran).
+  int attempts = 0;
 };
 
 struct HpoOutcome {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "support/strings.hpp"
@@ -11,19 +12,67 @@ namespace chpo::hpo {
 std::string trials_table(const std::vector<Trial>& trials) {
   std::ostringstream out;
   out << pad_right("trial", 6) << pad_right("config", 48) << pad_left("epochs", 7)
-      << pad_left("val_acc", 9) << pad_left("best", 9) << "  note\n";
+      << pad_left("val_acc", 9) << pad_left("best", 9) << pad_left("att", 5) << "  note\n";
   for (const Trial& t : trials) {
+    // attempts == 0: replayed from a checkpoint, no task ran this session.
+    const std::string attempts = t.attempts > 0 ? std::to_string(t.attempts) : "-";
     out << pad_right(std::to_string(t.index), 6) << pad_right(config_brief(t.config), 48);
     if (t.failed) {
-      out << pad_left("-", 7) << pad_left("-", 9) << pad_left("-", 9) << "  FAILED: "
-          << t.failure_reason << "\n";
+      out << pad_left("-", 7) << pad_left("-", 9) << pad_left("-", 9) << pad_left(attempts, 5)
+          << "  FAILED: " << t.failure_reason << "\n";
       continue;
     }
     char acc[16], best[16];
     std::snprintf(acc, sizeof acc, "%.3f", t.result.final_val_accuracy);
     std::snprintf(best, sizeof best, "%.3f", t.result.best_val_accuracy);
     out << pad_left(std::to_string(t.result.epochs_run), 7) << pad_left(acc, 9)
-        << pad_left(best, 9) << (t.result.stopped_early ? "  early-stop" : "") << "\n";
+        << pad_left(best, 9) << pad_left(attempts, 5)
+        << (t.result.stopped_early ? "  early-stop" : "") << "\n";
+  }
+  return out.str();
+}
+
+std::string attempt_stats(const std::vector<trace::Event>& events) {
+  struct Stats {
+    int runs = 0;
+    int failures = 0;
+    int retries = 0;
+    int stragglers = 0;
+    int spec_launches = 0;
+    int spec_wins = 0;
+    int backoffs = 0;
+    double busy_seconds = 0.0;
+  };
+  std::map<std::string, Stats> by_name;
+  for (const trace::Event& e : events) {
+    if (e.task_name.empty()) continue;
+    Stats& s = by_name[e.task_name];
+    switch (e.kind) {
+      case trace::EventKind::TaskRun:
+        ++s.runs;
+        s.busy_seconds += e.t_end - e.t_start;
+        break;
+      case trace::EventKind::TaskFailure: ++s.failures; break;
+      case trace::EventKind::TaskRetry: ++s.retries; break;
+      case trace::EventKind::StragglerDetected: ++s.stragglers; break;
+      case trace::EventKind::SpeculativeLaunch: ++s.spec_launches; break;
+      case trace::EventKind::SpeculativeWin: ++s.spec_wins; break;
+      case trace::EventKind::Backoff: ++s.backoffs; break;
+      default: break;
+    }
+  }
+  std::ostringstream out;
+  out << pad_right("task", 16) << pad_left("runs", 6) << pad_left("fail", 6)
+      << pad_left("retry", 7) << pad_left("strag", 7) << pad_left("spec", 6)
+      << pad_left("won", 5) << pad_left("backoff", 9) << pad_left("busy_s", 10) << "\n";
+  for (const auto& [name, s] : by_name) {
+    char busy[24];
+    std::snprintf(busy, sizeof busy, "%.3f", s.busy_seconds);
+    out << pad_right(name, 16) << pad_left(std::to_string(s.runs), 6)
+        << pad_left(std::to_string(s.failures), 6) << pad_left(std::to_string(s.retries), 7)
+        << pad_left(std::to_string(s.stragglers), 7)
+        << pad_left(std::to_string(s.spec_launches), 6) << pad_left(std::to_string(s.spec_wins), 5)
+        << pad_left(std::to_string(s.backoffs), 9) << pad_left(busy, 10) << "\n";
   }
   return out.str();
 }

@@ -6,11 +6,18 @@
 #include <vector>
 
 #include "hpo/driver.hpp"
+#include "trace/trace.hpp"
 
 namespace chpo::hpo {
 
-/// Per-trial summary table: config, epochs run, accuracies, early-stop flag.
+/// Per-trial summary table: config, epochs run, accuracies, attempts
+/// consumed, early-stop flag.
 std::string trials_table(const std::vector<Trial>& trials);
+
+/// Per-task-name attempt statistics from a trace: runs, failures, retries,
+/// stragglers detected, speculative launches/wins, backoffs, busy seconds.
+/// The observability face of the straggler-mitigation layer.
+std::string attempt_stats(const std::vector<trace::Event>& events);
 
 /// ASCII chart of validation accuracy vs epoch, one curve per trial
 /// (Figures 7 and 8). `height` rows span [0, 1] accuracy.

@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "support/log.hpp"
 
@@ -13,7 +14,8 @@ Engine::Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions
       scheduler_(make_scheduler(options.scheduler)),
       options_(std::move(options)),
       injector_(std::move(injector)),
-      sink_(sink) {}
+      sink_(sink),
+      speculation_(options_.speculation) {}
 
 void Engine::on_submitted(TaskId task, double now) {
   TaskRecord& record = graph_.task(task);
@@ -85,13 +87,13 @@ void Engine::make_ready(TaskId task) {
 std::vector<Dispatch> Engine::schedule(double now) {
   if (ready_.empty()) return {};
   std::vector<Dispatch> dispatches = scheduler_->schedule(ready_, graph_, resources_);
-  for (const Dispatch& d : dispatches) {
+  for (Dispatch& d : dispatches) {
     ready_.erase(std::remove(ready_.begin(), ready_.end(), d.task), ready_.end());
     TaskRecord& record = graph_.task(d.task);
     record.state = TaskState::Running;
     record.last_node = d.placement.node;
     record.active_variant = d.variant;
-    ++running_;
+    d.attempt_id = register_attempt(d.task, d.placement, now, /*speculative=*/false);
     sink_.record(trace::Event{.kind = trace::EventKind::TaskSchedule,
                               .task_id = d.task,
                               .attempt = record.attempts_made + 1,
@@ -104,24 +106,61 @@ std::vector<Dispatch> Engine::schedule(double now) {
   return dispatches;
 }
 
-AttemptResult Engine::execute_body(TaskId task, const Placement& placement, bool simulated) {
+std::string Engine::speculation_key(const TaskRecord& record) const {
+  if (record.active_variant < 0) return record.def.name;
+  return record.def.name + "#" + std::to_string(record.active_variant);
+}
+
+double Engine::attempt_timeout(TaskId task) const {
   const TaskRecord& record = graph_.task(task);
-  const int attempt = record.attempts_made + 1;
+  return speculation_.effective_timeout(speculation_key(record), record.def.timeout_seconds);
+}
+
+std::uint64_t Engine::register_attempt(TaskId task, const Placement& placement, double now,
+                                       bool speculative) {
+  TaskRecord& record = graph_.task(task);
+  ++running_;
+  ++record.running_attempts;
+  Attempt attempt;
+  attempt.task = task;
+  attempt.placement = placement;
+  attempt.start = now;
+  attempt.speculative = speculative;
+  const double timeout = attempt_timeout(task);
+  attempt.deadline = (!backend_preempts_timeouts_ && timeout > 0.0)
+                         ? now + timeout
+                         : std::numeric_limits<double>::infinity();
+  const std::uint64_t id = next_attempt_id_++;
+  inflight_.emplace(id, std::move(attempt));
+  return id;
+}
+
+Engine::BodyJob Engine::prepare_body(TaskId task) const {
+  const TaskRecord& record = graph_.task(task);
+  BodyJob job;
+  job.task = task;
+  job.attempt = record.attempts_made + 1;
+  job.body = record.implementation_body(record.active_variant);
+  job.bindings = record.bindings;
+  job.seed = options_.seed ^ (task * 0x9e3779b97f4a7c15ULL) ^
+             static_cast<std::uint64_t>(job.attempt);
+  return job;
+}
+
+AttemptResult Engine::execute_prepared(const BodyJob& job, const Placement& placement,
+                                       bool simulated) {
   AttemptResult result;
-  if (injector_.should_fail(task, attempt)) {
+  if (injector_.should_fail(job.task, job.attempt)) {
     result.error = "injected failure";
     return result;
   }
-  const TaskBody& body = record.implementation_body(record.active_variant);
-  if (!body) {
+  if (!job.body) {
     result.success = true;  // pure-cost task (simulation-only workloads)
     return result;
   }
-  const std::uint64_t seed =
-      options_.seed ^ (task * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(attempt);
-  TaskContext ctx(graph_.registry(), record.bindings, placement, attempt, simulated, seed);
+  TaskContext ctx(graph_.registry(), job.bindings, placement, job.attempt, simulated, job.seed);
   try {
-    result.return_value = body(ctx);
+    result.return_value = job.body(ctx);
     result.writes = ctx.pending_writes();
     result.success = true;
   } catch (const std::exception& e) {
@@ -130,6 +169,10 @@ AttemptResult Engine::execute_body(TaskId task, const Placement& placement, bool
     result.error = "unknown exception in task body";
   }
   return result;
+}
+
+AttemptResult Engine::execute_body(TaskId task, const Placement& placement, bool simulated) {
+  return execute_prepared(prepare_body(task), placement, simulated);
 }
 
 AttemptResult Engine::injection_result(TaskId task) {
@@ -198,35 +241,30 @@ void Engine::commit_outputs(TaskRecord& task, AttemptResult& result) {
   }
 }
 
-Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placement,
-                                            AttemptResult result, double start, double end) {
+Engine::Completion Engine::complete_attempt(std::uint64_t attempt_id, AttemptResult result,
+                                            double start, double end) {
+  const auto it = inflight_.find(attempt_id);
+  // Stale: the attempt was reaped at its deadline (its failure is already
+  // accounted for and its resources released) — drop the late completion.
+  if (it == inflight_.end()) return {};
+  const Attempt attempt = std::move(it->second);
+  inflight_.erase(it);
+  return conclude_attempt(attempt, std::move(result), start, end);
+}
+
+Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResult result,
+                                            double start, double end) {
   Completion completion;
+  const TaskId task = attempt.task;
+  const Placement& placement = attempt.placement;
   TaskRecord& record = graph_.task(task);
   resources_.release(placement);
   --running_;
-  ++record.attempts_made;
-
-  if (record.abandoned) {
-    // Runtime::cancel caught this attempt mid-flight: whatever it produced
-    // is discarded — no commit, no retry, dependents were already doomed.
-    sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
-                              .task_id = task,
-                              .attempt = record.attempts_made,
-                              .task_name = record.def.name,
-                              .node = placement.node,
-                              .cores = placement.cores,
-                              .gpus = placement.gpus,
-                              .t_start = start,
-                              .t_end = end});
-    record.state = TaskState::Cancelled;
-    if (record.failure_reason.empty()) record.failure_reason = "cancelled while running";
-    mark_terminal(task);
-    return completion;
-  }
+  --record.running_attempts;
 
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                             .task_id = task,
-                            .attempt = record.attempts_made,
+                            .attempt = record.attempts_made + 1,
                             .task_name = record.def.name,
                             .node = placement.node,
                             .cores = placement.cores,
@@ -237,7 +275,7 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
     // @multinode: the task occupied every slice for the same interval.
     sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                               .task_id = task,
-                              .attempt = record.attempts_made,
+                              .attempt = record.attempts_made + 1,
                               .task_name = record.def.name,
                               .node = slice.node,
                               .cores = slice.cores,
@@ -246,7 +284,37 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
                               .t_end = end});
   }
 
+  if (task_terminal(task)) {
+    // The task's fate was decided while this attempt ran: a speculative
+    // sibling won the race, or a second abandoned attempt reported after
+    // the first already turned the task Cancelled. Abandon-on-finish:
+    // discard the result, the resources just came back, nothing retries.
+    return completion;
+  }
+
+  if (record.abandoned) {
+    // Runtime::cancel caught this attempt mid-flight: whatever it produced
+    // is discarded — no commit, no retry, dependents were already doomed.
+    ++record.attempts_made;
+    if (record.running_attempts > 0) return completion;  // a sibling still runs
+    record.state = TaskState::Cancelled;
+    if (record.failure_reason.empty()) record.failure_reason = "cancelled while running";
+    mark_terminal(task);
+    return completion;
+  }
+
+  ++record.attempts_made;
+
   if (result.success) {
+    speculation_.record(speculation_key(record), end - start);
+    if (attempt.speculative)
+      sink_.record(trace::Event{.kind = trace::EventKind::SpeculativeWin,
+                                .task_id = task,
+                                .attempt = record.attempts_made,
+                                .task_name = record.def.name,
+                                .node = placement.node,
+                                .t_start = end,
+                                .t_end = end});
     commit_outputs(record, result);
     record.state = TaskState::Done;
     mark_terminal(task);
@@ -273,6 +341,13 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
   log_warn("engine", "task {} '{}' attempt {} failed on node {}: {}", task, record.def.name,
            record.attempts_made, placement.node, result.error);
 
+  if (record.running_attempts > 0) {
+    // A sibling attempt (the straggling original or a speculative
+    // duplicate) is still in flight: absorb this failure and let the
+    // sibling decide the task's fate. The task stays Running.
+    return completion;
+  }
+
   if (record.attempts_made >= options_.fault_policy.max_attempts) {
     record.state = TaskState::Failed;
     mark_terminal(task);
@@ -280,8 +355,9 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
     return completion;
   }
 
+  const double delay = options_.fault_policy.retry_delay(record.attempts_made);
   const bool want_same_node = record.attempts_made <= options_.fault_policy.same_node_retries;
-  if (want_same_node) {
+  if (want_same_node && delay <= 0.0) {
     // Its slots were just released, so this succeeds unless the node died.
     const Constraint& constraint = record.implementation_constraint(record.active_variant);
     auto retry_placement =
@@ -290,7 +366,6 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
             : resources_.try_allocate(static_cast<std::size_t>(placement.node), constraint);
     if (retry_placement) {
       record.state = TaskState::Running;
-      ++running_;
       sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                                 .task_id = task,
                                 .attempt = record.attempts_made + 1,
@@ -298,27 +373,53 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
                                 .node = placement.node,
                                 .t_start = end,
                                 .t_end = end});
-      completion.retry = Dispatch{.task = task,
-                                  .placement = std::move(*retry_placement),
-                                  .variant = record.active_variant};
+      Dispatch retry{.task = task, .placement = std::move(*retry_placement),
+                     .variant = record.active_variant};
+      retry.attempt_id = register_attempt(task, retry.placement, end, /*speculative=*/false);
+      completion.retry = std::move(retry);
       return completion;
     }
   }
-  // Resubmit elsewhere: never return to the node that failed us.
-  if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(), placement.node) ==
-      record.excluded_nodes.end())
-    record.excluded_nodes.push_back(placement.node);
-  // If the blacklist now covers every live node, the failures are task-
-  // transient rather than node-specific: reset it so remaining attempts can
-  // still land somewhere (dead nodes stay unusable via ResourceState).
-  bool any_allowed = false;
-  for (std::size_t node = 0; node < resources_.node_count() && !any_allowed; ++node) {
-    if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(),
-                  static_cast<int>(node)) != record.excluded_nodes.end())
-      continue;
-    any_allowed = resources_.could_fit(node, record.def.constraint);
+  // A pinned backoff retry intends to come back to this node, so it must
+  // not be blacklisted; every other path that reaches here resubmits
+  // elsewhere (including a same-node retry whose node just died).
+  const bool defer_pinned = want_same_node && delay > 0.0;
+  if (!defer_pinned) {
+    // Resubmit elsewhere: never return to the node that failed us.
+    if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(), placement.node) ==
+        record.excluded_nodes.end())
+      record.excluded_nodes.push_back(placement.node);
+    // If the blacklist now covers every live node, the failures are task-
+    // transient rather than node-specific: reset it so remaining attempts
+    // can still land somewhere (dead nodes stay unusable via ResourceState).
+    bool any_allowed = false;
+    for (std::size_t node = 0; node < resources_.node_count() && !any_allowed; ++node) {
+      if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(),
+                    static_cast<int>(node)) != record.excluded_nodes.end())
+        continue;
+      any_allowed = resources_.could_fit(node, record.def.constraint);
+    }
+    if (!any_allowed) record.excluded_nodes.clear();
   }
-  if (!any_allowed) record.excluded_nodes.clear();
+
+  if (delay > 0.0) {
+    // Exponential backoff: hold the task out of the ready queue until the
+    // delay expires, then retry (preferring the same node while the paper's
+    // same-node budget lasts). It counts as Ready so cancel() still works.
+    sink_.record(trace::Event{.kind = trace::EventKind::Backoff,
+                              .task_id = task,
+                              .attempt = record.attempts_made + 1,
+                              .task_name = record.def.name,
+                              .node = want_same_node ? placement.node : -1,
+                              .t_start = end,
+                              .t_end = end + delay});
+    record.state = TaskState::Ready;
+    delayed_.push_back(DelayedRetry{.task = task,
+                                    .ready_at = end + delay,
+                                    .pinned_node = want_same_node ? placement.node : -1});
+    return completion;
+  }
+
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                             .task_id = task,
                             .attempt = record.attempts_made + 1,
@@ -329,6 +430,136 @@ Engine::Completion Engine::complete_attempt(TaskId task, const Placement& placem
   make_ready(task);
   if (record.state == TaskState::Ready) completion.newly_ready.push_back(task);
   return completion;
+}
+
+std::vector<Dispatch> Engine::on_wakeup(double now) {
+  std::vector<Dispatch> launches;
+
+  // 1) Reap in-flight attempts past their deadline. The failure is charged
+  // now — a ThreadBackend body may still be running, but its completion
+  // will arrive with an id the registry no longer knows and be dropped.
+  std::vector<std::pair<std::uint64_t, Attempt>> expired;
+  for (const auto& [id, attempt] : inflight_)
+    if (attempt.deadline <= now) expired.emplace_back(id, attempt);
+  for (auto& [id, attempt] : expired) {
+    inflight_.erase(id);
+    const double timeout = attempt.deadline - attempt.start;
+    AttemptResult result;
+    result.error = "timeout after " + std::to_string(timeout) + "s (reaped in flight)";
+    Completion completion = conclude_attempt(attempt, std::move(result), attempt.start, now);
+    if (completion.retry) launches.push_back(*completion.retry);
+  }
+
+  // 2) Promote retries whose backoff delay expired.
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].ready_at > now) {
+      ++i;
+      continue;
+    }
+    const DelayedRetry due = delayed_[i];
+    delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+    TaskRecord& record = graph_.task(due.task);
+    // Cancelled (or otherwise resolved) while waiting out the delay.
+    if (record.state != TaskState::Ready || task_terminal(due.task)) continue;
+    if (due.pinned_node >= 0) {
+      const Constraint& constraint = record.implementation_constraint(record.active_variant);
+      if (constraint.nodes <= 1) {
+        if (auto placement =
+                resources_.try_allocate(static_cast<std::size_t>(due.pinned_node), constraint)) {
+          record.state = TaskState::Running;
+          record.last_node = due.pinned_node;
+          sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
+                                    .task_id = due.task,
+                                    .attempt = record.attempts_made + 1,
+                                    .task_name = record.def.name,
+                                    .node = due.pinned_node,
+                                    .t_start = now,
+                                    .t_end = now});
+          Dispatch retry{.task = due.task, .placement = std::move(*placement),
+                         .variant = record.active_variant};
+          retry.attempt_id = register_attempt(due.task, retry.placement, now, false);
+          launches.push_back(std::move(retry));
+          continue;
+        }
+      }
+    }
+    // No pin, or the pinned node is busy/dead: back to the ready queue for
+    // the scheduler (make_ready fails the task if nothing can ever fit).
+    sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
+                              .task_id = due.task,
+                              .attempt = record.attempts_made + 1,
+                              .task_name = record.def.name,
+                              .node = -1,
+                              .t_start = now,
+                              .t_end = now});
+    make_ready(due.task);
+  }
+
+  // 3) Speculative duplicates for straggling attempts.
+  check_speculation(now, launches);
+  return launches;
+}
+
+void Engine::check_speculation(double now, std::vector<Dispatch>& out) {
+  const SpeculationPolicy& policy = options_.speculation;
+  if (!policy.enabled) return;
+  for (const auto& [id, attempt] : inflight_) {
+    if (attempt.speculative) continue;
+    TaskRecord& record = graph_.task(attempt.task);
+    if (record.abandoned || task_terminal(attempt.task)) continue;
+    if (record.speculative_launches >= policy.max_duplicates) continue;
+    const Constraint& constraint = record.implementation_constraint(record.active_variant);
+    if (constraint.nodes > 1) continue;  // @multinode duplicates unsupported
+    const auto threshold = speculation_.straggler_threshold(speculation_key(record));
+    if (!threshold || now - attempt.start < *threshold) continue;
+    if (!record.straggler_flagged) {
+      record.straggler_flagged = true;
+      sink_.record(trace::Event{.kind = trace::EventKind::StragglerDetected,
+                                .task_id = attempt.task,
+                                .attempt = record.attempts_made + 1,
+                                .task_name = record.def.name,
+                                .node = attempt.placement.node,
+                                .t_start = now,
+                                .t_end = now});
+      log_info("engine", "task {} '{}' straggling on node {} ({:.3f}s > {:.3f}s threshold)",
+               attempt.task, record.def.name, attempt.placement.node, now - attempt.start,
+               *threshold);
+    }
+    // Duplicate placement: constraint-feasible slot on another node, never
+    // the straggler's node and never a blacklisted one.
+    auto placement = place_duplicate(record, constraint, resources_, attempt.placement.node);
+    if (!placement) continue;  // no slot right now; try again on a later wakeup
+    ++record.speculative_launches;
+    Dispatch duplicate{.task = attempt.task, .placement = std::move(*placement),
+                       .variant = record.active_variant};
+    duplicate.attempt_id = register_attempt(attempt.task, duplicate.placement, now, true);
+    sink_.record(trace::Event{.kind = trace::EventKind::SpeculativeLaunch,
+                              .task_id = attempt.task,
+                              .attempt = record.attempts_made + 1,
+                              .task_name = record.def.name,
+                              .node = duplicate.placement.node,
+                              .t_start = now,
+                              .t_end = now});
+    out.push_back(std::move(duplicate));
+  }
+}
+
+std::optional<double> Engine::next_wakeup(double now) const {
+  std::optional<double> wake;
+  const auto consider = [&](double t) {
+    if (t > now && (!wake || t < *wake)) wake = t;
+  };
+  const SpeculationPolicy& policy = options_.speculation;
+  for (const auto& [id, attempt] : inflight_) {
+    if (attempt.deadline < std::numeric_limits<double>::infinity()) consider(attempt.deadline);
+    if (!policy.enabled || attempt.speculative) continue;
+    const TaskRecord& record = graph_.task(attempt.task);
+    if (record.abandoned || record.speculative_launches >= policy.max_duplicates) continue;
+    if (const auto threshold = speculation_.straggler_threshold(speculation_key(record)))
+      consider(attempt.start + *threshold);
+  }
+  for (const DelayedRetry& d : delayed_) consider(d.ready_at);
+  return wake;
 }
 
 void Engine::cancel_dependents(TaskId task) {

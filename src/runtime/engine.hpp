@@ -22,6 +22,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -49,6 +50,7 @@ struct AttemptResult {
 struct EngineOptions {
   std::string scheduler = "priority";
   FaultPolicy fault_policy;
+  SpeculationPolicy speculation;
   std::uint64_t seed = 42;  ///< base seed for per-attempt task RNGs
 };
 
@@ -76,9 +78,29 @@ class Engine {
   /// records schedule events. Caller executes them and reports back.
   std::vector<Dispatch> schedule(double now);
 
-  /// Run the task body once (any thread). Applies fault injection; catches
-  /// body exceptions and converts them to failed attempts. Does not touch
-  /// engine state.
+  /// Snapshot of everything one attempt's body needs, taken on the
+  /// coordinator at launch time. Worker threads execute from the snapshot
+  /// and never touch the TaskRecord — the coordinator may mutate it (reap
+  /// the attempt at its deadline, dispatch a retry, cancel) while the body
+  /// is still running.
+  struct BodyJob {
+    TaskId task = 0;
+    int attempt = 1;
+    TaskBody body;  ///< empty: pure-cost task, succeeds immediately
+    std::vector<ParamBinding> bindings;
+    std::uint64_t seed = 0;
+  };
+
+  /// Build the body snapshot for the task's next attempt (coordinator).
+  BodyJob prepare_body(TaskId task) const;
+
+  /// Run a prepared body (any thread). Applies fault injection; catches
+  /// body exceptions and converts them to failed attempts. Touches no
+  /// engine state beyond the (internally synchronized) injector.
+  AttemptResult execute_prepared(const BodyJob& job, const Placement& placement, bool simulated);
+
+  /// prepare_body + execute_prepared in one step — for the simulation
+  /// backend, where bodies run on the coordinator thread anyway.
   AttemptResult execute_body(TaskId task, const Placement& placement, bool simulated);
 
   /// Injection-only attempt outcome for runs that skip bodies
@@ -98,10 +120,39 @@ class Engine {
     std::optional<Dispatch> retry;
   };
 
-  /// Process the end of an attempt at [start, end]: release resources,
-  /// commit or discard results, apply the retry policy, wake successors.
-  Completion complete_attempt(TaskId task, const Placement& placement, AttemptResult result,
-                              double start, double end);
+  /// Process the end of the in-flight attempt `attempt_id` at [start, end]:
+  /// release resources, commit or discard results, apply the retry policy,
+  /// wake successors. A completion for an attempt the engine no longer
+  /// tracks (reaped on timeout, or raced by a speculative sibling after the
+  /// task turned terminal) is a no-op — its resources were already handled.
+  Completion complete_attempt(std::uint64_t attempt_id, AttemptResult result, double start,
+                              double end);
+
+  /// Time-driven duties, called by the backend whenever the clock reaches a
+  /// time next_wakeup() asked for (and harmlessly at any other time): reap
+  /// in-flight attempts past their deadline (the attempt is charged as a
+  /// failure *now*, even if a worker thread is still inside the body — its
+  /// eventual completion is dropped as stale), promote retries whose
+  /// backoff delay expired, and launch speculative duplicates for
+  /// straggling attempts. Returns dispatches the backend must execute.
+  std::vector<Dispatch> on_wakeup(double now);
+
+  /// Earliest future instant at which on_wakeup(now) has work to do:
+  /// an attempt deadline, a straggler threshold crossing, or the end of a
+  /// backoff delay. nullopt when no timed work is pending.
+  std::optional<double> next_wakeup(double now) const;
+
+  /// Timeout for a fresh attempt of `task` (TaskDef timeout, or the
+  /// adaptive timeout once enough durations are observed); <= 0 = none.
+  /// SimBackend uses this to preempt attempts on the virtual clock.
+  double attempt_timeout(TaskId task) const;
+
+  /// Sim-only: the backend preempts timed-out attempts itself on the
+  /// virtual clock, so the engine must not also arm reap deadlines (a reap
+  /// would race the already-queued preemption event).
+  void set_backend_preempts_timeouts(bool value) { backend_preempts_timeouts_ = value; }
+
+  const SpeculationTracker& speculation() const { return speculation_; }
 
   /// Cooperative cancellation (the completion-driven early-stop path).
   /// A WaitingDeps/Ready task transitions to Cancelled immediately (it
@@ -145,12 +196,39 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  /// One in-flight attempt (resources held, body running on a backend).
+  struct Attempt {
+    TaskId task = kNoTask;
+    Placement placement;
+    double start = 0.0;
+    /// Absolute reap time; +inf when the attempt has no timeout or the
+    /// backend preempts timeouts itself (sim).
+    double deadline = 0.0;
+    bool speculative = false;
+  };
+  /// A failed task waiting out its exponential-backoff delay.
+  struct DelayedRetry {
+    TaskId task = kNoTask;
+    double ready_at = 0.0;
+    /// Same-node retry preference: retry here if free when due; -1 = any.
+    int pinned_node = -1;
+  };
+
   void make_ready(TaskId task);
   void cancel_dependents(TaskId task);
   void commit_outputs(TaskRecord& task, AttemptResult& result);
   /// Single funnel for terminal transitions: stamps the completion order
   /// on the record and publishes the notification.
   void mark_terminal(TaskId task);
+  /// Track a newly placed attempt; stamps running state and the deadline.
+  std::uint64_t register_attempt(TaskId task, const Placement& placement, double now,
+                                 bool speculative);
+  /// Shared tail of complete_attempt and timeout reaping.
+  Completion conclude_attempt(const Attempt& attempt, AttemptResult result, double start,
+                              double end);
+  /// Launch duplicates for straggling attempts (appends to `out`).
+  void check_speculation(double now, std::vector<Dispatch>& out);
+  std::string speculation_key(const TaskRecord& record) const;
 
   TaskGraph& graph_;
   ResourceState resources_;
@@ -158,7 +236,14 @@ class Engine {
   EngineOptions options_;
   FaultInjector injector_;
   trace::TraceSink& sink_;
+  SpeculationTracker speculation_;
   std::vector<TaskId> ready_;  ///< submission-ordered ready queue
+  /// In-flight attempts by id. Insertion-ordered (ids ascend), so walks
+  /// visit older attempts first.
+  std::map<std::uint64_t, Attempt> inflight_;
+  std::uint64_t next_attempt_id_ = 1;
+  std::vector<DelayedRetry> delayed_;
+  bool backend_preempts_timeouts_ = false;
   std::size_t running_ = 0;
   std::size_t terminal_ = 0;           ///< Done + Failed + Cancelled
   std::uint64_t terminal_seq_ = 0;     ///< completion-order stamp source

@@ -1,9 +1,55 @@
 #include "runtime/fault.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace chpo::rt {
+
+double FaultPolicy::retry_delay(int failed_attempts) const {
+  if (backoff_base_seconds <= 0.0 || failed_attempts < 1) return 0.0;
+  const double factor = std::pow(std::max(1.0, backoff_multiplier), failed_attempts - 1);
+  return std::min(backoff_max_seconds, backoff_base_seconds * factor);
+}
+
+void SpeculationTracker::record(const std::string& key, double seconds) {
+  std::vector<double>& samples = samples_[key];
+  samples.insert(std::upper_bound(samples.begin(), samples.end(), seconds), seconds);
+}
+
+std::optional<double> SpeculationTracker::baseline(const std::string& key) const {
+  const auto it = samples_.find(key);
+  if (it == samples_.end()) return std::nullopt;
+  const std::vector<double>& samples = it->second;
+  const std::size_t required = static_cast<std::size_t>(std::max(2, policy_.min_observations));
+  if (samples.size() < required) return std::nullopt;
+  const double q = std::clamp(policy_.quantile, 0.0, 1.0);
+  const std::size_t index =
+      std::min(samples.size() - 1, static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  return samples[index];
+}
+
+std::optional<double> SpeculationTracker::straggler_threshold(const std::string& key) const {
+  const auto base = baseline(key);
+  if (!base) return std::nullopt;
+  return std::max(policy_.straggler_multiplier, 1.0) * *base;
+}
+
+double SpeculationTracker::effective_timeout(const std::string& key, double def_timeout) const {
+  if (def_timeout > 0.0) return def_timeout;
+  if (policy_.adaptive_timeout_multiplier <= 0.0) return 0.0;
+  const auto base = baseline(key);
+  if (!base) return 0.0;
+  return policy_.adaptive_timeout_multiplier * *base;
+}
+
+std::size_t SpeculationTracker::observations(const std::string& key) const {
+  const auto it = samples_.find(key);
+  return it == samples_.end() ? 0 : it->second.size();
+}
 
 bool FaultInjector::should_fail(TaskId task, int attempt) {
   (void)attempt;
+  const std::lock_guard<std::mutex> lock(mutex_);
   if (auto it = forced_.find(task); it != forced_.end() && it->second > 0) {
     --it->second;
     return true;

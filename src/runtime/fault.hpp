@@ -10,6 +10,9 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "runtime/types.hpp"
@@ -23,6 +26,71 @@ struct FaultPolicy {
   /// Total attempts before the task is declared Failed. Default 3 =
   /// original try + 1 same-node retry + 1 other-node retry.
   int max_attempts = 3;
+  /// Exponential backoff before re-dispatching a failed attempt: attempt
+  /// n+1 waits min(backoff_max_seconds, base * multiplier^(n-1)) after the
+  /// n-th failure. base <= 0 disables backoff (immediate retries, the
+  /// paper's behaviour and the default).
+  double backoff_base_seconds = 0.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 60.0;
+
+  /// Delay before the retry that follows `failed_attempts` failures
+  /// (1-based). Monotone non-decreasing in `failed_attempts` and capped at
+  /// backoff_max_seconds; 0 when backoff is disabled.
+  double retry_delay(int failed_attempts) const;
+};
+
+/// Straggler detection and speculative re-execution (Hippo-style): once
+/// enough attempt durations of a task variant have been observed, a running
+/// attempt that exceeds `straggler_multiplier` x the `quantile` duration is
+/// declared a straggler and a duplicate attempt may be launched on another
+/// node. The first attempt to finish wins through the engine's terminal
+/// funnel; the loser is abandoned (PR 1's abandon-on-finish path).
+struct SpeculationPolicy {
+  bool enabled = false;
+  /// Duration quantile used as the baseline (0.75 = upper quartile).
+  double quantile = 0.75;
+  /// Straggler threshold = multiplier x baseline quantile.
+  double straggler_multiplier = 2.0;
+  /// Observations of a task variant required before its threshold exists.
+  /// Clamped to >= 2: a single observation is never a baseline.
+  int min_observations = 3;
+  /// Speculative duplicates allowed per task (beyond the original attempt).
+  int max_duplicates = 1;
+  /// When > 0 and the TaskDef declares no timeout, attempts are killed
+  /// after multiplier x baseline quantile seconds (adaptive timeout).
+  double adaptive_timeout_multiplier = 0.0;
+};
+
+/// Per-variant attempt-duration samples feeding SpeculationPolicy decisions.
+/// Coordinator-thread only (the engine's threading contract).
+class SpeculationTracker {
+ public:
+  SpeculationTracker() = default;
+  explicit SpeculationTracker(SpeculationPolicy policy) : policy_(policy) {}
+
+  /// Record the duration of a *successful* attempt of `key`.
+  void record(const std::string& key, double seconds);
+
+  /// Quantile duration, or nullopt with fewer than max(2, min_observations)
+  /// samples.
+  std::optional<double> baseline(const std::string& key) const;
+
+  /// Elapsed seconds after which a running attempt of `key` counts as a
+  /// straggler. Never fires with fewer than two observations.
+  std::optional<double> straggler_threshold(const std::string& key) const;
+
+  /// Timeout for a new attempt of `key`: the TaskDef's own timeout when
+  /// declared, else the adaptive timeout when enabled and a baseline
+  /// exists. Returns <= 0 when the attempt has no deadline.
+  double effective_timeout(const std::string& key, double def_timeout) const;
+
+  std::size_t observations(const std::string& key) const;
+  const SpeculationPolicy& policy() const { return policy_; }
+
+ private:
+  SpeculationPolicy policy_;
+  std::map<std::string, std::vector<double>> samples_;  ///< kept sorted
 };
 
 /// A node death scheduled at a virtual time (SimBackend).
@@ -36,6 +104,21 @@ class FaultInjector {
   FaultInjector() : rng_(0) {}
   explicit FaultInjector(std::uint64_t seed, double task_failure_prob = 0.0)
       : rng_(seed), task_failure_prob_(task_failure_prob) {}
+
+  // Copyable despite the mutex (copies happen at configuration time,
+  // before any worker thread exists).
+  FaultInjector(const FaultInjector& other)
+      : rng_(other.rng_),
+        task_failure_prob_(other.task_failure_prob_),
+        forced_(other.forced_),
+        node_failures_(other.node_failures_) {}
+  FaultInjector& operator=(const FaultInjector& other) {
+    rng_ = other.rng_;
+    task_failure_prob_ = other.task_failure_prob_;
+    forced_ = other.forced_;
+    node_failures_ = other.node_failures_;
+    return *this;
+  }
 
   /// Force the first `n_failures` attempts of `task` to fail (deterministic).
   void force_task_failures(TaskId task, int n_failures) { forced_[task] = n_failures; }
@@ -52,6 +135,10 @@ class FaultInjector {
   bool any_injection() const { return task_failure_prob_ > 0.0 || !forced_.empty(); }
 
  private:
+  /// should_fail runs inside execute_body, which the threaded backend
+  /// calls from concurrent workers: the rng draw and the forced-failure
+  /// decrement must be atomic.
+  mutable std::mutex mutex_;
   Rng rng_;
   double task_failure_prob_ = 0.0;
   std::map<TaskId, int> forced_;  ///< task -> remaining forced failures

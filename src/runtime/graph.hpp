@@ -38,6 +38,13 @@ struct TaskRecord {
   /// Runtime::cancel hit this task while an attempt was in flight: the
   /// attempt's outcome is discarded when it reports back.
   bool abandoned = false;
+  /// Attempts currently holding resources. Normally 0 or 1; speculation can
+  /// run the original and up to SpeculationPolicy::max_duplicates at once.
+  int running_attempts = 0;
+  /// Speculative duplicates launched for this task so far.
+  int speculative_launches = 0;
+  /// A StragglerDetected event was already recorded (emit it once).
+  bool straggler_flagged = false;
   /// Completion-order stamp (1-based); 0 while the task is not yet
   /// terminal. wait_any uses it to pick the *first* finisher.
   std::uint64_t terminal_seq = 0;

@@ -12,6 +12,7 @@ Runtime::Runtime(RuntimeOptions options)
       engine_(graph_, options_.cluster,
               EngineOptions{.scheduler = options_.scheduler,
                             .fault_policy = options_.fault_policy,
+                            .speculation = options_.speculation,
                             .seed = options_.seed},
               options_.injector, sink_) {
   if (options_.cluster.nodes.empty())

@@ -58,6 +58,7 @@ struct RuntimeOptions {
   bool simulate = false;  ///< discrete-event backend instead of threads
   SimOptions sim;         ///< used when simulate == true
   FaultPolicy fault_policy;
+  SpeculationPolicy speculation;  ///< straggler detection + duplicate attempts
   FaultInjector injector;
   std::uint64_t seed = 42;
 };

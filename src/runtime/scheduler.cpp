@@ -89,6 +89,16 @@ std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& 
   return std::nullopt;
 }
 
+std::optional<Placement> place_duplicate(const TaskRecord& task, const Constraint& constraint,
+                                         ResourceState& resources, int avoid_node) {
+  for (std::size_t node = 0; node < resources.node_count(); ++node) {
+    if (static_cast<int>(node) == avoid_node) continue;
+    if (node_excluded(task, node)) continue;
+    if (auto placement = resources.try_allocate(node, constraint)) return placement;
+  }
+  return std::nullopt;
+}
+
 std::uint64_t local_input_bytes(const TaskRecord& task, const DataRegistry& registry, int node) {
   std::uint64_t bytes = 0;
   for (const ParamBinding& b : task.bindings) {

@@ -31,6 +31,10 @@ struct Dispatch {
   Placement placement;
   /// Implementation chosen: -1 = primary, else index into def.variants.
   int variant = -1;
+  /// Engine-stamped in-flight attempt handle (0 = not yet registered).
+  /// Backends hand it back via Engine::complete_attempt so a completion of
+  /// a reaped or superseded attempt can be told apart from a live one.
+  std::uint64_t attempt_id = 0;
 };
 
 class Scheduler {
@@ -85,6 +89,13 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
 /// Shared helper: first node (by index) that can take the task now,
 /// skipping the task's excluded nodes. Returns the placement or nullopt.
 std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& resources);
+
+/// Placement for a speculative duplicate of a straggling attempt: first
+/// node that satisfies `constraint` now, skipping the task's excluded
+/// (blacklisted) nodes and `avoid_node` — the node the straggling original
+/// runs on, where a duplicate would only queue behind the same slowness.
+std::optional<Placement> place_duplicate(const TaskRecord& task, const Constraint& constraint,
+                                         ResourceState& resources, int avoid_node);
 
 /// Bytes of the task's In/InOut params already resident on `node`.
 std::uint64_t local_input_bytes(const TaskRecord& task, const DataRegistry& registry, int node);

@@ -19,6 +19,10 @@ struct EvLater {
 
 SimBackend::SimBackend(Engine& engine, SimOptions options)
     : engine_(engine), options_(options) {
+  // Virtual-clock preemption happens at dispatch (the attempt's end event
+  // is moved to its deadline), so the engine must not also arm reap
+  // deadlines for these attempts.
+  engine_.set_backend_preempts_timeouts(true);
   for (const NodeFailureEvent& f : engine_.node_failure_events()) {
     Ev ev;
     ev.time = f.time;
@@ -49,6 +53,7 @@ void SimBackend::dispatch(const Dispatch& d, bool inputs_already_staged) {
   ev.seq = seq_++;
   ev.kind = EvKind::TaskEnd;
   ev.task = d.task;
+  ev.attempt_id = d.attempt_id;
   ev.placement = d.placement;
   ev.start = now_ + staging;
   ev.time = ev.start + duration;
@@ -59,8 +64,9 @@ void SimBackend::dispatch(const Dispatch& d, bool inputs_already_staged) {
     // run with execute_bodies=false).
     ev.result = engine_.injection_result(d.task);
   }
-  // @task(time_out): the runtime kills the attempt at the deadline.
-  const double timeout = record.def.timeout_seconds;
+  // @task(time_out) or the adaptive timeout: the runtime kills the attempt
+  // at its deadline (virtual-clock preemption).
+  const double timeout = engine_.attempt_timeout(d.task);
   if (timeout > 0.0 && duration > timeout) {
     ev.time = ev.start + timeout;
     ev.result = AttemptResult{};
@@ -68,6 +74,21 @@ void SimBackend::dispatch(const Dispatch& d, bool inputs_already_staged) {
   }
   events_.push_back(std::move(ev));
   std::push_heap(events_.begin(), events_.end(), EvLater{});
+}
+
+void SimBackend::arm_wakeup() {
+  const std::optional<double> wake = engine_.next_wakeup(now_);
+  if (!wake) return;
+  // Already armed at or before the requested time: the queued event will
+  // trigger on_wakeup, which re-arms for anything later.
+  if (armed_wakeup_ >= 0.0 && armed_wakeup_ <= *wake) return;
+  Ev ev;
+  ev.time = *wake;
+  ev.seq = seq_++;
+  ev.kind = EvKind::EngineWakeup;
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EvLater{});
+  armed_wakeup_ = *wake;
 }
 
 bool SimBackend::done(TaskId target) const {
@@ -81,9 +102,17 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
     // ThreadBackend, so run_for(0) dispatches nothing on either backend.
     if (deadline >= 0.0 && now_ >= deadline) return false;
 
+    // Engine duties due right now (backoff expiries, stragglers), then
+    // regular placement. on_wakeup can fail tasks (unsatisfiable promoted
+    // retry), so flush before re-checking the target.
+    for (const Dispatch& d : engine_.on_wakeup(now_)) dispatch(d, false);
     for (const Dispatch& d : engine_.schedule(now_)) dispatch(d, false);
+    engine_.flush_notifications();
 
     if (finished()) return true;
+
+    // Future duties (straggler thresholds, backoff expiries) become events.
+    arm_wakeup();
 
     // Find the next live event.
     auto next_live = [this]() -> bool {
@@ -115,6 +144,13 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
     events_.pop_back();
     now_ = std::max(now_, ev.time);
 
+    if (ev.kind == EvKind::EngineWakeup) {
+      // Loop back to the top: on_wakeup runs with the clock at the armed
+      // time, then re-arms for whatever duty is next.
+      armed_wakeup_ = -1.0;
+      continue;
+    }
+
     if (ev.kind == EvKind::NodeFailure) {
       engine_.fail_node(ev.node, now_);
       // Every in-flight task on that node fails right now.
@@ -133,8 +169,8 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
       for (Ev& victim : victims) {
         AttemptResult failed;
         failed.error = "node failure";
-        Engine::Completion completion = engine_.complete_attempt(
-            victim.task, victim.placement, std::move(failed), victim.start, now_);
+        Engine::Completion completion =
+            engine_.complete_attempt(victim.attempt_id, std::move(failed), victim.start, now_);
         if (completion.retry) dispatch(*completion.retry, true);
       }
       engine_.reap_infeasible();
@@ -143,7 +179,7 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
     }
 
     Engine::Completion completion =
-        engine_.complete_attempt(ev.task, ev.placement, std::move(ev.result), ev.start, now_);
+        engine_.complete_attempt(ev.attempt_id, std::move(ev.result), ev.start, now_);
     // Same-node retry keeps its staged inputs; duration is re-modelled.
     if (completion.retry) dispatch(*completion.retry, true);
     // Safe point: the engine holds no record references here, so queued

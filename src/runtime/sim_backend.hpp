@@ -37,13 +37,14 @@ class SimBackend : public Backend {
   bool simulated() const override { return true; }
 
  private:
-  enum class EvKind { TaskEnd, NodeFailure };
+  enum class EvKind { TaskEnd, NodeFailure, EngineWakeup };
   struct Ev {
     double time = 0.0;
     std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
     EvKind kind = EvKind::TaskEnd;
     // TaskEnd payload:
     TaskId task = kNoTask;
+    std::uint64_t attempt_id = 0;
     Placement placement;
     AttemptResult result;
     double start = 0.0;  ///< when the body began (after staging)
@@ -53,6 +54,11 @@ class SimBackend : public Backend {
   };
 
   void dispatch(const Dispatch& d, bool inputs_already_staged);
+  /// Queue an EngineWakeup event at Engine::next_wakeup (straggler
+  /// threshold crossings and backoff expiries — timeouts are preempted at
+  /// dispatch instead). Spurious extra wakeups are harmless: on_wakeup is
+  /// idempotent for times with no due work.
+  void arm_wakeup();
   bool done(TaskId target) const;
   double task_duration(const TaskRecord& record, const Placement& placement) const;
   /// Event loop shared by every wait flavour: pop events until `finished()`
@@ -66,6 +72,9 @@ class SimBackend : public Backend {
   double now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::vector<Ev> events_;  ///< min-heap by (time, seq)
+  /// Earliest EngineWakeup currently queued; < 0 = none. Avoids flooding
+  /// the heap with one wakeup per drive iteration.
+  double armed_wakeup_ = -1.0;
 };
 
 }  // namespace chpo::rt

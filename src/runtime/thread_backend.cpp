@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 namespace chpo::rt {
 
@@ -24,17 +26,16 @@ ThreadBackend::ThreadBackend(Engine& engine)
 
 void ThreadBackend::launch(const Dispatch& dispatch) {
   const double start = now();
-  const double timeout = engine_.graph().task(dispatch.task).def.timeout_seconds;
-  pool_->submit([this, dispatch, start, timeout] {
-    AttemptResult result = engine_.execute_body(dispatch.task, dispatch.placement, false);
+  // Timeouts are enforced by the coordinator: the engine reaps the attempt
+  // at its deadline (Engine::on_wakeup) while the body is still running,
+  // and this worker's eventual completion is then dropped as stale. The
+  // body snapshot is taken here, on the coordinator, so the worker never
+  // reads the TaskRecord the coordinator may mutate behind its back.
+  pool_->submit([this, dispatch, start, job = engine_.prepare_body(dispatch.task)] {
+    AttemptResult result = engine_.execute_prepared(job, dispatch.placement, false);
     const double end = now();
-    // Threads cannot be interrupted mid-body; overruns are detected here.
-    if (timeout > 0.0 && end - start > timeout && result.success) {
-      result = AttemptResult{};
-      result.error = "timeout after " + std::to_string(timeout) + "s (detected post-hoc)";
-    }
-    CompletionMsg msg{.task = dispatch.task,
-                      .placement = dispatch.placement,
+    CompletionMsg msg{.attempt_id = dispatch.attempt_id,
+                      .task = dispatch.task,
                       .result = std::move(result),
                       .start = start,
                       .end = end};
@@ -55,36 +56,67 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
   while (!finished()) {
     if (deadline >= 0.0 && now() >= deadline) return false;
 
+    // Timed engine duties first: reap overdue attempts, promote backoff
+    // retries, launch speculative duplicates. Reaping can turn tasks
+    // terminal, so flush before re-checking the target.
+    for (const Dispatch& d : engine_.on_wakeup(now())) launch(d);
     for (const Dispatch& d : engine_.schedule(now())) launch(d);
+    engine_.flush_notifications();
 
     if (finished()) return true;
 
+    const std::optional<double> wake = engine_.next_wakeup(now());
+
     if (engine_.running_count() == 0) {
-      // Nothing is running and nothing could be placed: either constraints
-      // became infeasible (node deaths) or this is a genuine deadlock.
+      // Nothing is running and nothing could be placed: a pending timed
+      // duty (backoff retry), constraints turned infeasible (node deaths),
+      // or a genuine deadlock.
       if (engine_.reap_infeasible()) {
         engine_.flush_notifications();
         continue;
       }
       if (finished()) return true;
+      if (wake) {
+        // Nothing can complete before the wakeup: just sleep up to it.
+        double until = *wake;
+        const bool deadline_first = deadline >= 0.0 && deadline <= until;
+        if (deadline_first) until = deadline;
+        const double seconds = until - now();
+        if (seconds > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+        if (deadline_first) return false;
+        continue;
+      }
       throw std::runtime_error("ThreadBackend: no runnable tasks but target not finished");
     }
 
     CompletionMsg msg;
+    bool have_msg = false;
     {
       std::unique_lock lock(mutex_);
-      if (deadline < 0.0) {
-        cv_.wait(lock, [this] { return !completions_.empty(); });
+      double limit = std::numeric_limits<double>::infinity();
+      if (deadline >= 0.0) limit = deadline;
+      if (wake && *wake < limit) limit = *wake;
+      const auto have_completion = [this] { return !completions_.empty(); };
+      if (limit == std::numeric_limits<double>::infinity()) {
+        cv_.wait(lock, have_completion);
+        have_msg = true;
       } else {
-        const auto wait = std::chrono::duration<double>(deadline - now());
-        if (!cv_.wait_for(lock, wait, [this] { return !completions_.empty(); }))
+        const auto wait = std::chrono::duration<double>(limit - now());
+        if (cv_.wait_for(lock, wait, have_completion))
+          have_msg = true;
+        else if (deadline >= 0.0 && now() >= deadline)
           return false;  // deadline hit with attempts still in flight
+        // else: woke for an engine duty — loop back to on_wakeup.
       }
-      msg = std::move(completions_.front());
-      completions_.pop_front();
+      if (have_msg) {
+        msg = std::move(completions_.front());
+        completions_.pop_front();
+      }
     }
+    if (!have_msg) continue;
     Engine::Completion completion =
-        engine_.complete_attempt(msg.task, msg.placement, std::move(msg.result), msg.start, msg.end);
+        engine_.complete_attempt(msg.attempt_id, std::move(msg.result), msg.start, msg.end);
     if (completion.retry) launch(*completion.retry);
     // Safe point: the engine holds no record references here, so queued
     // terminal notifications (and their user callbacks) can fire.

@@ -36,8 +36,8 @@ class ThreadBackend : public Backend {
 
  private:
   struct CompletionMsg {
+    std::uint64_t attempt_id;
     TaskId task;
-    Placement placement;
     AttemptResult result;
     double start;
     double end;

@@ -43,6 +43,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::Sync: return "sync";
     case EventKind::WaitAny: return "wait_any";
     case EventKind::Cancel: return "cancel";
+    case EventKind::StragglerDetected: return "straggler_detected";
+    case EventKind::SpeculativeLaunch: return "speculative_launch";
+    case EventKind::SpeculativeWin: return "speculative_win";
+    case EventKind::Backoff: return "backoff";
   }
   return "unknown";
 }

@@ -32,6 +32,10 @@ enum class EventKind : std::uint8_t {
   Sync,          ///< point: wait_on barrier reached
   WaitAny,       ///< point: wait_any returned (task_id = the winner)
   Cancel,        ///< point: caller cancelled the task (early stop)
+  StragglerDetected,  ///< point: a running attempt crossed the straggler threshold
+  SpeculativeLaunch,  ///< point: duplicate attempt launched on another node
+  SpeculativeWin,     ///< point: a speculative duplicate finished first
+  Backoff,            ///< span: retry delayed by exponential backoff
 };
 
 struct Event {

@@ -1,0 +1,246 @@
+// Chaos/stress harness: seeded random DAGs driven on both backends under
+// random fault injection, cancels, stragglers and (threaded) hung-attempt
+// reaping, asserting the runtime's core invariants:
+//
+//   1. every task reaches exactly one terminal state, and the terminal_seq
+//      stamps form a permutation of 1..N;
+//   2. no dependent's body observes a predecessor that has not finished,
+//      and every committed value a body reads is the producer's (no torn
+//      or stale versions — INOUT chains advance monotonically);
+//   3. a wait_any consumption loop yields tasks in completion order
+//      (strictly increasing terminal_seq);
+//   4. no completion is lost or delivered twice — per-task callbacks fire
+//      exactly once and drain_completions reports each task exactly once.
+//
+// The DAG mixes roots, fan-out, fan-in and INOUT chains with varying
+// constraints; the scenario mixes forced transient failures, one forced
+// permanent failure, probabilistic injection, a couple of cancels, and —
+// per backend — speculation over a 6x-slow node (sim) or in-flight timeout
+// reaping of hung first attempts (threads).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace chpo::rt {
+namespace {
+
+constexpr int kTasks = 32;
+constexpr int kChains = 2;
+
+/// Shared between task bodies and the checker; outlives the Runtime.
+struct ChaosState {
+  ChaosState() : body_finished(kTasks) {
+    for (auto& chain : chain_seen) chain = std::vector<std::atomic<bool>>(kTasks);
+  }
+  std::atomic<int> order_violations{0};  ///< pred body not finished first
+  std::atomic<int> data_violations{0};   ///< wrong committed value observed
+  std::vector<std::atomic<bool>> body_finished;
+  /// chain_seen[c][v]: some attempt of chain c read counter value v.
+  std::array<std::vector<std::atomic<bool>>, kChains> chain_seen;
+};
+
+struct ChaosPlan {
+  struct Spec {
+    std::vector<TaskId> preds;  ///< futures read as IN params
+    int chain = -1;             ///< >= 0: INOUT link of that chain
+    unsigned cpus = 1;
+    double cost = 1.0;     ///< sim seconds on a fast node
+    bool hang_first = false;  ///< threads: first attempt overruns its timeout
+  };
+  std::vector<Spec> tasks;
+  std::vector<TaskId> cancels;
+};
+
+ChaosPlan make_plan(std::uint64_t seed, bool simulate) {
+  std::mt19937_64 rng(seed);
+  ChaosPlan plan;
+  plan.tasks.resize(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    auto& spec = plan.tasks[std::size_t(i)];
+    spec.cpus = 1 + unsigned(rng() % 2);
+    spec.cost = 5.0 + double(rng() % 11);
+    if (i > 0 && rng() % 5 == 0) {
+      spec.chain = int(rng() % kChains);
+    } else if (i > 0) {
+      const std::size_t fan = rng() % std::min<std::size_t>(3, std::size_t(i)) + (rng() % 2);
+      std::set<TaskId> preds;
+      for (std::size_t k = 0; k < fan; ++k) preds.insert(TaskId(rng() % std::uint64_t(i)));
+      spec.preds.assign(preds.begin(), preds.end());
+    }
+    // Threads only: hung first attempts on a few IN-only tasks (reaping a
+    // chain task would leave its abandoned body racing the chain datum).
+    if (!simulate && spec.chain < 0 && rng() % 8 == 0) spec.hang_first = true;
+  }
+  for (int k = 0; k < 2; ++k) plan.cancels.push_back(TaskId(rng() % kTasks));
+  return plan;
+}
+
+void run_chaos(std::uint64_t seed, bool simulate) {
+  const ChaosPlan plan = make_plan(seed, simulate);
+  auto state = std::make_shared<ChaosState>();
+
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 4;
+  opts.cluster = cluster::homogeneous(3, node);
+  opts.simulate = simulate;
+  opts.seed = seed;
+  opts.injector = FaultInjector(seed, 0.04);
+  std::mt19937_64 rng(seed * 7919);
+  opts.injector.force_task_failures(TaskId(rng() % kTasks), 1);
+  opts.injector.force_task_failures(TaskId(rng() % kTasks), 2);
+  const TaskId doomed = TaskId(rng() % kTasks);
+  opts.injector.force_task_failures(doomed, opts.fault_policy.max_attempts + 2);
+  opts.fault_policy.backoff_base_seconds = simulate ? 1.0 : 0.001;
+  if (simulate) {
+    opts.speculation.enabled = true;
+    opts.speculation.min_observations = 3;
+    opts.speculation.straggler_multiplier = 2.0;
+  }
+  Runtime runtime(std::move(opts));
+  (void)runtime.drain_completions();  // opt in to completion recording
+
+  std::vector<DataId> counters;
+  for (int c = 0; c < kChains; ++c) counters.push_back(runtime.share<int>(0));
+  std::vector<int> chain_of(kTasks, -1);
+  std::vector<std::atomic<int>> fires(kTasks);
+
+  std::vector<Future> futures;
+  for (int i = 0; i < kTasks; ++i) {
+    const auto& spec = plan.tasks[std::size_t(i)];
+    chain_of[std::size_t(i)] = spec.chain;
+    TaskDef def;
+    def.name = "chaos";
+    def.constraint = {.cpus = spec.cpus};
+    if (simulate) {
+      const double cost = spec.cost;
+      def.cost = [cost](const Placement& p, const cluster::NodeSpec&) {
+        return p.node == 0 ? cost * 6.0 : cost;  // node 0 straggles
+      };
+    }
+    if (spec.hang_first) def.timeout_seconds = 0.05;
+
+    std::vector<Param> params;
+    const std::size_t n_preds = spec.preds.size();
+    for (const TaskId pred : spec.preds)
+      params.push_back({futures[std::size_t(pred)].data, Direction::In});
+    if (spec.chain >= 0) params.push_back({counters[std::size_t(spec.chain)], Direction::InOut});
+
+    const std::vector<TaskId> preds = spec.preds;
+    const int chain_index = spec.chain;
+    const bool hang_first = spec.hang_first;
+    def.body = [state, preds, n_preds, chain_index, hang_first, i](TaskContext& ctx) -> std::any {
+      for (std::size_t p = 0; p < n_preds; ++p) {
+        if (!state->body_finished[std::size_t(preds[p])].load()) ++state->order_violations;
+        if (ctx.read<int>(p) != int(preds[p])) ++state->data_violations;
+      }
+      if (chain_index >= 0) {
+        const int c = ctx.read<int>(n_preds);
+        if (c < 0 || c >= kTasks)
+          ++state->data_violations;
+        else
+          state->chain_seen[std::size_t(chain_index)][std::size_t(c)].store(true);
+        ctx.write(n_preds, c + 1);
+      }
+      if (!ctx.simulated()) {
+        const bool hang = hang_first && ctx.attempt() == 1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(hang ? 150 : 1));
+      }
+      state->body_finished[std::size_t(i)].store(true);
+      return std::any(i);
+    };
+    futures.push_back(runtime.submit(def, params, [&fires](const Future& f, TaskState) {
+      ++fires[std::size_t(f.producer)];
+    }));
+  }
+
+  for (const TaskId victim : plan.cancels) runtime.cancel(futures[std::size_t(victim)]);
+
+  // Invariant 3: consuming everything through wait_any yields strictly
+  // increasing terminal_seq (completion order), with occasional drains
+  // interleaved to stress the completion queue.
+  std::vector<TaskId> drained;
+  std::vector<Future> remaining = futures;
+  std::uint64_t last_seq = 0;
+  while (!remaining.empty()) {
+    const Future done = runtime.wait_any(remaining);
+    const std::uint64_t seq = runtime.graph().task(done.producer).terminal_seq;
+    EXPECT_GT(seq, last_seq) << "wait_any returned task " << done.producer << " out of order";
+    last_seq = seq;
+    remaining.erase(std::find_if(remaining.begin(), remaining.end(), [&](const Future& f) {
+      return f.producer == done.producer;
+    }));
+    if (remaining.size() % 7 == 0) {
+      const std::vector<TaskId> batch = runtime.drain_completions();
+      drained.insert(drained.end(), batch.begin(), batch.end());
+    }
+  }
+  runtime.barrier();
+  const std::vector<TaskId> batch = runtime.drain_completions();
+  drained.insert(drained.end(), batch.begin(), batch.end());
+
+  // Invariant 1: one terminal state each; terminal_seq is a permutation.
+  std::set<std::uint64_t> seqs;
+  std::vector<int> done_per_chain(kChains, 0);
+  for (int i = 0; i < kTasks; ++i) {
+    const TaskRecord& record = runtime.graph().task(TaskId(i));
+    const bool terminal = record.state == TaskState::Done || record.state == TaskState::Failed ||
+                          record.state == TaskState::Cancelled;
+    EXPECT_TRUE(terminal) << "task " << i << " not terminal";
+    EXPECT_GE(record.terminal_seq, 1u);
+    EXPECT_LE(record.terminal_seq, std::uint64_t(kTasks));
+    seqs.insert(record.terminal_seq);
+    if (record.state == TaskState::Done && chain_of[std::size_t(i)] >= 0)
+      ++done_per_chain[std::size_t(chain_of[std::size_t(i)])];
+  }
+  EXPECT_EQ(seqs.size(), std::size_t(kTasks)) << "terminal_seq stamps collide";
+
+  // Invariant 2: bodies never saw an unfinished predecessor or a value
+  // other than the producer's committed one. A failed chain link cancels
+  // everything behind it, so the Done links of a chain form a prefix and
+  // must have observed exactly the counter values 0..D-1 (monotone, no
+  // skips, no torn versions).
+  EXPECT_EQ(state->order_violations.load(), 0);
+  EXPECT_EQ(state->data_violations.load(), 0);
+  for (int c = 0; c < kChains; ++c)
+    for (int v = 0; v < done_per_chain[std::size_t(c)]; ++v)
+      EXPECT_TRUE(state->chain_seen[std::size_t(c)][std::size_t(v)].load())
+          << "chain " << c << " never observed counter value " << v;
+
+  // Invariant 4: every task delivered exactly once, via both channels.
+  std::sort(drained.begin(), drained.end());
+  ASSERT_EQ(drained.size(), std::size_t(kTasks)) << "completions lost or duplicated";
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(drained[std::size_t(i)], TaskId(i));
+    EXPECT_EQ(fires[std::size_t(i)].load(), 1) << "callback count for task " << i;
+  }
+}
+
+class ChaosTest : public testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(ChaosTest, InvariantsHoldUnderFaultsCancelsAndStragglers) {
+  const auto [seed, simulate] = GetParam();
+  run_chaos(std::uint64_t(seed), simulate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         testing::Combine(testing::Values(11, 23, 47, 61),
+                                          testing::Bool()),
+                         [](const testing::TestParamInfo<ChaosTest::ParamType>& info) {
+                           return std::string(std::get<1>(info.param) ? "sim" : "threads") +
+                                  "_seed" + std::to_string(std::get<0>(info.param));
+                         });
+
+}  // namespace
+}  // namespace chpo::rt

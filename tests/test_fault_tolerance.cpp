@@ -171,20 +171,162 @@ TEST(Timeout, FastTaskUnaffected) {
   EXPECT_DOUBLE_EQ(runtime.now(), 5.0);
 }
 
-TEST(Timeout, ThreadBackendDetectsOverrunPostHoc) {
+TEST(Timeout, ThreadBackendReapsHungTaskInFlight) {
+  // A deliberately hung (sleeping) body must be reaped at its deadline,
+  // not when it happens to return: with a 1.5 s sleep and a 30 ms timeout,
+  // the failure has to surface long before the body wakes up.
   RuntimeOptions opts = sim_nodes(1);
   opts.simulate = false;
   opts.fault_policy.max_attempts = 1;
   Runtime runtime(std::move(opts));
   TaskDef def;
   def.name = "sleepy";
-  def.timeout_seconds = 0.005;  // 5 ms
+  def.timeout_seconds = 0.03;
   def.body = [](TaskContext&) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1500));
     return std::any(1);
   };
   const Future f = runtime.submit(def);
   EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+  EXPECT_LT(runtime.now(), 1.0);  // decided at the deadline, not post-hoc
+  // The worker is still inside the body; shutdown must drain it cleanly
+  // and drop its stale completion (covered by the runtime destructor).
+}
+
+TEST(Timeout, ThreadBackendRetriesWhileHungAttemptStillRuns) {
+  // Reap-and-retry: attempt 1 hangs past its deadline, the retry runs (and
+  // succeeds) while the hung body is *still sleeping* on its worker thread.
+  RuntimeOptions opts = sim_nodes(1);  // 2 cpus: a free slot exists for the retry
+  opts.simulate = false;
+  Runtime runtime(std::move(opts));
+  TaskDef def;
+  def.name = "hung_once";
+  def.timeout_seconds = 0.03;
+  def.body = [](TaskContext& ctx) {
+    if (ctx.attempt() == 1) std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+    return std::any(ctx.attempt());
+  };
+  const Future f = runtime.submit(def);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 2);
+  EXPECT_LT(runtime.now(), 1.0);  // did not wait for the hung attempt
+  EXPECT_GE(runtime.analyze().failure_count(), 1u);
+}
+
+TEST(Backoff, RetriesWaitOutExponentialDelays) {
+  // Failures at t=10 and t=21: the first retry waits base=1 s (same node),
+  // the second waits 2 s (resubmitted elsewhere). All on the virtual clock.
+  RuntimeOptions opts = sim_nodes(2);
+  opts.fault_policy.backoff_base_seconds = 1.0;
+  opts.injector.force_task_failures(0, 2);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("flaky", 10.0));
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+  // [0,10] fail, +1 s, [11,21] fail, +2 s, [23,33] success.
+  EXPECT_DOUBLE_EQ(runtime.now(), 33.0);
+  int backoffs = 0;
+  for (const auto& e : runtime.trace().events())
+    backoffs += e.kind == trace::EventKind::Backoff;
+  EXPECT_EQ(backoffs, 2);
+}
+
+TEST(Backoff, CancelDuringDelayWins) {
+  // A task sitting out its backoff delay holds no resources and can be
+  // cancelled before the retry ever launches.
+  RuntimeOptions opts = sim_nodes(1);
+  opts.fault_policy.backoff_base_seconds = 50.0;
+  opts.injector.force_task_failures(0, 1);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("delayed", 10.0));
+  EXPECT_FALSE(runtime.wait_all_for(20.0));  // failed at 10, retry due at 60
+  EXPECT_TRUE(runtime.cancel(f));
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+  EXPECT_LT(runtime.now(), 60.0);  // never waited for the delayed retry
+}
+
+TEST(Speculation, DuplicateAttemptRescuesStraggler) {
+  // Three 10 s siblings establish the baseline; the fourth is stuck on a
+  // node where it would take 500 s. At 2x the 0.75-quantile (t=20) a
+  // duplicate lands on the other node and wins at t=30.
+  RuntimeOptions opts = sim_nodes(2);
+  opts.speculation.enabled = true;
+  opts.speculation.min_observations = 3;
+  opts.speculation.straggler_multiplier = 2.0;
+  Runtime runtime(std::move(opts));
+  TaskDef straggler = timed("job", 10.0);
+  straggler.cost = [](const Placement& p, const cluster::NodeSpec&) {
+    return p.node == 0 ? 500.0 : 10.0;
+  };
+  const Future slow = runtime.submit(straggler);  // first-fit: node 0
+  std::vector<Future> fast;
+  for (int i = 0; i < 3; ++i) fast.push_back(runtime.submit(timed("job", 10.0)));
+  runtime.barrier();
+  EXPECT_DOUBLE_EQ(runtime.now(), 30.0);
+  EXPECT_EQ(runtime.wait_on_as<int>(slow), 1);
+  int detected = 0, launched = 0, won = 0;
+  for (const auto& e : runtime.trace().events()) {
+    detected += e.kind == trace::EventKind::StragglerDetected;
+    launched += e.kind == trace::EventKind::SpeculativeLaunch;
+    won += e.kind == trace::EventKind::SpeculativeWin;
+  }
+  EXPECT_EQ(detected, 1);
+  EXPECT_EQ(launched, 1);
+  EXPECT_EQ(won, 1);
+}
+
+TEST(Speculation, OriginalWinsAndLoserIsDiscarded) {
+  // The straggler recovers on its own at t=25, before its duplicate (due
+  // t=30) finishes: first terminal attempt wins, the duplicate's result is
+  // discarded through the abandon-on-finish path.
+  RuntimeOptions opts = sim_nodes(2);
+  opts.speculation.enabled = true;
+  opts.speculation.min_observations = 3;
+  opts.speculation.straggler_multiplier = 2.0;
+  Runtime runtime(std::move(opts));
+  TaskDef straggler = timed("job", 10.0);
+  straggler.cost = [](const Placement& p, const cluster::NodeSpec&) {
+    return p.node == 0 ? 25.0 : 10.0;
+  };
+  const Future slow = runtime.submit(straggler);
+  for (int i = 0; i < 3; ++i) runtime.submit(timed("job", 10.0));
+  runtime.barrier();
+  EXPECT_DOUBLE_EQ(runtime.now(), 25.0);
+  EXPECT_EQ(runtime.wait_on_as<int>(slow), 1);
+  int launched = 0, won = 0;
+  for (const auto& e : runtime.trace().events()) {
+    launched += e.kind == trace::EventKind::SpeculativeLaunch;
+    won += e.kind == trace::EventKind::SpeculativeWin;
+  }
+  EXPECT_EQ(launched, 1);
+  EXPECT_EQ(won, 0);  // the original landed first
+}
+
+TEST(Speculation, AdaptiveTimeoutKillsUnboundedAttempt) {
+  // No TaskDef timeout, but adaptive_timeout_multiplier=4 kills attempts
+  // at 4x the observed quantile. The straggler's attempts keep timing out
+  // until the policy exhausts (its cost on every node is 500 s).
+  RuntimeOptions opts = sim_nodes(2);
+  opts.speculation.enabled = true;
+  opts.speculation.min_observations = 3;
+  opts.speculation.adaptive_timeout_multiplier = 4.0;
+  opts.speculation.max_duplicates = 0;   // isolate the timeout mechanism
+  opts.fault_policy.max_attempts = 2;    // both attempts hit the 40 s deadline
+  Runtime runtime(std::move(opts));
+  // Stuck tasks need a whole node, so the second one can only dispatch
+  // after every fast sibling has finished — by then the 3-sample baseline
+  // (10 s) exists and the attempt gets a 4x10 = 40 s adaptive deadline.
+  TaskDef stuck = timed("job", 500.0);
+  stuck.constraint = {.cpus = 2};
+  const Future f = runtime.submit(stuck);  // no baseline yet: runs the full 500 s
+  for (int i = 0; i < 3; ++i) runtime.submit(timed("job", 10.0));
+  runtime.submit(stuck);  // queued behind; every attempt times out at 40 s
+  runtime.barrier();
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+  EXPECT_GE(runtime.analyze().failure_count(), 1u);
+  bool timed_out = false;
+  for (const auto& e : runtime.trace().events())
+    timed_out = timed_out || (e.kind == trace::EventKind::TaskFailure && e.task_id == 4);
+  EXPECT_TRUE(timed_out);
+  EXPECT_THROW(runtime.wait_on(runtime.graph().task(4).result), TaskFailedError);
 }
 
 TEST(FaultTolerance, ThreadBackendNodeExclusionWorksToo) {

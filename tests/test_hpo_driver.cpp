@@ -1,6 +1,8 @@
 // End-to-end HPO driver tests on both backends.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "hpo/driver.hpp"
 #include "hpo/report.hpp"
 
@@ -275,6 +277,49 @@ TEST(Report, EmptyAndFailedTrialsHandled) {
   failed.failure_reason = "boom";
   const std::string table = trials_table({failed});
   EXPECT_NE(table.find("FAILED: boom"), std::string::npos);
+}
+
+TEST(Report, AttemptStatsAggregatesPerTaskName) {
+  using trace::Event;
+  using trace::EventKind;
+  std::vector<Event> events;
+  events.push_back(Event{.kind = EventKind::TaskRun,
+                         .task_id = 0,
+                         .task_name = "experiment",
+                         .t_start = 0.0,
+                         .t_end = 10.0});
+  events.push_back(Event{.kind = EventKind::TaskFailure, .task_id = 0, .task_name = "experiment"});
+  events.push_back(Event{.kind = EventKind::TaskRetry, .task_id = 0, .task_name = "experiment"});
+  events.push_back(Event{.kind = EventKind::TaskRun,
+                         .task_id = 0,
+                         .task_name = "experiment",
+                         .t_start = 10.0,
+                         .t_end = 14.0});
+  events.push_back(
+      Event{.kind = EventKind::StragglerDetected, .task_id = 1, .task_name = "experiment"});
+  events.push_back(
+      Event{.kind = EventKind::SpeculativeLaunch, .task_id = 1, .task_name = "experiment"});
+  events.push_back(
+      Event{.kind = EventKind::SpeculativeWin, .task_id = 1, .task_name = "experiment"});
+  events.push_back(Event{.kind = EventKind::Backoff, .task_id = 2, .task_name = "plot"});
+  const std::string stats = attempt_stats(events);
+  // Header + one row per distinct task name.
+  EXPECT_EQ(std::count(stats.begin(), stats.end(), '\n'), 3);
+  const std::string experiment = stats.substr(stats.find("experiment"));
+  std::istringstream row(experiment);
+  std::string name;
+  int runs = 0, fail = 0, retry = 0, strag = 0, spec = 0, won = 0, backoff = 0;
+  double busy = 0.0;
+  row >> name >> runs >> fail >> retry >> strag >> spec >> won >> backoff >> busy;
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(fail, 1);
+  EXPECT_EQ(retry, 1);
+  EXPECT_EQ(strag, 1);
+  EXPECT_EQ(spec, 1);
+  EXPECT_EQ(won, 1);
+  EXPECT_EQ(backoff, 0);
+  EXPECT_DOUBLE_EQ(busy, 14.0);
+  EXPECT_NE(stats.find("plot"), std::string::npos);
 }
 
 }  // namespace

@@ -468,5 +468,150 @@ TEST(Stress, ThousandTaskDag) {
   EXPECT_EQ(runtime.analyze().task_count(), 1000u);
 }
 
+// ---------------------------------------------------------------------
+// FaultInjector / FaultPolicy / SpeculationPolicy properties: forced-
+// failure accounting, backoff monotonicity and cap, straggler threshold
+// gating, and duplicate placement restrictions.
+// ---------------------------------------------------------------------
+
+class ForcedFailureAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForcedFailureAccounting, EveryForcedFailureIsConsumedExactlyOnce) {
+  const int forced = GetParam();
+  rt::FaultInjector injector;
+  injector.force_task_failures(7, forced);
+  int observed = 0;
+  for (int attempt = 1; attempt <= forced + 5; ++attempt)
+    observed += injector.should_fail(7, attempt) ? 1 : 0;
+  EXPECT_EQ(observed, forced);                // consumed exactly, then clean
+  EXPECT_FALSE(injector.should_fail(7, 99));  // stays exhausted
+  EXPECT_FALSE(injector.should_fail(8, 1));   // other tasks untouched
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ForcedFailureAccounting, ::testing::Values(0, 1, 2, 3, 7));
+
+TEST_P(ForcedFailureAccounting, RuntimeAttemptsMatchForcedFailures) {
+  // End-to-end accounting: n forced failures cost exactly n+1 attempts
+  // (while n+1 <= max_attempts).
+  const int forced = GetParam();
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 2;
+  opts.cluster = cluster::homogeneous(2, node);
+  opts.simulate = true;
+  opts.fault_policy.max_attempts = forced + 2;
+  opts.injector.force_task_failures(0, forced);
+  Runtime runtime(std::move(opts));
+  TaskDef def;
+  def.name = "accounted";
+  def.body = [](TaskContext&) { return std::any(1); };
+  const Future f = runtime.submit(def);
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+  EXPECT_EQ(runtime.graph().task(f.producer).attempts_made, forced + 1);
+  EXPECT_EQ(runtime.analyze().failure_count(), static_cast<std::size_t>(forced));
+}
+
+TEST(BackoffProperties, DelaysAreMonotoneAndCapped) {
+  rt::FaultPolicy policy;
+  policy.backoff_base_seconds = 0.5;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_max_seconds = 3.0;
+  double previous = 0.0;
+  for (int n = 1; n <= 20; ++n) {
+    const double delay = policy.retry_delay(n);
+    EXPECT_GE(delay, previous) << "backoff must be monotone at attempt " << n;
+    EXPECT_LE(delay, policy.backoff_max_seconds) << "backoff must respect the cap";
+    previous = delay;
+  }
+  EXPECT_DOUBLE_EQ(policy.retry_delay(1), 0.5);
+  EXPECT_DOUBLE_EQ(policy.retry_delay(2), 1.0);
+  EXPECT_DOUBLE_EQ(policy.retry_delay(20), 3.0);  // capped
+}
+
+TEST(BackoffProperties, DisabledByDefaultAndForNonPositiveBase) {
+  rt::FaultPolicy defaults;
+  EXPECT_DOUBLE_EQ(defaults.retry_delay(1), 0.0);  // paper behaviour
+  rt::FaultPolicy off;
+  off.backoff_base_seconds = -1.0;
+  for (int n = 1; n < 5; ++n) EXPECT_DOUBLE_EQ(off.retry_delay(n), 0.0);
+}
+
+TEST(SpeculationProperties, ThresholdNeverFiresBelowTwoObservations) {
+  rt::SpeculationPolicy policy;
+  policy.enabled = true;
+  policy.min_observations = 1;  // hostile setting: must still clamp to 2
+  rt::SpeculationTracker tracker(policy);
+  EXPECT_FALSE(tracker.straggler_threshold("t").has_value());
+  tracker.record("t", 10.0);
+  EXPECT_FALSE(tracker.straggler_threshold("t").has_value());
+  tracker.record("t", 12.0);
+  EXPECT_TRUE(tracker.straggler_threshold("t").has_value());
+  EXPECT_FALSE(tracker.straggler_threshold("other").has_value());
+}
+
+TEST(SpeculationProperties, ThresholdScalesWithQuantile) {
+  rt::SpeculationPolicy policy;
+  policy.quantile = 0.5;
+  policy.straggler_multiplier = 3.0;
+  policy.min_observations = 2;
+  rt::SpeculationTracker tracker(policy);
+  for (double d : {1.0, 2.0, 3.0, 4.0}) tracker.record("t", d);
+  ASSERT_TRUE(tracker.baseline("t").has_value());
+  EXPECT_DOUBLE_EQ(*tracker.baseline("t"), 3.0);  // index 0.5*4=2 of sorted
+  EXPECT_DOUBLE_EQ(*tracker.straggler_threshold("t"), 9.0);
+  EXPECT_EQ(tracker.observations("t"), 4u);
+}
+
+TEST(SpeculationProperties, DuplicateNeverPlacedOnBlacklistedOrOriginalNode) {
+  // 3 nodes x 1 cpu. The flaky task fails once on node 0 — with
+  // same_node_retries=0 the failure blacklists that node — then straggles
+  // on node 1 (300 s). The duplicate must land on node 2, the only node
+  // that is neither blacklisted nor the straggler's own.
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 1;
+  opts.cluster = cluster::homogeneous(3, node);
+  opts.simulate = true;
+  opts.fault_policy.same_node_retries = 0;
+  opts.speculation.enabled = true;
+  opts.speculation.min_observations = 2;
+  opts.speculation.straggler_multiplier = 2.0;
+  opts.injector.force_task_failures(0, 1);
+  Runtime runtime(std::move(opts));
+
+  TaskDef flaky;
+  flaky.name = "job";
+  flaky.constraint = {.cpus = 1};
+  flaky.body = [](TaskContext&) { return std::any(1); };
+  flaky.cost = [](const Placement& p, const cluster::NodeSpec&) {
+    return p.node == 1 ? 300.0 : 10.0;
+  };
+  TaskDef quick;
+  quick.name = "job";
+  quick.constraint = {.cpus = 1};
+  quick.body = [](TaskContext&) { return std::any(1); };
+  quick.cost = [](const Placement&, const cluster::NodeSpec&) { return 10.0; };
+
+  const Future f = runtime.submit(flaky);  // first-fit: node 0
+  for (int i = 0; i < 2; ++i) runtime.submit(quick);
+  runtime.barrier();
+
+  // Failed at 10 on node 0, rescheduled onto node 1 (straggles), duplicate
+  // due at 10+20=30 on node 2, done at 40.
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+  EXPECT_DOUBLE_EQ(runtime.now(), 40.0);
+  const auto& record = runtime.graph().task(f.producer);
+  EXPECT_NE(std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(), 0),
+            record.excluded_nodes.end());
+  int speculative_node = -1, launches = 0;
+  for (const auto& e : runtime.trace().events()) {
+    if (e.kind != trace::EventKind::SpeculativeLaunch) continue;
+    ++launches;
+    speculative_node = e.node;
+  }
+  EXPECT_EQ(launches, 1);
+  EXPECT_EQ(speculative_node, 2);  // not 0 (blacklisted), not 1 (original)
+}
+
 }  // namespace
 }  // namespace chpo

@@ -10,6 +10,7 @@
 // Runs the selected algorithm over the JSON search space on a synthetic
 // dataset, through the task runtime, and writes the report plus optional
 // Paraver/Graphviz/CSV artifacts.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -146,6 +147,16 @@ int run(const ArgParser& args) {
   }
 
   std::printf("%s\n", hpo::trials_table(outcome.trials).c_str());
+  // Attempt statistics only when something eventful happened (failures,
+  // retries, stragglers, backoffs): a clean run keeps a clean report.
+  const bool eventful = std::any_of(
+      runtime.trace().events().begin(), runtime.trace().events().end(), [](const auto& e) {
+        return e.kind == trace::EventKind::TaskFailure || e.kind == trace::EventKind::TaskRetry ||
+               e.kind == trace::EventKind::StragglerDetected ||
+               e.kind == trace::EventKind::SpeculativeLaunch ||
+               e.kind == trace::EventKind::Backoff;
+      });
+  if (eventful) std::printf("%s\n", hpo::attempt_stats(runtime.trace().events()).c_str());
   const auto importance = hpo::hyperparameter_importance(outcome.trials);
   if (!importance.empty())
     std::printf("%s\n", hpo::importance_table(importance).c_str());
