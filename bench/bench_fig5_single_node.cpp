@@ -6,6 +6,7 @@
 // queued tasks, the spread of task durations ("some taking almost half the
 // time"), and the ~207-minute makespan — plus the ASCII Gantt itself.
 #include <algorithm>
+#include <filesystem>
 
 #include "bench_common.hpp"
 #include "trace/gantt.hpp"
@@ -54,7 +55,11 @@ int main() {
                                         {.width = 96, .max_rows = 30})
                         .c_str());
   std::printf("\n%s", trace::render_parallelism_profile(runtime.trace().events(), 96, 10).c_str());
-  trace::write_prv_files("fig5_single_node", runtime.trace().events(), runtime.cluster_spec());
-  std::printf("\nParaver trace: fig5_single_node.prv/.row\n");
+  // Traces land in ./traces, not the working directory root (keeps source
+  // trees clean when the bench is run from a checkout).
+  std::filesystem::create_directories("traces");
+  trace::write_prv_files("traces/fig5_single_node", runtime.trace().events(),
+                         runtime.cluster_spec());
+  std::printf("\nParaver trace: traces/fig5_single_node.prv/.row\n");
   return 0;
 }

@@ -1,0 +1,169 @@
+// bench_reuse — the Listing-1 grid with and without cross-trial reuse.
+//
+// The paper's grid (Listing 1) varies num_epochs in {20, 50, 100} for each
+// of the 9 (optimizer, batch_size) combinations: without reuse each group
+// trains 170 epochs, with stage merging it trains 100 (the 20- and
+// 50-epoch trials are interior checkpoints of the 100-epoch chain) — a
+// 1.70x compute collapse, which part 1 measures as virtual makespan on a
+// saturated node. Parts 2 and 3 run real training: warm-cache reruns prune
+// to pure replay, and a session that *extends* the epoch axis resumes the
+// cached chains instead of retraining from scratch.
+#include <chrono>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "hpo/report.hpp"
+#include "reuse/planner.hpp"
+#include "reuse/result_cache.hpp"
+
+namespace {
+
+using namespace chpo;
+namespace fs = std::filesystem;
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(clock::now().time_since_epoch()).count();
+}
+
+rt::RuntimeOptions small_node(bool simulate) {
+  rt::RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "bench";
+  node.cpus = 4;
+  opts.cluster = cluster::homogeneous(1, node);
+  opts.simulate = simulate;
+  if (simulate) opts.sim.execute_bodies = false;
+  return opts;
+}
+
+// ---------------------------------------------------------------- part 1
+
+/// Cost-only simulation of the Listing-1 grid on a saturated 4-core node:
+/// virtual makespan tracks total planned work.
+std::pair<double, reuse::ReuseReport> simulate_grid(bool merge) {
+  rt::Runtime runtime(small_node(/*simulate=*/true));
+  hpo::DriverOptions options;
+  options.workload = ml::mnist_paper_model();
+  options.epoch_divisor = 1;
+  options.reuse.enabled = true;
+  options.reuse.merge = merge;
+
+  std::vector<reuse::TrialRequest> requests;
+  const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(bench::kListing1);
+  for (const auto& config : space.enumerate_grid()) {
+    const int index = static_cast<int>(requests.size());
+    requests.push_back({index, hpo::experiment_train_config(config, options, index)});
+  }
+
+  reuse::StageExecutor executor(runtime, bench::empty_dataset(), options.reuse,
+                                rt::Constraint{.cpus = 1}, options.workload, nullptr);
+  executor.submit(requests);
+  runtime.barrier();
+  return {runtime.analyze().makespan(), executor.report()};
+}
+
+// ------------------------------------------------------------ parts 2 & 3
+
+struct RealRun {
+  double wall_ms = 0.0;
+  hpo::HpoOutcome outcome;
+};
+
+RealRun run_real(const ml::Dataset& dataset, const char* space_json, bool merge,
+                 const std::string& cache_dir) {
+  const double t0 = now_ms();
+  rt::Runtime runtime(small_node(/*simulate=*/false));
+  hpo::DriverOptions options;
+  options.epoch_divisor = 1;
+  options.seed = 17;
+  options.reuse.enabled = true;
+  options.reuse.merge = merge;
+  options.reuse.cache_dir = cache_dir;
+  hpo::HpoDriver driver(runtime, dataset, options);
+  hpo::GridSearch grid(hpo::SearchSpace::from_json_text(space_json));
+  RealRun run;
+  run.outcome = driver.run(grid);
+  run.wall_ms = now_ms() - t0;
+  return run;
+}
+
+constexpr const char* kSmallGrid = R"({
+  "learning_rate": [0.01, 0.02, 0.05],
+  "num_epochs": [2, 6],
+  "batch_size": [16]
+})";
+
+constexpr const char* kSeedGrid = R"({
+  "learning_rate": [0.01, 0.02, 0.05],
+  "num_epochs": [2, 4],
+  "batch_size": [16]
+})";
+
+constexpr const char* kExtendedGrid = R"({
+  "learning_rate": [0.01, 0.02, 0.05],
+  "num_epochs": [2, 4, 8],
+  "batch_size": [16]
+})";
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_reuse",
+                      "Listing 1 grid with cross-trial reuse (stage trees + result cache)");
+
+  // Part 1: virtual makespan, unmerged vs merged stage trees.
+  const auto [unmerged_span, unmerged_report] = simulate_grid(/*merge=*/false);
+  const auto [merged_span, merged_report] = simulate_grid(/*merge=*/true);
+  std::printf("part 1: Listing-1 grid, cost-only simulation, one 4-core node\n");
+  std::printf("  %-22s %10s %14s %14s\n", "plan", "epochs", "stage tasks", "makespan");
+  std::printf("  %-22s %10ld %14zu %14s\n", "unmerged (baseline)", unmerged_report.planned_epochs,
+              unmerged_report.stages, format_duration(unmerged_span).c_str());
+  std::printf("  %-22s %10ld %14zu %14s\n", "merged stage tree", merged_report.planned_epochs,
+              merged_report.stages, format_duration(merged_span).c_str());
+  std::printf("  compute collapse: %.2fx epochs, %.2fx virtual makespan (ceiling 170/100 = 1.70x)\n\n",
+              static_cast<double>(unmerged_report.planned_epochs) /
+                  static_cast<double>(merged_report.planned_epochs),
+              unmerged_span / merged_span);
+
+  // Part 2: real training — merged vs unmerged, then a warm-cache rerun.
+  const ml::Dataset dataset = ml::make_mnist_like(240, 80, 5);
+  const fs::path cache = fs::temp_directory_path() / "chpo_bench_reuse_cache";
+  fs::remove_all(cache);
+
+  const RealRun unmerged = run_real(dataset, kSmallGrid, /*merge=*/false, "");
+  const RealRun cold = run_real(dataset, kSmallGrid, /*merge=*/true, cache.string());
+  const RealRun warm = run_real(dataset, kSmallGrid, /*merge=*/true, cache.string());
+  std::printf("part 2: real training (mnist-like 240/80), 6-trial grid, epochs {2, 6}\n");
+  std::printf("  %-22s %10s %14s %14s\n", "run", "wall ms", "stage tasks", "replayed");
+  std::printf("  %-22s %10.0f %14zu %14zu\n", "unmerged (baseline)", unmerged.wall_ms,
+              unmerged.outcome.reuse->stages, unmerged.outcome.reuse->replayed_trials);
+  std::printf("  %-22s %10.0f %14zu %14zu\n", "merged, cold cache", cold.wall_ms,
+              cold.outcome.reuse->stages, cold.outcome.reuse->replayed_trials);
+  std::printf("  %-22s %10.0f %14zu %14zu\n", "merged, warm cache", warm.wall_ms,
+              warm.outcome.reuse->stages, warm.outcome.reuse->replayed_trials);
+  std::printf("  merged vs unmerged: %.2fx    warm vs cold: %.1fx (target >= 5x)\n\n",
+              unmerged.wall_ms / cold.wall_ms, cold.wall_ms / warm.wall_ms);
+
+  // Part 3: a refinement session — the epoch axis is extended after a first
+  // run; cached chains resume at their deepest checkpoint.
+  const fs::path session = fs::temp_directory_path() / "chpo_bench_reuse_session";
+  fs::remove_all(session);
+  run_real(dataset, kSeedGrid, /*merge=*/true, session.string());  // first session
+  const RealRun extended = run_real(dataset, kExtendedGrid, /*merge=*/true, session.string());
+  const RealRun scratch = run_real(dataset, kExtendedGrid, /*merge=*/false, "");
+  std::printf("part 3: grid refinement — epochs {2, 4} cached, then {2, 4, 8} requested\n");
+  std::printf("  %-28s %10s %14s\n", "run", "wall ms", "replayed");
+  std::printf("  %-28s %10.0f %14zu\n", "from scratch (unmerged)", scratch.wall_ms,
+              scratch.outcome.reuse->replayed_trials);
+  std::printf("  %-28s %10.0f %14zu\n", "extend cached session", extended.wall_ms,
+              extended.outcome.reuse->replayed_trials);
+  std::printf("  refinement speedup: %.2fx (target >= 2x)\n\n",
+              scratch.wall_ms / extended.wall_ms);
+
+  std::printf("%s", hpo::reuse_summary(*extended.outcome.reuse).c_str());
+
+  fs::remove_all(cache);
+  fs::remove_all(session);
+  return 0;
+}

@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "reuse/snapshot_io.hpp"
+#include "support/log.hpp"
+
 namespace chpo::hpo {
 
 json::Value trial_to_json(const Trial& trial) {
@@ -15,20 +18,10 @@ json::Value trial_to_json(const Trial& trial) {
     out.set("failure_reason", json::Value(trial.failure_reason));
     return out;
   }
-  json::Array history;
-  for (const auto& epoch : trial.result.history) {
-    json::Value e;
-    e.set("epoch", json::Value(static_cast<std::int64_t>(epoch.epoch)));
-    e.set("train_loss", json::Value(epoch.train_loss));
-    e.set("train_accuracy", json::Value(epoch.train_accuracy));
-    e.set("val_accuracy", json::Value(epoch.val_accuracy));
-    history.push_back(std::move(e));
-  }
-  out.set("history", json::Value(std::move(history)));
-  out.set("final_val_accuracy", json::Value(trial.result.final_val_accuracy));
-  out.set("best_val_accuracy", json::Value(trial.result.best_val_accuracy));
-  out.set("epochs_run", json::Value(static_cast<std::int64_t>(trial.result.epochs_run)));
-  out.set("stopped_early", json::Value(trial.result.stopped_early));
+  // The result fields share their representation with the reuse cache's
+  // TrainResult entries; inline them at the trial's top level.
+  json::Value result = reuse::train_result_to_json(trial.result);
+  for (auto& [key, field] : result.as_object()) out.set(key, std::move(field));
   return out;
 }
 
@@ -42,18 +35,7 @@ Trial trial_from_json(const json::Value& value) {
       trial.failure_reason = value.at("failure_reason").as_string();
     return trial;
   }
-  for (const auto& e : value.at("history").as_array()) {
-    ml::EpochStats stats;
-    stats.epoch = static_cast<int>(e.at("epoch").as_int());
-    stats.train_loss = e.at("train_loss").as_double();
-    stats.train_accuracy = e.at("train_accuracy").as_double();
-    stats.val_accuracy = e.at("val_accuracy").as_double();
-    trial.result.history.push_back(stats);
-  }
-  trial.result.final_val_accuracy = value.at("final_val_accuracy").as_double();
-  trial.result.best_val_accuracy = value.at("best_val_accuracy").as_double();
-  trial.result.epochs_run = static_cast<int>(value.at("epochs_run").as_int());
-  trial.result.stopped_early = value.at("stopped_early").as_bool();
+  trial.result = reuse::train_result_from_json(value);
   return trial;
 }
 
@@ -87,7 +69,15 @@ void save_checkpoint(const std::string& path, const std::vector<Trial>& trials) 
 
 std::vector<Trial> load_checkpoint(const std::string& path) {
   if (!std::filesystem::exists(path)) return {};
-  return trials_from_json(json::parse_file(path));
+  // A checkpoint exists to survive crashes — including a crash mid-write of
+  // the checkpoint itself (or disk corruption). A file we cannot parse is a
+  // warned fresh start, never a fatal error.
+  try {
+    return trials_from_json(json::parse_file(path));
+  } catch (const std::exception& e) {
+    log_warn("hpo", "checkpoint {} unreadable ({}); starting fresh", path, e.what());
+    return {};
+  }
 }
 
 const Trial* find_completed(const std::vector<Trial>& previous, const Config& config) {

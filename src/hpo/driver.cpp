@@ -6,14 +6,13 @@
 #include <optional>
 
 #include "hpo/checkpoint.hpp"
+#include "reuse/stage_key.hpp"
 #include "support/log.hpp"
 
 namespace chpo::hpo {
 
-namespace {
-
-ml::TrainConfig train_config_from(const Config& config, const DriverOptions& options,
-                                  int trial_index, unsigned threads) {
+ml::TrainConfig experiment_train_config(const Config& config, const DriverOptions& options,
+                                        int trial_index, unsigned threads) {
   ml::TrainConfig tc;
   if (config.contains("optimizer")) tc.optimizer = config_string(config, "optimizer");
   int epochs = config.contains("num_epochs")
@@ -37,13 +36,18 @@ ml::TrainConfig train_config_from(const Config& config, const DriverOptions& opt
   if (config.contains("dropout"))
     tc.dropout = static_cast<float>(config_double(config, "dropout"));
   tc.threads = std::max(1u, threads);
-  tc.seed = options.seed + static_cast<std::uint64_t>(trial_index) * 7919ULL;
   tc.target_accuracy = options.trial_target_accuracy;
   tc.patience = options.trial_patience;
+  // Seed policy: per-trial-index by default (independent trials). Under
+  // reuse with deterministic_seeds, the seed is a function of the
+  // training-relevant config content, so trials differing only in epoch
+  // budget are the same trajectory and share their stage-chain prefix.
+  if (options.reuse.enabled && options.reuse.deterministic_seeds && options.cv_folds <= 1)
+    tc.seed = reuse::derive_seed(options.seed, tc);
+  else
+    tc.seed = options.seed + static_cast<std::uint64_t>(trial_index) * 7919ULL;
   return tc;
 }
-
-}  // namespace
 
 rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& config,
                                  const DriverOptions& options, int trial_index) {
@@ -54,7 +58,7 @@ rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& confi
   const ml::Dataset* dataset_ptr = &dataset;
   def.body = [dataset_ptr, config, options, trial_index](rt::TaskContext& ctx) -> std::any {
     const ml::TrainConfig tc =
-        train_config_from(config, options, trial_index, ctx.thread_budget());
+        experiment_train_config(config, options, trial_index, ctx.thread_budget());
     if (options.cv_folds > 1) {
       // Cross-validated trial: mean fold accuracy is the score; history
       // records one entry per fold so reports still have a curve to show.
@@ -155,6 +159,15 @@ HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
       options_.checkpoint_path.empty() ? std::vector<Trial>{}
                                        : load_checkpoint(options_.checkpoint_path);
 
+  // Cross-trial reuse: trials become stage chains through a shared
+  // executor + cache instead of monolithic experiment tasks. CV trials
+  // keep the classic path (fold training has no stage decomposition).
+  const bool use_reuse = options_.reuse.enabled && options_.cv_folds <= 1;
+  std::optional<reuse::StageExecutor> executor;
+  if (use_reuse)
+    executor.emplace(runtime_, dataset_, options_.reuse, options_.trial_constraint,
+                     options_.workload, std::make_shared<reuse::ResultCache>(options_.reuse));
+
   // Batch algorithms are drained up front (the paper's embarrassingly
   // parallel loop); sequential ones keep a window of suggestions in flight.
   const std::size_t window =
@@ -203,8 +216,27 @@ HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
       InFlight f;
       f.index = next_index++;
       f.config = *config;
-      const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, f.index);
-      f.future = runtime_.submit(def);
+      if (executor) {
+        reuse::TrialRequest req;
+        req.index = f.index;
+        req.config = experiment_train_config(*config, options_, f.index);
+        std::vector<reuse::SubmittedTrial> submitted = executor->submit({req});
+        if (!submitted.empty() && submitted.front().replayed) {
+          Trial trial;
+          trial.index = f.index;
+          trial.config = *config;
+          trial.result = *submitted.front().replayed;
+          algorithm.tell(trial.config, trial.result.final_val_accuracy);
+          ++replayed;
+          outcome.trials.push_back(std::move(trial));
+          if (stop_hit(outcome.trials.back())) return true;
+          continue;
+        }
+        f.future = submitted.front().future;
+      } else {
+        const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, f.index);
+        f.future = runtime_.submit(def);
+      }
       if (options_.visualise)
         f.vis = runtime_.submit(make_visualisation_task(*config),
                                 {{f.future.data, rt::Direction::In}});
@@ -213,7 +245,61 @@ HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
     return false;
   };
 
-  bool stopped = top_up();
+  bool stopped = false;
+  if (executor && !algorithm.sequential()) {
+    // Batch + reuse: drain the whole batch up front so the planner sees
+    // every trial at once and can merge shared prefixes into one stage
+    // tree (a trial-by-trial top_up would plan each chain in isolation).
+    std::vector<reuse::TrialRequest> requests;
+    std::vector<Config> request_configs;
+    while (true) {
+      const std::optional<Config> config = algorithm.next();
+      if (!config) break;
+      if (const Trial* previous = find_completed(restored, *config)) {
+        Trial trial;
+        trial.index = next_index++;
+        trial.config = *config;
+        trial.result = previous->result;
+        algorithm.tell(trial.config, trial.result.final_val_accuracy);
+        ++replayed;
+        outcome.trials.push_back(std::move(trial));
+        if (stop_hit(outcome.trials.back())) stopped = true;
+        continue;
+      }
+      reuse::TrialRequest req;
+      req.index = next_index++;
+      req.config = experiment_train_config(*config, options_, req.index);
+      requests.push_back(std::move(req));
+      request_configs.push_back(*config);
+    }
+    exhausted = true;
+    if (!stopped) {
+      const std::vector<reuse::SubmittedTrial> submitted = executor->submit(requests);
+      for (std::size_t i = 0; i < submitted.size(); ++i) {
+        const reuse::SubmittedTrial& s = submitted[i];
+        if (s.replayed) {
+          Trial trial;
+          trial.index = s.index;
+          trial.config = request_configs[i];
+          trial.result = *s.replayed;
+          algorithm.tell(trial.config, trial.result.final_val_accuracy);
+          outcome.trials.push_back(std::move(trial));
+          if (stop_hit(outcome.trials.back())) stopped = true;
+          continue;
+        }
+        InFlight f;
+        f.index = s.index;
+        f.config = request_configs[i];
+        f.future = s.future;
+        if (options_.visualise)
+          f.vis = runtime_.submit(make_visualisation_task(f.config),
+                                  {{f.future.data, rt::Direction::In}});
+        inflight.push_back(std::move(f));
+      }
+    }
+  } else {
+    stopped = top_up();
+  }
   log_info("hpo", "{}: {} trials in flight, window {} ({} replayed from checkpoint)",
            algorithm.name(), inflight.size(),
            window == std::numeric_limits<std::size_t>::max() ? std::string("all")
@@ -262,6 +348,10 @@ HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
     // draining it in the runtime's destructor. Visualisation tasks are
     // dependents of their experiments, so they are cancelled transitively.
     for (const InFlight& f : inflight) runtime_.cancel(f.future);
+    // Reuse mode: also cancel the underlying stage chains (finalize tasks
+    // are their dependents, so whole trees unwind together).
+    if (executor)
+      for (const rt::Future& stage : executor->stage_futures()) runtime_.cancel(stage);
   }
 
   // "When all tasks are completed, we plot the graphs" (§4): one plot task
@@ -277,6 +367,7 @@ HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
       outcome.report = std::string("plot task failed: ") + e.what();
     }
   }
+  if (executor) outcome.reuse = executor->report();
   finalise(outcome, t0);
   return outcome;
 }

@@ -30,6 +30,8 @@
 #include "ml/cost_model.hpp"
 #include "ml/dataset.hpp"
 #include "ml/trainer.hpp"
+#include "reuse/planner.hpp"
+#include "reuse/policy.hpp"
 #include "runtime/runtime.hpp"
 
 namespace chpo::hpo {
@@ -55,6 +57,9 @@ struct HpoOutcome {
   /// Output of the final `plot` task when DriverOptions::visualise is set
   /// (the paper's Figure 2 pipeline: experiment -> visualisation -> plot).
   std::string report;
+  /// Reuse accounting (stage sharing, cache hits/misses) when
+  /// DriverOptions::reuse is enabled.
+  std::optional<reuse::ReuseReport> reuse;
 
   const Trial* best() const {
     return best_index >= 0 ? &trials[static_cast<std::size_t>(best_index)] : nullptr;
@@ -97,6 +102,11 @@ struct DriverOptions {
   /// result and replayed on restart instead of retraining — application-
   /// level fault tolerance on top of the runtime's task retries.
   std::string checkpoint_path;
+  /// Cross-trial reuse (stage trees + result cache; see reuse/policy.hpp).
+  /// Opt-in; ignored for cross-validated trials (cv_folds > 1). Batch
+  /// algorithms plan the whole batch as one stage tree; sequential ones
+  /// still get caching but no cross-trial merging within a window.
+  reuse::ReusePolicy reuse;
   std::uint64_t seed = 7;
 };
 
@@ -105,6 +115,14 @@ struct DriverOptions {
 /// the cost closure prices the task for the simulator.
 rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& config,
                                  const DriverOptions& options, int trial_index);
+
+/// Resolve the exact TrainConfig a trial runs with: config fields + driver
+/// scale-down knobs + the seed policy (per-trial-index by default;
+/// content-derived under ReusePolicy::deterministic_seeds so epoch-budget
+/// variants share a training prefix). Exposed for the reuse planner,
+/// hyperband and tests.
+ml::TrainConfig experiment_train_config(const Config& config, const DriverOptions& options,
+                                        int trial_index, unsigned threads = 1);
 
 class HpoDriver {
  public:

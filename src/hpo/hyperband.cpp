@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "support/log.hpp"
 
 namespace chpo::hpo {
 
 HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& dataset,
-                                  const SearchSpace& space, const HalvingOptions& options) {
+                                  const SearchSpace& space, const HalvingOptions& options,
+                                  std::shared_ptr<reuse::ResultCache> cache) {
   if (options.initial_configs == 0)
     throw std::invalid_argument("successive_halving: need at least one config");
   if (options.eta <= 1.0) throw std::invalid_argument("successive_halving: eta must exceed 1");
@@ -19,6 +21,17 @@ HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& datas
   const double t0 = runtime.now();
   Rng rng(options.driver.seed ^ 0x4a17f1e5ULL);
   HalvingOutcome outcome;
+
+  // Reuse mode: each rung is a batch through the stage executor, and all
+  // rungs share one cache — a promoted config's next rung resumes from the
+  // epoch checkpoint the previous rung left behind (deterministic seeds
+  // make the trajectories identical across rungs).
+  std::optional<reuse::StageExecutor> executor;
+  if (options.driver.reuse.enabled && options.driver.cv_folds <= 1) {
+    if (!cache) cache = std::make_shared<reuse::ResultCache>(options.driver.reuse);
+    executor.emplace(runtime, dataset, options.driver.reuse, options.driver.trial_constraint,
+                     options.driver.workload, cache);
+  }
 
   std::vector<Config> survivors;
   survivors.reserve(options.initial_configs);
@@ -33,19 +46,46 @@ HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& datas
     rung.epochs = epochs;
 
     std::vector<std::pair<Config, rt::Future>> submitted;
-    for (std::size_t i = 0; i < survivors.size(); ++i) {
-      Config budgeted = survivors[i];
-      budgeted.set("num_epochs", json::Value(static_cast<std::int64_t>(epochs)));
-      const rt::TaskDef def =
-          make_experiment_task(dataset, budgeted, options.driver,
-                               rung_index * 1000 + static_cast<int>(i));
-      submitted.emplace_back(std::move(budgeted), runtime.submit(def));
+    std::vector<std::pair<std::size_t, rt::Future>> outstanding;
+    if (executor) {
+      std::vector<reuse::TrialRequest> requests;
+      requests.reserve(survivors.size());
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        Config budgeted = survivors[i];
+        budgeted.set("num_epochs", json::Value(static_cast<std::int64_t>(epochs)));
+        const int trial_index = rung_index * 1000 + static_cast<int>(i);
+        requests.push_back(
+            {trial_index, experiment_train_config(budgeted, options.driver, trial_index)});
+        submitted.emplace_back(std::move(budgeted), rt::Future{});
+      }
+      const std::vector<reuse::SubmittedTrial> subs = executor->submit(requests);
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        if (subs[i].replayed) {
+          Trial trial;
+          trial.index = static_cast<int>(i);
+          trial.config = submitted[i].first;
+          trial.result = *subs[i].replayed;
+          rung.trials.push_back(std::move(trial));
+        } else {
+          submitted[i].second = subs[i].future;
+          outstanding.emplace_back(i, subs[i].future);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        Config budgeted = survivors[i];
+        budgeted.set("num_epochs", json::Value(static_cast<std::int64_t>(epochs)));
+        const rt::TaskDef def =
+            make_experiment_task(dataset, budgeted, options.driver,
+                                 rung_index * 1000 + static_cast<int>(i));
+        submitted.emplace_back(std::move(budgeted), runtime.submit(def));
+      }
+      for (std::size_t i = 0; i < submitted.size(); ++i)
+        outstanding.emplace_back(i, submitted[i].second);
     }
     // Consume the rung as-completed (wait_any), not in submission order:
     // ranking needs every result anyway, but observing completions as they
     // land keeps trial bookkeeping off the slowest-first critical path.
-    std::vector<std::pair<std::size_t, rt::Future>> outstanding;
-    for (std::size_t i = 0; i < submitted.size(); ++i) outstanding.emplace_back(i, submitted[i].second);
     while (!outstanding.empty()) {
       std::vector<rt::Future> futures;
       futures.reserve(outstanding.size());
@@ -95,6 +135,7 @@ HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& datas
                       static_cast<int>(std::lround(static_cast<double>(epochs) * options.eta)));
     ++rung_index;
   }
+  if (executor) outcome.reuse = executor->report();
   outcome.elapsed_seconds = runtime.now() - t0;
   return outcome;
 }
@@ -109,6 +150,12 @@ HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,
   const double r_max = static_cast<double>(options.max_epochs);
   const int s_max = static_cast<int>(std::floor(std::log(r_max) / std::log(options.eta)));
 
+  // One cache for all brackets: a config budget reached in an exploratory
+  // bracket seeds the checkpoints later brackets resume from.
+  std::shared_ptr<reuse::ResultCache> cache;
+  if (options.driver.reuse.enabled && options.driver.cv_folds <= 1)
+    cache = std::make_shared<reuse::ResultCache>(options.driver.reuse);
+
   for (int s = s_max; s >= 0; --s) {
     // Bracket s: n = ceil((s_max+1)/(s+1) * eta^s) configs at
     // r = R / eta^s initial epochs.
@@ -122,11 +169,22 @@ HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,
     bracket.driver = options.driver;
     bracket.driver.seed = options.driver.seed + static_cast<std::uint64_t>(s) * 7907ULL;
 
-    HalvingOutcome result = successive_halving(runtime, dataset, space, bracket);
+    HalvingOutcome result = successive_halving(runtime, dataset, space, bracket, cache);
     for (const RungResult& rung : result.rungs) outcome.total_trials += rung.trials.size();
     if (result.best_accuracy > outcome.best_accuracy) {
       outcome.best_accuracy = result.best_accuracy;
       outcome.best_config = result.best_config;
+    }
+    if (result.reuse) {
+      if (!outcome.reuse) outcome.reuse.emplace();
+      outcome.reuse->cache = result.reuse->cache;  // shared cache -> cumulative stats
+      outcome.reuse->trials += result.reuse->trials;
+      outcome.reuse->replayed_trials += result.reuse->replayed_trials;
+      outcome.reuse->chains += result.reuse->chains;
+      outcome.reuse->stages += result.reuse->stages;
+      outcome.reuse->shared_stages += result.reuse->shared_stages;
+      outcome.reuse->naive_epochs += result.reuse->naive_epochs;
+      outcome.reuse->planned_epochs += result.reuse->planned_epochs;
     }
     outcome.brackets.push_back(std::move(result));
   }

@@ -8,11 +8,15 @@
 // same Runtime.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "hpo/driver.hpp"
 #include "hpo/search_space.hpp"
 #include "ml/dataset.hpp"
+#include "reuse/planner.hpp"
+#include "reuse/result_cache.hpp"
 #include "runtime/runtime.hpp"
 
 namespace chpo::hpo {
@@ -36,11 +40,18 @@ struct HalvingOutcome {
   Config best_config;
   double best_accuracy = 0.0;
   double elapsed_seconds = 0.0;
+  /// Set when HalvingOptions::driver.reuse is enabled: with deterministic
+  /// seeds, each rung promotion resumes from the previous rung's cached
+  /// epoch checkpoint instead of retraining from scratch.
+  std::optional<reuse::ReuseReport> reuse;
 };
 
-/// Run successive halving over random samples of `space`.
+/// Run successive halving over random samples of `space`. `cache` lets
+/// callers (hyperband, repeated sessions) share one result cache across
+/// brackets; pass nullptr to create one from the driver's ReusePolicy.
 HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& dataset,
-                                  const SearchSpace& space, const HalvingOptions& options);
+                                  const SearchSpace& space, const HalvingOptions& options,
+                                  std::shared_ptr<reuse::ResultCache> cache = nullptr);
 
 /// Full Hyperband (Li et al. 2018): runs s_max+1 successive-halving
 /// brackets trading off the number of configurations against the starting
@@ -58,6 +69,9 @@ struct HyperbandOutcome {
   double best_accuracy = 0.0;
   double elapsed_seconds = 0.0;
   std::size_t total_trials = 0;
+  /// Aggregated over all brackets (they share one ResultCache, so the
+  /// cache stats here are cumulative and the tallies are summed).
+  std::optional<reuse::ReuseReport> reuse;
 };
 
 HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,

@@ -139,4 +139,28 @@ std::string outcome_summary(const HpoOutcome& outcome) {
   return out.str();
 }
 
+std::string reuse_summary(const reuse::ReuseReport& report) {
+  std::ostringstream out;
+  out << "reuse: " << report.trials << " trials, " << report.replayed_trials
+      << " replayed from cache, " << report.chains << " chains, " << report.stages
+      << " stage tasks (" << report.shared_stages << " shared)\n";
+  out << "  epochs: " << report.planned_epochs << " planned vs " << report.naive_epochs
+      << " naive";
+  if (report.planned_epochs > 0 && report.naive_epochs > report.planned_epochs) {
+    char ratio[16];
+    std::snprintf(ratio, sizeof ratio, "%.2f",
+                  static_cast<double>(report.naive_epochs) /
+                      static_cast<double>(report.planned_epochs));
+    out << " (" << ratio << "x compute collapse)";
+  }
+  out << "\n";
+  const reuse::CacheStats& c = report.cache;
+  out << "  cache hits: " << c.hits << ", misses: " << c.misses << ", disk hits: " << c.disk_hits
+      << ", puts: " << c.puts << ", duplicate puts: " << c.duplicate_puts
+      << ", evictions: " << c.evictions << ", corrupt: " << c.corrupt << "\n";
+  out << "  cache bytes: " << c.memory_bytes << " in memory, " << c.disk_bytes << " on disk, "
+      << c.bytes_written << " written\n";
+  return out.str();
+}
+
 }  // namespace chpo::hpo

@@ -30,4 +30,9 @@ std::string history_csv(const std::vector<Trial>& trials);
 /// One-line summary of an outcome (best config, accuracy, elapsed).
 std::string outcome_summary(const HpoOutcome& outcome);
 
+/// Multi-line cache/stage-sharing accounting for a reuse-enabled run
+/// (greppable "hits:" / "misses:" lines; used by chpo_run and the CI
+/// warm-cache smoke test).
+std::string reuse_summary(const reuse::ReuseReport& report);
+
 }  // namespace chpo::hpo

@@ -1,5 +1,6 @@
 #include "ml/layers.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -296,6 +297,14 @@ Tensor BatchNorm::backward(const Tensor& dy, unsigned /*threads*/) {
   return dx;
 }
 
+void BatchNorm::restore_state(const LayerState& state) {
+  if (state.tensors.size() != 2 || state.tensors[0].size() != features_ ||
+      state.tensors[1].size() != features_)
+    throw std::invalid_argument("BatchNorm::restore_state: shape mismatch");
+  running_mean_ = state.tensors[0];
+  running_var_ = state.tensors[1];
+}
+
 // --------------------------------------------------------------- Dropout
 
 Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
@@ -322,6 +331,25 @@ Tensor Dropout::backward(const Tensor& dy, unsigned /*threads*/) {
   Tensor dx(dy.shape());
   for (std::size_t i = 0; i < dy.size(); ++i) dx[i] = dy[i] * mask_[i];
   return dx;
+}
+
+LayerState Dropout::snapshot_state() const {
+  const RngState rng = rng_.state();
+  LayerState state;
+  state.words = {rng.s[0], rng.s[1], rng.s[2], rng.s[3],
+                 std::bit_cast<std::uint64_t>(rng.spare_gaussian),
+                 rng.has_spare ? 1ULL : 0ULL};
+  return state;
+}
+
+void Dropout::restore_state(const LayerState& state) {
+  if (state.words.size() != 6)
+    throw std::invalid_argument("Dropout::restore_state: expected 6 state words");
+  RngState rng;
+  for (std::size_t i = 0; i < 4; ++i) rng.s[i] = state.words[i];
+  rng.spare_gaussian = std::bit_cast<double>(state.words[4]);
+  rng.has_spare = state.words[5] != 0;
+  rng_.set_state(rng);
 }
 
 }  // namespace chpo::ml

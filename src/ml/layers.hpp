@@ -16,6 +16,15 @@
 
 namespace chpo::ml {
 
+/// Non-trainable per-layer state that a checkpoint must carry beyond the
+/// params() tensors: BatchNorm running statistics, Dropout's RNG stream.
+/// `tensors` and `words` are layer-defined; layers without such state leave
+/// both empty.
+struct LayerState {
+  std::vector<Tensor> tensors;
+  std::vector<std::uint64_t> words;
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -30,6 +39,11 @@ class Layer {
   /// Trainable parameters and their gradients, index-aligned.
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Checkpointable non-parameter state (see LayerState). Restore expects
+  /// exactly what snapshot produced for the same architecture.
+  virtual LayerState snapshot_state() const { return {}; }
+  virtual void restore_state(const LayerState& state) { (void)state; }
 
   /// Approximate multiply-accumulate count per sample (for cost reporting).
   virtual std::size_t flops_per_sample() const { return 0; }
@@ -117,6 +131,8 @@ class BatchNorm : public Layer {
   Tensor backward(const Tensor& dy, unsigned threads) override;
   std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> grads() override { return {&dgamma_, &dbeta_}; }
+  LayerState snapshot_state() const override { return {{running_mean_, running_var_}, {}}; }
+  void restore_state(const LayerState& state) override;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
@@ -138,6 +154,8 @@ class Dropout : public Layer {
   std::string name() const override { return "dropout"; }
   Tensor forward(const Tensor& x, bool training, unsigned threads) override;
   Tensor backward(const Tensor& dy, unsigned threads) override;
+  LayerState snapshot_state() const override;
+  void restore_state(const LayerState& state) override;
 
  private:
   double rate_;

@@ -41,6 +41,19 @@ std::size_t Model::flops_per_sample() const {
   return n;
 }
 
+std::vector<LayerState> Model::snapshot_layer_states() const {
+  std::vector<LayerState> out;
+  out.reserve(layers_.size());
+  for (const auto& layer : layers_) out.push_back(layer->snapshot_state());
+  return out;
+}
+
+void Model::restore_layer_states(const std::vector<LayerState>& states) {
+  if (states.size() != layers_.size())
+    throw std::invalid_argument("restore_layer_states: layer count mismatch");
+  for (std::size_t i = 0; i < layers_.size(); ++i) layers_[i]->restore_state(states[i]);
+}
+
 Model make_mlp(std::size_t input, const std::vector<std::size_t>& hidden, std::size_t classes,
                Rng& rng, bool batch_norm) {
   return make_mlp(input, hidden, classes, rng, MlpOptions{.batch_norm = batch_norm});

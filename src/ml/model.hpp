@@ -33,6 +33,11 @@ class Model {
   /// Approximate MACs per sample for one forward pass.
   std::size_t flops_per_sample() const;
 
+  /// Non-parameter layer state (BatchNorm running stats, Dropout RNG),
+  /// one LayerState per layer. Restore requires the same architecture.
+  std::vector<LayerState> snapshot_layer_states() const;
+  void restore_layer_states(const std::vector<LayerState>& states);
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
 };

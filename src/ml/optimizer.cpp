@@ -53,6 +53,25 @@ void Adam::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& 
   }
 }
 
+OptimizerState Adam::snapshot_state() const {
+  // Both moment vectors travel in one slot list: m slots first, then v.
+  OptimizerState state;
+  state.slots.reserve(m_.size() + v_.size());
+  for (const Tensor& t : m_) state.slots.push_back(t);
+  for (const Tensor& t : v_) state.slots.push_back(t);
+  state.steps = t_;
+  return state;
+}
+
+void Adam::restore_state(OptimizerState state) {
+  if (state.slots.size() % 2 != 0)
+    throw std::invalid_argument("Adam::restore_state: odd slot count");
+  const std::size_t half = state.slots.size() / 2;
+  m_.assign(state.slots.begin(), state.slots.begin() + static_cast<std::ptrdiff_t>(half));
+  v_.assign(state.slots.begin() + static_cast<std::ptrdiff_t>(half), state.slots.end());
+  t_ = state.steps;
+}
+
 void RmsProp::step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) {
   check_and_init(cache_, params);
   for (std::size_t i = 0; i < params.size(); ++i) {

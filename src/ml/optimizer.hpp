@@ -10,6 +10,14 @@
 
 namespace chpo::ml {
 
+/// Opaque optimizer state (momentum / moment slots plus the step counter)
+/// for checkpoint/resume: capture with snapshot_state(), feed back through
+/// restore_state() and the update sequence continues bit-exactly.
+struct OptimizerState {
+  std::vector<Tensor> slots;
+  long steps = 0;
+};
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
@@ -18,6 +26,9 @@ class Optimizer {
   /// Apply one update step: params[i] -= f(grads[i]). The param/grad lists
   /// must be identical (same tensors, same order) on every call.
   virtual void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) = 0;
+
+  virtual OptimizerState snapshot_state() const { return {}; }
+  virtual void restore_state(OptimizerState state) { (void)state; }
 
   /// Multiplier applied to the base learning rate (LR schedules).
   void set_lr_scale(float scale) { lr_scale_ = scale; }
@@ -32,6 +43,8 @@ class Sgd : public Optimizer {
   explicit Sgd(float lr = 0.01f, float momentum = 0.9f) : lr_(lr), momentum_(momentum) {}
   std::string name() const override { return "SGD"; }
   void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  OptimizerState snapshot_state() const override { return {velocity_, 0}; }
+  void restore_state(OptimizerState state) override { velocity_ = std::move(state.slots); }
 
  private:
   float lr_, momentum_;
@@ -44,6 +57,8 @@ class Adam : public Optimizer {
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
   std::string name() const override { return "Adam"; }
   void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  OptimizerState snapshot_state() const override;
+  void restore_state(OptimizerState state) override;
 
  private:
   float lr_, beta1_, beta2_, eps_;
@@ -57,6 +72,8 @@ class RmsProp : public Optimizer {
       : lr_(lr), decay_(decay), eps_(eps) {}
   std::string name() const override { return "RMSprop"; }
   void step(const std::vector<Tensor*>& params, const std::vector<Tensor*>& grads) override;
+  OptimizerState snapshot_state() const override { return {cache_, 0}; }
+  void restore_state(OptimizerState state) override { cache_ = std::move(state.slots); }
 
  private:
   float lr_, decay_, eps_;

@@ -19,88 +19,140 @@ double evaluate(Model& model, const Tensor& x, const std::vector<int>& y, unsign
   return static_cast<double>(correct) / static_cast<double>(y.size());
 }
 
-TrainResult train(Model& model, const Dataset& data, const TrainConfig& config) {
-  if (config.num_epochs <= 0) throw std::invalid_argument("train: num_epochs must be positive");
-  if (config.batch_size <= 0) throw std::invalid_argument("train: batch_size must be positive");
+// ------------------------------------------------------- TrainerSession
 
-  auto optimizer = make_optimizer(config.optimizer, config.learning_rate);
-  const auto schedule = make_schedule(config.lr_schedule);
-  const std::vector<Tensor*> params = model.params();
-  const std::vector<Tensor*> grads = model.grads();
+TrainerSession::TrainerSession(Model& model, const Dataset& data, const TrainConfig& config)
+    : model_(&model), data_(&data), config_(config) {
+  init();
+}
 
-  Rng rng(config.seed);
-  const std::size_t n = data.train_size();
-  const std::size_t features = data.sample_features();
-  const std::size_t batch = std::min<std::size_t>(static_cast<std::size_t>(config.batch_size), n);
+TrainerSession::TrainerSession(const Dataset& data, const TrainConfig& config)
+    : owned_model_(std::make_unique<Model>(make_reference_model(data, config))),
+      model_(owned_model_.get()),
+      data_(&data),
+      config_(config) {
+  init();
+}
 
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
+void TrainerSession::init() {
+  if (config_.num_epochs <= 0) throw std::invalid_argument("train: num_epochs must be positive");
+  if (config_.batch_size <= 0) throw std::invalid_argument("train: batch_size must be positive");
+  optimizer_ = make_optimizer(config_.optimizer, config_.learning_rate);
+  schedule_ = make_schedule(config_.lr_schedule);
+  params_ = model_->params();
+  grads_ = model_->grads();
+  rng_ = Rng(config_.seed);
+  const std::size_t n = data_->train_size();
+  batch_ = std::min<std::size_t>(static_cast<std::size_t>(config_.batch_size), n);
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+}
 
-  TrainResult result;
-  double best = 0.0;
-  int epochs_since_best = 0;
+bool TrainerSession::step_epoch() {
+  if (finished_) return false;
+  const int epoch = epoch_ + 1;
+  const std::size_t n = data_->train_size();
+  const std::size_t features = data_->sample_features();
 
-  Tensor batch_x({batch, features});
-  std::vector<int> batch_y(batch);
-  Tensor probs, dlogits;
+  optimizer_->set_lr_scale(static_cast<float>(schedule_->multiplier(epoch, config_.num_epochs)));
+  rng_.shuffle(order_);
+  double loss_sum = 0.0;
+  std::size_t seen = 0, correct = 0, steps = 0;
 
-  for (int epoch = 1; epoch <= config.num_epochs; ++epoch) {
-    optimizer->set_lr_scale(
-        static_cast<float>(schedule->multiplier(epoch, config.num_epochs)));
-    rng.shuffle(order);
-    double loss_sum = 0.0;
-    std::size_t seen = 0, correct = 0, steps = 0;
-
-    for (std::size_t begin = 0; begin + batch <= n; begin += batch) {
-      for (std::size_t i = 0; i < batch; ++i) {
-        const std::size_t src = order[begin + i];
-        std::copy_n(data.train_x.data() + src * features, features, batch_x.data() + i * features);
-        batch_y[i] = data.train_y[src];
+  if (batch_ > 0) {
+    Tensor batch_x({batch_, features});
+    std::vector<int> batch_y(batch_);
+    Tensor probs, dlogits;
+    for (std::size_t begin = 0; begin + batch_ <= n; begin += batch_) {
+      for (std::size_t i = 0; i < batch_; ++i) {
+        const std::size_t src = order_[begin + i];
+        std::copy_n(data_->train_x.data() + src * features, features,
+                    batch_x.data() + i * features);
+        batch_y[i] = data_->train_y[src];
       }
-      const Tensor logits = model.forward(batch_x, /*training=*/true, config.threads);
+      const Tensor logits = model_->forward(batch_x, /*training=*/true, config_.threads);
       softmax_rows(logits, probs);
       loss_sum += cross_entropy(probs, batch_y, dlogits);
       ++steps;
       const std::vector<int> predicted = argmax_rows(probs);
-      for (std::size_t i = 0; i < batch; ++i)
+      for (std::size_t i = 0; i < batch_; ++i)
         if (predicted[i] == batch_y[i]) ++correct;
-      seen += batch;
-      model.backward(dlogits, config.threads);
-      if (config.weight_decay > 0.0f) {
-        for (std::size_t p = 0; p < params.size(); ++p)
-          for (std::size_t j = 0; j < params[p]->size(); ++j)
-            (*grads[p])[j] += config.weight_decay * (*params[p])[j];
+      seen += batch_;
+      model_->backward(dlogits, config_.threads);
+      if (config_.weight_decay > 0.0f) {
+        for (std::size_t p = 0; p < params_.size(); ++p)
+          for (std::size_t j = 0; j < params_[p]->size(); ++j)
+            (*grads_[p])[j] += config_.weight_decay * (*params_[p])[j];
       }
-      optimizer->step(params, grads);
-    }
-
-    EpochStats stats;
-    stats.epoch = epoch;
-    stats.train_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
-    stats.train_accuracy = seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
-    stats.val_accuracy = evaluate(model, data.test_x, data.test_y, config.threads);
-    result.history.push_back(stats);
-    result.epochs_run = epoch;
-    result.final_val_accuracy = stats.val_accuracy;
-
-    if (stats.val_accuracy > best) {
-      best = stats.val_accuracy;
-      epochs_since_best = 0;
-    } else {
-      ++epochs_since_best;
-    }
-
-    if (config.target_accuracy > 0 && stats.val_accuracy >= config.target_accuracy) {
-      result.stopped_early = true;
-      break;
-    }
-    if (config.patience > 0 && epochs_since_best >= config.patience) {
-      result.stopped_early = true;
-      break;
+      optimizer_->step(params_, grads_);
     }
   }
-  result.best_val_accuracy = best;
-  return result;
+
+  EpochStats stats;
+  stats.epoch = epoch;
+  stats.train_loss = steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0;
+  stats.train_accuracy = seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+  stats.val_accuracy = evaluate(*model_, data_->test_x, data_->test_y, config_.threads);
+  result_.history.push_back(stats);
+  result_.epochs_run = epoch;
+  result_.final_val_accuracy = stats.val_accuracy;
+  epoch_ = epoch;
+
+  if (stats.val_accuracy > best_) {
+    best_ = stats.val_accuracy;
+    epochs_since_best_ = 0;
+  } else {
+    ++epochs_since_best_;
+  }
+  result_.best_val_accuracy = best_;
+
+  if ((config_.target_accuracy > 0 && stats.val_accuracy >= config_.target_accuracy) ||
+      (config_.patience > 0 && epochs_since_best_ >= config_.patience)) {
+    result_.stopped_early = true;
+    finished_ = true;
+  } else if (epoch_ >= config_.num_epochs) {
+    finished_ = true;
+  }
+  return !finished_;
+}
+
+TrainSnapshot TrainerSession::snapshot() const {
+  TrainSnapshot snap;
+  snap.epochs_done = epoch_;
+  snap.finished = finished_;
+  snap.best = best_;
+  snap.epochs_since_best = epochs_since_best_;
+  snap.weights = snapshot_weights(*model_);
+  snap.layer_state = model_->snapshot_layer_states();
+  snap.optimizer = optimizer_->snapshot_state();
+  snap.shuffle_rng = rng_.state();
+  snap.order = order_;
+  snap.partial = result_;
+  return snap;
+}
+
+void TrainerSession::restore(const TrainSnapshot& snap) {
+  load_weights(*model_, snap.weights);
+  model_->restore_layer_states(snap.layer_state);
+  optimizer_->restore_state(snap.optimizer);
+  rng_.set_state(snap.shuffle_rng);
+  if (snap.order.size() != order_.size())
+    throw std::invalid_argument("restore: shuffle order size mismatch (different dataset?)");
+  order_ = snap.order;
+  epoch_ = snap.epochs_done;
+  best_ = snap.best;
+  epochs_since_best_ = snap.epochs_since_best;
+  result_ = snap.partial;
+  // A snapshot may come from a chain with a different epoch budget; early
+  // stop travels with the result, the budget check uses this config's.
+  finished_ = snap.partial.stopped_early || epoch_ >= config_.num_epochs;
+}
+
+TrainResult train(Model& model, const Dataset& data, const TrainConfig& config) {
+  TrainerSession session(model, data, config);
+  while (session.step_epoch()) {
+  }
+  return session.result();
 }
 
 CvResult cross_validate(const Dataset& data, const TrainConfig& config, int folds) {
@@ -152,21 +204,23 @@ CvResult cross_validate(const Dataset& data, const TrainConfig& config, int fold
   return result;
 }
 
-TrainResult run_experiment(const Dataset& data, const TrainConfig& config) {
+Model make_reference_model(const Dataset& data, const TrainConfig& config) {
   if (config.hidden_layers <= 0 || config.hidden_units <= 0)
     throw std::invalid_argument("run_experiment: architecture dims must be positive");
   Rng init_rng(config.seed ^ 0x5eedf00dULL);
-  Model model;
   if (data.channels == 1) {
     std::vector<std::size_t> hidden(static_cast<std::size_t>(config.hidden_layers),
                                     static_cast<std::size_t>(config.hidden_units));
-    model = make_mlp(data.sample_features(), hidden, data.classes, init_rng,
-                     MlpOptions{.batch_norm = config.batch_norm,
-                                .dropout = config.dropout,
-                                .dropout_seed = config.seed ^ 0xd40u});
-  } else {
-    model = make_cnn(data.channels, data.height, data.width, data.classes, init_rng);
+    return make_mlp(data.sample_features(), hidden, data.classes, init_rng,
+                    MlpOptions{.batch_norm = config.batch_norm,
+                               .dropout = config.dropout,
+                               .dropout_seed = config.seed ^ 0xd40u});
   }
+  return make_cnn(data.channels, data.height, data.width, data.classes, init_rng);
+}
+
+TrainResult run_experiment(const Dataset& data, const TrainConfig& config) {
+  Model model = make_reference_model(data, config);
   return train(model, data, config);
 }
 

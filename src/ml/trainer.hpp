@@ -8,12 +8,15 @@
 // caps internal parallelism.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ml/dataset.hpp"
 #include "ml/model.hpp"
 #include "ml/optimizer.hpp"
+#include "ml/schedule.hpp"
+#include "support/rng.hpp"
 
 namespace chpo::ml {
 
@@ -55,6 +58,75 @@ struct TrainResult {
 
 /// Evaluate accuracy of `model` on (x, y) without touching its state.
 double evaluate(Model& model, const Tensor& x, const std::vector<int>& y, unsigned threads = 1);
+
+/// Complete training-loop state at an epoch boundary. Restoring a snapshot
+/// into a fresh TrainerSession (same dataset + config) and continuing yields
+/// bit-identical results to an uninterrupted run — the contract the reuse
+/// subsystem's stage cache depends on.
+struct TrainSnapshot {
+  int epochs_done = 0;
+  bool finished = false;  ///< early-stop condition already triggered
+  double best = 0.0;
+  int epochs_since_best = 0;
+  std::vector<Tensor> weights;
+  std::vector<LayerState> layer_state;
+  OptimizerState optimizer;
+  RngState shuffle_rng;
+  /// Sample permutation after the last shuffle. Fisher-Yates permutes in
+  /// place each epoch, so resuming needs the permutation itself, not just
+  /// the RNG state.
+  std::vector<std::size_t> order;
+  TrainResult partial;  ///< result as of epochs_done
+};
+
+/// Epoch-stepping training driver. train() and run_experiment() are thin
+/// wrappers over this class, so stepping N epochs here is bit-identical to
+/// a monolithic N-epoch train() call.
+class TrainerSession {
+ public:
+  /// Train a caller-owned model.
+  TrainerSession(Model& model, const Dataset& data, const TrainConfig& config);
+  /// Build and own the reference model for the dataset shape (what
+  /// run_experiment does).
+  TrainerSession(const Dataset& data, const TrainConfig& config);
+
+  /// Run one epoch (no-op when finished). Returns true while more epochs
+  /// remain, so `while (session.step_epoch()) {}` completes a full run.
+  bool step_epoch();
+
+  bool finished() const { return finished_; }
+  int epochs_done() const { return epoch_; }
+
+  /// Result accumulated so far; the final TrainResult once finished().
+  const TrainResult& result() const { return result_; }
+
+  /// Capture / restore complete loop state at the current epoch boundary.
+  TrainSnapshot snapshot() const;
+  void restore(const TrainSnapshot& snap);
+
+ private:
+  void init();
+
+  std::unique_ptr<Model> owned_model_;
+  Model* model_;
+  const Dataset* data_;
+  TrainConfig config_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<LrSchedule> schedule_;
+  std::vector<Tensor*> params_, grads_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t batch_ = 0;
+  int epoch_ = 0;
+  bool finished_ = false;
+  double best_ = 0.0;
+  int epochs_since_best_ = 0;
+  TrainResult result_;
+};
+
+/// Build the reference model for the dataset shape: MLP for single-channel
+/// inputs, CNN otherwise. Deterministic in (data shape, config).
+Model make_reference_model(const Dataset& data, const TrainConfig& config);
 
 /// Train `model` on the dataset's train split, validating on its test
 /// split each epoch.

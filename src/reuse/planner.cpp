@@ -1,0 +1,277 @@
+#include "reuse/planner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/log.hpp"
+
+namespace chpo::reuse {
+
+namespace {
+
+/// Chain identity of one trial. With merging off, the key is salted with
+/// the trial index so "unmerged" trials never share cache entries — the
+/// honest no-reuse baseline bench_reuse compares against.
+StageKey effective_chain_key(const StageKey& dataset, const TrialRequest& trial, bool merge) {
+  const StageKey key = chain_key(dataset, trial.config);
+  if (merge) return key;
+  KeyHasher h;
+  h.add(std::string("solo"));
+  h.add(key);
+  h.add(static_cast<std::uint64_t>(trial.index));
+  return h.digest();
+}
+
+}  // namespace
+
+std::vector<PlannedChain> plan_chains(const StageKey& dataset, std::vector<TrialRequest> trials,
+                                      bool merge) {
+  std::vector<PlannedChain> chains;
+  for (TrialRequest& trial : trials) {
+    const StageKey key = effective_chain_key(dataset, trial, merge);
+    PlannedChain* chain = nullptr;
+    if (merge)
+      for (PlannedChain& c : chains)
+        if (c.key == key) {
+          chain = &c;
+          break;
+        }
+    if (!chain) {
+      PlannedChain fresh;
+      fresh.key = key;
+      fresh.config = trial.config;
+      chains.push_back(std::move(fresh));
+      chain = &chains.back();
+    }
+    chain->config.num_epochs = std::max(chain->config.num_epochs, trial.config.num_epochs);
+    chain->trials.push_back(std::move(trial));
+  }
+
+  for (PlannedChain& chain : chains) {
+    std::vector<int> budgets;
+    budgets.reserve(chain.trials.size());
+    for (const TrialRequest& t : chain.trials) budgets.push_back(t.config.num_epochs);
+    std::sort(budgets.begin(), budgets.end());
+    budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+    int prev = 0;
+    for (const int budget : budgets) {
+      PlannedSegment seg;
+      seg.begin_epoch = prev;
+      seg.end_epoch = budget;
+      seg.shared_by = 0;
+      for (const TrialRequest& t : chain.trials) {
+        if (t.config.num_epochs == budget) seg.finalize_trials.push_back(t.index);
+        if (t.config.num_epochs >= budget) ++seg.shared_by;
+      }
+      chain.segments.push_back(std::move(seg));
+      prev = budget;
+    }
+  }
+  return chains;
+}
+
+// -------------------------------------------------------- StageExecutor
+
+StageExecutor::StageExecutor(rt::Runtime& runtime, const ml::Dataset& dataset, ReusePolicy policy,
+                             rt::Constraint constraint, std::optional<ml::WorkloadModel> workload,
+                             std::shared_ptr<ResultCache> cache)
+    : runtime_(runtime),
+      dataset_(&dataset),
+      policy_(std::move(policy)),
+      constraint_(constraint),
+      workload_(std::move(workload)),
+      cache_(std::move(cache)),
+      dataset_key_(dataset_key(dataset)) {
+  if (!cache_) cache_ = std::make_shared<ResultCache>(policy_);
+}
+
+namespace {
+
+/// Value flowing from one stage task to the next: the epoch-boundary
+/// snapshot plus accounting of what the stage actually did.
+struct StageValue {
+  std::shared_ptr<const ml::TrainSnapshot> snapshot;
+  bool cache_hit = false;  ///< stage ran zero epochs (everything cached)
+  int trained_epochs = 0;
+};
+
+rt::TaskDef make_stage_task(const ml::Dataset* dataset, const PlannedChain& chain,
+                            const PlannedSegment& seg, std::shared_ptr<ResultCache> cache,
+                            rt::Constraint constraint,
+                            const std::optional<ml::WorkloadModel>& workload) {
+  rt::TaskDef def;
+  def.name = "stage";
+  def.constraint = constraint;
+
+  const ml::TrainConfig cfg = chain.config;
+  const StageKey ckey = chain.key;
+  const int begin = seg.begin_epoch;
+  const int end = seg.end_epoch;
+
+  def.body = [dataset, cfg, ckey, end, cache](rt::TaskContext& ctx) -> std::any {
+    // Whole segment already computed (warm cache or a racing twin)?
+    if (auto hit = cache->get_snapshot(snapshot_key(ckey, end)))
+      return StageValue{std::move(hit), true, 0};
+
+    // Resume point: the parent segment's snapshot, improved by any deeper
+    // interior snapshot a previous run left behind (rung promotions).
+    // Root segments have no In param (the implicit return Out is always
+    // bound), so look for an actual input rather than counting bindings.
+    std::shared_ptr<const ml::TrainSnapshot> base;
+    for (std::size_t i = 0; i < ctx.param_count(); ++i)
+      if (ctx.binding(i).param.dir == rt::Direction::In) {
+        base = ctx.read<StageValue>(i).snapshot;
+        break;
+      }
+    const int base_epochs = base ? base->epochs_done : 0;
+    if (!base || !base->finished) {
+      for (int e = end - 1; e > base_epochs; --e)
+        if (auto s = cache->probe_snapshot(snapshot_key(ckey, e))) {
+          base = std::move(s);
+          break;
+        }
+    }
+
+    ml::TrainConfig tc = cfg;
+    tc.threads = std::max(1u, ctx.thread_budget());
+    ml::TrainerSession session(*dataset, tc);
+    if (base) session.restore(*base);
+    int trained = 0;
+    while (!session.finished() && session.epochs_done() < end) {
+      session.step_epoch();
+      ++trained;
+    }
+    auto snap = std::make_shared<const ml::TrainSnapshot>(session.snapshot());
+    cache->put_snapshot(snapshot_key(ckey, end), snap);
+    return StageValue{std::move(snap), trained == 0, trained};
+  };
+
+  if (workload) {
+    const ml::WorkloadModel model = *workload;
+    const std::string optimizer = cfg.optimizer;
+    const int epochs = end - begin;
+    const int batch = cfg.batch_size;
+    def.cost = [model, optimizer, epochs, batch](const rt::Placement& placement,
+                                                 const cluster::NodeSpec& node) {
+      return ml::experiment_seconds(model, optimizer, epochs, batch, placement.cpu_count(),
+                                    placement.gpu_count(), node);
+    };
+  }
+  return def;
+}
+
+rt::TaskDef make_finalize_task(const PlannedChain& chain, int budget,
+                               std::shared_ptr<ResultCache> cache) {
+  rt::TaskDef def;
+  def.name = "finalize";
+  const StageKey ckey = chain.key;
+  def.body = [ckey, budget, cache](rt::TaskContext& ctx) -> std::any {
+    const StageValue& sv = ctx.read<StageValue>(0);
+    ml::TrainResult result = sv.snapshot->partial;
+    cache->put_result(result_key(ckey, budget), result);
+    return result;
+  };
+  // Near-free on the simulator: it just repackages the boundary snapshot.
+  def.cost = [](const rt::Placement&, const cluster::NodeSpec&) { return 1e-3; };
+  return def;
+}
+
+}  // namespace
+
+std::vector<SubmittedTrial> StageExecutor::submit(const std::vector<TrialRequest>& trials) {
+  tally_.trials += trials.size();
+  std::unordered_map<int, SubmittedTrial> by_index;
+
+  // Replay trials whose final result is already cached — no tasks at all.
+  std::vector<TrialRequest> pending;
+  for (const TrialRequest& trial : trials) {
+    tally_.naive_epochs += trial.config.num_epochs;
+    const StageKey ckey = effective_chain_key(dataset_key_, trial, policy_.merge);
+    if (auto result = cache_->get_result(result_key(ckey, trial.config.num_epochs))) {
+      SubmittedTrial s;
+      s.index = trial.index;
+      s.replayed = std::move(result);
+      by_index.emplace(trial.index, std::move(s));
+      ++tally_.replayed_trials;
+      trace::Event e;
+      e.kind = trace::EventKind::CacheHit;
+      e.task_name = "replay";
+      e.t_start = e.t_end = runtime_.now();
+      runtime_.trace().record(std::move(e));
+    } else {
+      pending.push_back(trial);
+    }
+  }
+
+  const std::vector<PlannedChain> chains = plan_chains(dataset_key_, std::move(pending), policy_.merge);
+  tally_.chains += chains.size();
+
+  for (const PlannedChain& chain : chains) {
+    rt::Future parent;  // producer == kNoTask for the root segment
+    for (const PlannedSegment& seg : chain.segments) {
+      const rt::TaskDef def =
+          make_stage_task(dataset_, chain, seg, cache_, constraint_, workload_);
+      std::vector<rt::Param> params;
+      if (parent.producer != rt::kNoTask) params.push_back({parent.data, rt::Direction::In});
+
+      rt::Runtime* rtp = &runtime_;
+      const rt::Future stage = runtime_.submit(
+          def, params, [rtp](const rt::Future& f, rt::TaskState state) {
+            if (state != rt::TaskState::Done) return;
+            try {
+              const StageValue& v = rtp->peek<StageValue>(f.data);
+              trace::Event e;
+              e.kind = v.cache_hit ? trace::EventKind::CacheHit : trace::EventKind::CacheMiss;
+              e.task_id = f.producer;
+              e.task_name = "stage";
+              e.t_start = e.t_end = rtp->now();
+              rtp->trace().record(std::move(e));
+            } catch (const std::bad_any_cast&) {
+              // Cost-only simulation: bodies never ran, no StageValue.
+            }
+          });
+      stage_futures_.push_back(stage);
+      ++tally_.stages;
+      tally_.planned_epochs += seg.end_epoch - seg.begin_epoch;
+      if (seg.shared_by > 1) {
+        ++tally_.shared_stages;
+        trace::Event e;
+        e.kind = trace::EventKind::StageShared;
+        e.task_id = stage.producer;
+        e.task_name = "stage";
+        e.t_start = e.t_end = runtime_.now();
+        runtime_.trace().record(std::move(e));
+      }
+
+      for (const int trial_index : seg.finalize_trials) {
+        SubmittedTrial s;
+        s.index = trial_index;
+        s.future = runtime_.submit(make_finalize_task(chain, seg.end_epoch, cache_),
+                                   {{stage.data, rt::Direction::In}});
+        by_index.emplace(trial_index, std::move(s));
+      }
+      parent = stage;
+    }
+  }
+
+  std::vector<SubmittedTrial> out;
+  out.reserve(trials.size());
+  for (const TrialRequest& trial : trials) {
+    auto it = by_index.find(trial.index);
+    if (it == by_index.end()) {
+      log_warn("reuse", "trial {} missing from plan; this is a bug", trial.index);
+      continue;
+    }
+    out.push_back(std::move(it->second));
+  }
+  return out;
+}
+
+ReuseReport StageExecutor::report() const {
+  ReuseReport report = tally_;
+  report.cache = cache_->stats();
+  return report;
+}
+
+}  // namespace chpo::reuse

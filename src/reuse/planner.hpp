@@ -1,0 +1,120 @@
+// Stage-tree planner and executor.
+//
+// Input: a batch of pending trials (index + fully resolved TrainConfig).
+// plan_chains groups them by chain key — trials that are the same training
+// trajectory up to their epoch budget — and splits each chain at the sorted
+// distinct budgets, yielding a prefix tree whose interior nodes are
+// train-to-epoch-k segments:
+//
+//   dataset ── chain A ── (0,20] ── (20,50] ── (50,100]
+//                         └ trial 3   └ trial 7    └ trial 12
+//
+// StageExecutor lowers the tree onto the existing Runtime: one `stage`
+// task per segment (each consuming its parent's snapshot future, so the
+// runtime's dependency tracking orders them), plus one tiny `finalize`
+// task per trial that converts the boundary snapshot into the trial's
+// TrainResult. Shared segments run once (StageShared trace event); every
+// stage consults the ResultCache first (CacheHit/CacheMiss events), and
+// trials whose final result is already cached are replayed without
+// submitting anything.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ml/cost_model.hpp"
+#include "ml/dataset.hpp"
+#include "ml/trainer.hpp"
+#include "reuse/policy.hpp"
+#include "reuse/result_cache.hpp"
+#include "reuse/stage_key.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo::reuse {
+
+/// One pending trial: the driver's trial index plus the exact TrainConfig
+/// the trial would run with (budget in config.num_epochs).
+struct TrialRequest {
+  int index = -1;
+  ml::TrainConfig config;
+};
+
+/// A train-to-epoch segment of a chain: runs (begin_epoch, end_epoch].
+struct PlannedSegment {
+  int begin_epoch = 0;
+  int end_epoch = 0;
+  /// Trials whose budget ends exactly at end_epoch.
+  std::vector<int> finalize_trials;
+  /// Trials whose chain passes through this segment (>=1; >1 means shared).
+  std::size_t shared_by = 1;
+};
+
+/// All trials sharing one training trajectory, split at their budgets.
+struct PlannedChain {
+  StageKey key;
+  ml::TrainConfig config;  ///< num_epochs == max budget in the chain
+  std::vector<PlannedSegment> segments;
+  std::vector<TrialRequest> trials;
+};
+
+/// Build the stage tree. merge=false plans one chain per trial (no
+/// sharing; the unmerged baseline). Pure function of its inputs — tested
+/// directly, independent of any runtime.
+std::vector<PlannedChain> plan_chains(const StageKey& dataset, std::vector<TrialRequest> trials,
+                                      bool merge);
+
+/// What StageExecutor::submit hands back per trial: either a future that
+/// yields ml::TrainResult, or an already-cached result (no task submitted).
+struct SubmittedTrial {
+  int index = -1;
+  rt::Future future;  ///< producer == rt::kNoTask when replayed
+  std::optional<ml::TrainResult> replayed;
+};
+
+/// Aggregate reuse accounting surfaced in the HPO report / chpo_run.
+struct ReuseReport {
+  CacheStats cache;
+  std::size_t trials = 0;
+  std::size_t replayed_trials = 0;  ///< served entirely from the result cache
+  std::size_t chains = 0;
+  std::size_t stages = 0;          ///< segment tasks submitted
+  std::size_t shared_stages = 0;   ///< segments serving >1 trial
+  long naive_epochs = 0;    ///< sum of trial budgets (no reuse)
+  long planned_epochs = 0;  ///< sum of submitted segment lengths
+};
+
+/// Lowers planned chains onto a Runtime. One executor may serve many
+/// submit() rounds (hyperband submits rung after rung against the same
+/// cache, which is how promotions resume from rung checkpoints).
+class StageExecutor {
+ public:
+  /// `dataset` must outlive the runtime (same contract as HpoDriver).
+  /// `workload` prices segment tasks for the simulation backend.
+  StageExecutor(rt::Runtime& runtime, const ml::Dataset& dataset, ReusePolicy policy,
+                rt::Constraint constraint, std::optional<ml::WorkloadModel> workload,
+                std::shared_ptr<ResultCache> cache);
+
+  /// Plan + submit a batch. Order of the returned vector matches `trials`.
+  std::vector<SubmittedTrial> submit(const std::vector<TrialRequest>& trials);
+
+  /// Futures of every stage task submitted so far (for cancellation on
+  /// whole-HPO early stop; finalize futures are returned per trial).
+  const std::vector<rt::Future>& stage_futures() const { return stage_futures_; }
+
+  ReuseReport report() const;
+  const std::shared_ptr<ResultCache>& cache() const { return cache_; }
+
+ private:
+  rt::Runtime& runtime_;
+  const ml::Dataset* dataset_;
+  ReusePolicy policy_;
+  rt::Constraint constraint_;
+  std::optional<ml::WorkloadModel> workload_;
+  std::shared_ptr<ResultCache> cache_;
+  StageKey dataset_key_;
+  std::vector<rt::Future> stage_futures_;
+  ReuseReport tally_;
+};
+
+}  // namespace chpo::reuse

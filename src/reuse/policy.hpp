@@ -1,0 +1,45 @@
+// ReusePolicy — the opt-in knobs for the cross-trial reuse subsystem.
+//
+// Off by default: HpoDriver behaves exactly as before unless `enabled` is
+// set. With reuse on, trial batches are decomposed into content-hashed
+// stages (DESIGN.md "Cross-trial reuse"): trials sharing a training prefix
+// execute it once, and stage outputs land in a ResultCache so later runs
+// (or hyperband promotions) resume instead of retraining.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace chpo::reuse {
+
+struct ReusePolicy {
+  /// Master switch; everything below is ignored when false.
+  bool enabled = false;
+
+  /// Merge trials that share a stage-chain prefix into one chain (stage-tree
+  /// planning). false = every trial gets its own chain — still cached, but
+  /// no cross-trial sharing (the baseline `bench_reuse` compares against).
+  bool merge = true;
+
+  /// Derive each trial's training seed from the content hash of the config
+  /// fields that affect training (instead of the driver's per-trial-index
+  /// seed). Required for trials differing only in `num_epochs` to share a
+  /// prefix; costs seed diversity across identical configs.
+  bool deterministic_seeds = true;
+
+  /// Directory for the persistent store. Empty = in-memory cache only.
+  std::string cache_dir;
+
+  /// LRU budget for in-memory entries.
+  std::size_t max_memory_bytes = 256ull << 20;
+
+  /// LRU budget for the on-disk store (only with a cache_dir).
+  std::size_t max_disk_bytes = 1ull << 30;
+
+  /// Persist interior epoch-boundary snapshots, not just final results.
+  /// Snapshots are what warm rung promotions / refined grids resume from;
+  /// turning this off keeps only the (small) per-trial result JSONs.
+  bool persist_snapshots = true;
+};
+
+}  // namespace chpo::reuse

@@ -1,0 +1,246 @@
+#include "reuse/snapshot_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace chpo::reuse {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x43485053'4e415031ULL;  // "CHPSNAP1"
+
+// ------------------------------------------------------------- writer
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i64(std::string& out, std::int64_t v) { put_u64(out, static_cast<std::uint64_t>(v)); }
+
+void put_f64(std::string& out, double d) { put_u64(out, std::bit_cast<std::uint64_t>(d)); }
+
+void put_u8(std::string& out, bool b) { out.push_back(b ? '\1' : '\0'); }
+
+void put_tensor(std::string& out, const ml::Tensor& t) {
+  put_u64(out, t.shape().size());
+  for (const std::size_t d : t.shape()) put_u64(out, d);
+  const std::size_t bytes = t.size() * sizeof(float);
+  out.append(reinterpret_cast<const char*>(t.data()), bytes);
+}
+
+void put_tensors(std::string& out, const std::vector<ml::Tensor>& ts) {
+  put_u64(out, ts.size());
+  for (const ml::Tensor& t : ts) put_tensor(out, t);
+}
+
+void put_result(std::string& out, const ml::TrainResult& r) {
+  put_u64(out, r.history.size());
+  for (const ml::EpochStats& e : r.history) {
+    put_i64(out, e.epoch);
+    put_f64(out, e.train_loss);
+    put_f64(out, e.train_accuracy);
+    put_f64(out, e.val_accuracy);
+  }
+  put_f64(out, r.final_val_accuracy);
+  put_f64(out, r.best_val_accuracy);
+  put_i64(out, r.epochs_run);
+  put_u8(out, r.stopped_early);
+}
+
+// ------------------------------------------------------------- reader
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool u8() {
+    need(1);
+    return bytes_[pos_++] != '\0';
+  }
+
+  /// Bounded count: guards against a corrupt length word asking for more
+  /// elements than the remaining bytes could possibly hold.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (min_elem_bytes > 0 && n > (bytes_.size() - pos_) / min_elem_bytes)
+      throw std::runtime_error("snapshot: implausible element count");
+    return static_cast<std::size_t>(n);
+  }
+
+  ml::Tensor tensor() {
+    const std::size_t rank = count(8);
+    std::vector<std::size_t> shape(rank);
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < rank; ++i) {
+      shape[i] = static_cast<std::size_t>(u64());
+      if (shape[i] != 0 && total > bytes_.size() / shape[i])
+        throw std::runtime_error("snapshot: implausible tensor shape");
+      total *= shape[i];
+    }
+    need(total * sizeof(float));
+    ml::Tensor t(shape);
+    std::memcpy(t.data(), bytes_.data() + pos_, total * sizeof(float));
+    pos_ += total * sizeof(float);
+    return t;
+  }
+
+  std::vector<ml::Tensor> tensors() {
+    const std::size_t n = count(8);
+    std::vector<ml::Tensor> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(tensor());
+    return out;
+  }
+
+  ml::TrainResult result() {
+    ml::TrainResult r;
+    const std::size_t n = count(32);
+    r.history.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ml::EpochStats e;
+      e.epoch = static_cast<int>(i64());
+      e.train_loss = f64();
+      e.train_accuracy = f64();
+      e.val_accuracy = f64();
+      r.history.push_back(e);
+    }
+    r.final_val_accuracy = f64();
+    r.best_val_accuracy = f64();
+    r.epochs_run = static_cast<int>(i64());
+    r.stopped_early = u8();
+    return r;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (bytes_.size() - pos_ < n) throw std::runtime_error("snapshot: truncated");
+  }
+
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_snapshot(const ml::TrainSnapshot& snap) {
+  std::string out;
+  out.reserve(snapshot_bytes(snap));
+  put_u64(out, kMagic);
+  put_i64(out, snap.epochs_done);
+  put_u8(out, snap.finished);
+  put_f64(out, snap.best);
+  put_i64(out, snap.epochs_since_best);
+  put_tensors(out, snap.weights);
+  put_u64(out, snap.layer_state.size());
+  for (const ml::LayerState& ls : snap.layer_state) {
+    put_tensors(out, ls.tensors);
+    put_u64(out, ls.words.size());
+    for (const std::uint64_t w : ls.words) put_u64(out, w);
+  }
+  put_tensors(out, snap.optimizer.slots);
+  put_i64(out, snap.optimizer.steps);
+  for (const std::uint64_t w : snap.shuffle_rng.s) put_u64(out, w);
+  put_f64(out, snap.shuffle_rng.spare_gaussian);
+  put_u8(out, snap.shuffle_rng.has_spare);
+  put_u64(out, snap.order.size());
+  for (const std::size_t idx : snap.order) put_u64(out, idx);
+  put_result(out, snap.partial);
+  return out;
+}
+
+ml::TrainSnapshot deserialize_snapshot(const std::string& bytes) {
+  Reader in(bytes);
+  if (in.u64() != kMagic) throw std::runtime_error("snapshot: bad magic");
+  ml::TrainSnapshot snap;
+  snap.epochs_done = static_cast<int>(in.i64());
+  snap.finished = in.u8();
+  snap.best = in.f64();
+  snap.epochs_since_best = static_cast<int>(in.i64());
+  snap.weights = in.tensors();
+  const std::size_t layers = in.count(16);
+  snap.layer_state.reserve(layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    ml::LayerState ls;
+    ls.tensors = in.tensors();
+    const std::size_t words = in.count(8);
+    ls.words.reserve(words);
+    for (std::size_t w = 0; w < words; ++w) ls.words.push_back(in.u64());
+    snap.layer_state.push_back(std::move(ls));
+  }
+  snap.optimizer.slots = in.tensors();
+  snap.optimizer.steps = static_cast<long>(in.i64());
+  for (std::size_t i = 0; i < 4; ++i) snap.shuffle_rng.s[i] = in.u64();
+  snap.shuffle_rng.spare_gaussian = in.f64();
+  snap.shuffle_rng.has_spare = in.u8();
+  const std::size_t order_n = in.count(8);
+  snap.order.reserve(order_n);
+  for (std::size_t i = 0; i < order_n; ++i) snap.order.push_back(static_cast<std::size_t>(in.u64()));
+  snap.partial = in.result();
+  if (!in.exhausted()) throw std::runtime_error("snapshot: trailing bytes");
+  return snap;
+}
+
+json::Value train_result_to_json(const ml::TrainResult& result) {
+  json::Value out;
+  json::Array history;
+  for (const auto& epoch : result.history) {
+    json::Value e;
+    e.set("epoch", json::Value(static_cast<std::int64_t>(epoch.epoch)));
+    e.set("train_loss", json::Value(epoch.train_loss));
+    e.set("train_accuracy", json::Value(epoch.train_accuracy));
+    e.set("val_accuracy", json::Value(epoch.val_accuracy));
+    history.push_back(std::move(e));
+  }
+  out.set("history", json::Value(std::move(history)));
+  out.set("final_val_accuracy", json::Value(result.final_val_accuracy));
+  out.set("best_val_accuracy", json::Value(result.best_val_accuracy));
+  out.set("epochs_run", json::Value(static_cast<std::int64_t>(result.epochs_run)));
+  out.set("stopped_early", json::Value(result.stopped_early));
+  return out;
+}
+
+ml::TrainResult train_result_from_json(const json::Value& value) {
+  ml::TrainResult result;
+  for (const auto& e : value.at("history").as_array()) {
+    ml::EpochStats stats;
+    stats.epoch = static_cast<int>(e.at("epoch").as_int());
+    stats.train_loss = e.at("train_loss").as_double();
+    stats.train_accuracy = e.at("train_accuracy").as_double();
+    stats.val_accuracy = e.at("val_accuracy").as_double();
+    result.history.push_back(stats);
+  }
+  result.final_val_accuracy = value.at("final_val_accuracy").as_double();
+  result.best_val_accuracy = value.at("best_val_accuracy").as_double();
+  result.epochs_run = static_cast<int>(value.at("epochs_run").as_int());
+  result.stopped_early = value.at("stopped_early").as_bool();
+  return result;
+}
+
+std::size_t snapshot_bytes(const ml::TrainSnapshot& snap) {
+  std::size_t bytes = 256;
+  for (const ml::Tensor& t : snap.weights) bytes += t.size() * sizeof(float) + 32;
+  for (const ml::LayerState& ls : snap.layer_state) {
+    for (const ml::Tensor& t : ls.tensors) bytes += t.size() * sizeof(float) + 32;
+    bytes += ls.words.size() * 8 + 16;
+  }
+  for (const ml::Tensor& t : snap.optimizer.slots) bytes += t.size() * sizeof(float) + 32;
+  bytes += snap.order.size() * 8 + 8;
+  bytes += snap.partial.history.size() * sizeof(ml::EpochStats);
+  return bytes;
+}
+
+}  // namespace chpo::reuse

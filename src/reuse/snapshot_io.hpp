@@ -1,0 +1,31 @@
+// Serialization for cache entries.
+//
+// TrainSnapshots travel as a compact binary blob (tensors dominate; JSON
+// would 5x the size); TrainResults as JSON, shared with the HPO checkpoint
+// format. Deserialization is strictly bounds-checked: a truncated or
+// corrupt blob throws, and ResultCache turns that into a warned cache miss
+// — never a crash (ISSUE 3 robustness satellite).
+#pragma once
+
+#include <string>
+
+#include "jsonlite/json.hpp"
+#include "ml/trainer.hpp"
+
+namespace chpo::reuse {
+
+/// Binary encode/decode of a complete TrainSnapshot. deserialize_snapshot
+/// throws std::runtime_error on truncation, bad magic, or trailing bytes.
+std::string serialize_snapshot(const ml::TrainSnapshot& snap);
+ml::TrainSnapshot deserialize_snapshot(const std::string& bytes);
+
+/// JSON encode/decode of a TrainResult (the hpo checkpoint uses the same
+/// representation). train_result_from_json throws json::JsonError on
+/// missing/mistyped fields.
+json::Value train_result_to_json(const ml::TrainResult& result);
+ml::TrainResult train_result_from_json(const json::Value& value);
+
+/// Rough in-memory footprint of a snapshot (for the cache's LRU budget).
+std::size_t snapshot_bytes(const ml::TrainSnapshot& snap);
+
+}  // namespace chpo::reuse

@@ -1,0 +1,127 @@
+#include "reuse/stage_key.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace chpo::reuse {
+
+namespace {
+
+/// SplitMix64 finalizer — strong single-word avalanche.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t canonical_real_bits(double d) {
+  if (d == 0.0) d = 0.0;  // fold -0.0
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+std::string StageKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+KeyHasher::KeyHasher() : a_(0x6a09e667f3bcc908ULL), b_(0xbb67ae8584caa73bULL) {}
+
+KeyHasher& KeyHasher::add(std::uint64_t word) {
+  a_ = mix(a_ ^ word);
+  b_ = mix(b_ + word * 0x9e3779b97f4a7c15ULL);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add(const std::string& s) {
+  add(static_cast<std::uint64_t>(s.size()));
+  std::uint64_t word = 0;
+  int n = 0;
+  for (const unsigned char c : s) {
+    word = (word << 8) | c;
+    if (++n == 8) {
+      add(word);
+      word = 0;
+      n = 0;
+    }
+  }
+  if (n > 0) add(word);
+  return *this;
+}
+
+KeyHasher& KeyHasher::add_real(double d) { return add(canonical_real_bits(d)); }
+
+StageKey KeyHasher::digest() const { return {mix(a_ ^ b_), mix(b_ ^ (a_ >> 1))}; }
+
+StageKey dataset_key(const ml::Dataset& data) {
+  KeyHasher h;
+  h.add(std::string("dataset-v1"));
+  h.add(data.name);
+  h.add(static_cast<std::uint64_t>(data.channels));
+  h.add(static_cast<std::uint64_t>(data.height));
+  h.add(static_cast<std::uint64_t>(data.width));
+  h.add(static_cast<std::uint64_t>(data.classes));
+  h.add(static_cast<std::uint64_t>(data.train_size()));
+  h.add(static_cast<std::uint64_t>(data.test_size()));
+  for (std::size_t i = 0; i < data.train_x.size(); ++i)
+    h.add(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(data.train_x[i])));
+  for (const int y : data.train_y) h.add(static_cast<std::uint64_t>(y));
+  for (std::size_t i = 0; i < data.test_x.size(); ++i)
+    h.add(static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(data.test_x[i])));
+  for (const int y : data.test_y) h.add(static_cast<std::uint64_t>(y));
+  return h.digest();
+}
+
+std::uint64_t train_content_hash(const ml::TrainConfig& config) {
+  KeyHasher h;
+  h.add(std::string("train-content-v1"));
+  h.add(config.optimizer);
+  h.add(static_cast<std::uint64_t>(config.batch_size));
+  h.add_real(config.learning_rate);
+  h.add(config.lr_schedule);
+  h.add_real(config.weight_decay);
+  h.add(std::uint64_t{config.batch_norm ? 1u : 0u});
+  h.add(static_cast<std::uint64_t>(config.hidden_layers));
+  h.add(static_cast<std::uint64_t>(config.hidden_units));
+  h.add_real(config.dropout);
+  return h.digest().lo;
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, const ml::TrainConfig& config) {
+  return mix(base_seed ^ train_content_hash(config));
+}
+
+StageKey chain_key(const StageKey& dataset, const ml::TrainConfig& config) {
+  KeyHasher h;
+  h.add(std::string("chain-v1"));
+  h.add(dataset);
+  h.add(train_content_hash(config));
+  h.add(config.seed);
+  h.add_real(config.target_accuracy);
+  h.add(static_cast<std::uint64_t>(config.patience));
+  // Non-constant schedules scale the lr as multiplier(epoch, num_epochs):
+  // the trajectory depends on the total budget, so budgets cannot share.
+  if (config.lr_schedule != "constant") h.add(static_cast<std::uint64_t>(config.num_epochs));
+  return h.digest();
+}
+
+StageKey snapshot_key(const StageKey& chain, int epoch) {
+  KeyHasher h;
+  h.add(std::string("snap-v1"));
+  h.add(chain);
+  h.add(static_cast<std::uint64_t>(epoch));
+  return h.digest();
+}
+
+StageKey result_key(const StageKey& chain, int epoch_budget) {
+  KeyHasher h;
+  h.add(std::string("result-v1"));
+  h.add(chain);
+  h.add(static_cast<std::uint64_t>(epoch_budget));
+  return h.digest();
+}
+
+}  // namespace chpo::reuse

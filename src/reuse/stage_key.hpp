@@ -1,0 +1,85 @@
+// Content-addressed stage keys.
+//
+// A trial decomposes into a chain of stages: dataset -> train segments at
+// epoch boundaries -> per-budget result. Each stage's key is a canonical
+// 128-bit hash of (parent key, the config subset that affects the stage),
+// so two trials whose configs agree on every training-relevant field share
+// the whole prefix of the chain — the invariant the planner's stage tree
+// and the ResultCache are built on.
+//
+// Canonicalisation rules:
+//  * floats hash by bit pattern after promoting to double and folding
+//    -0.0 to 0.0 — no formatting, no epsilon;
+//  * `threads` never enters a key (training is thread-count invariant:
+//    parallel_for splits rows contiguously);
+//  * `num_epochs` enters the chain key only for non-constant lr schedules,
+//    whose per-epoch multiplier depends on the total epoch count;
+//  * the seed that enters the chain key is the seed the trial actually
+//    trains with (see ReusePolicy::deterministic_seeds / derive_seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "ml/trainer.hpp"
+
+namespace chpo::reuse {
+
+struct StageKey {
+  std::uint64_t hi = 0, lo = 0;
+  bool operator==(const StageKey&) const = default;
+  /// 32 lowercase hex digits — the on-disk file stem.
+  std::string hex() const;
+};
+
+struct StageKeyHash {
+  std::size_t operator()(const StageKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental two-lane 64-bit mixer (SplitMix64 finalizer per word).
+/// Deterministic across platforms and runs — keys are stable cache
+/// identities, never process-local.
+class KeyHasher {
+ public:
+  KeyHasher();
+  KeyHasher& add(std::uint64_t word);
+  KeyHasher& add(std::int64_t word) { return add(static_cast<std::uint64_t>(word)); }
+  KeyHasher& add(const std::string& s);
+  /// Canonical float hashing: promote to double, fold -0.0 to 0.0.
+  KeyHasher& add_real(double d);
+  KeyHasher& add(const StageKey& key) { return add(key.hi).add(key.lo); }
+  StageKey digest() const;
+
+ private:
+  std::uint64_t a_, b_;
+};
+
+/// Content hash of a dataset (shape, labels and pixel data) — the root of
+/// every stage chain.
+StageKey dataset_key(const ml::Dataset& data);
+
+/// Hash of the TrainConfig fields that shape training dynamics, excluding
+/// seed, threads and num_epochs. Two configs with equal hashes train
+/// identically epoch-for-epoch (given the same seed and data).
+std::uint64_t train_content_hash(const ml::TrainConfig& config);
+
+/// Content-derived seed: same training-relevant fields -> same seed, so
+/// epoch-budget variants of a config share their prefix.
+std::uint64_t derive_seed(std::uint64_t base_seed, const ml::TrainConfig& config);
+
+/// Key of a trial's full training chain (dataset + every relevant field +
+/// the seed it runs with). Trials with equal chain keys are the same
+/// training trajectory, differing at most in epoch budget.
+StageKey chain_key(const StageKey& dataset, const ml::TrainConfig& config);
+
+/// Key of the epoch-boundary snapshot at `epoch` within a chain.
+StageKey snapshot_key(const StageKey& chain, int epoch);
+
+/// Key of the finished TrainResult for an epoch budget within a chain.
+StageKey result_key(const StageKey& chain, int epoch_budget);
+
+}  // namespace chpo::reuse

@@ -7,10 +7,20 @@
 // simulation workloads.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace chpo {
+
+/// Complete generator state — capture with Rng::state(), restore with
+/// Rng::set_state(). Lets checkpoint/resume paths (the reuse subsystem's
+/// train-stage snapshots) continue a random sequence bit-exactly.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double spare_gaussian = 0.0;
+  bool has_spare = false;
+};
 
 class Rng {
  public:
@@ -53,6 +63,15 @@ class Rng {
   /// Derive an independent child stream; used to give each task / trial its
   /// own generator without correlated sequences.
   Rng split();
+
+  RngState state() const {
+    return RngState{{state_[0], state_[1], state_[2], state_[3]}, spare_gaussian_, has_spare_};
+  }
+  void set_state(const RngState& s) {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = s.s[i];
+    spare_gaussian_ = s.spare_gaussian;
+    has_spare_ = s.has_spare;
+  }
 
  private:
   std::uint64_t state_[4];

@@ -47,6 +47,9 @@ const char* kind_name(EventKind kind) {
     case EventKind::SpeculativeLaunch: return "speculative_launch";
     case EventKind::SpeculativeWin: return "speculative_win";
     case EventKind::Backoff: return "backoff";
+    case EventKind::CacheHit: return "cache_hit";
+    case EventKind::CacheMiss: return "cache_miss";
+    case EventKind::StageShared: return "stage_shared";
   }
   return "unknown";
 }

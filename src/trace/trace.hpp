@@ -36,6 +36,9 @@ enum class EventKind : std::uint8_t {
   SpeculativeLaunch,  ///< point: duplicate attempt launched on another node
   SpeculativeWin,     ///< point: a speculative duplicate finished first
   Backoff,            ///< span: retry delayed by exponential backoff
+  CacheHit,           ///< point: reuse stage/result served from the cache
+  CacheMiss,          ///< point: reuse stage had to be computed
+  StageShared,        ///< point: one planned stage serves several trials
 };
 
 struct Event {

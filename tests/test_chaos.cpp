@@ -30,6 +30,10 @@
 #include <tuple>
 #include <vector>
 
+#include "ml/dataset.hpp"
+#include "ml/trainer.hpp"
+#include "reuse/result_cache.hpp"
+#include "reuse/stage_key.hpp"
 #include "runtime/runtime.hpp"
 
 namespace chpo::rt {
@@ -241,6 +245,72 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                            return std::string(std::get<1>(info.param) ? "sim" : "threads") +
                                   "_seed" + std::to_string(std::get<0>(info.param));
                          });
+
+// Reuse under concurrency: many worker threads race get/put on one shared
+// ResultCache (the stage executor's setup when twin stages of different
+// chains run in parallel, or speculation duplicates a stage). First-write-
+// wins must hold, every reader must observe a fully committed snapshot,
+// and TSan must stay green.
+TEST(ChaosReuse, ConcurrentStageTasksShareOneCacheSafely) {
+  const ml::Dataset dataset = ml::make_mnist_like(60, 20, 77);
+
+  reuse::ReusePolicy policy;
+  policy.enabled = true;
+  auto cache = std::make_shared<reuse::ResultCache>(policy);
+
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "chaos";
+  node.cpus = 8;
+  opts.cluster = cluster::homogeneous(1, node);
+  Runtime runtime(std::move(opts));
+
+  constexpr int kChainCount = 3;
+  constexpr int kRacersPerChain = 6;
+  std::vector<Future> futures;
+  for (int i = 0; i < kChainCount * kRacersPerChain; ++i) {
+    const int chain = i % kChainCount;
+    TaskDef def;
+    def.name = "stage";
+    def.body = [&dataset, cache, chain](TaskContext&) -> std::any {
+      ml::TrainConfig tc;
+      tc.num_epochs = 2;
+      tc.batch_size = 16;
+      tc.learning_rate = 0.01f + 0.01f * static_cast<float>(chain);
+      tc.seed = 101 + static_cast<std::uint64_t>(chain);
+      const reuse::StageKey key{static_cast<std::uint64_t>(chain), 0xcafe};
+      if (auto hit = cache->get_snapshot(key)) return hit->partial.final_val_accuracy;
+      ml::TrainerSession session(dataset, tc);
+      while (session.step_epoch()) {
+      }
+      auto snap = std::make_shared<const ml::TrainSnapshot>(session.snapshot());
+      cache->put_snapshot(key, snap);
+      return snap->partial.final_val_accuracy;
+    };
+    futures.push_back(runtime.submit(def, {}));
+  }
+
+  // Every racer of a chain must report the same accuracy regardless of
+  // whether it computed or hit the cache (stage outputs are deterministic
+  // functions of the key).
+  std::array<double, kChainCount> expected{};
+  std::array<bool, kChainCount> seen{};
+  for (int i = 0; i < kChainCount * kRacersPerChain; ++i) {
+    const int chain = i % kChainCount;
+    const double acc = runtime.wait_on_as<double>(futures[std::size_t(i)]);
+    if (!seen[std::size_t(chain)]) {
+      expected[std::size_t(chain)] = acc;
+      seen[std::size_t(chain)] = true;
+    } else {
+      EXPECT_EQ(acc, expected[std::size_t(chain)]) << "chain " << chain;
+    }
+  }
+
+  const reuse::CacheStats stats = cache->stats();
+  EXPECT_EQ(stats.puts + stats.duplicate_puts + stats.hits,
+            std::size_t(kChainCount * kRacersPerChain));
+  EXPECT_EQ(stats.puts, std::size_t(kChainCount));  // one winner per key
+}
 
 }  // namespace
 }  // namespace chpo::rt

@@ -105,6 +105,14 @@ int run(const ArgParser& args) {
   driver_options.cv_folds = static_cast<int>(args.get_int("cv-folds", 1));
   driver_options.seed = seed;
   if (args.get_bool("simulate")) driver_options.workload = workload;
+  if (args.get_bool("reuse")) {
+    driver_options.reuse.enabled = true;
+    driver_options.reuse.merge = !args.get_bool("no-merge");
+    driver_options.reuse.cache_dir = args.get("cache-dir");
+    const auto cache_mb = args.get_int("cache-mb", 256);
+    driver_options.reuse.max_memory_bytes = static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+    driver_options.reuse.max_disk_bytes = static_cast<std::size_t>(cache_mb) * 4 * 1024 * 1024;
+  }
 
   const std::string algorithm_name = args.get("algorithm", "grid");
   const auto budget = static_cast<std::size_t>(args.get_int("budget", 16));
@@ -129,6 +137,7 @@ int run(const ArgParser& args) {
     const hpo::HalvingOutcome halved = hpo::successive_halving(runtime, dataset, space, halving);
     for (const auto& rung : halved.rungs)
       for (const auto& trial : rung.trials) outcome.trials.push_back(trial);
+    outcome.reuse = halved.reuse;
     std::printf("successive halving best: %s -> %.3f\n",
                 hpo::config_brief(halved.best_config).c_str(), halved.best_accuracy);
   } else if (algorithm_name == "hyperband") {
@@ -141,6 +150,7 @@ int run(const ArgParser& args) {
     for (const auto& bracket : result.brackets)
       for (const auto& rung : bracket.rungs)
         for (const auto& trial : rung.trials) outcome.trials.push_back(trial);
+    outcome.reuse = result.reuse;
   } else {
     throw std::invalid_argument("unknown --algorithm '" + algorithm_name +
                                 "' (grid | random | gp | tpe | halving | hyperband)");
@@ -162,6 +172,7 @@ int run(const ArgParser& args) {
     std::printf("%s\n", hpo::importance_table(importance).c_str());
   if (!outcome.report.empty()) std::printf("%s\n", outcome.report.c_str());
   std::printf("%s", hpo::outcome_summary(outcome).c_str());
+  if (outcome.reuse) std::printf("%s", hpo::reuse_summary(*outcome.reuse).c_str());
   if (runtime.simulated())
     std::printf("virtual makespan: %s\n", format_duration(runtime.analyze().makespan()).c_str());
 
@@ -209,6 +220,10 @@ int main(int argc, char** argv) {
       .add_option("csv", "write per-epoch history CSV here", "")
       .add_option("checkpoint", "persist/replay completed trials via this JSON file", "")
       .add_option("cv-folds", "k-fold cross-validation per trial (1 = plain split)", "1")
+      .add_option("cache-dir", "persistent result-cache directory (with --reuse)", "")
+      .add_option("cache-mb", "in-memory cache budget in MiB (disk gets 4x)", "256")
+      .add_flag("reuse", "cross-trial reuse: stage trees + content-addressed cache")
+      .add_flag("no-merge", "with --reuse: plan one chain per trial (no sharing)")
       .add_flag("simulate", "discrete-event backend (virtual time, cluster scale)")
       .add_flag("visualise", "add visualisation + plot tasks (Figure 2 pipeline)")
       .add_flag("gantt", "print an ASCII Gantt of the trace")
