@@ -71,9 +71,27 @@ std::vector<Trial> load_checkpoint(const std::string& path) {
   if (!std::filesystem::exists(path)) return {};
   // A checkpoint exists to survive crashes — including a crash mid-write of
   // the checkpoint itself (or disk corruption). A file we cannot parse is a
-  // warned fresh start, never a fatal error.
+  // warned fresh start, never a fatal error; a file that parses but holds
+  // some damaged trial entries is salvaged entry by entry (the ResultCache
+  // policy): every intact trial is kept, the rest retrain.
   try {
-    return trials_from_json(json::parse_file(path));
+    const json::Value value = json::parse_file(path);
+    if (!value.contains("format") || value.at("format").as_string() != "chpo-checkpoint-v1")
+      throw json::JsonError("checkpoint: unknown format");
+    std::vector<Trial> out;
+    std::size_t skipped = 0;
+    for (const auto& t : value.at("trials").as_array()) {
+      try {
+        out.push_back(trial_from_json(t));
+      } catch (const std::exception& e) {
+        ++skipped;
+        log_warn("hpo", "checkpoint {}: skipping corrupt trial entry ({})", path, e.what());
+      }
+    }
+    if (skipped > 0)
+      log_warn("hpo", "checkpoint {}: salvaged {} of {} trials", path, out.size(),
+               out.size() + skipped);
+    return out;
   } catch (const std::exception& e) {
     log_warn("hpo", "checkpoint {} unreadable ({}); starting fresh", path, e.what());
     return {};

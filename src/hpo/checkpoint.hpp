@@ -26,8 +26,11 @@ std::vector<Trial> trials_from_json(const json::Value& value);
 /// Atomically (write + rename) persist trials to `path`.
 void save_checkpoint(const std::string& path, const std::vector<Trial>& trials);
 
-/// Load a checkpoint; empty vector when the file does not exist. Throws
-/// json::JsonError on a corrupt file.
+/// Load a checkpoint; empty vector when the file does not exist. Never
+/// throws on damage: an unparseable file is a warned fresh start, and a
+/// parseable file with some corrupt trial entries is salvaged entry by
+/// entry (intact trials replay, damaged ones retrain) — the same policy
+/// the reuse ResultCache applies to its snapshot files.
 std::vector<Trial> load_checkpoint(const std::string& path);
 
 /// Find a completed (non-failed) trial for `config` in `previous`, matching

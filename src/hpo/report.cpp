@@ -163,4 +163,38 @@ std::string reuse_summary(const reuse::ReuseReport& report) {
   return out.str();
 }
 
+std::string fault_summary(const std::vector<trace::Event>& events, std::size_t recoveries,
+                          std::size_t unrecoverable, const rt::NodeHealth& health) {
+  std::size_t node_down = 0, node_up = 0, data_lost = 0, quarantines = 0;
+  for (const trace::Event& e : events) {
+    switch (e.kind) {
+      case trace::EventKind::NodeDown: ++node_down; break;
+      case trace::EventKind::NodeUp: ++node_up; break;
+      case trace::EventKind::DataLost: ++data_lost; break;
+      case trace::EventKind::Quarantine: ++quarantines; break;
+      default: break;
+    }
+  }
+  std::ostringstream out;
+  out << "fault tolerance: " << node_down << " node-down, " << node_up << " node-up, "
+      << data_lost << " data-lost, " << quarantines << " quarantines\n";
+  out << "  recoveries: " << recoveries << " lineage recomputations, " << unrecoverable
+      << " unrecoverable\n";
+  out << "  " << pad_right("node", 6) << pad_right("health", 13) << pad_left("score", 7)
+      << pad_left("obs", 5) << "\n";
+  for (std::size_t node = 0; node < health.node_count(); ++node) {
+    const char* state = "healthy";
+    switch (health.state(node)) {
+      case rt::HealthState::Healthy: state = "healthy"; break;
+      case rt::HealthState::Quarantined: state = "quarantined"; break;
+      case rt::HealthState::Probation: state = "probation"; break;
+    }
+    char score[16];
+    std::snprintf(score, sizeof score, "%.3f", health.score(node));
+    out << "  " << pad_right(std::to_string(node), 6) << pad_right(state, 13)
+        << pad_left(score, 7) << pad_left(std::to_string(health.observations(node)), 5) << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace chpo::hpo

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hpo/driver.hpp"
+#include "runtime/node_health.hpp"
 #include "trace/trace.hpp"
 
 namespace chpo::hpo {
@@ -34,5 +35,12 @@ std::string outcome_summary(const HpoOutcome& outcome);
 /// (greppable "hits:" / "misses:" lines; used by chpo_run and the CI
 /// warm-cache smoke test).
 std::string reuse_summary(const reuse::ReuseReport& report);
+
+/// Fault/recovery accounting for chaos runs: node membership events from
+/// the trace, data lost with dead nodes, lineage recomputations (greppable
+/// "recoveries:" line; the CI chaos smoke asserts on it) and the per-node
+/// health table driving quarantine decisions.
+std::string fault_summary(const std::vector<trace::Event>& events, std::size_t recoveries,
+                          std::size_t unrecoverable, const rt::NodeHealth& health);
 
 }  // namespace chpo::hpo

@@ -7,6 +7,7 @@
 // submission sequence — the test suite asserts this equivalence.
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "runtime/engine.hpp"
@@ -35,6 +36,20 @@ class Backend {
   /// terminal or `seconds` have elapsed (wall or virtual) from the call,
   /// whichever comes first. Returns true iff everything is terminal.
   virtual bool run_for(double seconds) = 0;
+
+  /// Drive the engine until an arbitrary predicate over engine state holds
+  /// (evaluated on the coordinator between engine steps). wait_on uses this
+  /// to ride out the lineage recovery of a result whose replicas died.
+  virtual void run_until_condition(const std::function<bool()>& finished) = 0;
+
+  /// Run exactly one engine duty round — process due node events, reap
+  /// overdue attempts, dispatch ready work — without waiting for anything.
+  /// Used by the chaos hooks so an injected membership event applies
+  /// immediately rather than at the next blocking wait.
+  void poke() {
+    int steps = 0;
+    run_until_condition([&steps] { return steps++ > 0; });
+  }
 
   /// True for the discrete-event simulator.
   virtual bool simulated() const = 0;

@@ -14,7 +14,7 @@ DataId DataRegistry::register_data(std::any initial_value, std::uint64_t bytes, 
   info.bytes = bytes;
   info.label = label.empty() ? "d" + std::to_string(id) : std::move(label);
   VersionInfo v0;
-  v0.value = std::move(initial_value);
+  v0.value = std::make_shared<const std::any>(std::move(initial_value));
   v0.committed = true;
   v0.everywhere = everywhere;
   info.versions.push_back(std::move(v0));
@@ -77,20 +77,57 @@ void DataRegistry::commit(DataId data, std::uint32_t version, std::any value, in
   if (version >= d.versions.size())
     throw std::out_of_range("DataRegistry: commit of unplanned version");
   VersionInfo& v = d.versions[version];
-  v.value = std::move(value);
+  // A fresh allocation, never mutation in place: readers that pinned the
+  // old bytes (value_ptr) keep them alive through their own pointer.
+  v.value = std::make_shared<const std::any>(std::move(value));
   v.committed = true;
+  v.lost = false;  // a recovery recommit resurrects the version
   if (node < 0)
     v.everywhere = true;
   else
     v.locations.insert(node);
 }
 
-const std::any& DataRegistry::value(DataId data, std::uint32_t version) const {
+std::vector<LostVersion> DataRegistry::drop_node_replicas(int node) {
+  std::unique_lock lock(mutex_);
+  std::vector<LostVersion> lost;
+  for (DataId id = 0; id < data_.size(); ++id) {
+    DatumInfo& d = data_[id];
+    for (std::uint32_t ver = 0; ver < d.versions.size(); ++ver) {
+      VersionInfo& v = d.versions[ver];
+      if (v.locations.erase(node) == 0) continue;
+      if (!v.locations.empty() || v.everywhere || !v.committed || v.lost) continue;
+      if (v.producer == kNoTask) continue;  // main-program data survives
+      v.lost = true;
+      v.committed = false;
+      v.value.reset();  // the bytes died with the node
+      lost.push_back(LostVersion{.data = id, .version = ver, .producer = v.producer});
+    }
+  }
+  return lost;
+}
+
+bool DataRegistry::version_lost(DataId data, std::uint32_t version) const {
   std::shared_lock lock(mutex_);
   const DatumInfo& d = datum(data);
-  if (version >= d.versions.size() || !d.versions[version].committed)
+  return version < d.versions.size() && d.versions[version].lost;
+}
+
+const std::any& DataRegistry::value(DataId data, std::uint32_t version) const {
+  return *value_ptr(data, version);
+}
+
+std::shared_ptr<const std::any> DataRegistry::value_ptr(DataId data,
+                                                        std::uint32_t version) const {
+  std::shared_lock lock(mutex_);
+  const DatumInfo& d = datum(data);
+  if (version >= d.versions.size() || !d.versions[version].committed) {
+    if (version < d.versions.size() && d.versions[version].lost)
+      throw DataLostError("DataRegistry: replicas lost for d" + std::to_string(data) + "v" +
+                          std::to_string(version) + " (lineage recovery pending)");
     throw std::out_of_range("DataRegistry: value not committed for d" + std::to_string(data) +
                             "v" + std::to_string(version));
+  }
   return d.versions[version].value;
 }
 

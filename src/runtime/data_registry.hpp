@@ -15,15 +15,35 @@
 #include <any>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "runtime/types.hpp"
 
 namespace chpo::rt {
+
+/// Thrown by value() for a version whose only replicas died with a node.
+/// Distinct from the never-committed std::out_of_range so consumers (and
+/// the engine's recovery path) can tell "not yet produced" from "produced
+/// and lost" — the latter is recoverable through lineage.
+class DataLostError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A committed version that lost its last replica when a node died. The
+/// producer is the lineage handle: re-executing it (after recovering its
+/// own inputs the same way) recreates the value.
+struct LostVersion {
+  DataId data = 0;
+  std::uint32_t version = 0;
+  TaskId producer = kNoTask;
+};
 
 /// Result of declaring one task access: the version it will read and/or
 /// write and the task ids it now depends on.
@@ -52,8 +72,16 @@ class DataRegistry {
   void commit(DataId data, std::uint32_t version, std::any value, int node);
 
   /// Value lookup; throws std::out_of_range if that version was never
-  /// committed (version 0 is committed at registration).
+  /// committed (version 0 is committed at registration). The reference is
+  /// only stable on the coordinator thread — worker-side readers must pin
+  /// the bytes with value_ptr() instead, because the coordinator may drop
+  /// a version (node death) or recommit it (lineage recovery) while a
+  /// zombie body is still reading.
   const std::any& value(DataId data, std::uint32_t version) const;
+  /// Shared-ownership lookup: same checks as value(), but the returned
+  /// pointer keeps the bytes alive even if the version is dropped or
+  /// recommitted afterwards.
+  std::shared_ptr<const std::any> value_ptr(DataId data, std::uint32_t version) const;
   bool has_value(DataId data, std::uint32_t version) const;
 
   /// Latest created version number (the one the next reader would see).
@@ -68,6 +96,18 @@ class DataRegistry {
   std::set<int> locations(DataId data, std::uint32_t version) const;
   void add_location(DataId data, std::uint32_t version, int node);
 
+  /// Node death: forget every replica held by `node`. Committed versions
+  /// left with no live location (and not available everywhere) become
+  /// *lost*: their value is dropped, value() starts throwing DataLostError,
+  /// and they are returned so the engine can walk the lineage and
+  /// re-execute the producers. Version-0 data with a producer of kNoTask
+  /// (main-program inputs) is never dropped — the main program survives.
+  std::vector<LostVersion> drop_node_replicas(int node);
+
+  /// Whether (data, version) is currently lost (committed once, then every
+  /// replica died). Cleared by the recovery commit.
+  bool version_lost(DataId data, std::uint32_t version) const;
+
   std::uint64_t bytes_of(DataId data) const;
   const std::string& label_of(DataId data) const;
 
@@ -76,9 +116,12 @@ class DataRegistry {
  private:
   struct VersionInfo {
     TaskId producer = kNoTask;
-    std::any value;
+    /// Shared so a reader that pinned the bytes (value_ptr) survives the
+    /// coordinator dropping or recommitting the version under it.
+    std::shared_ptr<const std::any> value;
     bool committed = false;
     bool everywhere = false;
+    bool lost = false;  ///< committed once, then last replica died
     std::set<int> locations;
   };
   struct DatumInfo {

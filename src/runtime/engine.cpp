@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 
 #include "support/log.hpp"
 
@@ -15,7 +16,33 @@ Engine::Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions
       options_(std::move(options)),
       injector_(std::move(injector)),
       sink_(sink),
-      speculation_(options_.speculation) {}
+      speculation_(options_.speculation),
+      health_(options_.node_health, spec.nodes.size()) {
+  scheduler_->set_health(&health_);
+  // Turn the injector's membership timeline (explicit schedule + sampled
+  // MTTF/MTTR churn) into the engine's unified node-event queue. Both
+  // backends drain it through on_wakeup()/schedule() — the simulation
+  // backend at exact virtual instants, the threaded one on the wall clock.
+  injector_.materialize_node_schedule(spec.nodes.size());
+  for (const NodeFailureEvent& f : injector_.node_failures())
+    node_events_.push_back(NodeEvent{.time = f.time, .node = f.node, .up = false});
+  for (const NodeRecoveryEvent& r : injector_.node_recoveries())
+    node_events_.push_back(NodeEvent{.time = r.time, .node = r.node, .up = true});
+  std::sort(node_events_.begin(), node_events_.end(), [](const NodeEvent& a, const NodeEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.up < b.up;  // a same-instant down/up pair is a transient blip
+  });
+}
+
+void Engine::inject_node_event(std::size_t node, double time, bool up) {
+  if (node >= resources_.node_count())
+    throw std::out_of_range("Engine: node event for unknown node");
+  NodeEvent event{.time = time, .node = node, .up = up};
+  const auto insert_at = std::upper_bound(
+      node_events_.begin() + static_cast<std::ptrdiff_t>(next_node_event_), node_events_.end(),
+      event, [](const NodeEvent& a, const NodeEvent& b) { return a.time < b.time; });
+  node_events_.insert(insert_at, event);
+}
 
 void Engine::on_submitted(TaskId task, double now) {
   TaskRecord& record = graph_.task(task);
@@ -85,14 +112,45 @@ void Engine::make_ready(TaskId task) {
 }
 
 std::vector<Dispatch> Engine::schedule(double now) {
-  if (ready_.empty()) return {};
-  std::vector<Dispatch> dispatches = scheduler_->schedule(ready_, graph_, resources_);
-  for (Dispatch& d : dispatches) {
+  std::vector<Dispatch> dispatches;
+  process_node_events(now, dispatches);
+
+  // Lineage gating: a ready task whose input versions died with a node
+  // stays queued (its recovery is demanded here) instead of dispatching
+  // into a DataLostError. Tasks with unrecoverable inputs fail here. The
+  // gate runs before dispatch_recoveries so a recovery it demands can
+  // launch in this same pass.
+  std::vector<TaskId> runnable;
+  std::vector<TaskId> doomed;
+  runnable.reserve(ready_.size());
+  for (TaskId id : ready_) {
+    bool task_doomed = false;
+    if (inputs_ready(graph_.task(id), now, task_doomed))
+      runnable.push_back(id);
+    else if (task_doomed)
+      doomed.push_back(id);
+  }
+  for (TaskId id : doomed) {
+    ready_.erase(std::remove(ready_.begin(), ready_.end(), id), ready_.end());
+    TaskRecord& record = graph_.task(id);
+    record.state = TaskState::Failed;
+    record.failure_reason = "input data lost with a node and unrecoverable";
+    mark_terminal(id);
+    cancel_dependents(id);
+  }
+  // Recoveries get resource priority over fresh placements: downstream
+  // work is already blocked on them.
+  dispatch_recoveries(now, dispatches);
+  if (runnable.empty()) return dispatches;
+
+  std::vector<Dispatch> placed = scheduler_->schedule(runnable, graph_, resources_);
+  for (Dispatch& d : placed) {
     ready_.erase(std::remove(ready_.begin(), ready_.end(), d.task), ready_.end());
     TaskRecord& record = graph_.task(d.task);
     record.state = TaskState::Running;
     record.last_node = d.placement.node;
     record.active_variant = d.variant;
+    check_input_liveness(record);
     d.attempt_id = register_attempt(d.task, d.placement, now, /*speculative=*/false);
     sink_.record(trace::Event{.kind = trace::EventKind::TaskSchedule,
                               .task_id = d.task,
@@ -102,6 +160,7 @@ std::vector<Dispatch> Engine::schedule(double now) {
                               .cores = d.placement.cores,
                               .t_start = now,
                               .t_end = now});
+    dispatches.push_back(std::move(d));
   }
   return dispatches;
 }
@@ -117,15 +176,17 @@ double Engine::attempt_timeout(TaskId task) const {
 }
 
 std::uint64_t Engine::register_attempt(TaskId task, const Placement& placement, double now,
-                                       bool speculative) {
+                                       bool speculative, bool recovery) {
   TaskRecord& record = graph_.task(task);
   ++running_;
   ++record.running_attempts;
+  health_.on_placement(static_cast<std::size_t>(placement.node));
   Attempt attempt;
   attempt.task = task;
   attempt.placement = placement;
   attempt.start = now;
   attempt.speculative = speculative;
+  attempt.recovery = recovery;
   const double timeout = attempt_timeout(task);
   attempt.deadline = (!backend_preempts_timeouts_ && timeout > 0.0)
                          ? now + timeout
@@ -139,7 +200,11 @@ Engine::BodyJob Engine::prepare_body(TaskId task) const {
   const TaskRecord& record = graph_.task(task);
   BodyJob job;
   job.task = task;
-  job.attempt = record.attempts_made + 1;
+  // A lineage recompute replays the attempt that originally succeeded, so
+  // its per-attempt seed (and thus any seeded randomness in the body) is
+  // identical and the recomputed value matches bit for bit.
+  job.attempt = record.recovering && record.state == TaskState::Done ? record.succeeded_attempt
+                                                                     : record.attempts_made + 1;
   job.body = record.implementation_body(record.active_variant);
   job.bindings = record.bindings;
   job.seed = options_.seed ^ (task * 0x9e3779b97f4a7c15ULL) ^
@@ -163,6 +228,11 @@ AttemptResult Engine::execute_prepared(const BodyJob& job, const Placement& plac
     result.return_value = job.body(ctx);
     result.writes = ctx.pending_writes();
     result.success = true;
+  } catch (const DataLostError& e) {
+    // An input's replicas died mid-flight. Flagged so the conclusion path
+    // re-queues the task behind lineage recovery without charging it.
+    result.error = e.what();
+    result.data_lost = true;
   } catch (const std::exception& e) {
     result.error = e.what();
   } catch (...) {
@@ -254,6 +324,7 @@ Engine::Completion Engine::complete_attempt(std::uint64_t attempt_id, AttemptRes
 
 Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResult result,
                                             double start, double end) {
+  if (attempt.recovery) return conclude_recovery(attempt, std::move(result), start, end);
   Completion completion;
   const TaskId task = attempt.task;
   const Placement& placement = attempt.placement;
@@ -261,6 +332,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
   resources_.release(placement);
   --running_;
   --record.running_attempts;
+  health_.on_conclusion(static_cast<std::size_t>(placement.node));
 
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                             .task_id = task,
@@ -303,9 +375,38 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
     return completion;
   }
 
+  if (!result.success && result.data_lost) {
+    // The body died reading data whose replicas went down with a node —
+    // not this task's fault. Re-queue it uncharged behind the recovery of
+    // whatever is still lost; lineage gating holds it until the inputs are
+    // recommitted. Only an *unrecoverable* input turns this into a real
+    // failure (charged below, doomed at gating).
+    bool doomed_input = false;
+    for (const ParamBinding& b : record.bindings) {
+      if (b.param.dir == Direction::Out) continue;
+      if (!graph_.registry().version_lost(b.param.data, b.read_version)) continue;
+      if (!demand_recovery(b.param.data, b.read_version, end)) doomed_input = true;
+    }
+    if (!doomed_input) {
+      sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
+                                .task_id = task,
+                                .attempt = record.attempts_made + 1,
+                                .task_name = record.def.name,
+                                .node = -1,
+                                .t_start = end,
+                                .t_end = end});
+      make_ready(task);
+      if (record.state == TaskState::Ready) completion.newly_ready.push_back(task);
+      return completion;
+    }
+  }
+
   ++record.attempts_made;
 
   if (result.success) {
+    record.succeeded_attempt = record.attempts_made;
+    if (!resources_.node_down(static_cast<std::size_t>(placement.node)))
+      health_.record_success(static_cast<std::size_t>(placement.node));
     speculation_.record(speculation_key(record), end - start);
     if (attempt.speculative)
       sink_.record(trace::Event{.kind = trace::EventKind::SpeculativeWin,
@@ -340,6 +441,15 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
                             .t_end = end});
   log_warn("engine", "task {} '{}' attempt {} failed on node {}: {}", task, record.def.name,
            record.attempts_made, placement.node, result.error);
+  if (!resources_.node_down(static_cast<std::size_t>(placement.node)) &&
+      health_.record_failure(static_cast<std::size_t>(placement.node))) {
+    sink_.record(trace::Event{.kind = trace::EventKind::Quarantine,
+                              .node = placement.node,
+                              .t_start = end,
+                              .t_end = end});
+    log_warn("engine", "node {} quarantined (failure score {:.2f})", placement.node,
+             health_.score(static_cast<std::size_t>(placement.node)));
+  }
 
   if (record.running_attempts > 0) {
     // A sibling attempt (the straggling original or a speculative
@@ -434,6 +544,10 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
 
 std::vector<Dispatch> Engine::on_wakeup(double now) {
   std::vector<Dispatch> launches;
+
+  // 0) Apply node membership changes whose time has come (deaths reap the
+  // node's attempts; rejoins restore capacity on probation).
+  process_node_events(now, launches);
 
   // 1) Reap in-flight attempts past their deadline. The failure is charged
   // now — a ThreadBackend body may still be running, but its completion
@@ -559,6 +673,7 @@ std::optional<double> Engine::next_wakeup(double now) const {
       consider(attempt.start + *threshold);
   }
   for (const DelayedRetry& d : delayed_) consider(d.ready_at);
+  if (next_node_event_ < node_events_.size()) consider(node_events_[next_node_event_].time);
   return wake;
 }
 
@@ -610,17 +725,320 @@ bool Engine::cancel(TaskId task, double now) {
   return true;
 }
 
-void Engine::fail_node(std::size_t node, double now) {
-  resources_.fail_node(node);
+void Engine::process_node_events(double now, std::vector<Dispatch>& out) {
+  while (next_node_event_ < node_events_.size() && node_events_[next_node_event_].time <= now) {
+    const NodeEvent event = node_events_[next_node_event_++];
+    if (event.up)
+      handle_node_up(event.node, now);
+    else
+      handle_node_down(event.node, now, out);
+  }
+}
+
+void Engine::handle_node_down(std::size_t node, double now, std::vector<Dispatch>& out) {
+  if (node >= resources_.node_count() || resources_.node_down(node)) return;
+  resources_.mark_node_down(node);
+  health_.on_node_down(node);
   sink_.record(trace::Event{.kind = trace::EventKind::NodeDown,
                             .node = static_cast<int>(node),
                             .t_start = now,
                             .t_end = now});
   log_warn("engine", "node {} failed at t={:.3f}", node, now);
+
+  // Reap every in-flight attempt touching the node (primary or any
+  // @multinode slice). The failure is charged now; if a worker thread is
+  // still inside the body, its completion arrives with an id the registry
+  // no longer knows and is dropped as stale.
+  std::vector<std::pair<std::uint64_t, Attempt>> hit;
+  for (const auto& [id, attempt] : inflight_) {
+    bool touches = attempt.placement.node == static_cast<int>(node);
+    for (const NodeSlice& slice : attempt.placement.secondary)
+      touches = touches || slice.node == static_cast<int>(node);
+    if (touches) hit.emplace_back(id, attempt);
+  }
+  for (auto& [id, attempt] : hit) {
+    inflight_.erase(id);
+    AttemptResult result;
+    result.error = "node " + std::to_string(node) + " failed";
+    Completion completion = conclude_attempt(attempt, std::move(result), attempt.start, now);
+    if (completion.retry) out.push_back(*completion.retry);
+  }
+
+  // Lineage bookkeeping: versions whose only replicas lived here are now
+  // lost. Recovery is demanded lazily — by gated ready tasks, by running
+  // consumers that hit DataLostError, or by wait_on.
+  for (const LostVersion& lv : graph_.registry().drop_node_replicas(static_cast<int>(node))) {
+    sink_.record(trace::Event{.kind = trace::EventKind::DataLost,
+                              .task_id = lv.producer,
+                              .node = static_cast<int>(node),
+                              .t_start = now,
+                              .t_end = now});
+    log_warn("engine", "d{}v{} lost with node {} (producer task {})", lv.data, lv.version, node,
+             lv.producer);
+  }
+
+  reap_infeasible();
+}
+
+void Engine::handle_node_up(std::size_t node, double now) {
+  if (node >= resources_.node_count() || !resources_.node_down(node)) return;
+  resources_.mark_node_up(node);
+  health_.on_node_up(node);
+  sink_.record(trace::Event{.kind = trace::EventKind::NodeUp,
+                            .node = static_cast<int>(node),
+                            .t_start = now,
+                            .t_end = now});
+  log_info("engine", "node {} rejoined at t={:.3f} (on probation)", node, now);
+}
+
+bool Engine::node_up_pending() const {
+  for (std::size_t i = next_node_event_; i < node_events_.size(); ++i)
+    if (node_events_[i].up) return true;
+  return false;
+}
+
+bool Engine::demand_recovery(DataId data, std::uint32_t version, double now) {
+  const TaskId producer = graph_.registry().producer(data, version);
+  if (producer == kNoTask) return false;
+  return enqueue_recovery(producer, now);
+}
+
+bool Engine::enqueue_recovery(TaskId producer, double now) {
+  if (unrecoverable_.contains(producer)) return false;
+  if (recovery_.contains(producer)) return true;
+  TaskRecord& record = graph_.task(producer);
+  // Only a task that committed once has anything to replay.
+  if (record.state != TaskState::Done) return false;
+  recovery_.emplace(producer, RecoveryJob{.task = producer});
+  record.recovering = true;
+  log_info("engine", "lineage: queueing recompute of task {} '{}'", producer, record.def.name);
+  // Walk the chain: the producer's own lost inputs must come back first.
+  // Terminates — a version's producer always has a smaller task id, and
+  // the recovery_ map memoizes visited tasks.
+  bool recoverable = true;
+  for (const ParamBinding& b : record.bindings) {
+    if (b.param.dir == Direction::Out) continue;
+    if (!graph_.registry().version_lost(b.param.data, b.read_version)) continue;
+    if (!demand_recovery(b.param.data, b.read_version, now)) recoverable = false;
+  }
+  if (!recoverable) {
+    recovery_.erase(producer);
+    record.recovering = false;
+    unrecoverable_.insert(producer);
+    return false;
+  }
+  return true;
+}
+
+void Engine::dispatch_recoveries(double now, std::vector<Dispatch>& out) {
+  if (recovery_.empty()) return;
+  std::vector<TaskId> doomed;
+  for (auto& [task, job] : recovery_) {
+    if (job.inflight) continue;
+    TaskRecord& record = graph_.task(task);
+    bool waiting = false;
+    bool input_doomed = false;
+    for (const ParamBinding& b : record.bindings) {
+      if (b.param.dir == Direction::Out) continue;
+      if (graph_.registry().has_value(b.param.data, b.read_version)) continue;
+      const TaskId producer = graph_.registry().producer(b.param.data, b.read_version);
+      if (producer == kNoTask || unrecoverable_.contains(producer)) {
+        input_doomed = true;
+        break;
+      }
+      waiting = true;  // the input's own recovery has not recommitted yet
+    }
+    if (input_doomed) {
+      doomed.push_back(task);
+      continue;
+    }
+    if (waiting) continue;
+
+    const Constraint& constraint = record.implementation_constraint(record.active_variant);
+    std::optional<Placement> placement;
+    if (constraint.nodes > 1) {
+      placement = resources_.try_allocate_multi(constraint, job.excluded_nodes);
+    } else {
+      for (std::size_t node = 0; node < resources_.node_count() && !placement; ++node) {
+        if (std::find(job.excluded_nodes.begin(), job.excluded_nodes.end(),
+                      static_cast<int>(node)) != job.excluded_nodes.end())
+          continue;
+        placement = resources_.try_allocate(node, constraint);
+      }
+    }
+    if (!placement) continue;  // resources busy; retried on a later round
+
+    job.inflight = true;
+    Dispatch d{.task = task, .placement = std::move(*placement), .variant = record.active_variant};
+    d.attempt_id = register_attempt(task, d.placement, now, /*speculative=*/false,
+                                    /*recovery=*/true);
+    sink_.record(trace::Event{.kind = trace::EventKind::LineageRecompute,
+                              .task_id = task,
+                              .attempt = record.succeeded_attempt,
+                              .task_name = record.def.name,
+                              .node = d.placement.node,
+                              .t_start = now,
+                              .t_end = now});
+    log_info("engine", "lineage: recomputing task {} '{}' on node {}", task, record.def.name,
+             d.placement.node);
+    out.push_back(std::move(d));
+  }
+  for (TaskId task : doomed) {
+    recovery_.erase(task);
+    graph_.task(task).recovering = false;
+    unrecoverable_.insert(task);
+    log_warn("engine", "lineage: task {} unrecoverable (an input can never be recomputed)", task);
+  }
+}
+
+Engine::Completion Engine::conclude_recovery(const Attempt& attempt, AttemptResult result,
+                                             double start, double end) {
+  Completion completion;
+  const TaskId task = attempt.task;
+  const std::size_t node = static_cast<std::size_t>(attempt.placement.node);
+  TaskRecord& record = graph_.task(task);
+  resources_.release(attempt.placement);
+  --running_;
+  --record.running_attempts;
+  health_.on_conclusion(node);
+
+  const auto it = recovery_.find(task);
+  if (it == recovery_.end()) return completion;  // job withdrawn while in flight
+  RecoveryJob& job = it->second;
+  job.inflight = false;
+
+  sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
+                            .task_id = task,
+                            .attempt = record.succeeded_attempt,
+                            .task_name = record.def.name,
+                            .node = attempt.placement.node,
+                            .cores = attempt.placement.cores,
+                            .gpus = attempt.placement.gpus,
+                            .t_start = start,
+                            .t_end = end});
+
+  if (result.success) {
+    if (!resources_.node_down(node)) health_.record_success(node);
+    // The recomputed outputs live where the recompute ran; commit clears
+    // the lost flags, unblocking gated consumers and wait_on. Task state is
+    // untouched — it was Done and stays Done with its original
+    // terminal_seq; only the data came back.
+    record.last_node = attempt.placement.node;
+    commit_outputs(record, result);
+    ++recoveries_done_;
+    record.recovering = false;
+    recovery_.erase(it);
+    log_info("engine", "lineage: task {} '{}' recomputed on node {}", task, record.def.name,
+             static_cast<int>(node));
+    return completion;
+  }
+
+  if (result.data_lost) {
+    // Its own input died again mid-recompute. Re-demand and retry without
+    // charging the job unless the chain is now unrecoverable.
+    bool chain_ok = true;
+    for (const ParamBinding& b : record.bindings) {
+      if (b.param.dir == Direction::Out) continue;
+      if (!graph_.registry().version_lost(b.param.data, b.read_version)) continue;
+      if (!demand_recovery(b.param.data, b.read_version, end)) chain_ok = false;
+    }
+    if (chain_ok) return completion;
+  }
+
+  if (!resources_.node_down(node) && health_.record_failure(node)) {
+    sink_.record(trace::Event{.kind = trace::EventKind::Quarantine,
+                              .node = attempt.placement.node,
+                              .t_start = end,
+                              .t_end = end});
+  }
+  ++job.attempts;
+  if (std::find(job.excluded_nodes.begin(), job.excluded_nodes.end(), attempt.placement.node) ==
+      job.excluded_nodes.end())
+    job.excluded_nodes.push_back(attempt.placement.node);
+  if (job.attempts >= options_.fault_policy.max_attempts) {
+    recovery_.erase(it);
+    record.recovering = false;
+    unrecoverable_.insert(task);
+    log_warn("engine", "lineage: recovery of task {} abandoned after {} attempts", task,
+             options_.fault_policy.max_attempts);
+    return completion;
+  }
+  // If the exclusion list now covers every live node, the failures are
+  // transient rather than node-specific: reset it so the remaining budget
+  // can still land somewhere.
+  bool any_allowed = false;
+  for (std::size_t n = 0; n < resources_.node_count() && !any_allowed; ++n) {
+    if (std::find(job.excluded_nodes.begin(), job.excluded_nodes.end(), static_cast<int>(n)) !=
+        job.excluded_nodes.end())
+      continue;
+    any_allowed = resources_.could_fit(n, record.implementation_constraint(record.active_variant));
+  }
+  if (!any_allowed) job.excluded_nodes.clear();
+  return completion;
+}
+
+Engine::VersionStatus Engine::request_version(DataId data, std::uint32_t version, double now) {
+  DataRegistry& registry = graph_.registry();
+  if (registry.has_value(data, version)) return VersionStatus::Available;
+  if (registry.version_lost(data, version)) {
+    const TaskId producer = registry.producer(data, version);
+    if (producer != kNoTask && unrecoverable_.contains(producer))
+      return VersionStatus::Unrecoverable;
+    return demand_recovery(data, version, now) ? VersionStatus::Recovering
+                                               : VersionStatus::Unrecoverable;
+  }
+  return VersionStatus::Recovering;  // producer has not committed yet
+}
+
+bool Engine::inputs_ready(const TaskRecord& record, double now, bool& doomed) {
+  bool ready = true;
+  for (const ParamBinding& b : record.bindings) {
+    if (b.param.dir == Direction::Out) continue;
+    if (!graph_.registry().version_lost(b.param.data, b.read_version)) continue;
+    ready = false;
+    if (!demand_recovery(b.param.data, b.read_version, now)) doomed = true;
+  }
+  return ready;
+}
+
+void Engine::check_input_liveness(const TaskRecord& record) {
+  const DataRegistry& registry = graph_.registry();
+  for (const ParamBinding& b : record.bindings) {
+    if (b.param.dir == Direction::Out) continue;
+    if (registry.available_everywhere(b.param.data, b.read_version)) continue;
+    const std::set<int> locs = registry.locations(b.param.data, b.read_version);
+    if (locs.empty()) continue;  // main-program data, staged on demand
+    bool live = false;
+    for (int n : locs)
+      if (n >= 0 && !resources_.node_down(static_cast<std::size_t>(n))) live = true;
+    if (!live) {
+      ++lineage_violations_;
+      log_warn("engine", "invariant violation: task {} dispatched with no live replica of d{}v{}",
+               record.id, b.param.data, b.read_version);
+    }
+  }
 }
 
 bool Engine::reap_infeasible() {
+  // Capacity that is scheduled to return is not gone: while a rejoin event
+  // is pending, tasks wait for it instead of failing.
+  if (node_up_pending()) return false;
   bool progressed = false;
+  // With every node dead (and none returning), pending lineage recoveries
+  // can never run — abandon them so barriers terminate.
+  if (!recovery_.empty()) {
+    bool any_live = false;
+    for (std::size_t node = 0; node < resources_.node_count() && !any_live; ++node)
+      any_live = !resources_.node_down(node);
+    if (!any_live) {
+      for (auto& [task, job] : recovery_) {
+        graph_.task(task).recovering = false;
+        unrecoverable_.insert(task);
+      }
+      recovery_.clear();
+      progressed = true;
+    }
+  }
   for (std::size_t i = 0; i < ready_.size();) {
     TaskRecord& record = graph_.task(ready_[i]);
     bool feasible = false;

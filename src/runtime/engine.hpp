@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "runtime/data_registry.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/graph.hpp"
+#include "runtime/node_health.hpp"
 #include "runtime/resources.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
@@ -43,6 +45,10 @@ namespace chpo::rt {
 struct AttemptResult {
   bool success = false;
   std::string error;
+  /// The body died reading an input whose replicas were lost with a node
+  /// (DataLostError). Not the task's fault: the engine re-queues it behind
+  /// lineage recovery without charging the attempt.
+  bool data_lost = false;
   std::any return_value;
   std::vector<std::pair<std::size_t, std::any>> writes;  ///< staged ctx writes
 };
@@ -51,6 +57,7 @@ struct EngineOptions {
   std::string scheduler = "priority";
   FaultPolicy fault_policy;
   SpeculationPolicy speculation;
+  NodeHealthPolicy node_health;
   std::uint64_t seed = 42;  ///< base seed for per-attempt task RNGs
 };
 
@@ -163,19 +170,46 @@ class Engine {
   /// ends Cancelled. Returns false iff the task was already terminal.
   bool cancel(TaskId task, double now);
 
-  /// Mark a node as dead at time `now`. The backend must subsequently call
-  /// complete_attempt(success=false) for every task it was running there.
-  void fail_node(std::size_t node, double now);
+  /// Inject a node membership change at `time` (virtual seconds on the
+  /// simulation backend, wall-clock seconds on the threaded one). The event
+  /// fires from on_wakeup()/schedule() once the clock reaches it — this is
+  /// the chaos hook Runtime::kill_node/revive_node use, and the same queue
+  /// the injector's scheduled/MTTF-sampled timeline is loaded into at
+  /// construction.
+  void inject_node_event(std::size_t node, double time, bool up);
 
   /// After a node death, ready tasks whose constraints no longer fit any
   /// live node must fail rather than wait forever. Returns true if any task
-  /// transitioned (progress was made).
+  /// transitioned (progress was made). A no-op while a node rejoin is still
+  /// scheduled: capacity that will return is not gone.
   bool reap_infeasible();
 
-  /// Node deaths the injector has scheduled (consumed by SimBackend).
-  const std::vector<NodeFailureEvent>& node_failure_events() const {
-    return injector_.node_failures();
-  }
+  /// Lineage status of (data, version) as seen by wait_on.
+  enum class VersionStatus {
+    Available,      ///< committed and readable now
+    Recovering,     ///< lost or pending; recovery demanded / producer running
+    Unrecoverable,  ///< lost and recovery attempts are exhausted
+  };
+  /// Ask for (data, version), demanding lineage recovery if its replicas
+  /// died. Coordinator thread only.
+  VersionStatus request_version(DataId data, std::uint32_t version, double now);
+
+  /// all_terminal() plus no lineage-recovery work pending or in flight —
+  /// the barrier condition: a run is only over once lost data demanded by
+  /// someone has been recomputed (or proven unrecoverable).
+  bool quiescent() const { return all_terminal() && recovery_.empty(); }
+
+  /// Successful lineage recomputations so far.
+  std::size_t lineage_recoveries() const { return recoveries_done_; }
+  /// Tasks whose recovery was abandoned (attempt budget exhausted).
+  std::size_t unrecoverable_count() const { return unrecoverable_.size(); }
+  /// Dispatches that violated the replica-liveness invariant: an In/InOut
+  /// input that was neither available everywhere nor resident on a live
+  /// node at launch time. Always 0 unless lineage gating has a bug — the
+  /// chaos tests assert on it.
+  std::uint64_t lineage_violations() const { return lineage_violations_; }
+
+  const NodeHealth& node_health() const { return health_; }
 
   /// Deliver queued terminal notifications to the listener, in completion
   /// order. Must only be called when no TaskRecord references are held:
@@ -191,6 +225,7 @@ class Engine {
   std::size_t running_count() const { return running_; }
 
   ResourceState& resources() { return resources_; }
+  const ResourceState& resources() const { return resources_; }
   const TaskGraph& graph() const { return graph_; }
   trace::TraceSink& sink() { return sink_; }
   const EngineOptions& options() const { return options_; }
@@ -205,6 +240,22 @@ class Engine {
     /// backend preempts timeouts itself (sim).
     double deadline = 0.0;
     bool speculative = false;
+    /// Lineage re-execution of a Done task: concluded by conclude_recovery
+    /// (recommits data, never touches task state).
+    bool recovery = false;
+  };
+  /// A scheduled node membership change, time-ordered.
+  struct NodeEvent {
+    double time = 0.0;
+    std::size_t node = 0;
+    bool up = false;
+  };
+  /// Pending lineage re-execution of one Done task.
+  struct RecoveryJob {
+    TaskId task = kNoTask;
+    int attempts = 0;                 ///< recovery attempts already charged
+    std::vector<int> excluded_nodes;  ///< nodes that failed a recovery try
+    bool inflight = false;
   };
   /// A failed task waiting out its exponential-backoff delay.
   struct DelayedRetry {
@@ -222,13 +273,36 @@ class Engine {
   void mark_terminal(TaskId task);
   /// Track a newly placed attempt; stamps running state and the deadline.
   std::uint64_t register_attempt(TaskId task, const Placement& placement, double now,
-                                 bool speculative);
+                                 bool speculative, bool recovery = false);
   /// Shared tail of complete_attempt and timeout reaping.
   Completion conclude_attempt(const Attempt& attempt, AttemptResult result, double start,
                               double end);
+  /// Tail for lineage-recovery attempts: recommit the recomputed outputs
+  /// (or charge the job and retry elsewhere). Task state is never touched.
+  Completion conclude_recovery(const Attempt& attempt, AttemptResult result, double start,
+                               double end);
   /// Launch duplicates for straggling attempts (appends to `out`).
   void check_speculation(double now, std::vector<Dispatch>& out);
   std::string speculation_key(const TaskRecord& record) const;
+
+  /// Pop node events whose time has come; down events reap that node's
+  /// in-flight attempts (retry dispatches appended to `out`).
+  void process_node_events(double now, std::vector<Dispatch>& out);
+  void handle_node_down(std::size_t node, double now, std::vector<Dispatch>& out);
+  void handle_node_up(std::size_t node, double now);
+  /// Queue the producer of a lost (data, version) for re-execution,
+  /// recursively demanding its own lost inputs. False iff unrecoverable.
+  bool demand_recovery(DataId data, std::uint32_t version, double now);
+  bool enqueue_recovery(TaskId producer, double now);
+  /// Place recovery jobs whose inputs are all committed again (appends
+  /// dispatches to `out`).
+  void dispatch_recoveries(double now, std::vector<Dispatch>& out);
+  /// True when every In/InOut input of `record` is readable. Lost inputs
+  /// demand recovery; an unrecoverable input sets `doomed`.
+  bool inputs_ready(const TaskRecord& record, double now, bool& doomed);
+  /// Count replica-liveness violations for a dispatch (invariant 5).
+  void check_input_liveness(const TaskRecord& record);
+  bool node_up_pending() const;
 
   TaskGraph& graph_;
   ResourceState resources_;
@@ -237,7 +311,16 @@ class Engine {
   FaultInjector injector_;
   trace::TraceSink& sink_;
   SpeculationTracker speculation_;
+  NodeHealth health_;
   std::vector<TaskId> ready_;  ///< submission-ordered ready queue
+  /// Time-ordered membership changes not yet applied (injector timeline +
+  /// chaos hooks). Consumed front to back; kept sorted past the cursor.
+  std::vector<NodeEvent> node_events_;
+  std::size_t next_node_event_ = 0;
+  std::map<TaskId, RecoveryJob> recovery_;  ///< pending lineage re-executions
+  std::set<TaskId> unrecoverable_;          ///< recovery budget exhausted
+  std::size_t recoveries_done_ = 0;
+  std::uint64_t lineage_violations_ = 0;
   /// In-flight attempts by id. Insertion-ordered (ids ascend), so walks
   /// visit older attempts first.
   std::map<std::uint64_t, Attempt> inflight_;

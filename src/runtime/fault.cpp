@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace chpo::rt {
 
@@ -45,6 +46,54 @@ double SpeculationTracker::effective_timeout(const std::string& key, double def_
 std::size_t SpeculationTracker::observations(const std::string& key) const {
   const auto it = samples_.find(key);
   return it == samples_.end() ? 0 : it->second.size();
+}
+
+void FaultInjector::materialize_node_schedule(std::size_t n_nodes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (chaos_materialized_ || chaos_.mttf_seconds <= 0.0 || n_nodes == 0) return;
+  chaos_materialized_ = true;
+
+  const auto exp_draw = [this](double mean) {
+    // Inverse-CDF sample; 1-u in (0,1] keeps log() finite.
+    const double u = rng_.next_double();
+    return -mean * std::log(std::max(1e-12, 1.0 - u));
+  };
+
+  // Sample each node's alternating up/down timeline, then admit failures in
+  // global time order only while at least one other node stays live — chaos
+  // degrades a run, it must not strand the whole cluster.
+  struct Outage {
+    std::size_t node;
+    double fail_at;
+    double recover_at;  ///< infinity = permanent
+  };
+  std::vector<Outage> outages;
+  for (std::size_t node = 0; node < n_nodes; ++node) {
+    double t = exp_draw(chaos_.mttf_seconds);
+    while (t < chaos_.horizon_seconds) {
+      if (chaos_.mttr_seconds <= 0.0) {
+        outages.push_back(Outage{node, t, std::numeric_limits<double>::infinity()});
+        break;
+      }
+      const double back = t + exp_draw(chaos_.mttr_seconds);
+      outages.push_back(Outage{node, t, back});
+      t = back + exp_draw(chaos_.mttf_seconds);
+    }
+  }
+  std::sort(outages.begin(), outages.end(),
+            [](const Outage& a, const Outage& b) { return a.fail_at < b.fail_at; });
+
+  std::vector<double> down_until(n_nodes, -1.0);  ///< recovery time while down
+  for (const Outage& o : outages) {
+    std::size_t live = 0;
+    for (std::size_t node = 0; node < n_nodes; ++node)
+      if (node != o.node && down_until[node] < o.fail_at) ++live;
+    if (live == 0) continue;  // would kill the last live node: skip
+    down_until[o.node] = o.recover_at;
+    node_failures_.push_back(NodeFailureEvent{.node = o.node, .time = o.fail_at});
+    if (std::isfinite(o.recover_at))
+      node_recoveries_.push_back(NodeRecoveryEvent{.node = o.node, .time = o.recover_at});
+  }
 }
 
 bool FaultInjector::should_fail(TaskId task, int attempt) {

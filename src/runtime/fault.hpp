@@ -99,6 +99,25 @@ struct NodeFailureEvent {
   double time = 0.0;
 };
 
+/// A node rejoin scheduled at a virtual time. A failure with no later
+/// recovery for the same node is permanent; pairing the two makes the
+/// outage transient.
+struct NodeRecoveryEvent {
+  std::size_t node = 0;
+  double time = 0.0;
+};
+
+/// Probabilistic per-node churn: every node alternates exponentially
+/// distributed up intervals (mean mttf_seconds) and outages (mean
+/// mttr_seconds), sampled deterministically from the injector seed up to
+/// horizon_seconds. mttr_seconds <= 0 makes every sampled failure
+/// permanent.
+struct NodeChaosPolicy {
+  double mttf_seconds = 0.0;  ///< <= 0 disables probabilistic churn
+  double mttr_seconds = 0.0;
+  double horizon_seconds = 3600.0;
+};
+
 class FaultInjector {
  public:
   FaultInjector() : rng_(0) {}
@@ -111,27 +130,53 @@ class FaultInjector {
       : rng_(other.rng_),
         task_failure_prob_(other.task_failure_prob_),
         forced_(other.forced_),
-        node_failures_(other.node_failures_) {}
+        node_failures_(other.node_failures_),
+        node_recoveries_(other.node_recoveries_),
+        chaos_(other.chaos_) {}
   FaultInjector& operator=(const FaultInjector& other) {
     rng_ = other.rng_;
     task_failure_prob_ = other.task_failure_prob_;
     forced_ = other.forced_;
     node_failures_ = other.node_failures_;
+    node_recoveries_ = other.node_recoveries_;
+    chaos_ = other.chaos_;
     return *this;
   }
 
   /// Force the first `n_failures` attempts of `task` to fail (deterministic).
   void force_task_failures(TaskId task, int n_failures) { forced_[task] = n_failures; }
 
-  /// Schedule a node death (consumed by the simulation backend).
+  /// Schedule a permanent node death (paired with schedule_node_recovery
+  /// for a transient outage). Times are virtual seconds on the simulation
+  /// backend and wall-clock seconds on the threaded one.
   void schedule_node_failure(std::size_t node, double time) {
     node_failures_.push_back(NodeFailureEvent{.node = node, .time = time});
   }
+
+  /// Schedule the node's rejoin, turning a scheduled failure transient.
+  void schedule_node_recovery(std::size_t node, double time) {
+    node_recoveries_.push_back(NodeRecoveryEvent{.node = node, .time = time});
+  }
+
+  /// Enable probabilistic per-node MTTF/MTTR churn. The concrete timeline
+  /// is sampled by materialize_node_schedule once the cluster size is
+  /// known (the engine calls it at construction).
+  void set_node_chaos(NodeChaosPolicy chaos) { chaos_ = chaos; }
+  const NodeChaosPolicy& node_chaos() const { return chaos_; }
+  bool has_node_chaos() const { return chaos_.mttf_seconds > 0.0; }
+
+  /// Sample the MTTF/MTTR timeline for `n_nodes` into the scheduled
+  /// failure/recovery lists (deterministic in the injector seed).
+  /// Failures that would leave the cluster with no live node are skipped —
+  /// chaos should degrade a run, not make it impossible. Idempotent: the
+  /// schedule is materialized at most once.
+  void materialize_node_schedule(std::size_t n_nodes);
 
   /// Decide whether this attempt fails by injection. `attempt` is 1-based.
   bool should_fail(TaskId task, int attempt);
 
   const std::vector<NodeFailureEvent>& node_failures() const { return node_failures_; }
+  const std::vector<NodeRecoveryEvent>& node_recoveries() const { return node_recoveries_; }
   bool any_injection() const { return task_failure_prob_ > 0.0 || !forced_.empty(); }
 
  private:
@@ -143,6 +188,9 @@ class FaultInjector {
   double task_failure_prob_ = 0.0;
   std::map<TaskId, int> forced_;  ///< task -> remaining forced failures
   std::vector<NodeFailureEvent> node_failures_;
+  std::vector<NodeRecoveryEvent> node_recoveries_;
+  NodeChaosPolicy chaos_;
+  bool chaos_materialized_ = false;
 };
 
 }  // namespace chpo::rt

@@ -48,6 +48,14 @@ struct TaskRecord {
   /// Completion-order stamp (1-based); 0 while the task is not yet
   /// terminal. wait_any uses it to pick the *first* finisher.
   std::uint64_t terminal_seq = 0;
+  /// Attempt number (1-based) of the attempt whose outputs were committed.
+  /// Lineage recovery replays this attempt so injected-failure draws and
+  /// seeds line up and the recomputed value is bit-identical.
+  int succeeded_attempt = 0;
+  /// A lineage-recovery re-execution of this (Done) task is pending or in
+  /// flight. Recovery never reopens task state — the task stays Done and
+  /// keeps its terminal_seq; only its output data is recommitted.
+  bool recovering = false;
 
   const Constraint& implementation_constraint(int variant) const {
     return variant < 0 ? def.constraint

@@ -1,0 +1,83 @@
+#include "runtime/node_health.hpp"
+
+#include <algorithm>
+
+namespace chpo::rt {
+
+bool NodeHealth::record_failure(std::size_t node) {
+  if (!policy_.enabled) return false;
+  ensure_node(node);
+  Entry& e = nodes_[node];
+  e.score = policy_.alpha * 1.0 + (1.0 - policy_.alpha) * e.score;
+  ++e.observations;
+  e.probation_streak = 0;
+  if (e.state == HealthState::Healthy && e.observations >= policy_.min_observations &&
+      e.score >= policy_.quarantine_threshold) {
+    e.state = HealthState::Quarantined;
+    return true;
+  }
+  return false;
+}
+
+bool NodeHealth::record_success(std::size_t node) {
+  if (!policy_.enabled) return false;
+  ensure_node(node);
+  Entry& e = nodes_[node];
+  e.score = (1.0 - policy_.alpha) * e.score;
+  ++e.observations;
+  if (e.state == HealthState::Healthy) return false;
+  ++e.probation_streak;
+  if (e.probation_streak >= std::max(1, policy_.probation_successes) &&
+      e.score < policy_.quarantine_threshold) {
+    e.state = HealthState::Healthy;
+    e.probation_streak = 0;
+    return true;
+  }
+  return false;
+}
+
+void NodeHealth::on_node_down(std::size_t node) {
+  ensure_node(node);
+  nodes_[node].inflight = 0;
+}
+
+void NodeHealth::on_node_up(std::size_t node) {
+  ensure_node(node);
+  Entry& e = nodes_[node];
+  // A returning node must re-earn trust: probation caps its concurrency
+  // until probation_successes clean runs land.
+  e.state = HealthState::Probation;
+  e.probation_streak = 0;
+  e.inflight = 0;
+}
+
+void NodeHealth::on_placement(std::size_t node) {
+  ensure_node(node);
+  ++nodes_[node].inflight;
+}
+
+void NodeHealth::on_conclusion(std::size_t node) {
+  ensure_node(node);
+  nodes_[node].inflight = std::max(0, nodes_[node].inflight - 1);
+}
+
+bool NodeHealth::allow_placement(std::size_t node) const {
+  if (!policy_.enabled || node >= nodes_.size()) return true;
+  const Entry& e = nodes_[node];
+  if (e.state == HealthState::Healthy) return true;
+  return e.inflight < std::max(1, policy_.probation_tasks);
+}
+
+HealthState NodeHealth::state(std::size_t node) const {
+  return node < nodes_.size() ? nodes_[node].state : HealthState::Healthy;
+}
+
+double NodeHealth::score(std::size_t node) const {
+  return node < nodes_.size() ? nodes_[node].score : 0.0;
+}
+
+int NodeHealth::observations(std::size_t node) const {
+  return node < nodes_.size() ? nodes_[node].observations : 0;
+}
+
+}  // namespace chpo::rt

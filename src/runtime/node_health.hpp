@@ -1,0 +1,86 @@
+// Per-node health scoring and quarantine.
+//
+// Every attempt outcome feeds an exponentially weighted failure score per
+// node. A node whose score crosses the quarantine threshold stops
+// receiving new placements except for a trickle of probation tasks; enough
+// probation successes re-admit it. A node that rejoins after an outage
+// (elastic membership) starts on probation rather than fully trusted —
+// flaky hardware tends to stay flaky.
+//
+// Coordinator-thread only: the engine records outcomes and the schedulers
+// consult allow_placement from the same drive loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace chpo::rt {
+
+struct NodeHealthPolicy {
+  bool enabled = true;
+  /// EWMA smoothing: score = alpha * outcome + (1 - alpha) * score, where
+  /// outcome is 1 for a failure and 0 for a success.
+  double alpha = 0.3;
+  /// Score at or above which a node is quarantined.
+  double quarantine_threshold = 0.6;
+  /// Outcomes observed on a node before it can be quarantined — one early
+  /// failure must not condemn a node.
+  int min_observations = 3;
+  /// Concurrent placements allowed on a quarantined/probation node.
+  int probation_tasks = 1;
+  /// Consecutive probation successes that restore Healthy.
+  int probation_successes = 2;
+};
+
+enum class HealthState { Healthy, Quarantined, Probation };
+
+class NodeHealth {
+ public:
+  NodeHealth() = default;
+  NodeHealth(NodeHealthPolicy policy, std::size_t n_nodes)
+      : policy_(policy), nodes_(n_nodes) {}
+
+  /// Register nodes added after construction (elastic growth).
+  void ensure_node(std::size_t node) {
+    if (node >= nodes_.size()) nodes_.resize(node + 1);
+  }
+
+  /// Record an attempt outcome on `node`. Returns true when the node
+  /// *entered* quarantine on this observation (so the caller can trace it).
+  bool record_failure(std::size_t node);
+  /// Returns true when the node was re-admitted to Healthy on this success.
+  bool record_success(std::size_t node);
+
+  /// Membership transitions. A node that comes back up starts on probation
+  /// with a neutral score; going down clears its in-flight counter.
+  void on_node_down(std::size_t node);
+  void on_node_up(std::size_t node);
+
+  /// Placement bookkeeping: the engine reports dispatch/conclusion so the
+  /// probation concurrency cap can be enforced.
+  void on_placement(std::size_t node);
+  void on_conclusion(std::size_t node);
+
+  /// Whether the scheduler may start a new task on `node` right now.
+  bool allow_placement(std::size_t node) const;
+
+  HealthState state(std::size_t node) const;
+  double score(std::size_t node) const;
+  int observations(std::size_t node) const;
+  const NodeHealthPolicy& policy() const { return policy_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Entry {
+    double score = 0.0;
+    int observations = 0;
+    int probation_streak = 0;  ///< consecutive successes while not Healthy
+    int inflight = 0;
+    HealthState state = HealthState::Healthy;
+  };
+
+  NodeHealthPolicy policy_;
+  std::vector<Entry> nodes_;
+};
+
+}  // namespace chpo::rt

@@ -131,13 +131,24 @@ std::size_t ResourceState::add_node(const cluster::NodeSpec& node) {
   return index;
 }
 
-void ResourceState::fail_node(std::size_t node) {
+void ResourceState::mark_node_down(std::size_t node) {
   if (node >= nodes_.size()) throw std::out_of_range("ResourceState: unknown node");
   nodes_[node].down = true;
 }
 
+void ResourceState::mark_node_up(std::size_t node) {
+  if (node >= nodes_.size()) throw std::out_of_range("ResourceState: unknown node");
+  NodeState& n = nodes_[node];
+  n.down = false;
+  // Every attempt that held slots here was concluded (and released) when
+  // the node went down; a rejoining node starts from a clean slate.
+  n.core_busy.assign(n.core_busy.size(), false);
+  n.gpu_busy.assign(n.gpu_busy.size(), false);
+}
+
 bool ResourceState::node_down(std::size_t node) const {
-  return node < nodes_.size() && nodes_[node].down;
+  if (node >= nodes_.size()) throw std::out_of_range("ResourceState: unknown node");
+  return nodes_[node].down;
 }
 
 unsigned ResourceState::free_cpus(std::size_t node) const {

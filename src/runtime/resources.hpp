@@ -49,9 +49,20 @@ class ResourceState {
   /// to request more nodes", §6.1 — here even mid-run). Returns its index.
   std::size_t add_node(const cluster::NodeSpec& node);
 
-  /// Mark a node as failed; its slots become unallocatable.
-  void fail_node(std::size_t node);
+  /// Mark a node as failed; its slots become unallocatable. Throws
+  /// std::out_of_range on an unknown node index — node_down and
+  /// mark_node_up validate identically, so a bad index surfaces the same
+  /// way on every membership path instead of being silently answered.
+  void mark_node_down(std::size_t node);
+  /// Bring a previously failed node back (elastic rejoin). All of its
+  /// slots return free: attempts that were running there were already
+  /// concluded as failures when the node went down. Throws
+  /// std::out_of_range on an unknown node index.
+  void mark_node_up(std::size_t node);
   bool node_down(std::size_t node) const;
+
+  /// Historical alias for mark_node_down.
+  void fail_node(std::size_t node) { mark_node_down(node); }
 
   unsigned free_cpus(std::size_t node) const;
   unsigned free_gpus(std::size_t node) const;

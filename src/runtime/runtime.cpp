@@ -13,6 +13,7 @@ Runtime::Runtime(RuntimeOptions options)
               EngineOptions{.scheduler = options_.scheduler,
                             .fault_policy = options_.fault_policy,
                             .speculation = options_.speculation,
+                            .node_health = options_.node_health,
                             .seed = options_.seed},
               options_.injector, sink_) {
   if (options_.cluster.nodes.empty())
@@ -92,6 +93,21 @@ std::any Runtime::wait_on(const Future& future) {
   const TaskRecord& record = graph_.task(future.producer);
   if (record.state != TaskState::Done)
     throw TaskFailedError(future.producer, record.failure_reason);
+  // The producer is Done, but its output may have been lost with a node
+  // since it committed. Demand lineage recovery and drive the backend until
+  // the version is recommitted (or proven unrecoverable: the chain reaches
+  // a permanently failed producer or every node is gone).
+  auto status = engine_.request_version(future.data, future.version, backend_->now());
+  if (status == Engine::VersionStatus::Recovering) {
+    backend_->run_until_condition([this, &future, &status] {
+      status = engine_.request_version(future.data, future.version, backend_->now());
+      return status != Engine::VersionStatus::Recovering;
+    });
+  }
+  if (status == Engine::VersionStatus::Unrecoverable)
+    throw TaskFailedError(future.producer, "output lost with node " +
+                                               std::to_string(record.last_node) +
+                                               " and could not be recovered through lineage");
   return graph_.registry().value(future.data, future.version);
 }
 

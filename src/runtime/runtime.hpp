@@ -59,6 +59,7 @@ struct RuntimeOptions {
   SimOptions sim;         ///< used when simulate == true
   FaultPolicy fault_policy;
   SpeculationPolicy speculation;  ///< straggler detection + duplicate attempts
+  NodeHealthPolicy node_health;   ///< flaky-node quarantine + probation
   FaultInjector injector;
   std::uint64_t seed = 42;
 };
@@ -128,6 +129,20 @@ class Runtime {
   /// Returns the new node's index.
   std::size_t add_node(const cluster::NodeSpec& node);
 
+  /// Chaos hooks: take a node down / bring it back at the current backend
+  /// time. Running attempts on a killed node are reaped and retried; data
+  /// whose only replica lived there is recovered through lineage. A revived
+  /// node re-enters on probation (see NodeHealthPolicy). Throws
+  /// std::out_of_range for an unknown node index.
+  void kill_node(std::size_t node) {
+    engine_.inject_node_event(node, backend_->now(), false);
+    backend_->poke();  // apply now: reap attempts, drop replicas
+  }
+  void revive_node(std::size_t node) {
+    engine_.inject_node_event(node, backend_->now(), true);
+    backend_->poke();
+  }
+
   /// compss_wait_on: block until the future's producer finished; returns
   /// its value. Throws TaskFailedError if it permanently failed.
   std::any wait_on(const Future& future);
@@ -193,6 +208,19 @@ class Runtime {
   const TaskGraph& graph() const { return graph_; }
   const cluster::ClusterSpec& cluster_spec() const { return options_.cluster; }
   std::size_t task_count() const { return graph_.size(); }
+
+  /// Per-node failure-rate tracker driving quarantine/probation decisions.
+  const NodeHealth& node_health() const { return engine_.node_health(); }
+  /// Lineage recomputations executed so far (recovery attempts that
+  /// recommitted lost data).
+  std::size_t lineage_recoveries() const { return engine_.lineage_recoveries(); }
+  /// Lost versions whose lineage could not be replayed (producer failed
+  /// permanently or every node died).
+  std::size_t unrecoverable_count() const { return engine_.unrecoverable_count(); }
+  /// Invariant violations: dispatches that consumed a datum with no live
+  /// replica. Always 0 unless recovery bookkeeping is broken.
+  std::uint64_t lineage_violations() const { return engine_.lineage_violations(); }
+  const ResourceState& resources() const { return engine_.resources(); }
 
  private:
   void on_task_terminal(TaskId task, TaskState state);

@@ -13,6 +13,10 @@ bool node_excluded(const TaskRecord& task, std::size_t node) {
          task.excluded_nodes.end();
 }
 
+bool health_allows(const NodeHealth* health, std::size_t node) {
+  return health == nullptr || health->allow_placement(node);
+}
+
 /// Ready ids ordered by (priority desc, id asc). Stable and cheap: ready
 /// sets are small compared to the graph.
 std::vector<TaskId> priority_order(const std::vector<TaskId>& ready, const TaskGraph& graph) {
@@ -30,14 +34,22 @@ std::vector<TaskId> priority_order(const std::vector<TaskId>& ready, const TaskG
 /// multi-allocation path; locality ranking applies to single-node ones.
 std::optional<Placement> place_implementation(const TaskRecord& task, const Constraint& constraint,
                                               const TaskGraph& graph, ResourceState& resources,
-                                              bool locality_aware) {
-  if (constraint.nodes > 1) return resources.try_allocate_multi(constraint, task.excluded_nodes);
+                                              bool locality_aware, const NodeHealth* health) {
+  if (constraint.nodes > 1) {
+    std::vector<int> excluded = task.excluded_nodes;
+    if (health)
+      for (std::size_t node = 0; node < resources.node_count(); ++node)
+        if (!health->allow_placement(node)) excluded.push_back(static_cast<int>(node));
+    return resources.try_allocate_multi(constraint, excluded);
+  }
   if (locality_aware) {
     // Rank fitting nodes by resident input bytes; first-fit on ties.
     std::uint64_t best_bytes = 0;
     std::size_t best_node = resources.node_count();
     for (std::size_t node = 0; node < resources.node_count(); ++node) {
-      if (node_excluded(task, node) || !resources.could_fit(node, constraint)) continue;
+      if (node_excluded(task, node) || !health_allows(health, node) ||
+          !resources.could_fit(node, constraint))
+        continue;
       // Probe without committing: count bytes first, allocate later.
       const std::uint64_t bytes = local_input_bytes(task, graph.registry(), static_cast<int>(node));
       if (best_node == resources.node_count() || bytes > best_bytes) {
@@ -53,14 +65,15 @@ std::optional<Placement> place_implementation(const TaskRecord& task, const Cons
     return std::nullopt;
   }
   for (std::size_t node = 0; node < resources.node_count(); ++node) {
-    if (node_excluded(task, node)) continue;
+    if (node_excluded(task, node) || !health_allows(health, node)) continue;
     if (auto placement = resources.try_allocate(node, constraint)) return placement;
   }
   return std::nullopt;
 }
 
 std::vector<Dispatch> schedule_in_order(const std::vector<TaskId>& order, const TaskGraph& graph,
-                                        ResourceState& resources, bool locality_aware) {
+                                        ResourceState& resources, bool locality_aware,
+                                        const NodeHealth* health) {
   std::vector<Dispatch> out;
   for (TaskId id : order) {
     const TaskRecord& task = graph.task(id);
@@ -68,7 +81,7 @@ std::vector<Dispatch> schedule_in_order(const std::vector<TaskId>& order, const 
     const int n_variants = static_cast<int>(task.def.variants.size());
     for (int variant = -1; variant < n_variants; ++variant) {
       auto placement = place_implementation(task, task.implementation_constraint(variant), graph,
-                                            resources, locality_aware);
+                                            resources, locality_aware, health);
       if (placement) {
         out.push_back(
             Dispatch{.task = id, .placement = std::move(*placement), .variant = variant});
@@ -81,9 +94,10 @@ std::vector<Dispatch> schedule_in_order(const std::vector<TaskId>& order, const 
 
 }  // namespace
 
-std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& resources) {
+std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& resources,
+                                         const NodeHealth* health) {
   for (std::size_t node = 0; node < resources.node_count(); ++node) {
-    if (node_excluded(task, node)) continue;
+    if (node_excluded(task, node) || !health_allows(health, node)) continue;
     if (auto placement = resources.try_allocate(node, task.def.constraint)) return placement;
   }
   return std::nullopt;
@@ -112,17 +126,20 @@ std::uint64_t local_input_bytes(const TaskRecord& task, const DataRegistry& regi
 
 std::vector<Dispatch> FifoScheduler::schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
                                               ResourceState& resources) {
-  return schedule_in_order(ready, graph, resources, /*locality_aware=*/false);
+  return schedule_in_order(ready, graph, resources, /*locality_aware=*/false,
+                           effective_health(resources));
 }
 
 std::vector<Dispatch> PriorityScheduler::schedule(const std::vector<TaskId>& ready,
                                                   const TaskGraph& graph, ResourceState& resources) {
-  return schedule_in_order(priority_order(ready, graph), graph, resources, /*locality_aware=*/false);
+  return schedule_in_order(priority_order(ready, graph), graph, resources,
+                           /*locality_aware=*/false, effective_health(resources));
 }
 
 std::vector<Dispatch> LocalityScheduler::schedule(const std::vector<TaskId>& ready,
                                                   const TaskGraph& graph, ResourceState& resources) {
-  return schedule_in_order(priority_order(ready, graph), graph, resources, /*locality_aware=*/true);
+  return schedule_in_order(priority_order(ready, graph), graph, resources,
+                           /*locality_aware=*/true, effective_health(resources));
 }
 
 namespace {
@@ -158,6 +175,9 @@ std::vector<Dispatch> CostAwareScheduler::schedule(const std::vector<TaskId>& re
   // can never fit (and is then excluded from the best-achievable bound).
   constexpr double kSpillFactor = 2.0;
   const auto& spec = resources.spec();
+  // best_possible below stays ungated: quarantine is transient, so a
+  // quarantined node still bounds what the task could achieve later.
+  const NodeHealth* health = effective_health(resources);
 
   std::vector<Dispatch> out;
   for (TaskId id : priority_order(ready, graph)) {
@@ -184,7 +204,11 @@ std::vector<Dispatch> CostAwareScheduler::schedule(const std::vector<TaskId>& re
     for (int variant = -1; variant < n_variants; ++variant) {
       const Constraint& constraint = task.implementation_constraint(variant);
       if (constraint.nodes > 1) {
-        if (auto probe = resources.try_allocate_multi(constraint, task.excluded_nodes)) {
+        std::vector<int> excluded = task.excluded_nodes;
+        if (health)
+          for (std::size_t node = 0; node < resources.node_count(); ++node)
+            if (!health->allow_placement(node)) excluded.push_back(static_cast<int>(node));
+        if (auto probe = resources.try_allocate_multi(constraint, excluded)) {
           const double seconds = estimated_seconds(
               task, variant, *probe, spec.nodes[static_cast<std::size_t>(probe->node)]);
           if (seconds < best_fitting) {
@@ -199,7 +223,7 @@ std::vector<Dispatch> CostAwareScheduler::schedule(const std::vector<TaskId>& re
         continue;
       }
       for (std::size_t node = 0; node < resources.node_count(); ++node) {
-        if (node_excluded(task, node)) continue;
+        if (node_excluded(task, node) || !health_allows(health, node)) continue;
         auto probe = resources.try_allocate(node, constraint);
         if (!probe) continue;
         const double seconds = estimated_seconds(task, variant, *probe, spec.nodes[node]);

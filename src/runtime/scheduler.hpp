@@ -20,6 +20,7 @@
 
 #include "runtime/data_registry.hpp"
 #include "runtime/graph.hpp"
+#include "runtime/node_health.hpp"
 #include "runtime/resources.hpp"
 #include "runtime/types.hpp"
 
@@ -48,6 +49,28 @@ class Scheduler {
   /// placed there.
   virtual std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
                                          ResourceState& resources) = 0;
+
+  /// Health-gated placement: when a tracker is set, nodes it disallows
+  /// (quarantined/probation beyond their concurrency cap) receive no new
+  /// placements. Nullptr disables gating.
+  void set_health(const NodeHealth* health) { health_ = health; }
+
+ protected:
+  /// The tracker to gate this round with, or nullptr when gating would
+  /// block *every* node — a fully quarantined cluster must still make
+  /// progress, so gating falls away rather than deadlocking.
+  /// Note: the per-node concurrency cap is enforced against in-flight
+  /// counts updated at dispatch conclusion; a single scheduling round may
+  /// place a small batch above the cap. Accepted — the cap is a throttle,
+  /// not a hard isolation boundary.
+  const NodeHealth* effective_health(const ResourceState& resources) const {
+    if (!health_) return nullptr;
+    for (std::size_t node = 0; node < resources.node_count(); ++node)
+      if (!resources.node_down(node) && health_->allow_placement(node)) return health_;
+    return nullptr;
+  }
+
+  const NodeHealth* health_ = nullptr;
 };
 
 class FifoScheduler : public Scheduler {
@@ -87,8 +110,10 @@ class CostAwareScheduler : public Scheduler {
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
 
 /// Shared helper: first node (by index) that can take the task now,
-/// skipping the task's excluded nodes. Returns the placement or nullopt.
-std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& resources);
+/// skipping the task's excluded nodes and (when `health` is non-null)
+/// nodes the health tracker disallows. Returns the placement or nullopt.
+std::optional<Placement> place_first_fit(const TaskRecord& task, ResourceState& resources,
+                                         const NodeHealth* health = nullptr);
 
 /// Placement for a speculative duplicate of a straggling attempt: first
 /// node that satisfies `constraint` now, skipping the task's excluded

@@ -21,17 +21,10 @@ SimBackend::SimBackend(Engine& engine, SimOptions options)
     : engine_(engine), options_(options) {
   // Virtual-clock preemption happens at dispatch (the attempt's end event
   // is moved to its deadline), so the engine must not also arm reap
-  // deadlines for these attempts.
+  // deadlines for these attempts. Node deaths/rejoins need no loading
+  // here: the engine owns the membership timeline and surfaces it through
+  // next_wakeup()/on_wakeup().
   engine_.set_backend_preempts_timeouts(true);
-  for (const NodeFailureEvent& f : engine_.node_failure_events()) {
-    Ev ev;
-    ev.time = f.time;
-    ev.seq = seq_++;
-    ev.kind = EvKind::NodeFailure;
-    ev.node = f.node;
-    events_.push_back(std::move(ev));
-  }
-  std::make_heap(events_.begin(), events_.end(), EvLater{});
 }
 
 double SimBackend::task_duration(const TaskRecord& record, const Placement& placement) const {
@@ -92,7 +85,9 @@ void SimBackend::arm_wakeup() {
 }
 
 bool SimBackend::done(TaskId target) const {
-  return target == kNoTask ? engine_.all_terminal() : engine_.task_terminal(target);
+  // A barrier also waits out pending lineage recoveries (quiescent), so
+  // data lost to a node death is recomputed before control returns.
+  return target == kNoTask ? engine_.quiescent() : engine_.task_terminal(target);
 }
 
 bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
@@ -114,16 +109,7 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
     // Future duties (straggler thresholds, backoff expiries) become events.
     arm_wakeup();
 
-    // Find the next live event.
-    auto next_live = [this]() -> bool {
-      while (!events_.empty() && events_.front().cancelled) {
-        std::pop_heap(events_.begin(), events_.end(), EvLater{});
-        events_.pop_back();
-      }
-      return !events_.empty();
-    };
-
-    if (!next_live()) {
+    if (events_.empty()) {
       if (engine_.reap_infeasible()) {
         engine_.flush_notifications();
         continue;
@@ -146,35 +132,9 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
 
     if (ev.kind == EvKind::EngineWakeup) {
       // Loop back to the top: on_wakeup runs with the clock at the armed
-      // time, then re-arms for whatever duty is next.
+      // time (applying node deaths/rejoins at their exact virtual instant),
+      // then re-arms for whatever duty is next.
       armed_wakeup_ = -1.0;
-      continue;
-    }
-
-    if (ev.kind == EvKind::NodeFailure) {
-      engine_.fail_node(ev.node, now_);
-      // Every in-flight task on that node fails right now.
-      std::vector<Ev> victims;
-      for (Ev& pending : events_) {
-        if (pending.cancelled || pending.kind != EvKind::TaskEnd) continue;
-        bool touches_node = pending.placement.node == static_cast<int>(ev.node);
-        for (const NodeSlice& slice : pending.placement.secondary)
-          touches_node = touches_node || slice.node == static_cast<int>(ev.node);
-        if (touches_node) {
-          pending.cancelled = true;
-          Ev victim = pending;  // keep placement/task for completion
-          victims.push_back(std::move(victim));
-        }
-      }
-      for (Ev& victim : victims) {
-        AttemptResult failed;
-        failed.error = "node failure";
-        Engine::Completion completion =
-            engine_.complete_attempt(victim.attempt_id, std::move(failed), victim.start, now_);
-        if (completion.retry) dispatch(*completion.retry, true);
-      }
-      engine_.reap_infeasible();
-      engine_.flush_notifications();
       continue;
     }
 
@@ -203,7 +163,11 @@ void SimBackend::run_until_any(std::span<const TaskId> targets) {
 }
 
 bool SimBackend::run_for(double seconds) {
-  return drive([this] { return engine_.all_terminal(); }, now_ + seconds);
+  return drive([this] { return engine_.quiescent(); }, now_ + seconds);
+}
+
+void SimBackend::run_until_condition(const std::function<bool()>& finished) {
+  drive(finished, /*deadline=*/-1.0);
 }
 
 }  // namespace chpo::rt

@@ -34,10 +34,15 @@ class SimBackend : public Backend {
   void run_until(TaskId target) override;
   void run_until_any(std::span<const TaskId> targets) override;
   bool run_for(double seconds) override;
+  void run_until_condition(const std::function<bool()>& finished) override;
   bool simulated() const override { return true; }
 
  private:
-  enum class EvKind { TaskEnd, NodeFailure, EngineWakeup };
+  // Node deaths/rejoins are engine-owned events now: next_wakeup() exposes
+  // their times, an EngineWakeup lands the clock there, and on_wakeup
+  // applies them. A TaskEnd for an attempt the engine reaped (node death,
+  // timeout) completes as a stale no-op.
+  enum class EvKind { TaskEnd, EngineWakeup };
   struct Ev {
     double time = 0.0;
     std::uint64_t seq = 0;  ///< FIFO tie-break for equal times
@@ -48,9 +53,6 @@ class SimBackend : public Backend {
     Placement placement;
     AttemptResult result;
     double start = 0.0;  ///< when the body began (after staging)
-    // NodeFailure payload:
-    std::size_t node = 0;
-    bool cancelled = false;  ///< task died with its node before finishing
   };
 
   void dispatch(const Dispatch& d, bool inputs_already_staged);

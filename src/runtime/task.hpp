@@ -18,7 +18,9 @@
 
 #include <any>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "runtime/data_registry.hpp"
@@ -98,14 +100,17 @@ class TaskContext {
   /// Read parameter `index` (must be In or InOut) as type T.
   template <typename T>
   const T& read(std::size_t index) const {
-    const ParamBinding& b = binding(index);
-    return std::any_cast<const T&>(registry_.value(b.param.data, b.read_version));
+    return std::any_cast<const T&>(read_any(index));
   }
 
-  /// Raw any access (for generic plumbing).
+  /// Raw any access (for generic plumbing). Pins the bytes for the
+  /// context's lifetime: bodies may run on worker threads while the
+  /// coordinator drops a version (node death) or recommits it (lineage
+  /// recovery), so a bare registry reference would dangle.
   const std::any& read_any(std::size_t index) const {
     const ParamBinding& b = binding(index);
-    return registry_.value(b.param.data, b.read_version);
+    pinned_.push_back(registry_.value_ptr(b.param.data, b.read_version));
+    return *pinned_.back();
   }
 
   /// Stage a write for parameter `index` (must be Out or InOut).
@@ -146,6 +151,8 @@ class TaskContext {
   bool simulated_;
   Rng rng_;
   std::vector<std::pair<std::size_t, std::any>> pending_writes_;
+  /// Inputs read so far, held alive against concurrent drop/recommit.
+  mutable std::vector<std::shared_ptr<const std::any>> pinned_;
 };
 
 }  // namespace chpo::rt

@@ -48,7 +48,9 @@ void ThreadBackend::launch(const Dispatch& dispatch) {
 }
 
 bool ThreadBackend::done(TaskId target) const {
-  return target == kNoTask ? engine_.all_terminal() : engine_.task_terminal(target);
+  // A barrier also waits out pending lineage recoveries (quiescent), so
+  // data lost to a node death is recomputed before control returns.
+  return target == kNoTask ? engine_.quiescent() : engine_.task_terminal(target);
 }
 
 bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline) {
@@ -139,7 +141,11 @@ void ThreadBackend::run_until_any(std::span<const TaskId> targets) {
 }
 
 bool ThreadBackend::run_for(double seconds) {
-  return drive([this] { return engine_.all_terminal(); }, now() + seconds);
+  return drive([this] { return engine_.quiescent(); }, now() + seconds);
+}
+
+void ThreadBackend::run_until_condition(const std::function<bool()>& finished) {
+  drive(finished, /*deadline=*/-1.0);
 }
 
 }  // namespace chpo::rt

@@ -32,6 +32,7 @@ class ThreadBackend : public Backend {
   void run_until(TaskId target) override;
   void run_until_any(std::span<const TaskId> targets) override;
   bool run_for(double seconds) override;
+  void run_until_condition(const std::function<bool()>& finished) override;
   bool simulated() const override { return false; }
 
  private:

@@ -50,6 +50,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::CacheHit: return "cache_hit";
     case EventKind::CacheMiss: return "cache_miss";
     case EventKind::StageShared: return "stage_shared";
+    case EventKind::NodeUp: return "node_up";
+    case EventKind::DataLost: return "data_lost";
+    case EventKind::LineageRecompute: return "lineage_recompute";
+    case EventKind::Quarantine: return "quarantine";
   }
   return "unknown";
 }

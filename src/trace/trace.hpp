@@ -39,7 +39,14 @@ enum class EventKind : std::uint8_t {
   CacheHit,           ///< point: reuse stage/result served from the cache
   CacheMiss,          ///< point: reuse stage had to be computed
   StageShared,        ///< point: one planned stage serves several trials
+  NodeUp,             ///< point: a lost node rejoined the cluster
+  DataLost,           ///< point: a committed version lost its last replica
+  LineageRecompute,   ///< point: a recovery attempt recommitted lost data
+  Quarantine,         ///< point: a flaky node entered health quarantine
 };
+
+/// Number of EventKind values (for exhaustive .pcf / report iteration).
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::Quarantine) + 1;
 
 struct Event {
   EventKind kind = EventKind::TaskRun;

@@ -10,11 +10,16 @@
 //   3. a wait_any consumption loop yields tasks in completion order
 //      (strictly increasing terminal_seq);
 //   4. no completion is lost or delivered twice — per-task callbacks fire
-//      exactly once and drain_completions reports each task exactly once.
+//      exactly once and drain_completions reports each task exactly once;
+//   5. every datum consumed after a node loss has at least one live
+//      location at read time (lineage recovery recommitted it before any
+//      consumer ran) — the engine counts violations at dispatch.
 //
 // The DAG mixes roots, fan-out, fan-in and INOUT chains with varying
 // constraints; the scenario mixes forced transient failures, one forced
-// permanent failure, probabilistic injection, a couple of cancels, and —
+// permanent failure, probabilistic injection, a couple of cancels, a
+// kill/revive outage of node 1 on a no-PFS cluster (so sole-replica
+// outputs die with it and lineage recovery must replay producers), and —
 // per backend — speculation over a 6x-slow node (sim) or in-flight timeout
 // reaping of hung first attempts (threads).
 #include <gtest/gtest.h>
@@ -107,6 +112,12 @@ void run_chaos(std::uint64_t seed, bool simulate) {
   const TaskId doomed = TaskId(rng() % kTasks);
   opts.injector.force_task_failures(doomed, opts.fault_policy.max_attempts + 2);
   opts.fault_policy.backoff_base_seconds = simulate ? 1.0 : 0.001;
+  // Elastic membership under load: node 1 dies mid-run and rejoins later.
+  // Without a parallel FS its sole-replica outputs are lost with it, so
+  // consumers exercise the lineage-recovery path (invariant 5).
+  opts.cluster.has_parallel_fs = false;
+  opts.injector.schedule_node_failure(1, simulate ? 10.0 : 0.04);
+  opts.injector.schedule_node_recovery(1, simulate ? 25.0 : 0.12);
   if (simulate) {
     opts.speculation.enabled = true;
     opts.speculation.min_observations = 3;
@@ -221,6 +232,19 @@ void run_chaos(std::uint64_t seed, bool simulate) {
     for (int v = 0; v < done_per_chain[std::size_t(c)]; ++v)
       EXPECT_TRUE(state->chain_seen[std::size_t(c)][std::size_t(v)].load())
           << "chain " << c << " never observed counter value " << v;
+
+  // Invariant 5: no task ever consumed a datum with zero live replicas —
+  // every lost version was recommitted through lineage before its readers
+  // dispatched. The engine checks each dispatch's inputs at placement time.
+  EXPECT_EQ(runtime.lineage_violations(), 0u)
+      << "a datum was consumed without a live location";
+  if (simulate) {
+    // The outage lands inside the virtual makespan deterministically.
+    int node_down = 0;
+    for (const auto& e : runtime.trace().events())
+      node_down += e.kind == trace::EventKind::NodeDown;
+    EXPECT_GE(node_down, 1);
+  }
 
   // Invariant 4: every task delivered exactly once, via both channels.
   std::sort(drained.begin(), drained.end());

@@ -1,0 +1,392 @@
+// Elastic membership + lineage recovery: nodes die and come back, data
+// whose only replica died with a node is recomputed by re-executing its
+// producer chain (Spark-style lineage), flaky nodes are quarantined and
+// re-admitted through probation. Covered on both backends.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/node_health.hpp"
+#include "runtime/runtime.hpp"
+
+namespace chpo::rt {
+namespace {
+
+RuntimeOptions sim_no_pfs(std::size_t nodes, unsigned cpus = 1) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.name = "n";
+  node.cpus = cpus;
+  opts.cluster = cluster::homogeneous(nodes, node);
+  opts.cluster.has_parallel_fs = false;  // outputs live on the producing node
+  opts.simulate = true;
+  return opts;
+}
+
+TaskDef timed(std::string name, double seconds) {
+  TaskDef def;
+  def.name = std::move(name);
+  def.constraint = {.cpus = 1};
+  def.body = [](TaskContext&) { return std::any(1); };
+  def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+  return def;
+}
+
+// ------------------------------------------------------- chaos timelines
+
+TEST(NodeChaos, MaterializedScheduleIsDeterministicAndPaired) {
+  FaultInjector a(7), b(7);
+  const NodeChaosPolicy chaos{.mttf_seconds = 100.0, .mttr_seconds = 30.0,
+                              .horizon_seconds = 1000.0};
+  a.set_node_chaos(chaos);
+  b.set_node_chaos(chaos);
+  a.materialize_node_schedule(4);
+  a.materialize_node_schedule(4);  // idempotent
+  b.materialize_node_schedule(4);
+  ASSERT_FALSE(a.node_failures().empty());
+  ASSERT_EQ(a.node_failures().size(), b.node_failures().size());
+  for (std::size_t i = 0; i < a.node_failures().size(); ++i) {
+    EXPECT_EQ(a.node_failures()[i].node, b.node_failures()[i].node);
+    EXPECT_DOUBLE_EQ(a.node_failures()[i].time, b.node_failures()[i].time);
+    EXPECT_LE(a.node_failures()[i].time, chaos.horizon_seconds);
+  }
+  // Transient policy: every failure has a later rejoin for the same node.
+  EXPECT_EQ(a.node_recoveries().size(), a.node_failures().size());
+}
+
+TEST(NodeChaos, ZeroMttrMakesFailuresPermanent) {
+  FaultInjector injector(11);
+  injector.set_node_chaos({.mttf_seconds = 50.0, .mttr_seconds = 0.0, .horizon_seconds = 500.0});
+  injector.materialize_node_schedule(3);
+  EXPECT_TRUE(injector.node_recoveries().empty());
+  // The never-all-down guard keeps at least one node alive: with permanent
+  // failures at most n-1 nodes may die.
+  EXPECT_LE(injector.node_failures().size(), 2u);
+}
+
+// ----------------------------------------------------- lineage recovery
+
+TEST(LineageRecovery, SimSoleReplicaLossRecomputesProducer) {
+  RuntimeOptions opts = sim_no_pfs(2);
+  Runtime runtime(std::move(opts));
+  TaskDef producer = timed("producer", 5.0);
+  producer.body = [](TaskContext& ctx) { return std::any(100 + ctx.attempt()); };
+  const Future f = runtime.submit(producer);
+  runtime.barrier();
+  const int victim = runtime.graph().task(f.producer).last_node;
+  ASSERT_GE(victim, 0);
+
+  runtime.kill_node(static_cast<std::size_t>(victim));
+  // The committed output died with its only replica; wait_on demands the
+  // lineage and the producer re-executes on the surviving node. The replay
+  // uses the succeeded attempt's identity, so an attempt-dependent body
+  // still produces the failure-free value.
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 101);
+  EXPECT_EQ(runtime.lineage_recoveries(), 1u);
+  EXPECT_EQ(runtime.unrecoverable_count(), 0u);
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+  EXPECT_NE(runtime.graph().task(f.producer).last_node, victim);
+
+  int data_lost = 0, recomputes = 0, node_down = 0;
+  for (const auto& e : runtime.trace().events()) {
+    data_lost += e.kind == trace::EventKind::DataLost;
+    recomputes += e.kind == trace::EventKind::LineageRecompute;
+    node_down += e.kind == trace::EventKind::NodeDown;
+  }
+  EXPECT_EQ(node_down, 1);
+  EXPECT_GE(data_lost, 1);
+  EXPECT_EQ(recomputes, 1);
+}
+
+TEST(LineageRecovery, WalksMultiLevelChainInProducerOrder) {
+  // a -> b -> c all committed on the dying node; reading c's output must
+  // re-execute a, then b, then c.
+  RuntimeOptions opts = sim_no_pfs(2);
+  // Locality keeps the chain on one node (outputs live where the producer
+  // ran and staging costs bytes), so the kill orphans the whole chain.
+  opts.scheduler = "locality";
+  Runtime runtime(std::move(opts));
+  TaskDef root = timed("a", 2.0);
+  root.body = [](TaskContext&) { return std::any(7); };
+  const Future a = runtime.submit(root);
+  TaskDef mid = timed("b", 2.0);
+  mid.body = [](TaskContext& ctx) { return std::any(ctx.read<int>(0) * 2); };
+  const Future b = runtime.submit(mid, {{a.data, Direction::In}});
+  TaskDef leaf = timed("c", 2.0);
+  leaf.body = [](TaskContext& ctx) { return std::any(ctx.read<int>(0) + 1); };
+  const Future c = runtime.submit(leaf, {{b.data, Direction::In}});
+  runtime.barrier();
+  const int chain_node = runtime.graph().task(c.producer).last_node;
+  ASSERT_EQ(runtime.graph().task(a.producer).last_node, chain_node);
+  ASSERT_EQ(runtime.graph().task(b.producer).last_node, chain_node);
+
+  runtime.kill_node(static_cast<std::size_t>(chain_node));
+  EXPECT_EQ(runtime.wait_on_as<int>(c), 15);
+  EXPECT_EQ(runtime.lineage_recoveries(), 3u);
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+}
+
+TEST(LineageRecovery, DownstreamTaskBlocksOnRecomputedVersion) {
+  // The consumer is submitted *after* the data is lost: its dispatch gates
+  // on the recovered version instead of failing.
+  RuntimeOptions opts = sim_no_pfs(2);
+  Runtime runtime(std::move(opts));
+  TaskDef producer = timed("producer", 5.0);
+  producer.body = [](TaskContext&) { return std::any(40); };
+  const Future f = runtime.submit(producer);
+  runtime.barrier();
+  const int victim = runtime.graph().task(f.producer).last_node;
+  runtime.kill_node(static_cast<std::size_t>(victim));
+
+  TaskDef consumer = timed("consumer", 5.0);
+  consumer.body = [](TaskContext& ctx) { return std::any(ctx.read<int>(0) + 2); };
+  const Future g = runtime.submit(consumer, {{f.data, Direction::In}});
+  EXPECT_EQ(runtime.wait_on_as<int>(g), 42);
+  EXPECT_EQ(runtime.lineage_recoveries(), 1u);
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+}
+
+TEST(LineageRecovery, MatchesFailureFreeRunExactly) {
+  // The acceptance bar: a run that loses a node holding sole replicas
+  // mid-DAG completes with the same values as a run with no faults at all.
+  auto run_dag = [](bool with_kill) {
+    RuntimeOptions opts = sim_no_pfs(3, 2);
+    opts.scheduler = "locality";
+    Runtime runtime(std::move(opts));
+    std::vector<Future> layer1;
+    for (int i = 0; i < 6; ++i) {
+      TaskDef def = timed("l1", 4.0);
+      def.body = [i](TaskContext& ctx) { return std::any(10 * i + ctx.attempt()); };
+      layer1.push_back(runtime.submit(def));
+    }
+    runtime.barrier();
+    if (with_kill) runtime.kill_node(0);
+    std::vector<Future> layer2;
+    for (int i = 0; i < 6; ++i) {
+      TaskDef def = timed("l2", 4.0);
+      def.body = [](TaskContext& ctx) { return std::any(ctx.read<int>(0) * 3); };
+      layer2.push_back(runtime.submit(def, {{layer1[std::size_t(i)].data, Direction::In}}));
+    }
+    std::vector<int> values;
+    for (auto& f : layer2) values.push_back(runtime.wait_on_as<int>(f));
+    EXPECT_EQ(runtime.lineage_violations(), 0u);
+    return values;
+  };
+  const std::vector<int> clean = run_dag(false);
+  const std::vector<int> chaotic = run_dag(true);
+  EXPECT_EQ(clean, chaotic);
+}
+
+TEST(LineageRecovery, UnrecoverableWhenProducerChainCannotRerun) {
+  // One-node no-PFS cluster: when the only node dies permanently there is
+  // nowhere to replay the lineage — the waiter gets a TaskFailedError, not
+  // a hang.
+  RuntimeOptions opts = sim_no_pfs(2);
+  Runtime runtime(std::move(opts));
+  const Future f = runtime.submit(timed("orphan", 5.0));
+  runtime.barrier();
+  runtime.kill_node(0);
+  runtime.kill_node(1);
+  EXPECT_THROW(runtime.wait_on(f), TaskFailedError);
+  EXPECT_GE(runtime.unrecoverable_count(), 1u);
+}
+
+TEST(LineageRecovery, ThreadBackendRecoversToo) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 2;
+  opts.cluster = cluster::homogeneous(2, node);
+  opts.cluster.has_parallel_fs = false;
+  Runtime runtime(std::move(opts));
+  TaskDef producer;
+  producer.name = "producer";
+  producer.body = [](TaskContext& ctx) { return std::any(200 + ctx.attempt()); };
+  const Future f = runtime.submit(producer);
+  runtime.barrier();
+  const int victim = runtime.graph().task(f.producer).last_node;
+  ASSERT_GE(victim, 0);
+  runtime.kill_node(static_cast<std::size_t>(victim));
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 201);
+  EXPECT_EQ(runtime.lineage_recoveries(), 1u);
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+}
+
+// -------------------------------------------------- elastic membership
+
+TEST(Membership, NodeComesBackAtExactVirtualTimeAndIsUsedAgain) {
+  // 1-cpu 2-node cluster; node 0 is out for [10, 30). Tasks keep flowing;
+  // after the rejoin node 0 must receive placements again (on probation
+  // first — health starts it with a trickle, then re-admits).
+  RuntimeOptions opts = sim_no_pfs(2);
+  opts.injector.schedule_node_failure(0, 10.0);
+  opts.injector.schedule_node_recovery(0, 30.0);
+  Runtime runtime(std::move(opts));
+  std::vector<Future> futures;
+  for (int i = 0; i < 12; ++i) futures.push_back(runtime.submit(timed("work", 6.0)));
+  runtime.barrier();
+  for (auto& f : futures) EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+
+  int node_down = 0, node_up = 0;
+  bool reused_after_rejoin = false;
+  for (const auto& e : runtime.trace().events()) {
+    node_down += e.kind == trace::EventKind::NodeDown;
+    node_up += e.kind == trace::EventKind::NodeUp;
+    if (e.kind == trace::EventKind::TaskRun && e.node == 0 && e.t_start >= 30.0)
+      reused_after_rejoin = true;
+  }
+  EXPECT_EQ(node_down, 1);
+  EXPECT_EQ(node_up, 1);
+  EXPECT_TRUE(reused_after_rejoin) << "revived node never received a placement";
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+  // With 6 s tasks on one surviving 1-cpu node during the outage, the
+  // rejoin must shorten the tail: 12 x 6 s on two nodes with a 20 s outage
+  // of one of them fits well under the 72 s single-node bound.
+  EXPECT_LT(runtime.analyze().makespan(), 72.0);
+}
+
+TEST(Membership, ThreadBackendKillAndReviveInjectable) {
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 1;
+  opts.cluster = cluster::homogeneous(2, node);
+  Runtime runtime(std::move(opts));
+  runtime.kill_node(1);
+  EXPECT_TRUE(runtime.resources().node_down(1));
+  runtime.revive_node(1);
+  EXPECT_FALSE(runtime.resources().node_down(1));
+  EXPECT_EQ(runtime.node_health().state(1), HealthState::Probation);
+
+  // Work still lands on both the healthy node and (via the probation
+  // trickle) the revived one.
+  std::vector<Future> futures;
+  for (int i = 0; i < 8; ++i) {
+    TaskDef def;
+    def.name = "after_revive";
+    def.body = [](TaskContext& ctx) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return std::any(ctx.node());
+    };
+    futures.push_back(runtime.submit(def));
+  }
+  bool used_revived = false;
+  for (auto& f : futures) used_revived |= runtime.wait_on_as<int>(f) == 1;
+  EXPECT_TRUE(used_revived);
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+}
+
+TEST(Membership, UnknownNodeThrows) {
+  RuntimeOptions opts = sim_no_pfs(2);
+  Runtime runtime(std::move(opts));
+  EXPECT_THROW(runtime.kill_node(9), std::out_of_range);
+  EXPECT_THROW(runtime.revive_node(9), std::out_of_range);
+}
+
+// ------------------------------------------------ health and quarantine
+
+TEST(NodeHealthTracker, QuarantineAndProbationLifecycle) {
+  NodeHealthPolicy policy;
+  policy.alpha = 0.5;
+  policy.quarantine_threshold = 0.6;
+  policy.min_observations = 3;
+  policy.probation_successes = 2;
+  NodeHealth health(policy, 2);
+
+  EXPECT_EQ(health.state(0), HealthState::Healthy);
+  EXPECT_FALSE(health.record_failure(0));  // obs 1: below min_observations
+  EXPECT_FALSE(health.record_failure(0));  // obs 2
+  EXPECT_TRUE(health.record_failure(0));   // obs 3, score 0.875: quarantined
+  EXPECT_EQ(health.state(0), HealthState::Quarantined);
+  EXPECT_EQ(health.state(1), HealthState::Healthy);
+
+  // Probation cap: one task at a time while quarantined.
+  EXPECT_TRUE(health.allow_placement(0));
+  health.on_placement(0);
+  EXPECT_FALSE(health.allow_placement(0));
+  health.on_conclusion(0);
+  EXPECT_TRUE(health.allow_placement(0));
+
+  // Two consecutive successes with a decayed score re-admit.
+  EXPECT_FALSE(health.record_success(0));  // score 0.4375, streak 1
+  EXPECT_TRUE(health.record_success(0));   // score 0.22, streak 2: healthy
+  EXPECT_EQ(health.state(0), HealthState::Healthy);
+
+  // A rejoin always lands on probation, trusted only incrementally.
+  health.on_node_up(0);
+  EXPECT_EQ(health.state(0), HealthState::Probation);
+  EXPECT_FALSE(health.record_success(0));
+  EXPECT_TRUE(health.record_success(0));
+  EXPECT_EQ(health.state(0), HealthState::Healthy);
+}
+
+TEST(NodeHealthTracker, FailureStreakResetsProbationProgress) {
+  NodeHealthPolicy policy;
+  policy.alpha = 0.5;
+  policy.min_observations = 1;
+  policy.quarantine_threshold = 0.4;
+  NodeHealth health(policy, 1);
+  EXPECT_TRUE(health.record_failure(0));
+  EXPECT_FALSE(health.record_success(0));  // streak 1
+  EXPECT_FALSE(health.record_failure(0));  // streak back to 0, still bad
+  EXPECT_FALSE(health.record_success(0));  // streak 1 again
+  EXPECT_EQ(health.state(0), HealthState::Quarantined);
+}
+
+TEST(Quarantine, FlakyNodeStopsReceivingPlacements) {
+  // Node 0 fails every body that lands on it; the EWMA crosses the
+  // threshold, the node is quarantined (traced), and the remaining work
+  // runs on node 1 except the probation trickle.
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 1;
+  opts.cluster = cluster::homogeneous(2, node);
+  opts.simulate = true;
+  opts.fault_policy.max_attempts = 4;
+  opts.node_health.min_observations = 2;
+  opts.node_health.alpha = 0.6;
+  Runtime runtime(std::move(opts));
+  std::vector<Future> futures;
+  for (int i = 0; i < 10; ++i) {
+    TaskDef def = timed("flaky_on_0", 3.0);
+    def.body = [](TaskContext& ctx) -> std::any {
+      if (ctx.node() == 0) throw std::runtime_error("bad hardware");
+      return std::any(ctx.node());
+    };
+    futures.push_back(runtime.submit(def));
+  }
+  for (auto& f : futures) EXPECT_EQ(runtime.wait_on_as<int>(f), 1);
+  EXPECT_EQ(runtime.node_health().state(0), HealthState::Quarantined);
+  EXPECT_EQ(runtime.node_health().state(1), HealthState::Healthy);
+  bool quarantined_traced = false;
+  for (const auto& e : runtime.trace().events())
+    quarantined_traced |= e.kind == trace::EventKind::Quarantine;
+  EXPECT_TRUE(quarantined_traced);
+}
+
+TEST(Quarantine, AllNodesQuarantinedStillMakesProgress) {
+  // Anti-deadlock fallback: when health gating would reject every live
+  // node, the schedulers ignore it rather than starve the queue.
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 2;
+  opts.cluster = cluster::homogeneous(1, node);
+  opts.simulate = true;
+  opts.fault_policy.max_attempts = 6;
+  opts.node_health.min_observations = 1;
+  opts.node_health.alpha = 1.0;  // one failure pins the score to 1
+  Runtime runtime(std::move(opts));
+  TaskDef def = timed("fails_once", 2.0);
+  def.body = [](TaskContext& ctx) -> std::any {
+    if (ctx.attempt() < 3) throw std::runtime_error("transient");
+    return std::any(9);
+  };
+  const Future f = runtime.submit(def);
+  std::vector<Future> rest;
+  for (int i = 0; i < 4; ++i) rest.push_back(runtime.submit(timed("filler", 2.0)));
+  EXPECT_EQ(runtime.wait_on_as<int>(f), 9);
+  for (auto& g : rest) EXPECT_EQ(runtime.wait_on_as<int>(g), 1);
+}
+
+}  // namespace
+}  // namespace chpo::rt

@@ -122,7 +122,25 @@ TEST(Resources, UnknownNodeQueries) {
   ResourceState rs(cluster::marenostrum4(1));
   EXPECT_FALSE(rs.try_allocate(9, Constraint{}));
   EXPECT_FALSE(rs.could_fit(9, Constraint{}));
+  // Membership mutations and queries validate the index consistently.
   EXPECT_THROW(rs.fail_node(9), std::out_of_range);
+  EXPECT_THROW(rs.mark_node_down(9), std::out_of_range);
+  EXPECT_THROW(rs.mark_node_up(9), std::out_of_range);
+  EXPECT_THROW(rs.node_down(9), std::out_of_range);
+}
+
+TEST(Resources, NodeUpRevivesWithCleanSlate) {
+  ResourceState rs(cluster::marenostrum4(2));
+  ASSERT_TRUE(rs.try_allocate(0, Constraint{.cpus = 4}));
+  rs.mark_node_down(0);
+  EXPECT_TRUE(rs.node_down(0));
+  EXPECT_EQ(rs.free_cpus(0), 0u);
+  rs.mark_node_up(0);
+  EXPECT_FALSE(rs.node_down(0));
+  // Everything that was running there died with the outage: the node
+  // rejoins with all slots free.
+  EXPECT_EQ(rs.free_cpus(0), rs.spec().usable_cpus(0));
+  EXPECT_TRUE(rs.try_allocate(0, Constraint{.cpus = 1}));
 }
 
 TEST(Resources, ZeroCpuGpuOnlyTask) {

@@ -322,6 +322,67 @@ TEST(CheckpointRobustness, CorruptCheckpointStartsFreshInsteadOfThrowing) {
   EXPECT_TRUE(hpo::load_checkpoint(path.string()).empty());
 }
 
+hpo::Trial make_checkpoint_trial(int index) {
+  hpo::Trial t;
+  t.index = index;
+  json::Value config;
+  config.set("learning_rate", json::Value(0.01));
+  config.set("num_epochs", json::Value(static_cast<std::int64_t>(4)));
+  t.config = config;
+  t.result.final_val_accuracy = 0.5 + 0.1 * index;
+  t.result.best_val_accuracy = t.result.final_val_accuracy;
+  t.result.epochs_run = 4;
+  return t;
+}
+
+TEST(CheckpointRobustness, TruncationAtEveryPrefixNeverThrows) {
+  // Mirror of SnapshotIo.TruncationAtEveryPrefixThrowsNeverCrashes for the
+  // checkpoint file: a crash can leave any prefix of the JSON on disk, and
+  // every one of them must load as a warned empty-or-partial result, never
+  // an exception or a crash.
+  TempDir dir("ckpt_prefix");
+  fs::create_directories(dir.path);
+  const fs::path path = dir.path / "checkpoint.json";
+  const std::vector<hpo::Trial> trials = {make_checkpoint_trial(0), make_checkpoint_trial(1),
+                                          make_checkpoint_trial(2)};
+  hpo::save_checkpoint(path.string(), trials);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(hpo::load_checkpoint(path.string()).size(), trials.size());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out << bytes.substr(0, cut);
+    }
+    std::vector<hpo::Trial> loaded;
+    EXPECT_NO_THROW(loaded = hpo::load_checkpoint(path.string())) << "prefix " << cut;
+    EXPECT_LE(loaded.size(), trials.size()) << "prefix " << cut;
+  }
+}
+
+TEST(CheckpointRobustness, DamagedTrialEntryIsSkippedIntactOnesSalvaged) {
+  // Parseable file, one rotten entry: the other trials must replay (the
+  // ResultCache policy — salvage what is intact, retrain the rest).
+  TempDir dir("ckpt_salvage");
+  fs::create_directories(dir.path);
+  const fs::path path = dir.path / "checkpoint.json";
+  {
+    std::ofstream out(path);
+    out << "{\"format\": \"chpo-checkpoint-v1\", \"trials\": ["
+        << json::serialize(hpo::trial_to_json(make_checkpoint_trial(0))) << ", "
+        << "{\"index\": \"rotten\"}, "
+        << json::serialize(hpo::trial_to_json(make_checkpoint_trial(2))) << "]}";
+  }
+  const std::vector<hpo::Trial> loaded = hpo::load_checkpoint(path.string());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].index, 0);
+  EXPECT_EQ(loaded[1].index, 2);
+  EXPECT_DOUBLE_EQ(loaded[1].result.final_val_accuracy, 0.7);
+}
+
 // ----------------------------------------------------- session bit identity
 
 TEST(TrainerSessionReuse, SnapshotRestoreMatchesUninterruptedRun) {

@@ -92,6 +92,22 @@ int run(const ArgParser& args) {
   runtime_options.simulate = args.get_bool("simulate");
   runtime_options.tracing = !args.get_bool("no-trace");
   runtime_options.seed = seed;
+  // Chaos: probabilistic node churn (MTTF/MTTR) injected into the run.
+  // --no-pfs makes task outputs live only on the producing node, so a node
+  // death can orphan committed data and exercise lineage recovery.
+  const double mttf = args.get_double("mttf", 0.0);
+  if (mttf > 0.0) {
+    runtime_options.injector = rt::FaultInjector(seed);
+    runtime_options.injector.set_node_chaos(rt::NodeChaosPolicy{
+        .mttf_seconds = mttf,
+        .mttr_seconds = args.get_double("mttr", 0.0),
+        .horizon_seconds = args.get_double("chaos-horizon", 3600.0)});
+  }
+  if (args.get_bool("no-pfs")) runtime_options.cluster.has_parallel_fs = false;
+  // Under heavy churn the default 3 attempts give up too early; chaos runs
+  // raise this so trials survive repeated node loss.
+  runtime_options.fault_policy.max_attempts =
+      static_cast<int>(args.get_int("max-attempts", runtime_options.fault_policy.max_attempts));
   rt::Runtime runtime(std::move(runtime_options));
 
   hpo::DriverOptions driver_options;
@@ -173,6 +189,19 @@ int run(const ArgParser& args) {
   if (!outcome.report.empty()) std::printf("%s\n", outcome.report.c_str());
   std::printf("%s", hpo::outcome_summary(outcome).c_str());
   if (outcome.reuse) std::printf("%s", hpo::reuse_summary(*outcome.reuse).c_str());
+  const bool chaotic =
+      mttf > 0.0 || runtime.lineage_recoveries() > 0 ||
+      std::any_of(runtime.trace().events().begin(), runtime.trace().events().end(),
+                  [](const auto& e) {
+                    return e.kind == trace::EventKind::NodeDown ||
+                           e.kind == trace::EventKind::NodeUp ||
+                           e.kind == trace::EventKind::DataLost ||
+                           e.kind == trace::EventKind::Quarantine;
+                  });
+  if (chaotic)
+    std::printf("%s", hpo::fault_summary(runtime.trace().events(), runtime.lineage_recoveries(),
+                                         runtime.unrecoverable_count(), runtime.node_health())
+                          .c_str());
   if (runtime.simulated())
     std::printf("virtual makespan: %s\n", format_duration(runtime.analyze().makespan()).c_str());
 
@@ -222,8 +251,13 @@ int main(int argc, char** argv) {
       .add_option("cv-folds", "k-fold cross-validation per trial (1 = plain split)", "1")
       .add_option("cache-dir", "persistent result-cache directory (with --reuse)", "")
       .add_option("cache-mb", "in-memory cache budget in MiB (disk gets 4x)", "256")
+      .add_option("mttf", "chaos: mean seconds between node failures (0 = off)", "")
+      .add_option("mttr", "chaos: mean outage seconds before a node rejoins (0 = permanent)", "")
+      .add_option("chaos-horizon", "chaos: sample node churn up to this virtual time", "3600")
+      .add_option("max-attempts", "retry budget per task (raise under heavy chaos)", "3")
       .add_flag("reuse", "cross-trial reuse: stage trees + content-addressed cache")
       .add_flag("no-merge", "with --reuse: plan one chain per trial (no sharing)")
+      .add_flag("no-pfs", "no parallel FS: outputs live on the producing node only")
       .add_flag("simulate", "discrete-event backend (virtual time, cluster scale)")
       .add_flag("visualise", "add visualisation + plot tasks (Figure 2 pipeline)")
       .add_flag("gantt", "print an ASCII Gantt of the trace")
