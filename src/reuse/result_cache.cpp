@@ -177,7 +177,7 @@ void ResultCache::evict_disk_to_budget() {
 // ------------------------------------------------------------ snapshots
 
 std::shared_ptr<const ml::TrainSnapshot> ResultCache::get_snapshot(const StageKey& key) {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (Entry* e = lookup_memory(key); e && e->snapshot) {
     ++stats_.hits;
     return e->snapshot;
@@ -193,7 +193,7 @@ std::shared_ptr<const ml::TrainSnapshot> ResultCache::get_snapshot(const StageKe
 }
 
 std::shared_ptr<const ml::TrainSnapshot> ResultCache::probe_snapshot(const StageKey& key) {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (Entry* e = lookup_memory(key); e && e->snapshot) return e->snapshot;
   if (auto snap = load_snapshot_from_disk(key)) {
     insert_memory(key, Entry{snap, std::nullopt, snapshot_bytes(*snap), 0});
@@ -203,7 +203,7 @@ std::shared_ptr<const ml::TrainSnapshot> ResultCache::probe_snapshot(const Stage
 }
 
 bool ResultCache::put_snapshot(const StageKey& key, std::shared_ptr<const ml::TrainSnapshot> snap) {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (memory_.contains(key)) {
     ++stats_.duplicate_puts;
     return false;
@@ -225,7 +225,7 @@ bool ResultCache::put_snapshot(const StageKey& key, std::shared_ptr<const ml::Tr
 // -------------------------------------------------------------- results
 
 std::optional<ml::TrainResult> ResultCache::get_result(const StageKey& key) {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (Entry* e = lookup_memory(key); e && e->result) {
     ++stats_.hits;
     return e->result;
@@ -241,7 +241,7 @@ std::optional<ml::TrainResult> ResultCache::get_result(const StageKey& key) {
 }
 
 std::optional<ml::TrainResult> ResultCache::probe_result(const StageKey& key) {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (Entry* e = lookup_memory(key); e && e->result) return e->result;
   if (auto result = load_result_from_disk(key)) {
     insert_memory(key, Entry{nullptr, result, sizeof(ml::TrainResult) + result->history.size() * sizeof(ml::EpochStats), 0});
@@ -251,7 +251,7 @@ std::optional<ml::TrainResult> ResultCache::probe_result(const StageKey& key) {
 }
 
 bool ResultCache::put_result(const StageKey& key, const ml::TrainResult& result) {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   if (const auto it = memory_.find(key); it != memory_.end() && it->second.result) {
     ++stats_.duplicate_puts;
     return false;
@@ -272,7 +272,7 @@ bool ResultCache::put_result(const StageKey& key, const ml::TrainResult& result)
 }
 
 CacheStats ResultCache::stats() const {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,6 +22,7 @@
 #include "ml/trainer.hpp"
 #include "reuse/policy.hpp"
 #include "reuse/stage_key.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace chpo::reuse {
 
@@ -71,27 +71,31 @@ class ResultCache {
     std::uint64_t tick = 0;
   };
 
-  // Locked helpers.
-  Entry* lookup_memory(const StageKey& key);
-  void insert_memory(const StageKey& key, Entry entry);
-  void evict_to_budget();
+  // Locked helpers — the CHPO_REQUIRES contracts make "caller must hold
+  // mutex_" a compile-time rule under clang's -Wthread-safety.
+  Entry* lookup_memory(const StageKey& key) CHPO_REQUIRES(mutex_);
+  void insert_memory(const StageKey& key, Entry entry) CHPO_REQUIRES(mutex_);
+  void evict_to_budget() CHPO_REQUIRES(mutex_);
   std::string snapshot_path(const StageKey& key) const;
   std::string result_path(const StageKey& key) const;
-  std::shared_ptr<const ml::TrainSnapshot> load_snapshot_from_disk(const StageKey& key);
-  std::optional<ml::TrainResult> load_result_from_disk(const StageKey& key);
-  void persist(const std::string& path, const std::string& bytes);
-  void drop_corrupt(const std::string& path, const char* what);
-  void note_disk_file(const std::string& path, std::size_t bytes);
-  void evict_disk_to_budget();
+  std::shared_ptr<const ml::TrainSnapshot> load_snapshot_from_disk(const StageKey& key)
+      CHPO_REQUIRES(mutex_);
+  std::optional<ml::TrainResult> load_result_from_disk(const StageKey& key)
+      CHPO_REQUIRES(mutex_);
+  void persist(const std::string& path, const std::string& bytes) CHPO_REQUIRES(mutex_);
+  void drop_corrupt(const std::string& path, const char* what) CHPO_REQUIRES(mutex_);
+  void note_disk_file(const std::string& path, std::size_t bytes) CHPO_REQUIRES(mutex_);
+  void evict_disk_to_budget() CHPO_REQUIRES(mutex_);
 
   ReusePolicy policy_;
+  /// Written once in the constructor (pre-sharing), read under mutex_.
   bool disk_ok_ = false;
-  mutable std::mutex mutex_;
-  std::unordered_map<StageKey, Entry, StageKeyHash> memory_;
+  mutable Mutex mutex_;
+  std::unordered_map<StageKey, Entry, StageKeyHash> memory_ CHPO_GUARDED_BY(mutex_);
   /// On-disk files in write order (oldest first) for disk-side eviction.
-  std::vector<std::pair<std::string, std::size_t>> disk_files_;
-  std::uint64_t tick_ = 0;
-  CacheStats stats_;
+  std::vector<std::pair<std::string, std::size_t>> disk_files_ CHPO_GUARDED_BY(mutex_);
+  std::uint64_t tick_ CHPO_GUARDED_BY(mutex_) = 0;
+  CacheStats stats_ CHPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace chpo::reuse

@@ -5,6 +5,10 @@
 // the simulation backend advances a virtual clock by per-task cost models.
 // Both must drive the engine to the same logical outcome for the same
 // submission sequence — the test suite asserts this equivalence.
+//
+// Every drive entry point requires the g_engine_ctx capability: backends
+// never acquire the coordinator role themselves, they inherit it from the
+// Runtime call that invoked them (see engine_context.hpp).
 #pragma once
 
 #include <functional>
@@ -24,29 +28,30 @@ class Backend {
 
   /// Drive the engine until `target` reaches a terminal state; kNoTask
   /// means "until every submitted task is terminal" (a full barrier).
-  virtual void run_until(TaskId target) = 0;
+  virtual void run_until(TaskId target) CHPO_REQUIRES(g_engine_ctx) = 0;
 
   /// Completion-driven wait: drive the engine until at least one of
   /// `targets` is terminal, in whatever order completions actually land
   /// (no head-of-line blocking on submission order). Already-terminal
   /// targets return immediately.
-  virtual void run_until_any(std::span<const TaskId> targets) = 0;
+  virtual void run_until_any(std::span<const TaskId> targets) CHPO_REQUIRES(g_engine_ctx) = 0;
 
   /// Bounded barrier: drive the engine until every submitted task is
   /// terminal or `seconds` have elapsed (wall or virtual) from the call,
   /// whichever comes first. Returns true iff everything is terminal.
-  virtual bool run_for(double seconds) = 0;
+  virtual bool run_for(double seconds) CHPO_REQUIRES(g_engine_ctx) = 0;
 
   /// Drive the engine until an arbitrary predicate over engine state holds
   /// (evaluated on the coordinator between engine steps). wait_on uses this
   /// to ride out the lineage recovery of a result whose replicas died.
-  virtual void run_until_condition(const std::function<bool()>& finished) = 0;
+  virtual void run_until_condition(const std::function<bool()>& finished)
+      CHPO_REQUIRES(g_engine_ctx) = 0;
 
   /// Run exactly one engine duty round — process due node events, reap
   /// overdue attempts, dispatch ready work — without waiting for anything.
   /// Used by the chaos hooks so an injected membership event applies
   /// immediately rather than at the next blocking wait.
-  void poke() {
+  void poke() CHPO_REQUIRES(g_engine_ctx) {
     int steps = 0;
     run_until_condition([&steps] { return steps++ > 0; });
   }

@@ -1,14 +1,13 @@
 #include "runtime/data_registry.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 namespace chpo::rt {
 
 DataId DataRegistry::register_data(std::any initial_value, std::uint64_t bytes, std::string label,
                                    bool everywhere) {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   const DataId id = data_.size();
   DatumInfo info;
   info.bytes = bytes;
@@ -33,7 +32,7 @@ const DataRegistry::DatumInfo& DataRegistry::datum(DataId id) const {
 }
 
 AccessPlan DataRegistry::plan_access(TaskId task, const Param& param) {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   DatumInfo& d = datum(param.data);
   AccessPlan plan;
   const auto add_dep = [&plan](TaskId t) {
@@ -72,7 +71,7 @@ AccessPlan DataRegistry::plan_access(TaskId task, const Param& param) {
 }
 
 void DataRegistry::commit(DataId data, std::uint32_t version, std::any value, int node) {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   DatumInfo& d = datum(data);
   if (version >= d.versions.size())
     throw std::out_of_range("DataRegistry: commit of unplanned version");
@@ -89,7 +88,7 @@ void DataRegistry::commit(DataId data, std::uint32_t version, std::any value, in
 }
 
 std::vector<LostVersion> DataRegistry::drop_node_replicas(int node) {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   std::vector<LostVersion> lost;
   for (DataId id = 0; id < data_.size(); ++id) {
     DatumInfo& d = data_[id];
@@ -108,7 +107,7 @@ std::vector<LostVersion> DataRegistry::drop_node_replicas(int node) {
 }
 
 bool DataRegistry::version_lost(DataId data, std::uint32_t version) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   return version < d.versions.size() && d.versions[version].lost;
 }
@@ -119,7 +118,7 @@ const std::any& DataRegistry::value(DataId data, std::uint32_t version) const {
 
 std::shared_ptr<const std::any> DataRegistry::value_ptr(DataId data,
                                                         std::uint32_t version) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   if (version >= d.versions.size() || !d.versions[version].committed) {
     if (version < d.versions.size() && d.versions[version].lost)
@@ -132,56 +131,56 @@ std::shared_ptr<const std::any> DataRegistry::value_ptr(DataId data,
 }
 
 bool DataRegistry::has_value(DataId data, std::uint32_t version) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   return version < d.versions.size() && d.versions[version].committed;
 }
 
 std::uint32_t DataRegistry::current_version(DataId data) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return datum(data).current;
 }
 
 TaskId DataRegistry::producer(DataId data, std::uint32_t version) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   if (version >= d.versions.size()) throw std::out_of_range("DataRegistry: unknown version");
   return d.versions[version].producer;
 }
 
 bool DataRegistry::available_everywhere(DataId data, std::uint32_t version) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   if (version >= d.versions.size()) return false;
   return d.versions[version].everywhere;
 }
 
 std::set<int> DataRegistry::locations(DataId data, std::uint32_t version) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   if (version >= d.versions.size()) return {};
   return d.versions[version].locations;
 }
 
 void DataRegistry::add_location(DataId data, std::uint32_t version, int node) {
-  std::unique_lock lock(mutex_);
+  const WriterLock lock(mutex_);
   DatumInfo& d = datum(data);
   if (version >= d.versions.size()) throw std::out_of_range("DataRegistry: unknown version");
   d.versions[version].locations.insert(node);
 }
 
 std::uint64_t DataRegistry::bytes_of(DataId data) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return datum(data).bytes;
 }
 
 const std::string& DataRegistry::label_of(DataId data) const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return datum(data).label;
 }
 
 std::size_t DataRegistry::datum_count() const {
-  std::shared_lock lock(mutex_);
+  const ReaderLock lock(mutex_);
   return data_.size();
 }
 

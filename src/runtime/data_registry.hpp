@@ -18,12 +18,12 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "runtime/types.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace chpo::rt {
 
@@ -133,11 +133,13 @@ class DataRegistry {
     std::vector<VersionInfo> versions;        ///< index == version number
   };
 
-  DatumInfo& datum(DataId id);
-  const DatumInfo& datum(DataId id) const;
+  DatumInfo& datum(DataId id) CHPO_REQUIRES(mutex_);
+  const DatumInfo& datum(DataId id) const CHPO_REQUIRES_SHARED(mutex_);
 
-  mutable std::shared_mutex mutex_;
-  std::vector<DatumInfo> data_;
+  /// Many concurrent readers (task bodies resolving committed versions),
+  /// one writer (the coordinator committing / dropping / recommitting).
+  mutable SharedMutex mutex_;
+  std::vector<DatumInfo> data_ CHPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace chpo::rt

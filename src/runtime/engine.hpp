@@ -14,10 +14,17 @@
 //    unless there are some dependencies");
 //  * writes of failed attempts are never committed.
 //
-// Threading contract: all methods except execute_body() must be called from
-// a single coordinator thread. execute_body() may run on any worker thread;
-// it only reads committed registry versions (shared lock) and buffers its
-// writes in the TaskContext.
+// Threading contract: all methods except execute_prepared() must be called
+// from a single coordinator thread. execute_prepared() may run on any worker
+// thread; it only reads committed registry versions (shared lock), the
+// internally synchronized FaultInjector, and buffers its writes in the
+// TaskContext. The contract is *compile-time checked* under clang's
+// -Wthread-safety: every mutating method requires the g_engine_ctx
+// capability (see engine_context.hpp), which only the Runtime facade and
+// the backend drive loops hold. Read-only queries used inside wait
+// predicates (task_terminal, quiescent, next-counter accessors) stay
+// unannotated — they are still coordinator-only by contract, but the
+// predicate lambdas the backends evaluate cannot carry capabilities.
 #pragma once
 
 #include <deque>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "runtime/data_registry.hpp"
+#include "runtime/engine_context.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/graph.hpp"
 #include "runtime/node_health.hpp"
@@ -75,15 +83,17 @@ class Engine {
   Engine(TaskGraph& graph, const cluster::ClusterSpec& spec, EngineOptions options,
          FaultInjector injector, trace::TraceSink& sink);
 
-  void set_terminal_listener(TerminalListener listener) { on_terminal_ = std::move(listener); }
+  void set_terminal_listener(TerminalListener listener) CHPO_REQUIRES(g_engine_ctx) {
+    on_terminal_ = std::move(listener);
+  }
 
   /// Notify that `task` was just added to the graph (possibly Ready).
   /// Records the submit event flag at time `now`.
-  void on_submitted(TaskId task, double now);
+  void on_submitted(TaskId task, double now) CHPO_REQUIRES(g_engine_ctx);
 
   /// Place as many ready tasks as resources allow; marks them Running and
   /// records schedule events. Caller executes them and reports back.
-  std::vector<Dispatch> schedule(double now);
+  std::vector<Dispatch> schedule(double now) CHPO_REQUIRES(g_engine_ctx);
 
   /// Snapshot of everything one attempt's body needs, taken on the
   /// coordinator at launch time. Worker threads execute from the snapshot
@@ -99,7 +109,7 @@ class Engine {
   };
 
   /// Build the body snapshot for the task's next attempt (coordinator).
-  BodyJob prepare_body(TaskId task) const;
+  BodyJob prepare_body(TaskId task) const CHPO_REQUIRES(g_engine_ctx);
 
   /// Run a prepared body (any thread). Applies fault injection; catches
   /// body exceptions and converts them to failed attempts. Touches no
@@ -108,17 +118,18 @@ class Engine {
 
   /// prepare_body + execute_prepared in one step — for the simulation
   /// backend, where bodies run on the coordinator thread anyway.
-  AttemptResult execute_body(TaskId task, const Placement& placement, bool simulated);
+  AttemptResult execute_body(TaskId task, const Placement& placement, bool simulated)
+      CHPO_REQUIRES(g_engine_ctx);
 
   /// Injection-only attempt outcome for runs that skip bodies
   /// (SimOptions::execute_bodies == false): success unless the injector
   /// fails this attempt.
-  AttemptResult injection_result(TaskId task);
+  AttemptResult injection_result(TaskId task) CHPO_REQUIRES(g_engine_ctx);
 
   /// Input staging cost for running `task` on `node` under the cluster's
   /// transfer model; 0 when the cluster has a parallel filesystem. Records
   /// Transfer spans starting at `now` and updates data locations.
-  double stage_inputs(TaskId task, int node, double now);
+  double stage_inputs(TaskId task, int node, double now) CHPO_REQUIRES(g_engine_ctx);
 
   struct Completion {
     std::vector<TaskId> newly_ready;
@@ -133,7 +144,7 @@ class Engine {
   /// tracks (reaped on timeout, or raced by a speculative sibling after the
   /// task turned terminal) is a no-op — its resources were already handled.
   Completion complete_attempt(std::uint64_t attempt_id, AttemptResult result, double start,
-                              double end);
+                              double end) CHPO_REQUIRES(g_engine_ctx);
 
   /// Time-driven duties, called by the backend whenever the clock reaches a
   /// time next_wakeup() asked for (and harmlessly at any other time): reap
@@ -142,7 +153,7 @@ class Engine {
   /// eventual completion is dropped as stale), promote retries whose
   /// backoff delay expired, and launch speculative duplicates for
   /// straggling attempts. Returns dispatches the backend must execute.
-  std::vector<Dispatch> on_wakeup(double now);
+  std::vector<Dispatch> on_wakeup(double now) CHPO_REQUIRES(g_engine_ctx);
 
   /// Earliest future instant at which on_wakeup(now) has work to do:
   /// an attempt deadline, a straggler threshold crossing, or the end of a
@@ -157,7 +168,9 @@ class Engine {
   /// Sim-only: the backend preempts timed-out attempts itself on the
   /// virtual clock, so the engine must not also arm reap deadlines (a reap
   /// would race the already-queued preemption event).
-  void set_backend_preempts_timeouts(bool value) { backend_preempts_timeouts_ = value; }
+  void set_backend_preempts_timeouts(bool value) CHPO_REQUIRES(g_engine_ctx) {
+    backend_preempts_timeouts_ = value;
+  }
 
   const SpeculationTracker& speculation() const { return speculation_; }
 
@@ -168,7 +181,7 @@ class Engine {
   /// resources until the backend reports completion, at which point the
   /// result is discarded (never committed, never retried) and the task
   /// ends Cancelled. Returns false iff the task was already terminal.
-  bool cancel(TaskId task, double now);
+  bool cancel(TaskId task, double now) CHPO_REQUIRES(g_engine_ctx);
 
   /// Inject a node membership change at `time` (virtual seconds on the
   /// simulation backend, wall-clock seconds on the threaded one). The event
@@ -176,13 +189,13 @@ class Engine {
   /// the chaos hook Runtime::kill_node/revive_node use, and the same queue
   /// the injector's scheduled/MTTF-sampled timeline is loaded into at
   /// construction.
-  void inject_node_event(std::size_t node, double time, bool up);
+  void inject_node_event(std::size_t node, double time, bool up) CHPO_REQUIRES(g_engine_ctx);
 
   /// After a node death, ready tasks whose constraints no longer fit any
   /// live node must fail rather than wait forever. Returns true if any task
   /// transitioned (progress was made). A no-op while a node rejoin is still
   /// scheduled: capacity that will return is not gone.
-  bool reap_infeasible();
+  bool reap_infeasible() CHPO_REQUIRES(g_engine_ctx);
 
   /// Lineage status of (data, version) as seen by wait_on.
   enum class VersionStatus {
@@ -192,7 +205,8 @@ class Engine {
   };
   /// Ask for (data, version), demanding lineage recovery if its replicas
   /// died. Coordinator thread only.
-  VersionStatus request_version(DataId data, std::uint32_t version, double now);
+  VersionStatus request_version(DataId data, std::uint32_t version, double now)
+      CHPO_REQUIRES(g_engine_ctx);
 
   /// all_terminal() plus no lineage-recovery work pending or in flight —
   /// the barrier condition: a run is only over once lost data demanded by
@@ -217,7 +231,7 @@ class Engine {
   /// graph and adding successor edges to existing tasks) or cancel others.
   /// Re-entrant calls (a callback submitting/cancelling flushes again) are
   /// no-ops; the outermost flush drains everything queued along the way.
-  void flush_notifications();
+  void flush_notifications() CHPO_REQUIRES(g_engine_ctx);
 
   bool task_terminal(TaskId task) const;
   bool all_terminal() const;
@@ -265,43 +279,47 @@ class Engine {
     int pinned_node = -1;
   };
 
-  void make_ready(TaskId task);
-  void cancel_dependents(TaskId task);
-  void commit_outputs(TaskRecord& task, AttemptResult& result);
+  void make_ready(TaskId task) CHPO_REQUIRES(g_engine_ctx);
+  void cancel_dependents(TaskId task) CHPO_REQUIRES(g_engine_ctx);
+  void commit_outputs(TaskRecord& task, AttemptResult& result) CHPO_REQUIRES(g_engine_ctx);
   /// Single funnel for terminal transitions: stamps the completion order
   /// on the record and publishes the notification.
-  void mark_terminal(TaskId task);
+  void mark_terminal(TaskId task) CHPO_REQUIRES(g_engine_ctx);
   /// Track a newly placed attempt; stamps running state and the deadline.
   std::uint64_t register_attempt(TaskId task, const Placement& placement, double now,
-                                 bool speculative, bool recovery = false);
+                                 bool speculative, bool recovery = false)
+      CHPO_REQUIRES(g_engine_ctx);
   /// Shared tail of complete_attempt and timeout reaping.
   Completion conclude_attempt(const Attempt& attempt, AttemptResult result, double start,
-                              double end);
+                              double end) CHPO_REQUIRES(g_engine_ctx);
   /// Tail for lineage-recovery attempts: recommit the recomputed outputs
   /// (or charge the job and retry elsewhere). Task state is never touched.
   Completion conclude_recovery(const Attempt& attempt, AttemptResult result, double start,
-                               double end);
+                               double end) CHPO_REQUIRES(g_engine_ctx);
   /// Launch duplicates for straggling attempts (appends to `out`).
-  void check_speculation(double now, std::vector<Dispatch>& out);
+  void check_speculation(double now, std::vector<Dispatch>& out) CHPO_REQUIRES(g_engine_ctx);
   std::string speculation_key(const TaskRecord& record) const;
 
   /// Pop node events whose time has come; down events reap that node's
   /// in-flight attempts (retry dispatches appended to `out`).
-  void process_node_events(double now, std::vector<Dispatch>& out);
-  void handle_node_down(std::size_t node, double now, std::vector<Dispatch>& out);
-  void handle_node_up(std::size_t node, double now);
+  void process_node_events(double now, std::vector<Dispatch>& out) CHPO_REQUIRES(g_engine_ctx);
+  void handle_node_down(std::size_t node, double now, std::vector<Dispatch>& out)
+      CHPO_REQUIRES(g_engine_ctx);
+  void handle_node_up(std::size_t node, double now) CHPO_REQUIRES(g_engine_ctx);
   /// Queue the producer of a lost (data, version) for re-execution,
   /// recursively demanding its own lost inputs. False iff unrecoverable.
-  bool demand_recovery(DataId data, std::uint32_t version, double now);
-  bool enqueue_recovery(TaskId producer, double now);
+  bool demand_recovery(DataId data, std::uint32_t version, double now)
+      CHPO_REQUIRES(g_engine_ctx);
+  bool enqueue_recovery(TaskId producer, double now) CHPO_REQUIRES(g_engine_ctx);
   /// Place recovery jobs whose inputs are all committed again (appends
   /// dispatches to `out`).
-  void dispatch_recoveries(double now, std::vector<Dispatch>& out);
+  void dispatch_recoveries(double now, std::vector<Dispatch>& out) CHPO_REQUIRES(g_engine_ctx);
   /// True when every In/InOut input of `record` is readable. Lost inputs
   /// demand recovery; an unrecoverable input sets `doomed`.
-  bool inputs_ready(const TaskRecord& record, double now, bool& doomed);
+  bool inputs_ready(const TaskRecord& record, double now, bool& doomed)
+      CHPO_REQUIRES(g_engine_ctx);
   /// Count replica-liveness violations for a dispatch (invariant 5).
-  void check_input_liveness(const TaskRecord& record);
+  void check_input_liveness(const TaskRecord& record) CHPO_REQUIRES(g_engine_ctx);
   bool node_up_pending() const;
 
   TaskGraph& graph_;

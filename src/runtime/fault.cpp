@@ -48,16 +48,16 @@ std::size_t SpeculationTracker::observations(const std::string& key) const {
   return it == samples_.end() ? 0 : it->second.size();
 }
 
+double FaultInjector::exp_draw_locked(double mean) {
+  // Inverse-CDF sample; 1-u in (0,1] keeps log() finite.
+  const double u = rng_.next_double();
+  return -mean * std::log(std::max(1e-12, 1.0 - u));
+}
+
 void FaultInjector::materialize_node_schedule(std::size_t n_nodes) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (chaos_materialized_ || chaos_.mttf_seconds <= 0.0 || n_nodes == 0) return;
   chaos_materialized_ = true;
-
-  const auto exp_draw = [this](double mean) {
-    // Inverse-CDF sample; 1-u in (0,1] keeps log() finite.
-    const double u = rng_.next_double();
-    return -mean * std::log(std::max(1e-12, 1.0 - u));
-  };
 
   // Sample each node's alternating up/down timeline, then admit failures in
   // global time order only while at least one other node stays live — chaos
@@ -69,15 +69,15 @@ void FaultInjector::materialize_node_schedule(std::size_t n_nodes) {
   };
   std::vector<Outage> outages;
   for (std::size_t node = 0; node < n_nodes; ++node) {
-    double t = exp_draw(chaos_.mttf_seconds);
+    double t = exp_draw_locked(chaos_.mttf_seconds);
     while (t < chaos_.horizon_seconds) {
       if (chaos_.mttr_seconds <= 0.0) {
         outages.push_back(Outage{node, t, std::numeric_limits<double>::infinity()});
         break;
       }
-      const double back = t + exp_draw(chaos_.mttr_seconds);
+      const double back = t + exp_draw_locked(chaos_.mttr_seconds);
       outages.push_back(Outage{node, t, back});
-      t = back + exp_draw(chaos_.mttf_seconds);
+      t = back + exp_draw_locked(chaos_.mttf_seconds);
     }
   }
   std::sort(outages.begin(), outages.end(),
@@ -98,7 +98,7 @@ void FaultInjector::materialize_node_schedule(std::size_t n_nodes) {
 
 bool FaultInjector::should_fail(TaskId task, int attempt) {
   (void)attempt;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (auto it = forced_.find(task); it != forced_.end() && it->second > 0) {
     --it->second;
     return true;

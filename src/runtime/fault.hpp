@@ -10,13 +10,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "runtime/types.hpp"
 #include "support/rng.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace chpo::rt {
 
@@ -125,15 +125,16 @@ class FaultInjector {
       : rng_(seed), task_failure_prob_(task_failure_prob) {}
 
   // Copyable despite the mutex (copies happen at configuration time,
-  // before any worker thread exists).
-  FaultInjector(const FaultInjector& other)
+  // before any worker thread exists — hence exempt from the analysis,
+  // which cannot see that sequencing).
+  FaultInjector(const FaultInjector& other) CHPO_NO_THREAD_SAFETY_ANALYSIS
       : rng_(other.rng_),
         task_failure_prob_(other.task_failure_prob_),
         forced_(other.forced_),
         node_failures_(other.node_failures_),
         node_recoveries_(other.node_recoveries_),
         chaos_(other.chaos_) {}
-  FaultInjector& operator=(const FaultInjector& other) {
+  FaultInjector& operator=(const FaultInjector& other) CHPO_NO_THREAD_SAFETY_ANALYSIS {
     rng_ = other.rng_;
     task_failure_prob_ = other.task_failure_prob_;
     forced_ = other.forced_;
@@ -170,27 +171,32 @@ class FaultInjector {
   /// Failures that would leave the cluster with no live node are skipped —
   /// chaos should degrade a run, not make it impossible. Idempotent: the
   /// schedule is materialized at most once.
-  void materialize_node_schedule(std::size_t n_nodes);
+  void materialize_node_schedule(std::size_t n_nodes) CHPO_EXCLUDES(mutex_);
 
   /// Decide whether this attempt fails by injection. `attempt` is 1-based.
-  bool should_fail(TaskId task, int attempt);
+  bool should_fail(TaskId task, int attempt) CHPO_EXCLUDES(mutex_);
 
   const std::vector<NodeFailureEvent>& node_failures() const { return node_failures_; }
   const std::vector<NodeRecoveryEvent>& node_recoveries() const { return node_recoveries_; }
   bool any_injection() const { return task_failure_prob_ > 0.0 || !forced_.empty(); }
 
  private:
+  /// One inverse-CDF exponential draw from the injector RNG.
+  double exp_draw_locked(double mean) CHPO_REQUIRES(mutex_);
+
   /// should_fail runs inside execute_body, which the threaded backend
   /// calls from concurrent workers: the rng draw and the forced-failure
-  /// decrement must be atomic.
-  mutable std::mutex mutex_;
-  Rng rng_;
+  /// decrement must be atomic. The node-event lists and policies are
+  /// configuration-time state, written before any worker exists and read
+  /// by the coordinator only, so they stay unguarded.
+  mutable Mutex mutex_;
+  Rng rng_ CHPO_GUARDED_BY(mutex_);
   double task_failure_prob_ = 0.0;
-  std::map<TaskId, int> forced_;  ///< task -> remaining forced failures
+  std::map<TaskId, int> forced_ CHPO_GUARDED_BY(mutex_);  ///< remaining forced failures
   std::vector<NodeFailureEvent> node_failures_;
   std::vector<NodeRecoveryEvent> node_recoveries_;
   NodeChaosPolicy chaos_;
-  bool chaos_materialized_ = false;
+  bool chaos_materialized_ CHPO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace chpo::rt

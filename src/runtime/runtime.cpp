@@ -18,6 +18,9 @@ Runtime::Runtime(RuntimeOptions options)
               options_.injector, sink_) {
   if (options_.cluster.nodes.empty())
     throw std::invalid_argument("Runtime: cluster has no nodes");
+  // The constructing thread is the coordinator: every public entry point
+  // below re-asserts the role with its own scope.
+  EngineContextScope ctx(g_engine_ctx);
   engine_.set_terminal_listener(
       [this](TaskId task, TaskState state) { on_task_terminal(task, state); });
   if (options_.simulate)
@@ -37,6 +40,7 @@ Runtime::~Runtime() {
 }
 
 Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params) {
+  EngineContextScope ctx(g_engine_ctx);
   const TaskId id = graph_.add_task(def, params);
   engine_.on_submitted(id, backend_->now());
   // A task doomed at submission (failed predecessor) or with an
@@ -47,6 +51,7 @@ Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params) {
 
 Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params,
                        CompletionCallback on_complete) {
+  EngineContextScope ctx(g_engine_ctx);
   const TaskId id = graph_.add_task(def, params);
   // Register before on_submitted: a task doomed at submission (failed
   // predecessor) turns terminal inside that call and must still fire.
@@ -84,6 +89,7 @@ Future Runtime::submit_in(const TaskDef& def, const std::vector<DataId>& inputs)
 
 std::any Runtime::wait_on(const Future& future) {
   if (future.producer == kNoTask) throw std::invalid_argument("wait_on: empty future");
+  EngineContextScope ctx(g_engine_ctx);
   backend_->run_until(future.producer);
   synced_.push_back(future);
   sink_.record(trace::Event{.kind = trace::EventKind::Sync,
@@ -100,6 +106,9 @@ std::any Runtime::wait_on(const Future& future) {
   auto status = engine_.request_version(future.data, future.version, backend_->now());
   if (status == Engine::VersionStatus::Recovering) {
     backend_->run_until_condition([this, &future, &status] {
+      // Evaluated from inside the drive loop, which holds the capability
+      // behind the std::function boundary.
+      assert_engine_context();
       status = engine_.request_version(future.data, future.version, backend_->now());
       return status != Engine::VersionStatus::Recovering;
     });
@@ -113,6 +122,7 @@ std::any Runtime::wait_on(const Future& future) {
 
 Future Runtime::wait_any(std::span<const Future> futures) {
   if (futures.empty()) throw std::invalid_argument("wait_any: no futures");
+  EngineContextScope ctx(g_engine_ctx);
   std::vector<TaskId> targets;
   targets.reserve(futures.size());
   for (const Future& f : futures) {
@@ -151,11 +161,13 @@ Future Runtime::wait_any(std::span<const Future> futures) {
 
 bool Runtime::wait_all_for(double seconds) {
   if (graph_.empty()) return true;
+  EngineContextScope ctx(g_engine_ctx);
   return backend_->run_for(seconds);
 }
 
 bool Runtime::cancel(const Future& future) {
   if (future.producer == kNoTask) throw std::invalid_argument("cancel: empty future");
+  EngineContextScope ctx(g_engine_ctx);
   const bool cancelled = engine_.cancel(future.producer, backend_->now());
   // A pending task (and its dependents) turned terminal inside cancel();
   // their callbacks fire before this returns.
@@ -165,6 +177,7 @@ bool Runtime::cancel(const Future& future) {
 
 void Runtime::barrier() {
   if (graph_.empty()) return;
+  EngineContextScope ctx(g_engine_ctx);
   backend_->run_until(kNoTask);
 }
 
@@ -178,6 +191,7 @@ Future Runtime::submit_in_group(const std::string& group, const TaskDef& def,
 void Runtime::barrier_group(const std::string& group) {
   const auto it = groups_.find(group);
   if (it == groups_.end()) return;
+  EngineContextScope ctx(g_engine_ctx);
   for (TaskId task : it->second) backend_->run_until(task);
   sink_.record(trace::Event{.kind = trace::EventKind::Sync,
                             .t_start = backend_->now(),

@@ -135,10 +135,12 @@ class Runtime {
   /// node re-enters on probation (see NodeHealthPolicy). Throws
   /// std::out_of_range for an unknown node index.
   void kill_node(std::size_t node) {
+    EngineContextScope ctx(g_engine_ctx);
     engine_.inject_node_event(node, backend_->now(), false);
     backend_->poke();  // apply now: reap attempts, drop replicas
   }
   void revive_node(std::size_t node) {
+    EngineContextScope ctx(g_engine_ctx);
     engine_.inject_node_event(node, backend_->now(), true);
     backend_->poke();
   }

@@ -24,6 +24,9 @@ SimBackend::SimBackend(Engine& engine, SimOptions options)
   // deadlines for these attempts. Node deaths/rejoins need no loading
   // here: the engine owns the membership timeline and surfaces it through
   // next_wakeup()/on_wakeup().
+  // Construction happens on the coordinator thread (inside the Runtime
+  // constructor), so the engine-context capability is ours to assert.
+  EngineContextScope ctx(g_engine_ctx);
   engine_.set_backend_preempts_timeouts(true);
 }
 

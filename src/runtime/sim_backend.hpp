@@ -31,10 +31,11 @@ class SimBackend : public Backend {
   explicit SimBackend(Engine& engine, SimOptions options = {});
 
   double now() const override { return now_; }
-  void run_until(TaskId target) override;
-  void run_until_any(std::span<const TaskId> targets) override;
-  bool run_for(double seconds) override;
-  void run_until_condition(const std::function<bool()>& finished) override;
+  void run_until(TaskId target) override CHPO_REQUIRES(g_engine_ctx);
+  void run_until_any(std::span<const TaskId> targets) override CHPO_REQUIRES(g_engine_ctx);
+  bool run_for(double seconds) override CHPO_REQUIRES(g_engine_ctx);
+  void run_until_condition(const std::function<bool()>& finished) override
+      CHPO_REQUIRES(g_engine_ctx);
   bool simulated() const override { return true; }
 
  private:
@@ -55,19 +56,20 @@ class SimBackend : public Backend {
     double start = 0.0;  ///< when the body began (after staging)
   };
 
-  void dispatch(const Dispatch& d, bool inputs_already_staged);
+  void dispatch(const Dispatch& d, bool inputs_already_staged) CHPO_REQUIRES(g_engine_ctx);
   /// Queue an EngineWakeup event at Engine::next_wakeup (straggler
   /// threshold crossings and backoff expiries — timeouts are preempted at
   /// dispatch instead). Spurious extra wakeups are harmless: on_wakeup is
   /// idempotent for times with no due work.
-  void arm_wakeup();
+  void arm_wakeup() CHPO_REQUIRES(g_engine_ctx);
   bool done(TaskId target) const;
   double task_duration(const TaskRecord& record, const Placement& placement) const;
   /// Event loop shared by every wait flavour: pop events until `finished()`
   /// holds or the next event lies beyond the virtual `deadline` (<0 =
   /// none), in which case the clock advances to the deadline exactly.
   /// Returns true iff it stopped because `finished()` held.
-  bool drive(const std::function<bool()>& finished, double deadline);
+  bool drive(const std::function<bool()>& finished, double deadline)
+      CHPO_REQUIRES(g_engine_ctx);
 
   Engine& engine_;
   SimOptions options_;

@@ -40,7 +40,7 @@ void ThreadBackend::launch(const Dispatch& dispatch) {
                       .start = start,
                       .end = end};
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       completions_.push_back(std::move(msg));
     }
     cv_.notify_one();
@@ -95,17 +95,27 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
     CompletionMsg msg;
     bool have_msg = false;
     {
-      std::unique_lock lock(mutex_);
+      MutexLock lock(mutex_);
       double limit = std::numeric_limits<double>::infinity();
       if (deadline >= 0.0) limit = deadline;
       if (wake && *wake < limit) limit = *wake;
-      const auto have_completion = [this] { return !completions_.empty(); };
+      // Condition re-checks are written as explicit while loops (not
+      // predicate lambdas) so the thread-safety analysis sees every
+      // completions_ access under the held MutexLock.
       if (limit == std::numeric_limits<double>::infinity()) {
-        cv_.wait(lock, have_completion);
+        while (completions_.empty()) cv_.wait(mutex_);
         have_msg = true;
       } else {
-        const auto wait = std::chrono::duration<double>(limit - now());
-        if (cv_.wait_for(lock, wait, have_completion))
+        while (completions_.empty()) {
+          // Absolute limit: recompute the remaining budget after every
+          // spurious wakeup, give up once it is spent.
+          const double seconds = limit - now();
+          if (seconds <= 0.0) break;
+          if (cv_.wait_for(mutex_, std::chrono::duration<double>(seconds)) ==
+              std::cv_status::timeout)
+            break;
+        }
+        if (!completions_.empty())
           have_msg = true;
         else if (deadline >= 0.0 && now() >= deadline)
           return false;  // deadline hit with attempts still in flight

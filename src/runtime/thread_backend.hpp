@@ -6,14 +6,13 @@
 // enqueue completion messages, so engine state needs no locking.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "runtime/backend.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/thread_pool.hpp"
 
 namespace chpo::rt {
@@ -29,10 +28,11 @@ class ThreadBackend : public Backend {
   ~ThreadBackend() override { pool_.reset(); }
 
   double now() const override { return clock_.elapsed_seconds(); }
-  void run_until(TaskId target) override;
-  void run_until_any(std::span<const TaskId> targets) override;
-  bool run_for(double seconds) override;
-  void run_until_condition(const std::function<bool()>& finished) override;
+  void run_until(TaskId target) override CHPO_REQUIRES(g_engine_ctx);
+  void run_until_any(std::span<const TaskId> targets) override CHPO_REQUIRES(g_engine_ctx);
+  bool run_for(double seconds) override CHPO_REQUIRES(g_engine_ctx);
+  void run_until_condition(const std::function<bool()>& finished) override
+      CHPO_REQUIRES(g_engine_ctx);
   bool simulated() const override { return false; }
 
  private:
@@ -44,20 +44,24 @@ class ThreadBackend : public Backend {
     double end;
   };
 
-  void launch(const Dispatch& dispatch);
+  void launch(const Dispatch& dispatch) CHPO_REQUIRES(g_engine_ctx);
   bool done(TaskId target) const;
   /// Core loop shared by every wait flavour: dispatch ready tasks and
   /// process worker completions until `finished()` holds or the wall-clock
   /// `deadline` (seconds on this backend's clock; <0 = none) passes.
   /// Returns true iff it stopped because `finished()` held.
-  bool drive(const std::function<bool()>& finished, double deadline);
+  bool drive(const std::function<bool()>& finished, double deadline)
+      CHPO_REQUIRES(g_engine_ctx);
 
   Engine& engine_;
   Stopwatch clock_;
   std::unique_ptr<ThreadPool> pool_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<CompletionMsg> completions_;
+  /// Guards the worker -> coordinator completion queue (the only state
+  /// shared across threads on this backend; everything else is engine
+  /// state confined to the coordinator via g_engine_ctx).
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<CompletionMsg> completions_ CHPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace chpo::rt

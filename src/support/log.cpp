@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "support/thread_annotations.hpp"
 
 namespace chpo {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
-std::mutex g_sink_mutex;
+/// Serializes whole lines onto stderr (no data to guard — the capability
+/// models exclusive use of the stream).
+Mutex g_sink_mutex;
 
 constexpr const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,7 +32,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_ord
 
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::scoped_lock lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level), static_cast<int>(component.size()),
                component.data(), static_cast<int>(message.size()), message.data());
 }

@@ -1,0 +1,204 @@
+// Thread-safety annotations + annotated lock primitives.
+//
+// A macro shim over clang's Thread Safety Analysis (-Wthread-safety): on
+// clang the CHPO_* macros expand to the capability attributes and the
+// analysis checks, at compile time, that every access to a CHPO_GUARDED_BY
+// member happens under its lock and that every CHPO_REQUIRES contract is
+// honoured at each call site. On GCC (and any compiler without the
+// attributes) everything expands to nothing and the code compiles exactly
+// as before — annotations are contracts, never behaviour.
+//
+// The standard library's lock types carry no annotations under libstdc++,
+// so the analysis cannot see through std::scoped_lock / std::unique_lock.
+// This header therefore also provides thin annotated wrappers — Mutex,
+// SharedMutex, the MutexLock / ReaderLock / WriterLock RAII guards, and a
+// CondVar that waits on a Mutex directly — which the rest of the codebase
+// uses instead of the raw std types (enforced by chpo_lint's raw-std-mutex
+// rule). The wrappers follow the reference pattern from the clang Thread
+// Safety Analysis documentation.
+//
+// Lock-discipline contract for the repo (see DESIGN.md "Threading model &
+// static analysis"): locks are only ever taken through the RAII guards
+// below; chpo_lint rejects raw .lock()/.unlock() calls outside this file.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CHPO_HAVE_THREAD_SAFETY_ATTRIBUTES 1
+#endif
+#endif
+
+#ifdef CHPO_HAVE_THREAD_SAFETY_ATTRIBUTES
+#define CHPO_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CHPO_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+/// Marks a class as a capability (a lock, or a fake role capability such as
+/// rt::EngineContext). The string names the capability kind in diagnostics.
+#define CHPO_CAPABILITY(x) CHPO_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define CHPO_SCOPED_CAPABILITY CHPO_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define CHPO_GUARDED_BY(x) CHPO_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define CHPO_PT_GUARDED_BY(x) CHPO_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function precondition: caller must hold the capability exclusively.
+#define CHPO_REQUIRES(...) CHPO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function precondition: caller must hold the capability (shared is enough).
+#define CHPO_REQUIRES_SHARED(...) CHPO_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (held on return).
+#define CHPO_ACQUIRE(...) CHPO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability in shared mode.
+#define CHPO_ACQUIRE_SHARED(...) CHPO_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases an exclusively held capability.
+#define CHPO_RELEASE(...) CHPO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases a shared-held capability.
+#define CHPO_RELEASE_SHARED(...) CHPO_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held in either mode (scoped-guard dtors).
+#define CHPO_RELEASE_GENERIC(...) CHPO_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first arg is the success return value.
+#define CHPO_TRY_ACQUIRE(...) CHPO_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the capability held (deadlock guard).
+#define CHPO_EXCLUDES(...) CHPO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function asserts (at runtime) that the capability is already held.
+#define CHPO_ASSERT_CAPABILITY(x) CHPO_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define CHPO_RETURN_CAPABILITY(x) CHPO_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function is exempt from the analysis. Used only where
+/// the discipline is enforced by construction-time sequencing the analysis
+/// cannot see (e.g. FaultInjector's copy operations, which run before any
+/// worker thread exists).
+#define CHPO_NO_THREAD_SAFETY_ANALYSIS CHPO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace chpo {
+
+/// std::mutex with capability annotations. Prefer the MutexLock guard;
+/// the raw lock()/unlock() exist for the guard and CondVar only (chpo_lint
+/// forbids calling them anywhere else).
+class CHPO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CHPO_ACQUIRE() { m_.lock(); }
+  void unlock() CHPO_RELEASE() { m_.unlock(); }
+  bool try_lock() CHPO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex with capability annotations (DataRegistry's
+/// many-readers / single-writer version table).
+class CHPO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() CHPO_ACQUIRE() { m_.lock(); }
+  void unlock() CHPO_RELEASE() { m_.unlock(); }
+  void lock_shared() CHPO_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() CHPO_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// RAII exclusive lock on a Mutex.
+class CHPO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CHPO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() CHPO_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock on a SharedMutex.
+class CHPO_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) CHPO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() CHPO_RELEASE() { mu_.unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class CHPO_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) CHPO_ACQUIRE_SHARED(mu) : mu_(mu) { mu_.lock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() CHPO_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable that waits on a Mutex directly (condition_variable_any
+/// under the hood, so no std::unique_lock is needed — the annotated Mutex is
+/// its own BasicLockable). The caller must hold the mutex around wait();
+/// predicate re-checks live in the caller's scope, where the analysis can
+/// see the capability:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);
+///
+/// The internal unlock/relock inside wait() is invisible to the analysis,
+/// which is the correct model: the capability is held before and after.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) CHPO_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu, const std::chrono::time_point<Clock, Duration>& tp)
+      CHPO_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d)
+      CHPO_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace chpo

@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_work_.notify_all();
@@ -19,23 +19,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(job));
   }
   cv_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_work_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -43,7 +43,7 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

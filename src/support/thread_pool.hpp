@@ -2,16 +2,18 @@
 //
 // Used by the threaded runtime backend (one pool per simulated node) and by
 // parallel_for. Keeps semantics deliberately simple: submit() enqueues a job,
-// the destructor drains and joins.
+// the destructor drains and joins. Queue state is guarded by an annotated
+// Mutex, so the lock discipline is compile-time checked under clang's
+// -Wthread-safety.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace chpo {
 
@@ -27,23 +29,23 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueue a job. Safe from any thread, including pool workers.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) CHPO_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() CHPO_EXCLUDES(mutex_);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() CHPO_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_work_;
+  CondVar cv_idle_;
+  std::deque<std::function<void()>> queue_ CHPO_GUARDED_BY(mutex_);
+  std::size_t active_ CHPO_GUARDED_BY(mutex_) = 0;
+  bool stopping_ CHPO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace chpo

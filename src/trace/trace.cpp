@@ -6,14 +6,14 @@ namespace chpo::trace {
 
 void TraceSink::record(Event event) {
   if (!enabled_.load(std::memory_order_relaxed)) return;
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<Event> TraceSink::events() const {
   std::vector<Event> copy;
   {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     copy = events_;
   }
   std::stable_sort(copy.begin(), copy.end(),
@@ -22,12 +22,12 @@ std::vector<Event> TraceSink::events() const {
 }
 
 std::size_t TraceSink::size() const {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return events_.size();
 }
 
 void TraceSink::clear() {
-  std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.clear();
 }
 

@@ -14,9 +14,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace chpo::trace {
 
@@ -80,8 +81,8 @@ class TraceSink {
 
  private:
   std::atomic<bool> enabled_;
-  mutable std::mutex mutex_;
-  std::vector<Event> events_;
+  mutable Mutex mutex_;
+  std::vector<Event> events_ CHPO_GUARDED_BY(mutex_);
 };
 
 /// Human-readable name for an event kind.

@@ -1,0 +1,14 @@
+// Compile-FAILURE fixture (clang only): calling a mutating Engine method
+// without holding the engine-context capability must be rejected by
+// -Werror=thread-safety-analysis. The `compile_fail_engine_off_coordinator`
+// ctest builds this TU and asserts the build FAILS (WILL_FAIL); its twin
+// engine_on_coordinator.cpp proves the annotated call compiles.
+#include "runtime/engine.hpp"
+
+namespace chpo::rt {
+
+// No EngineContextScope: under clang -Wthread-safety this is
+// "calling function 'schedule' requires holding 'g_engine_ctx' exclusively".
+void off_coordinator_call(Engine& engine) { engine.schedule(0.0); }
+
+}  // namespace chpo::rt

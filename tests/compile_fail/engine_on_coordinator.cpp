@@ -1,0 +1,13 @@
+// Positive twin of engine_off_coordinator.cpp: the same Engine call *with*
+// the capability held must compile cleanly under -Werror=thread-safety-analysis,
+// proving the contract has no false positive on the sanctioned pattern.
+#include "runtime/engine.hpp"
+
+namespace chpo::rt {
+
+void coordinator_call(Engine& engine) {
+  EngineContextScope ctx(g_engine_ctx);
+  engine.schedule(0.0);
+}
+
+}  // namespace chpo::rt

@@ -1,0 +1,256 @@
+// Unit tests for chpo_lint: each rule is fed a synthetic tree containing a
+// violation (proving detection) and a clean variant (proving no false
+// positive). The real repo is checked by the `chpo_lint` ctest itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace chpo::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<Finding> of_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings)
+    if (f.rule == rule) out.push_back(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Masking
+// ---------------------------------------------------------------------------
+
+TEST(Masking, StripsCommentsAndLiteralsButKeepsLines) {
+  const std::string in =
+      "int a; // trailing .lock()\n"
+      "/* block\n spanning .unlock() */ int b;\n"
+      "const char* s = \".lock()\";\n"
+      "char c = '\\'';\n";
+  const std::string out = mask_comments_and_literals(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("lock"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+  EXPECT_NE(out.find("const char* s ="), std::string::npos);
+}
+
+TEST(Masking, HandlesSimpleRawStrings) {
+  const std::string out = mask_comments_and_literals("auto s = R\"(.lock() inside)\"; int x;");
+  EXPECT_EQ(out.find("lock"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// raw-lock-call
+// ---------------------------------------------------------------------------
+
+TEST(RawLockCall, FlagsManualLockAndUnlock) {
+  const auto findings = lint_files({{"src/foo/bar.cpp",
+                                     "void f() {\n"
+                                     "  mutex_.lock();\n"
+                                     "  ptr->unlock();\n"
+                                     "  mu.lock_shared();\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "raw-lock-call");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_EQ(hits[1].line, 3);
+  EXPECT_EQ(hits[2].line, 4);
+}
+
+TEST(RawLockCall, AllowsTheAnnotatedWrappersThemselves) {
+  const auto findings = lint_files(
+      {{"src/support/thread_annotations.hpp", "void lock() { m_.lock(); }\n"}});
+  EXPECT_TRUE(of_rule(findings, "raw-lock-call").empty());
+}
+
+TEST(RawLockCall, IgnoresCommentsStringsAndNonMemberCalls) {
+  const auto findings = lint_files({{"src/foo/bar.cpp",
+                                     "// call .lock() manually\n"
+                                     "const char* s = \".unlock()\";\n"
+                                     "lock();  // free function, not a member call\n"}});
+  EXPECT_TRUE(of_rule(findings, "raw-lock-call").empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-std-mutex
+// ---------------------------------------------------------------------------
+
+TEST(RawStdMutex, FlagsStdSyncPrimitivesInSrc) {
+  const auto findings = lint_files({{"src/foo/bar.hpp",
+                                     "std::mutex m_;\n"
+                                     "std::shared_mutex rw_;\n"
+                                     "std::condition_variable cv_;\n"
+                                     "std::condition_variable_any cva_;\n"}});
+  EXPECT_EQ(of_rule(findings, "raw-std-mutex").size(), 4u);
+}
+
+TEST(RawStdMutex, AllowsWrapperHeaderAndNonSrcTrees) {
+  EXPECT_TRUE(of_rule(lint_files({{"src/support/thread_annotations.hpp", "std::mutex m_;\n"}}),
+                      "raw-std-mutex")
+                  .empty());
+  EXPECT_TRUE(
+      of_rule(lint_files({{"tools/x.cpp", "std::mutex m_;\n"}}), "raw-std-mutex").empty());
+}
+
+// ---------------------------------------------------------------------------
+// nondeterministic-rng
+// ---------------------------------------------------------------------------
+
+TEST(NondeterministicRng, FlagsEntropySourcesInRuntimeAndReuse) {
+  const auto findings = lint_files({{"src/runtime/sched.cpp", "std::random_device rd;\n"},
+                                    {"src/reuse/cache.cpp", "int r = rand();\n"},
+                                    {"src/runtime/fault.cpp", "srand(42);\n"}});
+  EXPECT_EQ(of_rule(findings, "nondeterministic-rng").size(), 3u);
+}
+
+TEST(NondeterministicRng, IgnoresOtherPathsAndLongerIdentifiers) {
+  const auto findings = lint_files({{"src/hpo/tpe.cpp", "int r = rand();\n"},
+                                    {"src/runtime/x.cpp",
+                                     "int operand(int x);\n"
+                                     "int y = my_rand(3);\n"}});
+  EXPECT_TRUE(of_rule(findings, "nondeterministic-rng").empty());
+}
+
+// ---------------------------------------------------------------------------
+// callback-in-engine-mutation
+// ---------------------------------------------------------------------------
+
+TEST(CallbackInEngineMutation, FlagsTerminalListenerOutsideFlush) {
+  const auto findings = lint_files({{"src/runtime/engine.cpp",
+                                     "void Engine::complete_attempt(int id) {\n"
+                                     "  on_terminal_(id);\n"
+                                     "}\n"
+                                     "void Engine::flush_notifications() {\n"
+                                     "  on_terminal_(0);\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "callback-in-engine-mutation");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("complete_attempt"), std::string::npos);
+}
+
+TEST(CallbackInEngineMutation, AllowsNullChecksAndOtherFiles) {
+  // `if (on_terminal_)` is a test, not an invocation; other files may hold
+  // callbacks of the same name.
+  const auto findings =
+      lint_files({{"src/runtime/engine.cpp",
+                   "void Engine::mark_terminal(int id) {\n"
+                   "  if (on_terminal_) pending_.push_back(id);\n"
+                   "}\n"},
+                  {"src/runtime/runtime.cpp", "void f() { on_terminal_(3); }\n"}});
+  EXPECT_TRUE(of_rule(findings, "callback-in-engine-mutation").empty());
+}
+
+// ---------------------------------------------------------------------------
+// trace-kind-coverage
+// ---------------------------------------------------------------------------
+
+SourceFile trace_hpp(const std::string& last, const std::string& count_member) {
+  return {"src/trace/trace.hpp",
+          "enum class EventKind : std::uint8_t {\n"
+          "  TaskRun,\n"
+          "  Transfer,\n"
+          "  " + last + ",\n"
+          "};\n"
+          "inline constexpr int kEventKindCount = static_cast<int>(EventKind::" +
+              count_member + ") + 1;\n"};
+}
+
+SourceFile trace_cpp(const std::vector<std::string>& cases) {
+  std::string body = "const char* kind_name(EventKind kind) {\n  switch (kind) {\n";
+  for (const std::string& c : cases) body += "    case EventKind::" + c + ": return \"x\";\n";
+  body += "  }\n  return \"unknown\";\n}\n";
+  return {"src/trace/trace.cpp", body};
+}
+
+SourceFile prv_cpp(bool uses_count) {
+  return {"src/trace/prv_writer.cpp",
+          uses_count ? std::string("for (int k = 0; k < kEventKindCount; ++k) emit(k);\n")
+                     : std::string("emit_all_labels_by_hand();\n")};
+}
+
+TEST(TraceKindCoverage, CleanTreePasses) {
+  const auto findings = lint_files(
+      {trace_hpp("Sync", "Sync"), trace_cpp({"TaskRun", "Transfer", "Sync"}), prv_cpp(true)});
+  EXPECT_TRUE(of_rule(findings, "trace-kind-coverage").empty());
+}
+
+TEST(TraceKindCoverage, FlagsMissingKindNameCase) {
+  const auto findings =
+      lint_files({trace_hpp("Sync", "Sync"), trace_cpp({"TaskRun", "Sync"}), prv_cpp(true)});
+  const auto hits = of_rule(findings, "trace-kind-coverage");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("Transfer"), std::string::npos);
+}
+
+TEST(TraceKindCoverage, FlagsStaleKindCount) {
+  // kEventKindCount still names Transfer after Sync was appended.
+  const auto findings = lint_files(
+      {trace_hpp("Sync", "Transfer"), trace_cpp({"TaskRun", "Transfer", "Sync"}), prv_cpp(true)});
+  const auto hits = of_rule(findings, "trace-kind-coverage");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("last EventKind member"), std::string::npos);
+}
+
+TEST(TraceKindCoverage, FlagsHandRolledPcfLabels) {
+  const auto findings = lint_files(
+      {trace_hpp("Sync", "Sync"), trace_cpp({"TaskRun", "Transfer", "Sync"}), prv_cpp(false)});
+  const auto hits = of_rule(findings, "trace-kind-coverage");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("kEventKindCount"), std::string::npos);
+}
+
+TEST(TraceKindCoverage, PrefixMemberNamesDoNotSatisfyEachOther) {
+  // A case for TaskRunEnd must not count as covering TaskRun.
+  const auto findings = lint_files({{"src/trace/trace.hpp",
+                                     "enum class EventKind {\n"
+                                     "  TaskRun,\n"
+                                     "  TaskRunEnd,\n"
+                                     "};\n"
+                                     "inline constexpr int kEventKindCount = "
+                                     "static_cast<int>(EventKind::TaskRunEnd) + 1;\n"},
+                                    trace_cpp({"TaskRunEnd"})});
+  const auto hits = of_rule(findings, "trace-kind-coverage");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("EventKind::TaskRun "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// lint_tree (directory walking)
+// ---------------------------------------------------------------------------
+
+TEST(LintTree, WalksSrcAndReportsRelativePaths) {
+  const fs::path root = fs::path(testing::TempDir()) / "chpo_lint_tree_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "runtime");
+  {
+    std::ofstream out(root / "src" / "runtime" / "bad.cpp");
+    out << "std::random_device rd;\n";
+  }
+  const auto findings = lint_tree(root.string());
+  const auto hits = of_rule(findings, "nondeterministic-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/runtime/bad.cpp");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_FALSE(format_findings(findings).empty());
+  fs::remove_all(root);
+}
+
+TEST(LintTree, MissingSubtreesAreNotAnError) {
+  const fs::path root = fs::path(testing::TempDir()) / "chpo_lint_empty_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  EXPECT_TRUE(lint_tree(root.string()).empty());
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace chpo::lint

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
+#include <string>
 
 #include "cluster/cluster.hpp"
 #include "trace/analysis.hpp"
@@ -216,6 +218,52 @@ TEST(KindNames, AllDistinct) {
   EXPECT_STREQ(kind_name(EventKind::TaskRun), "task_run");
   EXPECT_STREQ(kind_name(EventKind::NodeDown), "node_down");
   EXPECT_STREQ(kind_name(EventKind::Sync), "sync");
+}
+
+// Trace-kind completeness: adding an EventKind member without wiring it
+// through kind_name / the .pcf label table / the .prv writer must fail here
+// (and in chpo_lint), not silently produce an unlabeled trace.
+
+TEST(TraceKinds, EveryKindHasADistinctName) {
+  std::set<std::string> names;
+  for (int k = 0; k < kEventKindCount; ++k) {
+    const char* name = kind_name(static_cast<EventKind>(k));
+    EXPECT_STRNE(name, "unknown") << "EventKind value " << k << " has no kind_name case";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate kind name: " << name;
+  }
+}
+
+TEST(TraceKinds, EveryKindHasAPcfLabel) {
+  const std::string pcf = to_pcf();
+  for (int k = 0; k < kEventKindCount; ++k) {
+    const std::string label =
+        std::to_string(k) + "    " + kind_name(static_cast<EventKind>(k)) + "\n";
+    EXPECT_NE(pcf.find(label), std::string::npos)
+        << "missing .pcf label for EventKind value " << k;
+  }
+}
+
+TEST(TraceKinds, EveryKindRoundTripsThroughPrvWriter) {
+  const cluster::ClusterSpec spec = cluster::marenostrum4(1);
+  for (int k = 0; k < kEventKindCount; ++k) {
+    Event ev;
+    ev.kind = static_cast<EventKind>(k);
+    ev.task_id = 7;
+    ev.node = 0;
+    ev.cores = {0};
+    ev.t_start = 1.0;
+    ev.t_end = 2.0;
+    const std::string prv = to_prv({ev}, spec);
+    if (ev.kind == EventKind::TaskRun) {
+      // Spans become state records (type 1).
+      EXPECT_NE(prv.find("\n1:"), std::string::npos) << "no state record for TaskRun";
+    } else {
+      // Points become event records (type 2) carrying the kind as the value.
+      const std::string record = ":9000000:" + std::to_string(k) + "\n";
+      EXPECT_NE(prv.find(record), std::string::npos)
+          << "no event record for EventKind value " << k;
+    }
+  }
 }
 
 }  // namespace

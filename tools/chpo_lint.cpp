@@ -1,0 +1,19 @@
+// chpo_lint CLI: lint the repo tree rooted at argv[1] (default ".").
+// Exits non-zero when any finding is reported; wired into ctest and every
+// CI job so the invariants in tools/lint/lint.hpp hold on every commit.
+#include <cstdio>
+#include <string>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  const auto findings = chpo::lint::lint_tree(root);
+  if (findings.empty()) {
+    std::printf("chpo_lint: OK (%s)\n", root.c_str());
+    return 0;
+  }
+  std::fputs(chpo::lint::format_findings(findings).c_str(), stderr);
+  std::fprintf(stderr, "chpo_lint: %zu finding(s) in %s\n", findings.size(), root.c_str());
+  return 1;
+}

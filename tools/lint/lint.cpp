@@ -1,0 +1,450 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace chpo::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+/// Path with '\\' normalised to '/'.
+std::string normalise(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Find `token` in `line` at an identifier boundary on the left (so a match
+/// inside a longer identifier does not count). Returns npos if absent.
+std::string::size_type find_word(const std::string& line, const std::string& token,
+                                 std::string::size_type from = 0) {
+  for (auto pos = line.find(token, from); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (pos == 0 || !ident_char(line[pos - 1])) return pos;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-lock-call
+// ---------------------------------------------------------------------------
+
+void rule_raw_lock_call(const SourceFile& file, const std::vector<std::string>& lines,
+                        std::vector<Finding>& out) {
+  if (ends_with(file.path, "support/thread_annotations.hpp")) return;  // the RAII guards themselves
+  static const std::string kMethods[] = {"lock()", "unlock()", "lock_shared()", "unlock_shared()"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (const std::string& method : kMethods) {
+      for (auto pos = line.find(method); pos != std::string::npos;
+           pos = line.find(method, pos + 1)) {
+        // Only calls through an object: .method() or ->method().
+        const bool via_dot = pos >= 1 && line[pos - 1] == '.';
+        const bool via_arrow = pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
+        if (!via_dot && !via_arrow) continue;
+        out.push_back({file.path, static_cast<int>(i + 1), "raw-lock-call",
+                       "raw " + method +
+                           " call; use the RAII guards from support/thread_annotations.hpp "
+                           "(MutexLock / ReaderLock / WriterLock)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-std-mutex
+// ---------------------------------------------------------------------------
+
+void rule_raw_std_mutex(const SourceFile& file, const std::vector<std::string>& lines,
+                        std::vector<Finding>& out) {
+  if (!contains(file.path, "src/")) return;  // wrappers are mandatory in the library only
+  if (ends_with(file.path, "support/thread_annotations.hpp")) return;  // wraps the std types
+  static const std::string kTypes[] = {"std::mutex",           "std::shared_mutex",
+                                       "std::timed_mutex",     "std::recursive_mutex",
+                                       "std::condition_variable",
+                                       "std::condition_variable_any"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (const std::string& type : kTypes) {
+      for (auto pos = find_word(line, type); pos != std::string::npos;
+           pos = find_word(line, type, pos + 1)) {
+        // Exact token only: a longer identifier (e.g. the _any variant,
+        // checked as its own entry) is not a match for its prefix.
+        const auto after = pos + type.size();
+        if (after < line.size() && ident_char(line[after])) continue;
+        out.push_back({file.path, static_cast<int>(i + 1), "raw-std-mutex",
+                       type + " in src/; use the annotated chpo::Mutex / chpo::CondVar "
+                              "wrappers so -Wthread-safety can check the lock discipline"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nondeterministic-rng
+// ---------------------------------------------------------------------------
+
+void rule_nondeterministic_rng(const SourceFile& file, const std::vector<std::string>& lines,
+                               std::vector<Finding>& out) {
+  // Replay, lineage recovery and the content-addressed result cache all
+  // assume seed-derived determinism; entropy sources are banned there.
+  if (!contains(file.path, "/runtime/") && !contains(file.path, "/reuse/")) return;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (find_word(line, "std::random_device") != std::string::npos ||
+        find_word(line, "random_device") != std::string::npos) {
+      out.push_back({file.path, static_cast<int>(i + 1), "nondeterministic-rng",
+                     "std::random_device in a deterministic path; derive RNG state from "
+                     "the trial/task seed instead"});
+      continue;
+    }
+    if (find_word(line, "rand(") != std::string::npos ||
+        find_word(line, "srand(") != std::string::npos) {
+      out.push_back({file.path, static_cast<int>(i + 1), "nondeterministic-rng",
+                     "C rand()/srand() in a deterministic path; use a seeded "
+                     "std::mt19937_64 derived from the trial/task seed"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: callback-in-engine-mutation
+// ---------------------------------------------------------------------------
+
+void rule_callback_in_engine_mutation(const SourceFile& file,
+                                      const std::vector<std::string>& lines,
+                                      std::vector<Finding>& out) {
+  if (!ends_with(file.path, "runtime/engine.cpp")) return;
+  // Track the current Engine method from definition lines of the form
+  // "<ret> Engine::name(". The terminal listener may only fire inside
+  // flush_notifications(), the designated safe point where no TaskRecord
+  // references are live.
+  std::string current;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const auto def = line.find("Engine::");
+    if (def != std::string::npos && (def == 0 || !ident_char(line[def - 1]))) {
+      const auto name_start = def + std::string("Engine::").size();
+      auto name_end = name_start;
+      while (name_end < line.size() && ident_char(line[name_end])) ++name_end;
+      if (name_end < line.size() && line[name_end] == '(' && name_end > name_start)
+        current = line.substr(name_start, name_end - name_start);
+    }
+    const auto call = line.find("on_terminal_(");
+    if (call == std::string::npos) continue;
+    if (call > 0 && ident_char(line[call - 1])) continue;
+    if (current == "flush_notifications") continue;
+    out.push_back({file.path, static_cast<int>(i + 1), "callback-in-engine-mutation",
+                   "terminal-listener invocation inside Engine::" +
+                       (current.empty() ? std::string("<file scope>") : current) +
+                       "; user callbacks may only fire from Engine::flush_notifications "
+                       "(the no-live-references safe point)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: trace-kind-coverage (cross-file)
+// ---------------------------------------------------------------------------
+
+struct EnumMember {
+  std::string name;
+  int line = 0;
+};
+
+/// Parse the members of `enum class EventKind` from masked trace.hpp text.
+std::vector<EnumMember> parse_event_kinds(const std::vector<std::string>& lines) {
+  std::vector<EnumMember> members;
+  bool in_enum = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (!in_enum) {
+      if (contains(line, "enum class EventKind")) in_enum = true;
+      continue;
+    }
+    if (contains(line, "};")) break;
+    // Member lines look like "  Name," or "  Name = 3,".
+    std::size_t p = 0;
+    while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p]))) ++p;
+    if (p >= line.size() || !ident_char(line[p]) ||
+        std::isdigit(static_cast<unsigned char>(line[p])))
+      continue;
+    auto end = p;
+    while (end < line.size() && ident_char(line[end])) ++end;
+    members.push_back({line.substr(p, end - p), static_cast<int>(i + 1)});
+  }
+  return members;
+}
+
+void rule_trace_kind_coverage(const std::vector<SourceFile>& files,
+                              const std::vector<std::vector<std::string>>& masked_lines,
+                              std::vector<Finding>& out) {
+  const SourceFile* hpp = nullptr;
+  const std::vector<std::string>* hpp_lines = nullptr;
+  const SourceFile* cpp = nullptr;
+  const std::vector<std::string>* cpp_lines = nullptr;
+  const SourceFile* prv = nullptr;
+  const std::vector<std::string>* prv_lines = nullptr;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (ends_with(files[i].path, "trace/trace.hpp")) {
+      hpp = &files[i];
+      hpp_lines = &masked_lines[i];
+    } else if (ends_with(files[i].path, "trace/trace.cpp")) {
+      cpp = &files[i];
+      cpp_lines = &masked_lines[i];
+    } else if (ends_with(files[i].path, "trace/prv_writer.cpp")) {
+      prv = &files[i];
+      prv_lines = &masked_lines[i];
+    }
+  }
+  if (hpp == nullptr || hpp_lines == nullptr) return;  // tree without the trace subsystem
+  const std::vector<EnumMember> members = parse_event_kinds(*hpp_lines);
+  if (members.empty()) {
+    out.push_back({hpp->path, 1, "trace-kind-coverage",
+                   "could not parse any members of enum class EventKind"});
+    return;
+  }
+
+  // kEventKindCount must name the *last* member, so exhaustive loops over
+  // [0, kEventKindCount) cannot silently truncate when a kind is appended.
+  {
+    bool defined = false;
+    for (std::size_t i = 0; i < hpp_lines->size(); ++i) {
+      const std::string& line = (*hpp_lines)[i];
+      if (find_word(line, "kEventKindCount") == std::string::npos) continue;
+      if (!contains(line, "EventKind::")) continue;
+      defined = true;
+      if (!contains(line, "EventKind::" + members.back().name))
+        out.push_back({hpp->path, static_cast<int>(i + 1), "trace-kind-coverage",
+                       "kEventKindCount must be defined from the last EventKind member (" +
+                           members.back().name + ")"});
+      break;
+    }
+    if (!defined)
+      out.push_back({hpp->path, members.back().line, "trace-kind-coverage",
+                     "missing kEventKindCount defined from the last EventKind member (" +
+                         members.back().name + ")"});
+  }
+
+  if (cpp == nullptr || cpp_lines == nullptr) {
+    out.push_back({hpp->path, 1, "trace-kind-coverage",
+                   "trace/trace.cpp (kind_name switch) not found next to trace.hpp"});
+    return;
+  }
+  for (const EnumMember& m : members) {
+    const std::string want = "case EventKind::" + m.name;
+    bool found = false;
+    for (const std::string& line : *cpp_lines) {
+      const auto pos = find_word(line, want);
+      if (pos == std::string::npos) continue;
+      const auto after = pos + want.size();
+      if (after < line.size() && ident_char(line[after])) continue;  // longer member name
+      found = true;
+      break;
+    }
+    if (!found)
+      out.push_back({cpp->path, m.line, "trace-kind-coverage",
+                     "EventKind::" + m.name +
+                         " has no case in the kind_name switch (trace.cpp), so the .pcf "
+                         "label table would miss it"});
+  }
+
+  // The .pcf label table must be generated by iterating kEventKindCount, not
+  // by a hand-maintained list that can drift from the enum.
+  if (prv != nullptr && prv_lines != nullptr) {
+    bool uses_count = false;
+    for (const std::string& line : *prv_lines)
+      if (find_word(line, "kEventKindCount") != std::string::npos) uses_count = true;
+    if (!uses_count)
+      out.push_back({prv->path, 1, "trace-kind-coverage",
+                     "prv_writer.cpp must emit .pcf labels by iterating kEventKindCount "
+                     "so every EventKind gets a label"});
+  }
+}
+
+}  // namespace
+
+std::string mask_comments_and_literals(const std::string& text) {
+  std::string out = text;
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  State state = State::Code;
+  std::size_t i = 0;
+  const auto blank = [&](std::size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < out.size()) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(out[i - 1]))) {
+          // Simple raw strings only: R"( ... )". Custom delimiters are not
+          // used in this repo and would fail the lint loudly if added.
+          state = State::RawString;
+          i += 2;
+          if (i < out.size() && out[i] == '(') ++i;
+        } else if (c == '"') {
+          state = State::String;
+          ++i;
+        } else if (c == '\'') {
+          state = State::Char;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n')
+          state = State::Code;
+        else
+          blank(i);
+        ++i;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::String:
+        if (c == '\\' && i + 1 < out.size()) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '"') {
+          ++i;
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::Char:
+        if (c == '\\' && i + 1 < out.size()) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '\'') {
+          ++i;
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::RawString:
+        if (c == ')' && next == '"') {
+          i += 2;
+          state = State::Code;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_files(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  std::vector<std::vector<std::string>> masked;
+  masked.reserve(files.size());
+  for (const SourceFile& file : files)
+    masked.push_back(split_lines(mask_comments_and_literals(file.content)));
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    SourceFile normalised_file{normalise(files[i].path), std::string()};
+    rule_raw_lock_call(normalised_file, masked[i], findings);
+    rule_raw_std_mutex(normalised_file, masked[i], findings);
+    rule_nondeterministic_rng(normalised_file, masked[i], findings);
+    rule_callback_in_engine_mutation(normalised_file, masked[i], findings);
+  }
+
+  std::vector<SourceFile> normalised_files;
+  normalised_files.reserve(files.size());
+  for (const SourceFile& file : files) normalised_files.push_back({normalise(file.path), {}});
+  rule_trace_kind_coverage(normalised_files, masked, findings);
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  std::vector<SourceFile> files;
+  static const char* kSubtrees[] = {"src", "tools", "bench"};
+  for (const char* subtree : kSubtrees) {
+    const fs::path dir = fs::path(root) / subtree;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+      std::ifstream in(it->path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back({normalise(fs::relative(it->path(), root, ec).string()), buf.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
+  return lint_files(files);
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings)
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  return out.str();
+}
+
+}  // namespace chpo::lint

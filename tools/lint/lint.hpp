@@ -1,0 +1,70 @@
+// chpo_lint — repo-invariant linter.
+//
+// Enforces, at line level and with zero external dependencies, the
+// conventions the compiler cannot check (clang's -Wthread-safety covers
+// lock discipline *types*; these rules cover repo-specific idioms):
+//
+//   trace-kind-coverage        every trace::EventKind member has a
+//                              kind_name() case in trace.cpp (which is what
+//                              the .pcf writer iterates), kEventKindCount
+//                              names the last member, and prv_writer.cpp
+//                              emits labels exhaustively via the counter.
+//   raw-lock-call              no .lock()/.unlock() (or shared variants)
+//                              outside the RAII guards in
+//                              support/thread_annotations.hpp.
+//   raw-std-mutex              no std::mutex / std::shared_mutex /
+//                              std::condition_variable members in src/ —
+//                              use the annotated chpo::Mutex wrappers so
+//                              the thread-safety analysis can see locks.
+//   nondeterministic-rng       no std::random_device / rand() / srand() in
+//                              deterministic runtime/reuse paths (replay,
+//                              lineage recovery and the content-addressed
+//                              cache all depend on seed-derived RNG only).
+//   callback-in-engine-mutation  engine.cpp may invoke the terminal
+//                              listener (on_terminal_) only inside
+//                              flush_notifications() — never from a
+//                              mutation path holding TaskRecord references.
+//
+// Header self-containedness (each public header compiles as its own
+// translation unit) is the one rule not here: it needs a compiler, so it is
+// generated into build targets by cmake/HeaderSelfCheck.cmake.
+//
+// Comments and string/char literals are masked before matching, so rule
+// text in comments (or this very tool's pattern strings) never self-flags.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chpo::lint {
+
+struct Finding {
+  std::string file;  ///< path as scanned (relative to the root passed in)
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One in-memory source file (the unit tests feed synthetic trees).
+struct SourceFile {
+  std::string path;     ///< used for rule dispatch (suffix matching)
+  std::string content;  ///< raw text
+};
+
+/// Replace comment bodies and string/char literal contents with spaces,
+/// preserving line structure. Handles //, /* */, escapes, and simple
+/// R"( )" raw strings.
+std::string mask_comments_and_literals(const std::string& text);
+
+/// Run every rule over the given files.
+std::vector<Finding> lint_files(const std::vector<SourceFile>& files);
+
+/// Collect .hpp/.cpp files under root/src, root/tools and root/bench (the
+/// subtrees that exist) and lint them. Paths in findings are relative to
+/// `root`.
+std::vector<Finding> lint_tree(const std::string& root);
+
+/// "file:line: [rule] message" per finding.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace chpo::lint
