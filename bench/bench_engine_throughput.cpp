@@ -1,0 +1,127 @@
+// Engine throughput baseline (ROADMAP item 2): tasks/sec through the full
+// submit -> schedule -> run -> retire funnel, on both backends, with one
+// study vs N concurrent studies multiplexing the engine. The multi-study
+// rows measure what the study layer costs: per-task study tagging, the
+// fair-share pass in Engine::schedule, and per-study completion routing.
+//
+// Results go to stdout as a table and (optionally) to a JSON file so the
+// perf trajectory has a committed baseline: run with
+//   bench_engine_throughput --json BENCH_engine.json
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/study_session.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace chpo;
+
+struct Row {
+  std::string backend;
+  int studies = 1;
+  int tasks = 0;
+  double seconds = 0.0;
+  double tasks_per_second() const { return seconds > 0 ? tasks / seconds : 0.0; }
+};
+
+rt::TaskDef tiny_task() {
+  rt::TaskDef def;
+  def.name = "tiny";
+  def.body = [](rt::TaskContext&) { return std::any(1); };
+  // Near-zero virtual cost so the simulated run measures engine overhead,
+  // not simulated compute.
+  def.cost = [](const rt::Placement&, const cluster::NodeSpec&) { return 1e-6; };
+  return def;
+}
+
+/// Wall-clock for `n_tasks` no-op tasks spread round-robin over `n_studies`
+/// sessions, submit to last retirement.
+Row run_storm(bool simulate, int n_studies, int n_tasks) {
+  rt::RuntimeOptions options;
+  cluster::NodeSpec node;
+  node.name = "local";
+  node.cpus = 4;
+  options.cluster = cluster::homogeneous(2, node);
+  options.simulate = simulate;
+  rt::Runtime runtime(std::move(options));
+
+  std::vector<rt::StudySession> sessions;
+  sessions.push_back(runtime.main_study());
+  for (int s = 1; s < n_studies; ++s)
+    sessions.push_back(runtime.open_study({.name = "storm-" + std::to_string(s)}));
+
+  Stopwatch clock;
+  const rt::TaskDef def = tiny_task();
+  for (int i = 0; i < n_tasks; ++i) sessions[static_cast<std::size_t>(i) % sessions.size()].submit(def);
+  for (rt::StudySession& session : sessions) session.barrier();
+  return Row{.backend = simulate ? "sim" : "thread",
+             .studies = n_studies,
+             .tasks = n_tasks,
+             .seconds = clock.elapsed_seconds()};
+}
+
+Row best_of(int reps, bool simulate, int n_studies, int n_tasks) {
+  Row best = run_storm(simulate, n_studies, n_tasks);
+  for (int rep = 1; rep < reps; ++rep) {
+    const Row row = run_storm(simulate, n_studies, n_tasks);
+    if (row.seconds < best.seconds) best = row;
+  }
+  return best;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"bench_engine_throughput\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"backend\": \"%s\", \"studies\": %d, \"tasks\": %d, "
+                 "\"seconds\": %.6f, \"tasks_per_second\": %.1f}%s\n",
+                 r.backend.c_str(), r.studies, r.tasks, r.seconds, r.tasks_per_second(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("bench_engine_throughput",
+                      "engine baseline (tasks/sec, 1 vs N studies, both backends)");
+
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
+
+  constexpr int kTasks = 4000;
+  constexpr int kReps = 3;
+  run_storm(false, 1, 400);  // warm-up: thread pool + allocators
+  run_storm(true, 1, 400);
+
+  std::vector<Row> rows;
+  for (const bool simulate : {false, true})
+    for (const int studies : {1, 4})
+      rows.push_back(best_of(kReps, simulate, studies, kTasks));
+
+  std::printf("%d no-op tasks, best of %d:\n", kTasks, kReps);
+  std::printf("  %-8s %8s %10s %14s\n", "backend", "studies", "seconds", "tasks/sec");
+  for (const Row& r : rows)
+    std::printf("  %-8s %8d %10.3f %14.1f\n", r.backend.c_str(), r.studies, r.seconds,
+                r.tasks_per_second());
+  const Row& t1 = rows[0];
+  const Row& t4 = rows[1];
+  std::printf("  multi-study overhead (thread, 4 vs 1): %+.1f%%\n",
+              100.0 * (t4.seconds / t1.seconds - 1.0));
+
+  if (!json_path.empty()) write_json(json_path, rows);
+  return 0;
+}

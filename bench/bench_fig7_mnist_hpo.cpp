@@ -41,7 +41,7 @@ int main() {
   driver_options.trial_constraint = {.cpus = 1};
   driver_options.epoch_divisor = 10;  // paper epochs 20/50/100 -> 2/5/10
   driver_options.seed = 42;
-  hpo::HpoDriver driver(runtime, dataset, driver_options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
   hpo::GridSearch grid(space);
   const hpo::HpoOutcome outcome = driver.run(grid);
 
@@ -64,7 +64,7 @@ int main() {
   rt::Runtime es_runtime(std::move(es_options));
   hpo::DriverOptions es_driver_options = driver_options;
   es_driver_options.trial_target_accuracy = 0.9;
-  hpo::HpoDriver es_driver(es_runtime, dataset, es_driver_options);
+  hpo::HpoDriver es_driver(es_runtime.main_study(), dataset, es_driver_options);
   hpo::GridSearch grid2(space);
   const hpo::HpoOutcome with_early_stop = es_driver.run(grid2);
   long epochs_full = 0, epochs_early = 0;

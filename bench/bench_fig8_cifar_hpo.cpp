@@ -30,7 +30,7 @@ int main() {
   driver_options.trial_constraint = {.cpus = 1};
   driver_options.epoch_divisor = 10;  // CNN training: keep it laptop-sized
   driver_options.seed = 7;
-  hpo::HpoDriver driver(runtime, dataset, driver_options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
   hpo::GridSearch grid(space);
   const hpo::HpoOutcome outcome = driver.run(grid);
 
@@ -54,7 +54,7 @@ int main() {
     rt::RuntimeOptions rs_options;
     rs_options.cluster = cluster::homogeneous(1, node);
     rt::Runtime rs_runtime(std::move(rs_options));
-    hpo::HpoDriver rs_driver(rs_runtime, dataset, driver_options);
+    hpo::HpoDriver rs_driver(rs_runtime.main_study(), dataset, driver_options);
     hpo::RandomSearch random(space, 9, 101 + static_cast<std::uint64_t>(rep));
     const hpo::HpoOutcome rs_outcome = rs_driver.run(random);
     if (rs_outcome.best()) mean_best += rs_outcome.best()->result.final_val_accuracy;

@@ -69,25 +69,25 @@ int main() {
       "batch_size": [16, 32, 64]
     })");
     rt::Runtime runtime(local_cluster());
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
     hpo::GridSearch grid(grid_space);
     record("grid (27)", driver.run(grid));
   }
   {
     rt::Runtime runtime(local_cluster());
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
     hpo::RandomSearch random(space, 12, 77);
     record("random (12)", driver.run(random));
   }
   {
     rt::Runtime runtime(local_cluster());
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
     hpo::GpBayesOpt bo(space, {.max_evals = 12, .n_init = 4, .seed = 77});
     record("gp-ei (12)", driver.run(bo));
   }
   {
     rt::Runtime runtime(local_cluster());
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
     hpo::TpeSearch tpe(space, {.max_evals = 12, .n_init = 4, .seed = 77});
     record("tpe (12)", driver.run(tpe));
   }
@@ -100,7 +100,7 @@ int main() {
     halving.max_epochs = 4;
     halving.driver = driver_options;
     const hpo::HalvingOutcome outcome =
-        hpo::successive_halving(runtime, dataset, space, halving);
+        hpo::successive_halving(runtime.main_study(), dataset, space, halving);
     std::size_t trials = 0;
     for (const auto& rung : outcome.rungs) trials += rung.trials.size();
     rows.push_back(Row{"halving (12->4)", trials, outcome.best_accuracy, 0});
@@ -111,7 +111,7 @@ int main() {
     hb.max_epochs = 4;
     hb.eta = 2.0;
     hb.driver = driver_options;
-    const hpo::HyperbandOutcome outcome = hpo::hyperband(runtime, dataset, space, hb);
+    const hpo::HyperbandOutcome outcome = hpo::hyperband(runtime.main_study(), dataset, space, hb);
     rows.push_back(Row{"hyperband (R=4)", outcome.total_trials, outcome.best_accuracy, 0});
   }
 

@@ -56,7 +56,7 @@ std::pair<double, reuse::ReuseReport> simulate_grid(bool merge) {
     requests.push_back({index, hpo::experiment_train_config(config, options, index)});
   }
 
-  reuse::StageExecutor executor(runtime, bench::empty_dataset(), options.reuse,
+  reuse::StageExecutor executor(runtime.main_study(), bench::empty_dataset(), options.reuse,
                                 rt::Constraint{.cpus = 1}, options.workload, nullptr);
   executor.submit(requests);
   runtime.barrier();
@@ -80,7 +80,7 @@ RealRun run_real(const ml::Dataset& dataset, const char* space_json, bool merge,
   options.reuse.enabled = true;
   options.reuse.merge = merge;
   options.reuse.cache_dir = cache_dir;
-  hpo::HpoDriver driver(runtime, dataset, options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, options);
   hpo::GridSearch grid(hpo::SearchSpace::from_json_text(space_json));
   RealRun run;
   run.outcome = driver.run(grid);

@@ -29,7 +29,7 @@ int main() {
     hpo::DriverOptions driver_options;
     driver_options.epoch_cap = 2;
     driver_options.seed = 3;
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
     return driver.run(algorithm);
   };
 
@@ -57,7 +57,7 @@ int main() {
     halving.eta = 3.0;
     halving.max_epochs = 9;
     const hpo::HalvingOutcome outcome =
-        hpo::successive_halving(runtime, dataset, space, halving);
+        hpo::successive_halving(runtime.main_study(), dataset, space, halving);
     for (const auto& rung : outcome.rungs)
       std::printf("rung %d: %zu trials at %d epochs\n", rung.rung, rung.trials.size(),
                   rung.epochs);

@@ -42,7 +42,7 @@ int main() {
     driver_options.trial_constraint = {.cpus = 2};
     driver_options.epoch_divisor = 20;        // keep real runtime laptop-sized
     driver_options.stop_on_accuracy = 0.55;   // stop the HPO once good enough
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
 
     hpo::RandomSearch random(space, 12, /*seed=*/21);
     const hpo::HpoOutcome outcome = driver.run(random);

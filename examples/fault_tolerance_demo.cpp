@@ -74,7 +74,7 @@ int main() {
     rt::Runtime runtime(std::move(options));
     hpo::DriverOptions driver_options;
     driver_options.epoch_cap = 1;
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
     const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(
         R"({"optimizer": ["Adam", "SGD"], "batch_size": [16, 32]})");
     hpo::GridSearch grid(space);

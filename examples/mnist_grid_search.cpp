@@ -47,7 +47,7 @@ int main() {
     hpo::DriverOptions driver_options;
     driver_options.trial_constraint = {.cpus = 1};
     driver_options.epoch_divisor = 10;  // 20/50/100 -> 2/5/10 epochs
-    hpo::HpoDriver driver(runtime, dataset, driver_options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
 
     hpo::GridSearch grid(space);
     const hpo::HpoOutcome outcome = driver.run(grid);

@@ -40,7 +40,7 @@ int main() {
   // Each config becomes an `experiment` task with @constraint(cpus=2).
   hpo::DriverOptions driver_options;
   driver_options.trial_constraint = {.cpus = 2};
-  hpo::HpoDriver driver(runtime, dataset, driver_options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
 
   hpo::GridSearch grid(space);
   const hpo::HpoOutcome outcome = driver.run(grid);

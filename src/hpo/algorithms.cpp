@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "hpo/tpe.hpp"
+
 namespace chpo::hpo {
 
 GridSearch::GridSearch(const SearchSpace& space) : configs_(space.enumerate_grid()) {}
@@ -56,6 +58,20 @@ std::optional<Config> GpBayesOpt::next() {
 void GpBayesOpt::tell(const Config& config, double score) {
   xs_.push_back(space_.encode(config));
   ys_.push_back(score);
+}
+
+std::unique_ptr<SearchAlgorithm> make_search_algorithm(const std::string& name,
+                                                       const SearchSpace& space,
+                                                       std::size_t budget, std::uint64_t seed) {
+  if (name == "grid") return std::make_unique<GridSearch>(space);
+  if (name == "random") return std::make_unique<RandomSearch>(space, budget, seed);
+  if (name == "gp")
+    return std::make_unique<GpBayesOpt>(space,
+                                        GpBayesOpt::Options{.max_evals = budget, .seed = seed});
+  if (name == "tpe")
+    return std::make_unique<TpeSearch>(space, TpeSearch::Options{.max_evals = budget, .seed = seed});
+  throw std::invalid_argument("optimize: unknown algorithm '" + name +
+                              "' (grid | random | gp | tpe)");
 }
 
 }  // namespace chpo::hpo

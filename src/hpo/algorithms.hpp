@@ -95,4 +95,14 @@ class GpBayesOpt : public SearchAlgorithm {
   std::vector<double> ys_;
 };
 
+/// Construct a point-search algorithm by name: "grid" | "random" | "gp" |
+/// "tpe" (multi-fidelity "halving"/"hyperband" are driven differently; see
+/// hyperband.hpp and service::StudyManager). `budget` caps random/gp/tpe
+/// evaluations; grid ignores it. The returned algorithm holds a reference
+/// to `space` — keep the space alive for the algorithm's lifetime.
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<SearchAlgorithm> make_search_algorithm(const std::string& name,
+                                                       const SearchSpace& space,
+                                                       std::size_t budget, std::uint64_t seed);
+
 }  // namespace chpo::hpo

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "hpo/checkpoint.hpp"
+#include "hpo/study_run.hpp"
 #include "reuse/stage_key.hpp"
 #include "support/log.hpp"
 
@@ -95,281 +96,19 @@ rt::TaskDef make_experiment_task(const ml::Dataset& dataset, const Config& confi
   return def;
 }
 
-HpoDriver::HpoDriver(rt::Runtime& runtime, const ml::Dataset& dataset, DriverOptions options)
-    : runtime_(runtime), dataset_(dataset), options_(std::move(options)) {}
-
-void HpoDriver::finalise(HpoOutcome& outcome, double t0) const {
-  outcome.elapsed_seconds = runtime_.now() - t0;
-  // Trials were consumed in completion order; report them in submission
-  // order so callers and reports stay deterministic.
-  std::sort(outcome.trials.begin(), outcome.trials.end(),
-            [](const Trial& a, const Trial& b) { return a.index < b.index; });
-  double best = -1.0;
-  for (std::size_t i = 0; i < outcome.trials.size(); ++i) {
-    const Trial& t = outcome.trials[i];
-    if (t.failed) continue;
-    if (t.result.final_val_accuracy > best) {
-      best = t.result.final_val_accuracy;
-      outcome.best_index = static_cast<int>(i);
-    }
-  }
-}
-
-namespace {
-
-/// The paper's `visualisation` task: condenses one experiment's result to
-/// a report line (accuracy trajectory), running as a task of its own.
-rt::TaskDef make_visualisation_task(const Config& config) {
-  rt::TaskDef def;
-  def.name = "visualisation";
-  const std::string brief = config_brief(config);
-  def.body = [brief](rt::TaskContext& ctx) -> std::any {
-    const auto& result = ctx.read<ml::TrainResult>(0);
-    std::string line = brief + " ->";
-    for (const auto& epoch : result.history) {
-      char buf[16];
-      std::snprintf(buf, sizeof buf, " %.3f", epoch.val_accuracy);
-      line += buf;
-    }
-    return line;
-  };
-  return def;
-}
-
-/// The final `plot` task (compss_wait_on target in Figure 2): merges all
-/// visualisation lines into one report.
-rt::TaskDef make_plot_task() {
-  rt::TaskDef def;
-  def.name = "plot";
-  def.body = [](rt::TaskContext& ctx) -> std::any {
-    std::string report = "validation accuracy per epoch, one line per experiment\n";
-    for (std::size_t i = 0; i < ctx.param_count() - 1; ++i)
-      report += ctx.read<std::string>(i) + "\n";
-    return report;
-  };
-  return def;
-}
-
-}  // namespace
+HpoDriver::HpoDriver(rt::StudySession session, const ml::Dataset& dataset,
+                     DriverOptions options)
+    : session_(session), dataset_(dataset), options_(std::move(options)) {}
 
 HpoOutcome HpoDriver::run(SearchAlgorithm& algorithm) {
-  const double t0 = runtime_.now();
-  HpoOutcome outcome;
-  const std::vector<Trial> restored =
-      options_.checkpoint_path.empty() ? std::vector<Trial>{}
-                                       : load_checkpoint(options_.checkpoint_path);
-
-  // Cross-trial reuse: trials become stage chains through a shared
-  // executor + cache instead of monolithic experiment tasks. CV trials
-  // keep the classic path (fold training has no stage decomposition).
-  const bool use_reuse = options_.reuse.enabled && options_.cv_folds <= 1;
-  std::optional<reuse::StageExecutor> executor;
-  if (use_reuse)
-    executor.emplace(runtime_, dataset_, options_.reuse, options_.trial_constraint,
-                     options_.workload, std::make_shared<reuse::ResultCache>(options_.reuse));
-
-  // Batch algorithms are drained up front (the paper's embarrassingly
-  // parallel loop); sequential ones keep a window of suggestions in flight.
-  const std::size_t window =
-      algorithm.sequential()
-          ? static_cast<std::size_t>(std::max(1, options_.parallel_suggestions))
-          : std::numeric_limits<std::size_t>::max();
-
-  struct InFlight {
-    int index = -1;
-    Config config;
-    rt::Future future;
-    rt::Future vis;  ///< producer == kNoTask unless visualise is on
-  };
-  std::vector<InFlight> inflight;
-  std::vector<rt::Future> vis_done;  ///< vis futures of consumed, successful trials
-  int next_index = 0;
-  bool exhausted = false;
-  std::size_t replayed = 0;
-
-  const auto stop_hit = [&](const Trial& t) {
-    return options_.stop_on_accuracy > 0 && !t.failed &&
-           t.result.final_val_accuracy >= options_.stop_on_accuracy;
-  };
-
-  // Pull configs until the window is full or the algorithm runs dry. A
-  // config found in the checkpoint is replayed inline instead of
-  // resubmitted. Returns true when a replayed trial hit the stop threshold.
-  const auto top_up = [&]() -> bool {
-    while (!exhausted && inflight.size() < window) {
-      const std::optional<Config> config = algorithm.next();
-      if (!config) {
-        exhausted = true;
-        break;
-      }
-      if (const Trial* previous = find_completed(restored, *config)) {
-        Trial trial;
-        trial.index = next_index++;
-        trial.config = *config;
-        trial.result = previous->result;
-        algorithm.tell(trial.config, trial.result.final_val_accuracy);
-        ++replayed;
-        outcome.trials.push_back(std::move(trial));
-        if (stop_hit(outcome.trials.back())) return true;
-        continue;
-      }
-      InFlight f;
-      f.index = next_index++;
-      f.config = *config;
-      if (executor) {
-        reuse::TrialRequest req;
-        req.index = f.index;
-        req.config = experiment_train_config(*config, options_, f.index);
-        std::vector<reuse::SubmittedTrial> submitted = executor->submit({req});
-        if (!submitted.empty() && submitted.front().replayed) {
-          Trial trial;
-          trial.index = f.index;
-          trial.config = *config;
-          trial.result = *submitted.front().replayed;
-          algorithm.tell(trial.config, trial.result.final_val_accuracy);
-          ++replayed;
-          outcome.trials.push_back(std::move(trial));
-          if (stop_hit(outcome.trials.back())) return true;
-          continue;
-        }
-        f.future = submitted.front().future;
-      } else {
-        const rt::TaskDef def = make_experiment_task(dataset_, *config, options_, f.index);
-        f.future = runtime_.submit(def);
-      }
-      if (options_.visualise)
-        f.vis = runtime_.submit(make_visualisation_task(*config),
-                                {{f.future.data, rt::Direction::In}});
-      inflight.push_back(std::move(f));
-    }
-    return false;
-  };
-
-  bool stopped = false;
-  if (executor && !algorithm.sequential()) {
-    // Batch + reuse: drain the whole batch up front so the planner sees
-    // every trial at once and can merge shared prefixes into one stage
-    // tree (a trial-by-trial top_up would plan each chain in isolation).
-    std::vector<reuse::TrialRequest> requests;
-    std::vector<Config> request_configs;
-    while (true) {
-      const std::optional<Config> config = algorithm.next();
-      if (!config) break;
-      if (const Trial* previous = find_completed(restored, *config)) {
-        Trial trial;
-        trial.index = next_index++;
-        trial.config = *config;
-        trial.result = previous->result;
-        algorithm.tell(trial.config, trial.result.final_val_accuracy);
-        ++replayed;
-        outcome.trials.push_back(std::move(trial));
-        if (stop_hit(outcome.trials.back())) stopped = true;
-        continue;
-      }
-      reuse::TrialRequest req;
-      req.index = next_index++;
-      req.config = experiment_train_config(*config, options_, req.index);
-      requests.push_back(std::move(req));
-      request_configs.push_back(*config);
-    }
-    exhausted = true;
-    if (!stopped) {
-      const std::vector<reuse::SubmittedTrial> submitted = executor->submit(requests);
-      for (std::size_t i = 0; i < submitted.size(); ++i) {
-        const reuse::SubmittedTrial& s = submitted[i];
-        if (s.replayed) {
-          Trial trial;
-          trial.index = s.index;
-          trial.config = request_configs[i];
-          trial.result = *s.replayed;
-          algorithm.tell(trial.config, trial.result.final_val_accuracy);
-          outcome.trials.push_back(std::move(trial));
-          if (stop_hit(outcome.trials.back())) stopped = true;
-          continue;
-        }
-        InFlight f;
-        f.index = s.index;
-        f.config = request_configs[i];
-        f.future = s.future;
-        if (options_.visualise)
-          f.vis = runtime_.submit(make_visualisation_task(f.config),
-                                  {{f.future.data, rt::Direction::In}});
-        inflight.push_back(std::move(f));
-      }
-    }
-  } else {
-    stopped = top_up();
-  }
-  log_info("hpo", "{}: {} trials in flight, window {} ({} replayed from checkpoint)",
-           algorithm.name(), inflight.size(),
-           window == std::numeric_limits<std::size_t>::max() ? std::string("all")
-                                                             : std::to_string(window),
-           replayed);
-
-  // The completion-driven loop: consume whichever trial finishes first,
-  // feed the observation to the algorithm, immediately refill the window.
-  while (!stopped && !inflight.empty()) {
-    std::vector<rt::Future> outstanding;
-    outstanding.reserve(inflight.size());
-    for (const InFlight& f : inflight) outstanding.push_back(f.future);
-    const rt::Future finished = runtime_.wait_any(outstanding);
-    const auto it =
-        std::find_if(inflight.begin(), inflight.end(),
-                     [&](const InFlight& f) { return f.future.producer == finished.producer; });
-
-    Trial trial;
-    trial.index = it->index;
-    trial.config = it->config;
-    trial.task = it->future.producer;
-    trial.attempts = runtime_.graph().task(trial.task).attempts_made;
-    const rt::Future vis = it->vis;
-    inflight.erase(it);
-    try {
-      trial.result = runtime_.wait_on_as<ml::TrainResult>(finished);
-      algorithm.tell(trial.config, trial.result.final_val_accuracy);
-      if (vis.producer != rt::kNoTask) vis_done.push_back(vis);
-    } catch (const rt::TaskFailedError& e) {
-      trial.failed = true;
-      trial.failure_reason = e.what();
-    }
-    outcome.trials.push_back(std::move(trial));
-    if (!options_.checkpoint_path.empty())
-      save_checkpoint(options_.checkpoint_path, outcome.trials);
-    if (stop_hit(outcome.trials.back())) {
-      stopped = true;
-      break;
-    }
-    if (top_up()) stopped = true;
-  }
-
-  if (stopped) {
-    outcome.stopped_early = true;
-    // As-completed early stop: cancel what is still outstanding instead of
-    // draining it in the runtime's destructor. Visualisation tasks are
-    // dependents of their experiments, so they are cancelled transitively.
-    for (const InFlight& f : inflight) runtime_.cancel(f.future);
-    // Reuse mode: also cancel the underlying stage chains (finalize tasks
-    // are their dependents, so whole trees unwind together).
-    if (executor)
-      for (const rt::Future& stage : executor->stage_futures()) runtime_.cancel(stage);
-  }
-
-  // "When all tasks are completed, we plot the graphs" (§4): one plot task
-  // over every visualisation output that produced a value.
-  if (options_.visualise && !outcome.stopped_early && !vis_done.empty()) {
-    std::vector<rt::Param> params;
-    params.reserve(vis_done.size());
-    for (const rt::Future& v : vis_done) params.push_back({v.data, rt::Direction::In});
-    const rt::Future plot = runtime_.submit(make_plot_task(), params);
-    try {
-      outcome.report = runtime_.wait_on_as<std::string>(plot);
-    } catch (const rt::TaskFailedError& e) {
-      outcome.report = std::string("plot task failed: ") + e.what();
-    }
-  }
-  if (executor) outcome.reuse = executor->report();
-  finalise(outcome, t0);
-  return outcome;
+  // Blocking convenience: drive a private StudyRun pump to exhaustion.
+  // Multi-study coordination lives in service::StudyManager, which drives
+  // several pumps through one wait_any instead.
+  StudyRun run(session_, dataset_, options_, algorithm);
+  run.start();
+  while (run.active() && !run.inflight().empty())
+    run.on_trial_complete(session_.wait_any(run.inflight()));
+  return run.finish();
 }
 
 }  // namespace chpo::hpo

@@ -32,7 +32,7 @@
 #include "ml/trainer.hpp"
 #include "reuse/planner.hpp"
 #include "reuse/policy.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/study_session.hpp"
 
 namespace chpo::hpo {
 
@@ -126,22 +126,29 @@ ml::TrainConfig experiment_train_config(const Config& config, const DriverOption
 
 class HpoDriver {
  public:
+  /// The driver speaks to the cluster through a StudySession — a tagged,
+  /// non-exclusive view of a shared Runtime — so any number of drivers can
+  /// multiplex one engine concurrently (see service::StudyManager). Tasks
+  /// it submits carry the session's study id; its early stop cancels only
+  /// its own study's work.
+  ///
   /// LIFETIME: `dataset` is captured by reference into the experiment task
-  /// bodies. It must outlive the Runtime — with whole-HPO early stopping,
-  /// unfinished trials keep training on it until the runtime's destructor
-  /// drains them. Declare the dataset before the runtime.
-  HpoDriver(rt::Runtime& runtime, const ml::Dataset& dataset, DriverOptions options);
+  /// bodies. It must outlive the session's Runtime — with whole-HPO early
+  /// stopping, unfinished trials keep training on it until the runtime's
+  /// destructor drains them. Declare the dataset before the runtime.
+  HpoDriver(rt::StudySession session, const ml::Dataset& dataset, DriverOptions options);
 
   /// Run the algorithm to exhaustion (or early stop); returns all trials
   /// (sorted by submission index; consumption happens in completion order).
+  /// Blocking convenience over the resumable StudyRun state machine
+  /// (study_run.hpp) — use that directly to interleave several studies.
   HpoOutcome run(SearchAlgorithm& algorithm);
 
   const DriverOptions& options() const { return options_; }
+  rt::StudySession session() const { return session_; }
 
  private:
-  void finalise(HpoOutcome& outcome, double t0) const;
-
-  rt::Runtime& runtime_;
+  rt::StudySession session_;
   const ml::Dataset& dataset_;
   DriverOptions options_;
 };

@@ -1,195 +1,30 @@
 #include "hpo/hyperband.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-#include <utility>
-
-#include "support/log.hpp"
+#include "hpo/study_run.hpp"
 
 namespace chpo::hpo {
 
-HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& dataset,
+HalvingOutcome successive_halving(rt::StudySession session, const ml::Dataset& dataset,
                                   const SearchSpace& space, const HalvingOptions& options,
                                   std::shared_ptr<reuse::ResultCache> cache) {
-  if (options.initial_configs == 0)
-    throw std::invalid_argument("successive_halving: need at least one config");
-  if (options.eta <= 1.0) throw std::invalid_argument("successive_halving: eta must exceed 1");
-  if (options.initial_epochs <= 0)
-    throw std::invalid_argument("successive_halving: initial epochs must be positive");
-
-  const double t0 = runtime.now();
-  Rng rng(options.driver.seed ^ 0x4a17f1e5ULL);
-  HalvingOutcome outcome;
-
-  // Reuse mode: each rung is a batch through the stage executor, and all
-  // rungs share one cache — a promoted config's next rung resumes from the
-  // epoch checkpoint the previous rung left behind (deterministic seeds
-  // make the trajectories identical across rungs).
-  std::optional<reuse::StageExecutor> executor;
-  if (options.driver.reuse.enabled && options.driver.cv_folds <= 1) {
-    if (!cache) cache = std::make_shared<reuse::ResultCache>(options.driver.reuse);
-    executor.emplace(runtime, dataset, options.driver.reuse, options.driver.trial_constraint,
-                     options.driver.workload, cache);
-  }
-
-  std::vector<Config> survivors;
-  survivors.reserve(options.initial_configs);
-  for (std::size_t i = 0; i < options.initial_configs; ++i) survivors.push_back(space.sample(rng));
-
-  int epochs = options.initial_epochs;
-  int rung_index = 0;
-  while (!survivors.empty()) {
-    // Override each config's epoch budget with the rung budget.
-    RungResult rung;
-    rung.rung = rung_index;
-    rung.epochs = epochs;
-
-    std::vector<std::pair<Config, rt::Future>> submitted;
-    std::vector<std::pair<std::size_t, rt::Future>> outstanding;
-    if (executor) {
-      std::vector<reuse::TrialRequest> requests;
-      requests.reserve(survivors.size());
-      for (std::size_t i = 0; i < survivors.size(); ++i) {
-        Config budgeted = survivors[i];
-        budgeted.set("num_epochs", json::Value(static_cast<std::int64_t>(epochs)));
-        const int trial_index = rung_index * 1000 + static_cast<int>(i);
-        requests.push_back(
-            {trial_index, experiment_train_config(budgeted, options.driver, trial_index)});
-        submitted.emplace_back(std::move(budgeted), rt::Future{});
-      }
-      const std::vector<reuse::SubmittedTrial> subs = executor->submit(requests);
-      for (std::size_t i = 0; i < subs.size(); ++i) {
-        if (subs[i].replayed) {
-          Trial trial;
-          trial.index = static_cast<int>(i);
-          trial.config = submitted[i].first;
-          trial.result = *subs[i].replayed;
-          rung.trials.push_back(std::move(trial));
-        } else {
-          submitted[i].second = subs[i].future;
-          outstanding.emplace_back(i, subs[i].future);
-        }
-      }
-    } else {
-      for (std::size_t i = 0; i < survivors.size(); ++i) {
-        Config budgeted = survivors[i];
-        budgeted.set("num_epochs", json::Value(static_cast<std::int64_t>(epochs)));
-        const rt::TaskDef def =
-            make_experiment_task(dataset, budgeted, options.driver,
-                                 rung_index * 1000 + static_cast<int>(i));
-        submitted.emplace_back(std::move(budgeted), runtime.submit(def));
-      }
-      for (std::size_t i = 0; i < submitted.size(); ++i)
-        outstanding.emplace_back(i, submitted[i].second);
-    }
-    // Consume the rung as-completed (wait_any), not in submission order:
-    // ranking needs every result anyway, but observing completions as they
-    // land keeps trial bookkeeping off the slowest-first critical path.
-    while (!outstanding.empty()) {
-      std::vector<rt::Future> futures;
-      futures.reserve(outstanding.size());
-      for (const auto& [_, f] : outstanding) futures.push_back(f);
-      const rt::Future finished = runtime.wait_any(futures);
-      const auto it = std::find_if(outstanding.begin(), outstanding.end(), [&](const auto& entry) {
-        return entry.second.producer == finished.producer;
-      });
-      Trial trial;
-      trial.index = static_cast<int>(it->first);
-      trial.config = submitted[it->first].first;
-      trial.task = finished.producer;
-      try {
-        trial.result = runtime.wait_on_as<ml::TrainResult>(finished);
-      } catch (const rt::TaskFailedError& e) {
-        trial.failed = true;
-        trial.failure_reason = e.what();
-      }
-      outstanding.erase(it);
-      rung.trials.push_back(std::move(trial));
-    }
-    std::sort(rung.trials.begin(), rung.trials.end(),
-              [](const Trial& a, const Trial& b) { return a.index < b.index; });
-
-    // Rank survivors by accuracy, keep the top 1/eta.
-    std::vector<const Trial*> ranked;
-    for (const Trial& t : rung.trials)
-      if (!t.failed) ranked.push_back(&t);
-    std::sort(ranked.begin(), ranked.end(), [](const Trial* a, const Trial* b) {
-      return a->result.final_val_accuracy > b->result.final_val_accuracy;
-    });
-
-    if (!ranked.empty() && ranked.front()->result.final_val_accuracy > outcome.best_accuracy) {
-      outcome.best_accuracy = ranked.front()->result.final_val_accuracy;
-      outcome.best_config = ranked.front()->config;
-    }
-    log_info("halving", "rung {}: {} trials at {} epochs, best {:.3f}", rung_index,
-             rung.trials.size(), epochs, ranked.empty() ? 0.0 : ranked.front()->result.final_val_accuracy);
-    outcome.rungs.push_back(std::move(rung));
-
-    const std::size_t keep =
-        static_cast<std::size_t>(std::floor(static_cast<double>(ranked.size()) / options.eta));
-    if (keep == 0 || epochs >= options.max_epochs) break;
-    survivors.clear();
-    for (std::size_t i = 0; i < keep; ++i) survivors.push_back(ranked[i]->config);
-    epochs = std::min(options.max_epochs,
-                      static_cast<int>(std::lround(static_cast<double>(epochs) * options.eta)));
-    ++rung_index;
-  }
-  if (executor) outcome.reuse = executor->report();
-  outcome.elapsed_seconds = runtime.now() - t0;
-  return outcome;
+  // Blocking convenience over the HalvingRun pump (see study_run.hpp);
+  // service::StudyManager drives the same pump cooperatively instead.
+  HalvingRun run(session, dataset, space, options, std::move(cache));
+  run.start();
+  while (run.active() && !run.inflight().empty())
+    run.on_trial_complete(session.wait_any(run.inflight()));
+  run.finish();
+  return run.outcome();
 }
 
-HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,
+HyperbandOutcome hyperband(rt::StudySession session, const ml::Dataset& dataset,
                            const SearchSpace& space, const HyperbandOptions& options) {
-  if (options.max_epochs <= 0) throw std::invalid_argument("hyperband: max_epochs must be positive");
-  if (options.eta <= 1.0) throw std::invalid_argument("hyperband: eta must exceed 1");
-
-  const double t0 = runtime.now();
-  HyperbandOutcome outcome;
-  const double r_max = static_cast<double>(options.max_epochs);
-  const int s_max = static_cast<int>(std::floor(std::log(r_max) / std::log(options.eta)));
-
-  // One cache for all brackets: a config budget reached in an exploratory
-  // bracket seeds the checkpoints later brackets resume from.
-  std::shared_ptr<reuse::ResultCache> cache;
-  if (options.driver.reuse.enabled && options.driver.cv_folds <= 1)
-    cache = std::make_shared<reuse::ResultCache>(options.driver.reuse);
-
-  for (int s = s_max; s >= 0; --s) {
-    // Bracket s: n = ceil((s_max+1)/(s+1) * eta^s) configs at
-    // r = R / eta^s initial epochs.
-    const double eta_s = std::pow(options.eta, s);
-    HalvingOptions bracket;
-    bracket.initial_configs = static_cast<std::size_t>(
-        std::ceil(static_cast<double>(s_max + 1) / static_cast<double>(s + 1) * eta_s));
-    bracket.initial_epochs = std::max(1, static_cast<int>(std::floor(r_max / eta_s)));
-    bracket.eta = options.eta;
-    bracket.max_epochs = options.max_epochs;
-    bracket.driver = options.driver;
-    bracket.driver.seed = options.driver.seed + static_cast<std::uint64_t>(s) * 7907ULL;
-
-    HalvingOutcome result = successive_halving(runtime, dataset, space, bracket, cache);
-    for (const RungResult& rung : result.rungs) outcome.total_trials += rung.trials.size();
-    if (result.best_accuracy > outcome.best_accuracy) {
-      outcome.best_accuracy = result.best_accuracy;
-      outcome.best_config = result.best_config;
-    }
-    if (result.reuse) {
-      if (!outcome.reuse) outcome.reuse.emplace();
-      outcome.reuse->cache = result.reuse->cache;  // shared cache -> cumulative stats
-      outcome.reuse->trials += result.reuse->trials;
-      outcome.reuse->replayed_trials += result.reuse->replayed_trials;
-      outcome.reuse->chains += result.reuse->chains;
-      outcome.reuse->stages += result.reuse->stages;
-      outcome.reuse->shared_stages += result.reuse->shared_stages;
-      outcome.reuse->naive_epochs += result.reuse->naive_epochs;
-      outcome.reuse->planned_epochs += result.reuse->planned_epochs;
-    }
-    outcome.brackets.push_back(std::move(result));
-  }
-  outcome.elapsed_seconds = runtime.now() - t0;
-  return outcome;
+  HyperbandRun run(session, dataset, space, options);
+  run.start();
+  while (run.active() && !run.inflight().empty())
+    run.on_trial_complete(session.wait_any(run.inflight()));
+  run.finish();
+  return run.outcome();
 }
 
 }  // namespace chpo::hpo

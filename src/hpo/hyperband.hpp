@@ -17,7 +17,7 @@
 #include "ml/dataset.hpp"
 #include "reuse/planner.hpp"
 #include "reuse/result_cache.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/study_session.hpp"
 
 namespace chpo::hpo {
 
@@ -49,7 +49,10 @@ struct HalvingOutcome {
 /// Run successive halving over random samples of `space`. `cache` lets
 /// callers (hyperband, repeated sessions) share one result cache across
 /// brackets; pass nullptr to create one from the driver's ReusePolicy.
-HalvingOutcome successive_halving(rt::Runtime& runtime, const ml::Dataset& dataset,
+/// Like HpoDriver, halving runs through a StudySession (a tagged view of a
+/// shared Runtime) — blocking convenience over the HalvingRun state
+/// machine in study_run.hpp.
+HalvingOutcome successive_halving(rt::StudySession session, const ml::Dataset& dataset,
                                   const SearchSpace& space, const HalvingOptions& options,
                                   std::shared_ptr<reuse::ResultCache> cache = nullptr);
 
@@ -74,7 +77,7 @@ struct HyperbandOutcome {
   std::optional<reuse::ReuseReport> reuse;
 };
 
-HyperbandOutcome hyperband(rt::Runtime& runtime, const ml::Dataset& dataset,
+HyperbandOutcome hyperband(rt::StudySession session, const ml::Dataset& dataset,
                            const SearchSpace& space, const HyperbandOptions& options);
 
 }  // namespace chpo::hpo

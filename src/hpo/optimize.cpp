@@ -24,26 +24,11 @@ HpoOutcome optimize(const ml::Dataset& dataset, const SearchSpace& space,
   driver_options.epoch_divisor = options.epoch_divisor;
   driver_options.epoch_cap = options.epoch_cap;
   driver_options.seed = options.seed;
-  HpoDriver driver(runtime, dataset, driver_options);
+  HpoDriver driver(runtime.main_study(), dataset, driver_options);
 
-  if (algorithm == "grid") {
-    GridSearch search(space);
-    return driver.run(search);
-  }
-  if (algorithm == "random") {
-    RandomSearch search(space, options.budget, options.seed);
-    return driver.run(search);
-  }
-  if (algorithm == "gp") {
-    GpBayesOpt search(space, {.max_evals = options.budget, .seed = options.seed});
-    return driver.run(search);
-  }
-  if (algorithm == "tpe") {
-    TpeSearch search(space, {.max_evals = options.budget, .seed = options.seed});
-    return driver.run(search);
-  }
-  throw std::invalid_argument("optimize: unknown algorithm '" + algorithm +
-                              "' (grid | random | gp | tpe)");
+  const std::unique_ptr<SearchAlgorithm> search =
+      make_search_algorithm(algorithm, space, options.budget, options.seed);
+  return driver.run(*search);
 }
 
 HpoOutcome optimize(const ml::Dataset& dataset, const std::string& space_json,

@@ -197,4 +197,22 @@ std::string fault_summary(const std::vector<trace::Event>& events, std::size_t r
   return out.str();
 }
 
+std::string multi_study_summary(const std::vector<StudySummaryRow>& rows) {
+  std::ostringstream out;
+  out << "concurrent studies:\n";
+  out << "  " << pad_right("study", 24) << pad_right("algorithm", 11) << pad_right("state", 10)
+      << pad_left("trials", 7) << pad_left("best", 8) << pad_left("elapsed", 13) << "\n";
+  for (const StudySummaryRow& row : rows) {
+    char best[16];
+    if (row.best_accuracy >= 0.0)
+      std::snprintf(best, sizeof best, "%.3f", row.best_accuracy);
+    else
+      std::snprintf(best, sizeof best, "-");
+    out << "  " << pad_right(row.name, 24) << pad_right(row.algorithm, 11)
+        << pad_right(row.state, 10) << pad_left(std::to_string(row.trials), 7)
+        << pad_left(best, 8) << pad_left(format_duration(row.elapsed_seconds), 13) << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace chpo::hpo

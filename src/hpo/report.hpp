@@ -43,4 +43,19 @@ std::string reuse_summary(const reuse::ReuseReport& report);
 std::string fault_summary(const std::vector<trace::Event>& events, std::size_t recoveries,
                           std::size_t unrecoverable, const rt::NodeHealth& health);
 
+/// One row per concurrent study for the multi-study fleet table (built by
+/// chpo_run --studies from service::StudyManager; kept service-agnostic
+/// here so reporting has no dependency on the manager).
+struct StudySummaryRow {
+  std::string name;
+  std::string algorithm;
+  std::string state;  ///< "finished" | "killed" | ...
+  std::size_t trials = 0;
+  double best_accuracy = -1.0;  ///< < 0 renders as "-" (no successful trial)
+  double elapsed_seconds = 0.0;
+};
+
+/// Fleet summary table: study, algorithm, state, trials, best, elapsed.
+std::string multi_study_summary(const std::vector<StudySummaryRow>& rows);
+
 }  // namespace chpo::hpo

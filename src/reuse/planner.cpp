@@ -73,10 +73,11 @@ std::vector<PlannedChain> plan_chains(const StageKey& dataset, std::vector<Trial
 
 // -------------------------------------------------------- StageExecutor
 
-StageExecutor::StageExecutor(rt::Runtime& runtime, const ml::Dataset& dataset, ReusePolicy policy,
-                             rt::Constraint constraint, std::optional<ml::WorkloadModel> workload,
+StageExecutor::StageExecutor(rt::StudySession session, const ml::Dataset& dataset,
+                             ReusePolicy policy, rt::Constraint constraint,
+                             std::optional<ml::WorkloadModel> workload,
                              std::shared_ptr<ResultCache> cache)
-    : runtime_(runtime),
+    : session_(session),
       dataset_(&dataset),
       policy_(std::move(policy)),
       constraint_(constraint),
@@ -197,8 +198,8 @@ std::vector<SubmittedTrial> StageExecutor::submit(const std::vector<TrialRequest
       trace::Event e;
       e.kind = trace::EventKind::CacheHit;
       e.task_name = "replay";
-      e.t_start = e.t_end = runtime_.now();
-      runtime_.trace().record(std::move(e));
+      e.t_start = e.t_end = session_.now();
+      session_.trace().record(std::move(e));
     } else {
       pending.push_back(trial);
     }
@@ -215,18 +216,18 @@ std::vector<SubmittedTrial> StageExecutor::submit(const std::vector<TrialRequest
       std::vector<rt::Param> params;
       if (parent.producer != rt::kNoTask) params.push_back({parent.data, rt::Direction::In});
 
-      rt::Runtime* rtp = &runtime_;
-      const rt::Future stage = runtime_.submit(
-          def, params, [rtp](const rt::Future& f, rt::TaskState state) {
+      rt::StudySession sess = session_;  // sessions are cheap value handles
+      const rt::Future stage = session_.submit(
+          def, params, [sess](const rt::Future& f, rt::TaskState state) mutable {
             if (state != rt::TaskState::Done) return;
             try {
-              const StageValue& v = rtp->peek<StageValue>(f.data);
+              const StageValue& v = sess.peek<StageValue>(f.data);
               trace::Event e;
               e.kind = v.cache_hit ? trace::EventKind::CacheHit : trace::EventKind::CacheMiss;
               e.task_id = f.producer;
               e.task_name = "stage";
-              e.t_start = e.t_end = rtp->now();
-              rtp->trace().record(std::move(e));
+              e.t_start = e.t_end = sess.now();
+              sess.trace().record(std::move(e));
             } catch (const std::bad_any_cast&) {
               // Cost-only simulation: bodies never ran, no StageValue.
             }
@@ -240,14 +241,14 @@ std::vector<SubmittedTrial> StageExecutor::submit(const std::vector<TrialRequest
         e.kind = trace::EventKind::StageShared;
         e.task_id = stage.producer;
         e.task_name = "stage";
-        e.t_start = e.t_end = runtime_.now();
-        runtime_.trace().record(std::move(e));
+        e.t_start = e.t_end = session_.now();
+        session_.trace().record(std::move(e));
       }
 
       for (const int trial_index : seg.finalize_trials) {
         SubmittedTrial s;
         s.index = trial_index;
-        s.future = runtime_.submit(make_finalize_task(chain, seg.end_epoch, cache_),
+        s.future = session_.submit(make_finalize_task(chain, seg.end_epoch, cache_),
                                    {{stage.data, rt::Direction::In}});
         by_index.emplace(trial_index, std::move(s));
       }

@@ -29,7 +29,7 @@
 #include "reuse/policy.hpp"
 #include "reuse/result_cache.hpp"
 #include "reuse/stage_key.hpp"
-#include "runtime/runtime.hpp"
+#include "runtime/study_session.hpp"
 
 namespace chpo::reuse {
 
@@ -84,14 +84,17 @@ struct ReuseReport {
   long planned_epochs = 0;  ///< sum of submitted segment lengths
 };
 
-/// Lowers planned chains onto a Runtime. One executor may serve many
-/// submit() rounds (hyperband submits rung after rung against the same
-/// cache, which is how promotions resume from rung checkpoints).
+/// Lowers planned chains onto a StudySession (stage and finalize tasks
+/// carry the session's study tag, so cancelling a study unwinds its stage
+/// trees and nobody else's). One executor may serve many submit() rounds
+/// (hyperband submits rung after rung against the same cache, which is how
+/// promotions resume from rung checkpoints).
 class StageExecutor {
  public:
-  /// `dataset` must outlive the runtime (same contract as HpoDriver).
-  /// `workload` prices segment tasks for the simulation backend.
-  StageExecutor(rt::Runtime& runtime, const ml::Dataset& dataset, ReusePolicy policy,
+  /// `dataset` must outlive the session's Runtime (same contract as
+  /// HpoDriver). `workload` prices segment tasks for the simulation
+  /// backend.
+  StageExecutor(rt::StudySession session, const ml::Dataset& dataset, ReusePolicy policy,
                 rt::Constraint constraint, std::optional<ml::WorkloadModel> workload,
                 std::shared_ptr<ResultCache> cache);
 
@@ -106,7 +109,7 @@ class StageExecutor {
   const std::shared_ptr<ResultCache>& cache() const { return cache_; }
 
  private:
-  rt::Runtime& runtime_;
+  rt::StudySession session_;
   const ml::Dataset* dataset_;
   ReusePolicy policy_;
   rt::Constraint constraint_;

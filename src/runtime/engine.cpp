@@ -1,6 +1,7 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
 #include <stdexcept>
 
@@ -46,8 +47,10 @@ void Engine::inject_node_event(std::size_t node, double time, bool up) {
 
 void Engine::on_submitted(TaskId task, double now) {
   TaskRecord& record = graph_.task(task);
+  ++study_counts_[record.study].submitted;
   sink_.record(trace::Event{.kind = trace::EventKind::TaskSubmit,
                             .task_id = task,
+                            .study = record.study,
                             .task_name = record.def.name,
                             .t_start = now,
                             .t_end = now});
@@ -62,6 +65,7 @@ void Engine::on_submitted(TaskId task, double now) {
 void Engine::mark_terminal(TaskId task) {
   ++terminal_;
   TaskRecord& record = graph_.task(task);
+  ++study_counts_[record.study].terminal;
   record.terminal_seq = ++terminal_seq_;
   // Queue, don't fire: the listener may run a user callback that submits
   // new tasks — reallocating the graph's record storage and appending to
@@ -141,6 +145,7 @@ std::vector<Dispatch> Engine::schedule(double now) {
   // Recoveries get resource priority over fresh placements: downstream
   // work is already blocked on them.
   dispatch_recoveries(now, dispatches);
+  runnable = apply_study_policy(runnable);
   if (runnable.empty()) return dispatches;
 
   std::vector<Dispatch> placed = scheduler_->schedule(runnable, graph_, resources_);
@@ -154,6 +159,7 @@ std::vector<Dispatch> Engine::schedule(double now) {
     d.attempt_id = register_attempt(d.task, d.placement, now, /*speculative=*/false);
     sink_.record(trace::Event{.kind = trace::EventKind::TaskSchedule,
                               .task_id = d.task,
+                              .study = record.study,
                               .attempt = record.attempts_made + 1,
                               .task_name = record.def.name,
                               .node = d.placement.node,
@@ -163,6 +169,110 @@ std::vector<Dispatch> Engine::schedule(double now) {
     dispatches.push_back(std::move(d));
   }
   return dispatches;
+}
+
+void Engine::set_study_policy(StudyId study, StudyPolicy policy) {
+  if (policy.weight <= 0.0)
+    throw std::invalid_argument("Engine: study fair-share weight must be > 0");
+  study_policies_[study] = policy;
+}
+
+void Engine::set_study_paused(StudyId study, bool paused) {
+  study_policies_[study].paused = paused;
+}
+
+bool Engine::study_paused(StudyId study) const {
+  const auto it = study_policies_.find(study);
+  return it != study_policies_.end() && it->second.paused;
+}
+
+StudyPolicy Engine::policy_for(StudyId study) const {
+  const auto it = study_policies_.find(study);
+  return it == study_policies_.end() ? StudyPolicy{} : it->second;
+}
+
+std::size_t Engine::study_task_count(StudyId study) const {
+  const auto it = study_counts_.find(study);
+  return it == study_counts_.end() ? 0 : it->second.submitted;
+}
+
+std::size_t Engine::study_terminal_count(StudyId study) const {
+  const auto it = study_counts_.find(study);
+  return it == study_counts_.end() ? 0 : it->second.terminal;
+}
+
+std::size_t Engine::cancel_study(StudyId study, double now) {
+  std::size_t cancelled = 0;
+  const std::size_t total = graph_.size();
+  for (TaskId id = 0; id < total; ++id) {
+    if (graph_.task(id).study != study) continue;
+    if (cancel(id, now)) ++cancelled;
+  }
+  sink_.record(trace::Event{.kind = trace::EventKind::StudyCancel,
+                            .task_id = cancelled,
+                            .study = study,
+                            .t_start = now,
+                            .t_end = now});
+  return cancelled;
+}
+
+std::vector<TaskId> Engine::apply_study_policy(const std::vector<TaskId>& runnable) {
+  if (runnable.empty()) return runnable;
+  // Fast path: every runnable task belongs to one unconstrained study (the
+  // pre-session world). The interleave below would reproduce the input
+  // order anyway; skip the bookkeeping.
+  bool uniform = true;
+  const StudyId first = graph_.task(runnable.front()).study;
+  for (TaskId id : runnable)
+    if (graph_.task(id).study != first) {
+      uniform = false;
+      break;
+    }
+  if (uniform) {
+    const StudyPolicy policy = policy_for(first);
+    if (policy.paused) return {};
+    if (policy.max_running <= 0) return runnable;
+  }
+
+  // Running attempts per study. Lineage-recovery attempts re-execute Done
+  // tasks on the engine's behalf and do not count against a study's cap.
+  std::map<StudyId, int> active;
+  for (const auto& [id, attempt] : inflight_)
+    if (!attempt.recovery) ++active[graph_.task(attempt.task).study];
+
+  // Per-study FIFO queues preserve submission order within a study.
+  std::map<StudyId, std::deque<TaskId>> queues;
+  for (TaskId id : runnable) queues[graph_.task(id).study].push_back(id);
+
+  // Weighted-deficit interleave: repeatedly grant the study whose
+  // (running + granted) / weight is smallest, so over time each study's
+  // share of placements tracks its weight. Ties go to the lowest StudyId —
+  // deterministic on both backends.
+  std::vector<TaskId> out;
+  out.reserve(runnable.size());
+  while (true) {
+    bool found = false;
+    StudyId best = 0;
+    double best_deficit = 0.0;
+    for (const auto& [study, queue] : queues) {
+      if (queue.empty()) continue;
+      const StudyPolicy policy = policy_for(study);
+      if (policy.paused) continue;
+      const int busy = active[study];
+      if (policy.max_running > 0 && busy >= policy.max_running) continue;
+      const double deficit = static_cast<double>(busy) / policy.weight;
+      if (!found || deficit < best_deficit) {
+        found = true;
+        best = study;
+        best_deficit = deficit;
+      }
+    }
+    if (!found) break;
+    out.push_back(queues[best].front());
+    queues[best].pop_front();
+    ++active[best];
+  }
+  return out;
 }
 
 std::string Engine::speculation_key(const TaskRecord& record) const {
@@ -268,6 +378,7 @@ double Engine::stage_inputs(TaskId task, int node, double now) {
     const double seconds = spec.network.transfer_seconds(registry.bytes_of(b.param.data));
     sink_.record(trace::Event{.kind = trace::EventKind::Transfer,
                               .task_id = task,
+                              .study = record.study,
                               .task_name = record.def.name,
                               .node = node,
                               .t_start = now + total,
@@ -336,6 +447,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
 
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                             .task_id = task,
+                            .study = record.study,
                             .attempt = record.attempts_made + 1,
                             .task_name = record.def.name,
                             .node = placement.node,
@@ -347,6 +459,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
     // @multinode: the task occupied every slice for the same interval.
     sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                               .task_id = task,
+                              .study = record.study,
                               .attempt = record.attempts_made + 1,
                               .task_name = record.def.name,
                               .node = slice.node,
@@ -390,6 +503,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
     if (!doomed_input) {
       sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                                 .task_id = task,
+                                .study = record.study,
                                 .attempt = record.attempts_made + 1,
                                 .task_name = record.def.name,
                                 .node = -1,
@@ -411,6 +525,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
     if (attempt.speculative)
       sink_.record(trace::Event{.kind = trace::EventKind::SpeculativeWin,
                                 .task_id = task,
+                                .study = record.study,
                                 .attempt = record.attempts_made,
                                 .task_name = record.def.name,
                                 .node = placement.node,
@@ -434,6 +549,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
   record.failure_reason = result.error;
   sink_.record(trace::Event{.kind = trace::EventKind::TaskFailure,
                             .task_id = task,
+                            .study = record.study,
                             .attempt = record.attempts_made,
                             .task_name = record.def.name,
                             .node = placement.node,
@@ -478,6 +594,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
       record.state = TaskState::Running;
       sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                                 .task_id = task,
+                                .study = record.study,
                                 .attempt = record.attempts_made + 1,
                                 .task_name = record.def.name,
                                 .node = placement.node,
@@ -518,6 +635,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
     // same-node budget lasts). It counts as Ready so cancel() still works.
     sink_.record(trace::Event{.kind = trace::EventKind::Backoff,
                               .task_id = task,
+                              .study = record.study,
                               .attempt = record.attempts_made + 1,
                               .task_name = record.def.name,
                               .node = want_same_node ? placement.node : -1,
@@ -532,6 +650,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
 
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                             .task_id = task,
+                            .study = record.study,
                             .attempt = record.attempts_made + 1,
                             .task_name = record.def.name,
                             .node = -1,
@@ -584,6 +703,7 @@ std::vector<Dispatch> Engine::on_wakeup(double now) {
           record.last_node = due.pinned_node;
           sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                                     .task_id = due.task,
+                                    .study = record.study,
                                     .attempt = record.attempts_made + 1,
                                     .task_name = record.def.name,
                                     .node = due.pinned_node,
@@ -601,6 +721,7 @@ std::vector<Dispatch> Engine::on_wakeup(double now) {
     // the scheduler (make_ready fails the task if nothing can ever fit).
     sink_.record(trace::Event{.kind = trace::EventKind::TaskRetry,
                               .task_id = due.task,
+                              .study = record.study,
                               .attempt = record.attempts_made + 1,
                               .task_name = record.def.name,
                               .node = -1,
@@ -630,6 +751,7 @@ void Engine::check_speculation(double now, std::vector<Dispatch>& out) {
       record.straggler_flagged = true;
       sink_.record(trace::Event{.kind = trace::EventKind::StragglerDetected,
                                 .task_id = attempt.task,
+                                .study = record.study,
                                 .attempt = record.attempts_made + 1,
                                 .task_name = record.def.name,
                                 .node = attempt.placement.node,
@@ -649,6 +771,7 @@ void Engine::check_speculation(double now, std::vector<Dispatch>& out) {
     duplicate.attempt_id = register_attempt(attempt.task, duplicate.placement, now, true);
     sink_.record(trace::Event{.kind = trace::EventKind::SpeculativeLaunch,
                               .task_id = attempt.task,
+                              .study = record.study,
                               .attempt = record.attempts_made + 1,
                               .task_name = record.def.name,
                               .node = duplicate.placement.node,
@@ -700,6 +823,7 @@ bool Engine::cancel(TaskId task, double now) {
 
   sink_.record(trace::Event{.kind = trace::EventKind::Cancel,
                             .task_id = task,
+                            .study = record.study,
                             .task_name = record.def.name,
                             .node = record.state == TaskState::Running ? record.last_node : -1,
                             .t_start = now,
@@ -874,6 +998,7 @@ void Engine::dispatch_recoveries(double now, std::vector<Dispatch>& out) {
                                     /*recovery=*/true);
     sink_.record(trace::Event{.kind = trace::EventKind::LineageRecompute,
                               .task_id = task,
+                              .study = record.study,
                               .attempt = record.succeeded_attempt,
                               .task_name = record.def.name,
                               .node = d.placement.node,
@@ -909,6 +1034,7 @@ Engine::Completion Engine::conclude_recovery(const Attempt& attempt, AttemptResu
 
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
                             .task_id = task,
+                            .study = record.study,
                             .attempt = record.succeeded_attempt,
                             .task_name = record.def.name,
                             .node = attempt.placement.node,

@@ -69,6 +69,16 @@ struct EngineOptions {
   std::uint64_t seed = 42;  ///< base seed for per-attempt task RNGs
 };
 
+/// Per-study scheduling policy, applied at the ready-queue seam (before the
+/// placement scheduler sees the runnable list). Studies multiplexed onto one
+/// engine share resources by weighted fair-share; a paused study's ready
+/// tasks are held (its in-flight attempts still finish and commit).
+struct StudyPolicy {
+  double weight = 1.0;  ///< fair-share weight between ready queues (> 0)
+  int max_running = 0;  ///< cap on concurrently running tasks; 0 = unlimited
+  bool paused = false;  ///< hold ready tasks; do not start new attempts
+};
+
 class Engine {
  public:
   /// Invoked (on the coordinator thread) for every task that reaches a
@@ -173,6 +183,32 @@ class Engine {
   }
 
   const SpeculationTracker& speculation() const { return speculation_; }
+
+  /// Install or replace the scheduling policy for `study`. Studies without
+  /// an explicit policy behave as weight 1.0, no cap, not paused.
+  void set_study_policy(StudyId study, StudyPolicy policy) CHPO_REQUIRES(g_engine_ctx);
+
+  /// Hold (or release) a study's ready queue. Pausing never touches
+  /// in-flight attempts: they finish, commit, and notify as usual — only
+  /// *new* placements for the study stop.
+  void set_study_paused(StudyId study, bool paused) CHPO_REQUIRES(g_engine_ctx);
+  bool study_paused(StudyId study) const;
+
+  /// Cancel every non-terminal task carrying `study`'s tag (per-task
+  /// cancel() semantics: ready tasks turn Cancelled immediately, running
+  /// attempts are abandoned on finish). Tasks of other studies are never
+  /// touched — this is the single-study teardown behind kill/early-stop.
+  /// Returns the number of tasks newly cancelled.
+  std::size_t cancel_study(StudyId study, double now) CHPO_REQUIRES(g_engine_ctx);
+
+  /// Tasks submitted / terminal under `study` (per-study barrier math).
+  /// Unannotated: evaluated inside backend wait predicates.
+  std::size_t study_task_count(StudyId study) const;
+  std::size_t study_terminal_count(StudyId study) const;
+  /// Every task of `study` is terminal — the per-study barrier condition.
+  bool study_quiescent(StudyId study) const {
+    return study_terminal_count(study) == study_task_count(study);
+  }
 
   /// Cooperative cancellation (the completion-driven early-stop path).
   /// A WaitingDeps/Ready task transitions to Cancelled immediately (it
@@ -279,6 +315,14 @@ class Engine {
     int pinned_node = -1;
   };
 
+  /// Study-policy pass over the lineage-gated runnable list: drop paused
+  /// studies, enforce per-study running caps, and interleave the rest by
+  /// weighted deficit so the placement scheduler sees a fair-share order.
+  /// With a single unconstrained study the input order is preserved.
+  std::vector<TaskId> apply_study_policy(const std::vector<TaskId>& runnable)
+      CHPO_REQUIRES(g_engine_ctx);
+  StudyPolicy policy_for(StudyId study) const;
+
   void make_ready(TaskId task) CHPO_REQUIRES(g_engine_ctx);
   void cancel_dependents(TaskId task) CHPO_REQUIRES(g_engine_ctx);
   void commit_outputs(TaskRecord& task, AttemptResult& result) CHPO_REQUIRES(g_engine_ctx);
@@ -331,6 +375,16 @@ class Engine {
   SpeculationTracker speculation_;
   NodeHealth health_;
   std::vector<TaskId> ready_;  ///< submission-ordered ready queue
+  /// Studies with an explicit policy (weight / cap / paused). Absent
+  /// studies use the defaults, so the map stays empty until sessions ask
+  /// for something non-default.
+  std::map<StudyId, StudyPolicy> study_policies_;
+  /// Per-study submitted/terminal tallies for study_quiescent().
+  struct StudyCounters {
+    std::size_t submitted = 0;
+    std::size_t terminal = 0;
+  };
+  std::map<StudyId, StudyCounters> study_counts_;
   /// Time-ordered membership changes not yet applied (injector timeline +
   /// chaos hooks). Consumed front to back; kept sorted past the cursor.
   std::vector<NodeEvent> node_events_;

@@ -6,10 +6,11 @@
 
 namespace chpo::rt {
 
-TaskId TaskGraph::add_task(TaskDef def, const std::vector<Param>& params) {
+TaskId TaskGraph::add_task(TaskDef def, const std::vector<Param>& params, StudyId study) {
   const TaskId id = tasks_.size();
   TaskRecord record;
   record.id = id;
+  record.study = study;
   record.def = std::move(def);
 
   std::vector<TaskId> deps;

@@ -19,6 +19,9 @@ namespace chpo::rt {
 
 struct TaskRecord {
   TaskId id = 0;
+  /// Owning study: completions route to this study's session and
+  /// cancel_study(study) touches only tasks that carry its tag.
+  StudyId study = kMainStudy;
   TaskDef def;
   std::vector<ParamBinding> bindings;
   Future result;  ///< implicit return datum
@@ -82,8 +85,10 @@ class TaskGraph {
   explicit TaskGraph(DataRegistry& registry) : registry_(registry) {}
 
   /// Create a task, derive dependencies from its params, and register the
-  /// implicit return datum. Returns the new task's id.
-  TaskId add_task(TaskDef def, const std::vector<Param>& params);
+  /// implicit return datum. Returns the new task's id. `study` tags the
+  /// task with its owning session (kMainStudy for direct Runtime use).
+  TaskId add_task(TaskDef def, const std::vector<Param>& params,
+                  StudyId study = kMainStudy);
 
   TaskRecord& task(TaskId id);
   const TaskRecord& task(TaskId id) const;

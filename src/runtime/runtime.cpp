@@ -1,5 +1,6 @@
 #include "runtime/runtime.hpp"
 
+#include "runtime/study_session.hpp"
 #include "runtime/thread_backend.hpp"
 #include "support/log.hpp"
 
@@ -27,12 +28,19 @@ Runtime::Runtime(RuntimeOptions options)
     backend_ = std::make_unique<SimBackend>(engine_, options_.sim);
   else
     backend_ = std::make_unique<ThreadBackend>(engine_);
+  studies_[kMainStudy] = StudyInfo{.name = "main"};
   log_info("runtime", "started: {} nodes, scheduler={}, backend={}", options_.cluster.nodes.size(),
            options_.scheduler, options_.simulate ? "sim" : "threads");
 }
 
 Runtime::~Runtime() {
   try {
+    // A paused study's held ready tasks would stall the final barrier
+    // forever: shutdown drains everything, so release every study first.
+    {
+      EngineContextScope ctx(g_engine_ctx);
+      for (const auto& [id, info] : studies_) engine_.set_study_paused(id, false);
+    }
     barrier();
   } catch (const std::exception& e) {
     log_error("runtime", "exception while draining at shutdown: {}", e.what());
@@ -40,29 +48,114 @@ Runtime::~Runtime() {
 }
 
 Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params) {
-  EngineContextScope ctx(g_engine_ctx);
-  const TaskId id = graph_.add_task(def, params);
-  engine_.on_submitted(id, backend_->now());
-  // A task doomed at submission (failed predecessor) or with an
-  // unsatisfiable constraint turned terminal inside on_submitted.
-  engine_.flush_notifications();
-  return graph_.task(id).result;
+  return submit_study(kMainStudy, def, params, {});
 }
 
 Future Runtime::submit(const TaskDef& def, const std::vector<Param>& params,
                        CompletionCallback on_complete) {
+  return submit_study(kMainStudy, def, params, std::move(on_complete));
+}
+
+Future Runtime::submit_study(StudyId study, const TaskDef& def, const std::vector<Param>& params,
+                             CompletionCallback on_complete) {
+  if (studies_.find(study) == studies_.end())
+    throw std::invalid_argument("Runtime: submit into unknown study " + std::to_string(study));
   EngineContextScope ctx(g_engine_ctx);
-  const TaskId id = graph_.add_task(def, params);
+  const TaskId id = graph_.add_task(def, params, study);
   // Register before on_submitted: a task doomed at submission (failed
-  // predecessor) turns terminal inside that call and must still fire.
+  // predecessor) or with an unsatisfiable constraint turns terminal inside
+  // that call and must still fire its callback.
   if (on_complete) callbacks_[id] = std::move(on_complete);
   engine_.on_submitted(id, backend_->now());
   engine_.flush_notifications();
   return graph_.task(id).result;
 }
 
+StudySession Runtime::open_study(StudyOptions study) {
+  const StudyId id = next_study_++;
+  if (study.name.empty()) study.name = "study-" + std::to_string(id);
+  studies_[id] = StudyInfo{.name = study.name};
+  EngineContextScope ctx(g_engine_ctx);
+  engine_.set_study_policy(id, StudyPolicy{.weight = study.weight,
+                                           .max_running = study.max_running,
+                                           .paused = false});
+  sink_.record(trace::Event{.kind = trace::EventKind::StudyOpen,
+                            .study = id,
+                            .task_name = study.name,
+                            .t_start = backend_->now(),
+                            .t_end = backend_->now()});
+  log_info("runtime", "study {} '{}' opened (weight={}, max_running={})", id, study.name,
+           study.weight, study.max_running);
+  return StudySession(this, id);
+}
+
+StudySession Runtime::main_study() { return StudySession(this, kMainStudy); }
+
+const std::string& Runtime::study_name(StudyId study) const { return study_info(study).name; }
+
+Runtime::StudyInfo& Runtime::study_info(StudyId study) {
+  const auto it = studies_.find(study);
+  if (it == studies_.end())
+    throw std::invalid_argument("Runtime: unknown study " + std::to_string(study));
+  return it->second;
+}
+
+const Runtime::StudyInfo& Runtime::study_info(StudyId study) const {
+  const auto it = studies_.find(study);
+  if (it == studies_.end())
+    throw std::invalid_argument("Runtime: unknown study " + std::to_string(study));
+  return it->second;
+}
+
+std::vector<TaskId> Runtime::drain_study_completions(StudyId study) {
+  StudyInfo& info = study_info(study);
+  info.completions_enabled = true;  // opt-in, like the global queue
+  std::vector<TaskId> drained(info.completions.begin(), info.completions.end());
+  info.completions.clear();
+  return drained;
+}
+
+void Runtime::set_study_paused(StudyId study, bool paused) {
+  study_info(study);  // validate
+  EngineContextScope ctx(g_engine_ctx);
+  engine_.set_study_paused(study, paused);
+  sink_.record(trace::Event{
+      .kind = paused ? trace::EventKind::StudyPause : trace::EventKind::StudyResume,
+      .study = study,
+      .task_name = study_name(study),
+      .t_start = backend_->now(),
+      .t_end = backend_->now()});
+}
+
+bool Runtime::is_study_paused(StudyId study) const { return engine_.study_paused(study); }
+
+std::size_t Runtime::cancel_study_tasks(StudyId study) {
+  study_info(study);  // validate
+  EngineContextScope ctx(g_engine_ctx);
+  const std::size_t cancelled = engine_.cancel_study(study, backend_->now());
+  // Pending tasks (and their dependents) turned terminal inside
+  // cancel_study; deliver their notifications before returning.
+  engine_.flush_notifications();
+  return cancelled;
+}
+
+void Runtime::study_barrier(StudyId study) {
+  study_info(study);  // validate
+  EngineContextScope ctx(g_engine_ctx);
+  if (engine_.study_quiescent(study)) return;
+  backend_->run_until_condition([this, study] {
+    assert_engine_context();
+    return engine_.study_quiescent(study);
+  });
+}
+
 void Runtime::on_task_terminal(TaskId task, TaskState state) {
   if (completions_enabled_) completions_.push_back(task);
+  // Demultiplex to the owning study's queue: this is where the engine's
+  // terminal-notification funnel fans back out to sessions.
+  const auto study_it = studies_.find(graph_.task(task).study);
+  if (study_it != studies_.end() && study_it->second.completions_enabled)
+    study_it->second.completions.push_back(task);
   const auto it = callbacks_.find(task);
   if (it == callbacks_.end()) return;
   CompletionCallback callback = std::move(it->second);
@@ -154,6 +247,7 @@ Future Runtime::wait_any(std::span<const Future> futures) {
   synced_.push_back(*winner);
   sink_.record(trace::Event{.kind = trace::EventKind::WaitAny,
                             .task_id = winner->producer,
+                            .study = graph_.task(winner->producer).study,
                             .t_start = backend_->now(),
                             .t_end = backend_->now()});
   return *winner;

@@ -51,6 +51,16 @@ class TaskFailedError : public std::runtime_error {
   TaskId task_;
 };
 
+/// Parameters of open_study(): a label for traces/reports plus the study's
+/// scheduling policy at the engine's fair-share seam.
+struct StudyOptions {
+  std::string name;     ///< label carried into trace events and reports
+  double weight = 1.0;  ///< fair-share weight between concurrent studies
+  int max_running = 0;  ///< cap on concurrently running tasks; 0 = unlimited
+};
+
+class StudySession;
+
 struct RuntimeOptions {
   cluster::ClusterSpec cluster;
   std::string scheduler = "priority";
@@ -99,6 +109,20 @@ class Runtime {
   /// others, but must not wait — it runs in the middle of the completion
   /// loop.
   using CompletionCallback = std::function<void(const Future&, TaskState state)>;
+
+  /// Open a new study session: a tagged submission scope multiplexed onto
+  /// this runtime alongside any other open studies. Tasks submitted through
+  /// the returned handle carry the study's id, so completions route back to
+  /// it and cancelling the study never touches a neighbour's work. The
+  /// handle is a lightweight copyable view; the Runtime must outlive it.
+  /// (Declared here, defined with the handle in runtime/study_session.hpp.)
+  StudySession open_study(StudyOptions study = {});
+
+  /// Handle to the default study (id kMainStudy) that plain submit() feeds.
+  StudySession main_study();
+
+  /// Label given to `study` at open_study time ("main" for kMainStudy).
+  const std::string& study_name(StudyId study) const;
 
   /// Submit a task over the given parameters; returns the future of the
   /// body's return value. Dependencies are derived from param directions.
@@ -225,7 +249,33 @@ class Runtime {
   const ResourceState& resources() const { return engine_.resources(); }
 
  private:
+  friend class StudySession;
+
   void on_task_terminal(TaskId task, TaskState state);
+
+  /// Per-study bookkeeping on the Runtime side of the notification funnel.
+  struct StudyInfo {
+    std::string name;
+    /// Terminal tasks of this study not yet drained by its session.
+    /// Opt-in like the global queue (see completions_enabled_).
+    std::deque<TaskId> completions;
+    bool completions_enabled = false;
+  };
+
+  /// Session plumbing (called by StudySession; study must be registered).
+  Future submit_study(StudyId study, const TaskDef& def, const std::vector<Param>& params,
+                      CompletionCallback on_complete);
+  std::vector<TaskId> drain_study_completions(StudyId study);
+  void set_study_paused(StudyId study, bool paused);
+  bool is_study_paused(StudyId study) const;
+  /// Tear down one study's in-flight work (kill / early-stop). Returns the
+  /// number of tasks newly cancelled; other studies are never touched.
+  std::size_t cancel_study_tasks(StudyId study);
+  /// Block until every task of `study` is terminal. Throws if the study is
+  /// paused with held ready tasks and nothing else can make progress.
+  void study_barrier(StudyId study);
+  StudyInfo& study_info(StudyId study);
+  const StudyInfo& study_info(StudyId study) const;
 
   RuntimeOptions options_;
   DataRegistry registry_;
@@ -243,6 +293,9 @@ class Runtime {
   std::deque<TaskId> completions_;
   bool completions_enabled_ = false;
   std::map<TaskId, CompletionCallback> callbacks_;
+  /// Open studies by id; kMainStudy ("main") is registered at construction.
+  std::map<StudyId, StudyInfo> studies_;
+  StudyId next_study_ = kMainStudy + 1;
 };
 
 }  // namespace chpo::rt

@@ -12,6 +12,15 @@ using DataId = std::uint64_t;
 
 inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
 
+/// Identifies one HPO study (a session of related tasks) multiplexed onto a
+/// shared engine. Every task carries the study that submitted it, so the
+/// terminal-notification funnel can demultiplex completions to the owning
+/// session and `cancel_study` tears down exactly one study's work.
+using StudyId = std::uint32_t;
+
+/// Tasks submitted directly through Runtime (no session) land here.
+inline constexpr StudyId kMainStudy = 0;
+
 /// Parameter directionality, as in the @task decorator (IN is the default).
 enum class Direction : std::uint8_t { In, Out, InOut };
 

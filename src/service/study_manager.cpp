@@ -1,0 +1,207 @@
+#include "service/study_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/log.hpp"
+
+namespace chpo::service {
+
+const char* study_state_name(StudyState state) {
+  switch (state) {
+    case StudyState::Queued: return "queued";
+    case StudyState::Running: return "running";
+    case StudyState::Paused: return "paused";
+    case StudyState::Finished: return "finished";
+    case StudyState::Killed: return "killed";
+  }
+  return "?";
+}
+
+StudyManager::StudyManager(ManagerOptions options, const ml::Dataset& dataset)
+    : options_(std::move(options)), dataset_(dataset), runtime_(std::move(options_.runtime)) {}
+
+StudyManager::~StudyManager() {
+  // Abandoned/paused pumps may still have in-flight attempts; the
+  // Runtime's destructor drains them (unpausing every study first), so
+  // nothing special is needed here — records just have to outlive nothing.
+}
+
+rt::StudyId StudyManager::submit(StudySpec spec) {
+  rt::StudyOptions study_options;
+  study_options.name = spec.name;
+  study_options.weight = spec.weight;
+  study_options.max_running = spec.max_running;
+  const rt::StudySession session = runtime_.open_study(std::move(study_options));
+
+  Record record;
+  record.spec = std::move(spec);
+  record.session = session;
+  const rt::StudyId id = session.id();
+  records_.emplace(id, std::move(record));
+  order_.push_back(id);
+  return id;
+}
+
+std::size_t StudyManager::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, record] : records_)
+    if (record.state == StudyState::Running || record.state == StudyState::Paused) ++n;
+  return n;
+}
+
+void StudyManager::start(Record& record) {
+  const StudySpec& spec = record.spec;
+  if (spec.algorithm == "halving") {
+    hpo::HalvingOptions options = spec.halving;
+    options.driver = spec.driver;
+    record.pump = std::make_unique<hpo::HalvingRun>(record.session, dataset_, spec.space, options);
+  } else if (spec.algorithm == "hyperband") {
+    hpo::HyperbandOptions options = spec.hyperband;
+    options.driver = spec.driver;
+    record.pump =
+        std::make_unique<hpo::HyperbandRun>(record.session, dataset_, spec.space, options);
+  } else {
+    // Point search: the algorithm object holds a reference into
+    // record.spec.space, which lives exactly as long as the record.
+    record.algorithm = hpo::make_search_algorithm(spec.algorithm, record.spec.space, spec.budget,
+                                                  spec.driver.seed);
+    record.pump =
+        std::make_unique<hpo::StudyRun>(record.session, dataset_, spec.driver, *record.algorithm);
+  }
+  record.state = StudyState::Running;
+  record.pump->start();
+  log_info("service", "study {} '{}' admitted ({}, {} in flight)", record.session.id(),
+           record.session.name(), spec.algorithm, record.pump->inflight().size());
+  if (!record.pump->active()) finish(record);  // e.g. fully replayed from checkpoint
+}
+
+void StudyManager::finish(Record& record) {
+  record.outcome = record.pump->finish();
+  record.state = StudyState::Finished;
+  log_info("service", "study {} '{}' finished: {} trials, best {:.3f}", record.session.id(),
+           record.session.name(), record.outcome.trials.size(),
+           record.outcome.best() ? record.outcome.best()->result.final_val_accuracy : 0.0);
+}
+
+void StudyManager::admit() {
+  for (const rt::StudyId id : order_) {
+    if (options_.max_active > 0 && active_count() >= options_.max_active) break;
+    Record& record = records_.at(id);
+    if (record.state == StudyState::Queued) start(record);
+  }
+}
+
+bool StudyManager::step() {
+  admit();
+
+  // One wait_any across every in-flight trial of every non-paused study.
+  // Paused studies still get their in-flight completions consumed — an
+  // attempt that was already running when the pause landed finishes and
+  // commits (pause holds the *ready* queue, it never aborts work).
+  std::vector<rt::Future> futures;
+  for (const auto& [_, record] : records_)
+    if (record.state == StudyState::Running || record.state == StudyState::Paused)
+      for (const rt::Future& f : record.pump->inflight()) futures.push_back(f);
+
+  if (futures.empty()) {
+    // Nothing in flight anywhere. Running studies with no futures are
+    // drained state machines that never went inactive — a pump bug.
+    for (auto& [_, record] : records_)
+      if (record.state == StudyState::Running && !record.pump->active()) finish(record);
+    bool queued = false;
+    for (const auto& [_, record] : records_)
+      if (record.state == StudyState::Queued) queued = true;
+    return queued;  // paused-only fleets park here; resume() + step() continues
+  }
+
+  const rt::Future finished = runtime_.wait_any(futures);
+  // Route by the study tag the task carried through the engine.
+  const rt::StudyId owner = runtime_.graph().task(finished.producer).study;
+  const auto it = records_.find(owner);
+  if (it == records_.end() || !it->second.pump || !it->second.pump->owns(finished)) {
+    // A completion surfaced for a study that does not recognise it: a
+    // cross-study leak. Count it (CI asserts zero) and drop it.
+    ++leaked_;
+    log_warn("service", "leaked completion: task {} tagged study {}", finished.producer, owner);
+    return true;
+  }
+  Record& record = it->second;
+  record.pump->on_trial_complete(finished);
+  if (record.state == StudyState::Running && !record.pump->active()) finish(record);
+  return true;
+}
+
+void StudyManager::run_all() {
+  while (true) {
+    bool any_runnable = false;
+    for (const auto& [_, record] : records_)
+      if (record.state == StudyState::Queued || record.state == StudyState::Running ||
+          (record.state == StudyState::Paused && !record.pump->inflight().empty()))
+        any_runnable = true;
+    if (!any_runnable) return;
+    step();
+  }
+}
+
+void StudyManager::pause(rt::StudyId id) {
+  Record& record = records_.at(id);
+  if (record.state != StudyState::Running) return;
+  record.pump->set_refill_paused(true);
+  record.session.pause();
+  record.state = StudyState::Paused;
+}
+
+void StudyManager::resume(rt::StudyId id) {
+  Record& record = records_.at(id);
+  if (record.state != StudyState::Paused) return;
+  record.session.resume();
+  record.state = StudyState::Running;
+  record.pump->set_refill_paused(false);
+  if (!record.pump->active()) finish(record);
+}
+
+void StudyManager::kill(rt::StudyId id) {
+  Record& record = records_.at(id);
+  if (record.state == StudyState::Finished || record.state == StudyState::Killed) return;
+  if (record.state == StudyState::Paused) record.session.resume();
+  if (record.state == StudyState::Queued) {
+    record.state = StudyState::Killed;
+    return;
+  }
+  record.pump->abandon();
+  // Sweep the whole study: abandon() cancels the trials the pump knows
+  // about; cancel_all() also catches study-tagged helpers (visualisation
+  // tasks, stage chains) the pump only holds indirectly.
+  const std::size_t swept = record.session.cancel_all();
+  record.outcome = record.pump->finish();
+  record.state = StudyState::Killed;
+  log_info("service", "study {} '{}' killed ({} tasks cancelled, {} trials kept)", id,
+           record.session.name(), swept, record.outcome.trials.size());
+}
+
+StudyState StudyManager::state(rt::StudyId id) const { return records_.at(id).state; }
+
+StudyStatus StudyManager::status(rt::StudyId id) const {
+  const Record& record = records_.at(id);
+  StudyStatus s;
+  s.id = id;
+  s.name = record.session.name();
+  s.algorithm = record.spec.algorithm;
+  s.state = record.state;
+  // Populated by finish(); still 0 while the pump owns the trials.
+  s.trials_done = record.outcome.trials.size();
+  return s;
+}
+
+std::vector<rt::StudyId> StudyManager::studies() const { return order_; }
+
+const hpo::HpoOutcome& StudyManager::outcome(rt::StudyId id) const {
+  const Record& record = records_.at(id);
+  if (record.state != StudyState::Finished && record.state != StudyState::Killed)
+    throw std::logic_error("StudyManager::outcome: study " + std::to_string(id) +
+                           " is still " + study_state_name(record.state));
+  return record.outcome;
+}
+
+}  // namespace chpo::service

@@ -1,0 +1,160 @@
+// StudyManager — admission and lifecycle for N concurrent HPO studies on
+// one Runtime.
+//
+// The engine is single-thread confined, so concurrency between studies is
+// cooperative: the manager owns one Runtime, opens one StudySession per
+// admitted study, builds the matching TrialPump (StudyRun / HalvingRun /
+// HyperbandRun), and multiplexes all pumps from its own step() loop — one
+// wait_any over every active study's in-flight futures, each winner routed
+// to the pump whose study tag it carries. The study tag travels with the
+// task through the engine, so routing is a graph lookup, not a guess; a
+// completion whose owning pump does not recognise it is counted in
+// leaked_completions() (asserted zero by the CI multi-study smoke).
+//
+// Lifecycle: submit() queues, admission starts up to max_active studies
+// (fair-share weight and per-study quota handed to the engine); pause()
+// holds the study's ready queue at the engine seam AND stops the pump
+// refilling (in-flight attempts finish and commit — their completions are
+// consumed while paused); kill() abandons the pump and cancels every
+// non-terminal task of that study, leaving the rest of the fleet
+// untouched. Crash-safe resume is inherited from the driver layer: give a
+// study a DriverOptions::checkpoint_path and a fresh manager replays the
+// completed trials from disk before submitting anything.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpo/algorithms.hpp"
+#include "hpo/hyperband.hpp"
+#include "hpo/search_space.hpp"
+#include "hpo/study_run.hpp"
+#include "ml/dataset.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/study_session.hpp"
+
+namespace chpo::service {
+
+/// Everything needed to run one study: the search, its budget, and its
+/// share of the cluster. The spec is stored by value for the study's whole
+/// life — algorithms hold references into `space`, so it must live here.
+struct StudySpec {
+  std::string name;
+  /// "grid" | "random" | "gp" | "tpe" (point search via StudyRun) or
+  /// "halving" | "hyperband" (multi-fidelity pumps).
+  std::string algorithm = "random";
+  hpo::SearchSpace space;
+  /// Trial budget for random/gp/tpe (grid enumerates the space).
+  std::size_t budget = 16;
+  /// Shared trial options (constraint, seeds, checkpoint_path, reuse...).
+  /// For halving/hyperband this is copied into the bracket options below.
+  hpo::DriverOptions driver;
+  hpo::HalvingOptions halving;      ///< knobs when algorithm == "halving"
+  hpo::HyperbandOptions hyperband;  ///< knobs when algorithm == "hyperband"
+  /// Engine fair-share weight and concurrent-task quota (see StudyPolicy).
+  double weight = 1.0;
+  int max_running = 0;
+};
+
+enum class StudyState {
+  Queued,    ///< submitted, not yet admitted
+  Running,   ///< pump active, completions being consumed
+  Paused,    ///< ready queue held + refills stopped; in-flight finishing
+  Finished,  ///< pump drained; outcome() available
+  Killed,    ///< kill()ed; partial outcome() available
+};
+
+const char* study_state_name(StudyState state);
+
+struct ManagerOptions {
+  rt::RuntimeOptions runtime;
+  /// Studies admitted concurrently; 0 = all submitted studies run at once.
+  std::size_t max_active = 0;
+};
+
+/// Snapshot of one study for reports / chpo_run.
+struct StudyStatus {
+  rt::StudyId id = rt::kMainStudy;
+  std::string name;
+  std::string algorithm;
+  StudyState state = StudyState::Queued;
+  std::size_t trials_done = 0;
+};
+
+class StudyManager {
+ public:
+  /// `dataset` is shared by every study (the paper's setting: one dataset,
+  /// many searches) and must outlive the manager.
+  StudyManager(ManagerOptions options, const ml::Dataset& dataset);
+  ~StudyManager();
+
+  StudyManager(const StudyManager&) = delete;
+  StudyManager& operator=(const StudyManager&) = delete;
+
+  /// Queue a study; admission happens inside step()/run_all(). Returns the
+  /// engine-level StudyId (also the key for state/outcome/pause/...).
+  rt::StudyId submit(StudySpec spec);
+
+  /// Admit queued studies, wait for ONE completion across every active
+  /// study, route it to its owner. Returns true while any study is queued,
+  /// running, or paused-with-work — i.e. while there is anything left to
+  /// drive. Paused studies' in-flight completions are still consumed.
+  bool step();
+
+  /// Drive until every study is Finished or Killed (paused studies with no
+  /// in-flight work park the loop: run_all returns early if only paused
+  /// studies remain, so a caller can resume() and run_all() again).
+  void run_all();
+
+  void pause(rt::StudyId id);
+  void resume(rt::StudyId id);
+  /// Abandon the pump and cancel every non-terminal task of this study.
+  /// The partial outcome (trials consumed so far) is kept.
+  void kill(rt::StudyId id);
+
+  StudyState state(rt::StudyId id) const;
+  StudyStatus status(rt::StudyId id) const;
+  std::vector<rt::StudyId> studies() const;
+
+  /// Final (or partial, if Killed) outcome; throws unless the study is
+  /// Finished or Killed.
+  const hpo::HpoOutcome& outcome(rt::StudyId id) const;
+
+  /// Completions that arrived tagged with a study whose pump did not
+  /// recognise them — cross-study leaks; always 0 unless routing is broken.
+  std::size_t leaked_completions() const { return leaked_; }
+
+  // Runtime forwarders (the manager owns the Runtime; nothing else should
+  // reach for it — chpo_lint bans rt::Runtime& parameters in this layer).
+  double now() const { return runtime_.now(); }
+  bool simulated() const { return runtime_.simulated(); }
+  const trace::TraceSink& trace() const { return runtime_.trace(); }
+  std::uint64_t lineage_violations() const { return runtime_.lineage_violations(); }
+  std::size_t lineage_recoveries() const { return runtime_.lineage_recoveries(); }
+
+ private:
+  struct Record {
+    StudySpec spec;
+    rt::StudySession session;
+    std::unique_ptr<hpo::SearchAlgorithm> algorithm;  ///< null for halving/hyperband
+    std::unique_ptr<hpo::TrialPump> pump;
+    StudyState state = StudyState::Queued;
+    hpo::HpoOutcome outcome;
+  };
+
+  void admit();
+  void start(Record& record);
+  void finish(Record& record);
+  std::size_t active_count() const;
+
+  ManagerOptions options_;
+  const ml::Dataset& dataset_;
+  rt::Runtime runtime_;
+  std::map<rt::StudyId, Record> records_;
+  std::vector<rt::StudyId> order_;  ///< submission order (admission + reports)
+  std::size_t leaked_ = 0;
+};
+
+}  // namespace chpo::service

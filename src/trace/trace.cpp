@@ -54,6 +54,10 @@ const char* kind_name(EventKind kind) {
     case EventKind::DataLost: return "data_lost";
     case EventKind::LineageRecompute: return "lineage_recompute";
     case EventKind::Quarantine: return "quarantine";
+    case EventKind::StudyOpen: return "study_open";
+    case EventKind::StudyPause: return "study_pause";
+    case EventKind::StudyResume: return "study_resume";
+    case EventKind::StudyCancel: return "study_cancel";
   }
   return "unknown";
 }

@@ -44,14 +44,20 @@ enum class EventKind : std::uint8_t {
   DataLost,           ///< point: a committed version lost its last replica
   LineageRecompute,   ///< point: a recovery attempt recommitted lost data
   Quarantine,         ///< point: a flaky node entered health quarantine
+  StudyOpen,          ///< point: a study session was opened (task_id = study)
+  StudyPause,         ///< point: a study's ready queue was held
+  StudyResume,        ///< point: a paused study resumed scheduling
+  StudyCancel,        ///< point: a study's in-flight work was torn down
 };
 
 /// Number of EventKind values (for exhaustive .pcf / report iteration).
-inline constexpr int kEventKindCount = static_cast<int>(EventKind::Quarantine) + 1;
+inline constexpr int kEventKindCount = static_cast<int>(EventKind::StudyCancel) + 1;
 
 struct Event {
   EventKind kind = EventKind::TaskRun;
   std::uint64_t task_id = 0;
+  /// Owning study of the task (or the subject study of a Study* event).
+  std::uint32_t study = 0;
   int attempt = 0;
   std::string task_name;
   /// Resource placement. node < 0 means "not bound to a node" (e.g. submit).

@@ -29,7 +29,7 @@ rt::RuntimeOptions thread_cluster(unsigned cpus = 4) {
 TEST(Driver, GridRunsEveryConfigForReal) {
   const ml::Dataset dataset = ml::make_mnist_like(120, 40, 1);
   rt::Runtime runtime(thread_cluster());
-  HpoDriver driver(runtime, dataset, DriverOptions{.seed = 5});
+  HpoDriver driver(runtime.main_study(), dataset, DriverOptions{.seed = 5});
   const SearchSpace space = tiny_space();
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);
@@ -53,7 +53,7 @@ TEST(Driver, RandomSearchOnSimBackendWithCostModel) {
   driver_options.workload = ml::mnist_paper_model();
   driver_options.epoch_divisor = 1;
   driver_options.trial_constraint = {.cpus = 4};
-  HpoDriver driver(runtime, dataset, driver_options);
+  HpoDriver driver(runtime.main_study(), dataset, driver_options);
   const SearchSpace space = tiny_space();
   RandomSearch random(space, 6, 3);
   const HpoOutcome outcome = driver.run(random);
@@ -68,7 +68,7 @@ TEST(Driver, EpochControlsApplied) {
   DriverOptions options;
   options.epoch_divisor = 1;
   options.epoch_cap = 1;  // every trial trains exactly one epoch
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space = tiny_space();
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);
@@ -81,7 +81,7 @@ TEST(Driver, StopOnAccuracyEndsEarly) {
   DriverOptions options;
   options.stop_on_accuracy = 0.3;  // easy target on easy data
   options.epoch_cap = 3;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space = tiny_space();
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);
@@ -94,7 +94,7 @@ TEST(Driver, SequentialAlgorithmGetsFeedback) {
   rt::Runtime runtime(thread_cluster());
   DriverOptions options;
   options.epoch_cap = 1;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   SearchSpace space;
   space.add_float("learning_rate", 1e-4, 1e-1, true);
   GpBayesOpt bo(space, {.max_evals = 6, .n_init = 2, .seed = 6});
@@ -137,7 +137,7 @@ TEST(Driver, EarlyStopFiresOnFirstCompletionNotSubmissionIndex) {
   options.stop_on_accuracy = 1e-9;  // any completed trial crosses
   options.epoch_cap = 1;            // keep the real training inside bodies cheap
   options.trial_constraint = {.cpus = 4};
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
 
   const Config slow = json::parse(R"({"optimizer":"SGD","num_epochs":60,"batch_size":32})");
   const Config fast = json::parse(R"({"optimizer":"SGD","num_epochs":1,"batch_size":32})");
@@ -176,7 +176,7 @@ TEST(Driver, SequentialWindowKeepsKTrialsInFlight) {
   options.epoch_cap = 1;
   options.trial_constraint = {.cpus = 4};
   options.parallel_suggestions = 2;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   SearchSpace space;
   space.add_float("learning_rate", 1e-4, 1e-1, true);
   GpBayesOpt bo(space, {.max_evals = 6, .n_init = 2, .seed = 23});
@@ -196,7 +196,7 @@ TEST(Driver, GpuConstraintRunsOnGpuNode) {
   options.trial_constraint = {.cpus = 2, .gpus = 1};
   options.workload = ml::cifar_paper_model();
   options.epoch_cap = 1;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space = tiny_space();
   RandomSearch random(space, 8, 8);
   const HpoOutcome outcome = driver.run(random);
@@ -211,7 +211,7 @@ TEST(Driver, CrossValidatedTrials) {
   DriverOptions options;
   options.epoch_cap = 1;
   options.cv_folds = 3;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space =
       SearchSpace::from_json_text(R"({"optimizer": ["Adam", "SGD"], "batch_size": [16]})");
   GridSearch grid(space);
@@ -247,7 +247,7 @@ TEST(Report, TablesChartsAndCsv) {
   rt::Runtime runtime(thread_cluster());
   DriverOptions options;
   options.epoch_cap = 2;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space = tiny_space();
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);

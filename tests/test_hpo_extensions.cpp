@@ -32,7 +32,7 @@ TEST(SuccessiveHalving, RungsShrinkAndBudgetsGrow) {
   options.eta = 3.0;
   options.max_epochs = 9;
   const SearchSpace space = tiny_space();
-  const HalvingOutcome outcome = successive_halving(runtime, dataset, space, options);
+  const HalvingOutcome outcome = successive_halving(runtime.main_study(), dataset, space, options);
 
   ASSERT_GE(outcome.rungs.size(), 2u);
   EXPECT_EQ(outcome.rungs[0].trials.size(), 9u);
@@ -52,7 +52,7 @@ TEST(SuccessiveHalving, SurvivorsAreTopOfPreviousRung) {
   options.eta = 2.0;
   options.max_epochs = 4;
   const SearchSpace space = tiny_space();
-  const HalvingOutcome outcome = successive_halving(runtime, dataset, space, options);
+  const HalvingOutcome outcome = successive_halving(runtime.main_study(), dataset, space, options);
   ASSERT_GE(outcome.rungs.size(), 2u);
   // Worst accuracy advancing to rung 1 >= best accuracy eliminated at rung 0.
   double worst_advanced = 1.0;
@@ -78,7 +78,7 @@ TEST(SuccessiveHalving, RespectsMaxEpochsCeiling) {
   options.eta = 2.0;
   options.max_epochs = 4;
   const SearchSpace space = tiny_space();
-  const HalvingOutcome outcome = successive_halving(runtime, dataset, space, options);
+  const HalvingOutcome outcome = successive_halving(runtime.main_study(), dataset, space, options);
   for (const RungResult& rung : outcome.rungs) EXPECT_LE(rung.epochs, 4);
 }
 
@@ -88,13 +88,13 @@ TEST(SuccessiveHalving, InvalidOptionsThrow) {
   const SearchSpace space = tiny_space();
   HalvingOptions bad;
   bad.initial_configs = 0;
-  EXPECT_THROW(successive_halving(runtime, dataset, space, bad), std::invalid_argument);
+  EXPECT_THROW(successive_halving(runtime.main_study(), dataset, space, bad), std::invalid_argument);
   bad.initial_configs = 4;
   bad.eta = 1.0;
-  EXPECT_THROW(successive_halving(runtime, dataset, space, bad), std::invalid_argument);
+  EXPECT_THROW(successive_halving(runtime.main_study(), dataset, space, bad), std::invalid_argument);
   bad.eta = 2.0;
   bad.initial_epochs = 0;
-  EXPECT_THROW(successive_halving(runtime, dataset, space, bad), std::invalid_argument);
+  EXPECT_THROW(successive_halving(runtime.main_study(), dataset, space, bad), std::invalid_argument);
 }
 
 TEST(Hyperband, RunsAllBracketsAndFindsGoodConfig) {
@@ -104,7 +104,7 @@ TEST(Hyperband, RunsAllBracketsAndFindsGoodConfig) {
   HyperbandOptions options;
   options.max_epochs = 9;
   options.eta = 3.0;
-  const HyperbandOutcome outcome = hyperband(runtime, dataset, space, options);
+  const HyperbandOutcome outcome = hyperband(runtime.main_study(), dataset, space, options);
   // s_max = floor(log3(9)) = 2 -> 3 brackets.
   EXPECT_EQ(outcome.brackets.size(), 3u);
   EXPECT_GT(outcome.total_trials, 9u);
@@ -123,10 +123,10 @@ TEST(Hyperband, InvalidOptionsThrow) {
   const SearchSpace space = tiny_space();
   HyperbandOptions bad;
   bad.max_epochs = 0;
-  EXPECT_THROW(hyperband(runtime, dataset, space, bad), std::invalid_argument);
+  EXPECT_THROW(hyperband(runtime.main_study(), dataset, space, bad), std::invalid_argument);
   bad.max_epochs = 9;
   bad.eta = 1.0;
-  EXPECT_THROW(hyperband(runtime, dataset, space, bad), std::invalid_argument);
+  EXPECT_THROW(hyperband(runtime.main_study(), dataset, space, bad), std::invalid_argument);
 }
 
 TEST(VisualisePipeline, PlotTaskCollectsAllTrials) {
@@ -136,7 +136,7 @@ TEST(VisualisePipeline, PlotTaskCollectsAllTrials) {
   DriverOptions options;
   options.epoch_cap = 2;
   options.visualise = true;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space = tiny_space();
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);
@@ -160,7 +160,7 @@ TEST(VisualisePipeline, FailedTrialExcludedFromPlot) {
   DriverOptions options;
   options.epoch_cap = 1;
   options.visualise = true;
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   const SearchSpace space = tiny_space();
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);
@@ -183,7 +183,7 @@ TEST(Baseline, SequentialMatchesDriverResults) {
   const HpoOutcome serial = sequential_hpo(dataset, configs, options);
 
   rt::Runtime runtime(thread_cluster());
-  HpoDriver driver(runtime, dataset, options);
+  HpoDriver driver(runtime.main_study(), dataset, options);
   GridSearch grid(space);
   const HpoOutcome parallel = driver.run(grid);
 

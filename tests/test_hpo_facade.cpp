@@ -143,7 +143,7 @@ TEST_F(CheckpointFixture, DriverReplaysCheckpointedTrials) {
   HpoOutcome first;
   {
     rt::Runtime runtime(std::move(rt_options));
-    HpoDriver driver(runtime, dataset, driver_options);
+    HpoDriver driver(runtime.main_study(), dataset, driver_options);
     GridSearch grid(space);
     first = driver.run(grid);
   }
@@ -154,7 +154,7 @@ TEST_F(CheckpointFixture, DriverReplaysCheckpointedTrials) {
   rt::RuntimeOptions rt_options2;
   rt_options2.cluster = cluster::homogeneous(1, node);
   rt::Runtime runtime(std::move(rt_options2));
-  HpoDriver driver(runtime, dataset, driver_options);
+  HpoDriver driver(runtime.main_study(), dataset, driver_options);
   GridSearch grid(space);
   const HpoOutcome second = driver.run(grid);
   ASSERT_EQ(second.trials.size(), 4u);
@@ -186,7 +186,7 @@ TEST_F(CheckpointFixture, PartialCheckpointOnlySkipsCompleted) {
   DriverOptions driver_options;
   driver_options.epoch_cap = 1;
   driver_options.checkpoint_path = path;
-  HpoDriver driver(runtime, dataset, driver_options);
+  HpoDriver driver(runtime.main_study(), dataset, driver_options);
   GridSearch grid(space);
   const HpoOutcome outcome = driver.run(grid);
   ASSERT_EQ(outcome.trials.size(), 4u);

@@ -133,7 +133,7 @@ TEST(PaperPipeline, RealTrainingEndToEnd) {
   node.cpus = 4;
   opts.cluster = cluster::homogeneous(1, node);
   rt::Runtime runtime(std::move(opts));
-  hpo::HpoDriver driver(runtime, dataset, hpo::DriverOptions{.seed = 1});
+  hpo::HpoDriver driver(runtime.main_study(), dataset, hpo::DriverOptions{.seed = 1});
   hpo::GridSearch grid(space);
   const hpo::HpoOutcome outcome = driver.run(grid);
 
@@ -169,7 +169,7 @@ TEST(PaperPipeline, HpoSurvivesInjectedFailures) {
   rt::Runtime runtime(std::move(opts));
   hpo::DriverOptions options;
   options.epoch_cap = 1;
-  hpo::HpoDriver driver(runtime, dataset, options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, options);
   const hpo::SearchSpace space = hpo::SearchSpace::from_json_text(
       R"({"optimizer": ["Adam", "SGD"], "batch_size": [16, 32]})");
   hpo::GridSearch grid(space);
@@ -190,7 +190,7 @@ TEST(PaperPipeline, TracingOffStillCorrect) {
   rt::Runtime runtime(std::move(opts));
   hpo::DriverOptions options;
   options.epoch_cap = 1;
-  hpo::HpoDriver driver(runtime, dataset, options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, options);
   const hpo::SearchSpace space =
       hpo::SearchSpace::from_json_text(R"({"optimizer": ["SGD"], "batch_size": [16, 32]})");
   hpo::GridSearch grid(space);

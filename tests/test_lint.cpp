@@ -120,6 +120,33 @@ TEST(NondeterministicRng, IgnoresOtherPathsAndLongerIdentifiers) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-runtime-ref
+// ---------------------------------------------------------------------------
+
+TEST(RawRuntimeRef, FlagsRuntimeReferencesInHpoAndService) {
+  const auto findings = lint_files(
+      {{"src/hpo/driver.hpp", "HpoDriver(rt::Runtime& runtime, const Dataset& d);\n"},
+       {"src/service/manager.cpp", "void drive(rt::Runtime & runtime) {}\n"},
+       {"src/hpo/hyperband.cpp", "Outcome halve(Runtime& runtime, int n);\n"}});
+  EXPECT_EQ(of_rule(findings, "raw-runtime-ref").size(), 3u);
+}
+
+TEST(RawRuntimeRef, AllowsSessionsValuesAndOtherLayers) {
+  const auto findings = lint_files(
+      // Sessions, by-value Runtime construction and RuntimeOptions are the
+      // sanctioned spellings; other layers (runtime itself, ml) may still
+      // take Runtime&.
+      {{"src/hpo/optimize.cpp",
+        "rt::RuntimeOptions runtime_options;\n"
+        "rt::Runtime runtime(std::move(runtime_options));\n"
+        "HpoDriver driver(runtime.main_study(), dataset, options);\n"},
+       {"src/hpo/driver.hpp", "HpoDriver(rt::StudySession session, const Dataset& d);\n"},
+       {"src/runtime/study_session.hpp", "StudySession(Runtime* runtime, StudyId id);\n"},
+       {"src/ml/distributed.hpp", "Result distributed_train(rt::Runtime& runtime);\n"}});
+  EXPECT_TRUE(of_rule(findings, "raw-runtime-ref").empty());
+}
+
+// ---------------------------------------------------------------------------
 // callback-in-engine-mutation
 // ---------------------------------------------------------------------------
 

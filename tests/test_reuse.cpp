@@ -516,7 +516,7 @@ hpo::HpoOutcome run_grid(const ml::Dataset& dataset, bool merge, const std::stri
   options.reuse.enabled = true;
   options.reuse.merge = merge;
   options.reuse.cache_dir = cache_dir;
-  hpo::HpoDriver driver(runtime, dataset, options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, options);
   hpo::GridSearch grid(reuse_space());
   return driver.run(grid);
 }
@@ -592,7 +592,7 @@ TEST(DriverReuse, SimBackendPlansMergedGraph) {
     options.trial_constraint = {.cpus = 4};
     options.reuse.enabled = true;
     options.reuse.merge = merge;
-    hpo::HpoDriver driver(runtime, dataset, options);
+    hpo::HpoDriver driver(runtime.main_study(), dataset, options);
     hpo::GridSearch grid(reuse_space());
     const hpo::HpoOutcome outcome = driver.run(grid);
     return std::make_pair(outcome.reuse->planned_epochs, runtime.analyze().makespan());
@@ -618,7 +618,7 @@ TEST(DriverReuse, HyperbandRungPromotionsResumeFromCache) {
     "learning_rate": [0.005, 0.01, 0.02, 0.05],
     "batch_size": [16]
   })");
-  const hpo::HalvingOutcome outcome = successive_halving(runtime, dataset, space, options);
+  const hpo::HalvingOutcome outcome = successive_halving(runtime.main_study(), dataset, space, options);
   ASSERT_GE(outcome.rungs.size(), 2u);
   ASSERT_TRUE(outcome.reuse.has_value());
   EXPECT_GT(outcome.reuse->stages, 0u);

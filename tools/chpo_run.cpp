@@ -24,6 +24,7 @@
 #include "ml/cost_model.hpp"
 #include "ml/dataset.hpp"
 #include "runtime/runtime.hpp"
+#include "service/study_manager.hpp"
 #include "support/args.hpp"
 #include "support/strings.hpp"
 #include "trace/gantt.hpp"
@@ -60,6 +61,79 @@ cluster::ClusterSpec make_cluster(const std::string& machine, std::size_t nodes,
     throw std::invalid_argument("unknown --worker '" + worker + "' (none | shared | dedicated)");
   }
   return spec;
+}
+
+/// --studies N: run N concurrent studies (cycling --algorithms) on ONE
+/// Runtime through service::StudyManager, then print a per-study report
+/// and assert isolation (no cross-study completion leaks, no lineage
+/// violations). The multi-study CI smoke greps the summary lines.
+int run_multi(const ArgParser& args, const hpo::SearchSpace& space, const ml::Dataset& dataset,
+              rt::RuntimeOptions runtime_options, const hpo::DriverOptions& driver_options,
+              std::size_t studies) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto budget = static_cast<std::size_t>(args.get_int("budget", 16));
+  const std::vector<std::string> algorithms =
+      split(args.get("algorithms", args.get("algorithm", "grid")), ',');
+
+  service::ManagerOptions manager_options;
+  manager_options.runtime = std::move(runtime_options);
+  manager_options.max_active = static_cast<std::size_t>(args.get_int("max-active", 0));
+  service::StudyManager manager(std::move(manager_options), dataset);
+
+  std::vector<rt::StudyId> ids;
+  for (std::size_t i = 0; i < studies; ++i) {
+    service::StudySpec spec;
+    spec.algorithm = algorithms[i % algorithms.size()];
+    spec.name = spec.algorithm + "-" + std::to_string(i);
+    spec.space = space;
+    spec.budget = budget;
+    spec.driver = driver_options;
+    // Distinct trial seeds per study; one shared checkpoint file would
+    // cross-replay between studies, so suffix it per study.
+    spec.driver.seed = seed + i * 1000003ULL;
+    if (!driver_options.checkpoint_path.empty())
+      spec.driver.checkpoint_path =
+          driver_options.checkpoint_path + ".study" + std::to_string(i);
+    spec.halving.initial_configs = budget;
+    spec.halving.driver = spec.driver;
+    spec.hyperband.driver = spec.driver;
+    ids.push_back(manager.submit(std::move(spec)));
+  }
+  manager.run_all();
+
+  std::vector<hpo::StudySummaryRow> rows;
+  for (const rt::StudyId id : ids) {
+    const service::StudyStatus status = manager.status(id);
+    const hpo::HpoOutcome& outcome = manager.outcome(id);
+    std::printf("=== study %u: %s (%s, %s) ===\n", id, status.name.c_str(),
+                status.algorithm.c_str(), service::study_state_name(status.state));
+    std::printf("%s", hpo::trials_table(outcome.trials).c_str());
+    std::printf("%s", hpo::outcome_summary(outcome).c_str());
+    hpo::StudySummaryRow row;
+    row.name = status.name;
+    row.algorithm = status.algorithm;
+    row.state = service::study_state_name(status.state);
+    row.trials = outcome.trials.size();
+    row.best_accuracy =
+        outcome.best() ? outcome.best()->result.final_val_accuracy : -1.0;
+    row.elapsed_seconds = outcome.elapsed_seconds;
+    rows.push_back(std::move(row));
+  }
+  std::printf("\n%s", hpo::multi_study_summary(rows).c_str());
+  if (manager.simulated())
+    std::printf("virtual now: %s\n", format_duration(manager.now()).c_str());
+
+  // Isolation invariants (the CI multi-study smoke greps this line):
+  std::printf("isolation: leaked completions: %zu, lineage violations: %llu\n",
+              manager.leaked_completions(),
+              static_cast<unsigned long long>(manager.lineage_violations()));
+  if (manager.leaked_completions() != 0 || manager.lineage_violations() != 0) {
+    std::fprintf(stderr, "chpo_run: cross-study isolation violated\n");
+    return 1;
+  }
+  for (const rt::StudyId id : ids)
+    if (manager.state(id) != service::StudyState::Finished) return 1;
+  return 0;
 }
 
 int run(const ArgParser& args) {
@@ -108,7 +182,6 @@ int run(const ArgParser& args) {
   // raise this so trials survive repeated node loss.
   runtime_options.fault_policy.max_attempts =
       static_cast<int>(args.get_int("max-attempts", runtime_options.fault_policy.max_attempts));
-  rt::Runtime runtime(std::move(runtime_options));
 
   hpo::DriverOptions driver_options;
   driver_options.trial_constraint.cpus = static_cast<unsigned>(args.get_int("trial-cpus", 1));
@@ -130,9 +203,14 @@ int run(const ArgParser& args) {
     driver_options.reuse.max_disk_bytes = static_cast<std::size_t>(cache_mb) * 4 * 1024 * 1024;
   }
 
+  const auto studies = static_cast<std::size_t>(args.get_int("studies", 1));
+  if (studies > 1)
+    return run_multi(args, space, dataset, std::move(runtime_options), driver_options, studies);
+
+  rt::Runtime runtime(std::move(runtime_options));
   const std::string algorithm_name = args.get("algorithm", "grid");
   const auto budget = static_cast<std::size_t>(args.get_int("budget", 16));
-  hpo::HpoDriver driver(runtime, dataset, driver_options);
+  hpo::HpoDriver driver(runtime.main_study(), dataset, driver_options);
   hpo::HpoOutcome outcome;
   if (algorithm_name == "grid") {
     hpo::GridSearch algorithm(space);
@@ -150,7 +228,7 @@ int run(const ArgParser& args) {
     hpo::HalvingOptions halving;
     halving.initial_configs = budget;
     halving.driver = driver_options;
-    const hpo::HalvingOutcome halved = hpo::successive_halving(runtime, dataset, space, halving);
+    const hpo::HalvingOutcome halved = hpo::successive_halving(runtime.main_study(), dataset, space, halving);
     for (const auto& rung : halved.rungs)
       for (const auto& trial : rung.trials) outcome.trials.push_back(trial);
     outcome.reuse = halved.reuse;
@@ -159,7 +237,7 @@ int run(const ArgParser& args) {
   } else if (algorithm_name == "hyperband") {
     hpo::HyperbandOptions hb;
     hb.driver = driver_options;
-    const hpo::HyperbandOutcome result = hpo::hyperband(runtime, dataset, space, hb);
+    const hpo::HyperbandOutcome result = hpo::hyperband(runtime.main_study(), dataset, space, hb);
     std::printf("hyperband: %zu trials across %zu brackets, best %.3f (%s)\n",
                 result.total_trials, result.brackets.size(), result.best_accuracy,
                 hpo::config_brief(result.best_config).c_str());
@@ -238,6 +316,9 @@ int main(int argc, char** argv) {
       .add_option("trial-cpus", "cores per experiment (@constraint)", "1")
       .add_option("trial-gpus", "GPUs per experiment (@constraint)", "0")
       .add_option("budget", "evaluations for random/gp/tpe/halving", "16")
+      .add_option("studies", "run N concurrent studies on one runtime", "1")
+      .add_option("algorithms", "comma list cycled across --studies (default: --algorithm)", "")
+      .add_option("max-active", "admit at most N studies at once (0 = all)", "0")
       .add_option("epoch-divisor", "scale config epochs down by this factor", "10")
       .add_option("epoch-cap", "hard cap on epochs per trial (0 = none)", "0")
       .add_option("stop-on-accuracy", "stop the whole HPO at this val accuracy", "")

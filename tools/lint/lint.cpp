@@ -137,6 +137,34 @@ void rule_nondeterministic_rng(const SourceFile& file, const std::vector<std::st
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-runtime-ref
+// ---------------------------------------------------------------------------
+
+void rule_raw_runtime_ref(const SourceFile& file, const std::vector<std::string>& lines,
+                          std::vector<Finding>& out) {
+  // The HPO and service layers speak to the engine through StudySession
+  // handles only: a raw rt::Runtime& smuggles exclusive ownership back in
+  // and breaks multi-study multiplexing (and its cancellation isolation).
+  if (!contains(file.path, "src/hpo/") && !contains(file.path, "src/service/")) return;
+  static const std::string kToken = "Runtime";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    for (auto pos = find_word(line, kToken); pos != std::string::npos;
+         pos = find_word(line, kToken, pos + 1)) {
+      auto after = pos + kToken.size();
+      // Exact token only: RuntimeOptions etc. are fine (value types).
+      if (after < line.size() && ident_char(line[after])) continue;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && line[after] == '&') {
+        out.push_back({file.path, static_cast<int>(i + 1), "raw-runtime-ref",
+                       "rt::Runtime& in the hpo/service layer; take a rt::StudySession "
+                       "instead (study-tagged, non-exclusive view of the runtime)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: callback-in-engine-mutation
 // ---------------------------------------------------------------------------
 
@@ -401,6 +429,7 @@ std::vector<Finding> lint_files(const std::vector<SourceFile>& files) {
     rule_raw_lock_call(normalised_file, masked[i], findings);
     rule_raw_std_mutex(normalised_file, masked[i], findings);
     rule_nondeterministic_rng(normalised_file, masked[i], findings);
+    rule_raw_runtime_ref(normalised_file, masked[i], findings);
     rule_callback_in_engine_mutation(normalised_file, masked[i], findings);
   }
 

@@ -20,6 +20,12 @@
 //                              deterministic runtime/reuse paths (replay,
 //                              lineage recovery and the content-addressed
 //                              cache all depend on seed-derived RNG only).
+//   raw-runtime-ref            no rt::Runtime& in src/hpo/ or src/service/
+//                              — drivers and the study manager speak
+//                              through rt::StudySession handles so N
+//                              studies can multiplex one engine
+//                              (RuntimeOptions and by-value Runtime
+//                              construction remain fine).
 //   callback-in-engine-mutation  engine.cpp may invoke the terminal
 //                              listener (on_terminal_) only inside
 //                              flush_notifications() — never from a
