@@ -3,12 +3,20 @@
 // study vs N concurrent studies multiplexing the engine. The multi-study
 // rows measure what the study layer costs: per-task study tagging, the
 // fair-share pass in Engine::schedule, and per-study completion routing.
+// Submission goes through StudySession::submit_batch — one admission
+// round-trip per study wave — which is the hot path this benchmark gates.
 //
 // Results go to stdout as a table and (optionally) to a JSON file so the
 // perf trajectory has a committed baseline: run with
 //   bench_engine_throughput --json BENCH_engine.json
+// Every row carries provenance (commit, date, host_threads) so baseline
+// history stays attributable; tools/bench_gate.py compares a fresh run
+// against the latest committed row per configuration.
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -24,6 +32,9 @@ struct Row {
   int studies = 1;
   int tasks = 0;
   double seconds = 0.0;
+  std::string commit;
+  std::string date;
+  unsigned host_threads = 0;
   double tasks_per_second() const { return seconds > 0 ? tasks / seconds : 0.0; }
 };
 
@@ -37,8 +48,29 @@ rt::TaskDef tiny_task() {
   return def;
 }
 
-/// Wall-clock for `n_tasks` no-op tasks spread round-robin over `n_studies`
-/// sessions, submit to last retirement.
+/// Short commit hash of the working tree, or "unknown" outside a checkout.
+std::string current_commit() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (!pipe) return "unknown";
+  char buf[64] = {0};
+  std::string out;
+  if (std::fgets(buf, sizeof(buf), pipe)) out = buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+std::string current_date() {
+  const std::time_t now = std::time(nullptr);
+  char buf[16] = {0};
+  std::tm tm{};
+  if (localtime_r(&now, &tm) == nullptr || std::strftime(buf, sizeof(buf), "%Y-%m-%d", &tm) == 0)
+    return "unknown";
+  return buf;
+}
+
+/// Wall-clock for `n_tasks` no-op tasks spread evenly over `n_studies`
+/// sessions (one submit_batch wave per session), submit to last retirement.
 Row run_storm(bool simulate, int n_studies, int n_tasks) {
   rt::RuntimeOptions options;
   cluster::NodeSpec node;
@@ -55,7 +87,13 @@ Row run_storm(bool simulate, int n_studies, int n_tasks) {
 
   Stopwatch clock;
   const rt::TaskDef def = tiny_task();
-  for (int i = 0; i < n_tasks; ++i) sessions[static_cast<std::size_t>(i) % sessions.size()].submit(def);
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const int share = n_tasks / n_studies + (static_cast<int>(s) < n_tasks % n_studies ? 1 : 0);
+    std::vector<rt::Runtime::BatchItem> wave;
+    wave.reserve(static_cast<std::size_t>(share));
+    for (int i = 0; i < share; ++i) wave.push_back({.def = def, .params = {}, .on_complete = {}});
+    sessions[s].submit_batch(std::move(wave));
+  }
   for (rt::StudySession& session : sessions) session.barrier();
   return Row{.backend = simulate ? "sim" : "thread",
              .studies = n_studies,
@@ -83,8 +121,10 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
     const Row& r = rows[i];
     std::fprintf(out,
                  "    {\"backend\": \"%s\", \"studies\": %d, \"tasks\": %d, "
-                 "\"seconds\": %.6f, \"tasks_per_second\": %.1f}%s\n",
+                 "\"seconds\": %.6f, \"tasks_per_second\": %.1f, "
+                 "\"commit\": \"%s\", \"date\": \"%s\", \"host_threads\": %u}%s\n",
                  r.backend.c_str(), r.studies, r.tasks, r.seconds, r.tasks_per_second(),
+                 r.commit.c_str(), r.date.c_str(), r.host_threads,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -102,15 +142,27 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], "--json") == 0) json_path = argv[i + 1];
 
+  // Best-of-5: the gate compares against the latest committed row with a
+  // 25% budget, so the reported number must sit at the quiet-machine end
+  // of the run-to-run distribution, not in its noise band.
   constexpr int kTasks = 4000;
-  constexpr int kReps = 3;
+  constexpr int kReps = 5;
   run_storm(false, 1, 400);  // warm-up: thread pool + allocators
   run_storm(true, 1, 400);
 
+  const std::string commit = current_commit();
+  const std::string date = current_date();
+  const unsigned host_threads = std::thread::hardware_concurrency();
+
   std::vector<Row> rows;
   for (const bool simulate : {false, true})
-    for (const int studies : {1, 4})
-      rows.push_back(best_of(kReps, simulate, studies, kTasks));
+    for (const int studies : {1, 4}) {
+      Row row = best_of(kReps, simulate, studies, kTasks);
+      row.commit = commit;
+      row.date = date;
+      row.host_threads = host_threads;
+      rows.push_back(std::move(row));
+    }
 
   std::printf("%d no-op tasks, best of %d:\n", kTasks, kReps);
   std::printf("  %-8s %8s %10s %14s\n", "backend", "studies", "seconds", "tasks/sec");

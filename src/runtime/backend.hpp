@@ -11,6 +11,7 @@
 // Runtime call that invoked them (see engine_context.hpp).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 
@@ -55,6 +56,12 @@ class Backend {
     int steps = 0;
     run_until_condition([&steps] { return steps++ > 0; });
   }
+
+  /// Worker-side work-stealing counter (jobs a worker took from another
+  /// worker's queue). 0 where the concept does not apply — the simulator
+  /// runs bodies on the coordinator. Monitoring/tests only; unannotated
+  /// because it reads an atomic, not engine state.
+  virtual std::uint64_t steals() const { return 0; }
 
   /// True for the discrete-event simulator.
   virtual bool simulated() const = 0;

@@ -80,6 +80,7 @@ void DataRegistry::commit(DataId data, std::uint32_t version, std::any value, in
   // old bytes (value_ptr) keep them alive through their own pointer.
   v.value = std::make_shared<const std::any>(std::move(value));
   v.committed = true;
+  if (v.lost) --lost_count_;
   v.lost = false;  // a recovery recommit resurrects the version
   if (node < 0)
     v.everywhere = true;
@@ -98,6 +99,7 @@ std::vector<LostVersion> DataRegistry::drop_node_replicas(int node) {
       if (!v.locations.empty() || v.everywhere || !v.committed || v.lost) continue;
       if (v.producer == kNoTask) continue;  // main-program data survives
       v.lost = true;
+      ++lost_count_;
       v.committed = false;
       v.value.reset();  // the bytes died with the node
       lost.push_back(LostVersion{.data = id, .version = ver, .producer = v.producer});
@@ -110,6 +112,11 @@ bool DataRegistry::version_lost(DataId data, std::uint32_t version) const {
   const ReaderLock lock(mutex_);
   const DatumInfo& d = datum(data);
   return version < d.versions.size() && d.versions[version].lost;
+}
+
+std::size_t DataRegistry::lost_count() const {
+  const ReaderLock lock(mutex_);
+  return lost_count_;
 }
 
 const std::any& DataRegistry::value(DataId data, std::uint32_t version) const {

@@ -108,6 +108,11 @@ class DataRegistry {
   /// replica died). Cleared by the recovery commit.
   bool version_lost(DataId data, std::uint32_t version) const;
 
+  /// Number of versions currently lost. The engine's ready-queue gating
+  /// uses this as a fast path: when zero, no per-task version_lost probes
+  /// are needed at all.
+  std::size_t lost_count() const;
+
   std::uint64_t bytes_of(DataId data) const;
   const std::string& label_of(DataId data) const;
 
@@ -140,6 +145,7 @@ class DataRegistry {
   /// one writer (the coordinator committing / dropping / recommitting).
   mutable SharedMutex mutex_;
   std::vector<DatumInfo> data_ CHPO_GUARDED_BY(mutex_);
+  std::size_t lost_count_ CHPO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace chpo::rt

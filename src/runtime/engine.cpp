@@ -62,6 +62,14 @@ void Engine::on_submitted(TaskId task, double now) {
   if (record.state == TaskState::Ready) make_ready(task);
 }
 
+void Engine::on_submitted_batch(const std::vector<TaskId>& tasks, double now) {
+  // Deliberately the same per-task sequence as N on_submitted calls, in
+  // submission order: batch admission amortizes what surrounds this loop
+  // (context scope, notification flush, backend wakeup), never what is in
+  // it — that keeps sim schedules bit-identical across submission styles.
+  for (const TaskId task : tasks) on_submitted(task, now);
+}
+
 void Engine::mark_terminal(TaskId task) {
   ++terminal_;
   TaskRecord& record = graph_.task(task);
@@ -112,31 +120,94 @@ void Engine::make_ready(TaskId task) {
     cancel_dependents(task);
     return;
   }
-  ready_.push_back(task);
+  push_ready(record);
+}
+
+void Engine::push_ready(TaskRecord& record) {
+  if (record.in_ready) return;  // already queued (and its entry is live)
+  record.in_ready = true;
+  ++record.ready_epoch;
+  ready_shards_[record.study].fifo.emplace_back(record.id, record.ready_epoch);
+  ++ready_total_;
+}
+
+void Engine::remove_from_ready(TaskRecord& record) {
+  if (!record.in_ready) return;
+  record.in_ready = false;
+  ++record.ready_epoch;  // the queued entry no longer matches: stale
+  --ready_total_;
 }
 
 std::vector<Dispatch> Engine::schedule(double now) {
   std::vector<Dispatch> dispatches;
   process_node_events(now, dispatches);
 
-  // Lineage gating: a ready task whose input versions died with a node
-  // stays queued (its recovery is demanded here) instead of dispatching
-  // into a DataLostError. Tasks with unrecoverable inputs fail here. The
-  // gate runs before dispatch_recoveries so a recovery it demands can
-  // launch in this same pass.
-  std::vector<TaskId> runnable;
+  // One walk per study shard: compact lazily-removed (stale) entries in
+  // place and lineage-gate the survivors. A ready task whose input
+  // versions died with a node stays queued (its recovery is demanded
+  // here) instead of dispatching into a DataLostError; tasks with
+  // unrecoverable inputs fail below. The gate runs before
+  // dispatch_recoveries so a recovery it demands can launch in this same
+  // pass. The per-input version_lost probes (a shared-lock registry
+  // lookup each) only run while some version is actually lost — the
+  // common case skips them entirely.
+  const bool gate = graph_.registry().lost_count() > 0;
+  // Study policy (pause / max_running quota) is applied here, during the
+  // walk, by capping how many live entries each shard contributes — the
+  // first `budget` survivors, i.e. exactly the set the old post-hoc
+  // truncation kept. Held entries are still compacted and lineage-gated,
+  // they just don't become candidates this round.
+  //
+  // Candidate collection has two shapes. Order-insensitive schedulers
+  // (everything but Fifo) re-sort by (priority, id) anyway, so their
+  // candidates go straight into one flat reused buffer and the fair-share
+  // interleave is skipped wholesale. Fifo consumes engine order, so its
+  // candidates keep per-study lists for the weighted-deficit interleave.
+  const bool interleave = scheduler_->order_sensitive();
+  std::map<StudyId, std::vector<TaskId>> runnable;
+  schedule_scratch_.clear();
   std::vector<TaskId> doomed;
-  runnable.reserve(ready_.size());
-  for (TaskId id : ready_) {
-    bool task_doomed = false;
-    if (inputs_ready(graph_.task(id), now, task_doomed))
-      runnable.push_back(id);
-    else if (task_doomed)
-      doomed.push_back(id);
+  for (auto& [study, shard] : ready_shards_) {
+    const StudyPolicy policy = policy_for(study);
+    std::size_t budget = shard.fifo.size();
+    if (policy.paused) {
+      budget = 0;
+    } else if (policy.max_running > 0) {
+      // Lineage-recovery attempts re-execute Done tasks on the engine's
+      // behalf and never count against a study's cap — the shard counter
+      // only tracks non-recovery attempts.
+      const int slots = policy.max_running - shard.running;
+      budget = slots > 0 ? static_cast<std::size_t>(slots) : 0;
+    }
+    std::vector<TaskId>* live = nullptr;
+    std::size_t taken = 0;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < shard.fifo.size(); ++read) {
+      const std::pair<TaskId, std::uint32_t> entry = shard.fifo[read];
+      TaskRecord& record = graph_.task(entry.first);
+      if (!record.in_ready || record.ready_epoch != entry.second) continue;  // stale: drop
+      shard.fifo[write++] = entry;
+      if (gate) {
+        bool task_doomed = false;
+        if (!inputs_ready(record, now, task_doomed)) {
+          if (task_doomed) doomed.push_back(entry.first);
+          continue;  // held behind lineage recovery (or failed below)
+        }
+      }
+      if (taken >= budget) continue;  // paused or at quota: hold, keep compacting
+      ++taken;
+      if (interleave) {
+        if (live == nullptr) live = &runnable[study];
+        live->push_back(entry.first);
+      } else {
+        schedule_scratch_.push_back(entry.first);
+      }
+    }
+    shard.fifo.resize(write);
   }
   for (TaskId id : doomed) {
-    ready_.erase(std::remove(ready_.begin(), ready_.end(), id), ready_.end());
     TaskRecord& record = graph_.task(id);
+    remove_from_ready(record);
     record.state = TaskState::Failed;
     record.failure_reason = "input data lost with a node and unrecoverable";
     mark_terminal(id);
@@ -145,13 +216,15 @@ std::vector<Dispatch> Engine::schedule(double now) {
   // Recoveries get resource priority over fresh placements: downstream
   // work is already blocked on them.
   dispatch_recoveries(now, dispatches);
-  runnable = apply_study_policy(runnable);
-  if (runnable.empty()) return dispatches;
+  std::vector<TaskId> interleaved;
+  if (interleave) interleaved = apply_study_policy(runnable);
+  const std::vector<TaskId>& ordered = interleave ? interleaved : schedule_scratch_;
+  if (ordered.empty()) return dispatches;
 
-  std::vector<Dispatch> placed = scheduler_->schedule(runnable, graph_, resources_);
+  std::vector<Dispatch> placed = scheduler_->schedule(ordered, graph_, resources_);
   for (Dispatch& d : placed) {
-    ready_.erase(std::remove(ready_.begin(), ready_.end(), d.task), ready_.end());
     TaskRecord& record = graph_.task(d.task);
+    remove_from_ready(record);
     record.state = TaskState::Running;
     record.last_node = d.placement.node;
     record.active_variant = d.variant;
@@ -216,61 +289,62 @@ std::size_t Engine::cancel_study(StudyId study, double now) {
   return cancelled;
 }
 
-std::vector<TaskId> Engine::apply_study_policy(const std::vector<TaskId>& runnable) {
-  if (runnable.empty()) return runnable;
-  // Fast path: every runnable task belongs to one unconstrained study (the
-  // pre-session world). The interleave below would reproduce the input
-  // order anyway; skip the bookkeeping.
-  bool uniform = true;
-  const StudyId first = graph_.task(runnable.front()).study;
-  for (TaskId id : runnable)
-    if (graph_.task(id).study != first) {
-      uniform = false;
-      break;
-    }
-  if (uniform) {
-    const StudyPolicy policy = policy_for(first);
-    if (policy.paused) return {};
-    if (policy.max_running <= 0) return runnable;
-  }
-
-  // Running attempts per study. Lineage-recovery attempts re-execute Done
-  // tasks on the engine's behalf and do not count against a study's cap.
-  std::map<StudyId, int> active;
-  for (const auto& [id, attempt] : inflight_)
-    if (!attempt.recovery) ++active[graph_.task(attempt.task).study];
-
-  // Per-study FIFO queues preserve submission order within a study.
-  std::map<StudyId, std::deque<TaskId>> queues;
-  for (TaskId id : runnable) queues[graph_.task(id).study].push_back(id);
+std::vector<TaskId> Engine::apply_study_policy(std::map<StudyId, std::vector<TaskId>>& runnable) {
+  std::vector<TaskId> out;
+  if (runnable.empty()) return out;
+  // Lists arrive pre-filtered from the ready-shard walk (pause and
+  // max_running quotas already applied by capping each shard's
+  // contribution), so a single study's order is just its FIFO order.
+  if (runnable.size() == 1) return std::move(runnable.begin()->second);
 
   // Weighted-deficit interleave: repeatedly grant the study whose
   // (running + granted) / weight is smallest, so over time each study's
-  // share of placements tracks its weight. Ties go to the lowest StudyId —
-  // deterministic on both backends.
-  std::vector<TaskId> out;
-  out.reserve(runnable.size());
+  // share of placements tracks its weight. `running` is the shard counter
+  // maintained at attempt registration/conclusion — an O(studies) read
+  // per pass instead of an O(inflight) rescan; only studies whose counter
+  // actually moved shift the interleave. Ties go to the lowest StudyId —
+  // deterministic on both backends (std::map iterates in id order).
+  //
+  // The deficit is a multiply by the precomputed reciprocal weight: the
+  // scan runs once per granted task, so a divide here is measurable in
+  // storms.
+  struct Cursor {
+    std::vector<TaskId>* list = nullptr;
+    std::size_t next = 0;
+    int active = 0;
+    double inv_weight = 1.0;
+  };
+  // A flat array, filled in StudyId order (the map guarantees it): the
+  // selection scan below runs once per granted task, so it must walk
+  // contiguous memory, and "first cursor wins ties" then means "lowest
+  // StudyId wins" — deterministic on both backends.
+  std::vector<Cursor> cursors;
+  cursors.reserve(runnable.size());
+  std::size_t total = 0;
+  for (auto& [study, list] : runnable) {
+    if (list.empty()) continue;
+    Cursor c;
+    c.list = &list;
+    c.active = ready_shards_[study].running;
+    c.inv_weight = 1.0 / policy_for(study).weight;
+    cursors.push_back(c);
+    total += list.size();
+  }
+  out.reserve(total);
   while (true) {
-    bool found = false;
-    StudyId best = 0;
+    Cursor* best = nullptr;
     double best_deficit = 0.0;
-    for (const auto& [study, queue] : queues) {
-      if (queue.empty()) continue;
-      const StudyPolicy policy = policy_for(study);
-      if (policy.paused) continue;
-      const int busy = active[study];
-      if (policy.max_running > 0 && busy >= policy.max_running) continue;
-      const double deficit = static_cast<double>(busy) / policy.weight;
-      if (!found || deficit < best_deficit) {
-        found = true;
-        best = study;
+    for (Cursor& c : cursors) {
+      if (c.next >= c.list->size()) continue;
+      const double deficit = static_cast<double>(c.active) * c.inv_weight;
+      if (best == nullptr || deficit < best_deficit) {
+        best = &c;
         best_deficit = deficit;
       }
     }
-    if (!found) break;
-    out.push_back(queues[best].front());
-    queues[best].pop_front();
-    ++active[best];
+    if (best == nullptr) break;
+    out.push_back((*best->list)[best->next++]);
+    ++best->active;
   }
   return out;
 }
@@ -290,6 +364,9 @@ std::uint64_t Engine::register_attempt(TaskId task, const Placement& placement, 
   TaskRecord& record = graph_.task(task);
   ++running_;
   ++record.running_attempts;
+  // Shard counter behind the fair-share deficits; recovery attempts act on
+  // the engine's behalf and never count against their study.
+  if (!recovery) ++ready_shards_[record.study].running;
   health_.on_placement(static_cast<std::size_t>(placement.node));
   Attempt attempt;
   attempt.task = task;
@@ -443,6 +520,7 @@ Engine::Completion Engine::conclude_attempt(const Attempt& attempt, AttemptResul
   resources_.release(placement);
   --running_;
   --record.running_attempts;
+  --ready_shards_[record.study].running;
   health_.on_conclusion(static_cast<std::size_t>(placement.node));
 
   sink_.record(trace::Event{.kind = trace::EventKind::TaskRun,
@@ -804,8 +882,7 @@ void Engine::cancel_dependents(TaskId task) {
   for (TaskId succ : graph_.task(task).successors) {
     TaskRecord& s = graph_.task(succ);
     if (s.state == TaskState::WaitingDeps || s.state == TaskState::Ready) {
-      if (s.state == TaskState::Ready)
-        ready_.erase(std::remove(ready_.begin(), ready_.end(), succ), ready_.end());
+      if (s.state == TaskState::Ready) remove_from_ready(s);
       s.state = TaskState::Cancelled;
       s.failure_reason = "predecessor " + std::to_string(task) + " failed";
       mark_terminal(succ);
@@ -840,8 +917,7 @@ bool Engine::cancel(TaskId task, double now) {
   }
 
   // WaitingDeps or Ready: never held resources, nothing to release.
-  if (record.state == TaskState::Ready)
-    ready_.erase(std::remove(ready_.begin(), ready_.end(), task), ready_.end());
+  if (record.state == TaskState::Ready) remove_from_ready(record);
   record.state = TaskState::Cancelled;
   record.failure_reason = "cancelled by caller";
   mark_terminal(task);
@@ -1165,31 +1241,37 @@ bool Engine::reap_infeasible() {
       progressed = true;
     }
   }
-  for (std::size_t i = 0; i < ready_.size();) {
-    TaskRecord& record = graph_.task(ready_[i]);
-    bool feasible = false;
-    const int n_variants = static_cast<int>(record.def.variants.size());
-    for (int variant = -1; variant < n_variants && !feasible; ++variant) {
-      const Constraint& constraint = record.implementation_constraint(variant);
-      unsigned fitting = 0;
-      for (std::size_t node = 0; node < resources_.node_count(); ++node) {
-        if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(),
-                      static_cast<int>(node)) != record.excluded_nodes.end())
-          continue;
-        if (resources_.could_fit(node, constraint)) ++fitting;
+  for (auto& [study, shard] : ready_shards_) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < shard.fifo.size(); ++read) {
+      const std::pair<TaskId, std::uint32_t> entry = shard.fifo[read];
+      TaskRecord& record = graph_.task(entry.first);
+      if (!record.in_ready || record.ready_epoch != entry.second) continue;  // stale: drop
+      bool feasible = false;
+      const int n_variants = static_cast<int>(record.def.variants.size());
+      for (int variant = -1; variant < n_variants && !feasible; ++variant) {
+        const Constraint& constraint = record.implementation_constraint(variant);
+        unsigned fitting = 0;
+        for (std::size_t node = 0; node < resources_.node_count(); ++node) {
+          if (std::find(record.excluded_nodes.begin(), record.excluded_nodes.end(),
+                        static_cast<int>(node)) != record.excluded_nodes.end())
+            continue;
+          if (resources_.could_fit(node, constraint)) ++fitting;
+        }
+        feasible = fitting >= std::max(1u, constraint.nodes);
       }
-      feasible = fitting >= std::max(1u, constraint.nodes);
+      if (feasible) {
+        shard.fifo[write++] = entry;
+        continue;
+      }
+      remove_from_ready(record);
+      record.state = TaskState::Failed;
+      record.failure_reason = "no live node can satisfy the constraint";
+      mark_terminal(record.id);
+      cancel_dependents(record.id);
+      progressed = true;
     }
-    if (feasible) {
-      ++i;
-      continue;
-    }
-    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
-    record.state = TaskState::Failed;
-    record.failure_reason = "no live node can satisfy the constraint";
-    mark_terminal(record.id);
-    cancel_dependents(record.id);
-    progressed = true;
+    shard.fifo.resize(write);
   }
   return progressed;
 }

@@ -101,6 +101,15 @@ class Engine {
   /// Records the submit event flag at time `now`.
   void on_submitted(TaskId task, double now) CHPO_REQUIRES(g_engine_ctx);
 
+  /// Batch variant: admit N just-inserted tasks in one engine call. The
+  /// per-task bookkeeping (counters, trace events, ready insertion) is
+  /// byte-identical to N on_submitted calls — batching exists so the
+  /// Runtime can amortize the context scope, the notification flush, and
+  /// the backend wakeup across a whole wave, never to change semantics
+  /// (sim schedules stay bit-identical either way).
+  void on_submitted_batch(const std::vector<TaskId>& tasks, double now)
+      CHPO_REQUIRES(g_engine_ctx);
+
   /// Place as many ready tasks as resources allow; marks them Running and
   /// records schedule events. Caller executes them and reports back.
   std::vector<Dispatch> schedule(double now) CHPO_REQUIRES(g_engine_ctx);
@@ -271,7 +280,7 @@ class Engine {
 
   bool task_terminal(TaskId task) const;
   bool all_terminal() const;
-  std::size_t ready_count() const { return ready_.size(); }
+  std::size_t ready_count() const { return ready_total_; }
   std::size_t running_count() const { return running_; }
 
   ResourceState& resources() { return resources_; }
@@ -315,15 +324,26 @@ class Engine {
     int pinned_node = -1;
   };
 
-  /// Study-policy pass over the lineage-gated runnable list: drop paused
-  /// studies, enforce per-study running caps, and interleave the rest by
-  /// weighted deficit so the placement scheduler sees a fair-share order.
-  /// With a single unconstrained study the input order is preserved.
-  std::vector<TaskId> apply_study_policy(const std::vector<TaskId>& runnable)
+  /// Fair-share interleave over the pre-filtered runnable lists (one per
+  /// study, each in submission order; pause/quota membership was already
+  /// applied by the ready-shard walk): grant tasks by weighted deficit so
+  /// an order-sensitive scheduler (Fifo) sees a fair-share order. Deficits
+  /// read the per-shard running counters maintained at attempt
+  /// registration and conclusion — only studies whose counter changed
+  /// shift the interleave; nothing rescans inflight_. With a single study
+  /// the input order is preserved. Consumes the lists (moves out of them).
+  /// Order-insensitive schedulers bypass this entirely: their candidates
+  /// are collected flat into schedule_scratch_ during the walk.
+  std::vector<TaskId> apply_study_policy(std::map<StudyId, std::vector<TaskId>>& runnable)
       CHPO_REQUIRES(g_engine_ctx);
   StudyPolicy policy_for(StudyId study) const;
 
   void make_ready(TaskId task) CHPO_REQUIRES(g_engine_ctx);
+  /// Append `record` to its study's ready shard (stamps a fresh epoch).
+  void push_ready(TaskRecord& record) CHPO_REQUIRES(g_engine_ctx);
+  /// O(1) lazy removal: clears in_ready and bumps the epoch so the queued
+  /// shard entry is recognised as stale and dropped on the next walk.
+  void remove_from_ready(TaskRecord& record) CHPO_REQUIRES(g_engine_ctx);
   void cancel_dependents(TaskId task) CHPO_REQUIRES(g_engine_ctx);
   void commit_outputs(TaskRecord& task, AttemptResult& result) CHPO_REQUIRES(g_engine_ctx);
   /// Single funnel for terminal transitions: stamps the completion order
@@ -374,7 +394,23 @@ class Engine {
   trace::TraceSink& sink_;
   SpeculationTracker speculation_;
   NodeHealth health_;
-  std::vector<TaskId> ready_;  ///< submission-ordered ready queue
+  /// One ready queue per study. `fifo` holds (task, epoch) entries in
+  /// submission order; removal is lazy — remove_from_ready clears the
+  /// record's in_ready flag and bumps its epoch, and the next schedule()
+  /// walk compacts stale entries in place — so dispatch, cancel, and
+  /// doomed-task removal are all O(1) instead of an O(ready) erase.
+  /// `running` counts the study's non-recovery in-flight attempts so the
+  /// fair-share pass reads a counter instead of scanning inflight_.
+  struct ReadyShard {
+    std::deque<std::pair<TaskId, std::uint32_t>> fifo;
+    int running = 0;
+  };
+  std::map<StudyId, ReadyShard> ready_shards_;
+  std::size_t ready_total_ = 0;  ///< live (non-stale) entries across shards
+  /// Reused candidate buffer for order-insensitive schedulers: cleared and
+  /// refilled by every schedule() walk so a storm doesn't pay a fresh
+  /// allocation per scheduling round. Coordinator-confined like the rest.
+  std::vector<TaskId> schedule_scratch_;
   /// Studies with an explicit policy (weight / cap / paused). Absent
   /// studies use the defaults, so the map stays empty until sessions ask
   /// for something non-default.

@@ -60,16 +60,6 @@ TaskId TaskGraph::add_task(TaskDef def, const std::vector<Param>& params, StudyI
   return id;
 }
 
-TaskRecord& TaskGraph::task(TaskId id) {
-  if (id >= tasks_.size()) throw std::out_of_range("TaskGraph: unknown task " + std::to_string(id));
-  return tasks_[id];
-}
-
-const TaskRecord& TaskGraph::task(TaskId id) const {
-  if (id >= tasks_.size()) throw std::out_of_range("TaskGraph: unknown task " + std::to_string(id));
-  return tasks_[id];
-}
-
 std::vector<TaskId> TaskGraph::tasks_in_state(TaskState state) const {
   std::vector<TaskId> out;
   for (const TaskRecord& t : tasks_)

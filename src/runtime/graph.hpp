@@ -59,6 +59,14 @@ struct TaskRecord {
   /// flight. Recovery never reopens task state — the task stays Done and
   /// keeps its terminal_seq; only its output data is recommitted.
   bool recovering = false;
+  /// Live entry in the engine's per-study ready shard. Removal is lazy:
+  /// clearing this flag (plus bumping ready_epoch) invalidates the queued
+  /// entry in O(1); the shard compacts stale entries on its next scan.
+  bool in_ready = false;
+  /// Generation stamp for the queued ready entry; a shard entry whose
+  /// stamp doesn't match is stale (the task left and possibly re-entered
+  /// the ready set since it was queued).
+  std::uint32_t ready_epoch = 0;
 
   const Constraint& implementation_constraint(int variant) const {
     return variant < 0 ? def.constraint
@@ -90,8 +98,17 @@ class TaskGraph {
   TaskId add_task(TaskDef def, const std::vector<Param>& params,
                   StudyId study = kMainStudy);
 
-  TaskRecord& task(TaskId id);
-  const TaskRecord& task(TaskId id) const;
+  /// Defined inline: this is the single hottest call in the engine (every
+  /// scheduling walk, gating probe and ordering comparator goes through
+  /// it), so it must compile down to a bounds-checked vector index.
+  TaskRecord& task(TaskId id) {
+    if (id >= tasks_.size()) throw std::out_of_range("TaskGraph: unknown task " + std::to_string(id));
+    return tasks_[id];
+  }
+  const TaskRecord& task(TaskId id) const {
+    if (id >= tasks_.size()) throw std::out_of_range("TaskGraph: unknown task " + std::to_string(id));
+    return tasks_[id];
+  }
   std::size_t size() const { return tasks_.size(); }
   bool empty() const { return tasks_.empty(); }
 

@@ -71,6 +71,31 @@ Future Runtime::submit_study(StudyId study, const TaskDef& def, const std::vecto
   return graph_.task(id).result;
 }
 
+std::vector<Future> Runtime::submit_study_batch(StudyId study, std::vector<BatchItem> items) {
+  if (studies_.find(study) == studies_.end())
+    throw std::invalid_argument("Runtime: submit into unknown study " + std::to_string(study));
+  EngineContextScope ctx(g_engine_ctx);
+  std::vector<TaskId> ids;
+  ids.reserve(items.size());
+  // Phase 1: graph insertion + callback registration for the whole wave.
+  // Callbacks must exist before admission (a task doomed at submission
+  // turns terminal inside on_submitted_batch and must still fire), and
+  // inserting everything first lets intra-batch dependencies resolve no
+  // matter how admission reorders terminal transitions.
+  for (BatchItem& item : items) {
+    const TaskId id = graph_.add_task(item.def, item.params, study);
+    if (item.on_complete) callbacks_[id] = std::move(item.on_complete);
+    ids.push_back(id);
+  }
+  // Phase 2: one admission pass + one notification flush for N tasks.
+  engine_.on_submitted_batch(ids, backend_->now());
+  engine_.flush_notifications();
+  std::vector<Future> futures;
+  futures.reserve(ids.size());
+  for (const TaskId id : ids) futures.push_back(graph_.task(id).result);
+  return futures;
+}
+
 StudySession Runtime::open_study(StudyOptions study) {
   const StudyId id = next_study_++;
   if (study.name.empty()) study.name = "study-" + std::to_string(id);

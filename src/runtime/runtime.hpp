@@ -110,6 +110,15 @@ class Runtime {
   /// loop.
   using CompletionCallback = std::function<void(const Future&, TaskState state)>;
 
+  /// One task of a submit_batch() call: definition, parameters and an
+  /// optional completion callback, exactly as the one-at-a-time overloads
+  /// take them.
+  struct BatchItem {
+    TaskDef def;
+    std::vector<Param> params;
+    CompletionCallback on_complete;
+  };
+
   /// Open a new study session: a tagged submission scope multiplexed onto
   /// this runtime alongside any other open studies. Tasks submitted through
   /// the returned handle carry the study's id, so completions route back to
@@ -135,6 +144,20 @@ class Runtime {
 
   /// Convenience: submit with IN-only data ids.
   Future submit_in(const TaskDef& def, const std::vector<DataId>& inputs);
+
+  /// Submit a whole wave of tasks in one engine round-trip: one coordinator
+  /// context acquisition, one admission pass and one notification flush for
+  /// the entire batch instead of per task. Semantically identical to calling
+  /// submit() per item in order — the engine admits batch members through
+  /// the same per-task path, so simulated schedules are bit-identical either
+  /// way. Returns the futures in item order.
+  std::vector<Future> submit_batch(std::vector<BatchItem> items) {
+    return submit_study_batch(kMainStudy, std::move(items));
+  }
+
+  /// Jobs a pool worker took from another worker's queue (thread backend
+  /// only; always 0 on the simulator). Monitoring/tests.
+  std::uint64_t worker_steals() const { return backend_->steals(); }
 
   /// COMPSs task groups: submit under a named group, then barrier on just
   /// that group (a partial compss_barrier_group).
@@ -265,6 +288,10 @@ class Runtime {
   /// Session plumbing (called by StudySession; study must be registered).
   Future submit_study(StudyId study, const TaskDef& def, const std::vector<Param>& params,
                       CompletionCallback on_complete);
+  /// Batch flavour of submit_study: inserts every item into the graph and
+  /// registers its callback first, then admits the whole wave with a single
+  /// Engine::on_submitted_batch + flush. See submit_batch() for semantics.
+  std::vector<Future> submit_study_batch(StudyId study, std::vector<BatchItem> items);
   std::vector<TaskId> drain_study_completions(StudyId study);
   void set_study_paused(StudyId study, bool paused);
   bool is_study_paused(StudyId study) const;

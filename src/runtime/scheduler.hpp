@@ -50,6 +50,14 @@ class Scheduler {
   virtual std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
                                          ResourceState& resources) = 0;
 
+  /// True iff this policy consumes `ready` in the order given. Policies
+  /// that re-sort by (priority, id) — everything except Fifo — return
+  /// false, which lets the engine skip the O(tasks × studies) fair-share
+  /// interleave on the storm hot path: the sort would erase the interleave
+  /// anyway, so only *membership* (pause / max_running truncation) has to
+  /// be computed.
+  virtual bool order_sensitive() const { return false; }
+
   /// Health-gated placement: when a tracker is set, nodes it disallows
   /// (quarantined/probation beyond their concurrency cap) receive no new
   /// placements. Nullptr disables gating.
@@ -76,6 +84,7 @@ class Scheduler {
 class FifoScheduler : public Scheduler {
  public:
   std::string name() const override { return "fifo"; }
+  bool order_sensitive() const override { return true; }
   std::vector<Dispatch> schedule(const std::vector<TaskId>& ready, const TaskGraph& graph,
                                  ResourceState& resources) override;
 };

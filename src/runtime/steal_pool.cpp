@@ -1,0 +1,78 @@
+#include "runtime/steal_pool.hpp"
+
+namespace chpo::rt {
+
+StealPool::StealPool(std::size_t num_workers, Sink sink, void* ctx) : sink_(sink), ctx_(ctx) {
+  const std::size_t n = num_workers == 0 ? 1 : num_workers;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+StealPool::~StealPool() {
+  {
+    MutexLock lock(park_mutex_);
+    stopping_ = true;
+  }
+  park_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void StealPool::submit(Job job) {
+  const int node = job.placement.node;
+  const std::size_t shard = static_cast<std::size_t>(node < 0 ? 0 : node) % queues_.size();
+  {
+    MutexLock lock(queues_[shard]->mutex);
+    queues_[shard]->jobs.push_back(std::move(job));
+  }
+  {
+    MutexLock lock(park_mutex_);
+    ++work_epoch_;
+  }
+  park_cv_.notify_one();
+}
+
+void StealPool::worker_loop(std::size_t self) {
+  const std::size_t n = queues_.size();
+  while (true) {
+    std::uint64_t epoch;
+    {
+      MutexLock lock(park_mutex_);
+      epoch = work_epoch_;
+    }
+    Job job;
+    bool have = false;
+    {
+      MutexLock lock(queues_[self]->mutex);
+      if (!queues_[self]->jobs.empty()) {
+        job = std::move(queues_[self]->jobs.front());
+        queues_[self]->jobs.pop_front();
+        have = true;
+      }
+    }
+    // Own queue empty: steal the newest job from the first non-empty
+    // victim. Scanning from self+1 spreads thieves over victims.
+    for (std::size_t k = 1; k < n && !have; ++k) {
+      const std::size_t victim = (self + k) % n;
+      MutexLock lock(queues_[victim]->mutex);
+      if (queues_[victim]->jobs.empty()) continue;
+      job = std::move(queues_[victim]->jobs.back());
+      queues_[victim]->jobs.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      have = true;
+    }
+    if (have) {
+      sink_(ctx_, std::move(job));
+      continue;
+    }
+    MutexLock lock(park_mutex_);
+    while (work_epoch_ == epoch && !stopping_) park_cv_.wait(park_mutex_);
+    // Stopping with an unchanged epoch: every queue was empty at the scan
+    // and nothing arrived since — the shutdown drain is complete. With a
+    // changed epoch, loop to rescan (and finish the drain) first.
+    if (stopping_ && work_epoch_ == epoch) return;
+  }
+}
+
+}  // namespace chpo::rt

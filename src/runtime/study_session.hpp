@@ -49,6 +49,16 @@ class StudySession {
     return submit(def, params);
   }
 
+  /// Submit a wave of tasks tagged with this study in one engine
+  /// round-trip (one coordinator context, one admission pass, one
+  /// notification flush). Semantically identical to calling submit() per
+  /// item in order; returns the futures in item order. This is the fast
+  /// path for HPO generations: admission cost is amortized across the
+  /// whole wave of trials.
+  std::vector<Future> submit_batch(std::vector<Runtime::BatchItem> items) {
+    return runtime_->submit_study_batch(id_, std::move(items));
+  }
+
   /// Data registration is registry-global (studies may share inputs, e.g.
   /// one dataset feeding several studies); forwarded for convenience.
   template <typename T>

@@ -22,29 +22,38 @@ std::size_t pool_size_for(const ResourceState& resources) {
 }  // namespace
 
 ThreadBackend::ThreadBackend(Engine& engine)
-    : engine_(engine), pool_(std::make_unique<ThreadPool>(pool_size_for(engine.resources()))) {}
+    : engine_(engine),
+      pool_(std::make_unique<StealPool>(pool_size_for(engine.resources()),
+                                        &ThreadBackend::run_job, this)) {}
 
 void ThreadBackend::launch(const Dispatch& dispatch) {
-  const double start = now();
   // Timeouts are enforced by the coordinator: the engine reaps the attempt
   // at its deadline (Engine::on_wakeup) while the body is still running,
   // and this worker's eventual completion is then dropped as stale. The
   // body snapshot is taken here, on the coordinator, so the worker never
   // reads the TaskRecord the coordinator may mutate behind its back.
-  pool_->submit([this, dispatch, start, job = engine_.prepare_body(dispatch.task)] {
-    AttemptResult result = engine_.execute_prepared(job, dispatch.placement, false);
-    const double end = now();
-    CompletionMsg msg{.attempt_id = dispatch.attempt_id,
-                      .task = dispatch.task,
-                      .result = std::move(result),
-                      .start = start,
-                      .end = end};
-    {
-      MutexLock lock(mutex_);
-      completions_.push_back(std::move(msg));
-    }
-    cv_.notify_one();
-  });
+  StealPool::Job job;
+  job.body = engine_.prepare_body(dispatch.task);
+  job.placement = dispatch.placement;
+  job.attempt_id = dispatch.attempt_id;
+  job.start = now();
+  pool_->submit(std::move(job));
+}
+
+void ThreadBackend::run_job(void* ctx, StealPool::Job&& job) {
+  auto* self = static_cast<ThreadBackend*>(ctx);
+  AttemptResult result = self->engine_.execute_prepared(job.body, job.placement, false);
+  const double end = self->now();
+  CompletionMsg msg{.attempt_id = job.attempt_id,
+                    .task = job.body.task,
+                    .result = std::move(result),
+                    .start = job.start,
+                    .end = end};
+  {
+    MutexLock lock(self->mutex_);
+    self->completions_.push_back(std::move(msg));
+  }
+  self->cv_.notify_one();
 }
 
 bool ThreadBackend::done(TaskId target) const {
@@ -55,6 +64,7 @@ bool ThreadBackend::done(TaskId target) const {
 
 bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline) {
   engine_.flush_notifications();
+  std::vector<CompletionMsg> batch;  // reused across rounds
   while (!finished()) {
     if (deadline >= 0.0 && now() >= deadline) return false;
 
@@ -92,8 +102,7 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
       throw std::runtime_error("ThreadBackend: no runnable tasks but target not finished");
     }
 
-    CompletionMsg msg;
-    bool have_msg = false;
+    batch.clear();
     {
       MutexLock lock(mutex_);
       double limit = std::numeric_limits<double>::infinity();
@@ -104,7 +113,6 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
       // completions_ access under the held MutexLock.
       if (limit == std::numeric_limits<double>::infinity()) {
         while (completions_.empty()) cv_.wait(mutex_);
-        have_msg = true;
       } else {
         while (completions_.empty()) {
           // Absolute limit: recompute the remaining budget after every
@@ -115,21 +123,26 @@ bool ThreadBackend::drive(const std::function<bool()>& finished, double deadline
               std::cv_status::timeout)
             break;
         }
-        if (!completions_.empty())
-          have_msg = true;
-        else if (deadline >= 0.0 && now() >= deadline)
-          return false;  // deadline hit with attempts still in flight
-        // else: woke for an engine duty — loop back to on_wakeup.
+        if (completions_.empty()) {
+          if (deadline >= 0.0 && now() >= deadline)
+            return false;  // deadline hit with attempts still in flight
+          // else: woke for an engine duty — loop back to on_wakeup.
+        }
       }
-      if (have_msg) {
-        msg = std::move(completions_.front());
+      // Coalesce: drain *everything* queued so one coordinator round-trip
+      // retires the whole wave (one lock hold, one notification flush)
+      // instead of one message per lock acquisition.
+      while (!completions_.empty()) {
+        batch.push_back(std::move(completions_.front()));
         completions_.pop_front();
       }
     }
-    if (!have_msg) continue;
-    Engine::Completion completion =
-        engine_.complete_attempt(msg.attempt_id, std::move(msg.result), msg.start, msg.end);
-    if (completion.retry) launch(*completion.retry);
+    if (batch.empty()) continue;
+    for (CompletionMsg& msg : batch) {
+      Engine::Completion completion =
+          engine_.complete_attempt(msg.attempt_id, std::move(msg.result), msg.start, msg.end);
+      if (completion.retry) launch(*completion.retry);
+    }
     // Safe point: the engine holds no record references here, so queued
     // terminal notifications (and their user callbacks) can fire.
     engine_.flush_notifications();

@@ -1,19 +1,24 @@
 // Threaded backend: real execution on host threads.
 //
-// Each dispatched task body runs on a worker thread from a pool sized to
-// the cluster's total task concurrency. The coordinator (the caller of
-// run_until) performs all engine mutations; workers only execute bodies and
-// enqueue completion messages, so engine state needs no locking.
+// Each dispatched task body runs on a worker thread from a sharded
+// work-stealing pool sized to the cluster's total task concurrency (one
+// queue per worker, dispatches sharded by placement node, idle workers
+// steal). The coordinator (the caller of run_until) performs all engine
+// mutations; workers only execute body snapshots and enqueue completion
+// messages, so engine state needs no locking. Completions are drained in
+// batches: one coordinator round-trip retires every message queued since
+// the last one instead of one message per lock acquisition.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "runtime/backend.hpp"
+#include "runtime/steal_pool.hpp"
 #include "support/stopwatch.hpp"
 #include "support/thread_annotations.hpp"
-#include "support/thread_pool.hpp"
 
 namespace chpo::rt {
 
@@ -33,6 +38,7 @@ class ThreadBackend : public Backend {
   bool run_for(double seconds) override CHPO_REQUIRES(g_engine_ctx);
   void run_until_condition(const std::function<bool()>& finished) override
       CHPO_REQUIRES(g_engine_ctx);
+  std::uint64_t steals() const override { return pool_ ? pool_->steals() : 0; }
   bool simulated() const override { return false; }
 
  private:
@@ -45,6 +51,10 @@ class ThreadBackend : public Backend {
   };
 
   void launch(const Dispatch& dispatch) CHPO_REQUIRES(g_engine_ctx);
+  /// StealPool sink: runs one body snapshot on a worker thread and queues
+  /// the completion. A static function (not a capturing lambda) so the
+  /// per-dispatch path never allocates a type-erased callable.
+  static void run_job(void* ctx, StealPool::Job&& job);
   bool done(TaskId target) const;
   /// Core loop shared by every wait flavour: dispatch ready tasks and
   /// process worker completions until `finished()` holds or the wall-clock
@@ -55,7 +65,7 @@ class ThreadBackend : public Backend {
 
   Engine& engine_;
   Stopwatch clock_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<StealPool> pool_;
   /// Guards the worker -> coordinator completion queue (the only state
   /// shared across threads on this backend; everything else is engine
   /// state confined to the coordinator via g_engine_ctx).

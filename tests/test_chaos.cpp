@@ -40,6 +40,7 @@
 #include "reuse/result_cache.hpp"
 #include "reuse/stage_key.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/study_session.hpp"
 
 namespace chpo::rt {
 namespace {
@@ -269,6 +270,75 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                            return std::string(std::get<1>(info.param) ? "sim" : "threads") +
                                   "_seed" + std::to_string(std::get<0>(info.param));
                          });
+
+// Work-stealing under multi-study churn: four studies batch-submit waves
+// into the sharded ready queues while node 1 dies and rejoins (no-PFS, so
+// lineage recovery is live) and speculation is armed. Workers whose shard
+// runs dry must steal from loaded shards — the steal counter is asserted
+// to move — and stealing must not break per-study completion routing:
+// every callback fires exactly once and carries its own study's tag.
+// The TSan CI job runs this file, so the steal path gets raced coverage.
+TEST(ChaosStealing, FourStudiesChurnAndSpeculationKeepWorkersStealing) {
+  constexpr int kStudies = 4;
+  constexpr int kPerStudy = 40;
+
+  RuntimeOptions opts;
+  cluster::NodeSpec node;
+  node.cpus = 4;
+  opts.cluster = cluster::homogeneous(3, node);
+  opts.simulate = false;
+  opts.seed = 97;
+  opts.cluster.has_parallel_fs = false;
+  opts.fault_policy.max_attempts = 8;
+  opts.fault_policy.backoff_base_seconds = 0.001;
+  opts.injector.schedule_node_failure(1, 0.04);
+  opts.injector.schedule_node_recovery(1, 0.12);
+  opts.speculation.enabled = true;
+  opts.speculation.min_observations = 3;
+  opts.speculation.straggler_multiplier = 4.0;
+  Runtime runtime(std::move(opts));
+
+  std::vector<StudySession> sessions;
+  sessions.push_back(runtime.main_study());
+  for (int s = 1; s < kStudies; ++s)
+    sessions.push_back(runtime.open_study({.name = "steal-" + std::to_string(s)}));
+
+  std::array<std::vector<std::atomic<int>>, kStudies> fires;
+  for (auto& per_task : fires) per_task = std::vector<std::atomic<int>>(kPerStudy);
+
+  std::array<std::vector<Future>, kStudies> futures;
+  for (int s = 0; s < kStudies; ++s) {
+    std::vector<Runtime::BatchItem> wave;
+    wave.reserve(kPerStudy);
+    for (int i = 0; i < kPerStudy; ++i) {
+      Runtime::BatchItem item;
+      item.def.name = "steal";
+      item.def.constraint = {.cpus = 1};
+      item.def.body = [s, i](TaskContext&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::any(s * kPerStudy + i);
+      };
+      item.on_complete = [&fires, s](const Future& f, TaskState) {
+        ++fires[std::size_t(s)][std::size_t(f.producer) % kPerStudy];
+      };
+      wave.push_back(std::move(item));
+    }
+    futures[std::size_t(s)] = sessions[std::size_t(s)].submit_batch(std::move(wave));
+  }
+
+  for (StudySession& session : sessions) session.barrier();
+
+  for (int s = 0; s < kStudies; ++s)
+    for (int i = 0; i < kPerStudy; ++i) {
+      EXPECT_EQ(runtime.wait_on_as<int>(futures[std::size_t(s)][std::size_t(i)]),
+                s * kPerStudy + i);
+      EXPECT_EQ(fires[std::size_t(s)][std::size_t(i)].load(), 1)
+          << "study " << s << " task " << i << " callback count";
+    }
+  EXPECT_EQ(runtime.lineage_violations(), 0u);
+  EXPECT_GT(runtime.worker_steals(), 0u)
+      << "no worker ever stole — sharded queues never rebalanced";
+}
 
 // Reuse under concurrency: many worker threads race get/put on one shared
 // ResultCache (the stage executor's setup when twin stages of different

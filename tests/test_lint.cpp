@@ -177,6 +177,52 @@ TEST(CallbackInEngineMutation, AllowsNullChecksAndOtherFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// hot-path-std-function
+// ---------------------------------------------------------------------------
+
+TEST(HotPathStdFunction, FlagsAllocationInPerDispatchMethods) {
+  const auto findings = lint_files(
+      {{"src/runtime/engine.cpp",
+        "std::vector<Dispatch> Engine::schedule(double now) {\n"
+        "  std::function<void()> hook = [&] { retire(); };\n"
+        "  hook();\n"
+        "}\n"
+        "Engine::Completion Engine::complete_attempt(std::uint64_t id) {\n"
+        "  callbacks_.push_back(std::function<void(TaskId)>(notify));\n"
+        "}\n"},
+       {"src/runtime/thread_backend.cpp",
+        "void ThreadBackend::run_job(void* ctx, StealPool::Job&& job) {\n"
+        "  std::function<void()> deferred = std::move(job.work);\n"
+        "}\n"}});
+  const auto hits = of_rule(findings, "hot-path-std-function");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_NE(hits[0].message.find("Engine::schedule"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("Engine::complete_attempt"), std::string::npos);
+  EXPECT_NE(hits[2].message.find("ThreadBackend::run_job"), std::string::npos);
+}
+
+TEST(HotPathStdFunction, AllowsColdMethodsAndOtherFiles) {
+  // drive() takes a std::function once per wait (its own definition line —
+  // the method tracker must attribute it to drive, not the previous hot
+  // method); cold Engine methods and other files are out of scope.
+  const auto findings = lint_files(
+      {{"src/runtime/thread_backend.cpp",
+        "void ThreadBackend::launch(const Dispatch& dispatch) {\n"
+        "  pool_.push(dispatch);\n"
+        "}\n"
+        "bool ThreadBackend::drive(const std::function<bool()>& finished) {\n"
+        "  while (!finished()) pump();\n"
+        "}\n"},
+       {"src/runtime/engine.cpp",
+        "void Engine::set_terminal_listener(std::function<void(TaskId)> listener) {\n"
+        "  on_terminal_ = std::move(listener);\n"
+        "}\n"},
+       {"src/runtime/runtime.cpp",
+        "void Runtime::submit() { std::function<void()> cb; }\n"}});
+  EXPECT_TRUE(of_rule(findings, "hot-path-std-function").empty());
+}
+
+// ---------------------------------------------------------------------------
 // trace-kind-coverage
 // ---------------------------------------------------------------------------
 

@@ -2,8 +2,12 @@
 // shapes, seeds and task mixes asserting the runtime's core invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <tuple>
 
@@ -612,6 +616,198 @@ TEST(SpeculationProperties, DuplicateNeverPlacedOnBlacklistedOrOriginalNode) {
   EXPECT_EQ(launches, 1);
   EXPECT_EQ(speculative_node, 2);  // not 0 (blacklisted), not 1 (original)
 }
+
+// ---------------------------------------------------------------------
+// Invariant 12 (batch submission): a seeded random DAG submitted in
+// waves through submit_batch satisfies the chaos invariants identically
+// on both backends — every task reaches exactly one terminal state (the
+// terminal_seq stamps form a permutation), no body observes an
+// unfinished predecessor or a value other than its committed result,
+// wait_any yields strictly increasing completion order, and completions
+// deliver exactly once through both channels (callbacks and drains).
+// ---------------------------------------------------------------------
+
+class BatchDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchDeterminism, ChaosInvariantsHoldOnBothBackends) {
+  constexpr int kWaves = 4;
+  constexpr int kPerWave = 10;
+  constexpr int kN = kWaves * kPerWave;
+  for (const bool simulate : {true, false}) {
+    SCOPED_TRACE(simulate ? "sim" : "thread");
+    // Shared with task bodies, which may outlive this iteration's scope on
+    // the threaded backend only via the runtime — keep them on the heap.
+    auto finished = std::make_shared<std::vector<std::atomic<bool>>>(kN);
+    auto order_violations = std::make_shared<std::atomic<int>>(0);
+    auto data_violations = std::make_shared<std::atomic<int>>(0);
+    std::vector<std::atomic<int>> fires(kN);
+
+    RuntimeOptions opts;
+    cluster::NodeSpec node;
+    node.cpus = 4;
+    opts.cluster = cluster::homogeneous(2, node);
+    opts.simulate = simulate;
+    opts.seed = GetParam();
+    Runtime runtime(std::move(opts));
+    (void)runtime.drain_completions();  // opt in to completion recording
+
+    Rng rng(GetParam() * 17 + 3);
+    std::vector<Future> futures;
+    for (int wave = 0; wave < kWaves; ++wave) {
+      std::vector<Runtime::BatchItem> items;
+      items.reserve(kPerWave);
+      for (int i = 0; i < kPerWave; ++i) {
+        const int id = wave * kPerWave + i;
+        Runtime::BatchItem item;
+        item.def.name = "batch";
+        item.def.constraint = {.cpus = static_cast<unsigned>(rng.next_int(1, 2))};
+        const double seconds = rng.next_uniform(0.5, 4.0);
+        item.def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+        // Depend on up to 3 tasks from earlier waves: some already Done by
+        // the time this wave is admitted, some still pending — both edges
+        // of the batch admission path.
+        std::vector<std::size_t> preds;
+        if (!futures.empty()) {
+          const int k = static_cast<int>(rng.next_int(0, 3));
+          for (int j = 0; j < k; ++j) {
+            const std::size_t p = rng.next_index(futures.size());
+            item.params.push_back({futures[p].data, rt::Direction::In});
+            preds.push_back(p);
+          }
+        }
+        item.def.body = [finished, order_violations, data_violations, preds,
+                         id](TaskContext& ctx) -> std::any {
+          for (std::size_t j = 0; j < preds.size(); ++j) {
+            if (!(*finished)[preds[j]].load()) ++*order_violations;
+            if (ctx.read<int>(j) != static_cast<int>(preds[j])) ++*data_violations;
+          }
+          (*finished)[static_cast<std::size_t>(id)].store(true);
+          return std::any(id);
+        };
+        item.on_complete = [&fires](const Future& f, rt::TaskState) {
+          ++fires[static_cast<std::size_t>(f.producer)];
+        };
+        items.push_back(std::move(item));
+      }
+      const std::vector<Future> wave_futures = runtime.submit_batch(std::move(items));
+      futures.insert(futures.end(), wave_futures.begin(), wave_futures.end());
+    }
+
+    // Chaos invariant 3: wait_any consumption yields completion order.
+    std::vector<rt::TaskId> drained;
+    std::vector<Future> remaining = futures;
+    std::uint64_t last_seq = 0;
+    while (!remaining.empty()) {
+      const Future done = runtime.wait_any(remaining);
+      const std::uint64_t seq = runtime.graph().task(done.producer).terminal_seq;
+      EXPECT_GT(seq, last_seq) << "wait_any returned task " << done.producer << " out of order";
+      last_seq = seq;
+      remaining.erase(std::find_if(remaining.begin(), remaining.end(), [&](const Future& f) {
+        return f.producer == done.producer;
+      }));
+      if (remaining.size() % 7 == 0) {
+        const std::vector<rt::TaskId> chunk = runtime.drain_completions();
+        drained.insert(drained.end(), chunk.begin(), chunk.end());
+      }
+    }
+    runtime.barrier();
+    const std::vector<rt::TaskId> tail = runtime.drain_completions();
+    drained.insert(drained.end(), tail.begin(), tail.end());
+
+    // Chaos invariant 1: one terminal state each, terminal_seq permutation.
+    std::set<std::uint64_t> seqs;
+    for (int i = 0; i < kN; ++i) {
+      const auto& record = runtime.graph().task(rt::TaskId(i));
+      EXPECT_EQ(record.state, rt::TaskState::Done) << "task " << i;
+      EXPECT_GE(record.terminal_seq, 1u);
+      EXPECT_LE(record.terminal_seq, std::uint64_t(kN));
+      seqs.insert(record.terminal_seq);
+      EXPECT_EQ(runtime.wait_on_as<int>(futures[std::size_t(i)]), i);
+    }
+    EXPECT_EQ(seqs.size(), std::size_t(kN)) << "terminal_seq stamps collide";
+
+    // Chaos invariant 2: dependency order and committed values held.
+    EXPECT_EQ(order_violations->load(), 0);
+    EXPECT_EQ(data_violations->load(), 0);
+
+    // Chaos invariant 4: every completion delivered exactly once.
+    std::sort(drained.begin(), drained.end());
+    ASSERT_EQ(drained.size(), std::size_t(kN)) << "completions lost or duplicated";
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(drained[std::size_t(i)], rt::TaskId(i));
+      EXPECT_EQ(fires[std::size_t(i)].load(), 1) << "callback count for task " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDeterminism, ::testing::Range<std::uint64_t>(7000, 7006));
+
+// ---------------------------------------------------------------------
+// Invariant 13 (batch/sequential equivalence): on the simulator, a DAG
+// submitted through submit_batch produces a bit-identical schedule to the
+// same DAG submitted one task at a time — same placements, same cores,
+// same virtual start/end instants. Batch admission is an amortization of
+// per-task admission, never a semantic change.
+// ---------------------------------------------------------------------
+
+class BatchVsSequential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchVsSequential, SimSchedulesAreBitIdentical) {
+  using ScheduleRow =
+      std::tuple<int, std::uint64_t, int, double, double, std::vector<unsigned>>;
+  const auto run = [&](bool batch) {
+    RuntimeOptions opts;
+    cluster::NodeSpec node;
+    node.cpus = 4;
+    opts.cluster = cluster::homogeneous(3, node);
+    opts.simulate = true;
+    opts.seed = GetParam();
+    Runtime runtime(std::move(opts));
+
+    Rng rng(GetParam() * 31 + 7);
+    std::vector<Future> futures;
+    for (int wave = 0; wave < 4; ++wave) {
+      std::vector<Runtime::BatchItem> items;
+      for (int i = 0; i < 10; ++i) {
+        Runtime::BatchItem item;
+        item.def.name = "wave";
+        item.def.constraint = {.cpus = static_cast<unsigned>(rng.next_int(1, 3))};
+        item.def.priority = rng.next_bool(0.15);
+        item.def.body = [](TaskContext&) { return std::any(1); };
+        const double seconds = rng.next_uniform(1.0, 9.0);
+        item.def.cost = [seconds](const Placement&, const cluster::NodeSpec&) { return seconds; };
+        if (!futures.empty()) {
+          const int k = static_cast<int>(rng.next_int(0, 2));
+          for (int j = 0; j < k; ++j)
+            item.params.push_back(
+                {futures[rng.next_index(futures.size())].data, rt::Direction::In});
+        }
+        items.push_back(std::move(item));
+      }
+      if (batch) {
+        const std::vector<Future> wave_futures = runtime.submit_batch(std::move(items));
+        futures.insert(futures.end(), wave_futures.begin(), wave_futures.end());
+      } else {
+        for (const Runtime::BatchItem& item : items)
+          futures.push_back(runtime.submit(item.def, item.params));
+      }
+    }
+    runtime.barrier();
+
+    std::vector<ScheduleRow> schedule;
+    for (const auto& e : runtime.trace().events())
+      if (e.kind == trace::EventKind::TaskSchedule || e.kind == trace::EventKind::TaskRun)
+        schedule.emplace_back(static_cast<int>(e.kind), e.task_id, e.node, e.t_start, e.t_end,
+                              e.cores);
+    return schedule;
+  };
+  const std::vector<ScheduleRow> batched = run(true);
+  const std::vector<ScheduleRow> sequential = run(false);
+  ASSERT_EQ(batched.size(), sequential.size());
+  EXPECT_EQ(batched, sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchVsSequential, ::testing::Range<std::uint64_t>(7100, 7106));
 
 }  // namespace
 }  // namespace chpo

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_engine.json.
+
+Compares a fresh bench_engine_throughput run against the latest committed
+baseline row per (backend, studies) configuration and fails when tasks/s
+drops more than the threshold below it. On a pass, --append folds the new
+rows (with their commit/date/host_threads provenance) into the committed
+file so the baseline history keeps growing.
+
+Usage:
+  bench_engine_throughput --json /tmp/bench_new.json
+  python3 tools/bench_gate.py --baseline BENCH_engine.json \
+      --new /tmp/bench_new.json --max-drop 0.25 --append
+
+Exit status: 0 = within budget, 1 = regression, 2 = usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        print(f"bench_gate: {path} has no rows", file=sys.stderr)
+        sys.exit(2)
+    return doc, rows
+
+
+def latest_per_config(rows):
+    """Last committed row per (backend, studies) — the file is append-only
+    history, so the last entry is the newest baseline."""
+    latest = {}
+    for row in rows:
+        latest[(row.get("backend"), row.get("studies"))] = row
+    return latest
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_engine.json")
+    parser.add_argument("--new", dest="new_path", required=True, help="fresh --json output")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.25,
+        help="max allowed fractional tasks/s drop vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="on pass, append the new rows to the baseline file",
+    )
+    args = parser.parse_args()
+
+    base_doc, base_rows = load_rows(args.baseline)
+    _, new_rows = load_rows(args.new_path)
+    baseline = latest_per_config(base_rows)
+
+    failed = False
+    for row in new_rows:
+        key = (row.get("backend"), row.get("studies"))
+        committed = baseline.get(key)
+        if committed is None:
+            print(f"  {key[0]}/{key[1]}: no committed baseline, accepting "
+                  f"{row['tasks_per_second']:.1f} tasks/s")
+            continue
+        old = float(committed["tasks_per_second"])
+        new = float(row["tasks_per_second"])
+        change = (new - old) / old if old > 0 else 0.0
+        verdict = "OK"
+        if old > 0 and new < old * (1.0 - args.max_drop):
+            verdict = f"REGRESSION (>{args.max_drop:.0%} drop)"
+            failed = True
+        print(f"  {key[0]}/{key[1]}: {old:.1f} -> {new:.1f} tasks/s "
+              f"({change:+.1%}) {verdict}")
+
+    if failed:
+        print(f"bench_gate: FAIL — tasks/s dropped more than {args.max_drop:.0%} "
+              "below the committed baseline", file=sys.stderr)
+        return 1
+
+    if args.append:
+        base_doc["rows"] = base_rows + new_rows
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(base_doc, fh, indent=2)
+            fh.write("\n")
+        print(f"bench_gate: PASS — appended {len(new_rows)} rows to {args.baseline}")
+    else:
+        print("bench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -200,6 +200,68 @@ void rule_callback_in_engine_mutation(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: hot-path-std-function
+// ---------------------------------------------------------------------------
+
+/// Methods on the per-dispatch hot path: every admission, scheduling round,
+/// attempt registration and completion crosses these, so a std::function
+/// there means a type-erasing heap allocation (and an indirect call the
+/// optimiser cannot devirtualise) per task. Coordinator-rate entry points
+/// like ThreadBackend::drive legitimately take std::function — once per
+/// wait, not once per task — and stay off this list.
+bool hot_path_method(const std::string& qualifier, const std::string& name) {
+  if (qualifier == "Engine") {
+    static const char* kHot[] = {"on_submitted",    "on_submitted_batch", "make_ready",
+                                 "push_ready",      "remove_from_ready",  "schedule",
+                                 "apply_study_policy", "register_attempt", "prepare_body",
+                                 "complete_attempt", "conclude_attempt"};
+    for (const char* method : kHot)
+      if (name == method) return true;
+    return false;
+  }
+  static const char* kHot[] = {"launch", "run_job"};
+  for (const char* method : kHot)
+    if (name == method) return true;
+  return false;
+}
+
+void rule_hot_path_std_function(const SourceFile& file, const std::vector<std::string>& lines,
+                                std::vector<Finding>& out) {
+  std::string qualifier;
+  if (ends_with(file.path, "runtime/engine.cpp"))
+    qualifier = "Engine";
+  else if (ends_with(file.path, "runtime/thread_backend.cpp"))
+    qualifier = "ThreadBackend";
+  else
+    return;
+  const std::string marker = qualifier + "::";
+  std::string current;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    // Update the current method from *every* "<ret> Qual::name(" on the
+    // line before flagging, so a definition whose own signature carries a
+    // std::function is attributed to itself, not the previous method
+    // (e.g. "bool ThreadBackend::drive(const std::function<bool()>&...").
+    for (auto def = line.find(marker); def != std::string::npos;
+         def = line.find(marker, def + 1)) {
+      if (def > 0 && ident_char(line[def - 1])) continue;
+      const auto name_start = def + marker.size();
+      auto name_end = name_start;
+      while (name_end < line.size() && ident_char(line[name_end])) ++name_end;
+      if (name_end < line.size() && line[name_end] == '(' && name_end > name_start)
+        current = line.substr(name_start, name_end - name_start);
+    }
+    if (find_word(line, "std::function") == std::string::npos) continue;
+    if (!hot_path_method(qualifier, current)) continue;
+    out.push_back({file.path, static_cast<int>(i + 1), "hot-path-std-function",
+                   "std::function on the per-dispatch hot path (" + qualifier + "::" + current +
+                       "); it type-erases through a heap allocation per task — use a "
+                       "function pointer plus void* context (see StealPool::Sink) or a "
+                       "pre-bound member"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: trace-kind-coverage (cross-file)
 // ---------------------------------------------------------------------------
 
@@ -431,6 +493,7 @@ std::vector<Finding> lint_files(const std::vector<SourceFile>& files) {
     rule_nondeterministic_rng(normalised_file, masked[i], findings);
     rule_raw_runtime_ref(normalised_file, masked[i], findings);
     rule_callback_in_engine_mutation(normalised_file, masked[i], findings);
+    rule_hot_path_std_function(normalised_file, masked[i], findings);
   }
 
   std::vector<SourceFile> normalised_files;
