@@ -1,0 +1,61 @@
+#include "daemon/protocol.hpp"
+
+namespace chpo::daemon {
+
+json::Value make_reply(const json::Value& request, bool ok) {
+  json::Value reply;
+  if (const json::Value* id = request.find("id")) reply.set("id", *id);
+  reply.set("ok", json::Value(ok));
+  return reply;
+}
+
+json::Value make_error(const json::Value& request, const std::string& message) {
+  json::Value reply = make_reply(request, false);
+  reply.set("error", json::Value(message));
+  return reply;
+}
+
+json::Value make_parse_error(const std::string& message) {
+  json::Value reply;
+  reply.set("ok", json::Value(false));
+  reply.set("error", json::Value(message));
+  return reply;
+}
+
+json::Value make_trial_event(rt::StudyId study, const std::string& name, int index,
+                             double accuracy, bool failed, std::size_t trials_done) {
+  json::Value event;
+  event.set("event", json::Value("trial"));
+  event.set("study", json::Value(static_cast<std::int64_t>(study)));
+  event.set("name", json::Value(name));
+  event.set("index", json::Value(static_cast<std::int64_t>(index)));
+  event.set("accuracy", json::Value(accuracy));
+  event.set("failed", json::Value(failed));
+  event.set("trials_done", json::Value(static_cast<std::int64_t>(trials_done)));
+  return event;
+}
+
+json::Value make_state_event(rt::StudyId study, const std::string& name,
+                             service::StudyState state, std::size_t trials_done) {
+  json::Value event;
+  event.set("event", json::Value("state"));
+  event.set("study", json::Value(static_cast<std::int64_t>(study)));
+  event.set("name", json::Value(name));
+  event.set("state", json::Value(service::study_state_name(state)));
+  event.set("trials_done", json::Value(static_cast<std::int64_t>(trials_done)));
+  return event;
+}
+
+std::optional<rt::StudyId> study_field(const json::Value& request) {
+  const json::Value* v = request.find("study");
+  if (v == nullptr || !v->is_int() || v->as_int() < 0) return std::nullopt;
+  return static_cast<rt::StudyId>(v->as_int());
+}
+
+std::string tenant_field(const json::Value& request) {
+  const json::Value* v = request.find("tenant");
+  if (v != nullptr && v->is_string() && !v->as_string().empty()) return v->as_string();
+  return "default";
+}
+
+}  // namespace chpo::daemon

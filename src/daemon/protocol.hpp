@@ -1,0 +1,52 @@
+// Wire-protocol message shapes for the HPO service daemon.
+//
+// Framing is NDJSON (jsonlite/wire.hpp): one JSON object per line, both
+// directions. Requests carry an "op" plus op-specific fields; every
+// request gets exactly one reply object with "ok" (true/false) and the
+// request's "id" echoed back when present, so clients can pipeline.
+// Streaming `watch` subscriptions additionally receive event objects
+// (distinguished by an "event" field instead of "ok") interleaved with
+// replies on the same connection.
+//
+//   request  {"op":"submit","id":7,"tenant":"alice","spec":{...}}
+//   reply    {"id":7,"ok":true,"study":3,"name":"alice-tpe"}
+//   error    {"id":7,"ok":false,"error":"unknown study 42"}
+//   event    {"event":"trial","study":3,"name":"alice-tpe","index":0,
+//             "accuracy":0.91,"failed":false,"trials_done":1}
+//   event    {"event":"state","study":3,"name":"alice-tpe",
+//             "state":"finished","trials_done":8}
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "jsonlite/json.hpp"
+#include "runtime/types.hpp"
+#include "service/study_manager.hpp"
+
+namespace chpo::daemon {
+
+/// Reply skeleton: {"id": <echoed>, "ok": ok}. Callers add result fields.
+json::Value make_reply(const json::Value& request, bool ok);
+
+/// Error reply for a parsed request (echoes its "id" when present).
+json::Value make_error(const json::Value& request, const std::string& message);
+
+/// Error reply for a line that never parsed (no id to echo).
+json::Value make_parse_error(const std::string& message);
+
+/// {"event":"trial", ...} — one completed trial of a watched study.
+json::Value make_trial_event(rt::StudyId study, const std::string& name, int index,
+                             double accuracy, bool failed, std::size_t trials_done);
+
+/// {"event":"state", ...} — a watched study changed lifecycle state.
+json::Value make_state_event(rt::StudyId study, const std::string& name,
+                             service::StudyState state, std::size_t trials_done);
+
+/// The "study" field of a request, if present and integral.
+std::optional<rt::StudyId> study_field(const json::Value& request);
+
+/// The "tenant" field, defaulting to "default" when absent.
+std::string tenant_field(const json::Value& request);
+
+}  // namespace chpo::daemon

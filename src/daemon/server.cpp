@@ -1,0 +1,491 @@
+#include "daemon/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "support/log.hpp"
+
+namespace chpo::daemon {
+
+namespace {
+
+/// File-system-safe study name for checkpoint paths.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') c = '_';
+  return out;
+}
+
+bool terminal(service::StudyState state) {
+  return state == service::StudyState::Finished || state == service::StudyState::Killed;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, const ml::Dataset& dataset)
+    : options_(std::move(options)),
+      dataset_(dataset),
+      manager_(std::move(options_.manager), dataset) {
+  manager_.set_event_tap([this](const service::StudyEvent& event) { on_manager_event(event); });
+  load_manifest();
+}
+
+void Server::on_manager_event(const service::StudyEvent& event) {
+  PendingEvent ev;
+  ev.kind = event.kind;
+  ev.study = event.study;
+  ev.state = event.state;
+  ev.trials_done = event.trials_done;
+  if (event.kind == service::StudyEvent::Kind::TrialComplete) {
+    const auto it = studies_.find(event.study);
+    if (it != studies_.end()) {
+      ++it->second.trials_counted;
+      ledger_.on_trial(it->second.tenant, event.trial);
+    }
+    if (event.trial != nullptr) {
+      ev.trial_index = event.trial->index;
+      ev.trial_failed = event.trial->failed;
+      ev.accuracy = event.trial->failed ? 0.0 : event.trial->result.final_val_accuracy;
+    }
+  }
+  pending_.push_back(ev);
+}
+
+void Server::fan_out(rt::StudyId study, const json::Value& event,
+                     std::vector<Outbound>& out) const {
+  const auto it = watchers_.find(study);
+  if (it != watchers_.end())
+    for (const ClientId client : it->second) out.push_back({client, event});
+  for (const ClientId client : watch_all_) {
+    if (it != watchers_.end() && it->second.count(client)) continue;  // no duplicates
+    out.push_back({client, event});
+  }
+}
+
+void Server::drain_events(std::vector<Outbound>& out) {
+  std::vector<PendingEvent> events;
+  events.swap(pending_);
+  for (const PendingEvent& ev : events) {
+    const auto info_it = studies_.find(ev.study);
+    const std::string name =
+        info_it != studies_.end() ? info_it->second.name : manager_.status(ev.study).name;
+    if (ev.kind == service::StudyEvent::Kind::TrialComplete)
+      fan_out(ev.study,
+              make_trial_event(ev.study, name, ev.trial_index, ev.accuracy, ev.trial_failed,
+                               ev.trials_done),
+              out);
+    else
+      fan_out(ev.study, make_state_event(ev.study, name, ev.state, ev.trials_done), out);
+    // Settle accounting when a study leaves the fleet. Deferred to here
+    // (not done in the tap) because outcome() must not be called from
+    // inside a manager method.
+    if (ev.kind != service::StudyEvent::Kind::TrialComplete && terminal(ev.state) &&
+        info_it != studies_.end() && !info_it->second.closed_accounted) {
+      info_it->second.closed_accounted = true;
+      ledger_.on_study_closed(info_it->second.tenant, manager_.outcome(ev.study),
+                              info_it->second.trials_counted,
+                              ev.state == service::StudyState::Killed);
+    }
+  }
+}
+
+rt::StudyId Server::submit_spec(const std::string& tenant, json::Value spec_json) {
+  if (!spec_json.is_object()) throw service::SpecError("submit: 'spec' must be a JSON object");
+
+  std::string name;
+  if (const json::Value* v = spec_json.find("name"); v != nullptr && v->is_string())
+    name = v->as_string();
+  if (name.empty()) {
+    std::string algorithm = "random";
+    if (const json::Value* v = spec_json.find("algorithm"); v != nullptr && v->is_string())
+      algorithm = v->as_string();
+    name = tenant + "-" + algorithm + "-" + std::to_string(ordinal_++);
+    spec_json.set("name", json::Value(name));
+  }
+  // Stateful deployments checkpoint every study so a drained shutdown can
+  // resume it; an explicit per-spec checkpoint wins.
+  if (!options_.state_dir.empty() && spec_json.find("checkpoint") == nullptr)
+    spec_json.set("checkpoint",
+                  json::Value(options_.state_dir + "/" + sanitize(name) + ".trials.json"));
+
+  service::StudySpec spec = service::study_spec_from_json(spec_json, options_.defaults);
+  spec.weight *= ledger_.quota(tenant).weight;
+
+  bool start_paused = false;
+  if (const json::Value* v = spec_json.find("paused")) start_paused = v->as_bool();
+
+  const rt::StudyId id = manager_.submit(std::move(spec));
+  if (start_paused) manager_.pause(id);
+
+  // The stored spec seeds the shutdown manifest; a restart must not
+  // re-pause (pause state is connection-era policy, not study identity).
+  if (spec_json.contains("paused")) {
+    json::Object& object = spec_json.as_object();
+    object.erase(std::remove_if(object.begin(), object.end(),
+                                [](const auto& member) { return member.first == "paused"; }),
+                 object.end());
+  }
+  StudyInfo info;
+  info.tenant = tenant;
+  info.name = name;
+  info.spec_json = std::move(spec_json);
+  studies_.emplace(id, std::move(info));
+  ledger_.on_submitted(tenant);
+  return id;
+}
+
+json::Value Server::op_submit(const json::Value& request) {
+  if (draining_) return make_error(request, "shutting down: submissions are closed");
+  const json::Value* spec = request.find("spec");
+  if (spec == nullptr) return make_error(request, "submit: missing 'spec'");
+  const std::string tenant = tenant_field(request);
+  if (quota_known_.insert(tenant).second) ledger_.set_quota(tenant, options_.default_quota);
+  if (!ledger_.admit_study(tenant))
+    return make_error(request, "tenant '" + tenant + "' is over its active-study quota");
+  try {
+    const rt::StudyId id = submit_spec(tenant, *spec);
+    json::Value reply = make_reply(request, true);
+    reply.set("study", json::Value(static_cast<std::int64_t>(id)));
+    reply.set("name", json::Value(studies_.at(id).name));
+    reply.set("state", json::Value(service::study_state_name(manager_.state(id))));
+    return reply;
+  } catch (const service::SpecError& e) {
+    return make_error(request, e.what());
+  }
+}
+
+json::Value Server::status_json(rt::StudyId id) const {
+  const service::StudyStatus status = manager_.status(id);
+  json::Value row;
+  row.set("study", json::Value(static_cast<std::int64_t>(id)));
+  row.set("name", json::Value(status.name));
+  const auto info = studies_.find(id);
+  row.set("tenant", json::Value(info != studies_.end() ? info->second.tenant : std::string()));
+  row.set("algorithm", json::Value(status.algorithm));
+  row.set("state", json::Value(service::study_state_name(status.state)));
+  row.set("trials_done", json::Value(static_cast<std::int64_t>(status.trials_done)));
+  const rt::StudyProgress progress = manager_.progress(id);
+  json::Value tasks;
+  tasks.set("total", json::Value(static_cast<std::int64_t>(progress.total)));
+  tasks.set("waiting", json::Value(static_cast<std::int64_t>(progress.waiting)));
+  tasks.set("ready", json::Value(static_cast<std::int64_t>(progress.ready)));
+  tasks.set("running", json::Value(static_cast<std::int64_t>(progress.running)));
+  tasks.set("done", json::Value(static_cast<std::int64_t>(progress.done)));
+  tasks.set("failed", json::Value(static_cast<std::int64_t>(progress.failed)));
+  tasks.set("cancelled", json::Value(static_cast<std::int64_t>(progress.cancelled)));
+  row.set("tasks", tasks);
+  if (terminal(status.state)) {
+    const hpo::HpoOutcome& outcome = manager_.outcome(id);
+    if (const hpo::Trial* best = outcome.best())
+      row.set("best_accuracy", json::Value(best->result.final_val_accuracy));
+    row.set("elapsed_seconds", json::Value(outcome.elapsed_seconds));
+  }
+  return row;
+}
+
+json::Value Server::op_list(const json::Value& request) const {
+  json::Value reply = make_reply(request, true);
+  json::Array rows;
+  for (const rt::StudyId id : manager_.studies()) rows.push_back(status_json(id));
+  reply.set("studies", json::Value(std::move(rows)));
+  return reply;
+}
+
+json::Value Server::op_status(const json::Value& request) const {
+  const std::optional<rt::StudyId> id = study_field(request);
+  if (!id || !manager_.known(*id)) return make_error(request, "unknown study");
+  json::Value reply = make_reply(request, true);
+  const json::Value row = status_json(*id);  // named: the loop borrows its object
+  for (const auto& [key, value] : row.as_object()) reply.set(key, value);
+  return reply;
+}
+
+json::Value Server::op_lifecycle(const json::Value& request, const std::string& op) {
+  const std::optional<rt::StudyId> id = study_field(request);
+  if (!id || !manager_.known(*id)) return make_error(request, "unknown study");
+  const service::StudyState before = manager_.state(*id);
+  if (op == "pause") {
+    if (terminal(before) || before == service::StudyState::Paused)
+      return make_error(request, std::string("cannot pause a ") +
+                                     service::study_state_name(before) + " study");
+    manager_.pause(*id);
+  } else if (op == "resume") {
+    if (terminal(before))
+      return make_error(request, std::string("cannot resume a ") +
+                                     service::study_state_name(before) + " study");
+    manager_.resume(*id);
+  } else {  // kill
+    if (terminal(before))
+      return make_error(request, std::string("study is already ") +
+                                     service::study_state_name(before));
+    manager_.kill(*id);
+  }
+  json::Value reply = make_reply(request, true);
+  reply.set("study", json::Value(static_cast<std::int64_t>(*id)));
+  reply.set("state", json::Value(service::study_state_name(manager_.state(*id))));
+  return reply;
+}
+
+json::Value Server::op_watch(ClientId client, const json::Value& request,
+                             std::vector<Outbound>& snapshots) {
+  const json::Value* study = request.find("study");
+  std::vector<rt::StudyId> snapshot_ids;
+  if (study == nullptr) {
+    watch_all_.insert(client);
+    snapshot_ids = manager_.studies();
+  } else {
+    const std::optional<rt::StudyId> id = study_field(request);
+    if (!id || !manager_.known(*id)) return make_error(request, "unknown study");
+    watchers_[*id].insert(client);
+    snapshot_ids.push_back(*id);
+  }
+  // Immediate state snapshot to just this client: a watch on an already
+  // finished study terminates without waiting for an event that will
+  // never come.
+  for (const rt::StudyId id : snapshot_ids) {
+    const service::StudyStatus status = manager_.status(id);
+    snapshots.push_back(
+        {client, make_state_event(id, status.name, status.state, status.trials_done)});
+  }
+  return make_reply(request, true);
+}
+
+json::Value Server::op_unwatch(ClientId client, const json::Value& request) {
+  const std::optional<rt::StudyId> id = study_field(request);
+  if (id)
+    watchers_[*id].erase(client);
+  else
+    watch_all_.erase(client);
+  return make_reply(request, true);
+}
+
+json::Value Server::op_accounting(const json::Value& request) const {
+  json::Value reply = make_reply(request, true);
+  json::Array rows;
+  for (const std::string& tenant : ledger_.tenants()) {
+    const service::TenantStats stats = ledger_.stats(tenant);
+    const service::TenantQuota quota = ledger_.quota(tenant);
+    json::Value row;
+    row.set("tenant", json::Value(tenant));
+    row.set("studies_submitted", json::Value(static_cast<std::int64_t>(stats.studies_submitted)));
+    row.set("studies_active", json::Value(static_cast<std::int64_t>(stats.studies_active)));
+    row.set("studies_finished", json::Value(static_cast<std::int64_t>(stats.studies_finished)));
+    row.set("studies_killed", json::Value(static_cast<std::int64_t>(stats.studies_killed)));
+    row.set("submits_rejected", json::Value(static_cast<std::int64_t>(stats.submits_rejected)));
+    row.set("trials_completed", json::Value(static_cast<std::int64_t>(stats.trials_completed)));
+    row.set("task_attempts", json::Value(static_cast<std::int64_t>(stats.task_attempts)));
+    row.set("replayed_trials", json::Value(static_cast<std::int64_t>(stats.replayed_trials)));
+    row.set("cache_hits", json::Value(static_cast<std::int64_t>(stats.cache_hits)));
+    row.set("engine_seconds", json::Value(stats.engine_seconds));
+    row.set("weight", json::Value(quota.weight));
+    row.set("max_active_studies",
+            json::Value(static_cast<std::int64_t>(quota.max_active_studies)));
+    rows.push_back(row);
+  }
+  reply.set("tenants", json::Value(std::move(rows)));
+  return reply;
+}
+
+json::Value Server::op_stats(const json::Value& request) const {
+  const service::ManagerStats stats = manager_.stats();
+  json::Value reply = make_reply(request, true);
+  reply.set("queued", json::Value(static_cast<std::int64_t>(stats.queued)));
+  reply.set("running", json::Value(static_cast<std::int64_t>(stats.running)));
+  reply.set("paused", json::Value(static_cast<std::int64_t>(stats.paused)));
+  reply.set("finished", json::Value(static_cast<std::int64_t>(stats.finished)));
+  reply.set("killed", json::Value(static_cast<std::int64_t>(stats.killed)));
+  reply.set("total_studies", json::Value(static_cast<std::int64_t>(stats.total_studies)));
+  reply.set("trials_done", json::Value(static_cast<std::int64_t>(stats.trials_done)));
+  reply.set("inflight", json::Value(static_cast<std::int64_t>(stats.inflight)));
+  reply.set("completions_routed",
+            json::Value(static_cast<std::int64_t>(stats.completions_routed)));
+  reply.set("leaked_completions",
+            json::Value(static_cast<std::int64_t>(stats.leaked_completions)));
+  reply.set("lineage_violations",
+            json::Value(static_cast<std::int64_t>(manager_.lineage_violations())));
+  reply.set("draining", json::Value(draining_));
+  return reply;
+}
+
+json::Value Server::op_quota(const json::Value& request) {
+  const json::Value* tenant = request.find("tenant");
+  if (tenant == nullptr || !tenant->is_string())
+    return make_error(request, "quota: missing 'tenant'");
+  service::TenantQuota quota = ledger_.quota(tenant->as_string());
+  if (const json::Value* v = request.find("weight")) {
+    if (!v->is_number() || v->as_double() <= 0.0)
+      return make_error(request, "quota: 'weight' must be a positive number");
+    quota.weight = v->as_double();
+  }
+  if (const json::Value* v = request.find("max_active_studies")) {
+    if (!v->is_int() || v->as_int() < 0)
+      return make_error(request, "quota: 'max_active_studies' must be a non-negative integer");
+    quota.max_active_studies = static_cast<std::size_t>(v->as_int());
+  }
+  quota_known_.insert(tenant->as_string());
+  ledger_.set_quota(tenant->as_string(), quota);
+  return make_reply(request, true);
+}
+
+std::vector<Outbound> Server::handle(ClientId client, const json::Value& request) {
+  std::vector<Outbound> out;
+  const json::Value* op_value = request.is_object() ? request.find("op") : nullptr;
+  if (op_value == nullptr || !op_value->is_string()) {
+    out.push_back({client, make_error(request, "request must be an object with a string 'op'")});
+    return out;
+  }
+  const std::string& op = op_value->as_string();
+
+  json::Value reply;
+  bool has_reply = true;
+  std::vector<Outbound> snapshots;
+  try {
+    if (op == "ping") {
+      reply = make_reply(request, true);
+      reply.set("pong", json::Value(true));
+    } else if (op == "submit") {
+      reply = op_submit(request);
+    } else if (op == "list") {
+      reply = op_list(request);
+    } else if (op == "status") {
+      reply = op_status(request);
+    } else if (op == "pause" || op == "resume" || op == "kill") {
+      reply = op_lifecycle(request, op);
+    } else if (op == "watch") {
+      reply = op_watch(client, request, snapshots);
+    } else if (op == "unwatch") {
+      reply = op_unwatch(client, request);
+    } else if (op == "accounting") {
+      reply = op_accounting(request);
+    } else if (op == "stats") {
+      reply = op_stats(request);
+    } else if (op == "quota") {
+      reply = op_quota(request);
+    } else if (op == "shutdown") {
+      if (draining_) {
+        reply = make_error(request, "already shutting down");
+      } else {
+        // Checkpoint-everything-then-drain: gate admission, stop every
+        // running pump's refills (in-flight attempts finish and are
+        // checkpointed per trial), reply from step() once drained.
+        draining_ = true;
+        manager_.set_admission_paused(true);
+        for (const rt::StudyId id : manager_.studies())
+          if (manager_.state(id) == service::StudyState::Running) manager_.pause(id);
+        shutdown_reply_pending_ = true;
+        shutdown_client_ = client;
+        shutdown_request_ = request;
+        has_reply = false;
+        log_info("daemon", "shutdown requested: draining {} in-flight trials",
+                 manager_.stats().inflight);
+      }
+    } else {
+      reply = make_error(request, "unknown op '" + op + "'");
+    }
+  } catch (const std::exception& e) {
+    reply = make_error(request, e.what());
+  }
+
+  if (has_reply) out.push_back({client, std::move(reply)});
+  for (Outbound& snapshot : snapshots) out.push_back(std::move(snapshot));
+  drain_events(out);  // state changes caused by this request reach watchers
+  return out;
+}
+
+std::vector<Outbound> Server::handle_line_error(ClientId client, const std::string& error) {
+  return {{client, make_parse_error("parse error: " + error)}};
+}
+
+void Server::disconnect(ClientId client) {
+  watch_all_.erase(client);
+  for (auto& [_, clients] : watchers_) clients.erase(client);
+  if (shutdown_reply_pending_ && shutdown_client_ == client) shutdown_reply_pending_ = false;
+}
+
+bool Server::busy() const {
+  if (done_) return false;
+  if (draining_) return true;
+  const service::ManagerStats stats = manager_.stats();
+  return stats.queued + stats.running + stats.inflight > 0;
+}
+
+std::vector<Outbound> Server::step(double seconds) {
+  std::vector<Outbound> out;
+  if (done_) return out;
+  manager_.step_for(seconds);
+  drain_events(out);
+  if (draining_ && manager_.stats().inflight == 0) {
+    write_manifest();
+    if (shutdown_reply_pending_) {
+      json::Value reply = make_reply(shutdown_request_, true);
+      reply.set("drained", json::Value(true));
+      std::int64_t persisted = 0;
+      for (const auto& [id, _] : studies_)
+        if (!terminal(manager_.state(id))) ++persisted;
+      reply.set("persisted_studies", json::Value(persisted));
+      out.push_back({shutdown_client_, std::move(reply)});
+      shutdown_reply_pending_ = false;
+    }
+    done_ = true;
+    log_info("daemon", "drain complete; manifest written, {} leaked completions",
+             manager_.leaked_completions());
+  }
+  return out;
+}
+
+void Server::write_manifest() const {
+  if (options_.state_dir.empty()) return;
+  json::Array entries;
+  for (const auto& [id, info] : studies_) {
+    if (terminal(manager_.state(id))) continue;
+    json::Value entry;
+    entry.set("tenant", json::Value(info.tenant));
+    entry.set("spec", info.spec_json);
+    entries.push_back(std::move(entry));
+  }
+  json::Value manifest;
+  manifest.set("studies", json::Value(std::move(entries)));
+  const std::string path = options_.state_dir + "/manifest.json";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    file << json::serialize_pretty(manifest) << "\n";
+    if (!file.good()) {
+      log_warn("daemon", "failed to write shutdown manifest {}", tmp);
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    log_warn("daemon", "failed to move shutdown manifest into place at {}", path);
+}
+
+void Server::load_manifest() {
+  if (options_.state_dir.empty()) return;
+  const std::string path = options_.state_dir + "/manifest.json";
+  json::Value manifest;
+  try {
+    manifest = json::parse_file(path);
+  } catch (const json::JsonError&) {
+    return;  // no manifest (fresh start) or unreadable — start empty
+  }
+  const json::Value* studies = manifest.find("studies");
+  if (studies == nullptr || !studies->is_array()) return;
+  std::size_t resumed = 0;
+  for (const json::Value& entry : studies->as_array()) {
+    try {
+      const std::string tenant = entry.at("tenant").as_string();
+      if (quota_known_.insert(tenant).second) ledger_.set_quota(tenant, options_.default_quota);
+      submit_spec(tenant, entry.at("spec"));
+      ++resumed;
+    } catch (const std::exception& e) {
+      log_warn("daemon", "manifest entry skipped: {}", e.what());
+    }
+  }
+  if (resumed > 0)
+    log_info("daemon", "resumed {} studies from {} (checkpoints replay completed trials)",
+             resumed, path);
+}
+
+}  // namespace chpo::daemon

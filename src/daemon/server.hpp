@@ -1,0 +1,169 @@
+// Server — the daemon's protocol brain, socket-free.
+//
+// One Server owns one StudyManager (and through it the Runtime) plus the
+// per-tenant ledger, and turns parsed request objects into reply/event
+// objects. It never touches a file descriptor: the socket front-end
+// (socket_daemon.hpp) feeds it decoded frames and ships back the Outbound
+// messages it returns — which is exactly what makes the full protocol
+// (including shutdown-drain and watch streaming) unit-testable without a
+// socket in sight.
+//
+// Threading: every method must be called from one thread (the daemon's
+// coordinator), because the engine underneath is single-thread confined.
+// step() is the cooperation point — it drives the manager for a bounded
+// slice so trial completions and admissions interleave with request
+// handling instead of blocking it.
+//
+// Dynamic admission: submit() only queues into the StudyManager; actual
+// pump start happens inside the next step()'s admission pass, so a submit
+// landing while the engine is saturated never stalls the running pumps.
+//
+// Shutdown ("checkpoint-everything-then-drain"): admission is gated,
+// every Running study is paused (refills stop; in-flight attempts finish
+// and are checkpointed per-trial as always), and once nothing is in
+// flight the non-terminal studies' specs are written to
+// <state_dir>/manifest.json. The reply to the shutdown request is only
+// sent then — a client that got the reply knows the manifest is on disk.
+// A restarting Server resubmits the manifest entries; their per-study
+// checkpoint files replay completed trials, so work resumes where the
+// drain cut it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+#include "jsonlite/json.hpp"
+#include "ml/dataset.hpp"
+#include "service/study_manager.hpp"
+#include "service/study_spec.hpp"
+#include "service/tenant_ledger.hpp"
+
+namespace chpo::daemon {
+
+/// Connection identity as the front-end sees it (fd, test index, ...).
+using ClientId = std::uint64_t;
+
+/// One message to deliver to one client.
+struct Outbound {
+  ClientId client = 0;
+  json::Value message;
+};
+
+struct ServerOptions {
+  service::ManagerOptions manager;
+  /// Defaults a submitted spec starts from (host-configured driver knobs).
+  service::StudySpecDefaults defaults;
+  /// Per-study checkpoint files + shutdown manifest live here; empty =
+  /// stateless (no checkpoint injection, no manifest, no resume).
+  std::string state_dir;
+  /// Quota seeded for tenants that never got an explicit `quota` request.
+  service::TenantQuota default_quota;
+};
+
+class Server {
+ public:
+  /// Loads <state_dir>/manifest.json if present and resubmits its studies
+  /// (their checkpoints replay completed trials). `dataset` must outlive
+  /// the server.
+  Server(ServerOptions options, const ml::Dataset& dataset);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Dispatch one request; returns the reply plus any events it caused
+  /// (e.g. a state event to watchers when the request was `pause`).
+  /// Shutdown requests get their reply later, from step(), once drained.
+  std::vector<Outbound> handle(ClientId client, const json::Value& request);
+
+  /// A line that failed to decode: an error reply, connection kept.
+  std::vector<Outbound> handle_line_error(ClientId client, const std::string& error);
+
+  /// The front-end lost this client: drop its watch subscriptions (and
+  /// its pending shutdown reply, if it was the requester).
+  void disconnect(ClientId client);
+
+  /// Drive the manager for at most `seconds`; returns watch events (and
+  /// the shutdown reply once the drain completes).
+  std::vector<Outbound> step(double seconds);
+
+  /// True while step() has (or may soon have) work: studies queued,
+  /// running, in flight, or a drain in progress.
+  bool busy() const;
+
+  bool draining() const { return draining_; }
+  /// Shutdown finished: manifest written, reply emitted. The front-end
+  /// exits its loop when this is true and its outboxes are empty.
+  bool done() const { return done_; }
+
+  const service::StudyManager& manager() const { return manager_; }
+  const service::TenantLedger& ledger() const { return ledger_; }
+
+ private:
+  struct StudyInfo {
+    std::string tenant;
+    std::string name;
+    json::Value spec_json;  ///< as admitted (checkpoint/name injected)
+    std::size_t trials_counted = 0;  ///< metered live via trial events
+    bool closed_accounted = false;   ///< on_study_closed already applied
+  };
+
+  json::Value op_submit(const json::Value& request);
+  json::Value op_list(const json::Value& request) const;
+  json::Value op_status(const json::Value& request) const;
+  json::Value op_lifecycle(const json::Value& request, const std::string& op);
+  /// Subscribes and appends an immediate state snapshot for the watched
+  /// studies to `snapshots` (so watch-after-finish still terminates).
+  json::Value op_watch(ClientId client, const json::Value& request,
+                       std::vector<Outbound>& snapshots);
+  json::Value op_unwatch(ClientId client, const json::Value& request);
+  json::Value op_accounting(const json::Value& request) const;
+  json::Value op_stats(const json::Value& request) const;
+  json::Value op_quota(const json::Value& request);
+
+  void on_manager_event(const service::StudyEvent& event);
+  /// Convert buffered manager events into watcher Outbounds and settle
+  /// closed studies' accounting (deferred: taps must not re-enter the
+  /// manager, but outcome() is safe here).
+  void drain_events(std::vector<Outbound>& out);
+  void fan_out(rt::StudyId study, const json::Value& event, std::vector<Outbound>& out) const;
+  void write_manifest() const;
+  void load_manifest();
+  rt::StudyId submit_spec(const std::string& tenant, json::Value spec_json);
+  json::Value status_json(rt::StudyId id) const;
+
+  /// Manager event copied out of the tap (the Trial pointer dies with the
+  /// tap call, so the fields a wire event needs are flattened here).
+  struct PendingEvent {
+    service::StudyEvent::Kind kind = service::StudyEvent::Kind::StateChanged;
+    rt::StudyId study = rt::kMainStudy;
+    service::StudyState state = service::StudyState::Queued;
+    std::size_t trials_done = 0;
+    int trial_index = -1;
+    double accuracy = 0.0;
+    bool trial_failed = false;
+  };
+
+  ServerOptions options_;
+  const ml::Dataset& dataset_;
+  service::StudyManager manager_;
+  service::TenantLedger ledger_;
+  std::map<rt::StudyId, StudyInfo> studies_;
+  std::map<rt::StudyId, std::set<ClientId>> watchers_;
+  std::set<ClientId> watch_all_;
+  std::vector<PendingEvent> pending_;
+  /// Tenants whose quota is pinned (explicit `quota` request or already
+  /// seeded with the default) — first submit seeds options_.default_quota.
+  std::set<std::string> quota_known_;
+  std::uint64_t ordinal_ = 0;  ///< default study-name counter
+  bool draining_ = false;
+  bool done_ = false;
+  bool shutdown_reply_pending_ = false;
+  ClientId shutdown_client_ = 0;
+  json::Value shutdown_request_;
+};
+
+}  // namespace chpo::daemon

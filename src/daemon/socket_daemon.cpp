@@ -1,0 +1,283 @@
+#include "daemon/socket_daemon.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "jsonlite/wire.hpp"
+#include "support/log.hpp"
+
+namespace chpo::daemon {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Per-connection state, owned exclusively by the I/O thread.
+struct Conn {
+  ClientId client = 0;
+  json::LineDecoder decoder;
+  std::string outbox;
+};
+
+}  // namespace
+
+SocketDaemon::SocketDaemon(SocketDaemonOptions options, Server& server)
+    : options_(std::move(options)), server_(server) {}
+
+SocketDaemon::~SocketDaemon() {
+  if (io_thread_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    poke();
+    io_thread_.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+bool SocketDaemon::setup_socket() {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    log_warn("daemon", "pipe() failed: {}", std::strerror(errno));
+    return false;
+  }
+  wake_read_ = pipefd[0];
+  wake_write_ = pipefd[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    log_warn("daemon", "socket() failed: {}", std::strerror(errno));
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    log_warn("daemon", "socket path too long: {}", options_.socket_path);
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+  ::unlink(options_.socket_path.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    log_warn("daemon", "bind({}) failed: {}", options_.socket_path, std::strerror(errno));
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    log_warn("daemon", "listen() failed: {}", std::strerror(errno));
+    return false;
+  }
+  set_nonblocking(listen_fd_);
+  return true;
+}
+
+void SocketDaemon::poke() {
+  if (wake_write_ < 0) return;
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n = ::write(wake_write_, &byte, 1);
+}
+
+void SocketDaemon::deliver(std::vector<Outbound> messages) {
+  if (messages.empty()) return;
+  {
+    MutexLock lock(out_mutex_);
+    for (Outbound& m : messages) {
+      out_pending_.push_back(OutBytes{m.client, json::encode_frame(m.message)});
+    }
+  }
+  poke();
+}
+
+int SocketDaemon::run() {
+  if (!setup_socket()) return 1;
+  log_info("daemon", "listening on {}", options_.socket_path);
+  io_thread_ = std::thread([this] { io_loop(); });
+
+  while (true) {
+    std::vector<Command> batch;
+    {
+      MutexLock lock(queue_mutex_);
+      if (commands_.empty() && !server_.busy()) {
+        // Idle: nothing queued, nothing to drive. Sleep until the I/O
+        // thread hands us a command (bounded, as a safety net).
+        queue_cv_.wait_for(queue_mutex_, std::chrono::milliseconds(200));
+      }
+      while (!commands_.empty()) {
+        batch.push_back(std::move(commands_.front()));
+        commands_.pop_front();
+      }
+    }
+    // Queue lock dropped before any Server call: handling a request can
+    // block on the engine, and the I/O thread must stay free to enqueue.
+    for (Command& cmd : batch) {
+      switch (cmd.kind) {
+        case Command::Kind::Frame:
+          deliver(server_.handle(cmd.client, cmd.frame));
+          break;
+        case Command::Kind::LineError:
+          deliver(server_.handle_line_error(cmd.client, cmd.error));
+          break;
+        case Command::Kind::Disconnect:
+          server_.disconnect(cmd.client);
+          break;
+      }
+    }
+    if (server_.busy()) deliver(server_.step(options_.step_seconds));
+    if (server_.done()) break;
+  }
+
+  stop_.store(true, std::memory_order_release);
+  poke();
+  io_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  log_info("daemon", "exited cleanly");
+  return 0;
+}
+
+void SocketDaemon::io_loop() {
+  std::map<int, Conn> conns;            // fd -> connection, this thread only
+  std::map<ClientId, int> client_fd;    // reverse index for outbound routing
+  ClientId next_client = 1;
+  int grace_polls = 40;  // ~2s of 50ms polls to flush outboxes after stop
+
+  auto push_command = [this](Command cmd) {
+    {
+      MutexLock lock(queue_mutex_);
+      commands_.push_back(std::move(cmd));
+    }
+    queue_cv_.notify_one();
+  };
+
+  auto close_conn = [&](int fd, bool notify) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    const ClientId client = it->second.client;
+    client_fd.erase(client);
+    conns.erase(it);
+    ::close(fd);
+    if (notify) {
+      push_command(Command{Command::Kind::Disconnect, client, json::Value(), {}});
+    }
+  };
+
+  while (true) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+
+    // Route coordinator output into per-connection outboxes. Bytes for a
+    // client that vanished are dropped — it can't read them anyway.
+    {
+      MutexLock lock(out_mutex_);
+      while (!out_pending_.empty()) {
+        OutBytes out = std::move(out_pending_.front());
+        out_pending_.pop_front();
+        auto it = client_fd.find(out.client);
+        if (it != client_fd.end()) conns[it->second].outbox += out.bytes;
+      }
+    }
+
+    bool any_outbox = false;
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{wake_read_, POLLIN, 0});
+    if (!stopping) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (auto& [fd, conn] : conns) {
+      short events = POLLIN;
+      if (!conn.outbox.empty()) {
+        events |= POLLOUT;
+        any_outbox = true;
+      }
+      fds.push_back(pollfd{fd, events, 0});
+    }
+
+    if (stopping && (!any_outbox || grace_polls-- <= 0)) {
+      for (auto& [fd, conn] : conns) ::close(fd);
+      return;
+    }
+
+    if (::poll(fds.data(), fds.size(), 50) < 0 && errno != EINTR) {
+      log_warn("daemon", "poll() failed: {}", std::strerror(errno));
+      return;
+    }
+
+    for (const pollfd& p : fds) {
+      if (p.revents == 0) continue;
+      if (p.fd == wake_read_) {
+        char buf[64];
+        while (::read(wake_read_, buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (p.fd == listen_fd_) {
+        while (true) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking(fd);
+          Conn conn;
+          conn.client = next_client++;
+          client_fd[conn.client] = fd;
+          conns.emplace(fd, std::move(conn));
+        }
+        continue;
+      }
+      auto it = conns.find(p.fd);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        close_conn(p.fd, /*notify=*/true);
+        continue;
+      }
+      if (p.revents & POLLIN) {
+        char buf[4096];
+        bool closed = false;
+        while (true) {
+          const ssize_t n = ::read(p.fd, buf, sizeof(buf));
+          if (n > 0) {
+            conn.decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+            continue;
+          }
+          if (n == 0) closed = true;  // orderly EOF
+          if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) closed = true;
+          break;
+        }
+        while (std::optional<json::Frame> frame = conn.decoder.next()) {
+          if (frame->ok()) {
+            push_command(Command{Command::Kind::Frame, conn.client, std::move(frame->value), {}});
+          } else {
+            push_command(
+                Command{Command::Kind::LineError, conn.client, json::Value(), frame->error});
+          }
+        }
+        if (closed) {
+          close_conn(p.fd, /*notify=*/true);
+          continue;
+        }
+      }
+      if ((p.revents & POLLOUT) && !conn.outbox.empty()) {
+        const ssize_t n =
+            ::send(p.fd, conn.outbox.data(), conn.outbox.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+          conn.outbox.erase(0, static_cast<std::size_t>(n));
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+          close_conn(p.fd, /*notify=*/true);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace chpo::daemon

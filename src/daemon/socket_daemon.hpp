@@ -1,0 +1,105 @@
+// SocketDaemon — the Unix-domain-socket front-end around daemon::Server.
+//
+// Two threads:
+//
+//   I/O thread       owns every connection (accept, read, write, close).
+//                    Raw bytes feed per-connection LineDecoders; complete
+//                    frames become commands on the command queue. It never
+//                    touches the Server.
+//
+//   coordinator      the thread that called run(). Drains the command
+//                    queue, calls Server::handle/step (and through it the
+//                    single-thread-confined engine), and hands replies and
+//                    watch events back as encoded bytes on the outbound
+//                    queue. It never touches a socket.
+//
+// The two queues are the only shared state. The locking discipline —
+// enforced by the chpo_lint `registry-lock-blocking-call` rule — is that
+// no connection/queue lock is ever held across a blocking Server or
+// StudyManager call: queues are locked to move data, unlocked to act on
+// it. A slow engine step can therefore never wedge the I/O thread, and a
+// slow client can never wedge the engine.
+//
+// A self-pipe wakes the I/O thread's poll() when the coordinator enqueues
+// outbound bytes. Backpressure is per-connection: bytes queue in that
+// connection's outbox; other connections and the engine are unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/server.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace chpo::daemon {
+
+struct SocketDaemonOptions {
+  /// Path to bind the AF_UNIX listening socket at (unlinked on exit).
+  std::string socket_path;
+  /// Engine slice per coordinator iteration: how long one Server::step may
+  /// drive the engine before request handling gets a turn again.
+  double step_seconds = 0.05;
+};
+
+class SocketDaemon {
+ public:
+  /// `server` must outlive the daemon. run() does the bind/listen.
+  SocketDaemon(SocketDaemonOptions options, Server& server);
+  ~SocketDaemon();
+
+  SocketDaemon(const SocketDaemon&) = delete;
+  SocketDaemon& operator=(const SocketDaemon&) = delete;
+
+  /// Bind + listen, spawn the I/O thread, and run the coordinator loop on
+  /// the calling thread until the server reports done (shutdown drained)
+  /// and the last replies are flushed. Returns 0 on clean exit, non-zero
+  /// if the socket could not be set up.
+  int run();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  /// One decoded input unit, crossing from the I/O thread to the
+  /// coordinator. Disconnect tells the Server to drop subscriptions.
+  struct Command {
+    enum class Kind { Frame, LineError, Disconnect };
+    Kind kind = Kind::Frame;
+    ClientId client = 0;
+    json::Value frame;
+    std::string error;
+  };
+
+  /// Encoded bytes crossing from the coordinator to the I/O thread.
+  struct OutBytes {
+    ClientId client = 0;
+    std::string bytes;
+  };
+
+  bool setup_socket();
+  void io_loop();
+  /// Wake the I/O thread's poll (self-pipe write; safe from any thread).
+  void poke();
+  /// Encode server messages and enqueue them for the I/O thread.
+  void deliver(std::vector<Outbound> messages);
+
+  SocketDaemonOptions options_;
+  Server& server_;
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::thread io_thread_;
+  std::atomic<bool> stop_{false};
+
+  chpo::Mutex queue_mutex_;
+  chpo::CondVar queue_cv_;
+  std::deque<Command> commands_ CHPO_GUARDED_BY(queue_mutex_);
+
+  chpo::Mutex out_mutex_;
+  std::deque<OutBytes> out_pending_ CHPO_GUARDED_BY(out_mutex_);
+};
+
+}  // namespace chpo::daemon

@@ -475,6 +475,19 @@ void HalvingRun::close_rung() {
     submit_rung();
 }
 
+std::size_t HalvingRun::trials_done() const {
+  std::size_t n = rung_.trials.size();
+  for (const RungResult& rung : outcome_.rungs) n += rung.trials.size();
+  return n;
+}
+
+const Trial* HalvingRun::last_trial() const {
+  if (!rung_.trials.empty()) return &rung_.trials.back();
+  for (auto it = outcome_.rungs.rbegin(); it != outcome_.rungs.rend(); ++it)
+    if (!it->trials.empty()) return &it->trials.back();
+  return nullptr;
+}
+
 void HalvingRun::set_refill_paused(bool paused) {
   refill_paused_ = paused;
   if (!paused && rung_pending_ && !stopped_ && !done_) {
@@ -612,6 +625,14 @@ void HyperbandRun::on_trial_complete(const rt::Future& finished) {
     harvest_bracket();
     if (!refill_paused_) start_bracket();
   }
+}
+
+std::size_t HyperbandRun::trials_done() const {
+  return outcome_.total_trials + (bracket_ ? bracket_->trials_done() : 0);
+}
+
+const Trial* HyperbandRun::last_trial() const {
+  return bracket_ ? bracket_->last_trial() : nullptr;
 }
 
 void HyperbandRun::set_refill_paused(bool paused) {

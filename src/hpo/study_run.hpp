@@ -61,6 +61,16 @@ class TrialPump {
   /// running either way. Resuming refills the window immediately.
   virtual void set_refill_paused(bool paused) = 0;
 
+  /// Trials recorded so far, including checkpoint replays — live progress
+  /// for service status while the pump still owns its outcome (the
+  /// flattened HpoOutcome only exists after finish()).
+  virtual std::size_t trials_done() const = 0;
+
+  /// Most recently recorded trial, or nullptr before the first completion.
+  /// Invalidated by the next on_trial_complete()/finish() call — consume
+  /// it immediately (event taps do), never store it.
+  virtual const Trial* last_trial() const = 0;
+
   /// Kill: cancel every in-flight trial of this study and stop refilling.
   /// active() turns false; finish() still returns the partial outcome.
   virtual void abandon() = 0;
@@ -83,6 +93,10 @@ class StudyRun : public TrialPump {
   bool active() const override;
   const std::vector<rt::Future>& inflight() const override { return inflight_futures_; }
   void on_trial_complete(const rt::Future& finished) override;
+  std::size_t trials_done() const override { return outcome_.trials.size(); }
+  const Trial* last_trial() const override {
+    return outcome_.trials.empty() ? nullptr : &outcome_.trials.back();
+  }
   void set_refill_paused(bool paused) override;
   void abandon() override;
   HpoOutcome finish() override;
@@ -138,6 +152,8 @@ class HalvingRun : public TrialPump {
   bool active() const override;
   const std::vector<rt::Future>& inflight() const override { return inflight_futures_; }
   void on_trial_complete(const rt::Future& finished) override;
+  std::size_t trials_done() const override;
+  const Trial* last_trial() const override;
   void set_refill_paused(bool paused) override;
   void abandon() override;
   HpoOutcome finish() override;
@@ -189,6 +205,8 @@ class HyperbandRun : public TrialPump {
   bool active() const override;
   const std::vector<rt::Future>& inflight() const override;
   void on_trial_complete(const rt::Future& finished) override;
+  std::size_t trials_done() const override;
+  const Trial* last_trial() const override;
   void set_refill_paused(bool paused) override;
   void abandon() override;
   HpoOutcome finish() override;

@@ -1,0 +1,44 @@
+#include "jsonlite/wire.hpp"
+
+namespace chpo::json {
+
+std::string encode_frame(const Value& value) {
+  std::string out = serialize(value);
+  out.push_back('\n');
+  return out;
+}
+
+void LineDecoder::feed(std::string_view bytes) {
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    std::size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      partial_.append(bytes.substr(start));
+      break;
+    }
+    partial_.append(bytes.substr(start, nl - start));
+    start = nl + 1;
+    // Tolerate CRLF clients.
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    std::string line;
+    line.swap(partial_);
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    Frame frame;
+    try {
+      frame.value = parse(line);
+    } catch (const JsonError& err) {
+      frame.error = err.what();
+      frame.raw = std::move(line);
+    }
+    ready_.push_back(std::move(frame));
+  }
+}
+
+std::optional<Frame> LineDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+}  // namespace chpo::json

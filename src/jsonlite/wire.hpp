@@ -1,0 +1,54 @@
+// Newline-delimited JSON framing for the service daemon wire protocol.
+//
+// One frame = one JSON document followed by '\n'. The framing is
+// byte-stream oriented: LineDecoder accepts arbitrary read() chunks,
+// reassembles complete lines, and yields one Frame per line. A line that
+// fails to parse yields a Frame carrying the parse error instead of a
+// value — the decoder recovers at the next newline, so one malformed
+// request never poisons the connection.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "jsonlite/json.hpp"
+
+namespace chpo::json {
+
+/// Serialize `value` as a single wire frame (compact JSON + '\n').
+/// Compact serialization never emits raw newlines, so the frame boundary
+/// is unambiguous.
+std::string encode_frame(const Value& value);
+
+/// One decoded line. Exactly one of {value, error} is meaningful:
+/// ok() == true  -> value holds the parsed document;
+/// ok() == false -> error holds the parse failure message and `raw`
+///                  the offending line (for diagnostics / error replies).
+struct Frame {
+  Value value;
+  std::string error;
+  std::string raw;
+  bool ok() const { return error.empty(); }
+};
+
+/// Incremental NDJSON line decoder. feed() bytes as they arrive; next()
+/// pops completed frames in arrival order. Blank lines are skipped.
+class LineDecoder {
+ public:
+  /// Append a chunk of raw bytes from the stream.
+  void feed(std::string_view bytes);
+
+  /// Next complete frame, or nullopt when no full line is buffered yet.
+  std::optional<Frame> next();
+
+  /// Bytes of the current (incomplete) trailing line.
+  std::size_t pending_bytes() const { return partial_.size(); }
+
+ private:
+  std::string partial_;
+  std::deque<Frame> ready_;
+};
+
+}  // namespace chpo::json

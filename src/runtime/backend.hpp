@@ -42,6 +42,14 @@ class Backend {
   /// whichever comes first. Returns true iff everything is terminal.
   virtual bool run_for(double seconds) CHPO_REQUIRES(g_engine_ctx) = 0;
 
+  /// Bounded completion-driven wait: like run_until_any, but give up after
+  /// `seconds` (wall or virtual) even if no target turned terminal —
+  /// the building block for a service front-end that interleaves engine
+  /// progress with request handling. Returns true iff at least one target
+  /// is terminal on exit.
+  virtual bool run_until_any_for(std::span<const TaskId> targets, double seconds)
+      CHPO_REQUIRES(g_engine_ctx) = 0;
+
   /// Drive the engine until an arbitrary predicate over engine state holds
   /// (evaluated on the coordinator between engine steps). wait_on uses this
   /// to ride out the lineage recovery of a result whose replicas died.

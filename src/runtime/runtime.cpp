@@ -278,6 +278,63 @@ Future Runtime::wait_any(std::span<const Future> futures) {
   return *winner;
 }
 
+Future Runtime::wait_any_for(std::span<const Future> futures, double seconds) {
+  if (futures.empty()) throw std::invalid_argument("wait_any_for: no futures");
+  EngineContextScope ctx(g_engine_ctx);
+  std::vector<TaskId> targets;
+  targets.reserve(futures.size());
+  for (const Future& f : futures) {
+    if (f.producer == kNoTask) throw std::invalid_argument("wait_any_for: empty future");
+    targets.push_back(f.producer);
+  }
+
+  auto first_finished = [&]() -> const Future* {
+    const Future* winner = nullptr;
+    std::uint64_t best_seq = 0;
+    for (const Future& f : futures) {
+      const std::uint64_t seq = graph_.task(f.producer).terminal_seq;
+      if (seq == 0) continue;
+      if (winner == nullptr || seq < best_seq) {
+        winner = &f;
+        best_seq = seq;
+      }
+    }
+    return winner;
+  };
+
+  const Future* winner = first_finished();
+  if (winner == nullptr) {
+    backend_->run_until_any_for(targets, seconds);
+    winner = first_finished();
+  }
+  if (winner == nullptr) return Future{};  // timed out; nothing terminal
+  synced_.push_back(*winner);
+  sink_.record(trace::Event{.kind = trace::EventKind::WaitAny,
+                            .task_id = winner->producer,
+                            .study = graph_.task(winner->producer).study,
+                            .t_start = backend_->now(),
+                            .t_end = backend_->now()});
+  return *winner;
+}
+
+StudyProgress Runtime::study_progress(StudyId study) const {
+  StudyProgress progress;
+  for (TaskId id = 0; id < graph_.size(); ++id) {
+    const TaskRecord& record = graph_.task(id);
+    if (record.study != study) continue;
+    ++progress.total;
+    switch (record.state) {
+      case TaskState::WaitingDeps: ++progress.waiting; break;
+      case TaskState::Ready: ++progress.ready; break;
+      case TaskState::Running: ++progress.running; break;
+      case TaskState::Done: ++progress.done; break;
+      case TaskState::Failed: ++progress.failed; break;
+      case TaskState::Cancelled: ++progress.cancelled; break;
+    }
+  }
+  return progress;
+}
+
 bool Runtime::wait_all_for(double seconds) {
   if (graph_.empty()) return true;
   EngineContextScope ctx(g_engine_ctx);

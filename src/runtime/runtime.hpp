@@ -61,6 +61,21 @@ struct StudyOptions {
 
 class StudySession;
 
+/// Point-in-time task census of one study — the progress snapshot behind a
+/// service `status` reply. Computed by an O(tasks) graph scan; the graph is
+/// append-only so the scan is safe whenever the coordinator is not inside
+/// an engine mutation.
+struct StudyProgress {
+  std::size_t total = 0;  ///< tasks ever submitted under this study
+  std::size_t waiting = 0;
+  std::size_t ready = 0;
+  std::size_t running = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t terminal() const { return done + failed + cancelled; }
+};
+
 struct RuntimeOptions {
   cluster::ClusterSpec cluster;
   std::string scheduler = "priority";
@@ -132,6 +147,9 @@ class Runtime {
 
   /// Label given to `study` at open_study time ("main" for kMainStudy).
   const std::string& study_name(StudyId study) const;
+
+  /// Per-state task counts for one study (see StudyProgress).
+  StudyProgress study_progress(StudyId study) const;
 
   /// Submit a task over the given parameters; returns the future of the
   /// body's return value. Dependencies are derived from param directions.
@@ -210,6 +228,17 @@ class Runtime {
   Future wait_any(std::span<const Future> futures);
   Future wait_any(const std::vector<Future>& futures) {
     return wait_any(std::span<const Future>(futures));
+  }
+
+  /// Bounded wait_any: drive the runtime until one of `futures` turns
+  /// terminal or `seconds` (wall or virtual) elapse, whichever is first.
+  /// On timeout the returned Future is empty (producer == kNoTask) and no
+  /// WaitAny trace event is recorded. This is the service front-end's
+  /// building block: it interleaves engine progress with request handling
+  /// so a long trial never blocks the control plane.
+  Future wait_any_for(std::span<const Future> futures, double seconds);
+  Future wait_any_for(const std::vector<Future>& futures, double seconds) {
+    return wait_any_for(std::span<const Future>(futures), seconds);
   }
 
   /// Bounded barrier: drive the runtime for at most `seconds` (wall or

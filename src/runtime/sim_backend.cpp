@@ -118,6 +118,12 @@ bool SimBackend::drive(const std::function<bool()>& finished, double deadline) {
         continue;
       }
       if (finished()) return true;
+      if (deadline >= 0.0) {
+        // Bounded wait with nothing schedulable (e.g. every remaining task
+        // held by a paused study): advance to the horizon and hand back.
+        now_ = std::max(now_, deadline);
+        return false;
+      }
       throw std::runtime_error("SimBackend: no pending events but target not finished");
     }
 
@@ -167,6 +173,15 @@ void SimBackend::run_until_any(std::span<const TaskId> targets) {
 
 bool SimBackend::run_for(double seconds) {
   return drive([this] { return engine_.quiescent(); }, now_ + seconds);
+}
+
+bool SimBackend::run_until_any_for(std::span<const TaskId> targets, double seconds) {
+  auto any_done = [this, targets] {
+    return std::any_of(targets.begin(), targets.end(),
+                       [this](TaskId t) { return engine_.task_terminal(t); });
+  };
+  drive(any_done, now_ + seconds);
+  return any_done();
 }
 
 void SimBackend::run_until_condition(const std::function<bool()>& finished) {

@@ -34,6 +34,8 @@ class SimBackend : public Backend {
   void run_until(TaskId target) override CHPO_REQUIRES(g_engine_ctx);
   void run_until_any(std::span<const TaskId> targets) override CHPO_REQUIRES(g_engine_ctx);
   bool run_for(double seconds) override CHPO_REQUIRES(g_engine_ctx);
+  bool run_until_any_for(std::span<const TaskId> targets, double seconds) override
+      CHPO_REQUIRES(g_engine_ctx);
   void run_until_condition(const std::function<bool()>& finished) override
       CHPO_REQUIRES(g_engine_ctx);
   bool simulated() const override { return true; }

@@ -82,6 +82,13 @@ class StudySession {
   }
   Future wait_any(std::span<const Future> futures) { return runtime_->wait_any(futures); }
   Future wait_any(const std::vector<Future>& futures) { return runtime_->wait_any(futures); }
+  /// Bounded wait: empty Future (producer == kNoTask) on timeout.
+  Future wait_any_for(const std::vector<Future>& futures, double seconds) {
+    return runtime_->wait_any_for(futures, seconds);
+  }
+
+  /// Per-state task counts of this study (service status snapshots).
+  StudyProgress progress() const { return runtime_->study_progress(id_); }
 
   bool cancel(const Future& future) { return runtime_->cancel(future); }
 

@@ -167,6 +167,15 @@ bool ThreadBackend::run_for(double seconds) {
   return drive([this] { return engine_.quiescent(); }, now() + seconds);
 }
 
+bool ThreadBackend::run_until_any_for(std::span<const TaskId> targets, double seconds) {
+  auto any_done = [this, targets] {
+    return std::any_of(targets.begin(), targets.end(),
+                       [this](TaskId t) { return engine_.task_terminal(t); });
+  };
+  drive(any_done, now() + seconds);
+  return any_done();
+}
+
 void ThreadBackend::run_until_condition(const std::function<bool()>& finished) {
   drive(finished, /*deadline=*/-1.0);
 }

@@ -50,6 +50,21 @@ std::size_t StudyManager::active_count() const {
   return n;
 }
 
+void StudyManager::emit(StudyEvent::Kind kind, rt::StudyId id, const Record& record,
+                        const hpo::Trial* trial) {
+  if (!tap_) return;
+  StudyEvent event;
+  event.kind = kind;
+  event.study = id;
+  event.state = record.state;
+  event.trial = trial;
+  if (record.state == StudyState::Running || record.state == StudyState::Paused)
+    event.trials_done = record.pump ? record.pump->trials_done() : 0;
+  else
+    event.trials_done = record.outcome.trials.size();
+  tap_(event);
+}
+
 void StudyManager::start(Record& record) {
   const StudySpec& spec = record.spec;
   if (spec.algorithm == "halving") {
@@ -70,10 +85,20 @@ void StudyManager::start(Record& record) {
         std::make_unique<hpo::StudyRun>(record.session, dataset_, spec.driver, *record.algorithm);
   }
   record.state = StudyState::Running;
+  if (record.start_paused) {
+    // pause() landed while Queued: admit with refills held and the ready
+    // queue paused, so no trial dispatches until resume().
+    record.pump->set_refill_paused(true);
+    record.session.pause();
+    record.state = StudyState::Paused;
+  }
   record.pump->start();
-  log_info("service", "study {} '{}' admitted ({}, {} in flight)", record.session.id(),
-           record.session.name(), spec.algorithm, record.pump->inflight().size());
-  if (!record.pump->active()) finish(record);  // e.g. fully replayed from checkpoint
+  log_info("service", "study {} '{}' admitted ({}, {} in flight{})", record.session.id(),
+           record.session.name(), spec.algorithm, record.pump->inflight().size(),
+           record.start_paused ? ", paused" : "");
+  emit(StudyEvent::Kind::Admitted, record.session.id(), record);
+  if (record.state == StudyState::Running && !record.pump->active())
+    finish(record);  // e.g. fully replayed from checkpoint
 }
 
 void StudyManager::finish(Record& record) {
@@ -82,9 +107,11 @@ void StudyManager::finish(Record& record) {
   log_info("service", "study {} '{}' finished: {} trials, best {:.3f}", record.session.id(),
            record.session.name(), record.outcome.trials.size(),
            record.outcome.best() ? record.outcome.best()->result.final_val_accuracy : 0.0);
+  emit(StudyEvent::Kind::StateChanged, record.session.id(), record);
 }
 
 void StudyManager::admit() {
+  if (admission_paused_) return;
   for (const rt::StudyId id : order_) {
     if (options_.max_active > 0 && active_count() >= options_.max_active) break;
     Record& record = records_.at(id);
@@ -92,18 +119,40 @@ void StudyManager::admit() {
   }
 }
 
-bool StudyManager::step() {
-  admit();
-
-  // One wait_any across every in-flight trial of every non-paused study.
-  // Paused studies still get their in-flight completions consumed — an
-  // attempt that was already running when the pause landed finishes and
-  // commits (pause holds the *ready* queue, it never aborts work).
+std::vector<rt::Future> StudyManager::collect_inflight() const {
+  // Every in-flight trial of every active study. Paused studies still get
+  // their in-flight completions consumed — an attempt that was already
+  // running when the pause landed finishes and commits (pause holds the
+  // *ready* queue, it never aborts work).
   std::vector<rt::Future> futures;
   for (const auto& [_, record] : records_)
     if (record.state == StudyState::Running || record.state == StudyState::Paused)
       for (const rt::Future& f : record.pump->inflight()) futures.push_back(f);
+  return futures;
+}
 
+void StudyManager::route(const rt::Future& finished) {
+  // Route by the study tag the task carried through the engine.
+  const rt::StudyId owner = runtime_.graph().task(finished.producer).study;
+  const auto it = records_.find(owner);
+  if (it == records_.end() || !it->second.pump || !it->second.pump->owns(finished)) {
+    // A completion surfaced for a study that does not recognise it: a
+    // cross-study leak. Count it (CI asserts zero) and drop it.
+    ++leaked_;
+    log_warn("service", "leaked completion: task {} tagged study {}", finished.producer, owner);
+    return;
+  }
+  Record& record = it->second;
+  record.pump->on_trial_complete(finished);
+  ++routed_;
+  emit(StudyEvent::Kind::TrialComplete, owner, record, record.pump->last_trial());
+  if (record.state == StudyState::Running && !record.pump->active()) finish(record);
+}
+
+bool StudyManager::step() {
+  admit();
+
+  const std::vector<rt::Future> futures = collect_inflight();
   if (futures.empty()) {
     // Nothing in flight anywhere. Running studies with no futures are
     // drained state machines that never went inactive — a pump bug.
@@ -115,21 +164,33 @@ bool StudyManager::step() {
     return queued;  // paused-only fleets park here; resume() + step() continues
   }
 
-  const rt::Future finished = runtime_.wait_any(futures);
-  // Route by the study tag the task carried through the engine.
-  const rt::StudyId owner = runtime_.graph().task(finished.producer).study;
-  const auto it = records_.find(owner);
-  if (it == records_.end() || !it->second.pump || !it->second.pump->owns(finished)) {
-    // A completion surfaced for a study that does not recognise it: a
-    // cross-study leak. Count it (CI asserts zero) and drop it.
-    ++leaked_;
-    log_warn("service", "leaked completion: task {} tagged study {}", finished.producer, owner);
-    return true;
-  }
-  Record& record = it->second;
-  record.pump->on_trial_complete(finished);
-  if (record.state == StudyState::Running && !record.pump->active()) finish(record);
+  route(runtime_.wait_any(futures));
   return true;
+}
+
+StudyManager::StepOutcome StudyManager::step_for(double seconds) {
+  admit();
+
+  const std::vector<rt::Future> futures = collect_inflight();
+  if (futures.empty()) {
+    bool progressed = false;
+    for (auto& [_, record] : records_)
+      if (record.state == StudyState::Running && !record.pump->active()) {
+        finish(record);
+        progressed = true;
+      }
+    if (progressed) return StepOutcome::Progress;
+    for (const auto& [_, record] : records_)
+      if (record.state == StudyState::Queued || record.state == StudyState::Running ||
+          record.state == StudyState::Paused)
+        return StepOutcome::Idle;  // parked: paused fleet, or admission gated
+    return StepOutcome::Drained;
+  }
+
+  const rt::Future finished = runtime_.wait_any_for(futures, seconds);
+  if (finished.producer == rt::kNoTask) return StepOutcome::Idle;  // bound expired
+  route(finished);
+  return StepOutcome::Progress;
 }
 
 void StudyManager::run_all() {
@@ -146,18 +207,29 @@ void StudyManager::run_all() {
 
 void StudyManager::pause(rt::StudyId id) {
   Record& record = records_.at(id);
+  if (record.state == StudyState::Queued) {
+    record.start_paused = true;  // admit() starts the study paused
+    return;
+  }
   if (record.state != StudyState::Running) return;
   record.pump->set_refill_paused(true);
   record.session.pause();
   record.state = StudyState::Paused;
+  emit(StudyEvent::Kind::StateChanged, id, record);
 }
 
 void StudyManager::resume(rt::StudyId id) {
   Record& record = records_.at(id);
+  if (record.state == StudyState::Queued) {
+    record.start_paused = false;
+    return;
+  }
   if (record.state != StudyState::Paused) return;
   record.session.resume();
   record.state = StudyState::Running;
+  record.start_paused = false;
   record.pump->set_refill_paused(false);
+  emit(StudyEvent::Kind::StateChanged, id, record);
   if (!record.pump->active()) finish(record);
 }
 
@@ -167,6 +239,7 @@ void StudyManager::kill(rt::StudyId id) {
   if (record.state == StudyState::Paused) record.session.resume();
   if (record.state == StudyState::Queued) {
     record.state = StudyState::Killed;
+    emit(StudyEvent::Kind::StateChanged, id, record);
     return;
   }
   record.pump->abandon();
@@ -178,6 +251,7 @@ void StudyManager::kill(rt::StudyId id) {
   record.state = StudyState::Killed;
   log_info("service", "study {} '{}' killed ({} tasks cancelled, {} trials kept)", id,
            record.session.name(), swept, record.outcome.trials.size());
+  emit(StudyEvent::Kind::StateChanged, id, record);
 }
 
 StudyState StudyManager::state(rt::StudyId id) const { return records_.at(id).state; }
@@ -189,9 +263,37 @@ StudyStatus StudyManager::status(rt::StudyId id) const {
   s.name = record.session.name();
   s.algorithm = record.spec.algorithm;
   s.state = record.state;
-  // Populated by finish(); still 0 while the pump owns the trials.
-  s.trials_done = record.outcome.trials.size();
+  // Live count from the pump while it owns the trials; final count from
+  // the flattened outcome afterwards.
+  if ((record.state == StudyState::Running || record.state == StudyState::Paused) && record.pump)
+    s.trials_done = record.pump->trials_done();
+  else
+    s.trials_done = record.outcome.trials.size();
   return s;
+}
+
+ManagerStats StudyManager::stats() const {
+  ManagerStats stats;
+  stats.total_studies = records_.size();
+  for (const auto& [_, record] : records_) {
+    switch (record.state) {
+      case StudyState::Queued: ++stats.queued; break;
+      case StudyState::Running: ++stats.running; break;
+      case StudyState::Paused: ++stats.paused; break;
+      case StudyState::Finished: ++stats.finished; break;
+      case StudyState::Killed: ++stats.killed; break;
+    }
+    if ((record.state == StudyState::Running || record.state == StudyState::Paused) &&
+        record.pump) {
+      stats.trials_done += record.pump->trials_done();
+      stats.inflight += record.pump->inflight().size();
+    } else {
+      stats.trials_done += record.outcome.trials.size();
+    }
+  }
+  stats.completions_routed = routed_;
+  stats.leaked_completions = leaked_;
+  return stats;
 }
 
 std::vector<rt::StudyId> StudyManager::studies() const { return order_; }

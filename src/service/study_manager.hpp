@@ -22,6 +22,8 @@
 // completed trials from disk before submitting anything.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -74,12 +76,43 @@ struct ManagerOptions {
   std::size_t max_active = 0;
 };
 
-/// Snapshot of one study for reports / chpo_run.
+/// Snapshot of one study for reports / chpo_run / daemon status replies.
 struct StudyStatus {
   rt::StudyId id = rt::kMainStudy;
   std::string name;
   std::string algorithm;
   StudyState state = StudyState::Queued;
+  /// Trials recorded so far: live (pump-side) while Running/Paused, final
+  /// (outcome-side) once Finished/Killed.
+  std::size_t trials_done = 0;
+};
+
+/// Structured lifecycle counters across the whole fleet — the daemon's
+/// `stats` reply and its drain condition (inflight == 0), instead of
+/// callers re-deriving them from per-study getters.
+struct ManagerStats {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t paused = 0;
+  std::size_t finished = 0;
+  std::size_t killed = 0;
+  std::size_t total_studies = 0;
+  std::size_t trials_done = 0;  ///< across all studies, live + final
+  std::size_t inflight = 0;     ///< trial futures currently in flight
+  std::uint64_t completions_routed = 0;
+  std::size_t leaked_completions = 0;
+};
+
+/// One manager lifecycle transition, pushed to the registered event tap as
+/// it happens (same coordinator thread; the tap must not call back into
+/// the manager). `trial` is only set for TrialComplete and is invalidated
+/// when the tap returns — consume, never store.
+struct StudyEvent {
+  enum class Kind { Admitted, TrialComplete, StateChanged };
+  Kind kind = Kind::StateChanged;
+  rt::StudyId study = rt::kMainStudy;
+  StudyState state = StudyState::Queued;
+  const hpo::Trial* trial = nullptr;
   std::size_t trials_done = 0;
 };
 
@@ -103,11 +136,28 @@ class StudyManager {
   /// drive. Paused studies' in-flight completions are still consumed.
   bool step();
 
+  /// What one bounded step accomplished.
+  enum class StepOutcome {
+    Progress,  ///< routed a completion or finished/admitted a study
+    Idle,      ///< nothing landed within the bound, but work remains
+    Drained,   ///< no queued, running, or in-flight work anywhere
+  };
+
+  /// Bounded step: like step(), but give up after `seconds` (wall or
+  /// virtual) if no completion lands. The service daemon interleaves this
+  /// with socket request handling, so a minutes-long trial never blocks
+  /// submit/pause/status requests.
+  StepOutcome step_for(double seconds);
+
   /// Drive until every study is Finished or Killed (paused studies with no
   /// in-flight work park the loop: run_all returns early if only paused
   /// studies remain, so a caller can resume() and run_all() again).
   void run_all();
 
+  /// Pause a study. Running: hold its ready queue + stop pump refills
+  /// (in-flight attempts finish and their completions are consumed while
+  /// paused). Queued: the study is admitted in the paused state — its pump
+  /// starts with refills held, so no trial ever dispatches until resume().
   void pause(rt::StudyId id);
   void resume(rt::StudyId id);
   /// Abandon the pump and cancel every non-terminal task of this study.
@@ -117,6 +167,28 @@ class StudyManager {
   StudyState state(rt::StudyId id) const;
   StudyStatus status(rt::StudyId id) const;
   std::vector<rt::StudyId> studies() const;
+  bool known(rt::StudyId id) const { return records_.count(id) != 0; }
+
+  /// Fleet-wide lifecycle counters (see ManagerStats).
+  ManagerStats stats() const;
+
+  /// Per-state task counts of one study from the engine's graph — the
+  /// daemon `status` reply pairs this with the pump-side trial count.
+  rt::StudyProgress progress(rt::StudyId id) const {
+    return runtime_.study_progress(records_.at(id).session.id());
+  }
+
+  /// Register (or clear, with nullptr) the lifecycle event tap. Fired on
+  /// the coordinator thread from inside submit/step/pause/resume/kill; the
+  /// tap must not call back into the manager.
+  using EventTap = std::function<void(const StudyEvent&)>;
+  void set_event_tap(EventTap tap) { tap_ = std::move(tap); }
+
+  /// Gate admission of queued studies (shutdown draining: stop starting
+  /// new studies while in-flight ones run down; queued specs stay Queued
+  /// for the shutdown manifest).
+  void set_admission_paused(bool paused) { admission_paused_ = paused; }
+  bool admission_paused() const { return admission_paused_; }
 
   /// Final (or partial, if Killed) outcome; throws unless the study is
   /// Finished or Killed.
@@ -142,12 +214,19 @@ class StudyManager {
     std::unique_ptr<hpo::TrialPump> pump;
     StudyState state = StudyState::Queued;
     hpo::HpoOutcome outcome;
+    /// pause() landed while Queued: admit in the paused state.
+    bool start_paused = false;
   };
 
   void admit();
   void start(Record& record);
   void finish(Record& record);
   std::size_t active_count() const;
+  /// Route one wait_any winner to its owning pump (or count a leak).
+  void route(const rt::Future& finished);
+  std::vector<rt::Future> collect_inflight() const;
+  void emit(StudyEvent::Kind kind, rt::StudyId id, const Record& record,
+            const hpo::Trial* trial = nullptr);
 
   ManagerOptions options_;
   const ml::Dataset& dataset_;
@@ -155,6 +234,9 @@ class StudyManager {
   std::map<rt::StudyId, Record> records_;
   std::vector<rt::StudyId> order_;  ///< submission order (admission + reports)
   std::size_t leaked_ = 0;
+  std::uint64_t routed_ = 0;
+  bool admission_paused_ = false;
+  EventTap tap_;
 };
 
 }  // namespace chpo::service

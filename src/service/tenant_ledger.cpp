@@ -1,0 +1,59 @@
+#include "service/tenant_ledger.hpp"
+
+namespace chpo::service {
+
+bool TenantLedger::admit_study(const std::string& tenant) {
+  TenantStats& stats = stats_[tenant];
+  const TenantQuota q = quota(tenant);
+  if (q.max_active_studies > 0 && stats.studies_active >= q.max_active_studies) {
+    ++stats.submits_rejected;
+    return false;
+  }
+  return true;
+}
+
+void TenantLedger::on_submitted(const std::string& tenant) {
+  TenantStats& stats = stats_[tenant];
+  ++stats.studies_submitted;
+  ++stats.studies_active;
+}
+
+void TenantLedger::on_trial(const std::string& tenant, const hpo::Trial* trial) {
+  TenantStats& stats = stats_[tenant];
+  ++stats.trials_completed;
+  if (trial == nullptr) return;
+  if (trial->attempts > 0)
+    stats.task_attempts += static_cast<std::size_t>(trial->attempts);
+  else
+    ++stats.replayed_trials;  // served without ever dispatching a task
+}
+
+void TenantLedger::on_study_closed(const std::string& tenant, const hpo::HpoOutcome& outcome,
+                                   std::size_t trials_already_counted, bool killed) {
+  TenantStats& stats = stats_[tenant];
+  if (stats.studies_active > 0) --stats.studies_active;
+  if (killed)
+    ++stats.studies_killed;
+  else
+    ++stats.studies_finished;
+  stats.engine_seconds += outcome.elapsed_seconds;
+  if (outcome.reuse) stats.cache_hits += outcome.reuse->cache.hits;
+  // Trials that never produced a completion event (checkpoint replays
+  // recorded inline at start) are reconciled here, so the tenant total
+  // always equals the sum of its per-study reports.
+  const std::size_t total = outcome.trials.size();
+  if (total > trials_already_counted) {
+    const std::size_t extra = total - trials_already_counted;
+    stats.trials_completed += extra;
+    stats.replayed_trials += extra;
+  }
+}
+
+std::vector<std::string> TenantLedger::tenants() const {
+  std::vector<std::string> names;
+  names.reserve(stats_.size());
+  for (const auto& [name, _] : stats_) names.push_back(name);
+  return names;
+}
+
+}  // namespace chpo::service

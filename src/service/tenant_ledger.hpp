@@ -1,0 +1,88 @@
+// TenantLedger — per-tenant accounting and quota for the service daemon.
+//
+// Every daemon submission names a tenant; the ledger is the meter that
+// makes N tenants sharing one engine auditable: cumulative trial counts,
+// task attempts, engine seconds and cache hits per tenant, plus the two
+// admission-time policies a service needs (a cap on concurrently active
+// studies per tenant, and a fair-share weight multiplied into each of the
+// tenant's studies). It is plain coordinator-thread state — the engine's
+// single-thread confinement means no lock is needed, exactly like
+// StudyManager itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpo/driver.hpp"
+
+namespace chpo::service {
+
+/// Admission policy for one tenant (defaults: no cap, neutral weight).
+struct TenantQuota {
+  /// Fair-share multiplier applied to every study the tenant submits
+  /// (composes with the per-spec weight at the engine seam).
+  double weight = 1.0;
+  /// Concurrently active (queued/running/paused) studies; 0 = unlimited.
+  std::size_t max_active_studies = 0;
+};
+
+/// Cumulative meter for one tenant. Monotonic except `studies_active`.
+struct TenantStats {
+  std::size_t studies_submitted = 0;
+  std::size_t studies_active = 0;  ///< queued + running + paused right now
+  std::size_t studies_finished = 0;
+  std::size_t studies_killed = 0;
+  std::size_t submits_rejected = 0;  ///< quota denials
+  std::size_t trials_completed = 0;  ///< includes checkpoint replays
+  std::size_t task_attempts = 0;     ///< engine attempts behind those trials
+  std::size_t replayed_trials = 0;   ///< served from checkpoint/cache, no task
+  std::uint64_t cache_hits = 0;      ///< reuse-cache hits (reuse studies only)
+  double engine_seconds = 0.0;       ///< sum of finished studies' elapsed time
+};
+
+class TenantLedger {
+ public:
+  /// True iff `tenant` may start another study under its quota. A denial
+  /// is counted in submits_rejected (callers reject the submission).
+  bool admit_study(const std::string& tenant);
+
+  /// Record a successful submission (after admit_study said yes).
+  void on_submitted(const std::string& tenant);
+
+  /// Fold one completed trial into the meter as it lands (streamed from
+  /// the StudyManager event tap, so `accounting` is live, not post-hoc).
+  void on_trial(const std::string& tenant, const hpo::Trial* trial);
+
+  /// Fold a study's final outcome in when it leaves the fleet
+  /// (Finished or Killed). `trials_already_counted` is how many of the
+  /// outcome's trials were metered live via on_trial — the remainder
+  /// (e.g. checkpoint replays, which produce no completion event) is
+  /// reconciled here so totals always match the per-study report.
+  void on_study_closed(const std::string& tenant, const hpo::HpoOutcome& outcome,
+                       std::size_t trials_already_counted, bool killed);
+
+  void set_quota(const std::string& tenant, TenantQuota quota) {
+    quotas_[tenant] = quota;
+  }
+  TenantQuota quota(const std::string& tenant) const {
+    const auto it = quotas_.find(tenant);
+    return it == quotas_.end() ? TenantQuota{} : it->second;
+  }
+
+  /// Meter for one tenant (zeroes for a tenant never seen).
+  TenantStats stats(const std::string& tenant) const {
+    const auto it = stats_.find(tenant);
+    return it == stats_.end() ? TenantStats{} : it->second;
+  }
+
+  /// Tenants with any recorded activity, in name order.
+  std::vector<std::string> tenants() const;
+
+ private:
+  std::map<std::string, TenantStats> stats_;
+  std::map<std::string, TenantQuota> quotas_;
+};
+
+}  // namespace chpo::service

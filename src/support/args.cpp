@@ -17,6 +17,11 @@ ArgParser& ArgParser::add_option(std::string name, std::string doc, std::string 
   return *this;
 }
 
+ArgParser& ArgParser::add_repeated(std::string name, std::string doc) {
+  specs_[std::move(name)] = Spec{.doc = std::move(doc), .is_repeated = true};
+  return *this;
+}
+
 bool ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
@@ -52,12 +57,21 @@ bool ArgParser::parse(int argc, const char* const* argv) {
       }
       value = argv[++i];
     }
+    if (it->second.is_repeated) {
+      repeated_[token].push_back(value);  // also mirrored into values_: last wins
+    }
     values_[token] = std::move(value);
   }
   return true;
 }
 
 bool ArgParser::has(const std::string& name) const { return values_.contains(name); }
+
+const std::vector<std::string>& ArgParser::get_all(const std::string& name) const {
+  static const std::vector<std::string> kEmpty;
+  const auto it = repeated_.find(name);
+  return it != repeated_.end() ? it->second : kEmpty;
+}
 
 std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
   if (const auto it = values_.find(name); it != values_.end()) return it->second;

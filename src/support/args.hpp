@@ -18,6 +18,8 @@ class ArgParser {
   /// value; everything else consumes one.
   ArgParser& add_flag(std::string name, std::string doc);
   ArgParser& add_option(std::string name, std::string doc, std::string default_value = {});
+  /// Like add_option, but every occurrence is kept (read via get_all).
+  ArgParser& add_repeated(std::string name, std::string doc);
 
   /// Parse argv. Returns false (and sets error()) on unknown options or
   /// missing values.
@@ -28,6 +30,8 @@ class ArgParser {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name) const;
+  /// All values of a repeated option, in command-line order.
+  const std::vector<std::string>& get_all(const std::string& name) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& error() const { return error_; }
@@ -38,9 +42,11 @@ class ArgParser {
     std::string doc;
     std::string default_value;
     bool is_flag = false;
+    bool is_repeated = false;
   };
   std::map<std::string, Spec> specs_;
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> repeated_;
   std::vector<std::string> positional_;
   std::string error_;
 };

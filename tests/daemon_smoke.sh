@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end daemon smoke: one live chpo_serve session exercised purely
+# through chpo_ctl — two tenants, watch streaming, pause/resume over the
+# protocol, per-tenant accounting reconciled against per-study reports,
+# graceful shutdown (manifest + checkpoints), then a restart that resumes
+# the surviving study and drains cleanly. Fails on any leaked completion.
+#
+# Usage: daemon_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+SERVE="$BUILD/tools/chpo_serve"
+CTL="$BUILD/tools/chpo_ctl"
+WORK="$(mktemp -d)"
+SOCK="$WORK/chpo.sock"
+STATE="$WORK/state"
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/space.json" <<'EOF'
+{
+  "learning_rate": [0.01, 0.05, 0.1],
+  "num_epochs": [1, 2],
+  "batch_size": [16, 32]
+}
+EOF
+
+start_daemon() {
+  "$SERVE" --socket "$SOCK" --state-dir "$STATE" --simulate \
+    --train-samples 120 --test-samples 60 --seed 7 >> "$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 100); do
+    "$CTL" ping --socket "$SOCK" --timeout 2 >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon did not come up"; cat "$WORK/serve.log"; exit 1
+}
+
+# value_of <line-grep> <key> <file>: key=value extractor for one output line.
+value_of() {
+  grep "$1" "$3" | head -1 | tr ' ' '\n' | grep "^$2=" | cut -d= -f2
+}
+
+C() { "$CTL" "$@" --socket "$SOCK" --timeout 60; }
+
+echo "=== phase 1: fresh daemon, two tenants ==="
+start_daemon
+
+# Both studies are admitted paused so the watch streams can subscribe
+# before the first trial completes (zero work happens until resume).
+C submit "$WORK/space.json" --tenant alice --set algorithm=random --set budget=4 --paused \
+  | tee "$WORK/submit_alice.out" | grep -q 'state='
+C submit "$WORK/space.json" --tenant bob --set algorithm=tpe --set budget=6 --paused \
+  | tee "$WORK/submit_bob.out"
+ALICE_STUDY="$(value_of 'name=alice-random' study "$WORK/submit_alice.out")"
+BOB_STUDY="$(value_of 'name=bob-tpe' study "$WORK/submit_bob.out")"
+
+# Paused at admission: zero trials until resumed.
+C status --study "$BOB_STUDY" | grep -q 'state=paused'
+C status --study "$BOB_STUDY" | grep -q 'trials_done=0'
+
+C watch --study "$ALICE_STUDY" --until finished > "$WORK/watch_alice.out" &
+ALICE_WATCH=$!
+C watch --study "$BOB_STUDY" --until finished > "$WORK/watch_bob.out" &
+BOB_WATCH=$!
+sleep 0.5  # let both subscriptions land while the studies are still paused
+
+C resume --study "$ALICE_STUDY" | grep -q 'state='
+C resume --study "$BOB_STUDY" | grep -q 'state='
+wait "$ALICE_WATCH"
+wait "$BOB_WATCH"
+grep -q 'event=trial' "$WORK/watch_alice.out" || { echo "no trial events for alice"; exit 1; }
+grep -q 'event=trial' "$WORK/watch_bob.out" || { echo "no trial events for bob"; exit 1; }
+grep -q 'state=finished' "$WORK/watch_bob.out"
+
+# A third study rides into the shutdown queued (admitted paused).
+C submit "$WORK/space.json" --tenant alice --set algorithm=tpe --set budget=5 --paused >/dev/null
+
+echo "=== accounting reconciles against per-study reports ==="
+C list > "$WORK/list.out"
+C accounting > "$WORK/accounting.out"
+cat "$WORK/accounting.out"
+grep -q 'tenant=alice' "$WORK/accounting.out"
+grep -q 'tenant=bob' "$WORK/accounting.out"
+for tenant in alice bob; do
+  reported="$(grep "tenant=$tenant" "$WORK/list.out" \
+    | sed 's/.*trials_done=\([0-9]*\).*/\1/' | awk '{s+=$1} END {print s+0}')"
+  accounted="$(value_of "tenant=$tenant" trials_completed "$WORK/accounting.out")"
+  if [ "$reported" != "$accounted" ]; then
+    echo "tenant $tenant: accounting $accounted != per-study sum $reported"; exit 1
+  fi
+done
+C stats | tee "$WORK/stats.out" | grep -q 'leaked_completions=0'
+grep -q 'lineage_violations=0' "$WORK/stats.out"
+
+echo "=== graceful shutdown writes the manifest ==="
+C shutdown | grep -q 'drained=true'
+wait "$SERVE_PID"; SERVE_PID=""
+test -f "$STATE/manifest.json"
+grep -q 'alice-tpe' "$STATE/manifest.json"
+
+echo "=== phase 2: restart resumes the interrupted study ==="
+start_daemon
+C list > "$WORK/list2.out"
+grep -q 'alice-tpe' "$WORK/list2.out"
+RESUMED="$(value_of 'alice-tpe' study "$WORK/list2.out")"
+C watch --study "$RESUMED" --until finished > "$WORK/watch_resumed.out"
+grep -q 'state=finished' "$WORK/watch_resumed.out"
+C accounting | grep 'tenant=alice' | grep -q 'studies_finished=1'
+C stats | grep -q 'leaked_completions=0'
+C shutdown | grep -q 'drained=true'
+wait "$SERVE_PID"; SERVE_PID=""
+
+grep -q 'drain complete' "$WORK/serve.log"
+echo "daemon smoke OK"

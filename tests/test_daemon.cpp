@@ -1,0 +1,481 @@
+// Daemon protocol tests: the socket-free Server end-to-end (submit / run /
+// accounting reconciliation), protocol edge cases (malformed requests,
+// unknown study ids, double-kill, disconnect mid-watch, shutdown with
+// queued studies) — each of which must leave the StudyManager consistent
+// (zero leaked completions) — plus restart-resume from the shutdown
+// manifest and one raw-socket round trip through SocketDaemon.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "daemon/server.hpp"
+#include "daemon/socket_daemon.hpp"
+#include "jsonlite/wire.hpp"
+#include "ml/cost_model.hpp"
+#include "ml/dataset.hpp"
+
+namespace chpo {
+namespace {
+
+namespace fs = std::filesystem;
+
+daemon::ServerOptions sim_options() {
+  daemon::ServerOptions options;
+  cluster::NodeSpec node;
+  node.name = "n";
+  node.cpus = 4;
+  options.manager.runtime.cluster = cluster::homogeneous(2, node);
+  options.manager.runtime.simulate = true;
+  options.defaults.driver.workload = ml::mnist_paper_model();
+  options.defaults.budget = 4;
+  return options;
+}
+
+json::Value tiny_space() {
+  return json::parse(R"({
+    "optimizer": ["Adam", "SGD"],
+    "num_epochs": [2, 3],
+    "batch_size": [16, 32]
+  })");
+}
+
+json::Value submit_request(const std::string& tenant, const std::string& algorithm,
+                           int budget, std::int64_t id = 1) {
+  json::Value spec;
+  spec.set("space", tiny_space());
+  spec.set("algorithm", json::Value(algorithm));
+  if (budget > 0) spec.set("budget", json::Value(static_cast<std::int64_t>(budget)));
+  json::Value request;
+  request.set("op", json::Value("submit"));
+  request.set("id", json::Value(id));
+  request.set("tenant", json::Value(tenant));
+  request.set("spec", spec);
+  return request;
+}
+
+json::Value op_request(const std::string& op, std::optional<std::int64_t> study = {}) {
+  json::Value request;
+  request.set("op", json::Value(op));
+  request.set("id", json::Value(std::int64_t{1}));
+  if (study) request.set("study", json::Value(*study));
+  return request;
+}
+
+/// The reply (non-event message) in a handle() result, which must be unique.
+json::Value reply_of(const std::vector<daemon::Outbound>& out) {
+  const json::Value* found = nullptr;
+  for (const daemon::Outbound& message : out)
+    if (message.message.find("event") == nullptr) {
+      EXPECT_EQ(found, nullptr) << "two replies in one batch";
+      found = &message.message;
+    }
+  EXPECT_NE(found, nullptr) << "no reply in batch";
+  return found != nullptr ? *found : json::Value();
+}
+
+bool reply_ok(const json::Value& reply) {
+  const json::Value* ok = reply.find("ok");
+  return ok != nullptr && ok->as_bool();
+}
+
+/// Drive the server until it goes idle (or drained); collect every event.
+std::vector<daemon::Outbound> run_to_idle(daemon::Server& server) {
+  std::vector<daemon::Outbound> events;
+  while (server.busy()) {
+    for (daemon::Outbound& message : server.step(1e6)) events.push_back(std::move(message));
+  }
+  return events;
+}
+
+// ---------------------------------------------------------------------------
+// Submit / run / accounting
+// ---------------------------------------------------------------------------
+
+TEST(DaemonServer, SubmitRunsToCompletionAndAccountingMatchesPerStudyReports) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 1);
+  daemon::Server server(sim_options(), dataset);
+
+  const json::Value alice = reply_of(server.handle(1, submit_request("alice", "grid", 0)));
+  const json::Value bob = reply_of(server.handle(2, submit_request("bob", "random", 3)));
+  ASSERT_TRUE(reply_ok(alice));
+  ASSERT_TRUE(reply_ok(bob));
+  EXPECT_EQ(alice.at("name").as_string(), "alice-grid-0");
+  EXPECT_NE(alice.at("study").as_int(), bob.at("study").as_int());
+
+  run_to_idle(server);
+
+  const json::Value list = reply_of(server.handle(1, op_request("list")));
+  ASSERT_TRUE(reply_ok(list));
+  const json::Array& rows = list.at("studies").as_array();
+  ASSERT_EQ(rows.size(), 2u);
+  std::size_t total_trials = 0;
+  for (const json::Value& row : rows) {
+    EXPECT_EQ(row.at("state").as_string(), "finished");
+    EXPECT_GT(row.at("trials_done").as_int(), 0);
+    EXPECT_TRUE(row.contains("best_accuracy"));
+    total_trials += static_cast<std::size_t>(row.at("trials_done").as_int());
+  }
+
+  // Per-tenant totals must reconcile exactly against the per-study reports.
+  const json::Value accounting = reply_of(server.handle(1, op_request("accounting")));
+  ASSERT_TRUE(reply_ok(accounting));
+  std::size_t accounted = 0;
+  for (const json::Value& row : accounting.at("tenants").as_array()) {
+    EXPECT_EQ(row.at("studies_finished").as_int(), 1);
+    EXPECT_EQ(row.at("studies_active").as_int(), 0);
+    EXPECT_GT(row.at("engine_seconds").as_double(), 0.0);
+    accounted += static_cast<std::size_t>(row.at("trials_completed").as_int());
+  }
+  EXPECT_EQ(accounted, total_trials);
+
+  const json::Value stats = reply_of(server.handle(1, op_request("stats")));
+  EXPECT_EQ(stats.at("leaked_completions").as_int(), 0);
+  EXPECT_EQ(stats.at("lineage_violations").as_int(), 0);
+  EXPECT_EQ(stats.at("finished").as_int(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol edge cases — each must leave the manager consistent
+// ---------------------------------------------------------------------------
+
+TEST(DaemonServer, MalformedRequestsGetErrorsAndLeaveTheManagerConsistent) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 2);
+  daemon::Server server(sim_options(), dataset);
+
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, json::Value("not an object")))));
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, json::parse(R"({"op": 42})")))));
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, json::parse(R"({"op":"frobnicate"})")))));
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, json::parse(R"({"op":"submit"})")))));
+
+  const json::Value parse_error = reply_of(server.handle_line_error(1, "unterminated string"));
+  EXPECT_FALSE(reply_ok(parse_error));
+  EXPECT_NE(parse_error.at("error").as_string().find("parse error"), std::string::npos);
+
+  // A submit whose spec fails validation is rejected without a study.
+  json::Value bad = submit_request("alice", "grid", 4);
+  json::Value bad_spec = bad.at("spec");
+  bad_spec.set("mystery_knob", json::Value(7));
+  bad.set("spec", bad_spec);
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, bad))));
+
+  // After all that abuse the server still runs studies cleanly.
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("alice", "random", 3)))));
+  run_to_idle(server);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  EXPECT_EQ(server.manager().stats().finished, 1u);
+}
+
+TEST(DaemonServer, UnknownStudyAndDoubleKillAreErrors) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 3);
+  daemon::Server server(sim_options(), dataset);
+
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, op_request("status", 99)))));
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, op_request("pause", 99)))));
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, op_request("watch", 99)))));
+
+  const json::Value submitted = reply_of(server.handle(1, submit_request("alice", "random", 4)));
+  const std::int64_t id = submitted.at("study").as_int();
+
+  const json::Value killed = reply_of(server.handle(1, op_request("kill", id)));
+  ASSERT_TRUE(reply_ok(killed));
+  EXPECT_EQ(killed.at("state").as_string(), "killed");
+
+  const json::Value again = reply_of(server.handle(1, op_request("kill", id)));
+  EXPECT_FALSE(reply_ok(again));
+  EXPECT_NE(again.at("error").as_string().find("killed"), std::string::npos);
+
+  run_to_idle(server);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  EXPECT_EQ(server.ledger().stats("alice").studies_killed, 1u);
+  EXPECT_EQ(server.ledger().stats("alice").studies_active, 0u);
+}
+
+TEST(DaemonServer, DisconnectMidWatchStopsEventsAndLeaksNothing) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 4);
+  daemon::Server server(sim_options(), dataset);
+
+  const json::Value submitted = reply_of(server.handle(1, submit_request("alice", "random", 6)));
+  const std::int64_t id = submitted.at("study").as_int();
+
+  constexpr daemon::ClientId kWatcher = 7;
+  const auto subscribed = server.handle(kWatcher, op_request("watch", id));
+  ASSERT_TRUE(reply_ok(reply_of(subscribed)));
+  // The immediate snapshot targets only the new subscriber.
+  bool saw_snapshot = false;
+  for (const daemon::Outbound& message : subscribed)
+    if (message.message.find("event") != nullptr) {
+      EXPECT_EQ(message.client, kWatcher);
+      saw_snapshot = true;
+    }
+  EXPECT_TRUE(saw_snapshot);
+
+  // Some progress reaches the watcher, then the connection dies.
+  std::vector<daemon::Outbound> early = server.step(1e6);
+  server.disconnect(kWatcher);
+  const std::vector<daemon::Outbound> late = run_to_idle(server);
+  for (const daemon::Outbound& message : late) EXPECT_NE(message.client, kWatcher);
+
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  EXPECT_EQ(server.manager().stats().finished, 1u);
+  // The study's trials are still accounted even with the watcher gone.
+  EXPECT_EQ(server.ledger().stats("alice").trials_completed, 6u);
+}
+
+TEST(DaemonServer, WatchStreamsEveryTrialThenTheTerminalState) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 5);
+  daemon::Server server(sim_options(), dataset);
+
+  constexpr daemon::ClientId kWatcher = 3;
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(kWatcher, op_request("watch")))));  // watch-all
+  const json::Value submitted = reply_of(server.handle(1, submit_request("bob", "random", 5)));
+  const std::int64_t id = submitted.at("study").as_int();
+
+  std::size_t trial_events = 0;
+  std::string last_state;
+  for (const daemon::Outbound& message : run_to_idle(server)) {
+    ASSERT_EQ(message.client, kWatcher);
+    EXPECT_EQ(message.message.at("study").as_int(), id);
+    const std::string& kind = message.message.at("event").as_string();
+    if (kind == "trial")
+      ++trial_events;
+    else
+      last_state = message.message.at("state").as_string();
+  }
+  EXPECT_EQ(trial_events, 5u);
+  EXPECT_EQ(last_state, "finished");
+
+  // Watch on an already finished study terminates via its snapshot.
+  const auto after = server.handle(9, op_request("watch", id));
+  ASSERT_TRUE(reply_ok(reply_of(after)));
+  bool terminal_snapshot = false;
+  for (const daemon::Outbound& message : after)
+    if (message.message.find("event") != nullptr)
+      terminal_snapshot = message.message.at("state").as_string() == "finished";
+  EXPECT_TRUE(terminal_snapshot);
+}
+
+TEST(DaemonServer, PauseResumeOverTheProtocol) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 6);
+  daemon::Server server(sim_options(), dataset);
+
+  // tpe keeps one suggestion in flight, so pausing actually halts refills.
+  json::Value request = submit_request("alice", "tpe", 6);
+  const json::Value submitted = reply_of(server.handle(1, request));
+  ASSERT_TRUE(reply_ok(submitted));
+  const std::int64_t id = submitted.at("study").as_int();
+
+  server.step(1e6);  // at least one trial lands
+  const json::Value paused = reply_of(server.handle(1, op_request("pause", id)));
+  ASSERT_TRUE(reply_ok(paused));
+  EXPECT_EQ(paused.at("state").as_string(), "paused");
+  // Pausing a paused study is an error, not a silent no-op.
+  EXPECT_FALSE(reply_ok(reply_of(server.handle(1, op_request("pause", id)))));
+
+  // Paused: the in-flight trial drains, then progress stops.
+  for (int i = 0; i < 3; ++i) server.step(1e6);
+  const json::Value status = reply_of(server.handle(1, op_request("status", id)));
+  EXPECT_EQ(status.at("state").as_string(), "paused");
+  const std::int64_t at_pause = status.at("trials_done").as_int();
+  EXPECT_LT(at_pause, 6);
+
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, op_request("resume", id)))));
+  run_to_idle(server);
+  const json::Value final_status = reply_of(server.handle(1, op_request("status", id)));
+  EXPECT_EQ(final_status.at("state").as_string(), "finished");
+  EXPECT_EQ(final_status.at("trials_done").as_int(), 6);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+}
+
+TEST(DaemonServer, TenantQuotaRejectsThenAdmitsAfterRaise) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 7);
+  daemon::ServerOptions options = sim_options();
+  options.default_quota.max_active_studies = 1;
+  daemon::Server server(std::move(options), dataset);
+
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("alice", "random", 4)))));
+  const json::Value rejected = reply_of(server.handle(1, submit_request("alice", "random", 4)));
+  EXPECT_FALSE(reply_ok(rejected));
+  EXPECT_NE(rejected.at("error").as_string().find("quota"), std::string::npos);
+  // An unrelated tenant is not affected by alice's quota.
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("bob", "random", 3)))));
+
+  json::Value raise = op_request("quota");
+  raise.set("tenant", json::Value("alice"));
+  raise.set("max_active_studies", json::Value(std::int64_t{2}));
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, raise))));
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("alice", "random", 3)))));
+
+  run_to_idle(server);
+  EXPECT_EQ(server.ledger().stats("alice").submits_rejected, 1u);
+  EXPECT_EQ(server.ledger().stats("alice").studies_finished, 2u);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown drain + restart resume
+// ---------------------------------------------------------------------------
+
+TEST(DaemonServer, ShutdownWithQueuedStudiesWritesManifestAndRestartResumes) {
+  const fs::path state_dir =
+      fs::temp_directory_path() / ("chpo_daemon_test_" + std::to_string(::getpid()));
+  fs::remove_all(state_dir);
+  fs::create_directories(state_dir);
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 8);
+
+  daemon::ServerOptions options = sim_options();
+  options.state_dir = state_dir.string();
+  {
+    daemon::Server server(std::move(options), dataset);
+    ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("alice", "random", 4)))));
+    ASSERT_TRUE(reply_ok(reply_of(server.handle(2, submit_request("bob", "tpe", 5)))));
+    server.step(1e6);  // some trials land, checkpoints appear
+
+    // Shutdown while work is still queued: the reply arrives from step()
+    // only after the drain, and submissions are refused meanwhile.
+    EXPECT_TRUE(server.handle(1, op_request("shutdown")).empty());
+    EXPECT_TRUE(server.draining());
+    EXPECT_FALSE(reply_ok(reply_of(server.handle(2, submit_request("eve", "grid", 0)))));
+
+    bool drained_reply = false;
+    while (!server.done()) {
+      for (const daemon::Outbound& message : server.step(1e6)) {
+        if (message.message.find("drained") != nullptr) {
+          EXPECT_EQ(message.client, 1u);
+          EXPECT_TRUE(reply_ok(message.message));
+          EXPECT_EQ(message.message.at("persisted_studies").as_int(), 2);
+          drained_reply = true;
+        }
+      }
+    }
+    EXPECT_TRUE(drained_reply);
+    EXPECT_EQ(server.manager().leaked_completions(), 0u);
+    EXPECT_TRUE(fs::exists(state_dir / "manifest.json"));
+  }
+
+  // Restart: the manifest resubmits both studies; their checkpoints replay
+  // completed trials, and the tenant ledger reconciles replayed + fresh.
+  daemon::ServerOptions resumed_options = sim_options();
+  resumed_options.state_dir = state_dir.string();
+  daemon::Server resumed(std::move(resumed_options), dataset);
+
+  const json::Value list = reply_of(resumed.handle(1, op_request("list")));
+  ASSERT_EQ(list.at("studies").as_array().size(), 2u);
+  run_to_idle(resumed);
+
+  const json::Value accounting = reply_of(resumed.handle(1, op_request("accounting")));
+  std::size_t reconciled = 0;
+  for (const json::Value& row : accounting.at("tenants").as_array()) {
+    EXPECT_EQ(row.at("studies_finished").as_int(), 1);
+    reconciled += static_cast<std::size_t>(row.at("trials_completed").as_int());
+  }
+  EXPECT_EQ(reconciled, 9u);  // 4 random + 5 tpe, replayed or fresh
+  EXPECT_EQ(resumed.manager().leaked_completions(), 0u);
+  for (const rt::StudyId id : resumed.manager().studies())
+    EXPECT_EQ(resumed.manager().state(id), service::StudyState::Finished);
+
+  fs::remove_all(state_dir);
+}
+
+// ---------------------------------------------------------------------------
+// SocketDaemon end-to-end over a real Unix socket
+// ---------------------------------------------------------------------------
+
+/// Minimal blocking NDJSON client for the e2e test.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    // The daemon binds asynchronously; retry briefly.
+    for (int i = 0; i < 200; ++i) {
+      if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "could not connect to " << path;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const json::Value& request) {
+    const std::string bytes = json::encode_frame(request);
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  json::Value next() {
+    while (true) {
+      if (std::optional<json::Frame> frame = decoder_.next()) {
+        EXPECT_TRUE(frame->ok()) << frame->error;
+        return std::move(frame->value);
+      }
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        ADD_FAILURE() << "daemon closed the connection early";
+        return json::Value();
+      }
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  json::LineDecoder decoder_;
+};
+
+TEST(SocketDaemon, EndToEndSubmitWatchShutdownOverAUnixSocket) {
+  const std::string socket_path =
+      (fs::temp_directory_path() / ("chpo_daemon_e2e_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 9);
+  daemon::Server server(sim_options(), dataset);
+  daemon::SocketDaemon front_end({.socket_path = socket_path, .step_seconds = 1e5}, server);
+  std::thread daemon_thread([&] { EXPECT_EQ(front_end.run(), 0); });
+
+  {
+    RawClient client(socket_path);
+    client.send(op_request("ping"));
+    EXPECT_TRUE(reply_ok(client.next()));
+
+    // Subscribe before submitting so no early trial event is missed (the
+    // coordinator handles the two requests in order).
+    client.send(op_request("watch"));
+    client.send(submit_request("alice", "random", 3));
+    std::size_t trials = 0;
+    while (true) {
+      const json::Value message = client.next();
+      const json::Value* event = message.find("event");
+      if (event == nullptr) continue;  // the watch ack
+      if (event->as_string() == "trial") ++trials;
+      if (event->as_string() == "state" && message.at("state").as_string() == "finished") break;
+    }
+    EXPECT_EQ(trials, 3u);
+
+    // A second client shuts the daemon down and gets the drained reply.
+    RawClient controller(socket_path);
+    controller.send(op_request("shutdown"));
+    const json::Value drained = controller.next();
+    EXPECT_TRUE(reply_ok(drained));
+    EXPECT_TRUE(drained.at("drained").as_bool());
+  }
+
+  daemon_thread.join();
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  EXPECT_FALSE(fs::exists(socket_path));  // unlinked on clean exit
+}
+
+}  // namespace
+}  // namespace chpo

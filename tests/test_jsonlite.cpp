@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "jsonlite/json.hpp"
+#include "jsonlite/wire.hpp"
 
 namespace chpo::json {
 namespace {
@@ -153,6 +154,67 @@ TEST(JsonValue, TypeMismatchThrows) {
 
 TEST(JsonFile, MissingFileThrows) {
   EXPECT_THROW(parse_file("/nonexistent/definitely_missing.json"), JsonError);
+}
+
+TEST(Wire, EncodeFrameAppendsNewline) {
+  Value v;
+  v.set("op", Value("ping"));
+  const std::string frame = encode_frame(v);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame.back(), '\n');
+  EXPECT_EQ(frame.find('\n'), frame.size() - 1);  // exactly one newline
+  EXPECT_EQ(parse(frame), v);                     // parse ignores trailing ws
+}
+
+TEST(Wire, DecoderReassemblesSplitChunks) {
+  LineDecoder dec;
+  dec.feed(R"({"op":"sub)");
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed("mit\"}\n{\"op\":\"list\"}\n");
+  auto a = dec.next();
+  ASSERT_TRUE(a.has_value() && a->ok());
+  EXPECT_EQ(a->value.at("op").as_string(), "submit");
+  auto b = dec.next();
+  ASSERT_TRUE(b.has_value() && b->ok());
+  EXPECT_EQ(b->value.at("op").as_string(), "list");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Wire, DecoderRecoversAfterMalformedLine) {
+  LineDecoder dec;
+  dec.feed("{not json\n{\"op\":\"ping\"}\n");
+  auto bad = dec.next();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(bad->ok());
+  EXPECT_FALSE(bad->error.empty());
+  EXPECT_EQ(bad->raw, "{not json");
+  auto good = dec.next();
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(good->ok());
+  EXPECT_EQ(good->value.at("op").as_string(), "ping");
+}
+
+TEST(Wire, DecoderSkipsBlankLinesAndCrlf) {
+  LineDecoder dec;
+  dec.feed("\n  \t\n{\"n\":1}\r\n");
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value() && f->ok());
+  EXPECT_EQ(f->value.at("n").as_int(), 1);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(Wire, RoundTripThroughDecoder) {
+  Value v;
+  v.set("op", Value("submit"));
+  v.set("budget", Value(8));
+  v.set("weight", Value(2.5));
+  LineDecoder dec;
+  const std::string frame = encode_frame(v);
+  for (char c : frame) dec.feed(std::string_view(&c, 1));  // worst-case framing
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value() && f->ok());
+  EXPECT_EQ(f->value, v);
 }
 
 }  // namespace

@@ -223,6 +223,71 @@ TEST(HotPathStdFunction, AllowsColdMethodsAndOtherFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// registry-lock-blocking-call
+// ---------------------------------------------------------------------------
+
+TEST(RegistryLockBlockingCall, FlagsManagerCallsUnderConnectionLock) {
+  // The synthetic violation: draining the command queue AND dispatching
+  // into the server inside the same MutexLock scope, so a slow engine step
+  // holds the queue lock against the I/O thread.
+  const auto findings = lint_files({{"src/daemon/socket_daemon.cpp",
+                                     "void SocketDaemon::run() {\n"
+                                     "  {\n"
+                                     "    MutexLock lock(queue_mutex_);\n"
+                                     "    for (Command& cmd : commands_) {\n"
+                                     "      server_.handle(cmd.client, cmd.frame);\n"
+                                     "    }\n"
+                                     "    server_.step(0.05);\n"
+                                     "    manager_->step_for(0.05);\n"
+                                     "  }\n"
+                                     "  server_.step(0.05);\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "registry-lock-blocking-call");
+  ASSERT_EQ(hits.size(), 3u);  // handle + step under the lock; step_for too
+  EXPECT_EQ(hits[0].line, 5);
+  EXPECT_EQ(hits[1].line, 7);
+  EXPECT_EQ(hits[2].line, 8);  // the post-unlock step() on line 10 is fine
+}
+
+TEST(RegistryLockBlockingCall, AllowsDataMovesCondVarWaitsAndOtherLayers) {
+  const auto findings = lint_files(
+      {{"src/daemon/socket_daemon.cpp",
+        // The sanctioned shape: lock to move data (plus a CondVar wait,
+        // which releases the mutex while blocked), unlock, then act.
+        "void SocketDaemon::run() {\n"
+        "  std::vector<Command> batch;\n"
+        "  {\n"
+        "    MutexLock lock(queue_mutex_);\n"
+        "    if (commands_.empty()) queue_cv_.wait_for(queue_mutex_, kIdle);\n"
+        "    while (!commands_.empty()) {\n"
+        "      batch.push_back(std::move(commands_.front()));\n"
+        "      commands_.pop_front();\n"
+        "    }\n"
+        "  }\n"
+        "  for (Command& cmd : batch) server_.handle(cmd.client, cmd.frame);\n"
+        "  if (server_.busy()) server_.step(0.05);\n"
+        "}\n"},
+       // Same text outside src/daemon/ is out of the rule's scope.
+       {"src/service/study_manager.cpp",
+        "void f() {\n  MutexLock lock(m_);\n  manager_.step_for(0.1);\n}\n"}});
+  EXPECT_TRUE(of_rule(findings, "registry-lock-blocking-call").empty());
+}
+
+TEST(RegistryLockBlockingCall, GuardSurvivesNestedBlocks) {
+  const auto findings = lint_files({{"src/daemon/server_loop.cpp",
+                                     "void loop() {\n"
+                                     "  MutexLock lock(conn_registry_mutex_);\n"
+                                     "  if (ready) {\n"
+                                     "    flush();\n"
+                                     "  }\n"
+                                     "  server_.run_all();\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "registry-lock-blocking-call");
+  ASSERT_EQ(hits.size(), 1u);  // still under the lock after the nested block
+  EXPECT_EQ(hits[0].line, 6);
+}
+
+// ---------------------------------------------------------------------------
 // trace-kind-coverage
 // ---------------------------------------------------------------------------
 

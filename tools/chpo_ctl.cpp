@@ -1,0 +1,240 @@
+// chpo_ctl — command-line client for the chpo_serve daemon.
+//
+//   chpo_ctl submit space.json --tenant alice --set algorithm=tpe
+//   chpo_ctl list | status --study 3 | pause | resume | kill
+//   chpo_ctl watch --study 3 --until finished
+//   chpo_ctl accounting | stats | quota --tenant alice --weight 2
+//   chpo_ctl ping | shutdown
+//
+// Speaks the NDJSON protocol (src/daemon/protocol.hpp) over the daemon's
+// Unix socket and prints replies as flat `key=value` lines, one object per
+// line, so shell scripts can grep them. Exit status: 0 on an ok reply,
+// 1 on an error reply or transport failure.
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "jsonlite/json.hpp"
+#include "jsonlite/wire.hpp"
+#include "support/args.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace chpo;
+
+/// Blocking NDJSON client over a Unix socket.
+class Client {
+ public:
+  Client(const std::string& path, double timeout_seconds) : timeout_seconds_(timeout_seconds) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket() failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+      throw std::runtime_error("socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+      throw std::runtime_error("cannot connect to " + path + ": " + std::strerror(errno));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send(const json::Value& request) {
+    const std::string bytes = json::encode_frame(request);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) throw std::runtime_error("send failed: daemon gone?");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next decoded message; throws on timeout or daemon-side close.
+  json::Value next() {
+    while (true) {
+      if (std::optional<json::Frame> frame = decoder_.next()) {
+        if (!frame->ok()) throw std::runtime_error("bad frame from daemon: " + frame->error);
+        return std::move(frame->value);
+      }
+      pollfd p{fd_, POLLIN, 0};
+      const int rc = ::poll(&p, 1, static_cast<int>(timeout_seconds_ * 1000.0));
+      if (rc == 0) throw std::runtime_error("timed out waiting for the daemon");
+      if (rc < 0 && errno != EINTR) throw std::runtime_error("poll failed");
+      char buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) throw std::runtime_error("daemon closed the connection");
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("read failed");
+      }
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  double timeout_seconds_;
+  json::LineDecoder decoder_;
+};
+
+std::string scalar(const json::Value& v) {
+  if (v.is_string()) return v.as_string();
+  return json::serialize(v);  // numbers/bools/null serialize as they print
+}
+
+/// One object as a flat greppable line: `key=value key2=value2`; nested
+/// objects flatten as `outer_inner=value`, the id/ok envelope is skipped.
+void print_flat(const json::Value& object, const std::string& prefix = "") {
+  for (const auto& [key, value] : object.as_object()) {
+    if (prefix.empty() && (key == "id" || key == "ok")) continue;
+    if (value.is_object()) {
+      print_flat(value, prefix + key + "_");
+    } else if (!value.is_array()) {
+      std::printf("%s%s=%s ", prefix.c_str(), key.c_str(), scalar(value).c_str());
+    }
+  }
+  if (prefix.empty()) std::printf("\n");
+}
+
+int fail(const json::Value& reply) {
+  const json::Value* error = reply.find("error");
+  std::fprintf(stderr, "chpo_ctl: %s\n",
+               error != nullptr && error->is_string() ? error->as_string().c_str()
+                                                      : "request failed");
+  return 1;
+}
+
+bool is_event(const json::Value& message) { return message.find("event") != nullptr; }
+
+/// Wait for the reply to our single request, printing any interleaved
+/// watch events (there are none unless we subscribed).
+json::Value await_reply(Client& client) {
+  while (true) {
+    json::Value message = client.next();
+    if (!is_event(message)) return message;
+    print_flat(message);
+  }
+}
+
+int run(const ArgParser& args) {
+  const std::string command = args.positional().front();
+  Client client(args.get("socket", "/tmp/chpo.sock"), args.get_double("timeout", 120.0));
+
+  json::Value request;
+  request.set("op", json::Value(command == "watch" ? "watch" : command));
+  request.set("id", json::Value(std::int64_t{1}));
+  if (args.has("tenant")) request.set("tenant", json::Value(args.get("tenant")));
+  if (args.has("study"))
+    request.set("study", json::Value(static_cast<std::int64_t>(args.get_int("study", 0))));
+
+  if (command == "submit") {
+    if (args.positional().size() < 2)
+      throw std::invalid_argument("submit needs a search-space JSON file");
+    // The positional file is the search space; --set key=value overrides
+    // land beside it in the spec (numbers stay numbers).
+    json::Value spec;
+    spec.set("space", json::parse_file(args.positional()[1]));
+    for (const std::string& assignment : args.get_all("set")) {
+      const auto eq = assignment.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument("--set expects key=value, got '" + assignment + "'");
+      const std::string key = assignment.substr(0, eq);
+      const std::string value = assignment.substr(eq + 1);
+      try {
+        spec.set(key, json::parse(value));  // number / bool / quoted string
+      } catch (const json::JsonError&) {
+        spec.set(key, json::Value(value));  // bare word: treat as string
+      }
+    }
+    if (args.get_bool("paused")) spec.set("paused", json::Value(true));
+    request.set("spec", spec);
+  } else if (command == "quota") {
+    if (args.has("weight")) request.set("weight", json::Value(args.get_double("weight", 1.0)));
+    if (args.has("max-active"))
+      request.set("max_active_studies",
+                  json::Value(static_cast<std::int64_t>(args.get_int("max-active", 0))));
+  }
+
+  client.send(request);
+
+  if (command == "watch") {
+    const std::string until = args.get("until");
+    const bool filtered = args.has("study");
+    const auto target = static_cast<std::int64_t>(args.get_int("study", 0));
+    while (true) {
+      const json::Value message = client.next();
+      if (!is_event(message)) {
+        if (const json::Value* ok = message.find("ok"); ok != nullptr && !ok->as_bool())
+          return fail(message);
+        continue;  // the subscription ack
+      }
+      print_flat(message);
+      if (message.at("event").as_string() != "state") continue;
+      if (filtered && message.at("study").as_int() != target) continue;
+      const std::string& state = message.at("state").as_string();
+      if (until.empty() ? (state == "finished" || state == "killed") : state == until) return 0;
+    }
+  }
+
+  const json::Value reply = await_reply(client);
+  if (const json::Value* ok = reply.find("ok"); ok == nullptr || !ok->as_bool())
+    return fail(reply);
+
+  // Array-of-objects payloads (list, accounting) print one row per line.
+  bool printed_rows = false;
+  for (const auto& [key, value] : reply.as_object()) {
+    if (!value.is_array()) continue;
+    for (const json::Value& row : value.as_array())
+      if (row.is_object()) {
+        print_flat(row);
+        printed_rows = true;
+      }
+  }
+  if (!printed_rows) print_flat(reply);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_option("socket", "daemon Unix socket path", "/tmp/chpo.sock")
+      .add_option("tenant", "tenant to act as (submit/quota)", "")
+      .add_option("study", "study id (status/pause/resume/kill/watch)", "")
+      .add_repeated("set", "submit: spec override key=value (repeatable)")
+      .add_option("until", "watch: exit when the study reaches this state", "")
+      .add_option("weight", "quota: fair-share weight for the tenant", "")
+      .add_option("max-active", "quota: max concurrently active studies", "")
+      .add_option("timeout", "seconds to wait for the daemon", "120")
+      .add_flag("paused", "submit: admit the study paused (resume it later)")
+      .add_flag("help", "show this help");
+
+  const bool parsed = args.parse(argc, argv);
+  if (!parsed || args.get_bool("help") || args.positional().empty()) {
+    if (!args.error().empty()) std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    std::fprintf(
+        stderr, "%s",
+        args.usage("chpo_ctl <command> [space.json]",
+                   "Talk to a running chpo_serve daemon. Commands: ping, submit, list,\n"
+                   "status, pause, resume, kill, watch, accounting, stats, quota, shutdown.")
+            .c_str());
+    return args.get_bool("help") ? 0 : 2;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chpo_ctl: %s\n", e.what());
+    return 1;
+  }
+}

@@ -23,8 +23,10 @@
 #include "hpo/tpe.hpp"
 #include "ml/cost_model.hpp"
 #include "ml/dataset.hpp"
+#include "jsonlite/json.hpp"
 #include "runtime/runtime.hpp"
 #include "service/study_manager.hpp"
+#include "service/study_spec.hpp"
 #include "support/args.hpp"
 #include "support/strings.hpp"
 #include "trace/gantt.hpp"
@@ -67,11 +69,14 @@ cluster::ClusterSpec make_cluster(const std::string& machine, std::size_t nodes,
 /// Runtime through service::StudyManager, then print a per-study report
 /// and assert isolation (no cross-study completion leaks, no lineage
 /// violations). The multi-study CI smoke greps the summary lines.
-int run_multi(const ArgParser& args, const hpo::SearchSpace& space, const ml::Dataset& dataset,
+///
+/// Specs are built as JSON and parsed through service::study_spec_from_json
+/// — the exact code path a daemon `submit` request takes, so CLI runs and
+/// remote submissions cannot drift apart.
+int run_multi(const ArgParser& args, const json::Value& space_json, const ml::Dataset& dataset,
               rt::RuntimeOptions runtime_options, const hpo::DriverOptions& driver_options,
               std::size_t studies) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const auto budget = static_cast<std::size_t>(args.get_int("budget", 16));
   const std::vector<std::string> algorithms =
       split(args.get("algorithms", args.get("algorithm", "grid")), ',');
 
@@ -80,24 +85,24 @@ int run_multi(const ArgParser& args, const hpo::SearchSpace& space, const ml::Da
   manager_options.max_active = static_cast<std::size_t>(args.get_int("max-active", 0));
   service::StudyManager manager(std::move(manager_options), dataset);
 
+  service::StudySpecDefaults defaults;
+  defaults.driver = driver_options;
+  defaults.budget = static_cast<std::size_t>(args.get_int("budget", 16));
+
   std::vector<rt::StudyId> ids;
   for (std::size_t i = 0; i < studies; ++i) {
-    service::StudySpec spec;
-    spec.algorithm = algorithms[i % algorithms.size()];
-    spec.name = spec.algorithm + "-" + std::to_string(i);
-    spec.space = space;
-    spec.budget = budget;
-    spec.driver = driver_options;
+    const std::string& algorithm = algorithms[i % algorithms.size()];
+    json::Value spec_json;
+    spec_json.set("algorithm", json::Value(algorithm));
+    spec_json.set("name", json::Value(algorithm + "-" + std::to_string(i)));
+    spec_json.set("space", space_json);
     // Distinct trial seeds per study; one shared checkpoint file would
     // cross-replay between studies, so suffix it per study.
-    spec.driver.seed = seed + i * 1000003ULL;
+    spec_json.set("seed", json::Value(static_cast<std::int64_t>(seed + i * 1000003ULL)));
     if (!driver_options.checkpoint_path.empty())
-      spec.driver.checkpoint_path =
-          driver_options.checkpoint_path + ".study" + std::to_string(i);
-    spec.halving.initial_configs = budget;
-    spec.halving.driver = spec.driver;
-    spec.hyperband.driver = spec.driver;
-    ids.push_back(manager.submit(std::move(spec)));
+      spec_json.set("checkpoint", json::Value(driver_options.checkpoint_path + ".study" +
+                                              std::to_string(i)));
+    ids.push_back(manager.submit(service::study_spec_from_json(spec_json, defaults)));
   }
   manager.run_all();
 
@@ -138,7 +143,8 @@ int run_multi(const ArgParser& args, const hpo::SearchSpace& space, const ml::Da
 
 int run(const ArgParser& args) {
   const std::string space_path = args.positional().front();
-  const hpo::SearchSpace space = hpo::SearchSpace::from_file(space_path);
+  const json::Value space_json = json::parse_file(space_path);
+  const hpo::SearchSpace space = hpo::SearchSpace::from_json(space_json);
 
   // Dataset: generated before the Runtime so it outlives draining tasks.
   const std::string dataset_name = args.get("dataset", "mnist");
@@ -205,7 +211,8 @@ int run(const ArgParser& args) {
 
   const auto studies = static_cast<std::size_t>(args.get_int("studies", 1));
   if (studies > 1)
-    return run_multi(args, space, dataset, std::move(runtime_options), driver_options, studies);
+    return run_multi(args, space_json, dataset, std::move(runtime_options), driver_options,
+                     studies);
 
   rt::Runtime runtime(std::move(runtime_options));
   const std::string algorithm_name = args.get("algorithm", "grid");

@@ -1,0 +1,145 @@
+// chpo_serve — the HPO service daemon.
+//
+// Owns ONE Runtime (and its StudyManager) for the host and serves the
+// NDJSON protocol (src/daemon/protocol.hpp) over a Unix domain socket:
+//
+//   chpo_serve --socket /tmp/chpo.sock --state-dir /var/lib/chpo
+//              [--simulate] [--machine mn4 --nodes 4] [--max-active 2]
+//
+// Clients (chpo_ctl, or anything that can write JSON lines to a socket)
+// submit studies for named tenants, stream progress, pause/resume/kill,
+// and read per-tenant accounting. `chpo_ctl shutdown` checkpoints every
+// study and writes a manifest; restarting chpo_serve with the same
+// --state-dir resumes the interrupted studies from their checkpoints.
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "daemon/server.hpp"
+#include "daemon/socket_daemon.hpp"
+#include "ml/cost_model.hpp"
+#include "ml/dataset.hpp"
+#include "support/args.hpp"
+#include "support/log.hpp"
+
+namespace {
+
+using namespace chpo;
+
+int serve(const ArgParser& args) {
+  // A daemon should say what it is doing: lifecycle lines (listening,
+  // resume, drain) log at Info, which the library default suppresses.
+  const std::string log_level = args.get("log-level", "info");
+  if (log_level == "debug")
+    set_log_level(LogLevel::Debug);
+  else if (log_level == "info")
+    set_log_level(LogLevel::Info);
+  else if (log_level == "warn")
+    set_log_level(LogLevel::Warn);
+  else
+    throw std::invalid_argument("unknown --log-level '" + log_level + "' (debug | info | warn)");
+
+  const std::string socket_path = args.get("socket", "/tmp/chpo.sock");
+  const std::string state_dir = args.get("state-dir");
+  if (!state_dir.empty()) std::filesystem::create_directories(state_dir);
+
+  const std::string dataset_name = args.get("dataset", "mnist");
+  const auto n_train = static_cast<std::size_t>(args.get_int("train-samples", 600));
+  const auto n_test = static_cast<std::size_t>(args.get_int("test-samples", 200));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  ml::Dataset dataset;
+  ml::WorkloadModel workload;
+  if (dataset_name == "mnist") {
+    dataset = ml::make_mnist_like(n_train, n_test, seed);
+    workload = ml::mnist_paper_model();
+  } else if (dataset_name == "cifar") {
+    dataset = ml::make_cifar_like(n_train, n_test, seed);
+    workload = ml::cifar_paper_model();
+  } else {
+    throw std::invalid_argument("unknown --dataset '" + dataset_name + "' (mnist | cifar)");
+  }
+
+  daemon::ServerOptions options;
+  const std::string machine = args.get("machine", "local");
+  const auto nodes = static_cast<std::size_t>(args.get_int("nodes", 1));
+  if (machine == "mn4")
+    options.manager.runtime.cluster = cluster::marenostrum4(nodes);
+  else if (machine == "minotauro")
+    options.manager.runtime.cluster = cluster::minotauro(nodes);
+  else if (machine == "power9")
+    options.manager.runtime.cluster = cluster::power9(nodes);
+  else if (machine == "local") {
+    cluster::NodeSpec node;
+    node.name = "local";
+    node.cpus = 4;
+    options.manager.runtime.cluster = cluster::homogeneous(nodes, node);
+  } else {
+    throw std::invalid_argument("unknown --machine '" + machine +
+                                "' (local | mn4 | minotauro | power9)");
+  }
+  options.manager.runtime.scheduler = args.get("scheduler", "priority");
+  options.manager.runtime.simulate = args.get_bool("simulate");
+  options.manager.runtime.seed = seed;
+  options.manager.max_active = static_cast<std::size_t>(args.get_int("max-active", 0));
+
+  options.defaults.driver.trial_constraint.cpus =
+      static_cast<unsigned>(args.get_int("trial-cpus", 1));
+  options.defaults.driver.epoch_divisor = static_cast<int>(args.get_int("epoch-divisor", 10));
+  options.defaults.driver.seed = seed;
+  if (args.get_bool("simulate")) options.defaults.driver.workload = workload;
+  options.defaults.budget = static_cast<std::size_t>(args.get_int("budget", 16));
+
+  options.state_dir = state_dir;
+  options.default_quota.max_active_studies =
+      static_cast<std::size_t>(args.get_int("tenant-max-active", 0));
+
+  daemon::Server server(std::move(options), dataset);
+  daemon::SocketDaemonOptions daemon_options;
+  daemon_options.socket_path = socket_path;
+  daemon_options.step_seconds = static_cast<double>(args.get_int("step-ms", 50)) / 1000.0;
+  daemon::SocketDaemon front_end(std::move(daemon_options), server);
+  return front_end.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_option("socket", "Unix socket path to listen on", "/tmp/chpo.sock")
+      .add_option("state-dir", "checkpoints + shutdown manifest directory (empty = stateless)", "")
+      .add_option("dataset", "mnist | cifar", "mnist")
+      .add_option("train-samples", "synthetic training set size", "600")
+      .add_option("test-samples", "synthetic test set size", "200")
+      .add_option("seed", "global seed", "42")
+      .add_option("machine", "local | mn4 | minotauro | power9", "local")
+      .add_option("nodes", "number of cluster nodes", "1")
+      .add_option("scheduler", "fifo | priority | locality", "priority")
+      .add_option("trial-cpus", "default cores per experiment (@constraint)", "1")
+      .add_option("epoch-divisor", "default epoch scale-down factor", "10")
+      .add_option("budget", "default evaluations per study", "16")
+      .add_option("max-active", "admit at most N studies at once (0 = all)", "0")
+      .add_option("tenant-max-active", "default per-tenant active-study quota (0 = unlimited)",
+                  "0")
+      .add_option("step-ms", "engine slice between request polls, milliseconds", "50")
+      .add_option("log-level", "debug | info | warn", "info")
+      .add_flag("simulate", "discrete-event backend (virtual time, cluster scale)")
+      .add_flag("help", "show this help");
+
+  if (!args.parse(argc, argv) || args.get_bool("help")) {
+    if (!args.error().empty()) std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    std::fprintf(stderr, "%s",
+                 args.usage("chpo_serve",
+                            "Serve the HPO runtime over a Unix socket (NDJSON protocol; "
+                            "see chpo_ctl).")
+                     .c_str());
+    return args.get_bool("help") ? 0 : 2;
+  }
+  try {
+    return serve(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chpo_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -200,6 +200,62 @@ void rule_callback_in_engine_mutation(const SourceFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: registry-lock-blocking-call
+// ---------------------------------------------------------------------------
+
+void rule_registry_lock_blocking_call(const SourceFile& file,
+                                      const std::vector<std::string>& lines,
+                                      std::vector<Finding>& out) {
+  // The daemon's queues (connection registry, command/outbound queues) sit
+  // between the I/O thread and the coordinator. Their locks exist to move
+  // data, not to serialise work: a blocking Server/StudyManager call made
+  // while one is held couples socket latency to engine latency (and is one
+  // lock-order edge away from a deadlock). CondVar waits are exempt — they
+  // release the mutex while sleeping, which is the one legitimate way to
+  // block under a queue lock.
+  if (!contains(file.path, "src/daemon/")) return;
+  static const std::string kBlocking[] = {"handle(",  "handle_line_error(", "step(",
+                                          "step_for(", "run_all(",           "wait_any(",
+                                          "wait_any_for(", "wait_on(",       "barrier("};
+  int depth = 0;
+  std::vector<int> guards;  // brace depth at each live MutexLock declaration
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (find_word(line, "MutexLock") != std::string::npos &&
+        line.find('(') != std::string::npos && !contains(line, "class") &&
+        !contains(line, "~MutexLock")) {
+      guards.push_back(depth);
+    } else if (!guards.empty()) {
+      for (const std::string& method : kBlocking) {
+        bool flagged = false;
+        for (auto pos = line.find(method); pos != std::string::npos && !flagged;
+             pos = line.find(method, pos + 1)) {
+          // Member calls only (.m( / ->m()): definitions and free
+          // functions with coincident names stay clean.
+          const bool via_dot = pos >= 1 && line[pos - 1] == '.';
+          const bool via_arrow = pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
+          if (!via_dot && !via_arrow) continue;
+          out.push_back(
+              {file.path, static_cast<int>(i + 1), "registry-lock-blocking-call",
+               "blocking ." + method +
+                   "...) while a MutexLock is held in daemon code; the "
+                   "connection-registry/queue locks must bracket data moves only — "
+                   "copy out under the lock, release it, then call the server/manager"});
+          flagged = true;  // one finding per method per line is enough
+        }
+      }
+    }
+    for (const char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!guards.empty() && guards.back() > depth) guards.pop_back();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: hot-path-std-function
 // ---------------------------------------------------------------------------
 
@@ -493,6 +549,7 @@ std::vector<Finding> lint_files(const std::vector<SourceFile>& files) {
     rule_nondeterministic_rng(normalised_file, masked[i], findings);
     rule_raw_runtime_ref(normalised_file, masked[i], findings);
     rule_callback_in_engine_mutation(normalised_file, masked[i], findings);
+    rule_registry_lock_blocking_call(normalised_file, masked[i], findings);
     rule_hot_path_std_function(normalised_file, masked[i], findings);
   }
 

@@ -30,6 +30,14 @@
 //                              listener (on_terminal_) only inside
 //                              flush_notifications() — never from a
 //                              mutation path holding TaskRecord references.
+//   registry-lock-blocking-call  src/daemon/ may not call a blocking
+//                              Server/StudyManager method (.handle, .step,
+//                              .step_for, .run_all, .wait_any*, .wait_on,
+//                              .barrier) while a MutexLock guard is live:
+//                              the connection-registry/queue locks are for
+//                              moving data across threads, and holding one
+//                              across an engine call wedges the I/O thread
+//                              behind the engine (lock, move, unlock, act).
 //
 // Header self-containedness (each public header compiles as its own
 // translation unit) is the one rule not here: it needs a compiler, so it is
