@@ -1,0 +1,97 @@
+#include "daemon/journal.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/log.hpp"
+
+namespace chpo::daemon {
+
+namespace {
+
+/// write() the whole buffer, riding out EINTR/partial writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StateJournal::StateJournal(JournalOptions options) : options_(std::move(options)) {
+  if (options_.path.empty()) return;
+  fd_ = ::open(options_.path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    log_warn("daemon", "cannot open journal {}: {} (running without crash safety)",
+             options_.path, std::strerror(errno));
+    return;
+  }
+  if (const char* env = std::getenv("CHPO_CRASH_AFTER_OP"); env != nullptr && *env != '\0')
+    crash_after_ = std::strtol(env, nullptr, 10);
+  if (const char* env = std::getenv("CHPO_CRASH_TORN"); env != nullptr && *env == '1')
+    crash_torn_ = true;
+}
+
+StateJournal::~StateJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void StateJournal::crash_hook(const std::string& bytes) {
+  if (crash_after_ < 0) return;
+  if (--crash_after_ > 0) return;
+  // Abrupt death mid-operation: optionally tear the record in half first
+  // so recovery also has to cope with a partial final write.
+  if (crash_torn_) {
+    write_all(fd_, bytes.data(), bytes.size() / 2);
+  } else {
+    write_all(fd_, bytes.data(), bytes.size());
+  }
+  ::fsync(fd_);
+  log_warn("daemon", "CHPO_CRASH_AFTER_OP hook firing: simulating kill -9");
+  ::_exit(137);
+}
+
+bool StateJournal::append(const json::Value& record) {
+  if (fd_ < 0) return false;
+  const std::string bytes = json::encode_record(record);
+  crash_hook(bytes);
+  if (!write_all(fd_, bytes.data(), bytes.size())) {
+    log_warn("daemon", "journal append failed: {} (running degraded)", std::strerror(errno));
+    return false;
+  }
+  ++appended_;
+  dirty_ = true;
+  return true;
+}
+
+void StateJournal::sync() {
+  if (fd_ < 0 || !dirty_) return;
+  if (options_.fsync) ::fsync(fd_);
+  dirty_ = false;
+}
+
+void StateJournal::reset() {
+  if (fd_ < 0) return;
+  if (::ftruncate(fd_, 0) != 0)
+    log_warn("daemon", "journal truncate failed: {}", std::strerror(errno));
+  if (options_.fsync) ::fsync(fd_);
+  appended_ = 0;
+  dirty_ = false;
+}
+
+json::RecordReplay StateJournal::load(const std::string& path) {
+  return json::read_records(path);
+}
+
+}  // namespace chpo::daemon

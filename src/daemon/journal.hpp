@@ -1,0 +1,94 @@
+// StateJournal — the daemon's write-ahead log.
+//
+// Every state-changing event the Server acknowledges (submit, kill,
+// pause, resume, quota change, study close, rejected submit) is appended
+// here as one CRC-tagged NDJSON record (jsonlite/record.hpp) and fsynced
+// BEFORE the reply leaves the process. The contract that buys:
+//
+//   acknowledged  =>  recoverable.
+//
+// A crash (`kill -9`, OOM, power loss) at any instant loses at most the
+// operations whose replies were never sent — which the client retries
+// (chpo_ctl's backoff + the server's idempotent-submit dedup window make
+// the retry safe). A torn final write is detected by its CRC; recovery
+// replays the journal up to the last intact record.
+//
+// Periodically (every `compact_every` appended records) the Server folds
+// the journal into the manifest snapshot (atomic tmp+rename) and calls
+// reset() to truncate the log — the journal never grows without bound.
+//
+// Crash-injection hook (tests only): when the environment variable
+// CHPO_CRASH_AFTER_OP=<n> is set, the n-th append _exit(137)s the
+// process right after (or, with CHPO_CRASH_TORN=1, halfway through) the
+// write — the exact abrupt-death instants the recovery path must absorb.
+//
+// Threading: coordinator-thread state, same confinement as the Server.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "jsonlite/json.hpp"
+#include "jsonlite/record.hpp"
+
+namespace chpo::daemon {
+
+struct JournalOptions {
+  /// Journal file path; empty = journalling disabled (stateless daemon).
+  std::string path;
+  /// fsync after each acknowledged batch. Off trades durability of the
+  /// last instants for throughput (recovery still works from whatever
+  /// reached the disk).
+  bool fsync = true;
+  /// Appended records that trigger a compaction (snapshot + truncate);
+  /// 0 = never compact on count (shutdown still snapshots).
+  std::size_t compact_every = 256;
+};
+
+class StateJournal {
+ public:
+  explicit StateJournal(JournalOptions options);
+  ~StateJournal();
+
+  StateJournal(const StateJournal&) = delete;
+  StateJournal& operator=(const StateJournal&) = delete;
+
+  bool enabled() const { return fd_ >= 0; }
+
+  /// Append one record (buffered in the kernel, not yet synced). Returns
+  /// false if the write failed (disk full / fd gone) — the caller logs
+  /// and runs degraded rather than crashing the fleet.
+  bool append(const json::Value& record);
+
+  /// Barrier before an acknowledgement leaves the process: fsync the
+  /// appended records (no-op when nothing was appended or fsync is off).
+  void sync();
+
+  /// Records appended since the last reset() (compaction trigger).
+  std::size_t appended_since_reset() const { return appended_; }
+  /// True when the compaction threshold has been crossed.
+  bool wants_compaction() const {
+    return enabled() && options_.compact_every > 0 && appended_ >= options_.compact_every;
+  }
+
+  /// Truncate the journal after a successful snapshot. The truncate is
+  /// synced so a crash right after compaction cannot resurrect stale
+  /// records on top of the new snapshot.
+  void reset();
+
+  /// Replay the journal at `path` up to the last intact record.
+  static json::RecordReplay load(const std::string& path);
+
+ private:
+  void crash_hook(const std::string& bytes);
+
+  JournalOptions options_;
+  int fd_ = -1;
+  std::size_t appended_ = 0;
+  bool dirty_ = false;
+  /// CHPO_CRASH_AFTER_OP countdown (-1 = hook disabled).
+  long crash_after_ = -1;
+  bool crash_torn_ = false;
+};
+
+}  // namespace chpo::daemon

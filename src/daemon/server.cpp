@@ -1,5 +1,8 @@
 #include "daemon/server.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -22,14 +25,92 @@ bool terminal(service::StudyState state) {
   return state == service::StudyState::Finished || state == service::StudyState::Killed;
 }
 
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// tmp + (fsync) + rename + (fsync dir): a crash leaves either the old
+/// file or the complete new one, never a torn manifest.
+bool atomic_write_file(const std::string& path, const std::string& bytes, bool durable) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, bytes.data(), bytes.size());
+  if (ok && durable) ::fsync(fd);
+  ::close(fd);
+  if (!ok) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) return false;
+  if (durable) {
+    const std::string::size_type slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return true;
+}
+
+JournalOptions journal_options(const ServerOptions& options) {
+  JournalOptions j;
+  if (!options.state_dir.empty()) j.path = options.state_dir + "/journal.ndjson";
+  j.fsync = options.fsync;
+  j.compact_every = options.journal_compact_every;
+  return j;
+}
+
+// Tolerant field readers for journal/manifest records: a missing or
+// mistyped field degrades to a default instead of aborting recovery.
+std::int64_t int_field(const json::Value& rec, std::string_view key, std::int64_t fallback = 0) {
+  const json::Value* v = rec.find(key);
+  return v != nullptr && v->is_int() ? v->as_int() : fallback;
+}
+
+std::string string_field(const json::Value& rec, std::string_view key) {
+  const json::Value* v = rec.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+bool bool_field(const json::Value& rec, std::string_view key) {
+  const json::Value* v = rec.find(key);
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+double double_field(const json::Value& rec, std::string_view key) {
+  const json::Value* v = rec.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+service::StudyCloseTotals totals_from_record(const json::Value& rec) {
+  service::StudyCloseTotals totals;
+  totals.trials = static_cast<std::size_t>(int_field(rec, "trials"));
+  totals.task_attempts = static_cast<std::size_t>(int_field(rec, "attempts"));
+  totals.replayed_trials = static_cast<std::size_t>(int_field(rec, "replayed"));
+  totals.cache_hits = static_cast<std::uint64_t>(int_field(rec, "cache_hits"));
+  totals.engine_seconds = double_field(rec, "engine_seconds");
+  totals.killed = bool_field(rec, "killed");
+  return totals;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options, const ml::Dataset& dataset)
     : options_(std::move(options)),
       dataset_(dataset),
-      manager_(std::move(options_.manager), dataset) {
+      manager_(std::move(options_.manager), dataset),
+      journal_(journal_options(options_)) {
   manager_.set_event_tap([this](const service::StudyEvent& event) { on_manager_event(event); });
-  load_manifest();
+  recover();
 }
 
 void Server::on_manager_event(const service::StudyEvent& event) {
@@ -42,7 +123,9 @@ void Server::on_manager_event(const service::StudyEvent& event) {
     const auto it = studies_.find(event.study);
     if (it != studies_.end()) {
       ++it->second.trials_counted;
-      ledger_.on_trial(it->second.tenant, event.trial);
+      const service::TrialDelta delta = ledger_.on_trial(it->second.tenant, event.trial);
+      it->second.counted_delta.task_attempts += delta.task_attempts;
+      it->second.counted_delta.replayed_trials += delta.replayed_trials;
     }
     if (event.trial != nullptr) {
       ev.trial_index = event.trial->index;
@@ -83,10 +166,35 @@ void Server::drain_events(std::vector<Outbound>& out) {
     // inside a manager method.
     if (ev.kind != service::StudyEvent::Kind::TrialComplete && terminal(ev.state) &&
         info_it != studies_.end() && !info_it->second.closed_accounted) {
-      info_it->second.closed_accounted = true;
-      ledger_.on_study_closed(info_it->second.tenant, manager_.outcome(ev.study),
-                              info_it->second.trials_counted,
-                              ev.state == service::StudyState::Killed);
+      StudyInfo& info = info_it->second;
+      info.closed_accounted = true;
+      const bool killed = ev.state == service::StudyState::Killed;
+      const service::StudyCloseTotals totals =
+          service::study_close_totals(manager_.outcome(ev.study), killed);
+      // The closed record carries the study's ABSOLUTE totals (not a
+      // delta): replaying it after a crash applies the whole study with
+      // zero counted-live, so it lands exactly once either way.
+      json::Value rec;
+      rec.set("rec", json::Value("closed"));
+      rec.set("study", json::Value(static_cast<std::int64_t>(ev.study)));
+      rec.set("tenant", json::Value(info.tenant));
+      rec.set("name", json::Value(info.name));
+      rec.set("killed", json::Value(totals.killed));
+      rec.set("trials", json::Value(static_cast<std::int64_t>(totals.trials)));
+      rec.set("attempts", json::Value(static_cast<std::int64_t>(totals.task_attempts)));
+      rec.set("replayed", json::Value(static_cast<std::int64_t>(totals.replayed_trials)));
+      rec.set("cache_hits", json::Value(static_cast<std::int64_t>(totals.cache_hits)));
+      rec.set("engine_seconds", json::Value(totals.engine_seconds));
+      if (!info.dedup_key.empty()) rec.set("key", json::Value(info.dedup_key));
+      journal_event(std::move(rec));
+      ledger_.apply_closed(info.tenant, totals, info.trials_counted, info.counted_delta);
+      if (!info.dedup_key.empty()) {
+        const auto dd = dedup_.find(info.dedup_key);
+        if (dd != dedup_.end()) {
+          dd->second.live = false;
+          dd->second.last_state = service::study_state_name(ev.state);
+        }
+      }
     }
   }
 }
@@ -119,8 +227,8 @@ rt::StudyId Server::submit_spec(const std::string& tenant, json::Value spec_json
   const rt::StudyId id = manager_.submit(std::move(spec));
   if (start_paused) manager_.pause(id);
 
-  // The stored spec seeds the shutdown manifest; a restart must not
-  // re-pause (pause state is connection-era policy, not study identity).
+  // The stored spec seeds snapshots; pause intent is tracked separately
+  // (kept across a crash, dropped across a graceful shutdown).
   if (spec_json.contains("paused")) {
     json::Object& object = spec_json.as_object();
     object.erase(std::remove_if(object.begin(), object.end(),
@@ -131,6 +239,7 @@ rt::StudyId Server::submit_spec(const std::string& tenant, json::Value spec_json
   info.tenant = tenant;
   info.name = name;
   info.spec_json = std::move(spec_json);
+  info.paused_wanted = start_paused;
   studies_.emplace(id, std::move(info));
   ledger_.on_submitted(tenant);
   return id;
@@ -141,14 +250,63 @@ json::Value Server::op_submit(const json::Value& request) {
   const json::Value* spec = request.find("spec");
   if (spec == nullptr) return make_error(request, "submit: missing 'spec'");
   const std::string tenant = tenant_field(request);
+
+  // Idempotent resubmit: a string request id is a client-chosen dedup key
+  // (scoped per tenant). A retry of an already-acknowledged submit —
+  // reply lost to a daemon crash or a network timeout — gets the original
+  // study back and charges nothing.
+  std::string key;
+  if (const json::Value* id = request.find("id"); id != nullptr && id->is_string() &&
+                                                  !id->as_string().empty())
+    key = tenant + "\n" + id->as_string();
+  if (!key.empty()) {
+    const auto hit = dedup_.find(key);
+    if (hit != dedup_.end()) {
+      json::Value reply = make_reply(request, true);
+      reply.set("duplicate", json::Value(true));
+      reply.set("name", json::Value(hit->second.name));
+      if (hit->second.live && manager_.known(hit->second.study)) {
+        reply.set("study", json::Value(static_cast<std::int64_t>(hit->second.study)));
+        reply.set("state",
+                  json::Value(service::study_state_name(manager_.state(hit->second.study))));
+      } else {
+        reply.set("state", json::Value(hit->second.last_state));
+      }
+      return reply;
+    }
+  }
+
   if (quota_known_.insert(tenant).second) ledger_.set_quota(tenant, options_.default_quota);
-  if (!ledger_.admit_study(tenant))
+  if (!ledger_.admit_study(tenant)) {
+    json::Value rec;
+    rec.set("rec", json::Value("reject"));
+    rec.set("tenant", json::Value(tenant));
+    journal_event(std::move(rec));
     return make_error(request, "tenant '" + tenant + "' is over its active-study quota");
+  }
   try {
     const rt::StudyId id = submit_spec(tenant, *spec);
+    StudyInfo& info = studies_.at(id);
+    if (!key.empty()) {
+      info.dedup_key = key;
+      DedupEntry entry;
+      entry.live = true;
+      entry.study = id;
+      entry.name = info.name;
+      remember_dedup(key, entry);
+    }
+    json::Value rec;
+    rec.set("rec", json::Value("submit"));
+    rec.set("study", json::Value(static_cast<std::int64_t>(id)));
+    rec.set("tenant", json::Value(tenant));
+    rec.set("spec", info.spec_json);
+    rec.set("paused", json::Value(info.paused_wanted));
+    rec.set("ordinal", json::Value(static_cast<std::int64_t>(ordinal_)));
+    if (!key.empty()) rec.set("key", json::Value(key));
+    journal_event(std::move(rec));
     json::Value reply = make_reply(request, true);
     reply.set("study", json::Value(static_cast<std::int64_t>(id)));
-    reply.set("name", json::Value(studies_.at(id).name));
+    reply.set("name", json::Value(info.name));
     reply.set("state", json::Value(service::study_state_name(manager_.state(id))));
     return reply;
   } catch (const service::SpecError& e) {
@@ -206,22 +364,29 @@ json::Value Server::op_lifecycle(const json::Value& request, const std::string& 
   const std::optional<rt::StudyId> id = study_field(request);
   if (!id || !manager_.known(*id)) return make_error(request, "unknown study");
   const service::StudyState before = manager_.state(*id);
+  const auto info = studies_.find(*id);
   if (op == "pause") {
     if (terminal(before) || before == service::StudyState::Paused)
       return make_error(request, std::string("cannot pause a ") +
                                      service::study_state_name(before) + " study");
     manager_.pause(*id);
+    if (info != studies_.end()) info->second.paused_wanted = true;
   } else if (op == "resume") {
     if (terminal(before))
       return make_error(request, std::string("cannot resume a ") +
                                      service::study_state_name(before) + " study");
     manager_.resume(*id);
+    if (info != studies_.end()) info->second.paused_wanted = false;
   } else {  // kill
     if (terminal(before))
       return make_error(request, std::string("study is already ") +
                                      service::study_state_name(before));
     manager_.kill(*id);
   }
+  json::Value rec;
+  rec.set("rec", json::Value(op));
+  rec.set("study", json::Value(static_cast<std::int64_t>(*id)));
+  journal_event(std::move(rec));
   json::Value reply = make_reply(request, true);
   reply.set("study", json::Value(static_cast<std::int64_t>(*id)));
   reply.set("state", json::Value(service::study_state_name(manager_.state(*id))));
@@ -264,26 +429,7 @@ json::Value Server::op_unwatch(ClientId client, const json::Value& request) {
 json::Value Server::op_accounting(const json::Value& request) const {
   json::Value reply = make_reply(request, true);
   json::Array rows;
-  for (const std::string& tenant : ledger_.tenants()) {
-    const service::TenantStats stats = ledger_.stats(tenant);
-    const service::TenantQuota quota = ledger_.quota(tenant);
-    json::Value row;
-    row.set("tenant", json::Value(tenant));
-    row.set("studies_submitted", json::Value(static_cast<std::int64_t>(stats.studies_submitted)));
-    row.set("studies_active", json::Value(static_cast<std::int64_t>(stats.studies_active)));
-    row.set("studies_finished", json::Value(static_cast<std::int64_t>(stats.studies_finished)));
-    row.set("studies_killed", json::Value(static_cast<std::int64_t>(stats.studies_killed)));
-    row.set("submits_rejected", json::Value(static_cast<std::int64_t>(stats.submits_rejected)));
-    row.set("trials_completed", json::Value(static_cast<std::int64_t>(stats.trials_completed)));
-    row.set("task_attempts", json::Value(static_cast<std::int64_t>(stats.task_attempts)));
-    row.set("replayed_trials", json::Value(static_cast<std::int64_t>(stats.replayed_trials)));
-    row.set("cache_hits", json::Value(static_cast<std::int64_t>(stats.cache_hits)));
-    row.set("engine_seconds", json::Value(stats.engine_seconds));
-    row.set("weight", json::Value(quota.weight));
-    row.set("max_active_studies",
-            json::Value(static_cast<std::int64_t>(quota.max_active_studies)));
-    rows.push_back(row);
-  }
+  for (const std::string& tenant : ledger_.tenants()) rows.push_back(ledger_.tenant_to_json(tenant));
   reply.set("tenants", json::Value(std::move(rows)));
   return reply;
 }
@@ -306,6 +452,9 @@ json::Value Server::op_stats(const json::Value& request) const {
   reply.set("lineage_violations",
             json::Value(static_cast<std::int64_t>(manager_.lineage_violations())));
   reply.set("draining", json::Value(draining_));
+  reply.set("recovered_degraded", json::Value(recovered_degraded_));
+  reply.set("journal_records",
+            json::Value(static_cast<std::int64_t>(journal_.appended_since_reset())));
   return reply;
 }
 
@@ -326,6 +475,12 @@ json::Value Server::op_quota(const json::Value& request) {
   }
   quota_known_.insert(tenant->as_string());
   ledger_.set_quota(tenant->as_string(), quota);
+  json::Value rec;
+  rec.set("rec", json::Value("quota"));
+  rec.set("tenant", *tenant);
+  rec.set("weight", json::Value(quota.weight));
+  rec.set("max_active_studies", json::Value(static_cast<std::int64_t>(quota.max_active_studies)));
+  journal_event(std::move(rec));
   return make_reply(request, true);
 }
 
@@ -391,6 +546,10 @@ std::vector<Outbound> Server::handle(ClientId client, const json::Value& request
   if (has_reply) out.push_back({client, std::move(reply)});
   for (Outbound& snapshot : snapshots) out.push_back(std::move(snapshot));
   drain_events(out);  // state changes caused by this request reach watchers
+  // Durability barrier: every record this request appended hits the disk
+  // before any reply in `out` can leave the process.
+  journal_.sync();
+  maybe_compact();
   return out;
 }
 
@@ -416,8 +575,13 @@ std::vector<Outbound> Server::step(double seconds) {
   if (done_) return out;
   manager_.step_for(seconds);
   drain_events(out);
+  journal_.sync();  // closed-study records are durable before their events leave
+  maybe_compact();
   if (draining_ && manager_.stats().inflight == 0) {
-    write_manifest();
+    // Final snapshot folds the journal in; pause intent is dropped on a
+    // graceful shutdown (it is connection-era policy, and the operator
+    // asked for a clean restart point).
+    compact(/*include_paused=*/false);
     if (shutdown_reply_pending_) {
       json::Value reply = make_reply(shutdown_request_, true);
       reply.set("drained", json::Value(true));
@@ -435,57 +599,307 @@ std::vector<Outbound> Server::step(double seconds) {
   return out;
 }
 
-void Server::write_manifest() const {
+void Server::journal_event(json::Value record) {
+  if (!journal_.enabled()) return;
+  record.set("epoch", json::Value(static_cast<std::int64_t>(epoch_)));
+  journal_.append(record);
+}
+
+void Server::remember_dedup(const std::string& key, DedupEntry entry) {
+  const auto [it, inserted] = dedup_.emplace(key, entry);
+  if (!inserted) {
+    it->second = std::move(entry);
+    return;
+  }
+  dedup_order_.push_back(key);
+  if (dedup_order_.size() > kDedupWindow) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+void Server::write_snapshot(bool include_paused) const {
   if (options_.state_dir.empty()) return;
   json::Array entries;
   for (const auto& [id, info] : studies_) {
     if (terminal(manager_.state(id))) continue;
     json::Value entry;
+    entry.set("study", json::Value(static_cast<std::int64_t>(id)));
     entry.set("tenant", json::Value(info.tenant));
     entry.set("spec", info.spec_json);
+    if (include_paused && info.paused_wanted) entry.set("paused", json::Value(true));
+    if (!info.dedup_key.empty()) entry.set("key", json::Value(info.dedup_key));
     entries.push_back(std::move(entry));
+  }
+  // Persist the ledger MINUS live-study contributions: recovery resubmits
+  // the studies above (re-applying their submissions) and their eventual
+  // close re-applies their trials — subtracting here is what keeps the
+  // meter exactly-once across a restart.
+  service::TenantLedger persisted = ledger_;
+  for (const auto& [id, info] : studies_) {
+    if (terminal(manager_.state(id))) continue;
+    persisted.withdraw_live(info.tenant, info.trials_counted, info.counted_delta);
+  }
+  json::Array ledger_rows;
+  for (const std::string& tenant : persisted.tenants())
+    ledger_rows.push_back(persisted.tenant_to_json(tenant));
+  json::Array dedup_rows;
+  for (const std::string& key : dedup_order_) {
+    const auto it = dedup_.find(key);
+    if (it == dedup_.end()) continue;
+    json::Value row;
+    row.set("key", json::Value(key));
+    row.set("name", json::Value(it->second.name));
+    row.set("live", json::Value(it->second.live));
+    if (it->second.live)
+      row.set("study", json::Value(static_cast<std::int64_t>(it->second.study)));
+    else
+      row.set("state", json::Value(it->second.last_state));
+    dedup_rows.push_back(std::move(row));
   }
   json::Value manifest;
   manifest.set("studies", json::Value(std::move(entries)));
+  manifest.set("ledger", json::Value(std::move(ledger_rows)));
+  manifest.set("dedup", json::Value(std::move(dedup_rows)));
+  manifest.set("ordinal", json::Value(static_cast<std::int64_t>(ordinal_)));
+  manifest.set("epoch", json::Value(static_cast<std::int64_t>(epoch_)));
   const std::string path = options_.state_dir + "/manifest.json";
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    file << json::serialize_pretty(manifest) << "\n";
-    if (!file.good()) {
-      log_warn("daemon", "failed to write shutdown manifest {}", tmp);
-      return;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    log_warn("daemon", "failed to move shutdown manifest into place at {}", path);
+  if (!atomic_write_file(path, json::serialize_pretty(manifest) + "\n", options_.fsync))
+    log_warn("daemon", "failed to write manifest snapshot at {}", path);
 }
 
-void Server::load_manifest() {
+void Server::compact(bool include_paused) {
+  if (options_.state_dir.empty()) return;
+  write_snapshot(include_paused);
+  journal_.reset();
+  ++epoch_;
+}
+
+void Server::maybe_compact() {
+  if (draining_ || !journal_.wants_compaction()) return;
+  compact(/*include_paused=*/true);
+}
+
+void Server::recover() {
   if (options_.state_dir.empty()) return;
   const std::string path = options_.state_dir + "/manifest.json";
+
+  /// A study to resubmit at the end of recovery.
+  struct Candidate {
+    rt::StudyId old_id = rt::kMainStudy;  ///< id in the previous lifetime
+    bool has_old_id = false;              ///< pre-journal manifests lack it
+    std::string tenant;
+    json::Value spec_json;
+    bool paused = false;
+    std::string dedup_key;
+    bool dead = false;  ///< tombstoned by a kill/closed journal record
+  };
+  std::vector<Candidate> candidates;
+  std::map<rt::StudyId, std::size_t> by_old_id;
+  std::uint64_t snapshot_epoch = 0;
+
+  // Phase 1: the manifest snapshot. A corrupt (unparseable) file is
+  // quarantined, not silently discarded: the journal may still hold
+  // enough to recover, and the operator keeps the evidence.
   json::Value manifest;
+  bool have_manifest = false;
   try {
     manifest = json::parse_file(path);
-  } catch (const json::JsonError&) {
-    return;  // no manifest (fresh start) or unreadable — start empty
-  }
-  const json::Value* studies = manifest.find("studies");
-  if (studies == nullptr || !studies->is_array()) return;
-  std::size_t resumed = 0;
-  for (const json::Value& entry : studies->as_array()) {
-    try {
-      const std::string tenant = entry.at("tenant").as_string();
-      if (quota_known_.insert(tenant).second) ledger_.set_quota(tenant, options_.default_quota);
-      submit_spec(tenant, entry.at("spec"));
-      ++resumed;
-    } catch (const std::exception& e) {
-      log_warn("daemon", "manifest entry skipped: {}", e.what());
+    have_manifest = true;
+  } catch (const json::JsonError& e) {
+    if (std::ifstream(path).good()) {
+      const std::string bad = path + ".bad";
+      if (std::rename(path.c_str(), bad.c_str()) == 0)
+        log_warn("daemon", "manifest {} is corrupt ({}); quarantined to {}, recovering degraded",
+                 path, e.what(), bad);
+      else
+        log_warn("daemon", "manifest {} is corrupt ({}), recovering degraded", path, e.what());
+      recovered_degraded_ = true;
     }
   }
-  if (resumed > 0)
-    log_info("daemon", "resumed {} studies from {} (checkpoints replay completed trials)",
-             resumed, path);
+  if (have_manifest) {
+    snapshot_epoch = static_cast<std::uint64_t>(int_field(manifest, "epoch"));
+    ordinal_ = static_cast<std::uint64_t>(int_field(manifest, "ordinal"));
+    if (const json::Value* rows = manifest.find("ledger"); rows != nullptr && rows->is_array())
+      for (const json::Value& row : rows->as_array()) {
+        ledger_.restore_tenant(row);
+        if (const std::string tenant = string_field(row, "tenant"); !tenant.empty())
+          quota_known_.insert(tenant);
+      }
+    if (const json::Value* rows = manifest.find("dedup"); rows != nullptr && rows->is_array())
+      for (const json::Value& row : rows->as_array()) {
+        const std::string key = string_field(row, "key");
+        if (key.empty()) continue;
+        DedupEntry entry;
+        entry.name = string_field(row, "name");
+        entry.live = bool_field(row, "live");
+        entry.study = static_cast<rt::StudyId>(int_field(row, "study"));
+        entry.last_state = string_field(row, "state");
+        remember_dedup(key, entry);
+      }
+    if (const json::Value* rows = manifest.find("studies"); rows != nullptr && rows->is_array())
+      for (const json::Value& entry : rows->as_array()) {
+        const json::Value* spec = entry.find("spec");
+        if (spec == nullptr) continue;
+        Candidate c;
+        c.tenant = string_field(entry, "tenant");
+        if (c.tenant.empty()) c.tenant = "default";
+        c.spec_json = *spec;
+        c.paused = bool_field(entry, "paused");
+        c.dedup_key = string_field(entry, "key");
+        if (const json::Value* v = entry.find("study"); v != nullptr && v->is_int()) {
+          c.old_id = static_cast<rt::StudyId>(v->as_int());
+          c.has_old_id = true;
+          by_old_id[c.old_id] = candidates.size();
+        }
+        candidates.push_back(std::move(c));
+      }
+  }
+
+  // Phase 2: replay the journal on top of the snapshot, stopping at the
+  // first torn/corrupt record (a torn tail is an operation that was never
+  // acknowledged — the client retries it). Records from epochs the
+  // snapshot already folded in are skipped, so a crash between the
+  // snapshot rename and the journal truncate double-applies nothing.
+  const json::RecordReplay replay = StateJournal::load(options_.state_dir + "/journal.ndjson");
+  if (replay.torn())
+    log_warn("daemon",
+             "journal tail torn after {} intact records ({}); dropping the unacknowledged tail",
+             replay.records.size(), replay.torn_error);
+  const auto candidate_of = [&](const json::Value& rec) -> Candidate* {
+    const json::Value* v = rec.find("study");
+    if (v == nullptr || !v->is_int()) return nullptr;
+    const auto it = by_old_id.find(static_cast<rt::StudyId>(v->as_int()));
+    return it == by_old_id.end() ? nullptr : &candidates[it->second];
+  };
+  // Kills whose closed record was lost to the crash: settle them with
+  // empty totals so the tenant's active/killed counters stay exact.
+  std::map<rt::StudyId, std::string> pending_kills;
+  std::size_t replayed_records = 0;
+  for (const json::Value& rec : replay.records) {
+    if (!rec.is_object()) continue;
+    const std::int64_t rec_epoch = int_field(rec, "epoch", -1);
+    if (rec_epoch >= 0 && static_cast<std::uint64_t>(rec_epoch) <= snapshot_epoch)
+      continue;  // already folded into the snapshot
+    if (rec_epoch >= 0) epoch_ = std::max(epoch_, static_cast<std::uint64_t>(rec_epoch));
+    ++replayed_records;
+    const std::string kind = string_field(rec, "rec");
+    if (kind == "submit") {
+      Candidate c;
+      c.tenant = string_field(rec, "tenant");
+      if (c.tenant.empty()) c.tenant = "default";
+      if (const json::Value* spec = rec.find("spec")) c.spec_json = *spec;
+      c.paused = bool_field(rec, "paused");
+      c.dedup_key = string_field(rec, "key");
+      c.old_id = static_cast<rt::StudyId>(int_field(rec, "study"));
+      c.has_old_id = true;
+      ordinal_ = std::max(ordinal_, static_cast<std::uint64_t>(int_field(rec, "ordinal")));
+      if (quota_known_.insert(c.tenant).second)
+        ledger_.set_quota(c.tenant, options_.default_quota);
+      if (!c.dedup_key.empty()) {
+        DedupEntry entry;
+        entry.live = true;
+        entry.study = c.old_id;
+        entry.name = string_field(c.spec_json, "name");
+        remember_dedup(c.dedup_key, entry);
+      }
+      by_old_id[c.old_id] = candidates.size();
+      candidates.push_back(std::move(c));
+    } else if (kind == "pause" || kind == "resume") {
+      if (Candidate* c = candidate_of(rec)) c->paused = kind == "pause";
+    } else if (kind == "kill") {
+      if (Candidate* c = candidate_of(rec); c != nullptr && !c->dead) {
+        c->dead = true;
+        pending_kills[c->old_id] = c->tenant;
+      }
+    } else if (kind == "closed") {
+      const std::string tenant = string_field(rec, "tenant");
+      // Re-apply the close with zero counted-live: the recovered ledger
+      // holds no live contribution for this study (the snapshot subtracted
+      // it, or the submission itself is being replayed right here).
+      ledger_.on_submitted(tenant);
+      ledger_.apply_closed(tenant, totals_from_record(rec), 0, {});
+      if (Candidate* c = candidate_of(rec)) {
+        c->dead = true;
+        pending_kills.erase(c->old_id);
+      }
+      if (const std::string key = string_field(rec, "key"); !key.empty()) {
+        DedupEntry entry;
+        entry.live = false;
+        entry.name = string_field(rec, "name");
+        entry.last_state = bool_field(rec, "killed") ? "killed" : "finished";
+        remember_dedup(key, entry);
+      }
+    } else if (kind == "quota") {
+      const std::string tenant = string_field(rec, "tenant");
+      if (tenant.empty()) continue;
+      service::TenantQuota quota;
+      quota.weight = double_field(rec, "weight");
+      if (quota.weight <= 0.0) quota.weight = 1.0;
+      quota.max_active_studies = static_cast<std::size_t>(int_field(rec, "max_active_studies"));
+      ledger_.set_quota(tenant, quota);
+      quota_known_.insert(tenant);
+    } else if (kind == "reject") {
+      ledger_.note_rejected(string_field(rec, "tenant"));
+    }
+  }
+  for (const auto& [old_id, tenant] : pending_kills) {
+    // Acknowledged kill whose close never reached the journal: the study
+    // is gone either way — settle the counters with empty totals.
+    ledger_.on_submitted(tenant);
+    service::StudyCloseTotals totals;
+    totals.killed = true;
+    ledger_.apply_closed(tenant, totals, 0, {});
+  }
+
+  // Phase 3: resubmit the surviving studies. Their per-study checkpoints
+  // replay completed trials, so work resumes where the crash cut it; the
+  // close-time reconciliation re-counts those trials exactly once.
+  std::size_t resumed = 0;
+  std::set<std::string> remapped_keys;
+  for (Candidate& c : candidates) {
+    if (c.dead) continue;
+    try {
+      if (quota_known_.insert(c.tenant).second) ledger_.set_quota(c.tenant, options_.default_quota);
+      const rt::StudyId id = submit_spec(c.tenant, std::move(c.spec_json));
+      StudyInfo& info = studies_.at(id);
+      if (c.paused && !info.paused_wanted) {
+        manager_.pause(id);
+        info.paused_wanted = true;
+      }
+      if (!c.dedup_key.empty()) {
+        info.dedup_key = c.dedup_key;
+        const auto it = dedup_.find(c.dedup_key);
+        if (it != dedup_.end()) {
+          it->second.live = true;
+          it->second.study = id;  // ids renumber across a restart
+        }
+        remapped_keys.insert(c.dedup_key);
+      }
+      ++resumed;
+    } catch (const std::exception& e) {
+      log_warn("daemon", "recovered study skipped: {}", e.what());
+    }
+  }
+  // Any dedup entry still pointing at a previous-lifetime id (tombstoned
+  // study, or a resubmission that failed) must not alias a fresh id.
+  for (auto& [key, entry] : dedup_) {
+    if (entry.live && remapped_keys.find(key) == remapped_keys.end()) {
+      entry.live = false;
+      if (entry.last_state.empty()) entry.last_state = "killed";
+    }
+  }
+  if (resumed > 0 || replayed_records > 0 || recovered_degraded_)
+    log_info("daemon",
+             "recovery: {} journal records replayed, {} studies resubmitted from {} "
+             "(checkpoints replay completed trials){}",
+             replayed_records, resumed, path, recovered_degraded_ ? ", DEGRADED" : "");
+  // Fold recovery into a fresh snapshot immediately: the old journal
+  // references the previous lifetime's study ids, the new one must not.
+  // The new snapshot's epoch must exceed every surviving journal record's,
+  // so a crash between its rename and the truncate replays nothing stale.
+  epoch_ = std::max(epoch_, snapshot_epoch + 1);
+  compact(/*include_paused=*/true);
 }
 
 }  // namespace chpo::daemon

@@ -28,6 +28,9 @@ struct Conn {
   ClientId client = 0;
   json::LineDecoder decoder;
   std::string outbox;
+  /// A fatal protocol violation (oversized line) was sent to the client;
+  /// stop reading and close once the error reply has flushed.
+  bool failing = false;
 };
 
 }  // namespace
@@ -228,6 +231,7 @@ void SocketDaemon::io_loop() {
           set_nonblocking(fd);
           Conn conn;
           conn.client = next_client++;
+          conn.decoder.set_max_line_bytes(options_.max_line_bytes);
           client_fd[conn.client] = fd;
           conns.emplace(fd, std::move(conn));
         }
@@ -241,7 +245,7 @@ void SocketDaemon::io_loop() {
         close_conn(p.fd, /*notify=*/true);
         continue;
       }
-      if (p.revents & POLLIN) {
+      if ((p.revents & POLLIN) && !conn.failing) {
         char buf[4096];
         bool closed = false;
         while (true) {
@@ -257,6 +261,14 @@ void SocketDaemon::io_loop() {
         while (std::optional<json::Frame> frame = conn.decoder.next()) {
           if (frame->ok()) {
             push_command(Command{Command::Kind::Frame, conn.client, std::move(frame->value), {}});
+          } else if (frame->fatal) {
+            // Oversized line: the decoder bounded its buffer; fail the
+            // connection — reply directly from the I/O thread (the
+            // coordinator never sees the request) and close after flush.
+            conn.outbox += json::encode_frame(make_parse_error("protocol error: " + frame->error));
+            conn.failing = true;
+            push_command(Command{Command::Kind::Disconnect, conn.client, json::Value(), {}});
+            break;
           } else {
             push_command(
                 Command{Command::Kind::LineError, conn.client, json::Value(), frame->error});
@@ -274,8 +286,11 @@ void SocketDaemon::io_loop() {
           conn.outbox.erase(0, static_cast<std::size_t>(n));
         } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
           close_conn(p.fd, /*notify=*/true);
+          continue;
         }
       }
+      if (conn.failing && conn.outbox.empty())
+        close_conn(p.fd, /*notify=*/false);  // Disconnect already queued
     }
   }
 }

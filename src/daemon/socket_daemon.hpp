@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "daemon/server.hpp"
+#include "jsonlite/wire.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace chpo::daemon {
@@ -43,6 +44,9 @@ struct SocketDaemonOptions {
   /// Engine slice per coordinator iteration: how long one Server::step may
   /// drive the engine before request handling gets a turn again.
   double step_seconds = 0.05;
+  /// Per-connection input line cap: a client sending a longer line gets a
+  /// protocol error and the connection is closed (no unbounded buffering).
+  std::size_t max_line_bytes = json::LineDecoder::kDefaultMaxLineBytes;
 };
 
 class SocketDaemon {

@@ -1,0 +1,114 @@
+#include "jsonlite/record.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+namespace chpo::json {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    table[n] = c;
+  }
+  return table;
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string encode_record(const Value& value) {
+  const std::string payload = serialize(value);
+  std::string out = crc_hex(crc32(payload));
+  out.push_back(' ');
+  out += payload;
+  out.push_back('\n');
+  return out;
+}
+
+RecordDecode decode_record(std::string_view line) {
+  RecordDecode decode;
+  if (line.size() < 10 || line[8] != ' ') {
+    decode.error = "malformed record frame (want '<crc32 hex> <json>')";
+    return decode;
+  }
+  std::uint32_t want = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const char c = line[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9')
+      digit = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    else {
+      decode.error = "malformed record frame (bad crc digit)";
+      return decode;
+    }
+    want = (want << 4) | digit;
+  }
+  const std::string_view payload = line.substr(9);
+  if (crc32(payload) != want) {
+    decode.error = "crc mismatch (torn or corrupted record)";
+    return decode;
+  }
+  try {
+    decode.value = parse(payload);
+  } catch (const JsonError& e) {
+    decode.error = std::string("crc ok but payload unparseable: ") + e.what();
+  }
+  return decode;
+}
+
+RecordReplay read_records(const std::string& path) {
+  RecordReplay replay;
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return replay;  // absent = empty log
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    std::size_t nl = bytes.find('\n', pos);
+    const bool last_unterminated = nl == std::string::npos;
+    if (last_unterminated) nl = bytes.size();
+    const std::string_view line(bytes.data() + pos, nl - pos);
+    if (line.empty()) {  // blank line: tolerate, skip
+      pos = nl + 1;
+      continue;
+    }
+    RecordDecode decode = decode_record(line);
+    if (!decode.ok()) {
+      replay.torn_bytes = bytes.size() - pos;
+      replay.torn_error = decode.error;
+      return replay;
+    }
+    replay.records.push_back(std::move(decode.value));
+    if (last_unterminated) break;
+    pos = nl + 1;
+  }
+  return replay;
+}
+
+}  // namespace chpo::json

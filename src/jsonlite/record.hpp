@@ -1,0 +1,61 @@
+// CRC-tagged NDJSON record framing for durable append-only logs.
+//
+// The service daemon's write-ahead journal (daemon/journal.hpp) appends
+// one record per state-changing event. A crash can tear the final write
+// at any byte, so every record line carries a CRC32 of its payload:
+//
+//   <8 lowercase hex digits of crc32(payload)> <compact JSON payload>\n
+//
+// A reader walks the file line by line and stops at the first record
+// whose CRC or JSON does not check out — everything before the torn tail
+// is trusted, everything from it on is discarded (and reported, so the
+// journal owner can warn). Compact serialization never emits raw
+// newlines, so the line boundary is unambiguous.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jsonlite/json.hpp"
+
+namespace chpo::json {
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`.
+std::uint32_t crc32(std::string_view bytes);
+
+/// Frame one record: "<crc32 hex> <compact json>\n".
+std::string encode_record(const Value& value);
+
+/// One attempted record decode. A failed decode means the line was torn
+/// or corrupted — `error` says how.
+struct RecordDecode {
+  Value value;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Decode one record line (without its trailing '\n').
+RecordDecode decode_record(std::string_view line);
+
+/// A whole record file replayed up to the last intact record.
+struct RecordReplay {
+  std::vector<Value> records;  ///< every record before the first bad line
+  /// Bytes discarded from the first bad/torn line to end of file
+  /// (0 = the file was fully intact).
+  std::size_t torn_bytes = 0;
+  /// Why the tail was discarded (empty when torn_bytes == 0).
+  std::string torn_error;
+  bool torn() const { return torn_bytes > 0; }
+};
+
+/// Read `path` and decode records until the first corrupt or torn line.
+/// A missing file is an empty, untorn replay — append-only logs start
+/// empty. A final line with no '\n' is decoded if it checks out (the
+/// crash landed between write and newline being visible is impossible —
+/// the newline is part of the same write — but a torn write may still
+/// keep the line intact up to the cut).
+RecordReplay read_records(const std::string& path);
+
+}  // namespace chpo::json

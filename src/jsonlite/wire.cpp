@@ -12,12 +12,25 @@ void LineDecoder::feed(std::string_view bytes) {
   std::size_t start = 0;
   while (start < bytes.size()) {
     std::size_t nl = bytes.find('\n', start);
+    if (discarding_) {
+      // Tail of a line that already blew the limit: swallow to newline.
+      if (nl == std::string_view::npos) return;
+      discarding_ = false;
+      start = nl + 1;
+      continue;
+    }
     if (nl == std::string_view::npos) {
       partial_.append(bytes.substr(start));
+      if (partial_.size() > max_line_bytes_) oversized();
       break;
     }
     partial_.append(bytes.substr(start, nl - start));
     start = nl + 1;
+    if (partial_.size() > max_line_bytes_) {
+      oversized();
+      discarding_ = false;  // this line ended at the newline we just ate
+      continue;
+    }
     // Tolerate CRLF clients.
     if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
     std::string line;
@@ -39,6 +52,16 @@ std::optional<Frame> LineDecoder::next() {
   Frame frame = std::move(ready_.front());
   ready_.pop_front();
   return frame;
+}
+
+void LineDecoder::oversized() {
+  Frame frame;
+  frame.error = "line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes (protocol limit); closing connection";
+  frame.fatal = true;
+  ready_.push_back(std::move(frame));
+  partial_.clear();
+  discarding_ = true;
 }
 
 }  // namespace chpo::json

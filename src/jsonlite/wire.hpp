@@ -26,17 +26,30 @@ std::string encode_frame(const Value& value);
 /// ok() == true  -> value holds the parsed document;
 /// ok() == false -> error holds the parse failure message and `raw`
 ///                  the offending line (for diagnostics / error replies).
+/// `fatal` marks a protocol violation the connection cannot recover from
+/// (an oversized line): the peer should be sent the error and dropped.
 struct Frame {
   Value value;
   std::string error;
   std::string raw;
+  bool fatal = false;
   bool ok() const { return error.empty(); }
 };
 
 /// Incremental NDJSON line decoder. feed() bytes as they arrive; next()
 /// pops completed frames in arrival order. Blank lines are skipped.
+///
+/// Input is bounded: a line longer than max_line_bytes() yields one fatal
+/// error frame the moment the limit is crossed — the decoder never
+/// buffers more than the limit, so a client streaming an endless line
+/// cannot grow the buffer without bound. The remainder of the oversized
+/// line is discarded up to its newline; the owner is expected to fail
+/// the connection on the fatal frame regardless.
 class LineDecoder {
  public:
+  /// Default cap on one line's bytes (1 MiB).
+  static constexpr std::size_t kDefaultMaxLineBytes = 1u << 20;
+
   /// Append a chunk of raw bytes from the stream.
   void feed(std::string_view bytes);
 
@@ -46,9 +59,20 @@ class LineDecoder {
   /// Bytes of the current (incomplete) trailing line.
   std::size_t pending_bytes() const { return partial_.size(); }
 
+  /// Cap one line's length; crossing it is a fatal protocol error.
+  void set_max_line_bytes(std::size_t bytes) { max_line_bytes_ = bytes; }
+  std::size_t max_line_bytes() const { return max_line_bytes_; }
+
  private:
+  /// Emit the fatal oversized-line frame and enter discard mode.
+  void oversized();
+
   std::string partial_;
   std::deque<Frame> ready_;
+  std::size_t max_line_bytes_ = kDefaultMaxLineBytes;
+  /// An oversized line already produced its fatal frame; swallow its
+  /// remaining bytes until the next newline.
+  bool discarding_ = false;
 };
 
 }  // namespace chpo::json

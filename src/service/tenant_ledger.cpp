@@ -1,6 +1,23 @@
 #include "service/tenant_ledger.hpp"
 
+#include <algorithm>
+
 namespace chpo::service {
+
+StudyCloseTotals study_close_totals(const hpo::HpoOutcome& outcome, bool killed) {
+  StudyCloseTotals totals;
+  totals.trials = outcome.trials.size();
+  for (const hpo::Trial& trial : outcome.trials) {
+    if (trial.attempts > 0)
+      totals.task_attempts += static_cast<std::size_t>(trial.attempts);
+    else
+      ++totals.replayed_trials;
+  }
+  if (outcome.reuse) totals.cache_hits = outcome.reuse->cache.hits;
+  totals.engine_seconds = outcome.elapsed_seconds;
+  totals.killed = killed;
+  return totals;
+}
 
 bool TenantLedger::admit_study(const std::string& tenant) {
   TenantStats& stats = stats_[tenant];
@@ -12,48 +29,137 @@ bool TenantLedger::admit_study(const std::string& tenant) {
   return true;
 }
 
+void TenantLedger::note_rejected(const std::string& tenant) {
+  ++stats_[tenant].submits_rejected;
+}
+
 void TenantLedger::on_submitted(const std::string& tenant) {
   TenantStats& stats = stats_[tenant];
   ++stats.studies_submitted;
   ++stats.studies_active;
 }
 
-void TenantLedger::on_trial(const std::string& tenant, const hpo::Trial* trial) {
+TrialDelta TenantLedger::on_trial(const std::string& tenant, const hpo::Trial* trial) {
   TenantStats& stats = stats_[tenant];
   ++stats.trials_completed;
-  if (trial == nullptr) return;
+  TrialDelta delta;
+  if (trial == nullptr) return delta;
   if (trial->attempts > 0)
-    stats.task_attempts += static_cast<std::size_t>(trial->attempts);
+    delta.task_attempts = static_cast<std::size_t>(trial->attempts);
   else
-    ++stats.replayed_trials;  // served without ever dispatching a task
+    delta.replayed_trials = 1;  // served without ever dispatching a task
+  stats.task_attempts += delta.task_attempts;
+  stats.replayed_trials += delta.replayed_trials;
+  return delta;
 }
 
 void TenantLedger::on_study_closed(const std::string& tenant, const hpo::HpoOutcome& outcome,
                                    std::size_t trials_already_counted, bool killed) {
+  // Convenience wrapper for callers that only mirror the trial count: the
+  // uncounted remainder is assumed to be checkpoint replays (0 attempts),
+  // so every task attempt was applied live and the live-applied replays
+  // are whatever replays the remainder does not account for. Callers that
+  // mirror full per-study deltas (the daemon) use apply_closed directly.
+  const StudyCloseTotals totals = study_close_totals(outcome, killed);
+  const std::size_t uncounted =
+      totals.trials > trials_already_counted ? totals.trials - trials_already_counted : 0;
+  TrialDelta counted_delta;
+  counted_delta.task_attempts = totals.task_attempts;
+  counted_delta.replayed_trials =
+      totals.replayed_trials >= uncounted ? totals.replayed_trials - uncounted : 0;
+  apply_closed(tenant, totals, trials_already_counted, counted_delta);
+}
+
+void TenantLedger::apply_closed(const std::string& tenant, const StudyCloseTotals& totals,
+                                std::size_t counted, const TrialDelta& counted_delta) {
   TenantStats& stats = stats_[tenant];
   if (stats.studies_active > 0) --stats.studies_active;
-  if (killed)
+  if (totals.killed)
     ++stats.studies_killed;
   else
     ++stats.studies_finished;
-  stats.engine_seconds += outcome.elapsed_seconds;
-  if (outcome.reuse) stats.cache_hits += outcome.reuse->cache.hits;
-  // Trials that never produced a completion event (checkpoint replays
-  // recorded inline at start) are reconciled here, so the tenant total
-  // always equals the sum of its per-study reports.
-  const std::size_t total = outcome.trials.size();
-  if (total > trials_already_counted) {
-    const std::size_t extra = total - trials_already_counted;
-    stats.trials_completed += extra;
-    stats.replayed_trials += extra;
-  }
+  stats.engine_seconds += totals.engine_seconds;
+  stats.cache_hits += totals.cache_hits;
+  // Exactly-once reconciliation: the study's absolute totals minus what
+  // the live per-trial path already folded in. Trials that never produced
+  // a completion event (checkpoint replays recorded inline at start, or
+  // every trial after a crash-recovery resubmit) land here.
+  if (totals.trials > counted) stats.trials_completed += totals.trials - counted;
+  if (totals.task_attempts > counted_delta.task_attempts)
+    stats.task_attempts += totals.task_attempts - counted_delta.task_attempts;
+  if (totals.replayed_trials > counted_delta.replayed_trials)
+    stats.replayed_trials += totals.replayed_trials - counted_delta.replayed_trials;
+}
+
+void TenantLedger::withdraw_live(const std::string& tenant, std::size_t trials_counted,
+                                 const TrialDelta& counted_delta) {
+  TenantStats& s = stats_[tenant];
+  if (s.studies_submitted > 0) --s.studies_submitted;
+  if (s.studies_active > 0) --s.studies_active;
+  s.trials_completed -= std::min(trials_counted, s.trials_completed);
+  s.task_attempts -= std::min(counted_delta.task_attempts, s.task_attempts);
+  s.replayed_trials -= std::min(counted_delta.replayed_trials, s.replayed_trials);
 }
 
 std::vector<std::string> TenantLedger::tenants() const {
   std::vector<std::string> names;
-  names.reserve(stats_.size());
+  names.reserve(stats_.size() + quotas_.size());
   for (const auto& [name, _] : stats_) names.push_back(name);
+  for (const auto& [name, _] : quotas_)
+    if (stats_.find(name) == stats_.end()) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
+}
+
+json::Value TenantLedger::tenant_to_json(const std::string& tenant) const {
+  const TenantStats s = stats(tenant);
+  const TenantQuota q = quota(tenant);
+  json::Value entry;
+  entry.set("tenant", json::Value(tenant));
+  entry.set("studies_submitted", json::Value(static_cast<std::int64_t>(s.studies_submitted)));
+  entry.set("studies_active", json::Value(static_cast<std::int64_t>(s.studies_active)));
+  entry.set("studies_finished", json::Value(static_cast<std::int64_t>(s.studies_finished)));
+  entry.set("studies_killed", json::Value(static_cast<std::int64_t>(s.studies_killed)));
+  entry.set("submits_rejected", json::Value(static_cast<std::int64_t>(s.submits_rejected)));
+  entry.set("trials_completed", json::Value(static_cast<std::int64_t>(s.trials_completed)));
+  entry.set("task_attempts", json::Value(static_cast<std::int64_t>(s.task_attempts)));
+  entry.set("replayed_trials", json::Value(static_cast<std::int64_t>(s.replayed_trials)));
+  entry.set("cache_hits", json::Value(static_cast<std::int64_t>(s.cache_hits)));
+  entry.set("engine_seconds", json::Value(s.engine_seconds));
+  entry.set("weight", json::Value(q.weight));
+  entry.set("max_active_studies", json::Value(static_cast<std::int64_t>(q.max_active_studies)));
+  return entry;
+}
+
+namespace {
+std::size_t size_field(const json::Value& entry, std::string_view key) {
+  const json::Value* v = entry.find(key);
+  return v != nullptr && v->is_int() && v->as_int() > 0 ? static_cast<std::size_t>(v->as_int())
+                                                        : 0;
+}
+}  // namespace
+
+void TenantLedger::restore_tenant(const json::Value& entry) {
+  const json::Value* name = entry.find("tenant");
+  if (name == nullptr || !name->is_string()) return;
+  TenantStats s;
+  s.studies_submitted = size_field(entry, "studies_submitted");
+  s.studies_active = size_field(entry, "studies_active");
+  s.studies_finished = size_field(entry, "studies_finished");
+  s.studies_killed = size_field(entry, "studies_killed");
+  s.submits_rejected = size_field(entry, "submits_rejected");
+  s.trials_completed = size_field(entry, "trials_completed");
+  s.task_attempts = size_field(entry, "task_attempts");
+  s.replayed_trials = size_field(entry, "replayed_trials");
+  s.cache_hits = size_field(entry, "cache_hits");
+  if (const json::Value* v = entry.find("engine_seconds"); v != nullptr && v->is_number())
+    s.engine_seconds = v->as_double();
+  TenantQuota q;
+  if (const json::Value* v = entry.find("weight"); v != nullptr && v->is_number())
+    q.weight = v->as_double();
+  q.max_active_studies = size_field(entry, "max_active_studies");
+  stats_[name->as_string()] = s;
+  quotas_[name->as_string()] = q;
 }
 
 }  // namespace chpo::service

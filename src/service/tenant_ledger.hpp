@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "hpo/driver.hpp"
+#include "jsonlite/json.hpp"
 
 namespace chpo::service {
 
@@ -42,18 +43,46 @@ struct TenantStats {
   double engine_seconds = 0.0;       ///< sum of finished studies' elapsed time
 };
 
+/// What one live trial completion added to the meter — mirrored by the
+/// caller per study, so a snapshot can subtract live (not-yet-closed)
+/// contributions and a crash-replay can re-apply a close exactly once.
+struct TrialDelta {
+  std::size_t task_attempts = 0;
+  std::size_t replayed_trials = 0;
+};
+
+/// A study's final, absolute contribution to its tenant's meter —
+/// everything on_study_closed folds in, flattened into plain numbers so
+/// the daemon can journal it and replay it verbatim after a crash.
+struct StudyCloseTotals {
+  std::size_t trials = 0;
+  std::size_t task_attempts = 0;
+  std::size_t replayed_trials = 0;
+  std::uint64_t cache_hits = 0;
+  double engine_seconds = 0.0;
+  bool killed = false;
+};
+
+/// Flatten an outcome into the totals a close applies.
+StudyCloseTotals study_close_totals(const hpo::HpoOutcome& outcome, bool killed);
+
 class TenantLedger {
  public:
   /// True iff `tenant` may start another study under its quota. A denial
   /// is counted in submits_rejected (callers reject the submission).
   bool admit_study(const std::string& tenant);
 
+  /// Record a quota denial without re-running admission — the crash
+  /// recovery path replays journalled rejections through this.
+  void note_rejected(const std::string& tenant);
+
   /// Record a successful submission (after admit_study said yes).
   void on_submitted(const std::string& tenant);
 
   /// Fold one completed trial into the meter as it lands (streamed from
   /// the StudyManager event tap, so `accounting` is live, not post-hoc).
-  void on_trial(const std::string& tenant, const hpo::Trial* trial);
+  /// Returns what was added beyond the trial count itself.
+  TrialDelta on_trial(const std::string& tenant, const hpo::Trial* trial);
 
   /// Fold a study's final outcome in when it leaves the fleet
   /// (Finished or Killed). `trials_already_counted` is how many of the
@@ -62,6 +91,21 @@ class TenantLedger {
   /// reconciled here so totals always match the per-study report.
   void on_study_closed(const std::string& tenant, const hpo::HpoOutcome& outcome,
                        std::size_t trials_already_counted, bool killed);
+
+  /// The general close: apply `totals` minus what was already metered
+  /// live (`counted` trials / `counted_delta` attempt meters). Normal
+  /// operation passes the live meters; crash-replay passes zeros (the
+  /// recovered ledger holds no live contribution for the study), so a
+  /// study's trials and engine-seconds land exactly once either way.
+  void apply_closed(const std::string& tenant, const StudyCloseTotals& totals,
+                    std::size_t counted, const TrialDelta& counted_delta);
+
+  /// Remove one live (not-yet-closed) study's contribution from the meter:
+  /// its submission, its active slot, and whatever on_trial folded in so
+  /// far. Used on a snapshot COPY of the ledger — the persisted meter must
+  /// exclude what the restart's resubmission and eventual close re-apply.
+  void withdraw_live(const std::string& tenant, std::size_t trials_counted,
+                     const TrialDelta& counted_delta);
 
   void set_quota(const std::string& tenant, TenantQuota quota) {
     quotas_[tenant] = quota;
@@ -77,8 +121,15 @@ class TenantLedger {
     return it == stats_.end() ? TenantStats{} : it->second;
   }
 
-  /// Tenants with any recorded activity, in name order.
+  /// Tenants with any recorded activity or an explicit quota, in name
+  /// order (quota-only tenants must survive a snapshot round-trip).
   std::vector<std::string> tenants() const;
+
+  /// Serialize one tenant's meter + quota (the daemon's snapshot writes
+  /// one entry per tenant). restore_tenant is its inverse: it REPLACES
+  /// the tenant's stats and quota wholesale (recovery-time use only).
+  json::Value tenant_to_json(const std::string& tenant) const;
+  void restore_tenant(const json::Value& entry);
 
  private:
   std::map<std::string, TenantStats> stats_;

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Daemon crash smoke: the write-ahead journal must make `kill -9` at an
+# arbitrary instant survivable. Phase 1 SIGKILLs a daemon with studies in
+# flight, restarts it on the same state dir, and requires every
+# acknowledged study to finish with its full budget counted exactly once
+# (per-tenant accounting equals the per-study sums); a client resubmit
+# with the same --id must dedup instead of double-charging. Phase 2 uses
+# the CHPO_CRASH_AFTER_OP/CHPO_CRASH_TORN hook to die mid-append, leaving
+# a torn journal tail the next boot must quarantine without losing the
+# ledger. Clients ride through the restarts on --retries/--backoff-ms.
+#
+# Usage: daemon_crash_smoke.sh [build_dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+SERVE="$BUILD/tools/chpo_serve"
+CTL="$BUILD/tools/chpo_ctl"
+WORK="$(mktemp -d)"
+SOCK="$WORK/chpo.sock"
+STATE="$WORK/state"
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/space.json" <<'EOF'
+{
+  "learning_rate": [0.01, 0.05, 0.1],
+  "num_epochs": [1, 2],
+  "batch_size": [16, 32]
+}
+EOF
+
+start_daemon() {
+  "$SERVE" --socket "$SOCK" --state-dir "$STATE" --simulate \
+    --train-samples 120 --test-samples 60 --seed 7 >> "$WORK/serve.log" 2>&1 &
+  SERVE_PID=$!
+}
+
+await_daemon() {
+  for _ in $(seq 100); do
+    "$CTL" ping --socket "$SOCK" --timeout 2 >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "daemon did not come up"; cat "$WORK/serve.log"; exit 1
+}
+
+# value_of <line-grep> <key> <file>: key=value extractor for one output line.
+value_of() {
+  grep "$1" "$3" | head -1 | tr ' ' '\n' | grep "^$2=" | cut -d= -f2
+}
+
+C() { "$CTL" "$@" --socket "$SOCK" --timeout 60; }
+# Retrying variant: rides through a daemon restart on backoff.
+CR() { "$CTL" "$@" --socket "$SOCK" --timeout 60 --retries 20 --backoff-ms 100; }
+
+# Poll accounting until a tenant's meter reaches the expected value.
+await_meter() { # tenant key value
+  for _ in $(seq 300); do
+    C accounting > "$WORK/acct_poll.out" 2>/dev/null || { sleep 0.2; continue; }
+    [ "$(value_of "tenant=$1" "$2" "$WORK/acct_poll.out")" = "$3" ] && return 0
+    sleep 0.2
+  done
+  echo "tenant $1 never reached $2=$3"; C accounting || true; exit 1
+}
+
+echo "=== phase 1: kill -9 with studies in flight ==="
+start_daemon
+await_daemon
+C submit "$WORK/space.json" --tenant alice --set algorithm=random --set budget=6 \
+  --id alice-crash-1 | tee "$WORK/submit_alice.out" | grep -q 'state='
+C submit "$WORK/space.json" --tenant bob --set algorithm=tpe --set budget=8 \
+  --id bob-crash-1 | grep -q 'state='
+
+# The studies were acknowledged; nothing that happens now may lose them.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Restart on the same state dir; the client's first attempts land while
+# the socket is still down and must back off, not fail.
+start_daemon
+CR accounting > "$WORK/acct_restart.out"
+grep -q 'tenant=alice' "$WORK/acct_restart.out"
+
+# A retry of the acknowledged submit is recognized, not double-charged.
+C submit "$WORK/space.json" --tenant alice --set algorithm=random --set budget=6 \
+  --id alice-crash-1 | tee "$WORK/resubmit.out" | grep -q 'duplicate=true'
+
+# Both studies run to completion: the budget is counted exactly once
+# across the crash (checkpoints replay, close-time reconciliation).
+await_meter alice trials_completed 6
+await_meter bob trials_completed 8
+C accounting > "$WORK/acct1.out"
+[ "$(value_of 'tenant=alice' studies_submitted "$WORK/acct1.out")" = "1" ] \
+  || { echo "alice double-charged by the resubmit"; cat "$WORK/acct1.out"; exit 1; }
+[ "$(value_of 'tenant=alice' studies_finished "$WORK/acct1.out")" = "1" ]
+[ "$(value_of 'tenant=bob' studies_finished "$WORK/acct1.out")" = "1" ]
+
+echo "=== accounting reconciles against per-study sums ==="
+C list > "$WORK/list1.out"
+for tenant in alice bob; do
+  reported="$(grep "tenant=$tenant" "$WORK/list1.out" \
+    | sed 's/.*trials_done=\([0-9]*\).*/\1/' | awk '{s+=$1} END {print s+0}')"
+  accounted="$(value_of "tenant=$tenant" trials_completed "$WORK/acct1.out")"
+  if [ "$reported" != "$accounted" ]; then
+    echo "tenant $tenant: accounting $accounted != per-study sum $reported"; exit 1
+  fi
+done
+C stats | tee "$WORK/stats1.out" | grep -q 'leaked_completions=0'
+grep -q 'lineage_violations=0' "$WORK/stats1.out"
+kill -9 "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true; SERVE_PID=""
+
+echo "=== phase 2: crash hook tears the journal mid-append ==="
+CHPO_CRASH_AFTER_OP=1 CHPO_CRASH_TORN=1 \
+  "$SERVE" --socket "$SOCK" --state-dir "$STATE" --simulate \
+  --train-samples 120 --test-samples 60 --seed 7 >> "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+await_daemon
+# This submit's journal append is torn in half and the daemon dies before
+# acknowledging: the client fails fast, and recovery must drop the tail.
+C submit "$WORK/space.json" --tenant carol --set algorithm=random --set budget=4 \
+  --id carol-torn-1 --retries 1 > "$WORK/submit_carol.out" 2>&1 && {
+    echo "submit should have failed (daemon crashed mid-append)"; exit 1; }
+wait "$SERVE_PID" 2>/dev/null && { echo "daemon survived its crash hook"; exit 1; }
+SERVE_PID=""
+
+start_daemon
+await_daemon
+grep -q 'journal tail torn' "$WORK/serve.log" \
+  || { echo "torn tail was not detected"; cat "$WORK/serve.log"; exit 1; }
+C list > "$WORK/list2.out"
+grep -q 'tenant=carol' "$WORK/list2.out" \
+  && { echo "unacknowledged torn submit resurrected"; exit 1; }
+# The ledger survived both crashes: phase 1's meters are still exact.
+C accounting > "$WORK/acct2.out"
+[ "$(value_of 'tenant=alice' trials_completed "$WORK/acct2.out")" = "6" ]
+[ "$(value_of 'tenant=bob' trials_completed "$WORK/acct2.out")" = "8" ]
+C stats | grep -q 'leaked_completions=0'
+C shutdown | grep -q 'drained=true'
+wait "$SERVE_PID"; SERVE_PID=""
+
+echo "daemon crash smoke OK"

@@ -106,7 +106,9 @@ grep -q 'alice-tpe' "$WORK/list2.out"
 RESUMED="$(value_of 'alice-tpe' study "$WORK/list2.out")"
 C watch --study "$RESUMED" --until finished > "$WORK/watch_resumed.out"
 grep -q 'state=finished' "$WORK/watch_resumed.out"
-C accounting | grep 'tenant=alice' | grep -q 'studies_finished=1'
+# The ledger survives the restart (snapshot + journal): phase 1's finished
+# study plus the resumed one — the meter is cumulative across lifetimes.
+C accounting | grep 'tenant=alice' | grep -q 'studies_finished=2'
 C stats | grep -q 'leaked_completions=0'
 C shutdown | grep -q 'drained=true'
 wait "$SERVE_PID"; SERVE_PID=""

@@ -12,7 +12,11 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -387,6 +391,268 @@ TEST(DaemonServer, ShutdownWithQueuedStudiesWritesManifestAndRestartResumes) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash safety: journal replay, idempotent resubmit, exactly-once ledger
+// ---------------------------------------------------------------------------
+
+fs::path fresh_state_dir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("chpo_crash_test_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// A submit carrying a client-chosen string id — the idempotency key.
+json::Value keyed_submit(const std::string& tenant, const std::string& algorithm, int budget,
+                         const std::string& key, bool paused = false) {
+  json::Value request = submit_request(tenant, algorithm, budget);
+  request.set("id", json::Value(key));
+  if (paused) {
+    json::Value spec = request.at("spec");
+    spec.set("paused", json::Value(true));
+    request.set("spec", spec);
+  }
+  return request;
+}
+
+TEST(DaemonServer, IdempotentSubmitDedupesByClientKey) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 14);
+  daemon::Server server(sim_options(), dataset);
+
+  const json::Value first = reply_of(server.handle(1, keyed_submit("alice", "random", 3, "r1")));
+  ASSERT_TRUE(reply_ok(first));
+  EXPECT_FALSE(first.contains("duplicate"));
+  const std::int64_t id = first.at("study").as_int();
+
+  // A client retry of the same request (reply lost to a timeout) must get
+  // the original study back and charge nothing.
+  const json::Value retry = reply_of(server.handle(1, keyed_submit("alice", "random", 3, "r1")));
+  ASSERT_TRUE(reply_ok(retry));
+  EXPECT_TRUE(retry.at("duplicate").as_bool());
+  EXPECT_EQ(retry.at("study").as_int(), id);
+  EXPECT_EQ(retry.at("name").as_string(), first.at("name").as_string());
+  EXPECT_EQ(server.ledger().stats("alice").studies_submitted, 1u);
+
+  // Keys are scoped per tenant: the same id elsewhere is a new request.
+  const json::Value other = reply_of(server.handle(1, keyed_submit("bob", "random", 3, "r1")));
+  ASSERT_TRUE(reply_ok(other));
+  EXPECT_FALSE(other.contains("duplicate"));
+
+  run_to_idle(server);
+
+  // A retry after the study closed still answers with its fate.
+  const json::Value late = reply_of(server.handle(1, keyed_submit("alice", "random", 3, "r1")));
+  ASSERT_TRUE(reply_ok(late));
+  EXPECT_TRUE(late.at("duplicate").as_bool());
+  EXPECT_EQ(late.at("state").as_string(), "finished");
+  EXPECT_EQ(server.ledger().stats("alice").studies_submitted, 1u);
+
+  // Integer request ids (the plain protocol) never participate in dedup.
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("carol", "random", 2, 7)))));
+  ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("carol", "random", 2, 7)))));
+  EXPECT_EQ(server.ledger().stats("carol").studies_submitted, 2u);
+}
+
+// The core crash-safety property: destroy the server WITHOUT shutdown
+// (process death — nothing is flushed beyond what the journal already made
+// durable) after each acknowledged operation in turn, restart on the same
+// state dir, and require every acknowledged study back, every closed study
+// counted exactly once, and nothing leaked.
+TEST(DaemonServer, CrashRecoveryAtEveryInjectionPointIsExactlyOnce) {
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 10);
+  struct TenantExp {
+    std::int64_t submitted = 0, finished = 0, killed = 0, trials = 0;
+  };
+
+  for (int cut = 1; cut <= 6; ++cut) {
+    SCOPED_TRACE("crash after op " + std::to_string(cut));
+    const fs::path state_dir = fresh_state_dir("cut" + std::to_string(cut));
+    std::map<std::string, TenantExp> exp;
+    std::set<std::string> paused_tenants;
+    std::int64_t carol_study = -1;
+    int live = 0;
+
+    {
+      daemon::ServerOptions options = sim_options();
+      options.state_dir = state_dir.string();
+      daemon::Server server(std::move(options), dataset);
+      const std::vector<std::function<void()>> ops = {
+          [&] {  // 1: an acknowledged submit must survive any later crash
+            ASSERT_TRUE(
+                reply_ok(reply_of(server.handle(1, keyed_submit("alice", "random", 4, "a1")))));
+            exp["alice"] = {1, 1, 0, 4};
+            ++live;
+          },
+          [&] {  // 2
+            ASSERT_TRUE(
+                reply_ok(reply_of(server.handle(1, keyed_submit("bob", "tpe", 5, "b1")))));
+            exp["bob"] = {1, 1, 0, 5};
+            ++live;
+          },
+          [&] {  // 3: run both to completion — their closes hit the journal
+            run_to_idle(server);
+            live = 0;
+          },
+          [&] {  // 4: a paused submit rides into the crash still queued
+            const json::Value reply =
+                reply_of(server.handle(1, keyed_submit("carol", "random", 4, "c1", true)));
+            ASSERT_TRUE(reply_ok(reply));
+            carol_study = reply.at("study").as_int();
+            exp["carol"] = {1, 1, 0, 4};
+            paused_tenants.insert("carol");
+            ++live;
+          },
+          [&] {  // 5: kill before the first trial — counted, zero work
+            ASSERT_TRUE(reply_ok(reply_of(server.handle(1, op_request("kill", carol_study)))));
+            exp["carol"] = {1, 0, 1, 0};
+            paused_tenants.erase("carol");
+            --live;
+          },
+          [&] {  // 6
+            ASSERT_TRUE(
+                reply_ok(reply_of(server.handle(1, keyed_submit("erin", "random", 2, "e1")))));
+            exp["erin"] = {1, 1, 0, 2};
+            ++live;
+          },
+      };
+      for (int i = 0; i < cut; ++i) ops[static_cast<std::size_t>(i)]();
+      if (testing::Test::HasFatalFailure()) return;
+    }  // ~Server without shutdown: the in-process kill -9
+
+    daemon::ServerOptions options = sim_options();
+    options.state_dir = state_dir.string();
+    daemon::Server server(std::move(options), dataset);
+
+    // Exactly the studies that were live at the crash come back.
+    const json::Value list = reply_of(server.handle(1, op_request("list")));
+    const json::Array& rows = list.at("studies").as_array();
+    EXPECT_EQ(rows.size(), static_cast<std::size_t>(live));
+    for (const json::Value& row : rows) {
+      if (paused_tenants.count(row.at("tenant").as_string())) {
+        ASSERT_TRUE(
+            reply_ok(reply_of(server.handle(1, op_request("resume", row.at("study").as_int())))));
+      }
+    }
+    run_to_idle(server);
+
+    for (const auto& [tenant, want] : exp) {
+      const service::TenantStats got = server.ledger().stats(tenant);
+      EXPECT_EQ(static_cast<std::int64_t>(got.studies_submitted), want.submitted) << tenant;
+      EXPECT_EQ(static_cast<std::int64_t>(got.studies_finished), want.finished) << tenant;
+      EXPECT_EQ(static_cast<std::int64_t>(got.studies_killed), want.killed) << tenant;
+      EXPECT_EQ(static_cast<std::int64_t>(got.trials_completed), want.trials) << tenant;
+      EXPECT_EQ(got.studies_active, 0u) << tenant;
+    }
+    EXPECT_EQ(server.manager().leaked_completions(), 0u);
+    EXPECT_EQ(server.manager().lineage_violations(), 0u);
+
+    // The dedup window survived the crash: replaying the very first submit
+    // is recognized, and charges nothing.
+    const json::Value dup = reply_of(server.handle(1, keyed_submit("alice", "random", 4, "a1")));
+    ASSERT_TRUE(reply_ok(dup));
+    EXPECT_TRUE(dup.contains("duplicate"));
+    EXPECT_EQ(static_cast<std::int64_t>(server.ledger().stats("alice").studies_submitted),
+              exp["alice"].submitted);
+
+    fs::remove_all(state_dir);
+  }
+}
+
+TEST(DaemonServer, TornJournalTailIsDiscardedAndIntactPrefixRecovered) {
+  const fs::path state_dir = fresh_state_dir("torn");
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 11);
+  {
+    daemon::ServerOptions options = sim_options();
+    options.state_dir = state_dir.string();
+    daemon::Server server(std::move(options), dataset);
+    ASSERT_TRUE(reply_ok(reply_of(server.handle(1, keyed_submit("alice", "random", 3, "t1")))));
+  }
+  // The crash tore the final append mid-record: half a line, no newline.
+  // That operation was never acknowledged, so dropping it is correct.
+  {
+    std::ofstream journal(state_dir / "journal.ndjson", std::ios::binary | std::ios::app);
+    journal << "0badc0de {\"rec\":\"submit\",\"tenant\":\"never";
+  }
+  daemon::ServerOptions options = sim_options();
+  options.state_dir = state_dir.string();
+  daemon::Server server(std::move(options), dataset);
+
+  const json::Value list = reply_of(server.handle(1, op_request("list")));
+  const json::Array& rows = list.at("studies").as_array();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("tenant").as_string(), "alice");
+  run_to_idle(server);
+  EXPECT_EQ(server.ledger().stats("alice").studies_finished, 1u);
+  EXPECT_EQ(server.ledger().stats("alice").trials_completed, 3u);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  fs::remove_all(state_dir);
+}
+
+TEST(DaemonServer, CorruptManifestIsQuarantinedAndJournalStillRecovers) {
+  const fs::path state_dir = fresh_state_dir("badmanifest");
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 12);
+  {
+    daemon::ServerOptions options = sim_options();
+    options.state_dir = state_dir.string();
+    daemon::Server server(std::move(options), dataset);
+    ASSERT_TRUE(reply_ok(reply_of(server.handle(1, keyed_submit("alice", "random", 3, "m1")))));
+    EXPECT_FALSE(server.recovered_degraded());
+  }
+  {
+    std::ofstream manifest(state_dir / "manifest.json", std::ios::binary | std::ios::trunc);
+    manifest << "{\"studies\": [this is not json";
+  }
+  daemon::ServerOptions options = sim_options();
+  options.state_dir = state_dir.string();
+  daemon::Server server(std::move(options), dataset);
+
+  // The corrupt file is evidence, not garbage: quarantined, flagged, and
+  // everything the journal alone can prove is recovered.
+  EXPECT_TRUE(server.recovered_degraded());
+  EXPECT_TRUE(fs::exists(state_dir / "manifest.json.bad"));
+  EXPECT_TRUE(fs::exists(state_dir / "manifest.json"));  // rewritten healthy
+  const json::Value stats = reply_of(server.handle(1, op_request("stats")));
+  EXPECT_TRUE(stats.at("recovered_degraded").as_bool());
+
+  const json::Value list = reply_of(server.handle(1, op_request("list")));
+  ASSERT_EQ(list.at("studies").as_array().size(), 1u);
+  run_to_idle(server);
+  EXPECT_EQ(server.ledger().stats("alice").studies_finished, 1u);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  fs::remove_all(state_dir);
+}
+
+TEST(DaemonServer, StudyDrainedMidFlightReplaysAndCountsExactlyOnce) {
+  const fs::path state_dir = fresh_state_dir("drain");
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 13);
+  {
+    daemon::ServerOptions options = sim_options();
+    options.state_dir = state_dir.string();
+    daemon::Server server(std::move(options), dataset);
+    ASSERT_TRUE(reply_ok(reply_of(server.handle(1, submit_request("alice", "random", 3)))));
+    EXPECT_TRUE(server.handle(1, op_request("shutdown")).empty());
+    while (!server.done()) server.step(1e6);
+    EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  }
+  // Restart: the study replays its drained trials from checkpoints and
+  // finishes the rest — the meter lands on the budget exactly (a double
+  // count or a loss across the restart would miss it).
+  daemon::ServerOptions options = sim_options();
+  options.state_dir = state_dir.string();
+  daemon::Server server(std::move(options), dataset);
+  ASSERT_EQ(reply_of(server.handle(1, op_request("list"))).at("studies").as_array().size(), 1u);
+  run_to_idle(server);
+  const service::TenantStats got = server.ledger().stats("alice");
+  EXPECT_EQ(got.studies_submitted, 1u);
+  EXPECT_EQ(got.studies_finished, 1u);
+  EXPECT_EQ(got.studies_killed, 0u);
+  EXPECT_EQ(got.studies_active, 0u);
+  EXPECT_EQ(got.trials_completed, 3u);
+  EXPECT_EQ(server.manager().leaked_completions(), 0u);
+  fs::remove_all(state_dir);
+}
+
+// ---------------------------------------------------------------------------
 // SocketDaemon end-to-end over a real Unix socket
 // ---------------------------------------------------------------------------
 
@@ -409,10 +675,29 @@ class RawClient {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  void send(const json::Value& request) {
-    const std::string bytes = json::encode_frame(request);
-    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
-              static_cast<ssize_t>(bytes.size()));
+  void send(const json::Value& request) { send_raw(json::encode_frame(request)); }
+
+  void send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        ADD_FAILURE() << "send failed";
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// True when the daemon closes the connection (after draining its bytes).
+  bool eof() {
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n == 0) return true;
+      if (n < 0) return false;
+      decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
   }
 
   json::Value next() {
@@ -475,6 +760,36 @@ TEST(SocketDaemon, EndToEndSubmitWatchShutdownOverAUnixSocket) {
   daemon_thread.join();
   EXPECT_EQ(server.manager().leaked_completions(), 0u);
   EXPECT_FALSE(fs::exists(socket_path));  // unlinked on clean exit
+}
+
+TEST(SocketDaemon, OversizedRequestLineFailsOnlyThatConnection) {
+  const std::string socket_path =
+      (fs::temp_directory_path() / ("chpo_daemon_big_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  const ml::Dataset dataset = ml::make_mnist_like(80, 20, 15);
+  daemon::Server server(sim_options(), dataset);
+  daemon::SocketDaemon front_end(
+      {.socket_path = socket_path, .step_seconds = 1e5, .max_line_bytes = 256}, server);
+  std::thread daemon_thread([&] { EXPECT_EQ(front_end.run(), 0); });
+
+  {
+    // One endless line: the daemon must reply with a protocol error and
+    // close, never buffering the line past the cap.
+    RawClient offender(socket_path);
+    offender.send_raw(std::string(4096, 'x') + "\n");
+    const json::Value error = offender.next();
+    EXPECT_FALSE(reply_ok(error));
+    EXPECT_NE(error.at("error").as_string().find("protocol error"), std::string::npos);
+    EXPECT_TRUE(offender.eof());
+
+    // Other clients are unaffected; the daemon still serves and drains.
+    RawClient controller(socket_path);
+    controller.send(op_request("ping"));
+    EXPECT_TRUE(reply_ok(controller.next()));
+    controller.send(op_request("shutdown"));
+    EXPECT_TRUE(reply_ok(controller.next()));
+  }
+  daemon_thread.join();
 }
 
 }  // namespace

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "jsonlite/json.hpp"
+#include "jsonlite/record.hpp"
 #include "jsonlite/wire.hpp"
 
 namespace chpo::json {
@@ -204,6 +207,46 @@ TEST(Wire, DecoderSkipsBlankLinesAndCrlf) {
   EXPECT_EQ(dec.pending_bytes(), 0u);
 }
 
+TEST(Wire, DecoderBoundsLineLength) {
+  LineDecoder dec;
+  dec.set_max_line_bytes(16);
+  // The limit trips the instant it is crossed, before any newline.
+  dec.feed(std::string(17, 'x'));
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->ok());
+  EXPECT_TRUE(f->fatal);
+  EXPECT_NE(f->error.find("exceeds"), std::string::npos);
+  // The rest of the oversized line is swallowed without a second frame...
+  dec.feed(std::string(100, 'x'));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_LE(dec.pending_bytes(), 16u);
+  // ...and the next line after its newline decodes normally.
+  dec.feed("xxx\n{\"op\":\"ping\"}\n");
+  auto good = dec.next();
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(good->ok());
+  EXPECT_EQ(good->value.at("op").as_string(), "ping");
+}
+
+TEST(Wire, DecoderBoundsLineSplitAcrossChunks) {
+  LineDecoder dec;
+  dec.set_max_line_bytes(8);
+  dec.feed("{\"op\"");  // 5 bytes, under the cap
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed(":\"submit\"}");  // crosses the cap mid-line
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->fatal);
+  // A line exactly at the cap is fine.
+  LineDecoder ok;
+  ok.set_max_line_bytes(8);
+  ok.feed("{\"n\":1}\n");  // 7 bytes + newline
+  auto g = ok.next();
+  ASSERT_TRUE(g.has_value() && g->ok());
+  EXPECT_EQ(g->value.at("n").as_int(), 1);
+}
+
 TEST(Wire, RoundTripThroughDecoder) {
   Value v;
   v.set("op", Value("submit"));
@@ -215,6 +258,102 @@ TEST(Wire, RoundTripThroughDecoder) {
   auto f = dec.next();
   ASSERT_TRUE(f.has_value() && f->ok());
   EXPECT_EQ(f->value, v);
+}
+
+Value record(int n) {
+  Value v;
+  v.set("rec", Value("test"));
+  v.set("n", Value(n));
+  return v;
+}
+
+std::string temp_record_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("chpo_record_test_") + name + ".ndjson"))
+      .string();
+}
+
+TEST(Record, EncodeDecodeRoundTrip) {
+  const Value v = record(7);
+  const std::string line = encode_record(v);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  // "<8 hex> <payload>": fixed-width checksum, single separating space.
+  EXPECT_EQ(line[8], ' ');
+  const RecordDecode d = decode_record(std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(d.ok()) << d.error;
+  EXPECT_EQ(d.value, v);
+}
+
+TEST(Record, DecodeRejectsCorruption) {
+  std::string line = encode_record(record(1));
+  line.pop_back();  // strip '\n'
+  // Flip one payload byte: CRC must catch it.
+  std::string flipped = line;
+  flipped[flipped.size() - 2] ^= 0x01;
+  EXPECT_FALSE(decode_record(flipped).ok());
+  // Damage the checksum itself.
+  std::string bad_crc = line;
+  bad_crc[0] = bad_crc[0] == 'f' ? '0' : 'f';
+  EXPECT_FALSE(decode_record(bad_crc).ok());
+  // Truncate mid-payload (a torn write).
+  EXPECT_FALSE(decode_record(std::string_view(line).substr(0, line.size() / 2)).ok());
+  // Garbage shorter than the checksum header.
+  EXPECT_FALSE(decode_record("zzz").ok());
+  EXPECT_FALSE(decode_record("").ok());
+}
+
+TEST(Record, ReadRecordsStopsAtTornTail) {
+  const std::string path = temp_record_path("torn");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << encode_record(record(1)) << encode_record(record(2));
+    const std::string torn = encode_record(record(3));
+    out.write(torn.data(), static_cast<std::streamsize>(torn.size() / 2));  // torn write
+  }
+  const RecordReplay replay = read_records(path);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].at("n").as_int(), 1);
+  EXPECT_EQ(replay.records[1].at("n").as_int(), 2);
+  EXPECT_TRUE(replay.torn());
+  EXPECT_GT(replay.torn_bytes, 0u);
+  EXPECT_FALSE(replay.torn_error.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Record, ReadRecordsIntactFileAndMissingFile) {
+  const std::string path = temp_record_path("intact");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    for (int i = 0; i < 5; ++i) out << encode_record(record(i));
+  }
+  const RecordReplay replay = read_records(path);
+  EXPECT_EQ(replay.records.size(), 5u);
+  EXPECT_FALSE(replay.torn());
+  std::filesystem::remove(path);
+
+  const RecordReplay missing = read_records(path);
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_FALSE(missing.torn());
+}
+
+TEST(Record, CorruptRecordMidFileDiscardsEverythingAfter) {
+  const std::string path = temp_record_path("midfile");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << encode_record(record(1));
+    std::string bad = encode_record(record(2));
+    bad[10] ^= 0x01;  // corrupt the payload of the middle record
+    out << bad;
+    out << encode_record(record(3));
+  }
+  // Append-only logs trust nothing after the first bad record: the tail
+  // could be a resurrected older write landing past the corruption.
+  const RecordReplay replay = read_records(path);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].at("n").as_int(), 1);
+  EXPECT_TRUE(replay.torn());
+  std::filesystem::remove(path);
 }
 
 }  // namespace

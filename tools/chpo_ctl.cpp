@@ -16,9 +16,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -127,13 +130,68 @@ json::Value await_reply(Client& client) {
   }
 }
 
+/// Unique-enough idempotency key for a submit: the daemon's dedup window
+/// keys on string request ids, so a retry of this exact invocation (after
+/// a daemon crash ate the reply) returns the original study.
+std::string make_request_id() {
+  std::random_device rd;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ctl-%ld-%08x%08x", static_cast<long>(::getpid()), rd(), rd());
+  return buf;
+}
+
+/// Reconnect policy: bounded exponential backoff with jitter, shared by
+/// the initial connect, request retries, and watch resubscription.
+class Backoff {
+ public:
+  Backoff(int retries, double base_ms)
+      : retries_(std::max(1, retries)), base_ms_(std::max(1.0, base_ms)),
+        rng_(std::random_device{}()) {}
+
+  int retries() const { return retries_; }
+
+  /// Sleep before retry number `attempt` (0-based). Full jitter keeps a
+  /// fleet of clients from stampeding a daemon that just restarted.
+  void wait(int attempt) {
+    const double ceiling = base_ms_ * static_cast<double>(1 << std::min(attempt, 6));
+    std::uniform_real_distribution<double> jitter(0.5, 1.0);
+    const double ms = std::min(ceiling * jitter(rng_), 5000.0);
+    ::usleep(static_cast<useconds_t>(ms * 1000.0));
+  }
+
+ private:
+  int retries_;
+  double base_ms_;
+  std::mt19937 rng_;
+};
+
+std::unique_ptr<Client> connect_with_backoff(const std::string& socket, double timeout,
+                                             Backoff& backoff) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return std::make_unique<Client>(socket, timeout);
+    } catch (const std::exception& e) {
+      if (attempt + 1 >= backoff.retries()) throw;
+      std::fprintf(stderr, "chpo_ctl: %s; retrying (%d/%d)\n", e.what(), attempt + 1,
+                   backoff.retries());
+      backoff.wait(attempt);
+    }
+  }
+}
+
 int run(const ArgParser& args) {
   const std::string command = args.positional().front();
-  Client client(args.get("socket", "/tmp/chpo.sock"), args.get_double("timeout", 120.0));
+  const std::string socket = args.get("socket", "/tmp/chpo.sock");
+  const double timeout = args.get_double("timeout", 120.0);
+  Backoff backoff(static_cast<int>(args.get_int("retries", 5)),
+                  args.get_double("backoff-ms", 100.0));
 
   json::Value request;
   request.set("op", json::Value(command == "watch" ? "watch" : command));
-  request.set("id", json::Value(std::int64_t{1}));
+  if (command == "submit")
+    request.set("id", json::Value(args.has("id") ? args.get("id") : make_request_id()));
+  else
+    request.set("id", json::Value(std::int64_t{1}));
   if (args.has("tenant")) request.set("tenant", json::Value(args.get("tenant")));
   if (args.has("study"))
     request.set("study", json::Value(static_cast<std::int64_t>(args.get_int("study", 0))));
@@ -166,14 +224,29 @@ int run(const ArgParser& args) {
                   json::Value(static_cast<std::int64_t>(args.get_int("max-active", 0))));
   }
 
-  client.send(request);
-
   if (command == "watch") {
+    std::unique_ptr<Client> client = connect_with_backoff(socket, timeout, backoff);
+    client->send(request);
     const std::string until = args.get("until");
     const bool filtered = args.has("study");
     const auto target = static_cast<std::int64_t>(args.get_int("study", 0));
+    int failures = 0;
     while (true) {
-      const json::Value message = client.next();
+      json::Value message;
+      try {
+        message = client->next();
+        failures = 0;
+      } catch (const std::exception& e) {
+        // Daemon gone mid-stream (crash/restart): reconnect and
+        // resubscribe, so `watch --until` rides through the restart.
+        if (++failures >= backoff.retries()) throw;
+        std::fprintf(stderr, "chpo_ctl: %s; resubscribing (%d/%d)\n", e.what(), failures,
+                     backoff.retries());
+        backoff.wait(failures - 1);
+        client = connect_with_backoff(socket, timeout, backoff);
+        client->send(request);
+        continue;
+      }
       if (!is_event(message)) {
         if (const json::Value* ok = message.find("ok"); ok != nullptr && !ok->as_bool())
           return fail(message);
@@ -187,22 +260,36 @@ int run(const ArgParser& args) {
     }
   }
 
-  const json::Value reply = await_reply(client);
-  if (const json::Value* ok = reply.find("ok"); ok == nullptr || !ok->as_bool())
-    return fail(reply);
+  // One request, one reply — retried over a fresh connection on transport
+  // failure. Submits are safe to retry (idempotency key above); the other
+  // ops are reads or already-idempotent lifecycle transitions.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      std::unique_ptr<Client> client = connect_with_backoff(socket, timeout, backoff);
+      client->send(request);
+      const json::Value reply = await_reply(*client);
+      if (const json::Value* ok = reply.find("ok"); ok == nullptr || !ok->as_bool())
+        return fail(reply);
 
-  // Array-of-objects payloads (list, accounting) print one row per line.
-  bool printed_rows = false;
-  for (const auto& [key, value] : reply.as_object()) {
-    if (!value.is_array()) continue;
-    for (const json::Value& row : value.as_array())
-      if (row.is_object()) {
-        print_flat(row);
-        printed_rows = true;
+      // Array-of-objects payloads (list, accounting) print one row per line.
+      bool printed_rows = false;
+      for (const auto& [key, value] : reply.as_object()) {
+        if (!value.is_array()) continue;
+        for (const json::Value& row : value.as_array())
+          if (row.is_object()) {
+            print_flat(row);
+            printed_rows = true;
+          }
       }
+      if (!printed_rows) print_flat(reply);
+      return 0;
+    } catch (const std::exception& e) {
+      if (attempt + 1 >= backoff.retries()) throw;
+      std::fprintf(stderr, "chpo_ctl: %s; retrying request (%d/%d)\n", e.what(), attempt + 1,
+                   backoff.retries());
+      backoff.wait(attempt);
+    }
   }
-  if (!printed_rows) print_flat(reply);
-  return 0;
 }
 
 }  // namespace
@@ -217,6 +304,10 @@ int main(int argc, char** argv) {
       .add_option("weight", "quota: fair-share weight for the tenant", "")
       .add_option("max-active", "quota: max concurrently active studies", "")
       .add_option("timeout", "seconds to wait for the daemon", "120")
+      .add_option("retries", "connect/request attempts before giving up", "5")
+      .add_option("backoff-ms", "base retry backoff in ms (exponential, jittered)", "100")
+      .add_option("id", "submit: idempotency key (a retry with the same key "
+                        "returns the original study; default: generated)", "")
       .add_flag("paused", "submit: admit the study paused (resume it later)")
       .add_flag("help", "show this help");
 

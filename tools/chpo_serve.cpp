@@ -94,11 +94,17 @@ int serve(const ArgParser& args) {
   options.state_dir = state_dir;
   options.default_quota.max_active_studies =
       static_cast<std::size_t>(args.get_int("tenant-max-active", 0));
+  options.fsync = !args.get_bool("no-fsync");
+  options.journal_compact_every =
+      static_cast<std::size_t>(args.get_int("journal-compact-every", 256));
 
   daemon::Server server(std::move(options), dataset);
   daemon::SocketDaemonOptions daemon_options;
   daemon_options.socket_path = socket_path;
   daemon_options.step_seconds = static_cast<double>(args.get_int("step-ms", 50)) / 1000.0;
+  daemon_options.max_line_bytes =
+      static_cast<std::size_t>(args.get_int("max-line-bytes",
+                                            static_cast<long>(json::LineDecoder::kDefaultMaxLineBytes)));
   daemon::SocketDaemon front_end(std::move(daemon_options), server);
   return front_end.run();
 }
@@ -123,7 +129,13 @@ int main(int argc, char** argv) {
       .add_option("tenant-max-active", "default per-tenant active-study quota (0 = unlimited)",
                   "0")
       .add_option("step-ms", "engine slice between request polls, milliseconds", "50")
+      .add_option("journal-compact-every",
+                  "journal records between manifest compactions (0 = only at shutdown)", "256")
+      .add_option("max-line-bytes", "per-connection request line cap in bytes", "1048576")
       .add_option("log-level", "debug | info | warn", "info")
+      .add_flag("no-fsync",
+                "skip journal fsync before acknowledgements (faster, crash may lose "
+                "the last instants)")
       .add_flag("simulate", "discrete-event backend (virtual time, cluster scale)")
       .add_flag("help", "show this help");
 
