@@ -65,6 +65,7 @@ void StateJournal::crash_hook(const std::string& bytes) {
 bool StateJournal::append(const json::Value& record) {
   if (fd_ < 0) return false;
   const std::string bytes = json::encode_record(record);
+  const MutexLock lock(mutex_);
   crash_hook(bytes);
   if (!write_all(fd_, bytes.data(), bytes.size())) {
     log_warn("daemon", "journal append failed: {} (running degraded)", std::strerror(errno));
@@ -76,13 +77,18 @@ bool StateJournal::append(const json::Value& record) {
 }
 
 void StateJournal::sync() {
-  if (fd_ < 0 || !dirty_) return;
+  if (fd_ < 0) return;
+  // The journal lock held across fsync IS the durability barrier (the
+  // documented exemption from the blocking-call-under-lock lint rule).
+  const MutexLock lock(mutex_);
+  if (!dirty_) return;
   if (options_.fsync) ::fsync(fd_);
   dirty_ = false;
 }
 
 void StateJournal::reset() {
   if (fd_ < 0) return;
+  const MutexLock lock(mutex_);
   if (::ftruncate(fd_, 0) != 0)
     log_warn("daemon", "journal truncate failed: {}", std::strerror(errno));
   if (options_.fsync) ::fsync(fd_);

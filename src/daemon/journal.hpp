@@ -22,7 +22,13 @@
 // process right after (or, with CHPO_CRASH_TORN=1, halfway through) the
 // write — the exact abrupt-death instants the recovery path must absorb.
 //
-// Threading: coordinator-thread state, same confinement as the Server.
+// Threading: driven from the coordinator thread, same confinement as the
+// Server, but guarded by its own mutex (lockdep class daemon.journal) so
+// the append/fsync barrier is an explicit lock class in the global
+// acquisition order rather than an unstated convention. The journal lock
+// is by design held across fsync — it IS the durability barrier — which
+// is why daemon/journal.cpp is the one documented exemption from the
+// lint rule forbidding blocking calls under a lock.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +36,7 @@
 
 #include "jsonlite/json.hpp"
 #include "jsonlite/record.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace chpo::daemon {
 
@@ -65,10 +72,14 @@ class StateJournal {
   void sync();
 
   /// Records appended since the last reset() (compaction trigger).
-  std::size_t appended_since_reset() const { return appended_; }
+  std::size_t appended_since_reset() const {
+    const MutexLock lock(mutex_);
+    return appended_;
+  }
   /// True when the compaction threshold has been crossed.
   bool wants_compaction() const {
-    return enabled() && options_.compact_every > 0 && appended_ >= options_.compact_every;
+    const MutexLock lock(mutex_);
+    return fd_ >= 0 && options_.compact_every > 0 && appended_ >= options_.compact_every;
   }
 
   /// Truncate the journal after a successful snapshot. The truncate is
@@ -80,12 +91,16 @@ class StateJournal {
   static json::RecordReplay load(const std::string& path);
 
  private:
-  void crash_hook(const std::string& bytes);
+  void crash_hook(const std::string& bytes) CHPO_REQUIRES(mutex_);
 
   JournalOptions options_;
+  /// Set once in the constructor, closed in the destructor; stable in
+  /// between, so reads need no lock. The mutex serializes *use* of the fd
+  /// (append/sync/truncate) and the counters derived from it.
   int fd_ = -1;
-  std::size_t appended_ = 0;
-  bool dirty_ = false;
+  mutable Mutex mutex_{lockdep::kDaemonJournal};
+  std::size_t appended_ CHPO_GUARDED_BY(mutex_) = 0;
+  bool dirty_ CHPO_GUARDED_BY(mutex_) = false;
   /// CHPO_CRASH_AFTER_OP countdown (-1 = hook disabled).
   long crash_after_ = -1;
   bool crash_torn_ = false;

@@ -98,11 +98,11 @@ class SocketDaemon {
   std::thread io_thread_;
   std::atomic<bool> stop_{false};
 
-  chpo::Mutex queue_mutex_;
+  chpo::Mutex queue_mutex_{lockdep::kDaemonCmdQueue};
   chpo::CondVar queue_cv_;
   std::deque<Command> commands_ CHPO_GUARDED_BY(queue_mutex_);
 
-  chpo::Mutex out_mutex_;
+  chpo::Mutex out_mutex_{lockdep::kDaemonOutbox};
   std::deque<OutBytes> out_pending_ CHPO_GUARDED_BY(out_mutex_);
 };
 

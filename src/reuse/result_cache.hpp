@@ -90,7 +90,7 @@ class ResultCache {
   ReusePolicy policy_;
   /// Written once in the constructor (pre-sharing), read under mutex_.
   bool disk_ok_ = false;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::kResultCache};
   std::unordered_map<StageKey, Entry, StageKeyHash> memory_ CHPO_GUARDED_BY(mutex_);
   /// On-disk files in write order (oldest first) for disk-side eviction.
   std::vector<std::pair<std::string, std::size_t>> disk_files_ CHPO_GUARDED_BY(mutex_);

@@ -143,7 +143,7 @@ class DataRegistry {
 
   /// Many concurrent readers (task bodies resolving committed versions),
   /// one writer (the coordinator committing / dropping / recommitting).
-  mutable SharedMutex mutex_;
+  mutable SharedMutex mutex_{lockdep::kDataRegistry};
   std::vector<DatumInfo> data_ CHPO_GUARDED_BY(mutex_);
   std::size_t lost_count_ CHPO_GUARDED_BY(mutex_) = 0;
 };

@@ -189,7 +189,7 @@ class FaultInjector {
   /// decrement must be atomic. The node-event lists and policies are
   /// configuration-time state, written before any worker exists and read
   /// by the coordinator only, so they stay unguarded.
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::kFaultInjector};
   Rng rng_ CHPO_GUARDED_BY(mutex_);
   double task_failure_prob_ = 0.0;
   std::map<TaskId, int> forced_ CHPO_GUARDED_BY(mutex_);  ///< remaining forced failures

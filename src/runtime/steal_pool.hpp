@@ -67,7 +67,7 @@ class StealPool {
   /// One worker's deque. Heap-allocated so the Mutex address is stable
   /// across the owning vector's growth.
   struct WorkerQueue {
-    Mutex mutex;
+    Mutex mutex{lockdep::kStealShard};
     std::deque<Job> jobs CHPO_GUARDED_BY(mutex);
   };
 
@@ -83,7 +83,7 @@ class StealPool {
   /// queue, and a submit bumps the epoch *after* pushing. A fruitless scan
   /// only parks while the epoch is unchanged, so a push that lands between
   /// scan and park always prevents (or ends) the wait — no missed wakeup.
-  Mutex park_mutex_;
+  Mutex park_mutex_{lockdep::kStealPark};
   CondVar park_cv_;
   std::uint64_t work_epoch_ CHPO_GUARDED_BY(park_mutex_) = 0;
   bool stopping_ CHPO_GUARDED_BY(park_mutex_) = false;

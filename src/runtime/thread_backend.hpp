@@ -71,7 +71,7 @@ class ThreadBackend : public Backend {
   /// Guards the worker -> coordinator completion queue (the only state
   /// shared across threads on this backend; everything else is engine
   /// state confined to the coordinator via g_engine_ctx).
-  Mutex mutex_;
+  Mutex mutex_{lockdep::kBackendCompletions};
   CondVar cv_;
   std::deque<CompletionMsg> completions_ CHPO_GUARDED_BY(mutex_);
 };

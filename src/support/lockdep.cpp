@@ -1,0 +1,293 @@
+// Lock-order witness implementation (see lockdep.hpp for the model).
+//
+// Internal synchronization uses a raw std::mutex deliberately: the
+// witness cannot guard itself with the instrumented chpo::Mutex without
+// recursing into its own hooks. tools/lint exempts this file from the
+// raw-std-mutex rule for exactly that reason (the same way
+// thread_annotations.hpp is exempt from raw-lock-call).
+#include "support/lockdep.hpp"
+
+#ifdef CHPO_LOCKDEP
+
+#include <execinfo.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace chpo::lockdep {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+constexpr int kMaxHeld = 32;
+
+struct Stack {
+  void* frames[kMaxFrames];
+  int depth = 0;
+  void capture() { depth = ::backtrace(frames, kMaxFrames); }
+};
+
+struct HeldLock {
+  int class_id = -1;
+  const void* instance = nullptr;
+  Stack stack;
+};
+
+struct ClassInfo {
+  std::string name;
+  int rank = kUnranked;
+  const LockClass* source = nullptr;  ///< dedup key for named classes
+};
+
+/// First observation of "to acquired while from was held": both stacks.
+struct EdgeInfo {
+  Stack from_stack;  ///< where the outer (held) lock was acquired
+  Stack to_stack;    ///< where the inner lock was acquired under it
+};
+
+struct Witness {
+  std::mutex mu;
+  std::deque<ClassInfo> classes;                 // id = index
+  std::map<int, std::set<int>> adjacency;        // class id -> successors
+  std::map<std::pair<int, int>, EdgeInfo> edges;
+};
+
+Witness& witness() {
+  static Witness w;
+  return w;
+}
+
+/// Per-thread held-lock stack. Fixed capacity: no allocation on the
+/// acquire path, and a depth overflow is itself reported as a bug.
+struct HeldSet {
+  HeldLock held[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldSet t_held;
+
+void print_stack(const Stack& stack) {
+  ::backtrace_symbols_fd(const_cast<void**>(stack.frames), stack.depth, /*fd=*/2);
+}
+
+[[noreturn]] void abort_report() {
+  std::fprintf(stderr,
+               "chpo lockdep: aborting on first violation (fix the acquisition order or the "
+               "rank table in support/lockdep.hpp)\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// DFS: is `target` reachable from `from` in the order graph?
+/// Caller holds witness().mu. Fills `path` with the class ids walked
+/// (from -> ... -> target) when found.
+bool reachable(const Witness& w, int from, int target, std::set<int>& seen,
+               std::vector<int>& path) {
+  if (from == target) {
+    path.push_back(from);
+    return true;
+  }
+  if (!seen.insert(from).second) return false;
+  const auto it = w.adjacency.find(from);
+  if (it == w.adjacency.end()) return false;
+  for (const int next : it->second) {
+    if (reachable(w, next, target, seen, path)) {
+      path.push_back(from);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int register_class(const LockClass& cls) {
+  Witness& w = witness();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  for (std::size_t i = 0; i < w.classes.size(); ++i)
+    if (w.classes[i].source == &cls) return static_cast<int>(i);
+  w.classes.push_back(ClassInfo{cls.name != nullptr ? cls.name : "?", cls.rank, &cls});
+  return static_cast<int>(w.classes.size() - 1);
+}
+
+int register_anonymous() {
+  Witness& w = witness();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  const int id = static_cast<int>(w.classes.size());
+  w.classes.push_back(ClassInfo{"anon#" + std::to_string(id), kUnranked, nullptr});
+  return id;
+}
+
+void note_acquire(int class_id, const void* instance) {
+  if (class_id < 0) return;
+  HeldSet& held = t_held;
+
+  Stack here;
+  here.capture();
+
+  // Same-instance re-acquisition: a guaranteed self-deadlock (chpo::Mutex
+  // is not recursive). Report both stacks and abort before blocking.
+  for (int i = 0; i < held.depth; ++i) {
+    if (held.held[i].instance == instance) {
+      Witness& w = witness();
+      const std::lock_guard<std::mutex> lock(w.mu);
+      std::fprintf(stderr,
+                   "chpo lockdep: RECURSIVE ACQUISITION of lock class '%s' (instance %p)\n"
+                   "  first acquired at:\n",
+                   w.classes[class_id].name.c_str(), instance);
+      print_stack(held.held[i].stack);
+      std::fprintf(stderr, "  re-acquired (would self-deadlock) at:\n");
+      print_stack(here);
+      abort_report();
+    }
+  }
+
+  Witness& w = witness();
+  {
+    const std::lock_guard<std::mutex> lock(w.mu);
+    const ClassInfo& acquiring = w.classes[class_id];
+
+    for (int i = 0; i < held.depth; ++i) {
+      const HeldLock& outer = held.held[i];
+      const ClassInfo& held_cls = w.classes[outer.class_id];
+
+      // Rank inversion: acquiring a lower-ranked (outer) class while a
+      // higher-ranked (inner) one is held breaks the declared order even
+      // if no opposite-order acquisition was ever observed.
+      if (acquiring.rank != kUnranked && held_cls.rank != kUnranked &&
+          acquiring.rank < held_cls.rank) {
+        std::fprintf(stderr,
+                     "chpo lockdep: RANK INVERSION: acquiring '%s' (rank %d) while holding "
+                     "'%s' (rank %d)\n  '%s' acquired at:\n",
+                     acquiring.name.c_str(), acquiring.rank, held_cls.name.c_str(),
+                     held_cls.rank, held_cls.name.c_str());
+        print_stack(outer.stack);
+        std::fprintf(stderr, "  '%s' being acquired at:\n", acquiring.name.c_str());
+        print_stack(here);
+        abort_report();
+      }
+
+      if (outer.class_id == class_id) continue;  // same class: no self-edge
+
+      // ABBA: the reverse order (class_id ->* outer) was already observed.
+      std::set<int> seen;
+      std::vector<int> path;  // filled from target back to class_id
+      if (reachable(w, class_id, outer.class_id, seen, path)) {
+        std::reverse(path.begin(), path.end());  // class_id -> ... -> outer
+        std::fprintf(stderr,
+                     "chpo lockdep: LOCK-ORDER CYCLE (ABBA): acquiring '%s' while holding "
+                     "'%s', but the opposite order was already observed:\n  ",
+                     acquiring.name.c_str(), held_cls.name.c_str());
+        for (std::size_t p = 0; p < path.size(); ++p)
+          std::fprintf(stderr, "%s'%s'", p == 0 ? "" : " -> ", w.classes[path[p]].name.c_str());
+        std::fprintf(stderr, " -> (now) '%s'\n", acquiring.name.c_str());
+        std::fprintf(stderr, "  this thread: '%s' acquired at:\n", held_cls.name.c_str());
+        print_stack(outer.stack);
+        std::fprintf(stderr, "  this thread: '%s' being acquired at:\n", acquiring.name.c_str());
+        print_stack(here);
+        if (path.size() >= 2) {
+          const auto edge = w.edges.find({path[0], path[1]});
+          if (edge != w.edges.end()) {
+            std::fprintf(stderr, "  opposite order: '%s' was acquired at:\n",
+                         w.classes[path[0]].name.c_str());
+            print_stack(edge->second.from_stack);
+            std::fprintf(stderr, "  opposite order: '%s' then acquired under it at:\n",
+                         w.classes[path[1]].name.c_str());
+            print_stack(edge->second.to_stack);
+          }
+        }
+        abort_report();
+      }
+
+      // Record the new order edge (first observation keeps its stacks).
+      if (w.adjacency[outer.class_id].insert(class_id).second)
+        w.edges[{outer.class_id, class_id}] = EdgeInfo{outer.stack, here};
+    }
+  }
+
+  if (held.depth >= kMaxHeld) {
+    std::fprintf(stderr, "chpo lockdep: HELD-LOCK DEPTH OVERFLOW (%d locks held by one thread)\n",
+                 held.depth);
+    print_stack(here);
+    abort_report();
+  }
+  held.held[held.depth].class_id = class_id;
+  held.held[held.depth].instance = instance;
+  held.held[held.depth].stack = here;
+  ++held.depth;
+}
+
+void note_release(int class_id, const void* instance) {
+  if (class_id < 0) return;
+  HeldSet& held = t_held;
+  // Releases are near-LIFO (RAII guards), so scan from the top.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.held[i].instance != instance) continue;
+    for (int j = i; j + 1 < held.depth; ++j) held.held[j] = held.held[j + 1];
+    --held.depth;
+    return;
+  }
+  // Releasing a lock the witness never saw acquired: tolerated (e.g. a
+  // mutex acquired before CHPO_LOCKDEP state existed), never fatal.
+}
+
+bool enabled() { return true; }
+
+std::size_t edge_count() {
+  Witness& w = witness();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  return w.edges.size();
+}
+
+bool order_cycle_free() {
+  Witness& w = witness();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  // Kahn-style: the graph is acyclic iff every node can be peeled.
+  std::map<int, int> indegree;
+  for (const auto& [from, tos] : w.adjacency) {
+    indegree.try_emplace(from, 0);
+    for (const int to : tos) ++indegree[to];
+  }
+  std::vector<int> ready;
+  for (const auto& [node, deg] : indegree)
+    if (deg == 0) ready.push_back(node);
+  std::size_t peeled = 0;
+  while (!ready.empty()) {
+    const int node = ready.back();
+    ready.pop_back();
+    ++peeled;
+    const auto it = w.adjacency.find(node);
+    if (it == w.adjacency.end()) continue;
+    for (const int to : it->second)
+      if (--indegree[to] == 0) ready.push_back(to);
+  }
+  return peeled == indegree.size();
+}
+
+std::vector<std::pair<std::string, std::string>> observed_edges() {
+  Witness& w = witness();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(w.edges.size());
+  for (const auto& [key, info] : w.edges)
+    out.emplace_back(w.classes[key.first].name, w.classes[key.second].name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> held_by_this_thread() {
+  Witness& w = witness();
+  const std::lock_guard<std::mutex> lock(w.mu);
+  std::vector<std::string> out;
+  for (int i = 0; i < t_held.depth; ++i) out.push_back(w.classes[t_held.held[i].class_id].name);
+  return out;
+}
+
+}  // namespace chpo::lockdep
+
+#endif  // CHPO_LOCKDEP

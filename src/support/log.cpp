@@ -10,8 +10,9 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 /// Serializes whole lines onto stderr (no data to guard — the capability
-/// models exclusive use of the stream).
-Mutex g_sink_mutex;
+/// models exclusive use of the stream). Innermost lock in the process:
+/// anything may log, so nothing may be acquired under it.
+Mutex g_sink_mutex{lockdep::kLogSink};
 
 constexpr const char* level_name(LogLevel level) {
   switch (level) {

@@ -27,6 +27,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "support/lockdep.hpp"
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define CHPO_HAVE_THREAD_SAFETY_ATTRIBUTES 1
@@ -96,35 +98,75 @@ namespace chpo {
 /// std::mutex with capability annotations. Prefer the MutexLock guard;
 /// the raw lock()/unlock() exist for the guard and CondVar only (chpo_lint
 /// forbids calling them anywhere else).
+///
+/// A Mutex may carry a lockdep::LockClass naming its place in the global
+/// acquisition order (see support/lockdep.hpp). Default-constructed
+/// mutexes get an anonymous unranked class. With CHPO_LOCKDEP off the
+/// hooks are empty inlines and class_id_ is a dead -1.
 class CHPO_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  Mutex() : class_id_(lockdep::register_anonymous()) {}
+  explicit Mutex(const lockdep::LockClass& cls) : class_id_(lockdep::register_class(cls)) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() CHPO_ACQUIRE() { m_.lock(); }
-  void unlock() CHPO_RELEASE() { m_.unlock(); }
-  bool try_lock() CHPO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  // note_acquire runs BEFORE the underlying lock so an ordering violation
+  // aborts with stacks instead of deadlocking silently.
+  void lock() CHPO_ACQUIRE() {
+    lockdep::note_acquire(class_id_, this);
+    m_.lock();
+  }
+  void unlock() CHPO_RELEASE() {
+    lockdep::note_release(class_id_, this);
+    m_.unlock();
+  }
+  bool try_lock() CHPO_TRY_ACQUIRE(true) {
+    // A try_lock never blocks, but a successful one still orders this
+    // class after everything held — so it goes through the same check.
+    lockdep::note_acquire(class_id_, this);
+    if (m_.try_lock()) return true;
+    lockdep::note_release(class_id_, this);
+    return false;
+  }
 
  private:
   std::mutex m_;
+  int class_id_ = -1;
 };
 
 /// std::shared_mutex with capability annotations (DataRegistry's
-/// many-readers / single-writer version table).
+/// many-readers / single-writer version table). Shared acquisitions feed
+/// the lockdep witness exactly like exclusive ones: a reader blocked
+/// behind a writer deadlocks just as hard, so the ordering rules are
+/// mode-independent.
 class CHPO_CAPABILITY("shared_mutex") SharedMutex {
  public:
-  SharedMutex() = default;
+  SharedMutex() : class_id_(lockdep::register_anonymous()) {}
+  explicit SharedMutex(const lockdep::LockClass& cls)
+      : class_id_(lockdep::register_class(cls)) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() CHPO_ACQUIRE() { m_.lock(); }
-  void unlock() CHPO_RELEASE() { m_.unlock(); }
-  void lock_shared() CHPO_ACQUIRE_SHARED() { m_.lock_shared(); }
-  void unlock_shared() CHPO_RELEASE_SHARED() { m_.unlock_shared(); }
+  void lock() CHPO_ACQUIRE() {
+    lockdep::note_acquire(class_id_, this);
+    m_.lock();
+  }
+  void unlock() CHPO_RELEASE() {
+    lockdep::note_release(class_id_, this);
+    m_.unlock();
+  }
+  void lock_shared() CHPO_ACQUIRE_SHARED() {
+    lockdep::note_acquire(class_id_, this);
+    m_.lock_shared();
+  }
+  void unlock_shared() CHPO_RELEASE_SHARED() {
+    lockdep::note_release(class_id_, this);
+    m_.unlock_shared();
+  }
 
  private:
   std::shared_mutex m_;
+  int class_id_ = -1;
 };
 
 /// RAII exclusive lock on a Mutex.

@@ -40,7 +40,7 @@ class ThreadPool {
   void worker_loop() CHPO_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{lockdep::kThreadPool};
   CondVar cv_work_;
   CondVar cv_idle_;
   std::deque<std::function<void()>> queue_ CHPO_GUARDED_BY(mutex_);

@@ -87,7 +87,7 @@ class TraceSink {
 
  private:
   std::atomic<bool> enabled_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lockdep::kTraceSink};
   std::vector<Event> events_ CHPO_GUARDED_BY(mutex_);
 };
 

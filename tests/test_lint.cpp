@@ -47,6 +47,64 @@ TEST(Masking, HandlesSimpleRawStrings) {
   EXPECT_NE(out.find("int x;"), std::string::npos);
 }
 
+TEST(Masking, BlockCommentsSpanningManyLinesStayMasked) {
+  const std::string in =
+      "int before;\n"
+      "/*\n"
+      " * mutex_.lock();\n"
+      " * server_.step(0.1);\n"
+      " */\n"
+      "int after;\n";
+  const std::string out = mask_comments_and_literals(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("lock"), std::string::npos);
+  EXPECT_EQ(out.find("step"), std::string::npos);
+  EXPECT_NE(out.find("int before;"), std::string::npos);
+  EXPECT_NE(out.find("int after;"), std::string::npos);
+}
+
+TEST(Masking, CustomDelimiterRawStringsSpanningLines) {
+  // The regression: with a custom delimiter, an interior `)"` is NOT the
+  // terminator — the old masker dropped back to code there and leaked the
+  // rest of the literal into rule matching.
+  const std::string in =
+      "auto s = R\"x(\n"
+      "  not closed by )\" this\n"
+      "  mutex_.lock();\n"
+      ")x\";\n"
+      "int tail;\n";
+  const std::string out = mask_comments_and_literals(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("lock"), std::string::npos);
+  EXPECT_NE(out.find("int tail;"), std::string::npos);
+}
+
+TEST(Masking, RawStringEncodingPrefixes) {
+  for (const std::string prefix : {"u8", "u", "U", "L"}) {
+    const std::string in = "auto s = " + prefix + "R\"(.lock())\"; int k;";
+    const std::string out = mask_comments_and_literals(in);
+    EXPECT_EQ(out.find("lock"), std::string::npos) << prefix;
+    EXPECT_NE(out.find("int k;"), std::string::npos) << prefix;
+  }
+  // An identifier merely ending in R does not open a raw string.
+  const std::string out = mask_comments_and_literals("call(VAR\"text\", x); int m;");
+  EXPECT_NE(out.find("int m;"), std::string::npos);
+}
+
+TEST(Masking, BackslashContinuedLineComments) {
+  // A `//` comment ending in a backslash continues onto the next line; the
+  // old masker dropped back to code at the newline and leaked it.
+  const std::string in =
+      "int a; // comment continues \\\n"
+      "mutex_.lock();\n"
+      "int b;\n";
+  const std::string out = mask_comments_and_literals(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), std::count(in.begin(), in.end(), '\n'));
+  EXPECT_EQ(out.find("lock"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // raw-lock-call
 // ---------------------------------------------------------------------------
@@ -273,6 +331,69 @@ TEST(RegistryLockBlockingCall, AllowsDataMovesCondVarWaitsAndOtherLayers) {
   EXPECT_TRUE(of_rule(findings, "registry-lock-blocking-call").empty());
 }
 
+TEST(RegistryLockBlockingCall, FollowsCallsOneHopIntoHelpers) {
+  // The helper-hidden violation: run() holds the queue lock and calls a
+  // file-local helper whose body makes the blocking server call. A line
+  // scanner cannot see this; the one-hop call graph can.
+  const auto findings = lint_files({{"src/daemon/socket_daemon.cpp",
+                                     "void SocketDaemon::pump_locked() {\n"
+                                     "  server_.step(0.05);\n"
+                                     "}\n"
+                                     "void SocketDaemon::run() {\n"
+                                     "  MutexLock lock(queue_mutex_);\n"
+                                     "  pump_locked();\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "registry-lock-blocking-call");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6);  // the call site under the lock, not the helper body
+  EXPECT_NE(hits[0].message.find("pump_locked"), std::string::npos);
+  EXPECT_NE(hits[0].message.find(".step"), std::string::npos);
+}
+
+TEST(RegistryLockBlockingCall, HelperWithoutBlockingCallsAndUnlockedHelperAreFine) {
+  const auto findings = lint_files({{"src/daemon/socket_daemon.cpp",
+                                     // poke() only writes the self-pipe; and the
+                                     // blocking helper is called after the scope ends.
+                                     "void SocketDaemon::poke() {\n"
+                                     "  write(wake_write_, buf, 1);\n"
+                                     "}\n"
+                                     "void SocketDaemon::pump() {\n"
+                                     "  server_.step(0.05);\n"
+                                     "}\n"
+                                     "void SocketDaemon::run() {\n"
+                                     "  {\n"
+                                     "    MutexLock lock(out_mutex_);\n"
+                                     "    poke();\n"
+                                     "  }\n"
+                                     "  pump();\n"
+                                     "}\n"}});
+  EXPECT_TRUE(of_rule(findings, "registry-lock-blocking-call").empty());
+}
+
+TEST(RegistryLockBlockingCall, FlagsJournalSyncAndFsyncUnderLock) {
+  const auto findings = lint_files({{"src/daemon/server.cpp",
+                                     "void Server::ack() {\n"
+                                     "  MutexLock lock(registry_mutex_);\n"
+                                     "  journal_.sync();\n"
+                                     "  fsync(fd_);\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "registry-lock-blocking-call");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_EQ(hits[1].line, 4);
+}
+
+TEST(RegistryLockBlockingCall, JournalImplementationIsExempt) {
+  // The journal's lock class IS the append/fsync barrier: holding its
+  // mutex across fsync is the documented design, not a violation.
+  const auto findings = lint_files({{"src/daemon/journal.cpp",
+                                     "void StateJournal::sync() {\n"
+                                     "  MutexLock lock(mutex_);\n"
+                                     "  fsync(fd_);\n"
+                                     "}\n"}});
+  EXPECT_TRUE(of_rule(findings, "registry-lock-blocking-call").empty());
+}
+
 TEST(RegistryLockBlockingCall, GuardSurvivesNestedBlocks) {
   const auto findings = lint_files({{"src/daemon/server_loop.cpp",
                                      "void loop() {\n"
@@ -285,6 +406,88 @@ TEST(RegistryLockBlockingCall, GuardSurvivesNestedBlocks) {
   const auto hits = of_rule(findings, "registry-lock-blocking-call");
   ASSERT_EQ(hits.size(), 1u);  // still under the lock after the nested block
   EXPECT_EQ(hits[0].line, 6);
+}
+
+// ---------------------------------------------------------------------------
+// lock-rank-order
+// ---------------------------------------------------------------------------
+
+SourceFile rank_table() {
+  return {"src/support/lockdep.hpp",
+          "inline constexpr LockClass kOuter{\"daemon.queue\", 10};\n"
+          "inline constexpr LockClass kInner{\"support.log_sink\", 120};\n"};
+}
+
+SourceFile rank_members() {
+  // Members declared in the .hpp; the .cpp sibling shares them.
+  return {"src/foo/thing.hpp",
+          "class Thing {\n"
+          "  mutable Mutex inner_{lockdep::kInner};\n"
+          "  chpo::Mutex outer_{chpo::lockdep::kOuter};\n"
+          "};\n"};
+}
+
+TEST(LockRankOrder, FlagsInvertedDirectNesting) {
+  const auto findings = lint_files({rank_table(), rank_members(),
+                                    {"src/foo/thing.cpp",
+                                     "void Thing::bad() {\n"
+                                     "  MutexLock a(inner_);\n"
+                                     "  MutexLock b(outer_);\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "lock-rank-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("kOuter"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("kInner"), std::string::npos);
+}
+
+TEST(LockRankOrder, FollowsCallsOneHopIntoHelpers) {
+  const auto findings = lint_files({rank_table(), rank_members(),
+                                    {"src/foo/thing.cpp",
+                                     "void Thing::helper() {\n"
+                                     "  MutexLock g(outer_);\n"
+                                     "}\n"
+                                     "void Thing::bad() {\n"
+                                     "  MutexLock a(inner_);\n"
+                                     "  helper();\n"
+                                     "}\n"}});
+  const auto hits = of_rule(findings, "lock-rank-order");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6);  // the call site, attributed with both classes
+  EXPECT_NE(hits[0].message.find("helper"), std::string::npos);
+}
+
+TEST(LockRankOrder, AllowsBlessedOrderScopedGuardsAndUnrankedLocks) {
+  const auto findings = lint_files(
+      {rank_table(), rank_members(),
+       {"src/foo/thing.cpp",
+        // Low-to-high nesting is the blessed order; a guard whose scope
+        // closed no longer constrains; unranked members are exempt.
+        "void Thing::fine() {\n"
+        "  MutexLock a(outer_);\n"
+        "  MutexLock b(inner_);\n"
+        "}\n"
+        "void Thing::sequential() {\n"
+        "  {\n"
+        "    MutexLock a(inner_);\n"
+        "  }\n"
+        "  MutexLock b(outer_);\n"
+        "}\n"
+        "void Thing::unranked() {\n"
+        "  MutexLock a(inner_);\n"
+        "  MutexLock b(scratch_mutex_);\n"
+        "}\n"}});
+  EXPECT_TRUE(of_rule(findings, "lock-rank-order").empty());
+}
+
+TEST(LockRankOrder, TreesWithoutARankTableAreOutOfScope) {
+  const auto findings = lint_files({rank_members(),
+                                    {"src/foo/thing.cpp",
+                                     "void Thing::bad() {\n"
+                                     "  MutexLock a(inner_);\n"
+                                     "  MutexLock b(outer_);\n"
+                                     "}\n"}});
+  EXPECT_TRUE(of_rule(findings, "lock-rank-order").empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +590,50 @@ TEST(LintTree, MissingSubtreesAreNotAnError) {
   fs::remove_all(root);
   fs::create_directories(root);
   EXPECT_TRUE(lint_tree(root.string()).empty());
+  fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// scan_tree (the CLI's view: I/O failures are errors, not empty results)
+// ---------------------------------------------------------------------------
+
+TEST(ScanTree, MissingRootIsAnError) {
+  const TreeScan scan =
+      scan_tree((fs::path(testing::TempDir()) / "chpo_lint_no_such_root").string());
+  EXPECT_EQ(scan.files_scanned, 0u);
+  ASSERT_FALSE(scan.errors.empty());
+  EXPECT_NE(scan.errors.front().find("not a directory"), std::string::npos);
+}
+
+TEST(ScanTree, TreeWithNoSourcesIsAnError) {
+  // An existing root with nothing to scan must not read as "clean": CI
+  // pointing chpo_lint at the wrong directory has to fail loudly.
+  const fs::path root = fs::path(testing::TempDir()) / "chpo_lint_no_sources";
+  fs::remove_all(root);
+  fs::create_directories(root / "src");
+  const TreeScan scan = scan_tree(root.string());
+  EXPECT_EQ(scan.files_scanned, 0u);
+  ASSERT_FALSE(scan.errors.empty());
+  EXPECT_NE(scan.errors.front().find("no C++ sources"), std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(ScanTree, CountsScannedFilesAndReportsFindings) {
+  const fs::path root = fs::path(testing::TempDir()) / "chpo_lint_scan_count";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "runtime");
+  {
+    std::ofstream out(root / "src" / "runtime" / "ok.cpp");
+    out << "int x;\n";
+  }
+  {
+    std::ofstream out(root / "src" / "runtime" / "bad.cpp");
+    out << "std::random_device rd;\n";
+  }
+  const TreeScan scan = scan_tree(root.string());
+  EXPECT_TRUE(scan.errors.empty());
+  EXPECT_EQ(scan.files_scanned, 2u);
+  EXPECT_EQ(of_rule(scan.findings, "nondeterministic-rng").size(), 1u);
   fs::remove_all(root);
 }
 

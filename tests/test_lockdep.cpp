@@ -1,0 +1,167 @@
+// Lockdep witness tests (support/lockdep.hpp).
+//
+// The negative tests are death tests: the witness's whole contract is
+// "abort with both stacks on the first violation", so a seeded two-thread
+// ABBA and a same-thread rank inversion must kill the (forked) child with
+// the matching report. The positive test nests the daemon chain's named
+// classes in the blessed rank order and asserts the observed order graph
+// is cycle-free. With CHPO_LOCKDEP=OFF the hooks compile to nothing, so
+// everything here skips except the check that the stubs stay inert.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "support/lockdep.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace chpo {
+namespace {
+
+// Two anonymous (unranked) locks taken in opposite orders by two threads.
+// The spin barrier guarantees both outer locks are held before either
+// inner acquisition, so one thread records its order edge and the other
+// must see the cycle — before its std::mutex would block, hence an abort,
+// never a hang.
+void seeded_abba() {
+  Mutex a;
+  Mutex b;
+  std::atomic<int> ready{0};
+  std::thread t1([&] {
+    MutexLock la(a);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();
+    MutexLock lb(b);
+  });
+  std::thread t2([&] {
+    MutexLock lb(b);
+    ready.fetch_add(1);
+    while (ready.load() < 2) std::this_thread::yield();
+    MutexLock la(a);
+  });
+  t1.join();
+  t2.join();
+}
+
+// A single thread acquiring a low-ranked class while holding a
+// high-ranked one: no opposite-order observation needed, the declared
+// rank table alone convicts it.
+void seeded_rank_inversion() {
+  Mutex inner(lockdep::kLogSink);       // rank 120, innermost
+  Mutex outer(lockdep::kDaemonCmdQueue);  // rank 10, outermost
+  MutexLock hold_inner(inner);
+  MutexLock then_outer(outer);  // aborts here
+}
+
+void seeded_recursive_acquire() {
+  Mutex m;
+  MutexLock first(m);
+  MutexLock again(m);  // self-deadlock; witness aborts instead
+}
+
+TEST(LockdepDeath, TwoThreadAbbaAbortsWithBothStacks) {
+  if (!lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=OFF";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The report must name the cycle and carry both acquisition stacks
+  // (the "acquired at:" lines precede each backtrace dump).
+  EXPECT_DEATH(seeded_abba(), "LOCK-ORDER CYCLE(.|\n)*acquired at:(.|\n)*being acquired at:");
+}
+
+TEST(LockdepDeath, SameThreadRankInversionAborts) {
+  if (!lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=OFF";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(seeded_rank_inversion(),
+               "RANK INVERSION(.|\n)*support.log_sink(.|\n)*daemon.cmd_queue");
+}
+
+TEST(LockdepDeath, SameInstanceReacquisitionAborts) {
+  if (!lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=OFF";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(seeded_recursive_acquire(), "RECURSIVE ACQUISITION");
+}
+
+TEST(Lockdep, DaemonServerJournalChainIsCycleFree) {
+  if (!lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=OFF";
+  // The blessed acquisition order along the SocketDaemon -> Server ->
+  // StateJournal reply path, plus the log sink every layer may enter.
+  // (Production code never even holds a queue lock across the journal —
+  // the lint rule forbids it — but the rank table must bless the
+  // top-to-bottom order so the witness never fires on the real suite.)
+  Mutex cmd_queue(lockdep::kDaemonCmdQueue);
+  Mutex outbox(lockdep::kDaemonOutbox);
+  Mutex journal(lockdep::kDaemonJournal);
+  Mutex log_sink(lockdep::kLogSink);
+  {
+    MutexLock a(cmd_queue);
+    MutexLock b(journal);
+    MutexLock c(log_sink);
+  }
+  {
+    MutexLock a(outbox);
+    MutexLock b(journal);
+  }
+  {
+    MutexLock a(journal);
+    MutexLock b(log_sink);
+  }
+  EXPECT_TRUE(lockdep::order_cycle_free());
+  const auto edges = lockdep::observed_edges();
+  const auto has_edge = [&](const char* from, const char* to) {
+    for (const auto& [f, t] : edges)
+      if (f == from && t == to) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_edge("daemon.cmd_queue", "daemon.journal"));
+  EXPECT_TRUE(has_edge("daemon.outbox", "daemon.journal"));
+  EXPECT_TRUE(has_edge("daemon.journal", "support.log_sink"));
+  EXPECT_GE(lockdep::edge_count(), 3u);
+}
+
+TEST(Lockdep, SharedMutexAcquisitionsFeedTheOrderGraph) {
+  if (!lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=OFF";
+  // A reader blocked behind a writer deadlocks like any other lock, so
+  // shared acquisitions must appear in the graph too.
+  SharedMutex registry(lockdep::kDataRegistry);
+  Mutex log_sink(lockdep::kLogSink);
+  {
+    ReaderLock r(registry);
+    MutexLock l(log_sink);
+  }
+  const auto edges = lockdep::observed_edges();
+  bool found = false;
+  for (const auto& [f, t] : edges)
+    if (f == "runtime.data_registry" && t == "support.log_sink") found = true;
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(lockdep::order_cycle_free());
+}
+
+TEST(Lockdep, HeldSetTracksThisThreadOuterFirst) {
+  if (!lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=OFF";
+  Mutex cmd_queue(lockdep::kDaemonCmdQueue);
+  Mutex journal(lockdep::kDaemonJournal);
+  {
+    MutexLock a(cmd_queue);
+    MutexLock b(journal);
+    const auto held = lockdep::held_by_this_thread();
+    ASSERT_EQ(held.size(), 2u);
+    EXPECT_EQ(held[0], "daemon.cmd_queue");
+    EXPECT_EQ(held[1], "daemon.journal");
+  }
+  EXPECT_TRUE(lockdep::held_by_this_thread().empty());
+}
+
+TEST(Lockdep, DisabledWitnessIsInert) {
+  if (lockdep::enabled()) GTEST_SKIP() << "built with CHPO_LOCKDEP=ON";
+  // The no-op stubs must stay free: no registration, no edges, no state.
+  Mutex a;
+  Mutex b(lockdep::kLogSink);
+  MutexLock la(a);
+  MutexLock lb(b);
+  EXPECT_EQ(lockdep::edge_count(), 0u);
+  EXPECT_TRUE(lockdep::order_cycle_free());
+  EXPECT_TRUE(lockdep::observed_edges().empty());
+  EXPECT_TRUE(lockdep::held_by_this_thread().empty());
+}
+
+}  // namespace
+}  // namespace chpo

@@ -1,6 +1,11 @@
 // chpo_lint CLI: lint the repo tree rooted at argv[1] (default ".").
-// Exits non-zero when any finding is reported; wired into ctest and every
-// CI job so the invariants in tools/lint/lint.hpp hold on every commit.
+//
+// Exit codes — CI keys off them, so "clean" and "didn't run" must differ:
+//   0  scanned sources, zero findings
+//   1  findings reported (printed to stderr)
+//   2  the scan itself failed: missing root, unreadable files, or no
+//      sources found at all (a silent empty scan would let a typo'd path
+//      pass every job while checking nothing)
 #include <cstdio>
 #include <string>
 
@@ -8,12 +13,19 @@
 
 int main(int argc, char** argv) {
   const std::string root = argc > 1 ? argv[1] : ".";
-  const auto findings = chpo::lint::lint_tree(root);
-  if (findings.empty()) {
-    std::printf("chpo_lint: OK (%s)\n", root.c_str());
+  const chpo::lint::TreeScan scan = chpo::lint::scan_tree(root);
+  if (!scan.errors.empty()) {
+    for (const std::string& error : scan.errors)
+      std::fprintf(stderr, "chpo_lint: error: %s\n", error.c_str());
+    std::fprintf(stderr, "chpo_lint: scan failed (%zu file(s) scanned in %s)\n",
+                 scan.files_scanned, root.c_str());
+    return 2;
+  }
+  if (scan.findings.empty()) {
+    std::printf("chpo_lint: OK (%zu files in %s)\n", scan.files_scanned, root.c_str());
     return 0;
   }
-  std::fputs(chpo::lint::format_findings(findings).c_str(), stderr);
-  std::fprintf(stderr, "chpo_lint: %zu finding(s) in %s\n", findings.size(), root.c_str());
+  std::fputs(chpo::lint::format_findings(scan.findings).c_str(), stderr);
+  std::fprintf(stderr, "chpo_lint: %zu finding(s) in %s\n", scan.findings.size(), root.c_str());
   return 1;
 }

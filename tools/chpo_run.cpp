@@ -258,16 +258,20 @@ int run(const ArgParser& args) {
   }
 
   std::printf("%s\n", hpo::trials_table(outcome.trials).c_str());
+  // events() returns a snapshot by value (the sink is mutex-guarded), so
+  // take it once: calling it twice in one range expression would pair
+  // begin() and end() from two different temporaries.
+  const std::vector<trace::Event> trace_events = runtime.trace().events();
   // Attempt statistics only when something eventful happened (failures,
   // retries, stragglers, backoffs): a clean run keeps a clean report.
-  const bool eventful = std::any_of(
-      runtime.trace().events().begin(), runtime.trace().events().end(), [](const auto& e) {
+  const bool eventful =
+      std::any_of(trace_events.begin(), trace_events.end(), [](const auto& e) {
         return e.kind == trace::EventKind::TaskFailure || e.kind == trace::EventKind::TaskRetry ||
                e.kind == trace::EventKind::StragglerDetected ||
                e.kind == trace::EventKind::SpeculativeLaunch ||
                e.kind == trace::EventKind::Backoff;
       });
-  if (eventful) std::printf("%s\n", hpo::attempt_stats(runtime.trace().events()).c_str());
+  if (eventful) std::printf("%s\n", hpo::attempt_stats(trace_events).c_str());
   const auto importance = hpo::hyperparameter_importance(outcome.trials);
   if (!importance.empty())
     std::printf("%s\n", hpo::importance_table(importance).c_str());
@@ -276,15 +280,12 @@ int run(const ArgParser& args) {
   if (outcome.reuse) std::printf("%s", hpo::reuse_summary(*outcome.reuse).c_str());
   const bool chaotic =
       mttf > 0.0 || runtime.lineage_recoveries() > 0 ||
-      std::any_of(runtime.trace().events().begin(), runtime.trace().events().end(),
-                  [](const auto& e) {
-                    return e.kind == trace::EventKind::NodeDown ||
-                           e.kind == trace::EventKind::NodeUp ||
-                           e.kind == trace::EventKind::DataLost ||
-                           e.kind == trace::EventKind::Quarantine;
-                  });
+      std::any_of(trace_events.begin(), trace_events.end(), [](const auto& e) {
+        return e.kind == trace::EventKind::NodeDown || e.kind == trace::EventKind::NodeUp ||
+               e.kind == trace::EventKind::DataLost || e.kind == trace::EventKind::Quarantine;
+      });
   if (chaotic)
-    std::printf("%s", hpo::fault_summary(runtime.trace().events(), runtime.lineage_recoveries(),
+    std::printf("%s", hpo::fault_summary(trace_events, runtime.lineage_recoveries(),
                                          runtime.unrecoverable_count(), runtime.node_health())
                           .c_str());
   if (runtime.simulated())

@@ -1,0 +1,74 @@
+// libFuzzer smoke target: jsonlite CRC record framing (jsonlite/record.hpp).
+//
+// decode_record() parses untrusted "<crc32 hex> <json>" lines (the journal
+// on-disk format) and read_records() replays a whole journal file, keeping
+// everything before the first torn/corrupt line. Invariants under fuzz:
+// neither may crash; a line that decodes ok must survive an
+// encode_record() round trip; replay never reports more bytes than the
+// file holds and is torn iff it carries a torn_error.
+//
+// Built only under -DCHPO_FUZZ=ON (clang); see tools/CMakeLists.txt.
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "jsonlite/record.hpp"
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    __builtin_printf("fuzz_records invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Per-line decode: split on '\n' exactly as the replay path does.
+  std::size_t start = 0;
+  while (start <= input.size()) {
+    const std::size_t nl = input.find('\n', start);
+    const std::string_view line =
+        input.substr(start, nl == std::string_view::npos ? input.size() - start
+                                                         : nl - start);
+    const chpo::json::RecordDecode decode = chpo::json::decode_record(line);
+    require(decode.ok() == decode.error.empty(), "decode neither ok nor error");
+    if (decode.ok()) {
+      // A valid record re-encodes to a line that decodes to the same JSON.
+      const std::string encoded = chpo::json::encode_record(decode.value);
+      require(!encoded.empty() && encoded.back() == '\n', "encode_record not newline-framed");
+      const chpo::json::RecordDecode again =
+          chpo::json::decode_record(std::string_view(encoded).substr(0, encoded.size() - 1));
+      require(again.ok(), "round-tripped record fails to decode");
+      require(chpo::json::serialize(again.value) == chpo::json::serialize(decode.value),
+              "round trip changed the value");
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+
+  // Whole-file replay through read_records(): write the input to a scratch
+  // file (libFuzzer is single-process here; a fixed pid-keyed name is safe).
+  char path[64];
+  std::snprintf(path, sizeof(path), "/tmp/chpo_fuzz_records.%d", static_cast<int>(::getpid()));
+  std::FILE* out = std::fopen(path, "wb");
+  if (out == nullptr) return 0;
+  if (size > 0) std::fwrite(data, 1, size, out);
+  std::fclose(out);
+
+  const chpo::json::RecordReplay replay = chpo::json::read_records(path);
+  require(replay.torn() == !replay.torn_error.empty(), "torn() disagrees with torn_error");
+  require(replay.torn_bytes <= size, "torn_bytes exceeds file size");
+  if (!replay.torn()) require(replay.torn_bytes == 0, "untorn replay reports torn bytes");
+  ::unlink(path);
+  return 0;
+}

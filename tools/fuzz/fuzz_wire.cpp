@@ -1,0 +1,59 @@
+// libFuzzer smoke target: wire::LineDecoder (jsonlite/wire.hpp).
+//
+// The decoder sits on the daemon's socket read path, fed by an untrusted
+// peer, so it must never crash, never buffer unboundedly, and never emit
+// a frame that is neither ok nor an error. The first two input bytes pick
+// a (small) line cap and a chunk size so the fuzzer explores split points
+// and the oversized-line discard mode, not just whole-buffer feeds.
+//
+// Built only under -DCHPO_FUZZ=ON (clang); see tools/CMakeLists.txt.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "jsonlite/wire.hpp"
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    __builtin_printf("fuzz_wire invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  chpo::json::LineDecoder decoder;
+  // Tiny caps (1..64 bytes) make the oversized-line path reachable with
+  // short inputs; the default 1 MiB cap would never trip here.
+  const std::size_t max_line = 1 + data[0] % 64;
+  const std::size_t chunk = 1 + data[1] % 7;
+  decoder.set_max_line_bytes(max_line);
+  std::string_view stream(reinterpret_cast<const char*>(data + 2), size - 2);
+
+  while (!stream.empty()) {
+    const std::size_t take = stream.size() < chunk ? stream.size() : chunk;
+    decoder.feed(stream.substr(0, take));
+    stream.remove_prefix(take);
+    // Bounded buffering: a partial line may sit in the buffer, but never
+    // more than the cap (oversized lines must flip into discard mode).
+    require(decoder.pending_bytes() <= decoder.max_line_bytes(),
+            "pending_bytes exceeds max_line_bytes");
+    while (auto frame = decoder.next()) {
+      // Every frame is exactly one of: a parsed value, or an error.
+      require(frame->ok() == frame->error.empty(), "frame neither ok nor error");
+      if (frame->fatal) require(!frame->ok(), "fatal frame claims ok");
+    }
+  }
+  // Drain after EOF-equivalent: next() must terminate (no frame invented
+  // from an incomplete trailing line).
+  while (decoder.next()) {
+  }
+  require(decoder.pending_bytes() <= decoder.max_line_bytes(),
+          "pending_bytes exceeds max_line_bytes after drain");
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "lint/index.hpp"
+
+#include <cctype>
+
+namespace chpo::lint {
+
+namespace {
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+bool is_ident(const std::string& t) { return !t.empty() && ident_start(t[0]); }
+
+/// Keywords that look like `name (` but never start a function definition
+/// or a call.
+bool control_keyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" || t == "catch" ||
+         t == "return" || t == "sizeof" || t == "alignof" || t == "decltype" || t == "new" ||
+         t == "delete" || t == "throw" || t == "static_assert" || t == "assert" ||
+         t == "defined" || t == "constexpr" || t == "noexcept" || t == "alignas";
+}
+
+/// Find the matching `)` for the `(` at `open` (returns tokens.size() when
+/// unbalanced).
+std::size_t match_paren(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") ++depth;
+    if (tokens[i].text == ")" && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+/// From the `(` at `open`, decide whether a function *body* follows the
+/// parameter list — skipping cv-qualifiers, ref-qualifiers, noexcept,
+/// attributes/annotation macros (CHPO_*), trailing return types, and
+/// constructor initializer lists. Returns the token index of the body's
+/// `{`, or tokens.size() when this is a declaration / expression instead.
+std::size_t find_body_brace(const std::vector<Token>& tokens, std::size_t open) {
+  std::size_t i = match_paren(tokens, open);
+  if (i >= tokens.size()) return tokens.size();
+  ++i;
+  int depth = 0;  // parens inside noexcept(...), CHPO_REQUIRES(...), ctor inits
+  for (; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i].text;
+    if (t == "(") ++depth;
+    if (t == ")") --depth;
+    if (depth > 0) continue;
+    if (t == "{") return i;
+    // `= default`, `= delete`, `= 0`, or an initializer: not a body.
+    if (t == ";" || t == "=") return tokens.size();
+  }
+  return tokens.size();
+}
+
+/// Find the matching `}` for the `{` at `open`.
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].text == "{") ++depth;
+    if (tokens[i].text == "}" && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+/// Walk backward from the name token at `name_pos` over a qualified-id
+/// (`A::B::name`, possibly `~name`): returns the index of the first token
+/// of the id and fills `qualified`.
+std::size_t qualified_begin(const std::vector<Token>& tokens, std::size_t name_pos,
+                            std::string& qualified) {
+  std::size_t begin = name_pos;
+  qualified = tokens[name_pos].text;
+  if (begin > 0 && tokens[begin - 1].text == "~") {
+    --begin;
+    qualified = "~" + qualified;
+  }
+  while (begin >= 2 && tokens[begin - 1].text == "::" && is_ident(tokens[begin - 2].text)) {
+    qualified = tokens[begin - 2].text + "::" + qualified;
+    begin -= 2;
+  }
+  return begin;
+}
+
+/// Tokens that may legitimately precede a function-definition header
+/// (type names, `>`, `*`, `&`, statement boundaries, access specifiers).
+/// Anything expression-like (`.`/`->`/`(`/`,`/operators) means the id is
+/// part of an expression, not a definition.
+bool plausible_definition_prefix(const std::vector<Token>& tokens, std::size_t begin) {
+  if (begin == 0) return true;
+  const std::string& p = tokens[begin - 1].text;
+  if (p == "." || p == "->" || p == "(" || p == "," || p == "=" || p == "::" || p == "!" ||
+      p == "+" || p == "-" || p == "?" || p == "<" || p == "|" || p == "[")
+    return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& masked_text) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = masked_text.size();
+  while (i < n) {
+    const char c = masked_text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t end = i;
+      while (end < n && ident_char(masked_text[end])) ++end;
+      tokens.push_back({masked_text.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    const char next = i + 1 < n ? masked_text[i + 1] : '\0';
+    if (c == ':' && next == ':') {
+      tokens.push_back({"::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && next == '>') {
+      tokens.push_back({"->", line});
+      i += 2;
+      continue;
+    }
+    tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+FileIndex build_file_index(const std::string& masked_text) {
+  FileIndex index;
+  index.tokens = tokenize(masked_text);
+  const std::vector<Token>& tokens = index.tokens;
+
+  // Pass 1: function definitions — `qualified-id ( params ) [stuff] {`.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i + 1].text != "(") continue;
+    const std::string& name = tokens[i].text;
+    if (!is_ident(name) || control_keyword(name)) continue;
+    std::string qualified;
+    const std::size_t begin = qualified_begin(tokens, i, qualified);
+    if (!plausible_definition_prefix(tokens, begin)) continue;
+    const std::size_t body = find_body_brace(tokens, i + 1);
+    if (body >= tokens.size()) continue;
+    FunctionDef def;
+    def.name = (i > 0 && tokens[i - 1].text == "~") ? "~" + name : name;
+    def.qualified = qualified;
+    def.line = tokens[i].line;
+    def.body_begin = body;
+    def.body_end = match_brace(tokens, body);
+    index.functions.push_back(def);
+    i = body;  // resume inside the body: nested lambdas/defs are rare and
+               // their calls still attribute to the enclosing function
+  }
+
+  // Pass 2: direct call sites per function body.
+  for (FunctionDef& def : index.functions) {
+    for (std::size_t i = def.body_begin + 1; i + 1 < def.body_end; ++i) {
+      if (tokens[i + 1].text != "(") continue;
+      const std::string& name = tokens[i].text;
+      if (!is_ident(name) || control_keyword(name)) continue;
+      CallSite call;
+      call.callee = name;
+      call.line = tokens[i].line;
+      call.token_index = i;
+      // Receiver: the token before the id (skipping a `~` and the
+      // qualifier chain) tells member call from free call.
+      std::string qualified;
+      const std::size_t begin = qualified_begin(tokens, i, qualified);
+      if (begin > 0 &&
+          (tokens[begin - 1].text == "." || tokens[begin - 1].text == "->")) {
+        call.member = true;
+        if (begin > 1) call.receiver = tokens[begin - 2].text;
+      }
+      def.calls.push_back(call);
+    }
+  }
+  return index;
+}
+
+const FunctionDef* find_function(const FileIndex& index, const std::string& name) {
+  for (const FunctionDef& def : index.functions)
+    if (def.name == name) return &def;
+  return nullptr;
+}
+
+}  // namespace chpo::lint

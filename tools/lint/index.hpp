@@ -1,0 +1,76 @@
+// Lightweight C++ token stream + per-file function/call index for the
+// cross-function lint rules.
+//
+// chpo_lint's original rules were masked *line* scanners: enough to spot
+// `server_.step(...)` textually under a MutexLock, but blind the moment
+// the blocking call moves into a helper invoked from the guarded scope.
+// This header adds the minimal structure needed to see one level deeper:
+//
+//   tokenize()          masked text -> identifiers / punctuation with
+//                       line numbers (`::` and `->` are single tokens).
+//   build_file_index()  token stream -> the function definitions in the
+//                       file (qualified name, body token range) and, for
+//                       each, its direct call sites (callee name, whether
+//                       it was a member call and on what receiver).
+//
+// Together they give rules a one-level call graph *within* a file: "run()
+// holds a guard and calls pump_locked(); pump_locked() calls
+// server_.step()" becomes checkable. The parser is deliberately
+// heuristic — no preprocessor, no templates, no overload resolution — but
+// it is exact on the shapes this codebase uses, and the rules built on it
+// fail toward silence (an unrecognised definition is simply not indexed),
+// never toward false findings.
+//
+// Input must already be masked by mask_comments_and_literals(): the
+// tokenizer treats the text as comment- and literal-free.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chpo::lint {
+
+struct Token {
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+/// Split masked source text into tokens: identifiers/numbers, and
+/// punctuation as single characters except the joined `::` and `->`.
+std::vector<Token> tokenize(const std::string& masked_text);
+
+/// One direct call inside a function body: `callee(...)`.
+struct CallSite {
+  std::string callee;    ///< unqualified callee name
+  bool member = false;   ///< invoked via `.` or `->`
+  std::string receiver;  ///< token before the `.`/`->` ("" for free calls)
+  int line = 0;
+  std::size_t token_index = 0;  ///< index of the callee token
+};
+
+/// One function definition found in a file.
+struct FunctionDef {
+  std::string name;       ///< unqualified (e.g. "run", "~SocketDaemon")
+  std::string qualified;  ///< as written (e.g. "SocketDaemon::run")
+  int line = 0;           ///< line of the name token
+  std::size_t body_begin = 0;  ///< token index of the opening '{'
+  std::size_t body_end = 0;    ///< token index of the matching '}'
+  std::vector<CallSite> calls;  ///< direct calls inside [body_begin, body_end]
+};
+
+/// Token stream plus the function definitions recognised in it.
+struct FileIndex {
+  std::vector<Token> tokens;
+  std::vector<FunctionDef> functions;
+};
+
+/// Build the index for one masked file.
+FileIndex build_file_index(const std::string& masked_text);
+
+/// Find a function by unqualified name (first match; nullptr if absent).
+/// This is the one-hop call-graph lookup: a free call `helper()` or a
+/// `this->helper()` from another function in the same file resolves here.
+const FunctionDef* find_function(const FileIndex& index, const std::string& name);
+
+}  // namespace chpo::lint

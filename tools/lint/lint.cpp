@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "lint/index.hpp"
 
 namespace chpo::lint {
 
@@ -88,6 +91,9 @@ void rule_raw_std_mutex(const SourceFile& file, const std::vector<std::string>& 
                         std::vector<Finding>& out) {
   if (!contains(file.path, "src/")) return;  // wrappers are mandatory in the library only
   if (ends_with(file.path, "support/thread_annotations.hpp")) return;  // wraps the std types
+  // The lockdep witness cannot guard itself with the instrumented wrappers
+  // (its hooks would recurse into themselves), so it uses std::mutex.
+  if (ends_with(file.path, "support/lockdep.cpp")) return;
   static const std::string kTypes[] = {"std::mutex",           "std::shared_mutex",
                                        "std::timed_mutex",     "std::recursive_mutex",
                                        "std::condition_variable",
@@ -203,53 +209,325 @@ void rule_callback_in_engine_mutation(const SourceFile& file,
 // Rule: registry-lock-blocking-call
 // ---------------------------------------------------------------------------
 
-void rule_registry_lock_blocking_call(const SourceFile& file,
-                                      const std::vector<std::string>& lines,
+/// Blocking calls that may not run under a daemon queue lock. `sync` is
+/// the journal's fsync barrier; the rest drive the Server/StudyManager/
+/// engine. CondVar waits stay exempt — they release the mutex.
+bool blocking_method(const std::string& name) {
+  static const char* kBlocking[] = {"handle",       "handle_line_error", "step",
+                                    "step_for",     "run_all",           "wait_any",
+                                    "wait_any_for", "wait_on",           "barrier",
+                                    "sync"};
+  for (const char* m : kBlocking)
+    if (name == m) return true;
+  return false;
+}
+
+/// Is this call site a blocking call by itself? Member calls of the
+/// blocking set, or a free fsync() (the raw syscall).
+bool directly_blocking(const CallSite& call) {
+  if (call.member && blocking_method(call.callee)) return true;
+  if (!call.member && call.callee == "fsync") return true;
+  return false;
+}
+
+/// RAII guard declaration at token `i`: `MutexLock name(`. Returns the
+/// token index of the `(` or 0 when not a guard.
+std::size_t guard_open_paren(const std::vector<Token>& tokens, std::size_t i,
+                             bool any_guard_kind) {
+  const std::string& t = tokens[i].text;
+  const bool is_guard =
+      t == "MutexLock" || (any_guard_kind && (t == "WriterLock" || t == "ReaderLock"));
+  if (!is_guard) return 0;
+  if (i > 0 && (tokens[i - 1].text == "~" || tokens[i - 1].text == "class")) return 0;
+  if (i + 2 >= tokens.size()) return 0;
+  const std::string& name = tokens[i + 1].text;
+  if (name.empty() || !(std::isalpha(static_cast<unsigned char>(name[0])) != 0 || name[0] == '_'))
+    return 0;
+  if (tokens[i + 2].text != "(") return 0;
+  return i + 2;
+}
+
+void rule_registry_lock_blocking_call(const SourceFile& file, const FileIndex& index,
                                       std::vector<Finding>& out) {
   // The daemon's queues (connection registry, command/outbound queues) sit
   // between the I/O thread and the coordinator. Their locks exist to move
   // data, not to serialise work: a blocking Server/StudyManager call made
   // while one is held couples socket latency to engine latency (and is one
-  // lock-order edge away from a deadlock). CondVar waits are exempt — they
+  // lock-order edge away from a deadlock). The rule follows calls one hop:
+  // a file-local helper invoked from the guarded scope (free call or
+  // this->) is checked for the same blocking calls, so moving the call
+  // into a helper does not evade the rule. CondVar waits are exempt — they
   // release the mutex while sleeping, which is the one legitimate way to
   // block under a queue lock.
   if (!contains(file.path, "src/daemon/")) return;
-  static const std::string kBlocking[] = {"handle(",  "handle_line_error(", "step(",
-                                          "step_for(", "run_all(",           "wait_any(",
-                                          "wait_any_for(", "wait_on(",       "barrier("};
-  int depth = 0;
-  std::vector<int> guards;  // brace depth at each live MutexLock declaration
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    if (find_word(line, "MutexLock") != std::string::npos &&
-        line.find('(') != std::string::npos && !contains(line, "class") &&
-        !contains(line, "~MutexLock")) {
-      guards.push_back(depth);
-    } else if (!guards.empty()) {
-      for (const std::string& method : kBlocking) {
-        bool flagged = false;
-        for (auto pos = line.find(method); pos != std::string::npos && !flagged;
-             pos = line.find(method, pos + 1)) {
-          // Member calls only (.m( / ->m()): definitions and free
-          // functions with coincident names stay clean.
-          const bool via_dot = pos >= 1 && line[pos - 1] == '.';
-          const bool via_arrow = pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
-          if (!via_dot && !via_arrow) continue;
-          out.push_back(
-              {file.path, static_cast<int>(i + 1), "registry-lock-blocking-call",
-               "blocking ." + method +
-                   "...) while a MutexLock is held in daemon code; the "
-                   "connection-registry/queue locks must bracket data moves only — "
-                   "copy out under the lock, release it, then call the server/manager"});
-          flagged = true;  // one finding per method per line is enough
-        }
+  // The journal's own lock class (daemon.journal) IS the append/fsync
+  // durability barrier — the one documented place that blocks under a lock
+  // (DESIGN.md §11).
+  if (ends_with(file.path, "daemon/journal.cpp")) return;
+  const std::vector<Token>& tokens = index.tokens;
+  for (const FunctionDef& def : index.functions) {
+    int depth = 0;
+    std::vector<int> guards;  // brace depth at each live guard declaration
+    std::size_t call_cursor = 0;
+    for (std::size_t i = def.body_begin; i <= def.body_end && i < tokens.size(); ++i) {
+      const std::string& t = tokens[i].text;
+      if (t == "{") {
+        ++depth;
+        continue;
       }
-    }
-    for (const char c : line) {
-      if (c == '{') ++depth;
-      if (c == '}') {
+      if (t == "}") {
         --depth;
         while (!guards.empty() && guards.back() > depth) guards.pop_back();
+        continue;
+      }
+      if (guard_open_paren(tokens, i, /*any_guard_kind=*/false) != 0) {
+        guards.push_back(depth);
+        i += 2;  // skip `name (` so the declaration is not seen as a call
+        continue;
+      }
+      if (guards.empty()) continue;
+      // Align with the precomputed call sites for this body.
+      while (call_cursor < def.calls.size() && def.calls[call_cursor].token_index < i)
+        ++call_cursor;
+      if (call_cursor >= def.calls.size() || def.calls[call_cursor].token_index != i) continue;
+      const CallSite& call = def.calls[call_cursor];
+      if (directly_blocking(call)) {
+        out.push_back(
+            {file.path, call.line, "registry-lock-blocking-call",
+             "blocking ." + call.callee +
+                 "(...) while a MutexLock is held in daemon code; the "
+                 "connection-registry/queue locks must bracket data moves only — "
+                 "copy out under the lock, release it, then call the server/manager"});
+        continue;
+      }
+      // One hop: a file-local helper called from the guarded scope.
+      if (call.member && call.receiver != "this") continue;
+      const FunctionDef* helper = find_function(index, call.callee);
+      if (helper == nullptr || helper == &def) continue;
+      for (const CallSite& inner : helper->calls) {
+        if (!directly_blocking(inner)) continue;
+        out.push_back(
+            {file.path, call.line, "registry-lock-blocking-call",
+             "call to " + helper->name + "() while a MutexLock is held in daemon code, and " +
+                 helper->name + "() makes a blocking ." + inner.callee + "(...) call (line " +
+                 std::to_string(inner.line) +
+                 "); the queue locks must bracket data moves only — release the lock "
+                 "before calling into the server/manager, even through a helper"});
+        break;  // one finding per helper call site is enough
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lock-rank-order (cross-file)
+// ---------------------------------------------------------------------------
+
+/// Rank table entry parsed from support/lockdep.hpp.
+struct RankTable {
+  std::vector<std::pair<std::string, int>> classes;  // kName -> rank
+  int rank_of(const std::string& cls) const {
+    for (const auto& [name, rank] : classes)
+      if (name == cls) return rank;
+    return -1;
+  }
+  bool empty() const { return classes.empty(); }
+};
+
+/// Parse `inline constexpr LockClass kName{"label", rank};` entries.
+/// The label is masked; the class identifier + trailing number carry the
+/// information. Entries without a number (or spelled kUnranked) get -1.
+RankTable parse_rank_table(const FileIndex& index) {
+  RankTable table;
+  const std::vector<Token>& tokens = index.tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "LockClass") continue;
+    const std::string& name = tokens[i + 1].text;
+    if (name.empty() || name[0] != 'k') continue;  // `struct LockClass {` etc.
+    if (tokens[i + 2].text != "{") continue;
+    int rank = -1;
+    for (std::size_t j = i + 3; j < tokens.size() && tokens[j].text != "}"; ++j) {
+      const std::string& t = tokens[j].text;
+      if (!t.empty() && std::isdigit(static_cast<unsigned char>(t[0])) != 0)
+        rank = std::atoi(t.c_str());
+    }
+    table.classes.emplace_back(name, rank);
+  }
+  return table;
+}
+
+/// Member-name -> lock-class map from `Mutex member{lockdep::kClass}`
+/// declarations (Mutex or SharedMutex, with or without chpo::).
+using MemberClasses = std::vector<std::pair<std::string, std::string>>;
+
+MemberClasses parse_member_classes(const FileIndex& index) {
+  MemberClasses members;
+  const std::vector<Token>& tokens = index.tokens;
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "Mutex" && tokens[i].text != "SharedMutex") continue;
+    const std::string& member = tokens[i + 1].text;
+    if (member.empty() ||
+        !(std::isalpha(static_cast<unsigned char>(member[0])) != 0 || member[0] == '_'))
+      continue;
+    if (tokens[i + 2].text != "{") continue;
+    // Inside the braces: [chpo ::] lockdep :: kClass
+    std::string cls;
+    bool saw_lockdep = false;
+    for (std::size_t j = i + 3; j < tokens.size() && tokens[j].text != "}"; ++j) {
+      if (tokens[j].text == "lockdep") saw_lockdep = true;
+      if (saw_lockdep && !tokens[j].text.empty() && tokens[j].text[0] == 'k')
+        cls = tokens[j].text;
+    }
+    if (saw_lockdep && !cls.empty()) members.emplace_back(member, cls);
+  }
+  return members;
+}
+
+std::string class_of_member(const MemberClasses& members, const std::string& member) {
+  for (const auto& [name, cls] : members)
+    if (name == member) return cls;
+  return {};
+}
+
+/// The lock member a guard declaration acquires: the last identifier
+/// inside its parens (`mutex_`, `queues_[i].mutex`, `this->mutex_`).
+std::string guarded_member(const std::vector<Token>& tokens, std::size_t open_paren) {
+  std::string member;
+  int depth = 0;
+  for (std::size_t i = open_paren; i < tokens.size(); ++i) {
+    if (tokens[i].text == "(") ++depth;
+    if (tokens[i].text == ")" && --depth == 0) break;
+    const std::string& t = tokens[i].text;
+    if (!t.empty() &&
+        (std::isalpha(static_cast<unsigned char>(t[0])) != 0 || t[0] == '_') && t != "this")
+      member = t;
+  }
+  return member;
+}
+
+/// One resolved guard acquisition inside a function body.
+struct GuardSite {
+  std::string member;
+  std::string lock_class;
+  int rank = -1;
+  int line = 0;
+};
+
+/// All guard declarations in `def` whose member resolves to a ranked class.
+std::vector<GuardSite> ranked_guards(const FileIndex& index, const FunctionDef& def,
+                                     const MemberClasses& members, const RankTable& table) {
+  std::vector<GuardSite> sites;
+  const std::vector<Token>& tokens = index.tokens;
+  for (std::size_t i = def.body_begin; i <= def.body_end && i < tokens.size(); ++i) {
+    const std::size_t open = guard_open_paren(tokens, i, /*any_guard_kind=*/true);
+    if (open == 0) continue;
+    const std::string member = guarded_member(tokens, open);
+    const std::string cls = class_of_member(members, member);
+    if (cls.empty()) continue;
+    sites.push_back({member, cls, table.rank_of(cls), tokens[i].line});
+    i = open;
+  }
+  return sites;
+}
+
+void rule_lock_rank_order(const std::vector<SourceFile>& files,
+                          const std::vector<FileIndex>& indices, std::vector<Finding>& out) {
+  // Cross-check the declared ranks (support/lockdep.hpp) against the guard
+  // nesting visible in source: acquiring a lower-ranked class while a
+  // higher-ranked one is held — directly or one call hop away — is exactly
+  // what the runtime witness would abort on, caught at lint time instead.
+  RankTable table;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (ends_with(files[i].path, "support/lockdep.hpp")) table = parse_rank_table(indices[i]);
+  if (table.empty()) return;  // tree without a rank table (synthetic tests)
+
+  // Member maps per file; sibling .hpp/.cpp pairs share declarations.
+  std::vector<MemberClasses> own(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) own[i] = parse_member_classes(indices[i]);
+  const auto stem = [](const std::string& path) {
+    const auto dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(0, dot);
+  };
+  std::vector<MemberClasses> effective = own;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    for (std::size_t j = 0; j < files.size(); ++j)
+      if (i != j && stem(files[i].path) == stem(files[j].path))
+        effective[i].insert(effective[i].end(), own[j].begin(), own[j].end());
+
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const FileIndex& index = indices[f];
+    const MemberClasses& members = effective[f];
+    if (members.empty()) continue;
+    const std::vector<Token>& tokens = index.tokens;
+    for (const FunctionDef& def : index.functions) {
+      int depth = 0;
+      std::vector<std::pair<int, GuardSite>> held;  // (brace depth, guard)
+      std::size_t call_cursor = 0;
+      for (std::size_t i = def.body_begin; i <= def.body_end && i < tokens.size(); ++i) {
+        const std::string& t = tokens[i].text;
+        if (t == "{") {
+          ++depth;
+          continue;
+        }
+        if (t == "}") {
+          --depth;
+          while (!held.empty() && held.back().first > depth) held.pop_back();
+          continue;
+        }
+        const std::size_t open = guard_open_paren(tokens, i, /*any_guard_kind=*/true);
+        if (open != 0) {
+          const std::string member = guarded_member(tokens, open);
+          const std::string cls = class_of_member(members, member);
+          if (!cls.empty()) {
+            const GuardSite site{member, cls, table.rank_of(cls), tokens[i].line};
+            for (const auto& [d, outer] : held) {
+              if (outer.rank < 0 || site.rank < 0) continue;
+              if (outer.lock_class == site.lock_class) continue;
+              if (site.rank < outer.rank)
+                out.push_back(
+                    {files[f].path, site.line, "lock-rank-order",
+                     "acquiring '" + site.lock_class + "' (rank " + std::to_string(site.rank) +
+                         ") while holding '" + outer.lock_class + "' (rank " +
+                         std::to_string(outer.rank) +
+                         ", line " + std::to_string(outer.line) +
+                         "); the rank table in support/lockdep.hpp orders acquisitions "
+                         "low-to-high — reorder the guards or fix the table"});
+            }
+            held.emplace_back(depth, site);
+          }
+          i = open;
+          continue;
+        }
+        if (held.empty()) continue;
+        // One hop: a file-local helper acquiring a lower-ranked guard.
+        while (call_cursor < def.calls.size() && def.calls[call_cursor].token_index < i)
+          ++call_cursor;
+        if (call_cursor >= def.calls.size() || def.calls[call_cursor].token_index != i)
+          continue;
+        const CallSite& call = def.calls[call_cursor];
+        if (call.member && call.receiver != "this") continue;
+        const FunctionDef* helper = find_function(index, call.callee);
+        if (helper == nullptr || helper == &def) continue;
+        for (const GuardSite& inner : ranked_guards(index, *helper, members, table)) {
+          if (inner.rank < 0) continue;
+          bool flagged = false;
+          for (const auto& [d, outer] : held) {
+            if (outer.rank < 0 || outer.lock_class == inner.lock_class) continue;
+            if (inner.rank < outer.rank) {
+              out.push_back(
+                  {files[f].path, call.line, "lock-rank-order",
+                   "call to " + helper->name + "() while holding '" + outer.lock_class +
+                       "' (rank " + std::to_string(outer.rank) + "), and " + helper->name +
+                       "() acquires '" + inner.lock_class + "' (rank " +
+                       std::to_string(inner.rank) + ", line " + std::to_string(inner.line) +
+                       "); the rank table in support/lockdep.hpp orders acquisitions "
+                       "low-to-high — release the outer lock first or fix the table"});
+              flagged = true;
+              break;
+            }
+          }
+          if (flagged) break;
+        }
       }
     }
   }
@@ -438,9 +716,29 @@ void rule_trace_kind_coverage(const std::vector<SourceFile>& files,
 
 }  // namespace
 
+namespace {
+
+/// If the `"` at `quote` opens a raw string literal, return the index of
+/// its `R` prefix character (handling the u8R / uR / UR / LR encoding
+/// prefixes); std::string::npos otherwise.
+std::size_t raw_string_prefix(const std::string& text, std::size_t quote) {
+  if (quote == 0 || text[quote - 1] != 'R') return std::string::npos;
+  std::size_t start = quote - 1;  // the 'R'
+  if (start >= 2 && text[start - 2] == 'u' && text[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (text[start - 1] == 'u' || text[start - 1] == 'U' || text[start - 1] == 'L')) {
+    start -= 1;
+  }
+  if (start > 0 && ident_char(text[start - 1])) return std::string::npos;  // e.g. `FooR"`
+  return quote - 1;
+}
+
+}  // namespace
+
 std::string mask_comments_and_literals(const std::string& text) {
   std::string out = text;
-  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  enum class State { Code, LineComment, BlockComment, String, Char };
   State state = State::Code;
   std::size_t i = 0;
   const auto blank = [&](std::size_t pos) {
@@ -461,12 +759,19 @@ std::string mask_comments_and_literals(const std::string& text) {
           blank(i);
           blank(i + 1);
           i += 2;
-        } else if (c == 'R' && next == '"' && (i == 0 || !ident_char(out[i - 1]))) {
-          // Simple raw strings only: R"( ... )". Custom delimiters are not
-          // used in this repo and would fail the lint loudly if added.
-          state = State::RawString;
-          i += 2;
-          if (i < out.size() && out[i] == '(') ++i;
+        } else if (c == '"' && raw_string_prefix(out, i) != std::string::npos) {
+          // Raw string literal, any delimiter: R"delim( ... )delim". The
+          // whole literal (delimiters included) is blanked in one pass so
+          // multi-line content can never leak into rule matching.
+          std::size_t p = i + 1;
+          std::string delim;
+          while (p < out.size() && out[p] != '(' && delim.size() < 16) delim += out[p++];
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t close = out.find(closer, p);
+          const std::size_t end =
+              close == std::string::npos ? out.size() : close + closer.size();
+          for (std::size_t q = i + 1; q < end; ++q) blank(q);
+          i = end;
         } else if (c == '"') {
           state = State::String;
           ++i;
@@ -478,11 +783,17 @@ std::string mask_comments_and_literals(const std::string& text) {
         }
         break;
       case State::LineComment:
-        if (c == '\n')
-          state = State::Code;
-        else
+        if (c == '\\' && next == '\n') {
+          // Backslash-continued // comment: the next line is comment too.
           blank(i);
-        ++i;
+          i += 2;
+        } else if (c == '\n') {
+          state = State::Code;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
         break;
       case State::BlockComment:
         if (c == '*' && next == '/') {
@@ -521,15 +832,6 @@ std::string mask_comments_and_literals(const std::string& text) {
           ++i;
         }
         break;
-      case State::RawString:
-        if (c == ')' && next == '"') {
-          i += 2;
-          state = State::Code;
-        } else {
-          blank(i);
-          ++i;
-        }
-        break;
     }
   }
   return out;
@@ -538,35 +840,57 @@ std::string mask_comments_and_literals(const std::string& text) {
 std::vector<Finding> lint_files(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   std::vector<std::vector<std::string>> masked;
+  std::vector<FileIndex> indices;
   masked.reserve(files.size());
-  for (const SourceFile& file : files)
-    masked.push_back(split_lines(mask_comments_and_literals(file.content)));
-
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    SourceFile normalised_file{normalise(files[i].path), std::string()};
-    rule_raw_lock_call(normalised_file, masked[i], findings);
-    rule_raw_std_mutex(normalised_file, masked[i], findings);
-    rule_nondeterministic_rng(normalised_file, masked[i], findings);
-    rule_raw_runtime_ref(normalised_file, masked[i], findings);
-    rule_callback_in_engine_mutation(normalised_file, masked[i], findings);
-    rule_registry_lock_blocking_call(normalised_file, masked[i], findings);
-    rule_hot_path_std_function(normalised_file, masked[i], findings);
+  indices.reserve(files.size());
+  for (const SourceFile& file : files) {
+    const std::string masked_text = mask_comments_and_literals(file.content);
+    masked.push_back(split_lines(masked_text));
+    indices.push_back(build_file_index(masked_text));
   }
 
   std::vector<SourceFile> normalised_files;
   normalised_files.reserve(files.size());
   for (const SourceFile& file : files) normalised_files.push_back({normalise(file.path), {}});
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    rule_raw_lock_call(normalised_files[i], masked[i], findings);
+    rule_raw_std_mutex(normalised_files[i], masked[i], findings);
+    rule_nondeterministic_rng(normalised_files[i], masked[i], findings);
+    rule_raw_runtime_ref(normalised_files[i], masked[i], findings);
+    rule_callback_in_engine_mutation(normalised_files[i], masked[i], findings);
+    rule_registry_lock_blocking_call(normalised_files[i], indices[i], findings);
+    rule_hot_path_std_function(normalised_files[i], masked[i], findings);
+  }
+
   rule_trace_kind_coverage(normalised_files, masked, findings);
+  rule_lock_rank_order(normalised_files, indices, findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
   });
+  // Overlapping function definitions (a heuristic parse can nest them) may
+  // report the same violation twice; findings are de-duplicated, not
+  // suppressed.
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule && a.message == b.message;
+                             }),
+                 findings.end());
   return findings;
 }
 
-std::vector<Finding> lint_tree(const std::string& root) {
+TreeScan scan_tree(const std::string& root) {
+  TreeScan scan;
+  std::error_code root_ec;
+  if (!fs::is_directory(root, root_ec)) {
+    scan.errors.push_back("root is not a directory: " + root);
+    return scan;
+  }
   std::vector<SourceFile> files;
   static const char* kSubtrees[] = {"src", "tools", "bench"};
   for (const char* subtree : kSubtrees) {
@@ -578,16 +902,34 @@ std::vector<Finding> lint_tree(const std::string& root) {
       if (!it->is_regular_file(ec)) continue;
       const std::string ext = it->path().extension().string();
       if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+      const std::string rel = normalise(fs::relative(it->path(), root, ec).string());
       std::ifstream in(it->path(), std::ios::binary);
+      if (!in) {
+        scan.errors.push_back("cannot read " + rel);
+        continue;
+      }
       std::ostringstream buf;
       buf << in.rdbuf();
-      files.push_back({normalise(fs::relative(it->path(), root, ec).string()), buf.str()});
+      if (in.bad()) {
+        scan.errors.push_back("read error in " + rel);
+        continue;
+      }
+      files.push_back({rel, buf.str()});
     }
+    if (ec) scan.errors.push_back("walk error under " + (fs::path(root) / subtree).string() +
+                                  ": " + ec.message());
   }
+  scan.files_scanned = files.size();
+  if (files.empty())
+    scan.errors.push_back("no C++ sources found under " + root +
+                          " (expected src/, tools/ or bench/ subtrees)");
   std::sort(files.begin(), files.end(),
             [](const SourceFile& a, const SourceFile& b) { return a.path < b.path; });
-  return lint_files(files);
+  scan.findings = lint_files(files);
+  return scan;
 }
+
+std::vector<Finding> lint_tree(const std::string& root) { return scan_tree(root).findings; }
 
 std::string format_findings(const std::vector<Finding>& findings) {
   std::ostringstream out;

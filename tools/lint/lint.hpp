@@ -31,13 +31,33 @@
 //                              flush_notifications() — never from a
 //                              mutation path holding TaskRecord references.
 //   registry-lock-blocking-call  src/daemon/ may not call a blocking
-//                              Server/StudyManager method (.handle, .step,
-//                              .step_for, .run_all, .wait_any*, .wait_on,
-//                              .barrier) while a MutexLock guard is live:
-//                              the connection-registry/queue locks are for
+//                              Server/StudyManager/journal method (.handle,
+//                              .step, .step_for, .run_all, .wait_any*,
+//                              .wait_on, .barrier, .sync) — or fsync() —
+//                              while a MutexLock guard is live: the
+//                              connection-registry/queue locks are for
 //                              moving data across threads, and holding one
 //                              across an engine call wedges the I/O thread
 //                              behind the engine (lock, move, unlock, act).
+//                              Cross-function: a call to a file-local
+//                              helper from the guarded scope is followed
+//                              one hop, so hiding the blocking call behind
+//                              a helper does not evade the rule.
+//                              daemon/journal.cpp is the one documented
+//                              exemption — its lock IS the fsync barrier.
+//   lock-rank-order            the rank table in support/lockdep.hpp is
+//                              the blessed global acquisition order; this
+//                              rule parses it, maps each `Mutex
+//                              member{lockdep::kClass}` declaration
+//                              (sibling .hpp/.cpp pairs share members) and
+//                              flags any guard nesting visible in source —
+//                              directly or one call hop away — that
+//                              acquires a lower-ranked class while a
+//                              higher-ranked one is held. The runtime
+//                              witness (CHPO_LOCKDEP) checks the orders
+//                              that only materialize at runtime; this rule
+//                              catches the ones visible statically, on
+//                              every build, with no test coverage needed.
 //
 // Header self-containedness (each public header compiles as its own
 // translation unit) is the one rule not here: it needs a compiler, so it is
@@ -45,6 +65,8 @@
 //
 // Comments and string/char literals are masked before matching, so rule
 // text in comments (or this very tool's pattern strings) never self-flags.
+// The cross-function rules run on a token stream + per-file function index
+// (lint/index.hpp) built from the same masked text.
 #pragma once
 
 #include <string>
@@ -66,16 +88,31 @@ struct SourceFile {
 };
 
 /// Replace comment bodies and string/char literal contents with spaces,
-/// preserving line structure. Handles //, /* */, escapes, and simple
-/// R"( )" raw strings.
+/// preserving line structure. Handles //, /* */ (including multi-line),
+/// backslash-continued line comments, escapes, and raw strings with
+/// arbitrary delimiters and encoding prefixes (R"( )", R"x( )x", u8R"...).
 std::string mask_comments_and_literals(const std::string& text);
 
 /// Run every rule over the given files.
 std::vector<Finding> lint_files(const std::vector<SourceFile>& files);
 
+/// Result of scanning a tree on disk: findings plus the I/O truth CI needs
+/// to distinguish "clean" from "didn't actually scan anything".
+struct TreeScan {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::vector<std::string> errors;  ///< missing root, unreadable files, empty scan
+};
+
 /// Collect .hpp/.cpp files under root/src, root/tools and root/bench (the
 /// subtrees that exist) and lint them. Paths in findings are relative to
-/// `root`.
+/// `root`. Records an error when the root is not a directory, a source
+/// file cannot be read, or no source files were found at all.
+TreeScan scan_tree(const std::string& root);
+
+/// Back-compat wrapper around scan_tree(): findings only, I/O problems
+/// ignored (a missing subtree is simply an empty result). The CLI uses
+/// scan_tree() so CI gets a hard failure instead of a silent no-op.
 std::vector<Finding> lint_tree(const std::string& root);
 
 /// "file:line: [rule] message" per finding.
